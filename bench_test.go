@@ -1,0 +1,423 @@
+package c2mn
+
+// One benchmark per table and figure of the paper's evaluation
+// (§V; see DESIGN.md §5 for the experiment index). Each benchmark
+// regenerates its table/figure through the internal/experiments driver
+// and prints the same rows/series the paper reports, plus key cells as
+// benchmark metrics.
+//
+// The workload scale defaults to "small" (the paper's venue profiles
+// at container-sized workloads); set C2MN_BENCH_SCALE=tiny for smoke
+// runs or =paper for the full-parameter configuration.
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"c2mn/internal/experiments"
+)
+
+func benchScale(b *testing.B) experiments.Scale {
+	name := os.Getenv("C2MN_BENCH_SCALE")
+	if name == "" {
+		name = "small"
+	}
+	sc, ok := experiments.ScaleByName(name)
+	if !ok {
+		b.Fatalf("unknown C2MN_BENCH_SCALE %q", name)
+	}
+	return sc
+}
+
+// Several figures share one combined driver (e.g. Figs. 14–16 all come
+// from TSweep). The first benchmark of a group pays the full cost; the
+// others reuse the cached tables, so their ns/op reflects only the
+// slicing. The printed series are identical either way.
+var (
+	sweepMu    sync.Mutex
+	sweepCache = map[string][]*experiments.Table{}
+)
+
+func cachedSweep(b *testing.B, key string, run func() ([]*experiments.Table, error)) []*experiments.Table {
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	if t, ok := sweepCache[key]; ok {
+		return t
+	}
+	t, err := run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweepCache[key] = t
+	return t
+}
+
+// printOnce renders the tables on the first iteration only.
+func printOnce(i int, tables ...*experiments.Table) {
+	if i != 0 {
+		return
+	}
+	for _, t := range tables {
+		if t != nil {
+			t.Fprint(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkTable3DatasetStatistics(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table3(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		b.ReportMetric(t.Cell("mall", "records"), "records")
+	}
+}
+
+func BenchmarkTable4LabelingAccuracy(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table4(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		b.ReportMetric(t.Cell("C2MN", "CA"), "C2MN-CA")
+		b.ReportMetric(t.Cell("C2MN", "PA"), "C2MN-PA")
+		b.ReportMetric(t.Cell("CMN", "CA"), "CMN-CA")
+		b.ReportMetric(t.Cell("SMoT", "CA"), "SMoT-CA")
+	}
+}
+
+func BenchmarkTable5SyntheticDatasets(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table5(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		b.ReportMetric(t.Cell("T5u7", "records"), "T5u7-records")
+	}
+}
+
+func BenchmarkFig5CombinedAccuracyVsTrainingFraction(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/frac", func() ([]*experiments.Table, error) {
+			ca, pa, err := experiments.TrainingFractionSweep(sc)
+			return []*experiments.Table{ca, pa}, err
+		})
+		ca, pa := ts[0], ts[1]
+		printOnce(i, ca, pa)
+		b.ReportMetric(ca.Cell("C2MN", "40%"), "C2MN-CA-40")
+		b.ReportMetric(ca.Cell("C2MN", "80%"), "C2MN-CA-80")
+	}
+}
+
+func BenchmarkFig6PerfectAccuracyVsTrainingFraction(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/frac", func() ([]*experiments.Table, error) {
+			ca, pa, err := experiments.TrainingFractionSweep(sc)
+			return []*experiments.Table{ca, pa}, err
+		})
+		pa := ts[1]
+		printOnce(i, pa)
+		b.ReportMetric(pa.Cell("C2MN", "70%"), "C2MN-PA-70")
+	}
+}
+
+func BenchmarkFig7RegionAccuracyVsM(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/msweep", func() ([]*experiments.Table, error) {
+			ra, ea, err := experiments.MSweep(sc)
+			return []*experiments.Table{ra, ea}, err
+		})
+		ra, ea := ts[0], ts[1]
+		printOnce(i, ra, ea)
+		b.ReportMetric(ra.Cell("C2MN", ra.ColNames[len(ra.ColNames)-1]), "C2MN-RA-maxM")
+	}
+}
+
+func BenchmarkFig8EventAccuracyVsM(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/msweep", func() ([]*experiments.Table, error) {
+			ra, ea, err := experiments.MSweep(sc)
+			return []*experiments.Table{ra, ea}, err
+		})
+		ea := ts[1]
+		printOnce(i, ea)
+		b.ReportMetric(ea.Cell("C2MN", ea.ColNames[0]), "C2MN-EA-minM")
+	}
+}
+
+func BenchmarkFig9TrainingTimeVsMaxIter(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.MaxIterSweep(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		last := t.ColNames[len(t.ColNames)-1]
+		b.ReportMetric(t.Cell("C2MN", last), "C2MN-secs")
+		b.ReportMetric(t.Cell("CMN", last), "CMN-secs")
+	}
+}
+
+func BenchmarkFig10TrainingTimeVsTrainingFraction(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TrainingTimeVsFraction(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		b.ReportMetric(t.Cell("C2MN", "80%"), "C2MN-secs-80")
+	}
+}
+
+func BenchmarkFig11FirstConfiguredVariable(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.FirstConfiguredVariable(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		last := t.ColNames[len(t.ColNames)-1]
+		b.ReportMetric(t.Cell("C2MN", last), "E-first-secs")
+		b.ReportMetric(t.Cell("C2MN@R", last), "R-first-secs")
+	}
+}
+
+func BenchmarkFig12TkPRQPrecision(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/query", func() ([]*experiments.Table, error) {
+			a, bq, err := experiments.QueryPrecision(sc)
+			return []*experiments.Table{a, bq}, err
+		})
+		tkprq, tkfrpq := ts[0], ts[1]
+		printOnce(i, tkprq, tkfrpq)
+		b.ReportMetric(tkprq.Cell("C2MN", tkprq.ColNames[len(tkprq.ColNames)-1]), "C2MN-prec-maxQT")
+	}
+}
+
+func BenchmarkFig13TkFRPQPrecision(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/query", func() ([]*experiments.Table, error) {
+			a, bq, err := experiments.QueryPrecision(sc)
+			return []*experiments.Table{a, bq}, err
+		})
+		tkfrpq := ts[1]
+		printOnce(i, tkfrpq)
+		b.ReportMetric(tkfrpq.Cell("C2MN", tkfrpq.ColNames[0]), "C2MN-prec-minQT")
+	}
+}
+
+func BenchmarkFig14PerfectAccuracyVsT(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/tsweep", func() ([]*experiments.Table, error) {
+			a, bq, c, err := experiments.TSweep(sc)
+			return []*experiments.Table{a, bq, c}, err
+		})
+		pa := ts[0]
+		printOnce(i, ts...)
+		b.ReportMetric(pa.Cell("C2MN", "T=5s"), "C2MN-PA-T5")
+		b.ReportMetric(pa.Cell("C2MN", "T=15s"), "C2MN-PA-T15")
+	}
+}
+
+func BenchmarkFig15TkPRQPrecisionVsT(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/tsweep", func() ([]*experiments.Table, error) {
+			a, bq, c, err := experiments.TSweep(sc)
+			return []*experiments.Table{a, bq, c}, err
+		})
+		tkprq := ts[1]
+		printOnce(i, tkprq)
+		b.ReportMetric(tkprq.Cell("C2MN", "T=15s"), "C2MN-prec-T15")
+	}
+}
+
+func BenchmarkFig16TkFRPQPrecisionVsT(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/tsweep", func() ([]*experiments.Table, error) {
+			a, bq, c, err := experiments.TSweep(sc)
+			return []*experiments.Table{a, bq, c}, err
+		})
+		tkfrpq := ts[2]
+		printOnce(i, tkfrpq)
+		b.ReportMetric(tkfrpq.Cell("C2MN", "T=15s"), "C2MN-prec-T15")
+	}
+}
+
+func BenchmarkFig17PerfectAccuracyVsMu(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/musweep", func() ([]*experiments.Table, error) {
+			a, bq, c, err := experiments.MuSweep(sc)
+			return []*experiments.Table{a, bq, c}, err
+		})
+		pa := ts[0]
+		printOnce(i, ts...)
+		b.ReportMetric(pa.Cell("C2MN", "mu=3m"), "C2MN-PA-mu3")
+		b.ReportMetric(pa.Cell("C2MN", "mu=7m"), "C2MN-PA-mu7")
+	}
+}
+
+func BenchmarkFig18TkPRQPrecisionVsMu(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/musweep", func() ([]*experiments.Table, error) {
+			a, bq, c, err := experiments.MuSweep(sc)
+			return []*experiments.Table{a, bq, c}, err
+		})
+		tkprq := ts[1]
+		printOnce(i, tkprq)
+		b.ReportMetric(tkprq.Cell("C2MN", "mu=7m"), "C2MN-prec-mu7")
+	}
+}
+
+func BenchmarkFig19TkFRPQPrecisionVsMu(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		ts := cachedSweep(b, sc.Name+"/musweep", func() ([]*experiments.Table, error) {
+			a, bq, c, err := experiments.MuSweep(sc)
+			return []*experiments.Table{a, bq, c}, err
+		})
+		tkfrpq := ts[2]
+		printOnce(i, tkfrpq)
+		b.ReportMetric(tkfrpq.Cell("C2MN", "mu=7m"), "C2MN-prec-mu7")
+	}
+}
+
+func BenchmarkAblationExactVsMCMCGradient(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationExactVsMCMC(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		b.ReportMetric(t.Cell("Algorithm1", "RA"), "alg1-RA")
+		b.ReportMetric(t.Cell("ExactPL", "RA"), "exact-RA")
+	}
+}
+
+func BenchmarkAblationCandidateRadius(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationCandidateRadius(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		b.ReportMetric(t.Cells[len(t.RowNames)-1][3], "avg-cands-maxV")
+	}
+}
+
+// BenchmarkAnnotationLatency measures the per-sequence annotation cost
+// of a trained model — the paper reports <600 ms for a ~100-record
+// sequence (§V-B1).
+func BenchmarkAnnotationLatency(b *testing.B) {
+	space, data := benchAnnotationWorld(b)
+	ann, err := Train(space, data[:len(data)/2], TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	test := data[len(data)/2:]
+	records := 0
+	for i := range test {
+		records += test[i].P.Len()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range test {
+			if _, _, err := ann.Annotate(&test[j].P); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(records)/float64(len(test)), "records/seq")
+}
+
+func benchAnnotationWorld(b *testing.B) (*Space, []LabeledSequence) {
+	b.Helper()
+	sc := experiments.Tiny()
+	space, err := GenerateBuilding(sc.MallSpec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := benchMobility()
+	ds, err := GenerateMobility(space, spec, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return space, ds.Sequences
+}
+
+func benchMobility() MobilitySpec {
+	return MobilitySpec{
+		Objects:        10,
+		Duration:       1500,
+		MaxSpeed:       1.7,
+		StayMin:        1,
+		StayMax:        300,
+		T:              5,
+		Mu:             3,
+		FalseFloorProb: 0.03,
+		OutlierProb:    0.03,
+	}
+}
+
+// BenchmarkAblationDistanceMatrix compares MIWD backed by the
+// precomputed door-to-door matrix against on-demand Dijkstra (the
+// paper pays ~991 MB of memory for its venue's matrix to make MIWD
+// cheap; DESIGN.md §6).
+func BenchmarkAblationDistanceMatrix(b *testing.B) {
+	sc := benchScale(b)
+	space, err := GenerateBuilding(sc.MallSpec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := space.Bounds()
+	rng := rand.New(rand.NewSource(9))
+	type pair struct{ a, c Location }
+	pairs := make([]pair, 256)
+	for i := range pairs {
+		pairs[i] = pair{
+			a: Loc(bounds.Min.X+rng.Float64()*(bounds.Max.X-bounds.Min.X),
+				bounds.Min.Y+rng.Float64()*(bounds.Max.Y-bounds.Min.Y), rng.Intn(len(space.Floors()))),
+			c: Loc(bounds.Min.X+rng.Float64()*(bounds.Max.X-bounds.Min.X),
+				bounds.Min.Y+rng.Float64()*(bounds.Max.Y-bounds.Min.Y), rng.Intn(len(space.Floors()))),
+		}
+	}
+	b.ReportMetric(float64(space.DistanceMatrixBytes())/(1<<20), "matrix-MB")
+	b.Run("matrix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			_ = space.MIWD(p.a, p.c)
+		}
+	})
+	b.Run("ondemand", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			_ = space.MIWDOnDemand(p.a, p.c)
+		}
+	})
+}

@@ -1,0 +1,272 @@
+// Package c2mn annotates indoor mobility data with mobility semantics:
+// given an object's raw indoor positioning records, it infers where
+// the object was (semantic region), when (time period), and what it
+// was doing (stay or pass). It implements the coupled conditional
+// Markov network (C2MN) of Li, Lu, Cheema, Shou and Chen, "Indoor
+// Mobility Semantics Annotation Using Coupled Conditional Markov
+// Networks", ICDE 2020.
+//
+// The typical flow is:
+//
+//  1. model the venue with a Builder (partitions, doors, regions) or
+//     generate one with GenerateBuilding,
+//  2. train an Annotator on labeled sequences with Train,
+//  3. feed it positioning sequences to obtain labels and merged
+//     m-semantics,
+//  4. analyse the m-semantics, e.g. with the top-k queries
+//     TopKPopularRegions and TopKFrequentPairs.
+//
+// The heavy lifting lives in the internal packages (geometry, R-tree,
+// indoor topology and MIWD distances, st-DBSCAN, L-BFGS, the C2MN
+// model with its alternate learning algorithm, baselines, simulator
+// and the experiment drivers); this package is the stable surface.
+package c2mn
+
+import (
+	"fmt"
+	"io"
+
+	"c2mn/internal/baseline"
+	"c2mn/internal/core"
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/query"
+	"c2mn/internal/seq"
+	"c2mn/internal/sim"
+)
+
+// Re-exported spatial types.
+type (
+	// Space is an immutable indoor venue.
+	Space = indoor.Space
+	// Builder assembles a Space from partitions, doors and regions.
+	Builder = indoor.Builder
+	// Location is an indoor position (planar point + floor).
+	Location = indoor.Location
+	// RegionID identifies a semantic region.
+	RegionID = indoor.RegionID
+	// PartitionID identifies an indoor partition.
+	PartitionID = indoor.PartitionID
+)
+
+// Re-exported sequence types.
+type (
+	// Record is a positioning record θ(l, t).
+	Record = seq.Record
+	// PSequence is a positioning sequence.
+	PSequence = seq.PSequence
+	// Labels holds per-record region and event labels.
+	Labels = seq.Labels
+	// LabeledSequence couples a p-sequence with labels.
+	LabeledSequence = seq.LabeledSequence
+	// Event is a mobility event (Stay or Pass).
+	Event = seq.Event
+	// MSemantics is one (region, period, event) triple.
+	MSemantics = seq.MSemantics
+	// MSSequence is an object's m-semantics sequence.
+	MSSequence = seq.MSSequence
+	// Dataset is a labeled corpus.
+	Dataset = seq.Dataset
+)
+
+// Re-exported simulator types.
+type (
+	// BuildingSpec describes a procedural venue.
+	BuildingSpec = sim.BuildingSpec
+	// MobilitySpec describes a synthetic workload.
+	MobilitySpec = sim.MobilitySpec
+)
+
+// Re-exported query types.
+type (
+	// Window is a query time interval.
+	Window = query.Window
+	// RegionCount is a TkPRQ result entry.
+	RegionCount = query.RegionCount
+	// PairCount is a TkFRPQ result entry.
+	PairCount = query.PairCount
+)
+
+// Mobility events and sentinels.
+const (
+	// Stay marks a purposeful dwell in a region.
+	Stay = seq.Stay
+	// Pass marks merely passing through a region.
+	Pass = seq.Pass
+	// NoRegion marks the absence of a semantic region.
+	NoRegion = indoor.NoRegion
+)
+
+// Loc builds a Location.
+func Loc(x, y float64, floor int) Location { return indoor.Loc(x, y, floor) }
+
+// NewBuilder starts a venue definition.
+func NewBuilder() *Builder { return indoor.NewBuilder() }
+
+// ReadSpace deserialises a Space written with Space.WriteJSON.
+func ReadSpace(r io.Reader) (*Space, error) { return indoor.ReadJSON(r) }
+
+// ReadDataset deserialises a Dataset written with Dataset.WriteJSON.
+func ReadDataset(r io.Reader) (*Dataset, error) { return seq.ReadJSON(r) }
+
+// GenerateBuilding procedurally generates a venue; see sim.MallBuilding,
+// sim.SynthBuilding and sim.SmallBuilding for ready-made profiles.
+func GenerateBuilding(spec BuildingSpec, seed int64) (*Space, error) {
+	return sim.GenerateBuilding(spec, seed)
+}
+
+// GenerateMobility simulates a labeled mobility workload on a venue.
+func GenerateMobility(space *Space, spec MobilitySpec, seed int64) (*Dataset, error) {
+	return sim.Generate(space, spec, seed)
+}
+
+// Merge performs label-and-merge: collapsing runs of identical
+// (region, event) labels into m-semantics.
+func Merge(p *PSequence, labels Labels) MSSequence { return seq.Merge(p, labels) }
+
+// Preprocess splits a raw record stream on η-gaps and drops fragments
+// shorter than ψ seconds, as in the paper's data cleaning.
+func Preprocess(objectID string, records []Record, eta, psi float64) []PSequence {
+	return seq.Preprocess(objectID, records, eta, psi)
+}
+
+// TrainOptions tunes Train. The zero value reproduces the paper's
+// real-data configuration (§V-B1): v = 15 m, σ² = 0.5, M = 800,
+// max_iter = 90, E as the first-configured variable.
+type TrainOptions struct {
+	// V overrides the fsm uncertainty radius in meters.
+	V float64
+	// M overrides the number of MCMC instances per step.
+	M int
+	// MaxIter overrides the maximum alternate-learning steps.
+	MaxIter int
+	// Sigma2 overrides the Gaussian prior variance.
+	Sigma2 float64
+	// Seed fixes the sampling randomness.
+	Seed int64
+	// Exact selects the deterministic exact pseudo-likelihood trainer
+	// instead of the paper's Algorithm 1.
+	Exact bool
+	// TuneClustering adapts the st-DBSCAN parameters to the training
+	// workload's sampling rate and noise (recommended for data whose
+	// profile differs from the paper's mall dataset).
+	TuneClustering bool
+	// UseRegionPrior enables the paper's optional fsm design: the
+	// normalized historical region frequency of the training data
+	// multiplies the spatial overlap.
+	UseRegionPrior bool
+}
+
+// Annotator is a trained C2MN bound to its venue.
+type Annotator struct {
+	space *indoor.Space
+	model *core.Model
+	ex    *features.Extractor
+}
+
+// Train learns a C2MN from labeled sequences over a venue.
+func Train(space *Space, data []LabeledSequence, opts TrainOptions) (*Annotator, error) {
+	params := features.DefaultParams()
+	if opts.V > 0 {
+		params.V = opts.V
+	}
+	if opts.TuneClustering {
+		params.Cluster = baseline.TuneClusterParams(data)
+	}
+	cfg := core.Config{
+		Params:         params,
+		M:              opts.M,
+		MaxIter:        opts.MaxIter,
+		Sigma2:         opts.Sigma2,
+		Seed:           opts.Seed,
+		UseRegionPrior: opts.UseRegionPrior,
+	}
+	var model *core.Model
+	var err error
+	if opts.Exact {
+		model, _, err = core.TrainExact(space, data, cfg)
+	} else {
+		model, _, err = core.Train(space, data, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newAnnotator(space, model)
+}
+
+func newAnnotator(space *Space, model *core.Model) (*Annotator, error) {
+	ex, err := features.NewExtractor(space, model.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &Annotator{space: space, model: model, ex: ex}, nil
+}
+
+// Space returns the annotator's venue.
+func (a *Annotator) Space() *Space { return a.space }
+
+// Weights returns a copy of the learned weight vector, ordered as
+// documented in internal/features.
+func (a *Annotator) Weights() []float64 {
+	return append([]float64(nil), a.model.Weights...)
+}
+
+// Annotate labels a p-sequence and returns both the per-record labels
+// and the merged m-semantics sequence.
+func (a *Annotator) Annotate(p *PSequence) (Labels, MSSequence, error) {
+	if err := p.Validate(); err != nil {
+		return Labels{}, MSSequence{}, err
+	}
+	labels, ms := a.model.AnnotateSequence(a.ex, p)
+	return labels, ms, nil
+}
+
+// AnnotateWindowed labels a long p-sequence in bounded-cost chunks of
+// `window` records with `overlap` records of context on each side
+// (zero values: 256/32). Suitable for day-long streams where
+// whole-sequence inference would be too costly; near chunk borders the
+// overlap preserves the sequential context the model needs.
+func (a *Annotator) AnnotateWindowed(p *PSequence, window, overlap int) (Labels, MSSequence, error) {
+	if err := p.Validate(); err != nil {
+		return Labels{}, MSSequence{}, err
+	}
+	labels := a.model.AnnotateWindowed(a.ex, p, core.WindowOptions{Window: window, Overlap: overlap})
+	return labels, seq.Merge(p, labels), nil
+}
+
+// AnnotateAll annotates a batch of sequences and returns their
+// ms-sequences.
+func (a *Annotator) AnnotateAll(ps []PSequence) ([]MSSequence, error) {
+	out := make([]MSSequence, 0, len(ps))
+	for i := range ps {
+		_, ms, err := a.Annotate(&ps[i])
+		if err != nil {
+			return nil, fmt.Errorf("c2mn: sequence %d: %w", i, err)
+		}
+		out = append(out, ms)
+	}
+	return out, nil
+}
+
+// Save serialises the annotator's model (the venue is saved separately
+// with Space.WriteJSON).
+func (a *Annotator) Save(w io.Writer) error { return a.model.WriteJSON(w) }
+
+// Load restores an annotator from a saved model and its venue.
+func Load(space *Space, r io.Reader) (*Annotator, error) {
+	model, err := core.ReadModelJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	return newAnnotator(space, model)
+}
+
+// TopKPopularRegions answers a TkPRQ over annotated m-semantics.
+func TopKPopularRegions(mss []MSSequence, q []RegionID, w Window, k int) []RegionCount {
+	return query.TopKPopularRegions(mss, q, w, k)
+}
+
+// TopKFrequentPairs answers a TkFRPQ over annotated m-semantics.
+func TopKFrequentPairs(mss []MSSequence, q []RegionID, w Window, k int) []PairCount {
+	return query.TopKFrequentPairs(mss, q, w, k)
+}

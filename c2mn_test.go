@@ -1,0 +1,195 @@
+package c2mn
+
+import (
+	"bytes"
+	"testing"
+
+	"c2mn/internal/sim"
+)
+
+// testWorld generates a small venue and labeled workload.
+func testWorld(t testing.TB) (*Space, []LabeledSequence) {
+	t.Helper()
+	space, err := GenerateBuilding(sim.SmallBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sim.DefaultMobility(10, 1500)
+	spec.StayMax = 300
+	ds, err := GenerateMobility(space, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space, ds.Sequences
+}
+
+func testAnnotator(t testing.TB) (*Annotator, []LabeledSequence) {
+	t.Helper()
+	space, data := testWorld(t)
+	train, test := data[:7], data[7:]
+	a, err := Train(space, train, TrainOptions{
+		V:              6,
+		Exact:          true,
+		TuneClustering: true,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, test
+}
+
+func TestTrainAndAnnotate(t *testing.T) {
+	a, test := testAnnotator(t)
+	var okR, okE, n int
+	for i := range test {
+		labels, ms, err := a.Annotate(&test[i].P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(labels.Regions) != test[i].P.Len() {
+			t.Fatalf("label alignment broken")
+		}
+		if len(ms.Semantics) == 0 {
+			t.Fatalf("no m-semantics for sequence %d", i)
+		}
+		for j := range labels.Regions {
+			n++
+			if labels.Regions[j] == test[i].Labels.Regions[j] {
+				okR++
+			}
+			if labels.Events[j] == test[i].Labels.Events[j] {
+				okE++
+			}
+		}
+	}
+	ra := float64(okR) / float64(n)
+	ea := float64(okE) / float64(n)
+	t.Logf("facade accuracy: RA=%.3f EA=%.3f", ra, ea)
+	if ra < 0.6 || ea < 0.6 {
+		t.Errorf("annotator accuracy too low: RA=%v EA=%v", ra, ea)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a, test := testAnnotator(t)
+	var model bytes.Buffer
+	if err := a.Save(&model); err != nil {
+		t.Fatal(err)
+	}
+	var spaceBuf bytes.Buffer
+	if err := a.Space().WriteJSON(&spaceBuf); err != nil {
+		t.Fatal(err)
+	}
+	space2, err := ReadSpace(&spaceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(space2, &model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same labels from both annotators.
+	la, _, err := a.Annotate(&test[0].P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _, err := b.Annotate(&test[0].P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range la.Regions {
+		if la.Regions[i] != lb.Regions[i] || la.Events[i] != lb.Events[i] {
+			t.Fatalf("reloaded annotator disagrees at %d", i)
+		}
+	}
+	// Weights exposed and copied.
+	w := a.Weights()
+	w[0] = 1e9
+	if a.Weights()[0] == 1e9 {
+		t.Errorf("Weights must return a copy")
+	}
+}
+
+func TestAnnotateAllAndQueries(t *testing.T) {
+	a, test := testAnnotator(t)
+	ps := make([]PSequence, len(test))
+	for i := range test {
+		ps[i] = test[i].P
+	}
+	mss, err := a.AnnotateAll(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mss) != len(test) {
+		t.Fatalf("AnnotateAll returned %d", len(mss))
+	}
+	regions := a.Space().Regions()
+	w := Window{Start: 0, End: 1500}
+	top := TopKPopularRegions(mss, regions, w, 3)
+	if len(top) == 0 {
+		t.Errorf("no popular regions found")
+	}
+	pairs := TopKFrequentPairs(mss, regions, w, 3)
+	_ = pairs // pairs can legitimately be empty on tiny data
+}
+
+func TestAnnotateRejectsBadSequence(t *testing.T) {
+	a, _ := testAnnotator(t)
+	bad := PSequence{Records: []Record{
+		{Loc: Loc(1, 1, 0), T: 10},
+		{Loc: Loc(1, 1, 0), T: 5}, // out of order
+	}}
+	if _, _, err := a.Annotate(&bad); err == nil {
+		t.Errorf("out-of-order sequence should fail")
+	}
+}
+
+func TestPreprocessFacade(t *testing.T) {
+	records := []Record{
+		{Loc: Loc(0, 0, 0), T: 0},
+		{Loc: Loc(0, 0, 0), T: 100},
+		{Loc: Loc(0, 0, 0), T: 1000},
+		{Loc: Loc(0, 0, 0), T: 1100},
+	}
+	out := Preprocess("dev", records, 300, 50)
+	if len(out) != 2 {
+		t.Errorf("Preprocess produced %d sequences", len(out))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	space, _ := testWorld(t)
+	if _, err := Train(space, nil, TrainOptions{Exact: true}); err == nil {
+		t.Errorf("no data should fail")
+	}
+}
+
+func TestAnnotateWindowedFacade(t *testing.T) {
+	a, test := testAnnotator(t)
+	whole, _, err := a.Annotate(&test[0].P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, ms, err := a.AnnotateWindowed(&test[0].P, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Semantics) == 0 {
+		t.Fatalf("no m-semantics from windowed annotation")
+	}
+	n := len(whole.Regions)
+	agree := 0
+	for i := 0; i < n; i++ {
+		if whole.Regions[i] == windowed.Regions[i] {
+			agree++
+		}
+	}
+	if f := float64(agree) / float64(n); f < 0.85 {
+		t.Errorf("windowed agreement = %.3f", f)
+	}
+	bad := PSequence{Records: []Record{{T: 5}, {T: 1}}}
+	if _, _, err := a.AnnotateWindowed(&bad, 10, 2); err == nil {
+		t.Errorf("invalid sequence should fail")
+	}
+}

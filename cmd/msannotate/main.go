@@ -1,0 +1,112 @@
+// Command msannotate labels positioning sequences with a trained C2MN
+// model and prints the resulting m-semantics (or writes the labeled
+// dataset as JSON).
+//
+// Usage:
+//
+//	msannotate -space mall.json -model model.json -data queries.json
+//	msannotate -space mall.json -model model.json -data queries.json -out labeled.json -accuracy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"c2mn"
+	"c2mn/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msannotate: ")
+
+	spacePath := flag.String("space", "space.json", "venue JSON path")
+	modelPath := flag.String("model", "model.json", "trained model path")
+	dataPath := flag.String("data", "data.json", "sequences to annotate (JSON)")
+	outPath := flag.String("out", "", "optional output path for the labeled dataset JSON")
+	accuracy := flag.Bool("accuracy", false, "report accuracy against the labels in -data")
+	maxPrint := flag.Int("print", 3, "number of annotated sequences to print")
+	flag.Parse()
+
+	space := loadSpace(*spacePath)
+	model, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ann, err := c2mn.Load(space, model)
+	model.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := loadDataset(*dataPath)
+
+	var counter eval.Counter
+	out := &c2mn.Dataset{}
+	for i := range ds.Sequences {
+		ls := &ds.Sequences[i]
+		labels, ms, err := ann.Annotate(&ls.P)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *accuracy {
+			if err := counter.Add(ls.Labels, labels); err != nil {
+				log.Fatal(err)
+			}
+		}
+		out.Sequences = append(out.Sequences, c2mn.LabeledSequence{P: ls.P, Labels: labels})
+		if i < *maxPrint {
+			fmt.Printf("%s (%d records):\n", ls.P.ObjectID, ls.P.Len())
+			for _, m := range ms.Semantics {
+				fmt.Printf("  (%s, [%.0fs, %.0fs], %s)\n",
+					space.Region(m.Region).Name, m.Start, m.End, m.Event)
+			}
+		}
+	}
+	if *accuracy {
+		acc := counter.Result(eval.DefaultLambda)
+		fmt.Printf("accuracy over %d records: RA=%.4f EA=%.4f CA=%.4f PA=%.4f\n",
+			acc.Records, acc.RA, acc.EA, acc.CA, acc.PA)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := out.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+}
+
+func loadSpace(path string) *c2mn.Space {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	space, err := c2mn.ReadSpace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return space
+}
+
+func loadDataset(path string) *c2mn.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := c2mn.ReadDataset(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds
+}

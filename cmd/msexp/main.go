@@ -1,0 +1,67 @@
+// Command msexp reproduces the paper's tables and figures. Each
+// experiment id maps to one table/figure of the evaluation section
+// (see DESIGN.md §5 for the index); "all" runs everything.
+//
+// Usage:
+//
+//	msexp -exp table4 -scale small
+//	msexp -exp fig14 -scale tiny
+//	msexp -exp all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"c2mn/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msexp: ")
+
+	exp := flag.String("exp", "", "experiment id (table3|table4|table5|fig5..fig19|ablation|all)")
+	scaleName := flag.String("scale", "small", "workload scale: tiny, small or paper")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	sc, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		log.Fatalf("unknown scale %q (want tiny, small or paper)", *scaleName)
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		// Combined drivers cover several figures; run each driver once.
+		ids = []string{"table3", "table4", "table5", "fig5", "fig7", "fig9",
+			"fig10", "fig11", "fig12", "fig14", "fig17", "ablation", "cv"}
+	} else if *exp == "" {
+		log.Fatal("pass -exp <id> or -exp all (see -list)")
+	}
+
+	seen := map[string]bool{}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(id, sc)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		for _, t := range tables {
+			if seen[t.ID] {
+				continue
+			}
+			seen[t.ID] = true
+			if err := t.Fprint(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("(%s finished in %.1fs at scale %q)\n\n", id, time.Since(start).Seconds(), sc.Name)
+	}
+}

@@ -1,0 +1,92 @@
+// Command msquery answers the paper's semantic top-k queries — TkPRQ
+// (popular regions) and TkFRPQ (frequent region pairs) — over an
+// annotated dataset (e.g. the -out of msannotate). Visits are stay
+// events whose period intersects the query window.
+//
+// Usage:
+//
+//	msquery -space mall.json -data labeled.json -query tkprq -k 10 -from 0 -to 7200
+//	msquery -space mall.json -data labeled.json -query tkfrpq -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"c2mn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msquery: ")
+
+	spacePath := flag.String("space", "space.json", "venue JSON path")
+	dataPath := flag.String("data", "labeled.json", "annotated dataset JSON path")
+	queryType := flag.String("query", "tkprq", "query type: tkprq or tkfrpq")
+	k := flag.Int("k", 10, "top-k size")
+	from := flag.Float64("from", 0, "window start, seconds")
+	to := flag.Float64("to", math.MaxFloat64, "window end, seconds")
+	flag.Parse()
+
+	space := loadSpace(*spacePath)
+	ds := loadDataset(*dataPath)
+
+	var mss []c2mn.MSSequence
+	for i := range ds.Sequences {
+		ls := &ds.Sequences[i]
+		mss = append(mss, c2mn.Merge(&ls.P, ls.Labels))
+	}
+	window := c2mn.Window{Start: *from, End: *to}
+	regions := space.Regions()
+	winEnd := "end"
+	if *to < math.MaxFloat64 {
+		winEnd = fmt.Sprintf("%.0fs", *to)
+	}
+
+	switch *queryType {
+	case "tkprq":
+		top := c2mn.TopKPopularRegions(mss, regions, window, *k)
+		fmt.Printf("top-%d popular regions in [%.0fs, %s]:\n", *k, *from, winEnd)
+		for i, rc := range top {
+			fmt.Printf("%3d. %-24s %d visits\n", i+1, space.Region(rc.Region).Name, rc.Count)
+		}
+	case "tkfrpq":
+		top := c2mn.TopKFrequentPairs(mss, regions, window, *k)
+		fmt.Printf("top-%d co-visited region pairs in [%.0fs, %s]:\n", *k, *from, winEnd)
+		for i, pc := range top {
+			fmt.Printf("%3d. %s + %s — %d objects\n", i+1,
+				space.Region(pc.A).Name, space.Region(pc.B).Name, pc.Count)
+		}
+	default:
+		log.Fatalf("unknown query type %q (want tkprq or tkfrpq)", *queryType)
+	}
+}
+
+func loadSpace(path string) *c2mn.Space {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	space, err := c2mn.ReadSpace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return space
+}
+
+func loadDataset(path string) *c2mn.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := c2mn.ReadDataset(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds
+}

@@ -1,0 +1,107 @@
+// Command mstrain trains a C2MN annotation model from a venue and a
+// labeled dataset (both JSON, e.g. from msgen) and writes the model as
+// JSON.
+//
+// Usage:
+//
+//	mstrain -space mall.json -data mall-data.json -model model.json
+//	mstrain -space mall.json -data mall-data.json -exact -model model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"c2mn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mstrain: ")
+
+	spacePath := flag.String("space", "space.json", "venue JSON path")
+	dataPath := flag.String("data", "data.json", "labeled dataset JSON path")
+	modelPath := flag.String("model", "model.json", "output model path")
+	exact := flag.Bool("exact", false, "use the exact pseudo-likelihood trainer instead of Algorithm 1")
+	m := flag.Int("m", 0, "MCMC instances per step (0 = paper default 800)")
+	maxIter := flag.Int("maxiter", 0, "maximum training iterations (0 = paper default 90)")
+	v := flag.Float64("v", 0, "fsm uncertainty radius in meters (0 = paper default 15)")
+	seed := flag.Int64("seed", 1, "random seed")
+	tune := flag.Bool("tune", true, "adapt st-DBSCAN parameters to the workload")
+	trainFrac := flag.Float64("frac", 1.0, "fraction of sequences used for training")
+	flag.Parse()
+
+	space := loadSpace(*spacePath)
+	ds := loadDataset(*dataPath)
+	data := ds.Sequences
+	if *trainFrac < 1 {
+		n := int(*trainFrac * float64(len(data)))
+		if n < 1 {
+			n = 1
+		}
+		data = data[:n]
+	}
+	fmt.Printf("training on %d sequences (%d records)\n", len(data), countRecords(data))
+
+	ann, err := c2mn.Train(space, data, c2mn.TrainOptions{
+		V:              *v,
+		M:              *m,
+		MaxIter:        *maxIter,
+		Seed:           *seed,
+		Exact:          *exact,
+		TuneClustering: *tune,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ann.Save(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weights: %.4f\n", ann.Weights())
+	fmt.Printf("wrote %s\n", *modelPath)
+}
+
+func loadSpace(path string) *c2mn.Space {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	space, err := c2mn.ReadSpace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return space
+}
+
+func loadDataset(path string) *c2mn.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := c2mn.ReadDataset(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds
+}
+
+func countRecords(data []c2mn.LabeledSequence) int {
+	n := 0
+	for i := range data {
+		n += data[i].P.Len()
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+// Popular regions: the paper's §V-B4 query study in miniature — run
+// top-k popular region (TkPRQ) and top-k frequent region pair (TkFRPQ)
+// queries over C2MN-annotated m-semantics and compare with the ground
+// truth ranking.
+//
+// Run with:
+//
+//	go run ./examples/popularregions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"c2mn"
+	"c2mn/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	space, err := c2mn.GenerateBuilding(sim.SmallBuilding(), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mspec := sim.DefaultMobility(24, 2400)
+	mspec.StayMax = 300
+	ds, err := c2mn.GenerateMobility(space, mspec, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Sequences[:16], ds.Sequences[16:]
+
+	ann, err := c2mn.Train(space, train, c2mn.TrainOptions{
+		V:              6,
+		Exact:          true,
+		TuneClustering: true,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Annotated and ground-truth m-semantics of the held-out traffic.
+	var pred, truth []c2mn.MSSequence
+	for i := range test {
+		_, ms, err := ann.Annotate(&test[i].P)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred = append(pred, ms)
+		truth = append(truth, c2mn.Merge(&test[i].P, test[i].Labels))
+	}
+
+	const k = 5
+	window := c2mn.Window{Start: 0, End: 2400}
+	q := space.Regions()
+
+	fmt.Printf("TkPRQ: top-%d popular regions (visits = stays)\n", k)
+	fmt.Println("rank   annotated            ground truth")
+	pTop := c2mn.TopKPopularRegions(pred, q, window, k)
+	tTop := c2mn.TopKPopularRegions(truth, q, window, k)
+	for i := 0; i < k; i++ {
+		var a, b string
+		if i < len(pTop) {
+			a = fmt.Sprintf("%s (%d)", space.Region(pTop[i].Region).Name, pTop[i].Count)
+		}
+		if i < len(tTop) {
+			b = fmt.Sprintf("%s (%d)", space.Region(tTop[i].Region).Name, tTop[i].Count)
+		}
+		fmt.Printf("%4d   %-20s %-20s\n", i+1, a, b)
+	}
+	fmt.Printf("precision: %.2f\n\n", precision(pTop, tTop, k))
+
+	fmt.Printf("TkFRPQ: top-%d co-visited region pairs\n", k)
+	pPairs := c2mn.TopKFrequentPairs(pred, q, window, k)
+	tPairs := c2mn.TopKFrequentPairs(truth, q, window, k)
+	for i := 0; i < k && i < len(pPairs); i++ {
+		fmt.Printf("%4d   %s + %s (%d objects)\n", i+1,
+			space.Region(pPairs[i].A).Name, space.Region(pPairs[i].B).Name, pPairs[i].Count)
+	}
+	hit := 0
+	want := map[[2]c2mn.RegionID]bool{}
+	for i := 0; i < k && i < len(tPairs); i++ {
+		want[[2]c2mn.RegionID{tPairs[i].A, tPairs[i].B}] = true
+	}
+	for i := 0; i < k && i < len(pPairs); i++ {
+		if want[[2]c2mn.RegionID{pPairs[i].A, pPairs[i].B}] {
+			hit++
+		}
+	}
+	if len(want) > 0 {
+		fmt.Printf("pair precision: %.2f\n", float64(hit)/float64(len(want)))
+	}
+}
+
+func precision(got, want []c2mn.RegionCount, k int) float64 {
+	set := map[c2mn.RegionID]bool{}
+	for i := 0; i < k && i < len(want); i++ {
+		set[want[i].Region] = true
+	}
+	if len(set) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := 0; i < k && i < len(got); i++ {
+		if set[got[i].Region] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(set))
+}

@@ -1,0 +1,112 @@
+// Quickstart: build a tiny venue by hand, fabricate a labeled
+// trajectory, train an annotator, and annotate a fresh positioning
+// sequence into m-semantics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"c2mn"
+	"c2mn/internal/geom"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Model the venue: a hallway with three shops, as in the
+	// paper's Fig. 1 (a snack bar, a market, a convenience store).
+	b := c2mn.NewBuilder()
+	hall := b.AddPartition(0, geom.RectPoly(geom.Pt(0, 0), geom.Pt(30, 4)))
+	deli := b.AddPartition(0, geom.RectPoly(geom.Pt(0, 4), geom.Pt(10, 14)))
+	market := b.AddPartition(0, geom.RectPoly(geom.Pt(10, 4), geom.Pt(20, 14)))
+	seven := b.AddPartition(0, geom.RectPoly(geom.Pt(20, 4), geom.Pt(30, 14)))
+	b.AddDoor(geom.Pt(5, 4), hall, deli)
+	b.AddDoor(geom.Pt(15, 4), hall, market)
+	b.AddDoor(geom.Pt(25, 4), hall, seven)
+	rDeli := b.AddRegion("John's Hotdog Deli", deli)
+	rMarket := b.AddRegion("Food Market", market)
+	rSeven := b.AddRegion("7-Eleven", seven)
+	space, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Fabricate labeled training trajectories: dwell in one shop,
+	// walk the hallway, dwell in another.
+	rng := rand.New(rand.NewSource(7))
+	var train []c2mn.LabeledSequence
+	centers := map[c2mn.RegionID][2]float64{
+		rDeli: {5, 9}, rMarket: {15, 9}, rSeven: {25, 9},
+	}
+	regions := []c2mn.RegionID{rDeli, rMarket, rSeven}
+	for i := 0; i < 12; i++ {
+		from := regions[rng.Intn(3)]
+		to := regions[(int(from)+1+rng.Intn(2))%3]
+		train = append(train, makeTrajectory(fmt.Sprintf("visitor-%d", i), from, to, centers, rng))
+	}
+
+	// 3. Train the annotator (the exact trainer keeps the example
+	// fast; drop Exact for the paper's Algorithm 1).
+	ann, err := c2mn.Train(space, train, c2mn.TrainOptions{
+		V:              4,
+		Exact:          true,
+		TuneClustering: true,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Annotate a fresh, unlabeled positioning sequence.
+	fresh := makeTrajectory("tourist", rDeli, rSeven, centers, rng)
+	_, ms, err := ann.Annotate(&fresh.P)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("m-semantics for %s:\n", fresh.P.ObjectID)
+	for _, m := range ms.Semantics {
+		fmt.Printf("  (%s, [%.0fs, %.0fs], %s)\n",
+			space.Region(m.Region).Name, m.Start, m.End, m.Event)
+	}
+}
+
+// makeTrajectory simulates: stay at `from`, pass through the hallway,
+// stay at `to`, with ~1 m positioning noise.
+func makeTrajectory(id string, from, to c2mn.RegionID, centers map[c2mn.RegionID][2]float64, rng *rand.Rand) c2mn.LabeledSequence {
+	var ls c2mn.LabeledSequence
+	ls.P.ObjectID = id
+	t := 0.0
+	add := func(x, y float64, r c2mn.RegionID, e c2mn.Event, dt float64) {
+		t += dt
+		ls.P.Records = append(ls.P.Records, c2mn.Record{
+			Loc: c2mn.Loc(x+rng.NormFloat64(), y+rng.NormFloat64(), 0),
+			T:   t,
+		})
+		ls.Labels.Regions = append(ls.Labels.Regions, r)
+		ls.Labels.Events = append(ls.Labels.Events, e)
+	}
+	cf, ct := centers[from], centers[to]
+	for i := 0; i < 6; i++ {
+		add(cf[0], cf[1], from, c2mn.Stay, 10)
+	}
+	add(cf[0], 5, from, c2mn.Pass, 3)
+	mid := (cf[0] + ct[0]) / 2
+	midRegion := from
+	if mid >= 10 && mid < 20 {
+		midRegion = 1
+	} else if mid >= 20 {
+		midRegion = 2
+	}
+	add(mid, 2, midRegion, c2mn.Pass, 3)
+	add(ct[0], 5, to, c2mn.Pass, 3)
+	for i := 0; i < 6; i++ {
+		add(ct[0], ct[1], to, c2mn.Stay, 10)
+	}
+	return ls
+}

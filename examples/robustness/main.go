@@ -1,0 +1,79 @@
+// Robustness: the paper's §V-C question — how gracefully does the
+// annotation degrade as positioning data gets sparser (larger maximum
+// positioning period T) and noisier (larger error factor μ)? We train
+// one C2MN per condition and report perfect accuracy, mirroring the
+// shape of the paper's Figs. 14 and 17.
+//
+// Run with:
+//
+//	go run ./examples/robustness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"c2mn"
+	"c2mn/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	space, err := c2mn.GenerateBuilding(sim.SmallBuilding(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("effect of temporal sparsity (mu = 4m):")
+	fmt.Println("T(s)    PA")
+	for _, t := range []float64{5, 10, 15} {
+		pa := runCondition(space, t, 4)
+		fmt.Printf("%4.0f  %.3f\n", t, pa)
+	}
+
+	fmt.Println("\neffect of positioning error (T = 5s):")
+	fmt.Println("mu(m)   PA")
+	for _, mu := range []float64{2, 4, 6} {
+		pa := runCondition(space, 5, mu)
+		fmt.Printf("%5.0f %.3f\n", mu, pa)
+	}
+}
+
+// runCondition generates a workload at (T, mu), trains, and returns
+// the perfect accuracy on held-out sequences.
+func runCondition(space *c2mn.Space, t, mu float64) float64 {
+	mspec := sim.DefaultMobility(20, 1800)
+	mspec.T = t
+	mspec.Mu = mu
+	mspec.StayMax = 300
+	ds, err := c2mn.GenerateMobility(space, mspec, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Sequences[:14], ds.Sequences[14:]
+	ann, err := c2mn.Train(space, train, c2mn.TrainOptions{
+		V:              6,
+		Exact:          true,
+		TuneClustering: true,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var both, n int
+	for i := range test {
+		labels, _, err := ann.Annotate(&test[i].P)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := range labels.Regions {
+			n++
+			if labels.Regions[j] == test[i].Labels.Regions[j] &&
+				labels.Events[j] == test[i].Labels.Events[j] {
+				both++
+			}
+		}
+	}
+	return float64(both) / float64(n)
+}

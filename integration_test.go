@@ -1,0 +1,163 @@
+package c2mn
+
+// End-to-end integration test: raw CSV positioning logs → preprocessing
+// → training → annotation (plain and windowed) → m-semantics → top-k
+// queries, exercising the full public pipeline a downstream user would
+// run.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"c2mn/internal/seq"
+	"c2mn/internal/sim"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Simulate a venue and raw logs, exported as CSV (as a
+	// positioning system would produce them).
+	space, err := GenerateBuilding(sim.SmallBuilding(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sim.DefaultMobility(12, 1500)
+	spec.StayMax = 300
+	ds, err := GenerateMobility(space, spec, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := map[string][]Record{}
+	truthLabels := map[string]Labels{}
+	for i := range ds.Sequences {
+		ls := &ds.Sequences[i]
+		streams[ls.P.ObjectID] = ls.P.Records
+		truthLabels[ls.P.ObjectID] = ls.Labels
+	}
+	var csvBuf bytes.Buffer
+	if err := seq.WriteRecordsCSV(&csvBuf, streams); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Ingest the CSV back and preprocess into p-sequences.
+	back, err := seq.ReadRecordsCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(streams) {
+		t.Fatalf("CSV round trip lost objects: %d vs %d", len(back), len(streams))
+	}
+	var pseqs []PSequence
+	for id, records := range back {
+		pseqs = append(pseqs, Preprocess(id, records, 120, 60)...)
+	}
+	if len(pseqs) == 0 {
+		t.Fatal("preprocessing dropped everything")
+	}
+
+	// 3. Train on the labeled simulator output.
+	train := ds.Sequences[:8]
+	test := ds.Sequences[8:]
+	ann, err := Train(space, train, TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Annotate held-out sequences, both whole and windowed, and
+	// collect m-semantics.
+	var pred, truth []MSSequence
+	for i := range test {
+		labels, ms, err := ann.Annotate(&test[i].P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := (&LabeledSequence{P: test[i].P, Labels: labels}).Validate(); err != nil {
+			t.Fatalf("predicted labels invalid: %v", err)
+		}
+		wLabels, _, err := ann.AnnotateWindowed(&test[i].P, 60, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wLabels.Regions) != test[i].P.Len() {
+			t.Fatalf("windowed labels misaligned")
+		}
+		pred = append(pred, ms)
+		truth = append(truth, Merge(&test[i].P, test[i].Labels))
+	}
+
+	// 5. Queries over annotated vs truth m-semantics.
+	w := Window{Start: 0, End: spec.Duration}
+	q := space.Regions()
+	gotTop := TopKPopularRegions(pred, q, w, 5)
+	wantTop := TopKPopularRegions(truth, q, w, 5)
+	if len(gotTop) == 0 || len(wantTop) == 0 {
+		t.Fatal("queries returned nothing")
+	}
+	// At least some of the true top regions appear in the predicted
+	// top (loose: the workload is tiny).
+	wantSet := map[RegionID]bool{}
+	for _, rc := range wantTop {
+		wantSet[rc.Region] = true
+	}
+	hits := 0
+	for _, rc := range gotTop {
+		if wantSet[rc.Region] {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Errorf("no overlap between predicted and true top regions: %v vs %v", gotTop, wantTop)
+	}
+
+	// 6. Persistence round trip keeps behaviour identical.
+	var modelBuf, spaceBuf bytes.Buffer
+	if err := ann.Save(&modelBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := space.WriteJSON(&spaceBuf); err != nil {
+		t.Fatal(err)
+	}
+	space2, err := ReadSpace(&spaceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann2, err := Load(space2, &modelBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _, _ := ann.Annotate(&test[0].P)
+	l2, _, _ := ann2.Annotate(&test[0].P)
+	for i := range l1.Regions {
+		if l1.Regions[i] != l2.Regions[i] || l1.Events[i] != l2.Events[i] {
+			t.Fatalf("reloaded pipeline disagrees at record %d", i)
+		}
+	}
+}
+
+func TestEndToEndDatasetJSON(t *testing.T) {
+	// Dataset JSON round trip through the facade types.
+	space, err := GenerateBuilding(sim.SmallBuilding(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := GenerateMobility(space, sim.DefaultMobility(3, 600), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.NumRecords() != ds.NumRecords() {
+		t.Errorf("record count changed: %d vs %d", ds2.NumRecords(), ds.NumRecords())
+	}
+	if fmt.Sprintf("%v", ds2.Stats()) != fmt.Sprintf("%v", ds.Stats()) {
+		t.Errorf("stats changed: %+v vs %+v", ds2.Stats(), ds.Stats())
+	}
+}

@@ -1,0 +1,142 @@
+// Package baseline implements the comparison methods of the paper's
+// §V-A under a common Method interface:
+//
+//   - SMoT     — speed-thresholded events, nearest-neighbour regions
+//     (Alvares et al. [2]);
+//   - HMM+DC   — HMM region decoding over grid observations plus
+//     st-DBSCAN ("DC") events, as in the TRIPS system [12];
+//   - SAPDV    — SAP layered annotation with dynamic-velocity
+//     segmentation (Yan et al. [26]);
+//   - SAPDA    — SAP with density-area segmentation;
+//   - CMN      — the decoupled conditional Markov network (no
+//     segmentation cliques, asynchronous R/E inference);
+//   - C2MN and its structural ablations C2MN/Tran, C2MN/Syn, C2MN/ES,
+//     C2MN/SS and C2MN@R.
+package baseline
+
+import (
+	"fmt"
+
+	"c2mn/internal/core"
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// Method is a trainable record-level annotator. Train must be called
+// before Annotate.
+type Method interface {
+	// Name returns the method's display name as used in the paper's
+	// tables.
+	Name() string
+	// Train fits the method on labeled sequences over the space.
+	Train(space *indoor.Space, data []seq.LabeledSequence) error
+	// Annotate labels one p-sequence.
+	Annotate(p *seq.PSequence) (seq.Labels, error)
+}
+
+// speedAt estimates the movement speed at record i as the average of
+// the adjacent segment speeds.
+func speedAt(p *seq.PSequence, i int) float64 {
+	var sum float64
+	var n int
+	if i > 0 {
+		if dt := p.Records[i].T - p.Records[i-1].T; dt > 0 {
+			sum += p.Records[i].Loc.Dist(p.Records[i-1].Loc) / dt
+			n++
+		}
+	}
+	if i+1 < p.Len() {
+		if dt := p.Records[i+1].T - p.Records[i].T; dt > 0 {
+			sum += p.Records[i+1].Loc.Dist(p.Records[i].Loc) / dt
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// nearestRegions labels every record with its nearest semantic region.
+func nearestRegions(space *indoor.Space, p *seq.PSequence) []indoor.RegionID {
+	out := make([]indoor.RegionID, p.Len())
+	for i, rec := range p.Records {
+		out[i] = space.NearestRegion(rec.Loc)
+	}
+	return out
+}
+
+func requireTrained(trained bool, name string) error {
+	if !trained {
+		return fmt.Errorf("baseline: %s used before Train", name)
+	}
+	return nil
+}
+
+// C2MN wraps the core model as a Method, covering the full model and
+// its structural ablations.
+type C2MN struct {
+	// Label is the display name (e.g. "C2MN", "C2MN/Tran").
+	Label string
+	// Cfg is the training configuration.
+	Cfg core.Config
+	// Exact selects the exact pseudo-likelihood trainer instead of
+	// Algorithm 1 (used by fast tests and the exact-vs-MCMC ablation).
+	Exact bool
+
+	model *core.Model
+	ex    *features.Extractor
+}
+
+// NewC2MN returns the full model with the given config.
+func NewC2MN(cfg core.Config) *C2MN { return &C2MN{Label: "C2MN", Cfg: cfg} }
+
+// NewC2MNVariant returns a structural ablation: the cliques in remove
+// are disabled. Conventional labels: "C2MN/Tran" (no transition
+// cliques), "C2MN/Syn" (no synchronization cliques), "C2MN/ES",
+// "C2MN/SS".
+func NewC2MNVariant(label string, cfg core.Config, remove features.CliqueSet) *C2MN {
+	if cfg.Params.V == 0 && cfg.Params.Alpha == 0 {
+		cfg.Params = features.DefaultParams()
+	}
+	cfg.Params.Cliques &^= remove
+	return &C2MN{Label: label, Cfg: cfg}
+}
+
+// NewCMN returns the decoupled CMN baseline (no segmentation cliques,
+// independent R/E inference).
+func NewCMN(cfg core.Config) *C2MN {
+	cfg.Decoupled = true
+	return &C2MN{Label: "CMN", Cfg: cfg}
+}
+
+// Name implements Method.
+func (m *C2MN) Name() string { return m.Label }
+
+// Train implements Method.
+func (m *C2MN) Train(space *indoor.Space, data []seq.LabeledSequence) error {
+	var err error
+	if m.Exact {
+		m.model, _, err = core.TrainExact(space, data, m.Cfg)
+	} else {
+		m.model, _, err = core.Train(space, data, m.Cfg)
+	}
+	if err != nil {
+		return err
+	}
+	m.ex, err = features.NewExtractor(space, m.model.Params)
+	return err
+}
+
+// Model exposes the trained model (nil before Train).
+func (m *C2MN) Model() *core.Model { return m.model }
+
+// Annotate implements Method.
+func (m *C2MN) Annotate(p *seq.PSequence) (seq.Labels, error) {
+	if err := requireTrained(m.model != nil, m.Label); err != nil {
+		return seq.Labels{}, err
+	}
+	ctx := m.ex.NewSeqContext(p, nil)
+	return m.model.Annotate(ctx, core.InferOptions{}), nil
+}

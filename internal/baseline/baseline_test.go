@@ -1,0 +1,255 @@
+package baseline
+
+import (
+	"testing"
+
+	"c2mn/internal/core"
+	"c2mn/internal/eval"
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+	"c2mn/internal/sim"
+)
+
+// testWorld builds a small simulated world shared by the tests.
+func testWorld(t testing.TB) (*indoor.Space, []seq.LabeledSequence, []seq.LabeledSequence) {
+	t.Helper()
+	space, err := sim.GenerateBuilding(sim.SmallBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sim.DefaultMobility(14, 1500)
+	spec.StayMax = 300
+	ds, err := sim.Generate(space, spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := eval.Split(ds.Sequences, 0.7, 3)
+	return space, train, test
+}
+
+func fastC2MNConfig(train []seq.LabeledSequence) core.Config {
+	p := features.DefaultParams()
+	p.V = 6
+	p.Cluster = TuneClusterParams(train)
+	return core.Config{
+		Params:  p,
+		M:       40,
+		MaxIter: 25,
+		Seed:    1,
+	}
+}
+
+// allMethods builds one of each method, tuned to the workload.
+func allMethods(train []seq.LabeledSequence) []Method {
+	cp := TuneClusterParams(train)
+	c2mn := NewC2MN(fastC2MNConfig(train))
+	c2mn.Exact = true
+	cmn := NewCMN(fastC2MNConfig(train))
+	cmn.Exact = true
+	hmmdc := NewHMMDC()
+	hmmdc.Cluster = cp
+	sapda := NewSAPDA()
+	sapda.Cluster = cp
+	return []Method{
+		NewSMoT(),
+		hmmdc,
+		NewSAPDV(),
+		sapda,
+		cmn,
+		c2mn,
+	}
+}
+
+func TestMethodsTrainAndAnnotate(t *testing.T) {
+	space, train, test := testWorld(t)
+	for _, m := range allMethods(train) {
+		if err := m.Train(space, train); err != nil {
+			t.Fatalf("%s Train: %v", m.Name(), err)
+		}
+		var counter eval.Counter
+		for i := range test {
+			labels, err := m.Annotate(&test[i].P)
+			if err != nil {
+				t.Fatalf("%s Annotate: %v", m.Name(), err)
+			}
+			n := test[i].P.Len()
+			if len(labels.Regions) != n || len(labels.Events) != n {
+				t.Fatalf("%s produced misaligned labels", m.Name())
+			}
+			for j, r := range labels.Regions {
+				if r == indoor.NoRegion {
+					t.Fatalf("%s left record %d unlabeled", m.Name(), j)
+				}
+			}
+			if err := counter.Add(test[i].Labels, labels); err != nil {
+				t.Fatal(err)
+			}
+		}
+		acc := counter.Result(eval.DefaultLambda)
+		t.Logf("%-8s RA=%.3f EA=%.3f CA=%.3f PA=%.3f", m.Name(), acc.RA, acc.EA, acc.CA, acc.PA)
+		if acc.RA < 0.25 {
+			t.Errorf("%s region accuracy %v is implausibly low", m.Name(), acc.RA)
+		}
+		if acc.EA < 0.4 {
+			t.Errorf("%s event accuracy %v is implausibly low", m.Name(), acc.EA)
+		}
+	}
+}
+
+func TestAnnotateBeforeTrainFails(t *testing.T) {
+	_, train, test := testWorld(t)
+	for _, m := range allMethods(train) {
+		if _, err := m.Annotate(&test[0].P); err == nil {
+			t.Errorf("%s should fail before Train", m.Name())
+		}
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	want := map[string]bool{
+		"SMoT": true, "HMM+DC": true, "SAPDV": true, "SAPDA": true,
+		"CMN": true, "C2MN": true,
+	}
+	for _, m := range allMethods(nil) {
+		if !want[m.Name()] {
+			t.Errorf("unexpected name %q", m.Name())
+		}
+		delete(want, m.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing methods: %v", want)
+	}
+}
+
+func TestC2MNVariants(t *testing.T) {
+	cfg := fastC2MNConfig(nil)
+	cases := []struct {
+		label  string
+		remove features.CliqueSet
+	}{
+		{"C2MN/Tran", features.Transition},
+		{"C2MN/Syn", features.Synchronization},
+		{"C2MN/ES", features.SegmentationES},
+		{"C2MN/SS", features.SegmentationSS},
+	}
+	for _, tc := range cases {
+		v := NewC2MNVariant(tc.label, cfg, tc.remove)
+		if v.Name() != tc.label {
+			t.Errorf("variant name = %q", v.Name())
+		}
+		if v.Cfg.Params.Cliques.Has(tc.remove) {
+			t.Errorf("%s still has removed cliques", tc.label)
+		}
+		// Other cliques survive.
+		if !v.Cfg.Params.Cliques.Has(features.Matching) {
+			t.Errorf("%s lost matching cliques", tc.label)
+		}
+	}
+}
+
+func TestSMoTThresholdTuning(t *testing.T) {
+	space, train, _ := testWorld(t)
+	m := NewSMoT()
+	before := m.Threshold
+	if err := m.Train(space, train); err != nil {
+		t.Fatal(err)
+	}
+	if m.Threshold <= 0 {
+		t.Errorf("tuned threshold = %v", m.Threshold)
+	}
+	_ = before
+	// Fixed threshold is preserved.
+	m2 := NewSMoT()
+	m2.Threshold = 1.23
+	m2.FixedThreshold = true
+	if err := m2.Train(space, train); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Threshold != 1.23 {
+		t.Errorf("fixed threshold changed to %v", m2.Threshold)
+	}
+}
+
+func TestSAPSegmentDVMinDuration(t *testing.T) {
+	m := NewSAPDV()
+	m.MinStayDur = 100
+	// Slow records (stay candidates) for only 50 seconds: filtered out.
+	p := &seq.PSequence{}
+	for i := 0; i < 6; i++ {
+		p.Records = append(p.Records, seq.Record{
+			Loc: indoor.Loc(float64(i)*0.1, 0, 0),
+			T:   float64(i * 10),
+		})
+	}
+	// Fast tail so the average speed is dominated by movement.
+	for i := 0; i < 6; i++ {
+		p.Records = append(p.Records, seq.Record{
+			Loc: indoor.Loc(10+float64(i)*20, 0, 0),
+			T:   60 + float64(i*10),
+		})
+	}
+	stay := m.segmentDV(p, 0.7)
+	for i := 0; i < 6; i++ {
+		if stay[i] {
+			t.Errorf("short stay candidate %d survived the duration filter", i)
+		}
+	}
+}
+
+func TestSegmentGaussian(t *testing.T) {
+	p := &seq.PSequence{Records: []seq.Record{
+		{Loc: indoor.Loc(0, 0, 1), T: 0},
+		{Loc: indoor.Loc(2, 0, 1), T: 1},
+		{Loc: indoor.Loc(0, 2, 1), T: 2},
+		{Loc: indoor.Loc(2, 2, 2), T: 3},
+	}}
+	mean, sigma := segmentGaussian(p, 0, 3)
+	if mean.X != 1 || mean.Y != 1 {
+		t.Errorf("mean = %v", mean)
+	}
+	if mean.Floor != 1 {
+		t.Errorf("majority floor = %d", mean.Floor)
+	}
+	if sigma <= 0 {
+		t.Errorf("sigma = %v", sigma)
+	}
+}
+
+func TestSpeedAt(t *testing.T) {
+	p := &seq.PSequence{Records: []seq.Record{
+		{Loc: indoor.Loc(0, 0, 0), T: 0},
+		{Loc: indoor.Loc(10, 0, 0), T: 10},
+		{Loc: indoor.Loc(10, 10, 0), T: 15},
+	}}
+	// Record 1: segment speeds 1.0 and 2.0 → 1.5.
+	if got := speedAt(p, 1); got != 1.5 {
+		t.Errorf("speedAt(1) = %v", got)
+	}
+	// Endpoints use the single adjacent segment.
+	if got := speedAt(p, 0); got != 1.0 {
+		t.Errorf("speedAt(0) = %v", got)
+	}
+	if got := speedAt(p, 2); got != 2.0 {
+		t.Errorf("speedAt(2) = %v", got)
+	}
+	single := &seq.PSequence{Records: []seq.Record{{T: 0}}}
+	if got := speedAt(single, 0); got != 0 {
+		t.Errorf("speedAt(single) = %v", got)
+	}
+}
+
+func TestC2MNModelAccessor(t *testing.T) {
+	space, train, _ := testWorld(t)
+	m := NewC2MN(fastC2MNConfig(train))
+	m.Exact = true
+	if m.Model() != nil {
+		t.Errorf("model should be nil before Train")
+	}
+	if err := m.Train(space, train); err != nil {
+		t.Fatal(err)
+	}
+	if m.Model() == nil {
+		t.Errorf("model nil after Train")
+	}
+}

@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"fmt"
+
+	"c2mn/internal/cluster"
+	"c2mn/internal/hmm"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// HMMDC is the paper's HMM+DC baseline (§V-A), previously used in the
+// TRIPS system [12]: semantic regions are HMM hidden states and
+// grid-discretised positioning records are observations; parameters
+// come from frequency counting and regions from Viterbi decoding.
+// Events come from an st-DBSCAN clustering ("DC"): core and border
+// points are stays, noise points are passes.
+type HMMDC struct {
+	// CellSize is the observation grid resolution in meters.
+	CellSize float64
+	// Cluster holds the st-DBSCAN parameters for event labeling.
+	Cluster cluster.Params
+	// Smoothing is the Laplace pseudo-count for the HMM.
+	Smoothing float64
+
+	space *indoor.Space
+	grid  *hmm.Grid
+	model *hmm.Model
+}
+
+// NewHMMDC returns an HMM+DC with the defaults used in the
+// experiments: 4 m grid cells and the paper's st-DBSCAN setting.
+func NewHMMDC() *HMMDC {
+	return &HMMDC{
+		CellSize:  4,
+		Cluster:   cluster.Params{EpsS: 8, EpsT: 60, MinPts: 4},
+		Smoothing: 0.1,
+	}
+}
+
+// Name implements Method.
+func (m *HMMDC) Name() string { return "HMM+DC" }
+
+// Train implements Method.
+func (m *HMMDC) Train(space *indoor.Space, data []seq.LabeledSequence) error {
+	m.space = space
+	b := space.Bounds()
+	floors := space.Floors()
+	grid, err := hmm.NewGrid(b.Min.X, b.Min.Y, b.Max.X, b.Max.Y, m.CellSize, len(floors))
+	if err != nil {
+		return fmt.Errorf("baseline: HMM+DC grid: %w", err)
+	}
+	m.grid = grid
+	counter, err := hmm.NewCounter(space.NumRegions(), grid.NumCells())
+	if err != nil {
+		return err
+	}
+	for i := range data {
+		ls := &data[i]
+		states := make([]int, 0, ls.P.Len())
+		obs := make([]int, 0, ls.P.Len())
+		for j, rec := range ls.P.Records {
+			r := ls.Labels.Regions[j]
+			if r == indoor.NoRegion {
+				continue
+			}
+			states = append(states, int(r))
+			obs = append(obs, m.cell(rec.Loc))
+		}
+		if len(states) == 0 {
+			continue
+		}
+		if err := counter.AddSequence(states, obs); err != nil {
+			return err
+		}
+	}
+	m.model = counter.Estimate(m.Smoothing)
+	return nil
+}
+
+// cell maps a location to its grid observation, normalising floors to
+// 0-based indices.
+func (m *HMMDC) cell(l indoor.Location) int {
+	floors := m.space.Floors()
+	fi := 0
+	for i, f := range floors {
+		if f == l.Floor {
+			fi = i
+			break
+		}
+	}
+	return m.grid.Cell(l.X, l.Y, fi)
+}
+
+// Annotate implements Method.
+func (m *HMMDC) Annotate(p *seq.PSequence) (seq.Labels, error) {
+	if err := requireTrained(m.model != nil, m.Name()); err != nil {
+		return seq.Labels{}, err
+	}
+	n := p.Len()
+	labels := seq.NewLabels(n)
+	// Regions: Viterbi decoding.
+	obs := make([]int, n)
+	for i, rec := range p.Records {
+		obs[i] = m.cell(rec.Loc)
+	}
+	path, _, err := m.model.Viterbi(obs)
+	if err != nil {
+		return seq.Labels{}, err
+	}
+	for i, s := range path {
+		labels.Regions[i] = indoor.RegionID(s)
+	}
+	// Events: density clustering.
+	pts := make([]cluster.Point, n)
+	for i, rec := range p.Records {
+		pts[i] = cluster.Point{X: rec.Loc.X, Y: rec.Loc.Y, Floor: rec.Loc.Floor, T: rec.T}
+	}
+	res, err := cluster.Run(pts, m.Cluster)
+	if err != nil {
+		return seq.Labels{}, err
+	}
+	for i, tag := range res.Tag {
+		if tag == cluster.Noise {
+			labels.Events[i] = seq.Pass
+		} else {
+			labels.Events[i] = seq.Stay
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"fmt"
+
+	"c2mn/internal/crf"
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// LCCRF is the "generic CRF library" approach the paper's novelty
+// argument contrasts with: two independent linear-chain CRFs — one
+// over region labels, one over event labels — using the same indoor
+// features as C2MN's matching/transition/synchronization cliques, but
+// with no coupling between the two chains and no segmentation
+// features. Training is exact maximum likelihood (forward–backward),
+// decoding exact Viterbi.
+type LCCRF struct {
+	// Params configures feature extraction (V, st-DBSCAN, γ's).
+	Params features.Params
+	// Sigma2 is the CRF prior variance.
+	Sigma2 float64
+
+	space       *indoor.Space
+	ex          *features.Extractor
+	regionModel *crf.Model
+	eventModel  *crf.Model
+}
+
+// Feature layout of the two chains (both dimension 3).
+const (
+	lcUnary = 0 // fsm or fem
+	lcTrans = 1 // fst or fet
+	lcSync  = 2 // fsc or fec
+	lcDim   = 3
+)
+
+// NewLCCRF returns an untrained LCCRF with the given feature
+// parameters (zero value: paper defaults).
+func NewLCCRF(params features.Params) *LCCRF {
+	if params.V == 0 && params.Alpha == 0 {
+		params = features.DefaultParams()
+	}
+	return &LCCRF{Params: params, Sigma2: 1}
+}
+
+// Name implements Method.
+func (m *LCCRF) Name() string { return "LCCRF" }
+
+// Train implements Method.
+func (m *LCCRF) Train(space *indoor.Space, data []seq.LabeledSequence) error {
+	m.space = space
+	ex, err := features.NewExtractor(space, m.Params)
+	if err != nil {
+		return err
+	}
+	m.ex = ex
+	var regionLats, eventLats []*crf.Lattice
+	for i := range data {
+		ls := &data[i]
+		if ls.P.Len() == 0 {
+			continue
+		}
+		ctx := ex.NewSeqContext(&ls.P, ls.Labels.Regions)
+		rl, ok := m.regionLattice(ctx, ls.Labels.Regions)
+		if ok {
+			regionLats = append(regionLats, rl)
+		}
+		eventLats = append(eventLats, m.eventLattice(ctx, ls.Labels.Events))
+	}
+	if len(regionLats) == 0 || len(eventLats) == 0 {
+		return fmt.Errorf("baseline: LCCRF: no usable training sequences")
+	}
+	if m.regionModel, err = crf.Fit(regionLats, crf.Config{Dim: lcDim, Sigma2: m.Sigma2}); err != nil {
+		return fmt.Errorf("baseline: LCCRF region chain: %w", err)
+	}
+	if m.eventModel, err = crf.Fit(eventLats, crf.Config{Dim: lcDim, Sigma2: m.Sigma2}); err != nil {
+		return fmt.Errorf("baseline: LCCRF event chain: %w", err)
+	}
+	return nil
+}
+
+// regionLattice builds the region chain for a sequence; truth may be
+// nil for decoding. ok is false when a truth label is missing from the
+// candidate set (the sequence cannot supervise the chain).
+func (m *LCCRF) regionLattice(ctx *features.SeqContext, truth []indoor.RegionID) (*crf.Lattice, bool) {
+	n := ctx.Len()
+	l := &crf.Lattice{
+		Unary: make([][][]float64, n),
+		Pair:  make([][][][]float64, max(0, n-1)),
+	}
+	if truth != nil {
+		l.Truth = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		cands := ctx.Candidates[i]
+		l.Unary[i] = make([][]float64, len(cands))
+		for k, r := range cands {
+			l.Unary[i][k] = []float64{ctx.SM(i, r), 0, 0}
+		}
+		if truth != nil {
+			idx := -1
+			for k, r := range cands {
+				if r == truth[i] {
+					idx = k
+				}
+			}
+			if idx < 0 {
+				return nil, false
+			}
+			l.Truth[i] = idx
+		}
+		if i+1 < n {
+			next := ctx.Candidates[i+1]
+			l.Pair[i] = make([][][]float64, len(cands))
+			for k, rk := range cands {
+				l.Pair[i][k] = make([][]float64, len(next))
+				for x, rx := range next {
+					l.Pair[i][k][x] = []float64{0, ctx.ST(i, rk, rx), ctx.SC(i, rk, rx)}
+				}
+			}
+		}
+	}
+	return l, true
+}
+
+// eventLattice builds the event chain; truth may be nil.
+func (m *LCCRF) eventLattice(ctx *features.SeqContext, truth []seq.Event) *crf.Lattice {
+	n := ctx.Len()
+	l := &crf.Lattice{
+		Unary: make([][][]float64, n),
+		Pair:  make([][][][]float64, max(0, n-1)),
+	}
+	if truth != nil {
+		l.Truth = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		l.Unary[i] = make([][]float64, seq.NumEvents)
+		for e := 0; e < seq.NumEvents; e++ {
+			l.Unary[i][e] = []float64{ctx.EM(i, seq.Event(e)), 0, 0}
+		}
+		if truth != nil {
+			l.Truth[i] = int(truth[i])
+		}
+		if i+1 < n {
+			l.Pair[i] = make([][][]float64, seq.NumEvents)
+			for a := 0; a < seq.NumEvents; a++ {
+				l.Pair[i][a] = make([][]float64, seq.NumEvents)
+				for b := 0; b < seq.NumEvents; b++ {
+					l.Pair[i][a][b] = []float64{0, ctx.ET(seq.Event(a), seq.Event(b)), ctx.EC(i, seq.Event(a), seq.Event(b))}
+				}
+			}
+		}
+	}
+	return l
+}
+
+// Annotate implements Method.
+func (m *LCCRF) Annotate(p *seq.PSequence) (seq.Labels, error) {
+	if err := requireTrained(m.regionModel != nil, m.Name()); err != nil {
+		return seq.Labels{}, err
+	}
+	ctx := m.ex.NewSeqContext(p, nil)
+	n := ctx.Len()
+	labels := seq.NewLabels(n)
+	rl, _ := m.regionLattice(ctx, nil)
+	rPath, _, err := m.regionModel.Decode(rl)
+	if err != nil {
+		return seq.Labels{}, err
+	}
+	for i, k := range rPath {
+		labels.Regions[i] = ctx.Candidates[i][k]
+	}
+	el := m.eventLattice(ctx, nil)
+	ePath, _, err := m.eventModel.Decode(el)
+	if err != nil {
+		return seq.Labels{}, err
+	}
+	for i, e := range ePath {
+		labels.Events[i] = seq.Event(e)
+	}
+	return labels, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

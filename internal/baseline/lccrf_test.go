@@ -1,0 +1,45 @@
+package baseline
+
+import (
+	"testing"
+
+	"c2mn/internal/eval"
+)
+
+func TestLCCRFTrainAndAnnotate(t *testing.T) {
+	space, train, test := testWorld(t)
+	params := fastC2MNConfig(train).Params
+	m := NewLCCRF(params)
+	if m.Name() != "LCCRF" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if _, err := m.Annotate(&test[0].P); err == nil {
+		t.Errorf("annotate before train should fail")
+	}
+	if err := m.Train(space, train); err != nil {
+		t.Fatal(err)
+	}
+	var counter eval.Counter
+	for i := range test {
+		labels, err := m.Annotate(&test[i].P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := counter.Add(test[i].Labels, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := counter.Result(eval.DefaultLambda)
+	t.Logf("LCCRF: RA=%.3f EA=%.3f CA=%.3f PA=%.3f", acc.RA, acc.EA, acc.CA, acc.PA)
+	if acc.RA < 0.5 || acc.EA < 0.5 {
+		t.Errorf("LCCRF accuracy implausibly low: %+v", acc)
+	}
+}
+
+func TestLCCRFDefaults(t *testing.T) {
+	var zero LCCRF
+	m := NewLCCRF(zero.Params)
+	if m.Params.V != 15 {
+		t.Errorf("zero params should fall back to paper defaults, got V=%v", m.Params.V)
+	}
+}

@@ -1,0 +1,279 @@
+package baseline
+
+import (
+	"math"
+
+	"c2mn/internal/cluster"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// SAP is the layered semantic annotation platform of Yan et al. [26]
+// as described in §V-A: first segment the sequence into stay and pass
+// parts, then label each stay segment with one region by decoding an
+// HMM whose observation probability is the overlap between the
+// segment's Gaussian location distribution and the region; pass
+// records take their nearest region.
+//
+// Two segmentation algorithms are supported, giving the paper's SAPDV
+// (dynamic velocity) and SAPDA (density area) variants.
+type SAP struct {
+	// DensityArea selects DA segmentation; false means DV.
+	DensityArea bool
+	// VelFactor is the DV dynamic threshold: stay when speed <
+	// VelFactor · (sequence average speed). Train tunes it.
+	VelFactor float64
+	// MinStayDur is the DV minimum stay-segment duration, seconds.
+	MinStayDur float64
+	// Cluster holds the DA st-DBSCAN parameters.
+	Cluster cluster.Params
+	// GammaTrans scales the distance-based segment transition
+	// probabilities.
+	GammaTrans float64
+
+	space   *indoor.Space
+	trained bool
+}
+
+// NewSAPDV returns the dynamic-velocity variant.
+func NewSAPDV() *SAP {
+	return &SAP{
+		VelFactor:  0.7,
+		MinStayDur: 30,
+		GammaTrans: 0.05,
+	}
+}
+
+// NewSAPDA returns the density-area variant.
+func NewSAPDA() *SAP {
+	return &SAP{
+		DensityArea: true,
+		Cluster:     cluster.Params{EpsS: 8, EpsT: 60, MinPts: 4},
+		GammaTrans:  0.05,
+	}
+}
+
+// Name implements Method.
+func (m *SAP) Name() string {
+	if m.DensityArea {
+		return "SAPDA"
+	}
+	return "SAPDV"
+}
+
+// Train implements Method: DV tunes its velocity factor against the
+// training events; DA needs no fitting.
+func (m *SAP) Train(space *indoor.Space, data []seq.LabeledSequence) error {
+	m.space = space
+	m.trained = true
+	if m.DensityArea {
+		return nil
+	}
+	best, bestOK := m.VelFactor, -1
+	for _, vf := range []float64{0.3, 0.5, 0.7, 0.9, 1.1, 1.3} {
+		ok := 0
+		for i := range data {
+			stay := m.segmentDV(&data[i].P, vf)
+			for j, isStay := range stay {
+				e := seq.Pass
+				if isStay {
+					e = seq.Stay
+				}
+				if e == data[i].Labels.Events[j] {
+					ok++
+				}
+			}
+		}
+		if ok > bestOK {
+			best, bestOK = vf, ok
+		}
+	}
+	m.VelFactor = best
+	return nil
+}
+
+// segmentDV marks stay records via the dynamic velocity threshold and
+// the minimum-duration filter.
+func (m *SAP) segmentDV(p *seq.PSequence, velFactor float64) []bool {
+	n := p.Len()
+	stay := make([]bool, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += speedAt(p, i)
+	}
+	if n == 0 {
+		return stay
+	}
+	threshold := velFactor * sum / float64(n)
+	for i := 0; i < n; i++ {
+		stay[i] = speedAt(p, i) < threshold
+	}
+	// Enforce minimum stay duration.
+	for i := 0; i < n; {
+		if !stay[i] {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < n && stay[j+1] {
+			j++
+		}
+		if p.Records[j].T-p.Records[i].T < m.MinStayDur {
+			for x := i; x <= j; x++ {
+				stay[x] = false
+			}
+		}
+		i = j + 1
+	}
+	return stay
+}
+
+// segmentDA marks stay records via density clustering.
+func (m *SAP) segmentDA(p *seq.PSequence) ([]bool, error) {
+	n := p.Len()
+	pts := make([]cluster.Point, n)
+	for i, rec := range p.Records {
+		pts[i] = cluster.Point{X: rec.Loc.X, Y: rec.Loc.Y, Floor: rec.Loc.Floor, T: rec.T}
+	}
+	res, err := cluster.Run(pts, m.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	stay := make([]bool, n)
+	for i, tag := range res.Tag {
+		stay[i] = tag != cluster.Noise
+	}
+	return stay, nil
+}
+
+// Annotate implements Method.
+func (m *SAP) Annotate(p *seq.PSequence) (seq.Labels, error) {
+	if err := requireTrained(m.trained, m.Name()); err != nil {
+		return seq.Labels{}, err
+	}
+	n := p.Len()
+	labels := seq.NewLabels(n)
+	var stay []bool
+	var err error
+	if m.DensityArea {
+		stay, err = m.segmentDA(p)
+		if err != nil {
+			return seq.Labels{}, err
+		}
+	} else {
+		stay = m.segmentDV(p, m.VelFactor)
+	}
+	for i := 0; i < n; i++ {
+		if stay[i] {
+			labels.Events[i] = seq.Stay
+		} else {
+			labels.Events[i] = seq.Pass
+		}
+	}
+
+	// Collect stay segments.
+	type segment struct{ a, b int }
+	var segs []segment
+	for i := 0; i < n; {
+		if !stay[i] {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < n && stay[j+1] {
+			j++
+		}
+		segs = append(segs, segment{i, j})
+		i = j + 1
+	}
+
+	// Pass records: nearest region.
+	for i := 0; i < n; i++ {
+		if !stay[i] {
+			labels.Regions[i] = m.space.NearestRegion(p.Records[i].Loc)
+		}
+	}
+	if len(segs) == 0 {
+		return labels, nil
+	}
+
+	// Stay segments: Viterbi over regions with Gaussian-overlap
+	// observations and distance-decayed transitions.
+	numR := m.space.NumRegions()
+	obsLog := make([][]float64, len(segs))
+	for si, sg := range segs {
+		mean, sigma := segmentGaussian(p, sg.a, sg.b)
+		radius := math.Max(2*sigma, 3)
+		row := make([]float64, numR)
+		for r := 0; r < numR; r++ {
+			ov := m.space.UncertaintyOverlap(mean, radius, indoor.RegionID(r))
+			row[r] = math.Log(ov + 1e-9)
+		}
+		obsLog[si] = row
+	}
+	prev := make([]float64, numR)
+	cur := make([]float64, numR)
+	back := make([][]int32, len(segs))
+	copy(prev, obsLog[0])
+	for si := 1; si < len(segs); si++ {
+		back[si] = make([]int32, numR)
+		for r := 0; r < numR; r++ {
+			bestV := math.Inf(-1)
+			bestP := 0
+			for q := 0; q < numR; q++ {
+				v := prev[q] - m.GammaTrans*m.space.RegionDist(indoor.RegionID(q), indoor.RegionID(r))
+				if v > bestV {
+					bestV, bestP = v, q
+				}
+			}
+			cur[r] = bestV + obsLog[si][r]
+			back[si][r] = int32(bestP)
+		}
+		prev, cur = cur, prev
+	}
+	bestR := 0
+	bestV := math.Inf(-1)
+	for r := 0; r < numR; r++ {
+		if prev[r] > bestV {
+			bestV, bestR = prev[r], r
+		}
+	}
+	segRegion := make([]int, len(segs))
+	segRegion[len(segs)-1] = bestR
+	for si := len(segs) - 1; si > 0; si-- {
+		segRegion[si-1] = int(back[si][segRegion[si]])
+	}
+	for si, sg := range segs {
+		for i := sg.a; i <= sg.b; i++ {
+			labels.Regions[i] = indoor.RegionID(segRegion[si])
+		}
+	}
+	return labels, nil
+}
+
+// segmentGaussian returns the mean location (majority floor) and the
+// isotropic standard deviation of records [a, b].
+func segmentGaussian(p *seq.PSequence, a, b int) (indoor.Location, float64) {
+	var mx, my float64
+	floorCnt := map[int]int{}
+	n := float64(b - a + 1)
+	for i := a; i <= b; i++ {
+		mx += p.Records[i].Loc.X
+		my += p.Records[i].Loc.Y
+		floorCnt[p.Records[i].Loc.Floor]++
+	}
+	mx /= n
+	my /= n
+	floor, bestC := 0, -1
+	for f, c := range floorCnt {
+		if c > bestC || (c == bestC && f < floor) {
+			floor, bestC = f, c
+		}
+	}
+	var varSum float64
+	for i := a; i <= b; i++ {
+		dx, dy := p.Records[i].Loc.X-mx, p.Records[i].Loc.Y-my
+		varSum += dx*dx + dy*dy
+	}
+	return indoor.Loc(mx, my, floor), math.Sqrt(varSum / n / 2)
+}

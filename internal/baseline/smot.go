@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// SMoT labels events by thresholding the movement speed (below the
+// threshold = stay) and regions by nearest-neighbour matching,
+// following the paper's description of Alvares et al. [2] adapted to
+// record-level labeling. Train grid-searches the speed threshold that
+// maximises event accuracy on the training data.
+type SMoT struct {
+	// Threshold is the stay/pass speed boundary in m/s; Train
+	// overwrites it unless FixedThreshold is set.
+	Threshold float64
+	// FixedThreshold skips tuning.
+	FixedThreshold bool
+
+	space   *indoor.Space
+	trained bool
+}
+
+// NewSMoT returns an untuned SMoT.
+func NewSMoT() *SMoT { return &SMoT{Threshold: 0.9} }
+
+// Name implements Method.
+func (m *SMoT) Name() string { return "SMoT" }
+
+// Train implements Method: tunes the speed threshold on the labeled
+// events.
+func (m *SMoT) Train(space *indoor.Space, data []seq.LabeledSequence) error {
+	m.space = space
+	m.trained = true
+	if m.FixedThreshold {
+		return nil
+	}
+	best, bestOK := m.Threshold, -1
+	for _, th := range []float64{0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 1.1, 1.4, 1.7, 2.0, 2.5} {
+		ok := 0
+		for i := range data {
+			p := &data[i].P
+			for j := 0; j < p.Len(); j++ {
+				e := seq.Pass
+				if speedAt(p, j) < th {
+					e = seq.Stay
+				}
+				if e == data[i].Labels.Events[j] {
+					ok++
+				}
+			}
+		}
+		if ok > bestOK {
+			best, bestOK = th, ok
+		}
+	}
+	m.Threshold = best
+	return nil
+}
+
+// Annotate implements Method.
+func (m *SMoT) Annotate(p *seq.PSequence) (seq.Labels, error) {
+	if err := requireTrained(m.trained, m.Name()); err != nil {
+		return seq.Labels{}, err
+	}
+	labels := seq.Labels{
+		Regions: nearestRegions(m.space, p),
+		Events:  make([]seq.Event, p.Len()),
+	}
+	for i := 0; i < p.Len(); i++ {
+		if speedAt(p, i) < m.Threshold {
+			labels.Events[i] = seq.Stay
+		} else {
+			labels.Events[i] = seq.Pass
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,166 @@
+// Package cluster implements ST-DBSCAN (Birant & Kut, 2007), the
+// spatio-temporal density clustering algorithm the paper uses to
+//
+//   - derive the core/border/noise density tag of each positioning
+//     record (feature fem, Table II),
+//   - initialise the event variable E in Algorithm 1 (noise → pass,
+//     core/border → stay), and
+//   - segment trajectories in the HMM+DC and SAPDA baselines.
+//
+// Two records are neighbours when they are within spatial distance
+// EpsS *and* temporal distance EpsT of each other; a cluster needs at
+// least MinPts records.
+package cluster
+
+import "fmt"
+
+// Density is the density tag assigned to a point by ST-DBSCAN.
+type Density uint8
+
+// Density tags. Noise points are not part of any cluster; core points
+// have a dense neighbourhood; border points are density-reachable from
+// a core point without being cores themselves.
+const (
+	Noise Density = iota
+	Border
+	Core
+)
+
+func (d Density) String() string {
+	switch d {
+	case Noise:
+		return "noise"
+	case Border:
+		return "border"
+	case Core:
+		return "core"
+	default:
+		return fmt.Sprintf("density(%d)", uint8(d))
+	}
+}
+
+// Point is one spatio-temporal observation. Floor carries the indoor
+// floor number: points on different floors are never neighbours.
+type Point struct {
+	X, Y  float64
+	Floor int
+	T     float64 // seconds
+}
+
+// Params are the three ST-DBSCAN thresholds, named after the paper
+// (§III-B (2)): εs, εt and ptm.
+type Params struct {
+	EpsS   float64 // spatial radius, meters
+	EpsT   float64 // temporal radius, seconds
+	MinPts int     // minimum neighbourhood size (the point itself counts)
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.EpsS <= 0 || p.EpsT <= 0 {
+		return fmt.Errorf("cluster: EpsS and EpsT must be positive (got %g, %g)", p.EpsS, p.EpsT)
+	}
+	if p.MinPts < 1 {
+		return fmt.Errorf("cluster: MinPts must be >= 1 (got %d)", p.MinPts)
+	}
+	return nil
+}
+
+// Result holds the clustering output, index-aligned with the input
+// points.
+type Result struct {
+	// Cluster holds the cluster ID of each point (-1 for noise).
+	Cluster []int
+	// Tag holds the density tag of each point.
+	Tag []Density
+	// NumClusters is the number of clusters found.
+	NumClusters int
+}
+
+// NoCluster marks points that belong to no cluster.
+const NoCluster = -1
+
+// Run clusters the points. The input is assumed time-ordered (as
+// p-sequences are); the neighbourhood scan exploits this to examine
+// only the temporal window around each point, giving O(n·w) behaviour
+// where w is the window width.
+func Run(points []Point, params Params) (Result, error) {
+	if err := params.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(points)
+	res := Result{
+		Cluster: make([]int, n),
+		Tag:     make([]Density, n),
+	}
+	for i := range res.Cluster {
+		res.Cluster[i] = NoCluster
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	neighbors := func(i int, dst []int) []int {
+		dst = dst[:0]
+		// Scan backwards and forwards inside the temporal window.
+		for j := i - 1; j >= 0 && points[i].T-points[j].T <= params.EpsT; j-- {
+			if near(points[i], points[j], params.EpsS) {
+				dst = append(dst, j)
+			}
+		}
+		dst = append(dst, i)
+		for j := i + 1; j < n && points[j].T-points[i].T <= params.EpsT; j++ {
+			if near(points[i], points[j], params.EpsS) {
+				dst = append(dst, j)
+			}
+		}
+		return dst
+	}
+
+	visited := make([]bool, n)
+	var nbuf, qbuf []int
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nbuf = neighbors(i, nbuf)
+		if len(nbuf) < params.MinPts {
+			continue // stays noise unless later claimed as border
+		}
+		// Start a new cluster and expand it breadth-first.
+		res.Tag[i] = Core
+		res.Cluster[i] = clusterID
+		qbuf = append(qbuf[:0], nbuf...)
+		for qi := 0; qi < len(qbuf); qi++ {
+			j := qbuf[qi]
+			if res.Cluster[j] == NoCluster {
+				res.Cluster[j] = clusterID
+				if res.Tag[j] != Core {
+					res.Tag[j] = Border
+				}
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			jn := neighbors(j, nil)
+			if len(jn) >= params.MinPts {
+				res.Tag[j] = Core
+				qbuf = append(qbuf, jn...)
+			}
+		}
+		clusterID++
+	}
+	res.NumClusters = clusterID
+	return res, nil
+}
+
+func near(a, b Point, epsS float64) bool {
+	if a.Floor != b.Floor {
+		return false
+	}
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx+dy*dy <= epsS*epsS
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"c2mn/internal/cluster"
+	"c2mn/internal/features"
+	"c2mn/internal/geom"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// testSpace builds a one-floor venue: hallway plus three region rooms.
+func testSpace(t testing.TB) *indoor.Space {
+	t.Helper()
+	b := indoor.NewBuilder()
+	hall := b.AddPartition(0, geom.RectPoly(geom.Pt(0, 0), geom.Pt(30, 4)))
+	ra := b.AddPartition(0, geom.RectPoly(geom.Pt(0, 4), geom.Pt(10, 14)))
+	rb := b.AddPartition(0, geom.RectPoly(geom.Pt(10, 4), geom.Pt(20, 14)))
+	rc := b.AddPartition(0, geom.RectPoly(geom.Pt(20, 4), geom.Pt(30, 14)))
+	b.AddDoor(geom.Pt(5, 4), hall, ra)
+	b.AddDoor(geom.Pt(15, 4), hall, rb)
+	b.AddDoor(geom.Pt(25, 4), hall, rc)
+	b.AddRegion("A", ra)
+	b.AddRegion("B", rb)
+	b.AddRegion("C", rc)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testParams() features.Params {
+	p := features.DefaultParams()
+	p.V = 3
+	p.Cluster = cluster.Params{EpsS: 3, EpsT: 30, MinPts: 3}
+	return p
+}
+
+// roomCenter maps region id → room center.
+var roomCenter = map[indoor.RegionID]geom.Point{
+	0: geom.Pt(5, 9), 1: geom.Pt(15, 9), 2: geom.Pt(25, 9),
+}
+
+// synthSequence fabricates one labeled trajectory: stay in `from`,
+// pass through the hallway, stay in `to`.
+func synthSequence(id string, from, to indoor.RegionID, rng *rand.Rand) seq.LabeledSequence {
+	var ls seq.LabeledSequence
+	ls.P.ObjectID = id
+	tcur := 0.0
+	add := func(x, y float64, region indoor.RegionID, e seq.Event, dt float64) {
+		tcur += dt
+		nx := x + rng.NormFloat64()*0.8
+		ny := y + rng.NormFloat64()*0.8
+		ls.P.Records = append(ls.P.Records, seq.Record{Loc: indoor.Loc(nx, ny, 0), T: tcur})
+		ls.Labels.Regions = append(ls.Labels.Regions, region)
+		ls.Labels.Events = append(ls.Labels.Events, e)
+	}
+	cf, ct := roomCenter[from], roomCenter[to]
+	stay1 := 5 + rng.Intn(4)
+	for i := 0; i < stay1; i++ {
+		add(cf.X, cf.Y, from, seq.Stay, 8+rng.Float64()*4)
+	}
+	// Walk: room -> door -> hallway -> door -> room, fast.
+	add(cf.X, 5, from, seq.Pass, 4)
+	mid := (cf.X + ct.X) / 2
+	add(mid, 2, nearestRegionByX(mid), seq.Pass, 4)
+	add(ct.X, 5, to, seq.Pass, 4)
+	stay2 := 5 + rng.Intn(4)
+	for i := 0; i < stay2; i++ {
+		add(ct.X, ct.Y, to, seq.Stay, 8+rng.Float64()*4)
+	}
+	return ls
+}
+
+func nearestRegionByX(x float64) indoor.RegionID {
+	switch {
+	case x < 10:
+		return 0
+	case x < 20:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// synthDataset builds n labeled sequences over random room pairs.
+func synthDataset(n int, seed int64) []seq.LabeledSequence {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]seq.LabeledSequence, 0, n)
+	for i := 0; i < n; i++ {
+		from := indoor.RegionID(rng.Intn(3))
+		to := indoor.RegionID((int(from) + 1 + rng.Intn(2)) % 3)
+		out = append(out, synthSequence("s", from, to, rng))
+	}
+	return out
+}
+
+func labelAccuracy(truth, pred seq.Labels) (ra, ea float64) {
+	n := len(truth.Regions)
+	var okR, okE int
+	for i := 0; i < n; i++ {
+		if truth.Regions[i] == pred.Regions[i] {
+			okR++
+		}
+		if truth.Events[i] == pred.Events[i] {
+			okE++
+		}
+	}
+	return float64(okR) / float64(n), float64(okE) / float64(n)
+}
+
+func testConfig() Config {
+	return Config{
+		Params:  testParams(),
+		M:       60,
+		MaxIter: 40,
+		Delta:   1e-3,
+		Sigma2:  0.5,
+		Seed:    1,
+	}
+}
+
+func TestVarBasics(t *testing.T) {
+	if VarE.Other() != VarR || VarR.Other() != VarE {
+		t.Errorf("Other wrong")
+	}
+	if VarE.String() != "E" || VarR.String() != "R" {
+		t.Errorf("String wrong")
+	}
+	ri := WeightIdx(VarR)
+	ei := WeightIdx(VarE)
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, ri...), ei...) {
+		if seen[i] {
+			t.Errorf("index %d in both partitions", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != features.Dim {
+		t.Errorf("weight partition covers %d of %d dims", len(seen), features.Dim)
+	}
+}
+
+func TestModelValidateAndJSON(t *testing.T) {
+	m := NewModel(testParams())
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fresh model invalid: %v", err)
+	}
+	m.Weights[3] = 1.5
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadModelJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Weights {
+		if m.Weights[i] != m2.Weights[i] {
+			t.Errorf("weight %d changed", i)
+		}
+	}
+	if m2.Params.V != m.Params.V {
+		t.Errorf("params lost")
+	}
+	// Corrupt weights fail validation.
+	m.Weights[0] = math.NaN()
+	if err := m.Validate(); err == nil {
+		t.Errorf("NaN weight should fail")
+	}
+	m.Weights = m.Weights[:3]
+	if err := m.Validate(); err == nil {
+		t.Errorf("short weights should fail")
+	}
+	if _, err := ReadModelJSON(bytes.NewBufferString("junk")); err == nil {
+		t.Errorf("bad JSON should fail")
+	}
+}
+
+func TestInitEventsAndRegions(t *testing.T) {
+	space := testSpace(t)
+	ex, _ := features.NewExtractor(space, testParams())
+	rng := rand.New(rand.NewSource(5))
+	ls := synthSequence("x", 0, 2, rng)
+	ctx := ex.NewSeqContext(&ls.P, nil)
+
+	E := InitEvents(ctx)
+	if len(E) != ctx.Len() {
+		t.Fatalf("InitEvents len")
+	}
+	// The dense head should initialise as stay.
+	if E[1] != seq.Stay {
+		t.Errorf("dense record initialised as %v", E[1])
+	}
+	R := InitRegions(ctx)
+	// Records in room A should initialise to region 0.
+	if R[1] != 0 {
+		t.Errorf("in-room record initialised to %v", R[1])
+	}
+}
+
+func TestConditionalsNormalised(t *testing.T) {
+	space := testSpace(t)
+	ex, _ := features.NewExtractor(space, testParams())
+	rng := rand.New(rand.NewSource(7))
+	ls := synthSequence("x", 0, 1, rng)
+	ctx := ex.NewSeqContext(&ls.P, ls.Labels.Regions)
+	w := make([]float64, features.Dim)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	R := InitRegions(ctx)
+	E := InitEvents(ctx)
+	for i := 0; i < ctx.Len(); i++ {
+		probs := make([]float64, len(ctx.Candidates[i]))
+		regionConditional(w, ctx, R, E, i, probs, nil)
+		sum := 0.0
+		for _, p := range probs {
+			if p < 0 || p > 1 {
+				t.Fatalf("region prob out of range: %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("region conditional sums to %v", sum)
+		}
+		ep := make([]float64, seq.NumEvents)
+		eventConditional(w, ctx, R, E, i, ep, nil)
+		if math.Abs(ep[0]+ep[1]-1) > 1e-9 {
+			t.Fatalf("event conditional sums to %v", ep[0]+ep[1])
+		}
+	}
+}
+
+func TestAnnotateImprovesScore(t *testing.T) {
+	space := testSpace(t)
+	ex, _ := features.NewExtractor(space, testParams())
+	rng := rand.New(rand.NewSource(8))
+	ls := synthSequence("x", 1, 2, rng)
+	ctx := ex.NewSeqContext(&ls.P, nil)
+	m := NewModel(testParams())
+	for i := range m.Weights {
+		m.Weights[i] = rng.Float64()
+	}
+	initScore := m.Score(ctx, InitRegions(ctx), InitEvents(ctx))
+	labels := m.Annotate(ctx, InferOptions{})
+	finalScore := m.Score(ctx, labels.Regions, labels.Events)
+	if finalScore < initScore-1e-9 {
+		t.Errorf("ICM decreased score: %v -> %v", initScore, finalScore)
+	}
+}
+
+func TestTrainProducesAccurateModel(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(14, 2)
+	test := synthDataset(6, 99)
+
+	model, stats, err := Train(space, train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations == 0 {
+		t.Errorf("no iterations recorded")
+	}
+	ex, _ := features.NewExtractor(space, model.Params)
+	var ra, ea float64
+	for i := range test {
+		ctx := ex.NewSeqContext(&test[i].P, nil)
+		pred := model.Annotate(ctx, InferOptions{})
+		r, e := labelAccuracy(test[i].Labels, pred)
+		ra += r
+		ea += e
+	}
+	ra /= float64(len(test))
+	ea /= float64(len(test))
+	if ra < 0.75 {
+		t.Errorf("region accuracy = %v, want >= 0.75", ra)
+	}
+	if ea < 0.70 {
+		t.Errorf("event accuracy = %v, want >= 0.70", ea)
+	}
+	t.Logf("MCMC-trained accuracy: RA=%.3f EA=%.3f iters=%d swaps=%d", ra, ea, stats.Iterations, stats.Swaps)
+}
+
+func TestTrainExactProducesAccurateModel(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(14, 3)
+	test := synthDataset(6, 77)
+
+	model, stats, err := TrainExact(space, train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := features.NewExtractor(space, model.Params)
+	var ra, ea float64
+	for i := range test {
+		ctx := ex.NewSeqContext(&test[i].P, nil)
+		pred := model.Annotate(ctx, InferOptions{})
+		r, e := labelAccuracy(test[i].Labels, pred)
+		ra += r
+		ea += e
+	}
+	ra /= float64(len(test))
+	ea /= float64(len(test))
+	if ra < 0.8 {
+		t.Errorf("region accuracy = %v, want >= 0.8", ra)
+	}
+	if ea < 0.75 {
+		t.Errorf("event accuracy = %v, want >= 0.75", ea)
+	}
+	t.Logf("exact-trained accuracy: RA=%.3f EA=%.3f iters=%d", ra, ea, stats.Iterations)
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(6, 4)
+	cfg := testConfig()
+	cfg.MaxIter = 10
+	m1, _, err := Train(space, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Train(space, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Weights {
+		if m1.Weights[i] != m2.Weights[i] {
+			t.Fatalf("weights differ at %d: %v vs %v", i, m1.Weights[i], m2.Weights[i])
+		}
+	}
+	cfg.Seed = 42
+	m3, _, err := Train(space, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range m1.Weights {
+		if m1.Weights[i] != m3.Weights[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical weights")
+	}
+}
+
+func TestTrainFirstVarR(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(8, 5)
+	cfg := testConfig()
+	cfg.FirstVar = VarR
+	cfg.MaxIter = 15
+	m, stats, err := Train(space, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("C2MN@R model invalid: %v", err)
+	}
+	_ = stats
+}
+
+func TestTrainDecoupled(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(8, 6)
+	cfg := testConfig()
+	cfg.Decoupled = true
+	cfg.MaxIter = 15
+	m, _, err := Train(space, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segmentation weights must stay untouched by features (mask off).
+	if m.Params.Cliques.Has(features.SegmentationES) || m.Params.Cliques.Has(features.SegmentationSS) {
+		t.Errorf("decoupled model retains segmentation cliques")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	space := testSpace(t)
+	if _, _, err := Train(space, nil, testConfig()); err == nil {
+		t.Errorf("empty data should fail")
+	}
+	if _, _, err := TrainExact(space, nil, testConfig()); err == nil {
+		t.Errorf("empty data should fail (exact)")
+	}
+	bad := []seq.LabeledSequence{{
+		P:      seq.PSequence{Records: []seq.Record{{Loc: indoor.Loc(5, 9, 0), T: 1}}},
+		Labels: seq.NewLabels(2),
+	}}
+	if _, _, err := Train(space, bad, testConfig()); err == nil {
+		t.Errorf("misaligned labels should fail")
+	}
+	cfg := testConfig()
+	cfg.Params.Alpha = 2 // invalid
+	good := synthDataset(2, 7)
+	if _, _, err := Train(space, good, cfg); err == nil {
+		t.Errorf("invalid params should fail")
+	}
+}
+
+func TestExactAndMCMCAgreeOnDirection(t *testing.T) {
+	// The two trainers optimise the same objective; their learned
+	// weights should agree in sign for the decisive features on the
+	// same data.
+	space := testSpace(t)
+	train := synthDataset(12, 8)
+	cfg := testConfig()
+	mExact, _, err := TrainExact(space, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMCMC, _, err := Train(space, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare on the matching weights, which carry the strongest
+	// signal.
+	for _, idx := range []int{features.IdxSM, features.IdxEM} {
+		if mExact.Weights[idx] > 0.2 && mMCMC.Weights[idx] < -0.2 {
+			t.Errorf("weight %d disagrees: exact %v vs mcmc %v", idx, mExact.Weights[idx], mMCMC.Weights[idx])
+		}
+	}
+}
+
+func TestAnnotateSequenceMerging(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(10, 9)
+	model, _, err := TrainExact(space, train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := features.NewExtractor(space, model.Params)
+	rng := rand.New(rand.NewSource(123))
+	ls := synthSequence("q", 0, 2, rng)
+	labels, ms := model.AnnotateSequence(ex, &ls.P)
+	if len(labels.Regions) != ls.P.Len() {
+		t.Fatalf("labels misaligned")
+	}
+	if len(ms.Semantics) == 0 {
+		t.Fatalf("no m-semantics produced")
+	}
+	// Periods must be ordered and within the sequence time range.
+	for i, s := range ms.Semantics {
+		if s.Start > s.End {
+			t.Errorf("semantics %d inverted period", i)
+		}
+		if i > 0 && s.Start <= ms.Semantics[i-1].End {
+			t.Errorf("semantics %d overlaps previous", i)
+		}
+	}
+}
+
+func TestSampleIndexDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p := []float64{0.2, 0.5, 0.3}
+	counts := make([]int, 3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[sampleIndex(p, rng)]++
+	}
+	for i, want := range p {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("sampleIndex freq[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestArgmaxInt(t *testing.T) {
+	if argmaxInt([]int{3, 9, 2}) != 1 {
+		t.Errorf("argmaxInt wrong")
+	}
+	if argmaxInt([]int{5}) != 0 {
+		t.Errorf("argmaxInt single wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/lbfgs"
+	"c2mn/internal/seq"
+)
+
+// TrainExact minimises the exact regularised negative log
+// pseudo-likelihood (Eq. 6) with full L-BFGS. Unlike Algorithm 1 it
+// needs no alternate fixing: because the label domains are small, the
+// local expectations over every node's Markov-blanket conditional are
+// enumerated exactly — including the re-segmentation of the
+// segmentation cliques under each candidate label — with all
+// neighbouring nodes held at their training values.
+//
+// The trainer is deterministic, serves as an oracle for the MCMC
+// estimator of Train, and is the subject of the exact-vs-MCMC ablation
+// bench.
+func TrainExact(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*Model, TrainStats, error) {
+	start := time.Now()
+	cfg = cfg.fill()
+	if cfg.UseRegionPrior {
+		cfg.Params.RegionPrior = RegionPriorFromLabels(space.NumRegions(), data)
+	}
+	ex, err := features.NewExtractor(space, cfg.Params)
+	if err != nil {
+		return nil, TrainStats{}, err
+	}
+	if len(data) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("core: no training sequences")
+	}
+
+	// Precompute every node's candidate feature vectors once: they do
+	// not depend on w.
+	type node struct {
+		feats   [][]float64
+		trueIdx int
+	}
+	var nodes []node
+	for i := range data {
+		ls := &data[i]
+		if err := ls.Validate(); err != nil {
+			return nil, TrainStats{}, fmt.Errorf("core: training data: %w", err)
+		}
+		ctx := ex.NewSeqContext(&ls.P, ls.Labels.Regions)
+		n := ctx.Len()
+		for j := 0; j < n; j++ {
+			// Region node.
+			cands := ctx.Candidates[j]
+			rn := node{feats: make([][]float64, len(cands)), trueIdx: -1}
+			for k, r := range cands {
+				buf := make([]float64, features.Dim)
+				ctx.LocalRegionFeatures(ls.Labels.Regions, ls.Labels.Events, j, r, buf)
+				rn.feats[k] = buf
+				if r == ls.Labels.Regions[j] {
+					rn.trueIdx = k
+				}
+			}
+			if rn.trueIdx >= 0 && len(cands) > 1 {
+				nodes = append(nodes, rn)
+			}
+			// Event node.
+			en := node{feats: make([][]float64, seq.NumEvents), trueIdx: int(ls.Labels.Events[j])}
+			for e := 0; e < seq.NumEvents; e++ {
+				buf := make([]float64, features.Dim)
+				ctx.LocalEventFeatures(ls.Labels.Regions, ls.Labels.Events, j, seq.Event(e), buf)
+				en.feats[e] = buf
+			}
+			nodes = append(nodes, en)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("core: no labeled nodes in training data")
+	}
+
+	obj := func(w []float64) (float64, []float64) {
+		f := 0.0
+		g := make([]float64, features.Dim)
+		for _, nd := range nodes {
+			k := len(nd.feats)
+			maxL := math.Inf(-1)
+			logits := make([]float64, k)
+			for c := 0; c < k; c++ {
+				logits[c] = dot(w, nd.feats[c])
+				if logits[c] > maxL {
+					maxL = logits[c]
+				}
+			}
+			// logZ and expectation.
+			z := 0.0
+			for c := 0; c < k; c++ {
+				logits[c] = math.Exp(logits[c] - maxL)
+				z += logits[c]
+			}
+			f += -dot(w, nd.feats[nd.trueIdx]) + maxL + math.Log(z)
+			ft := nd.feats[nd.trueIdx]
+			for c := 0; c < k; c++ {
+				p := logits[c] / z
+				fc := nd.feats[c]
+				for d := range g {
+					g[d] += p * fc[d]
+				}
+			}
+			for d := range g {
+				g[d] -= ft[d]
+			}
+		}
+		for d := range g {
+			f += w[d] * w[d] / (2 * cfg.Sigma2)
+			g[d] += w[d] / cfg.Sigma2
+		}
+		return f, g
+	}
+
+	w0 := make([]float64, features.Dim)
+	res, err := lbfgs.Minimize(obj, w0, lbfgs.Options{MaxIter: cfg.MaxIter, GradTol: 1e-6})
+	if err != nil && !errors.Is(err, lbfgs.ErrLineSearch) {
+		return nil, TrainStats{}, fmt.Errorf("core: exact training: %w", err)
+	}
+	// A line-search stall near the optimum still leaves the best
+	// iterate in res; the model is usable.
+	stats := TrainStats{
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Elapsed:    time.Since(start),
+		PLTrace:    []float64{res.F},
+	}
+	m := &Model{Weights: res.X, Params: cfg.Params}
+	if err := m.Validate(); err != nil {
+		return nil, stats, err
+	}
+	return m, stats, nil
+}

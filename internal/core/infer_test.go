@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+func TestAnnotateWithAnnealing(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(10, 31)
+	m, _, err := TrainExact(space, train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := features.NewExtractor(space, m.Params)
+	rng := rand.New(rand.NewSource(77))
+	ls := synthSequence("a", 0, 2, rng)
+	ctx := ex.NewSeqContext(&ls.P, nil)
+
+	plain := m.Annotate(ctx, InferOptions{})
+	annealed := m.Annotate(ctx, InferOptions{AnnealSweeps: 5, Seed: 3})
+	// The annealed variant keeps whichever fixed point scores higher,
+	// so its score can never be below the plain ICM one.
+	sPlain := m.Score(ctx, plain.Regions, plain.Events)
+	sAnneal := m.Score(ctx, annealed.Regions, annealed.Events)
+	if sAnneal < sPlain-1e-9 {
+		t.Errorf("annealed score %v below plain %v", sAnneal, sPlain)
+	}
+	// Deterministic per seed.
+	again := m.Annotate(ctx, InferOptions{AnnealSweeps: 5, Seed: 3})
+	for i := range annealed.Regions {
+		if annealed.Regions[i] != again.Regions[i] || annealed.Events[i] != again.Events[i] {
+			t.Fatalf("annealing not deterministic at %d", i)
+		}
+	}
+}
+
+func TestAnnotateEmptySequence(t *testing.T) {
+	space := testSpace(t)
+	m := NewModel(testParams())
+	ex, _ := features.NewExtractor(space, m.Params)
+	empty := &seq.PSequence{ObjectID: "empty"}
+	ctx := ex.NewSeqContext(empty, nil)
+	labels := m.Annotate(ctx, InferOptions{})
+	if len(labels.Regions) != 0 || len(labels.Events) != 0 {
+		t.Errorf("empty sequence labels = %+v", labels)
+	}
+}
+
+func TestAnnotateSingleRecord(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(6, 32)
+	m, _, err := TrainExact(space, train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := features.NewExtractor(space, m.Params)
+	one := &seq.PSequence{ObjectID: "one", Records: []seq.Record{
+		{Loc: indoor.Loc(5, 9, 0), T: 10}, // center of room A (region 0)
+	}}
+	ctx := ex.NewSeqContext(one, nil)
+	labels := m.Annotate(ctx, InferOptions{})
+	if len(labels.Regions) != 1 {
+		t.Fatalf("labels = %+v", labels)
+	}
+	if labels.Regions[0] != 0 {
+		t.Errorf("single record in room A labeled %v", labels.Regions[0])
+	}
+}
+
+func TestConfigFillDefaults(t *testing.T) {
+	cfg := Config{}.fill()
+	if cfg.M != 800 || cfg.MaxIter != 90 || cfg.Delta != 1e-3 || cfg.Sigma2 != 0.5 {
+		t.Errorf("paper defaults wrong: %+v", cfg)
+	}
+	if cfg.Params.V != 15 {
+		t.Errorf("default params not applied: %+v", cfg.Params)
+	}
+	// Decoupled strips segmentation cliques.
+	cfg = Config{Decoupled: true}.fill()
+	if cfg.Params.Cliques.Has(features.SegmentationES) || cfg.Params.Cliques.Has(features.SegmentationSS) {
+		t.Errorf("decoupled fill kept segmentation cliques")
+	}
+	// Explicit values survive.
+	cfg = Config{M: 5, MaxIter: 7, Delta: 0.1, Sigma2: 2, StepSize: 0.5}.fill()
+	if cfg.M != 5 || cfg.MaxIter != 7 || cfg.Delta != 0.1 || cfg.Sigma2 != 2 || cfg.StepSize != 0.5 {
+		t.Errorf("explicit config overwritten: %+v", cfg)
+	}
+}

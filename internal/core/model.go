@@ -1,0 +1,251 @@
+// Package core implements the coupled conditional Markov network
+// (C2MN) of the paper: the probabilistic model over positioning
+// records, region labels and event labels (§III), its supervised
+// learning via alternate learning with MCMC inference (§IV,
+// Algorithm 1), and the joint MAP inference used to annotate new
+// p-sequences.
+//
+// The package also provides an exact pseudo-likelihood trainer that
+// enumerates the (small) local label domains instead of sampling; it
+// serves as a deterministic oracle for tests and as an ablation
+// against the paper's MCMC estimator.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"c2mn/internal/cluster"
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// Var designates one of the two target variables of the network.
+type Var uint8
+
+// The two target variables.
+const (
+	VarE Var = iota // event sequence E
+	VarR            // region sequence R
+)
+
+func (v Var) String() string {
+	if v == VarR {
+		return "R"
+	}
+	return "E"
+}
+
+// Other returns the opposite variable.
+func (v Var) Other() Var {
+	if v == VarE {
+		return VarR
+	}
+	return VarE
+}
+
+// RegionWeightIdx lists the weight components associated with the
+// region-relevant dependencies of Table II (fsm, fst, fsc, fes).
+var RegionWeightIdx = []int{
+	features.IdxSM, features.IdxST, features.IdxSC,
+	features.IdxES, features.IdxES + 1, features.IdxES + 2,
+}
+
+// EventWeightIdx lists the weight components associated with the
+// event-relevant dependencies of Table II (fem, fet, fec, fss).
+var EventWeightIdx = []int{
+	features.IdxEM, features.IdxET, features.IdxEC,
+	features.IdxSS, features.IdxSS + 1, features.IdxSS + 2,
+}
+
+// WeightIdx returns the weight components associated with v.
+func WeightIdx(v Var) []int {
+	if v == VarR {
+		return RegionWeightIdx
+	}
+	return EventWeightIdx
+}
+
+// Model is a trained C2MN: feature parameters plus the learned weight
+// vector.
+type Model struct {
+	Weights []float64
+	Params  features.Params
+}
+
+// NewModel returns a model with zero weights and the given parameters.
+func NewModel(params features.Params) *Model {
+	return &Model{Weights: make([]float64, features.Dim), Params: params}
+}
+
+// Validate checks the model invariants.
+func (m *Model) Validate() error {
+	if len(m.Weights) != features.Dim {
+		return fmt.Errorf("core: model has %d weights, want %d", len(m.Weights), features.Dim)
+	}
+	for i, w := range m.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: weight %d is %v", i, w)
+		}
+	}
+	return m.Params.Validate()
+}
+
+// Score returns the unnormalised log-potential w·f(P, R, E) of a full
+// label configuration; exponentiating and normalising would give the
+// C2MN distribution of Eq. 2.
+func (m *Model) Score(ctx *features.SeqContext, R []indoor.RegionID, E []seq.Event) float64 {
+	f := make([]float64, features.Dim)
+	ctx.TotalFeatures(R, E, f)
+	return dot(m.Weights, f)
+}
+
+type jsonModel struct {
+	Weights []float64       `json:"weights"`
+	Params  features.Params `json:"params"`
+}
+
+// WriteJSON serialises the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(jsonModel{Weights: m.Weights, Params: m.Params})
+}
+
+// ReadModelJSON deserialises a model written by WriteJSON.
+func ReadModelJSON(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	m := &Model{Weights: jm.Weights, Params: jm.Params}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Config parameterises training. Zero values fall back to the paper's
+// real-data settings (§V-B1).
+type Config struct {
+	// Params are the feature hyper-parameters.
+	Params features.Params
+	// M is the number of MCMC instances sampled per step (paper: 800).
+	M int
+	// MaxIter bounds the alternate-learning steps (paper: 90).
+	MaxIter int
+	// Delta is the Chebyshev convergence threshold δ (paper: 1e-3).
+	Delta float64
+	// Sigma2 is the Gaussian prior variance σ² (paper: 0.5).
+	Sigma2 float64
+	// FirstVar is the first-configured variable (paper: E; VarR gives
+	// the C2MN@R variant of Fig. 11).
+	FirstVar Var
+	// Seed drives all sampling; same seed, same result.
+	Seed int64
+	// StepSize damps the L-BFGS updates computed from sampled
+	// gradients.
+	StepSize float64
+	// Decoupled trains and infers R and E independently (the CMN
+	// baseline); it implies segmentation cliques are disabled.
+	Decoupled bool
+	// UseRegionPrior enables the paper's fsm alternative design
+	// (§III-B (1)): the normalized historical region frequency of the
+	// training data multiplies the overlap ratio.
+	UseRegionPrior bool
+}
+
+// fill applies the paper's defaults to unset fields.
+func (c Config) fill() Config {
+	if c.Params.V == 0 && c.Params.Alpha == 0 {
+		c.Params = features.DefaultParams()
+	}
+	if c.M <= 0 {
+		c.M = 800
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 90
+	}
+	if c.Delta <= 0 {
+		c.Delta = 1e-3
+	}
+	if c.Sigma2 <= 0 {
+		c.Sigma2 = 0.5
+	}
+	if c.StepSize <= 0 {
+		c.StepSize = 1.0
+	}
+	if c.Decoupled {
+		c.Params.Cliques &^= features.SegmentationES | features.SegmentationSS
+	}
+	return c
+}
+
+// RegionPriorFromLabels computes the normalized historical region
+// frequency over labeled data: counts of each region label with +1
+// smoothing, scaled so the most frequent region maps to 1.
+func RegionPriorFromLabels(numRegions int, data []seq.LabeledSequence) []float64 {
+	counts := make([]float64, numRegions)
+	for i := range counts {
+		counts[i] = 1 // smoothing: unseen regions keep a small prior
+	}
+	for i := range data {
+		for _, r := range data[i].Labels.Regions {
+			if r >= 0 && int(r) < numRegions {
+				counts[r]++
+			}
+		}
+	}
+	maxC := 0.0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i := range counts {
+		counts[i] /= maxC
+	}
+	return counts
+}
+
+// InitEvents derives the initial event configuration Ē from the
+// st-DBSCAN density tags (Algorithm 1, line 1): clustered records are
+// stays, noise records are passes.
+func InitEvents(ctx *features.SeqContext) []seq.Event {
+	E := make([]seq.Event, ctx.Len())
+	for i, d := range ctx.Density {
+		if d == cluster.Noise {
+			E[i] = seq.Pass
+		} else {
+			E[i] = seq.Stay
+		}
+	}
+	return E
+}
+
+// InitRegions derives the initial region configuration R̄ by
+// nearest-neighbour region matching (footnote 6): each record takes
+// its maximum-overlap candidate.
+func InitRegions(ctx *features.SeqContext) []indoor.RegionID {
+	R := make([]indoor.RegionID, ctx.Len())
+	for i := range R {
+		best := indoor.NoRegion
+		bestV := -1.0
+		for _, r := range ctx.Candidates[i] {
+			if v := ctx.SM(i, r); v > bestV {
+				best, bestV = r, v
+			}
+		}
+		R[i] = best
+	}
+	return R
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

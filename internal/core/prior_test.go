@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+func TestRegionPriorFromLabels(t *testing.T) {
+	data := []seq.LabeledSequence{
+		{
+			P: seq.PSequence{Records: make([]seq.Record, 4)},
+			Labels: seq.Labels{
+				Regions: []indoor.RegionID{0, 0, 0, 1},
+				Events:  make([]seq.Event, 4),
+			},
+		},
+	}
+	prior := RegionPriorFromLabels(3, data)
+	if len(prior) != 3 {
+		t.Fatalf("len = %d", len(prior))
+	}
+	// Region 0 is most frequent: prior 1. Region 2 unseen: smoothed > 0.
+	if prior[0] != 1 {
+		t.Errorf("prior[0] = %v, want 1", prior[0])
+	}
+	if prior[1] <= prior[2] {
+		t.Errorf("prior[1]=%v should exceed unseen prior[2]=%v", prior[1], prior[2])
+	}
+	if prior[2] <= 0 {
+		t.Errorf("unseen region prior = %v, must stay positive", prior[2])
+	}
+	// Out-of-range labels are ignored.
+	data[0].Labels.Regions[0] = indoor.NoRegion
+	if p := RegionPriorFromLabels(3, data); p[0] != 1 && p[1] != 1 {
+		t.Errorf("some region must normalise to 1: %v", p)
+	}
+}
+
+func TestTrainWithRegionPrior(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(8, 21)
+	cfg := testConfig()
+	cfg.UseRegionPrior = true
+	m, _, err := TrainExact(space, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Params.RegionPrior) != space.NumRegions() {
+		t.Fatalf("prior not attached to model: %v", m.Params.RegionPrior)
+	}
+	// The prior must survive model serialisation so annotation matches.
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadModelJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Params.RegionPrior {
+		if m.Params.RegionPrior[i] != m2.Params.RegionPrior[i] {
+			t.Fatalf("prior changed after round trip at %d", i)
+		}
+	}
+	// MCMC path accepts the flag too.
+	cfg.MaxIter = 5
+	if _, _, err := Train(space, train, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

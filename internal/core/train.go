@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/lbfgs"
+	"c2mn/internal/seq"
+)
+
+// TrainStats reports the outcome of a training run.
+type TrainStats struct {
+	// Iterations is the number of alternate-learning steps executed.
+	Iterations int
+	// Converged is true when ‖w̄−w‖∞ ≤ δ stopped the run.
+	Converged bool
+	// Swaps counts how often the configured variable switched.
+	Swaps int
+	// PLTrace holds the estimated pseudo-likelihood after each step
+	// (relative values, Eq. 8).
+	PLTrace []float64
+	// Elapsed is the wall-clock training time.
+	Elapsed time.Duration
+}
+
+// trainSeq is the per-object training state.
+type trainSeq struct {
+	ctx   *features.SeqContext
+	truth seq.Labels
+	// confR / confE hold the configured variable Ā (only the one
+	// matching the current A is consulted).
+	confR []indoor.RegionID
+	confE []seq.Event
+
+	// nodes caches, for every node of the currently sampled variable B,
+	// the candidate Markov-blanket feature vectors (w-independent given
+	// the configuration) and the index of the training label.
+	nodes []nodeCache
+	// counts[i][k] is how many of the M samples chose candidate k at
+	// node i during the latest sampling pass.
+	counts [][]int
+}
+
+// nodeCache holds one node's candidate features.
+type nodeCache struct {
+	feats   [][]float64 // candidate index → feature vector (Dim)
+	trueIdx int         // index of the empirical label; -1 when unknown
+}
+
+// snapshot stores the Δf̄ information of the best-PL step (Eq. 8).
+type snapshot struct {
+	// deltas[s][i][k] = f(cand k) − f(true) for sequence s, node i.
+	deltas [][][][]float32
+	counts [][][]int
+}
+
+// Train runs Algorithm 1 (alternate learning with MCMC inference) on
+// labeled sequences and returns the learned model.
+//
+// Interpretation notes (the paper's Algorithm 1 leaves two details
+// open):
+//   - "MCMC sampling over P(bi | MB(bi, Ā), ŵ)" is realised node-wise:
+//     each node of the sampled variable draws from its exact local
+//     conditional with the other variable fixed to Ā and its same-type
+//     neighbours fixed to their training labels (the pseudo-likelihood
+//     conditioning). The M instances are i.i.d. draws from that
+//     conditional.
+//   - every step updates the full weight vector; the partial
+//     convergence test ‖w̄A−wA‖∞ ≤ δ (line 22) decides whether the next
+//     step keeps the current configuration Ā or reconfigures with the
+//     averaged samples B̄ and swaps roles (lines 24–26).
+func Train(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*Model, TrainStats, error) {
+	start := time.Now()
+	cfg = cfg.fill()
+	if cfg.UseRegionPrior {
+		cfg.Params.RegionPrior = RegionPriorFromLabels(space.NumRegions(), data)
+	}
+	ex, err := features.NewExtractor(space, cfg.Params)
+	if err != nil {
+		return nil, TrainStats{}, err
+	}
+	if len(data) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("core: no training sequences")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Build per-sequence state and the first configuration (line 1).
+	seqs := make([]*trainSeq, 0, len(data))
+	for i := range data {
+		ls := &data[i]
+		if err := ls.Validate(); err != nil {
+			return nil, TrainStats{}, fmt.Errorf("core: training data: %w", err)
+		}
+		if ls.P.Len() == 0 {
+			continue
+		}
+		ts := &trainSeq{
+			ctx:   ex.NewSeqContext(&ls.P, ls.Labels.Regions),
+			truth: ls.Labels,
+		}
+		if cfg.FirstVar == VarE {
+			ts.confE = InitEvents(ts.ctx)
+		} else {
+			ts.confR = InitRegions(ts.ctx)
+		}
+		seqs = append(seqs, ts)
+	}
+	if len(seqs) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("core: all training sequences empty")
+	}
+
+	// Random initial weights w0.
+	w := make([]float64, features.Dim)
+	for i := range w {
+		w[i] = rng.Float64() * 0.1
+	}
+
+	a := cfg.FirstVar // the configured variable A; we sample B = a.Other()
+	for _, ts := range seqs {
+		ts.buildNodeCache(a.Other())
+	}
+
+	stats := TrainStats{}
+	// One L-BFGS state per sampled variable: the two alternating
+	// subproblems have different curvature, and mixing their gradient
+	// histories degrades the search direction.
+	steppers := map[Var]*lbfgs.Stepper{}
+	for _, v := range []Var{VarE, VarR} {
+		st := lbfgs.NewStepper(8, features.Dim)
+		st.StepSize = cfg.StepSize
+		st.MaxMove = 2.0
+		steppers[v] = st
+	}
+
+	wHat := append([]float64(nil), w...)
+	plHat := 0.0
+	var best snapshot
+	first := true
+	grad := make([]float64, features.Dim)
+	probs := make([]float64, 0, 16)
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		stats.Iterations = iter + 1
+
+		// Sampling pass: estimate ∇PL(w) (Eq. 9) and collect counts.
+		for i := range grad {
+			grad[i] = 0
+		}
+		var touched [features.Dim]bool
+		for _, ts := range seqs {
+			ts.samplePass(w, cfg.M, rng, grad, &probs)
+			ts.markTouched(&touched)
+		}
+		// The prior term applies to the weights participating in this
+		// step's subproblem. Components of cliques that involve no
+		// sampled node (e.g. fsm/fst/fsc while sampling E) are frozen:
+		// the step's pseudo-likelihood does not depend on them, and
+		// decaying them between alternations would undo the other
+		// variable's learning.
+		for i := range grad {
+			if touched[i] {
+				grad[i] += w[i] / cfg.Sigma2
+			}
+		}
+
+		// PL bookkeeping (Eq. 8): estimate PL(w) relative to PL(ŵ)
+		// using the Δf̄ snapshot, and refresh the snapshot when the
+		// estimate improves (lines 10–16).
+		var pl float64
+		if first {
+			plHat = 0
+			copy(wHat, w)
+			best = takeSnapshot(seqs)
+			pl = 0
+			first = false
+		} else {
+			pl = estimatePL(plHat, wHat, w, cfg, &best)
+			if pl < plHat {
+				plHat = pl
+				copy(wHat, w)
+				best = takeSnapshot(seqs)
+			}
+		}
+		stats.PLTrace = append(stats.PLTrace, pl)
+
+		// L-BFGS update (line 17) and convergence checks (lines 18–26).
+		wBar := steppers[a.Other()].Step(w, pl, append([]float64(nil), grad...))
+		for i := range wBar {
+			if !touched[i] {
+				wBar[i] = w[i]
+			}
+		}
+		if lbfgs.InfNormDiff(wBar, w) <= cfg.Delta {
+			w = wBar
+			stats.Converged = true
+			break
+		}
+		aConverged := infNormDiffIdx(wBar, w, WeightIdx(a)) <= cfg.Delta
+		w = wBar
+		if !aConverged {
+			// Reconfigure with the averaged samples B̄ and swap roles.
+			for _, ts := range seqs {
+				ts.adoptAveragedSamples(a.Other())
+			}
+			a = a.Other()
+			for _, ts := range seqs {
+				ts.buildNodeCache(a.Other())
+			}
+			stats.Swaps++
+		}
+	}
+
+	stats.Elapsed = time.Since(start)
+	m := &Model{Weights: w, Params: cfg.Params}
+	if err := m.Validate(); err != nil {
+		return nil, stats, err
+	}
+	return m, stats, nil
+}
+
+// buildNodeCache prepares the candidate feature vectors for every node
+// of the sampled variable b, conditioning on the configured variable
+// and the training labels of b's neighbours.
+func (ts *trainSeq) buildNodeCache(b Var) {
+	n := ts.ctx.Len()
+	ts.nodes = make([]nodeCache, n)
+	ts.counts = make([][]int, n)
+	for i := 0; i < n; i++ {
+		var nc nodeCache
+		if b == VarE {
+			nc.feats = make([][]float64, seq.NumEvents)
+			for e := 0; e < seq.NumEvents; e++ {
+				buf := make([]float64, features.Dim)
+				ts.ctx.LocalEventFeatures(ts.confR, ts.truth.Events, i, seq.Event(e), buf)
+				nc.feats[e] = buf
+			}
+			nc.trueIdx = int(ts.truth.Events[i])
+		} else {
+			cands := ts.ctx.Candidates[i]
+			nc.feats = make([][]float64, len(cands))
+			nc.trueIdx = -1
+			for k, r := range cands {
+				buf := make([]float64, features.Dim)
+				ts.ctx.LocalRegionFeatures(ts.truth.Regions, ts.confE, i, r, buf)
+				nc.feats[k] = buf
+				if r == ts.truth.Regions[i] {
+					nc.trueIdx = k
+				}
+			}
+		}
+		ts.nodes[i] = nc
+		ts.counts[i] = make([]int, len(nc.feats))
+	}
+}
+
+// samplePass draws M label samples per node from the local
+// conditionals under w, accumulates the gradient contribution
+// Σ_i (1/M) Σ_j Δf(j) into grad, and records the sample counts.
+func (ts *trainSeq) samplePass(w []float64, m int, rng *rand.Rand, grad []float64, probs *[]float64) {
+	for i := range ts.nodes {
+		nc := &ts.nodes[i]
+		if nc.trueIdx < 0 {
+			continue // unlabeled node: no empirical features
+		}
+		k := len(nc.feats)
+		if cap(*probs) < k {
+			*probs = make([]float64, k)
+		}
+		p := (*probs)[:k]
+		maxL := math.Inf(-1)
+		for c := 0; c < k; c++ {
+			p[c] = dot(w, nc.feats[c])
+			if p[c] > maxL {
+				maxL = p[c]
+			}
+		}
+		normalizeExp(p, maxL)
+		counts := ts.counts[i]
+		for c := range counts {
+			counts[c] = 0
+		}
+		for j := 0; j < m; j++ {
+			counts[sampleIndex(p, rng)]++
+		}
+		// Gradient: Σ_c (count_c/M)(f_c − f_true).
+		ft := nc.feats[nc.trueIdx]
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			wc := float64(counts[c]) / float64(m)
+			fc := nc.feats[c]
+			for d := range grad {
+				grad[d] += wc * (fc[d] - ft[d])
+			}
+		}
+	}
+}
+
+// markTouched flags the weight components that participate in any of
+// this sequence's candidate features, i.e. the components this step's
+// pseudo-likelihood actually depends on.
+func (ts *trainSeq) markTouched(touched *[features.Dim]bool) {
+	for i := range ts.nodes {
+		nc := &ts.nodes[i]
+		if nc.trueIdx < 0 {
+			continue
+		}
+		for _, f := range nc.feats {
+			for d, v := range f {
+				if v != 0 {
+					touched[d] = true
+				}
+			}
+		}
+	}
+}
+
+// adoptAveragedSamples replaces the configuration of variable b with
+// the per-node majority of the latest samples (line 25's averaging,
+// realised as the sample mode for discrete labels).
+func (ts *trainSeq) adoptAveragedSamples(b Var) {
+	n := ts.ctx.Len()
+	if b == VarE {
+		ts.confE = make([]seq.Event, n)
+		for i := 0; i < n; i++ {
+			ts.confE[i] = seq.Event(argmaxInt(ts.counts[i]))
+		}
+	} else {
+		ts.confR = make([]indoor.RegionID, n)
+		for i := 0; i < n; i++ {
+			if len(ts.ctx.Candidates[i]) == 0 {
+				ts.confR[i] = indoor.NoRegion
+				continue
+			}
+			ts.confR[i] = ts.ctx.Candidates[i][argmaxInt(ts.counts[i])]
+		}
+	}
+}
+
+// takeSnapshot captures the Δf̄ and counts of the current step for the
+// Eq. 8 estimate.
+func takeSnapshot(seqs []*trainSeq) snapshot {
+	sn := snapshot{
+		deltas: make([][][][]float32, len(seqs)),
+		counts: make([][][]int, len(seqs)),
+	}
+	for s, ts := range seqs {
+		sn.deltas[s] = make([][][]float32, len(ts.nodes))
+		sn.counts[s] = make([][]int, len(ts.nodes))
+		for i := range ts.nodes {
+			nc := &ts.nodes[i]
+			if nc.trueIdx < 0 {
+				continue
+			}
+			ft := nc.feats[nc.trueIdx]
+			ds := make([][]float32, len(nc.feats))
+			for c := range nc.feats {
+				d := make([]float32, features.Dim)
+				for x := 0; x < features.Dim; x++ {
+					d[x] = float32(nc.feats[c][x] - ft[x])
+				}
+				ds[c] = d
+			}
+			sn.deltas[s][i] = ds
+			sn.counts[s][i] = append([]int(nil), ts.counts[i]...)
+		}
+	}
+	return sn
+}
+
+// estimatePL evaluates Eq. 8: PL(w) ≈ PL(ŵ) + Σ_i log{(1/M) Σ_j
+// exp((w−ŵ)ᵀ Δf̄(j))} + (wᵀw − ŵᵀŵ)/2σ², with the per-sample sum
+// collapsed over identical candidates via the stored counts.
+func estimatePL(plHat float64, wHat, w []float64, cfg Config, sn *snapshot) float64 {
+	dw := make([]float64, len(w))
+	for i := range w {
+		dw[i] = w[i] - wHat[i]
+	}
+	pl := plHat
+	for s := range sn.deltas {
+		for i := range sn.deltas[s] {
+			ds := sn.deltas[s][i]
+			if ds == nil {
+				continue
+			}
+			counts := sn.counts[s][i]
+			total := 0
+			sum := 0.0
+			for c := range ds {
+				if counts[c] == 0 {
+					continue
+				}
+				e := 0.0
+				for x := range dw {
+					e += dw[x] * float64(ds[c][x])
+				}
+				sum += float64(counts[c]) * math.Exp(e)
+				total += counts[c]
+			}
+			if total > 0 && sum > 0 {
+				pl += math.Log(sum / float64(total))
+			}
+		}
+	}
+	var ww, hh float64
+	for i := range w {
+		ww += w[i] * w[i]
+		hh += wHat[i] * wHat[i]
+	}
+	pl += (ww - hh) / (2 * cfg.Sigma2)
+	return pl
+}
+
+// sampleIndex draws one index from a normalised distribution.
+func sampleIndex(p []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, v := range p {
+		acc += v
+		if u < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+func argmaxInt(xs []int) int {
+	best, bestV := 0, -1
+	for i, v := range xs {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+func infNormDiffIdx(a, b []float64, idx []int) float64 {
+	m := 0.0
+	for _, i := range idx {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

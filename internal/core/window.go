@@ -1,0 +1,71 @@
+package core
+
+import (
+	"c2mn/internal/features"
+	"c2mn/internal/seq"
+)
+
+// WindowOptions tunes AnnotateWindowed.
+type WindowOptions struct {
+	// Window is the number of records labeled per chunk. Default 256.
+	Window int
+	// Overlap is the number of context records included on each side
+	// of a chunk; their labels are discarded. Default 32.
+	Overlap int
+	// Infer is passed through to the per-chunk inference.
+	Infer InferOptions
+}
+
+func (o WindowOptions) fill() WindowOptions {
+	if o.Window <= 0 {
+		o.Window = 256
+	}
+	if o.Overlap < 0 {
+		o.Overlap = 0
+	} else if o.Overlap == 0 {
+		o.Overlap = 32
+	}
+	return o
+}
+
+// AnnotateWindowed labels a long p-sequence in overlapping chunks:
+// each chunk is annotated with Overlap records of context on both
+// sides, and only the core labels are kept. Inference cost per chunk
+// is bounded regardless of total sequence length, making the method
+// suitable for day-long streams; the overlap preserves the sequential
+// context that the transition, synchronization and segmentation
+// cliques need near chunk borders.
+func (m *Model) AnnotateWindowed(ex *features.Extractor, p *seq.PSequence, opts WindowOptions) seq.Labels {
+	opts = opts.fill()
+	n := p.Len()
+	if n <= opts.Window+2*opts.Overlap {
+		ctx := ex.NewSeqContext(p, nil)
+		return m.Annotate(ctx, opts.Infer)
+	}
+	out := seq.NewLabels(n)
+	for start := 0; start < n; start += opts.Window {
+		end := start + opts.Window
+		if end > n {
+			end = n
+		}
+		lo := start - opts.Overlap
+		if lo < 0 {
+			lo = 0
+		}
+		hi := end + opts.Overlap
+		if hi > n {
+			hi = n
+		}
+		chunk := seq.PSequence{
+			ObjectID: p.ObjectID,
+			Records:  p.Records[lo:hi],
+		}
+		ctx := ex.NewSeqContext(&chunk, nil)
+		labels := m.Annotate(ctx, opts.Infer)
+		for i := start; i < end; i++ {
+			out.Regions[i] = labels.Regions[i-lo]
+			out.Events[i] = labels.Events[i-lo]
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// longSequence chains several room-to-room trips into one long
+// labeled trajectory.
+func longSequence(trips int, rngSeed int64) seq.LabeledSequence {
+	rng := rand.New(rand.NewSource(rngSeed))
+	var out seq.LabeledSequence
+	out.P.ObjectID = "long"
+	tOffset := 0.0
+	cur := 0
+	for trip := 0; trip < trips; trip++ {
+		next := (cur + 1 + rng.Intn(2)) % 3
+		ls := synthSequence("part", indoor.RegionID(cur), indoor.RegionID(next), rng)
+		for i := range ls.P.Records {
+			rec := ls.P.Records[i]
+			rec.T += tOffset
+			out.P.Records = append(out.P.Records, rec)
+			out.Labels.Regions = append(out.Labels.Regions, ls.Labels.Regions[i])
+			out.Labels.Events = append(out.Labels.Events, ls.Labels.Events[i])
+		}
+		tOffset = out.P.Records[len(out.P.Records)-1].T + 10
+		cur = next
+	}
+	return out
+}
+
+func TestAnnotateWindowedMatchesWhole(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(12, 41)
+	m, _, err := TrainExact(space, train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := features.NewExtractor(space, m.Params)
+	long := longSequence(8, 5)
+	ctx := ex.NewSeqContext(&long.P, nil)
+	whole := m.Annotate(ctx, InferOptions{})
+	windowed := m.AnnotateWindowed(ex, &long.P, WindowOptions{Window: 30, Overlap: 10})
+
+	n := long.P.Len()
+	if len(windowed.Regions) != n || len(windowed.Events) != n {
+		t.Fatalf("windowed labels misaligned")
+	}
+	agreeR, agreeE := 0, 0
+	for i := 0; i < n; i++ {
+		if windowed.Regions[i] == whole.Regions[i] {
+			agreeR++
+		}
+		if windowed.Events[i] == whole.Events[i] {
+			agreeE++
+		}
+	}
+	if fr := float64(agreeR) / float64(n); fr < 0.9 {
+		t.Errorf("windowed region agreement = %.3f, want >= 0.9", fr)
+	}
+	if fe := float64(agreeE) / float64(n); fe < 0.9 {
+		t.Errorf("windowed event agreement = %.3f, want >= 0.9", fe)
+	}
+}
+
+func TestAnnotateWindowedShortSequence(t *testing.T) {
+	space := testSpace(t)
+	train := synthDataset(6, 42)
+	m, _, err := TrainExact(space, train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := features.NewExtractor(space, m.Params)
+	rng := rand.New(rand.NewSource(9))
+	ls := synthSequence("short", 0, 1, rng)
+	ctx := ex.NewSeqContext(&ls.P, nil)
+	whole := m.Annotate(ctx, InferOptions{})
+	windowed := m.AnnotateWindowed(ex, &ls.P, WindowOptions{})
+	for i := range whole.Regions {
+		if whole.Regions[i] != windowed.Regions[i] || whole.Events[i] != windowed.Events[i] {
+			t.Fatalf("short sequence should take the whole-sequence path, differs at %d", i)
+		}
+	}
+}
+
+func TestWindowOptionsFill(t *testing.T) {
+	o := WindowOptions{}.fill()
+	if o.Window != 256 || o.Overlap != 32 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = WindowOptions{Window: 10, Overlap: -1}.fill()
+	if o.Window != 10 || o.Overlap != 0 {
+		t.Errorf("explicit = %+v", o)
+	}
+}

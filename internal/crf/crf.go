@@ -1,0 +1,354 @@
+// Package crf implements a linear-chain conditional random field over
+// a label lattice: every position carries its own candidate label set,
+// unary feature vectors per candidate and pairwise feature vectors per
+// transition. Training maximises the exact conditional likelihood via
+// forward–backward and L-BFGS; decoding is exact Viterbi.
+//
+// The paper positions C2MN against exactly this class of model
+// (§III-A: "sequential models like linear-chain CRF cannot model
+// dependencies for hidden nodes" and cannot couple the two label
+// types). The package serves two roles here:
+//
+//   - the LCCRF baseline: a "generic CRF library" applied to the same
+//     indoor features, quantifying what the coupled model adds;
+//   - an exact decoder for chain-structured subsets of C2MN (CMN
+//     without segmentation cliques factorises into two chains).
+package crf
+
+import (
+	"fmt"
+	"math"
+
+	"c2mn/internal/lbfgs"
+)
+
+// Lattice is one training or decoding instance: a sequence of
+// positions, each with candidate labels. Features are dense vectors of
+// a fixed dimensionality shared with the weight vector.
+type Lattice struct {
+	// Unary[i][k] is the feature vector of candidate k at position i.
+	Unary [][][]float64
+	// Pair[i][k][l] is the feature vector of the transition from
+	// candidate k at position i to candidate l at position i+1;
+	// len(Pair) == len(Unary)-1. A nil Pair disables transition
+	// features.
+	Pair [][][][]float64
+	// Truth[i] is the index of the gold candidate at position i
+	// (training only; -1 marks unsupervised positions, which make the
+	// instance unusable for training).
+	Truth []int
+}
+
+// Len returns the number of positions.
+func (l *Lattice) Len() int { return len(l.Unary) }
+
+// Validate checks structural consistency against dimension dim.
+func (l *Lattice) Validate(dim int) error {
+	n := l.Len()
+	if l.Pair != nil && len(l.Pair) != max(0, n-1) {
+		return fmt.Errorf("crf: %d pair slots for %d positions", len(l.Pair), n)
+	}
+	if l.Truth != nil && len(l.Truth) != n {
+		return fmt.Errorf("crf: %d truth entries for %d positions", len(l.Truth), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(l.Unary[i]) == 0 {
+			return fmt.Errorf("crf: position %d has no candidates", i)
+		}
+		for k, f := range l.Unary[i] {
+			if len(f) != dim {
+				return fmt.Errorf("crf: unary feature dim %d at (%d,%d), want %d", len(f), i, k, dim)
+			}
+		}
+		if l.Truth != nil && (l.Truth[i] < 0 || l.Truth[i] >= len(l.Unary[i])) {
+			return fmt.Errorf("crf: truth index %d out of range at %d", l.Truth[i], i)
+		}
+		if l.Pair != nil && i+1 < n {
+			if len(l.Pair[i]) != len(l.Unary[i]) {
+				return fmt.Errorf("crf: pair rows %d at %d, want %d", len(l.Pair[i]), i, len(l.Unary[i]))
+			}
+			for k := range l.Pair[i] {
+				if len(l.Pair[i][k]) != len(l.Unary[i+1]) {
+					return fmt.Errorf("crf: pair cols %d at (%d,%d)", len(l.Pair[i][k]), i, k)
+				}
+				for m, f := range l.Pair[i][k] {
+					if len(f) != dim {
+						return fmt.Errorf("crf: pair feature dim %d at (%d,%d,%d)", len(f), i, k, m)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Model is a trained lattice CRF.
+type Model struct {
+	Weights []float64
+}
+
+// Config parameterises Fit.
+type Config struct {
+	// Dim is the feature dimensionality.
+	Dim int
+	// Sigma2 is the Gaussian prior variance (default 1).
+	Sigma2 float64
+	// MaxIter bounds L-BFGS iterations (default 100).
+	MaxIter int
+}
+
+// Fit trains a model on lattices with gold labels by minimising the
+// exact regularised negative log-likelihood. The objective is convex.
+func Fit(data []*Lattice, cfg Config) (*Model, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("crf: Dim must be positive")
+	}
+	if cfg.Sigma2 <= 0 {
+		cfg.Sigma2 = 1
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	for li, l := range data {
+		if err := l.Validate(cfg.Dim); err != nil {
+			return nil, fmt.Errorf("crf: lattice %d: %w", li, err)
+		}
+		if l.Truth == nil {
+			return nil, fmt.Errorf("crf: lattice %d has no gold labels", li)
+		}
+	}
+	obj := func(w []float64) (float64, []float64) {
+		f := 0.0
+		g := make([]float64, cfg.Dim)
+		for _, l := range data {
+			f += l.negLogLik(w, g)
+		}
+		for d := range g {
+			f += w[d] * w[d] / (2 * cfg.Sigma2)
+			g[d] += w[d] / cfg.Sigma2
+		}
+		return f, g
+	}
+	res, err := lbfgs.Minimize(obj, make([]float64, cfg.Dim), lbfgs.Options{MaxIter: cfg.MaxIter, GradTol: 1e-6})
+	if err != nil && res.X == nil {
+		return nil, fmt.Errorf("crf: %w", err)
+	}
+	return &Model{Weights: res.X}, nil
+}
+
+// negLogLik adds the gradient of -log P(truth | lattice) to g and
+// returns the value. It runs exact forward-backward in log space.
+func (l *Lattice) negLogLik(w []float64, g []float64) float64 {
+	n := l.Len()
+	if n == 0 {
+		return 0
+	}
+	uScore, pScore := l.scores(w)
+	logZ, alpha, beta := l.forwardBackward(uScore, pScore)
+
+	// Value: logZ - score(truth).
+	truthScore := 0.0
+	for i := 0; i < n; i++ {
+		truthScore += uScore[i][l.Truth[i]]
+		if i+1 < n && pScore != nil {
+			truthScore += pScore[i][l.Truth[i]][l.Truth[i+1]]
+		}
+	}
+
+	// Gradient: E[f] - f(truth).
+	for i := 0; i < n; i++ {
+		for k := range l.Unary[i] {
+			p := math.Exp(alpha[i][k] + beta[i][k] - logZ)
+			axpy(g, p, l.Unary[i][k])
+		}
+		axpy(g, -1, l.Unary[i][l.Truth[i]])
+	}
+	if pScore != nil {
+		for i := 0; i+1 < n; i++ {
+			for k := range l.Unary[i] {
+				for m := range l.Unary[i+1] {
+					p := math.Exp(alpha[i][k] + pScore[i][k][m] + uScore[i+1][m] + beta[i+1][m] - logZ)
+					axpy(g, p, l.Pair[i][k][m])
+				}
+			}
+			axpy(g, -1, l.Pair[i][l.Truth[i]][l.Truth[i+1]])
+		}
+	}
+	return logZ - truthScore
+}
+
+// scores precomputes w·f for every unary and pairwise feature.
+func (l *Lattice) scores(w []float64) (uScore [][]float64, pScore [][][]float64) {
+	n := l.Len()
+	uScore = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		uScore[i] = make([]float64, len(l.Unary[i]))
+		for k, f := range l.Unary[i] {
+			uScore[i][k] = dot(w, f)
+		}
+	}
+	if l.Pair == nil {
+		return uScore, nil
+	}
+	pScore = make([][][]float64, n-1)
+	for i := 0; i+1 < n; i++ {
+		pScore[i] = make([][]float64, len(l.Unary[i]))
+		for k := range l.Unary[i] {
+			pScore[i][k] = make([]float64, len(l.Unary[i+1]))
+			for m, f := range l.Pair[i][k] {
+				pScore[i][k][m] = dot(w, f)
+			}
+		}
+	}
+	return uScore, pScore
+}
+
+// forwardBackward returns logZ and the log-space alpha/beta lattices.
+// alpha[i][k] includes the unary score at (i,k); beta[i][k] excludes it.
+func (l *Lattice) forwardBackward(uScore [][]float64, pScore [][][]float64) (float64, [][]float64, [][]float64) {
+	n := l.Len()
+	alpha := make([][]float64, n)
+	beta := make([][]float64, n)
+	alpha[0] = append([]float64(nil), uScore[0]...)
+	for i := 1; i < n; i++ {
+		alpha[i] = make([]float64, len(uScore[i]))
+		for m := range uScore[i] {
+			acc := math.Inf(-1)
+			for k := range uScore[i-1] {
+				t := alpha[i-1][k]
+				if pScore != nil {
+					t += pScore[i-1][k][m]
+				}
+				acc = logAdd(acc, t)
+			}
+			alpha[i][m] = acc + uScore[i][m]
+		}
+	}
+	beta[n-1] = make([]float64, len(uScore[n-1]))
+	for i := n - 2; i >= 0; i-- {
+		beta[i] = make([]float64, len(uScore[i]))
+		for k := range uScore[i] {
+			acc := math.Inf(-1)
+			for m := range uScore[i+1] {
+				t := uScore[i+1][m] + beta[i+1][m]
+				if pScore != nil {
+					t += pScore[i][k][m]
+				}
+				acc = logAdd(acc, t)
+			}
+			beta[i][k] = acc
+		}
+	}
+	logZ := math.Inf(-1)
+	for k := range alpha[n-1] {
+		logZ = logAdd(logZ, alpha[n-1][k])
+	}
+	return logZ, alpha, beta
+}
+
+// Decode returns the Viterbi (maximum a posteriori) candidate indices
+// and the path score.
+func (m *Model) Decode(l *Lattice) ([]int, float64, error) {
+	if err := l.Validate(len(m.Weights)); err != nil {
+		return nil, 0, err
+	}
+	n := l.Len()
+	if n == 0 {
+		return nil, 0, nil
+	}
+	uScore, pScore := l.scores(m.Weights)
+	best := append([]float64(nil), uScore[0]...)
+	back := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		cur := make([]float64, len(uScore[i]))
+		back[i] = make([]int32, len(uScore[i]))
+		for mI := range uScore[i] {
+			bestV := math.Inf(-1)
+			bestK := 0
+			for k := range uScore[i-1] {
+				t := best[k]
+				if pScore != nil {
+					t += pScore[i-1][k][mI]
+				}
+				if t > bestV {
+					bestV, bestK = t, k
+				}
+			}
+			cur[mI] = bestV + uScore[i][mI]
+			back[i][mI] = int32(bestK)
+		}
+		best = cur
+	}
+	bestV := math.Inf(-1)
+	bestK := 0
+	for k, v := range best {
+		if v > bestV {
+			bestV, bestK = v, k
+		}
+	}
+	path := make([]int, n)
+	path[n-1] = bestK
+	for i := n - 1; i > 0; i-- {
+		path[i-1] = int(back[i][path[i]])
+	}
+	return path, bestV, nil
+}
+
+// LogZ exposes the partition function for tests.
+func (m *Model) LogZ(l *Lattice) (float64, error) {
+	if err := l.Validate(len(m.Weights)); err != nil {
+		return 0, err
+	}
+	if l.Len() == 0 {
+		return 0, nil
+	}
+	u, p := l.scores(m.Weights)
+	z, _, _ := l.forwardBackward(u, p)
+	return z, nil
+}
+
+// PathScore returns w·f(path) for tests.
+func (m *Model) PathScore(l *Lattice, path []int) float64 {
+	s := 0.0
+	for i := range path {
+		s += dot(m.Weights, l.Unary[i][path[i]])
+		if i+1 < len(path) && l.Pair != nil {
+			s += dot(m.Weights, l.Pair[i][path[i]][path[i+1]])
+		}
+	}
+	return s
+}
+
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(dst []float64, a float64, x []float64) {
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,253 @@
+package crf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chainLattice builds a lattice with fixed label count and random
+// one-hot-ish features: unary features carry (obs == label) evidence,
+// pairwise features carry (same label) evidence.
+func chainLattice(rng *rand.Rand, n, labels int, noise float64) *Lattice {
+	const dim = 2
+	l := &Lattice{
+		Unary: make([][][]float64, n),
+		Pair:  make([][][][]float64, n-1),
+		Truth: make([]int, n),
+	}
+	state := rng.Intn(labels)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.2 {
+			state = rng.Intn(labels)
+		}
+		l.Truth[i] = state
+		obs := state
+		if rng.Float64() < noise {
+			obs = rng.Intn(labels)
+		}
+		l.Unary[i] = make([][]float64, labels)
+		for k := 0; k < labels; k++ {
+			f := make([]float64, dim)
+			if k == obs {
+				f[0] = 1
+			}
+			l.Unary[i][k] = f
+		}
+		if i+1 < n {
+			l.Pair[i] = make([][][]float64, labels)
+			for k := 0; k < labels; k++ {
+				l.Pair[i][k] = make([][]float64, labels)
+				for m := 0; m < labels; m++ {
+					f := make([]float64, dim)
+					if k == m {
+						f[1] = 1
+					}
+					l.Pair[i][k][m] = f
+				}
+			}
+		}
+	}
+	return l
+}
+
+func TestValidate(t *testing.T) {
+	l := &Lattice{Unary: [][][]float64{{{1, 0}}}}
+	if err := l.Validate(2); err != nil {
+		t.Errorf("minimal lattice invalid: %v", err)
+	}
+	if err := l.Validate(3); err == nil {
+		t.Errorf("wrong dim should fail")
+	}
+	bad := &Lattice{Unary: [][][]float64{{}}}
+	if err := bad.Validate(2); err == nil {
+		t.Errorf("empty candidates should fail")
+	}
+	badTruth := &Lattice{Unary: [][][]float64{{{1, 0}}}, Truth: []int{5}}
+	if err := badTruth.Validate(2); err == nil {
+		t.Errorf("out-of-range truth should fail")
+	}
+}
+
+func TestFitRecoversChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var data []*Lattice
+	for i := 0; i < 30; i++ {
+		data = append(data, chainLattice(rng, 20, 3, 0.25))
+	}
+	m, err := Fit(data, Config{Dim: 2, Sigma2: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both evidence weights should be clearly positive.
+	if m.Weights[0] < 0.5 || m.Weights[1] < 0.1 {
+		t.Errorf("weights = %v", m.Weights)
+	}
+	// Decoding beats raw observation reading on noisy test chains.
+	var crfOK, rawOK, total int
+	for i := 0; i < 20; i++ {
+		l := chainLattice(rng, 20, 3, 0.25)
+		path, _, err := m.Decode(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range path {
+			total++
+			if path[j] == l.Truth[j] {
+				crfOK++
+			}
+			// The raw guess is the candidate with the unary evidence.
+			raw := 0
+			for k, f := range l.Unary[j] {
+				if f[0] == 1 {
+					raw = k
+				}
+			}
+			if raw == l.Truth[j] {
+				rawOK++
+			}
+		}
+	}
+	if crfOK <= rawOK {
+		t.Errorf("CRF %d/%d should beat raw %d/%d", crfOK, total, rawOK, total)
+	}
+}
+
+func TestViterbiOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := chainLattice(rng, 6, 3, 0.3)
+	m := &Model{Weights: []float64{1.7, 0.9}}
+	path, score, err := m.Decode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PathScore(l, path); math.Abs(got-score) > 1e-9 {
+		t.Fatalf("Decode score %v != PathScore %v", score, got)
+	}
+	// Exhaustive check over all 3^6 paths.
+	n := l.Len()
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= 3
+	}
+	for code := 0; code < total; code++ {
+		p := make([]int, n)
+		c := code
+		for i := 0; i < n; i++ {
+			p[i] = c % 3
+			c /= 3
+		}
+		if m.PathScore(l, p) > score+1e-9 {
+			t.Fatalf("found better path %v", p)
+		}
+	}
+}
+
+func TestLogZConsistency(t *testing.T) {
+	// logZ must equal log Σ exp(score(path)) over all paths.
+	rng := rand.New(rand.NewSource(3))
+	l := chainLattice(rng, 5, 2, 0.3)
+	m := &Model{Weights: []float64{0.8, -0.4}}
+	logZ, err := m.LogZ(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := math.Inf(-1)
+	n := l.Len()
+	total := 1 << n
+	for code := 0; code < total; code++ {
+		p := make([]int, n)
+		for i := 0; i < n; i++ {
+			p[i] = (code >> i) & 1
+		}
+		sum = logAdd(sum, m.PathScore(l, p))
+	}
+	if math.Abs(logZ-sum) > 1e-9 {
+		t.Fatalf("logZ = %v, brute force = %v", logZ, sum)
+	}
+}
+
+func TestGradientMatchesNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := chainLattice(rng, 7, 3, 0.4)
+	w := []float64{0.3, -0.2}
+	g := make([]float64, 2)
+	f0 := l.negLogLik(w, g)
+	const h = 1e-6
+	for d := 0; d < 2; d++ {
+		wp := append([]float64(nil), w...)
+		wp[d] += h
+		gp := make([]float64, 2)
+		fp := l.negLogLik(wp, gp)
+		numeric := (fp - f0) / h
+		if math.Abs(numeric-g[d]) > 1e-4 {
+			t.Errorf("grad[%d] = %v, numeric %v", d, g[d], numeric)
+		}
+	}
+}
+
+func TestVaryingCandidateSets(t *testing.T) {
+	// Lattice positions with different candidate counts (the indoor
+	// use case) must work end to end.
+	l := &Lattice{
+		Unary: [][][]float64{
+			{{1, 0}, {0, 0}},
+			{{0, 0}, {1, 0}, {0.5, 0}},
+			{{1, 0}},
+		},
+		Pair: [][][][]float64{
+			{{{0, 1}, {0, 0}, {0, 0}}, {{0, 0}, {0, 1}, {0, 0}}},
+			{{{0, 1}}, {{0, 0}}, {{0, 0}}},
+		},
+		Truth: []int{0, 1, 0},
+	}
+	if err := l.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit([]*Lattice{l}, Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _, err := m.Decode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+	for i, p := range path {
+		if p < 0 || p >= len(l.Unary[i]) {
+			t.Fatalf("path index out of range at %d: %d", i, p)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, Config{}); err == nil {
+		t.Errorf("zero dim should fail")
+	}
+	noTruth := &Lattice{Unary: [][][]float64{{{1, 0}}}}
+	if _, err := Fit([]*Lattice{noTruth}, Config{Dim: 2}); err == nil {
+		t.Errorf("missing truth should fail")
+	}
+}
+
+func TestDecodeEmptyAndUnaryOnly(t *testing.T) {
+	m := &Model{Weights: []float64{1, 0}}
+	path, _, err := m.Decode(&Lattice{})
+	if err != nil || path != nil {
+		t.Errorf("empty decode = %v, %v", path, err)
+	}
+	// Unary-only lattice (nil Pair).
+	l := &Lattice{Unary: [][][]float64{
+		{{0, 0}, {1, 0}},
+		{{1, 0}, {0, 0}},
+	}}
+	path, _, err = m.Decode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 1 || path[1] != 0 {
+		t.Errorf("unary-only path = %v", path)
+	}
+}

@@ -1,0 +1,105 @@
+// Package eval implements the paper's labeling metrics (§V-A): region
+// accuracy RA, event accuracy EA, combined accuracy CA = λ·RA +
+// (1−λ)·EA, and perfect accuracy PA (both labels correct), plus
+// train/test splitting and k-fold cross-validation utilities.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"c2mn/internal/seq"
+)
+
+// DefaultLambda is the CA trade-off the paper uses (λ = 0.7: region
+// labels matter more).
+const DefaultLambda = 0.7
+
+// Accuracy aggregates the four labeling metrics.
+type Accuracy struct {
+	RA, EA, CA, PA float64
+	Records        int
+}
+
+// Counter accumulates per-record outcomes across sequences.
+type Counter struct {
+	records int
+	okR     int
+	okE     int
+	okBoth  int
+}
+
+// Add compares one sequence's prediction against its truth.
+func (c *Counter) Add(truth, pred seq.Labels) error {
+	n := len(truth.Regions)
+	if len(pred.Regions) != n || len(pred.Events) != n || len(truth.Events) != n {
+		return fmt.Errorf("eval: label lengths differ (truth %d/%d, pred %d/%d)",
+			len(truth.Regions), len(truth.Events), len(pred.Regions), len(pred.Events))
+	}
+	for i := 0; i < n; i++ {
+		c.records++
+		r := truth.Regions[i] == pred.Regions[i]
+		e := truth.Events[i] == pred.Events[i]
+		if r {
+			c.okR++
+		}
+		if e {
+			c.okE++
+		}
+		if r && e {
+			c.okBoth++
+		}
+	}
+	return nil
+}
+
+// Result finalises the metrics with the CA trade-off lambda.
+func (c *Counter) Result(lambda float64) Accuracy {
+	if c.records == 0 {
+		return Accuracy{}
+	}
+	n := float64(c.records)
+	a := Accuracy{
+		RA:      float64(c.okR) / n,
+		EA:      float64(c.okE) / n,
+		PA:      float64(c.okBoth) / n,
+		Records: c.records,
+	}
+	a.CA = lambda*a.RA + (1-lambda)*a.EA
+	return a
+}
+
+// Split shuffles the sequences with the seed and splits them into a
+// training set of ⌈frac·n⌉ sequences and a test set of the rest.
+func Split(data []seq.LabeledSequence, frac float64, seedVal int64) (train, test []seq.LabeledSequence) {
+	idx := rand.New(rand.NewSource(seedVal)).Perm(len(data))
+	nTrain := int(frac*float64(len(data)) + 0.9999)
+	if nTrain > len(data) {
+		nTrain = len(data)
+	}
+	for i, j := range idx {
+		if i < nTrain {
+			train = append(train, data[j])
+		} else {
+			test = append(test, data[j])
+		}
+	}
+	return train, test
+}
+
+// KFold returns k disjoint test folds (as index slices) covering all n
+// items, shuffled by the seed. Fold sizes differ by at most one.
+func KFold(n, k int, seedVal int64) [][]int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	idx := rand.New(rand.NewSource(seedVal)).Perm(n)
+	folds := make([][]int, k)
+	for i, j := range idx {
+		folds[i%k] = append(folds[i%k], j)
+	}
+	return folds
+}

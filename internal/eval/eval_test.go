@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+func mkLabels(regions []indoor.RegionID, events []seq.Event) seq.Labels {
+	return seq.Labels{Regions: regions, Events: events}
+}
+
+func TestCounterMetrics(t *testing.T) {
+	truth := mkLabels(
+		[]indoor.RegionID{1, 1, 2, 3},
+		[]seq.Event{seq.Stay, seq.Stay, seq.Pass, seq.Pass},
+	)
+	pred := mkLabels(
+		[]indoor.RegionID{1, 2, 2, 3},                       // 3/4 regions right
+		[]seq.Event{seq.Stay, seq.Stay, seq.Stay, seq.Pass}, // 3/4 events right
+	)
+	var c Counter
+	if err := c.Add(truth, pred); err != nil {
+		t.Fatal(err)
+	}
+	a := c.Result(0.7)
+	if a.RA != 0.75 || a.EA != 0.75 {
+		t.Errorf("RA=%v EA=%v", a.RA, a.EA)
+	}
+	if math.Abs(a.CA-0.75) > 1e-12 {
+		t.Errorf("CA = %v", a.CA)
+	}
+	// Records 0 and 3 have both labels right.
+	if a.PA != 0.5 {
+		t.Errorf("PA = %v", a.PA)
+	}
+	if a.Records != 4 {
+		t.Errorf("Records = %d", a.Records)
+	}
+}
+
+func TestCounterCALambda(t *testing.T) {
+	truth := mkLabels([]indoor.RegionID{1, 1}, []seq.Event{seq.Stay, seq.Stay})
+	pred := mkLabels([]indoor.RegionID{1, 2}, []seq.Event{seq.Stay, seq.Stay})
+	var c Counter
+	_ = c.Add(truth, pred)
+	// RA = 0.5, EA = 1.
+	a := c.Result(0.7)
+	if math.Abs(a.CA-(0.7*0.5+0.3*1)) > 1e-12 {
+		t.Errorf("CA = %v", a.CA)
+	}
+	a = c.Result(0)
+	if a.CA != 1 {
+		t.Errorf("lambda=0 CA = %v", a.CA)
+	}
+}
+
+func TestCounterErrors(t *testing.T) {
+	var c Counter
+	err := c.Add(
+		mkLabels([]indoor.RegionID{1}, []seq.Event{seq.Stay}),
+		mkLabels([]indoor.RegionID{1, 2}, []seq.Event{seq.Stay, seq.Stay}),
+	)
+	if err == nil {
+		t.Errorf("misaligned labels should fail")
+	}
+	if a := c.Result(0.7); a.Records != 0 || a.RA != 0 {
+		t.Errorf("empty counter result = %+v", a)
+	}
+}
+
+func mkDataset(n int) []seq.LabeledSequence {
+	out := make([]seq.LabeledSequence, n)
+	for i := range out {
+		out[i].P.ObjectID = string(rune('a' + i))
+		out[i].P.Records = []seq.Record{{T: float64(i)}}
+		out[i].Labels = seq.NewLabels(1)
+	}
+	return out
+}
+
+func TestSplit(t *testing.T) {
+	data := mkDataset(10)
+	train, test := Split(data, 0.7, 1)
+	if len(train) != 7 || len(test) != 3 {
+		t.Fatalf("split sizes = %d/%d", len(train), len(test))
+	}
+	// No overlap, full coverage.
+	seen := map[string]int{}
+	for _, s := range train {
+		seen[s.P.ObjectID]++
+	}
+	for _, s := range test {
+		seen[s.P.ObjectID]++
+	}
+	if len(seen) != 10 {
+		t.Errorf("coverage = %d ids", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("id %q appears %d times", id, n)
+		}
+	}
+	// Deterministic for same seed, different for another.
+	tr2, _ := Split(data, 0.7, 1)
+	for i := range train {
+		if train[i].P.ObjectID != tr2[i].P.ObjectID {
+			t.Errorf("split not deterministic")
+		}
+	}
+}
+
+func TestSplitEdges(t *testing.T) {
+	data := mkDataset(3)
+	train, test := Split(data, 1.0, 2)
+	if len(train) != 3 || len(test) != 0 {
+		t.Errorf("full split = %d/%d", len(train), len(test))
+	}
+	train, test = Split(data, 0, 2)
+	if len(train) != 0 || len(test) != 3 {
+		t.Errorf("empty split = %d/%d", len(train), len(test))
+	}
+}
+
+func TestKFold(t *testing.T) {
+	folds := KFold(10, 3, 1)
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		if len(f) < 3 || len(f) > 4 {
+			t.Errorf("fold size %d", len(f))
+		}
+		for _, i := range f {
+			if seen[i] {
+				t.Errorf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("coverage %d", len(seen))
+	}
+	if KFold(0, 3, 1) != nil {
+		t.Errorf("n=0 should be nil")
+	}
+	if got := KFold(2, 5, 1); len(got) != 2 {
+		t.Errorf("k>n should clamp: %d folds", len(got))
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"strconv"
+	"time"
+
+	"c2mn/internal/baseline"
+	"c2mn/internal/core"
+	"c2mn/internal/eval"
+	"c2mn/internal/features"
+	"c2mn/internal/seq"
+)
+
+// AblationExactVsMCMC compares the paper's Algorithm 1 (MCMC
+// pseudo-likelihood estimation) against this repository's exact
+// pseudo-likelihood trainer on the same mall workload: accuracy and
+// training time. DESIGN.md §6 calls this design choice out.
+func AblationExactVsMCMC(sc Scale) (*Table, error) {
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("ablation-trainer", "Exact pseudo-likelihood vs Algorithm 1 (MCMC)",
+		[]string{"Algorithm1", "ExactPL"}, []string{"RA", "EA", "PA", "time(s)"})
+
+	run := func(row int, exact bool) error {
+		var m *core.Model
+		var elapsed time.Duration
+		if exact {
+			model, stats, err := core.TrainExact(w.space, w.train, w.cfg)
+			if err != nil {
+				return err
+			}
+			m, elapsed = model, stats.Elapsed
+		} else {
+			model, stats, err := core.Train(w.space, w.train, w.cfg)
+			if err != nil {
+				return err
+			}
+			m, elapsed = model, stats.Elapsed
+		}
+		ex, err := features.NewExtractor(w.space, m.Params)
+		if err != nil {
+			return err
+		}
+		var counter eval.Counter
+		for i := range w.test {
+			ctx := ex.NewSeqContext(&w.test[i].P, nil)
+			pred := m.Annotate(ctx, core.InferOptions{})
+			if err := counter.Add(w.test[i].Labels, pred); err != nil {
+				return err
+			}
+		}
+		acc := counter.Result(eval.DefaultLambda)
+		t.Set(row, 0, acc.RA)
+		t.Set(row, 1, acc.EA)
+		t.Set(row, 2, acc.PA)
+		t.Set(row, 3, elapsed.Seconds())
+		return nil
+	}
+	if err := run(0, false); err != nil {
+		return nil, err
+	}
+	if err := run(1, true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// AblationCandidateRadius sweeps the fsm uncertainty radius v,
+// measuring accuracy and the average candidate-set size it induces.
+// The paper tunes v = 15 m for the mall data (§V-B1); this quantifies
+// the sensitivity.
+func AblationCandidateRadius(sc Scale) (*Table, error) {
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	radii := []float64{sc.VMall / 2, sc.VMall * 3 / 4, sc.VMall, sc.VMall * 3 / 2}
+	rows := make([]string, len(radii))
+	for i, v := range radii {
+		rows[i] = "v=" + trimFloat(v)
+	}
+	t := NewTable("ablation-radius", "Candidate radius v sensitivity",
+		rows, []string{"RA", "EA", "PA", "avg-cands"})
+	for ri, v := range radii {
+		cfg := w.cfg
+		cfg.Params.V = v
+		m, _, err := core.TrainExact(w.space, w.train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := features.NewExtractor(w.space, m.Params)
+		if err != nil {
+			return nil, err
+		}
+		var counter eval.Counter
+		var cands, records int
+		for i := range w.test {
+			ctx := ex.NewSeqContext(&w.test[i].P, nil)
+			for _, cs := range ctx.Candidates {
+				cands += len(cs)
+				records++
+			}
+			pred := m.Annotate(ctx, core.InferOptions{})
+			if err := counter.Add(w.test[i].Labels, pred); err != nil {
+				return nil, err
+			}
+		}
+		acc := counter.Result(eval.DefaultLambda)
+		t.Set(ri, 0, acc.RA)
+		t.Set(ri, 1, acc.EA)
+		t.Set(ri, 2, acc.PA)
+		t.Set(ri, 3, float64(cands)/float64(records))
+	}
+	return t, nil
+}
+
+// AblationOptionalFeatures measures the paper's two optional feature
+// designs against the base model: the normalized historical region
+// frequency multiplier on fsm (§III-B (1)) and the time-decay
+// multipliers on fst/fsc (Eqs. 4–5 extensions).
+func AblationOptionalFeatures(sc Scale) (*Table, error) {
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("ablation-optional", "Optional feature designs (fsm prior, fst/fsc time decay)",
+		[]string{"base", "region-prior", "time-decay", "both"}, []string{"RA", "EA", "PA"})
+	run := func(row int, prior bool, decay float64) error {
+		cfg := w.cfg
+		cfg.UseRegionPrior = prior
+		cfg.Params.TimeDecayST = decay
+		cfg.Params.TimeDecaySC = decay
+		m, _, err := core.TrainExact(w.space, w.train, cfg)
+		if err != nil {
+			return err
+		}
+		ex, err := features.NewExtractor(w.space, m.Params)
+		if err != nil {
+			return err
+		}
+		var counter eval.Counter
+		for i := range w.test {
+			ctx := ex.NewSeqContext(&w.test[i].P, nil)
+			pred := m.Annotate(ctx, core.InferOptions{})
+			if err := counter.Add(w.test[i].Labels, pred); err != nil {
+				return err
+			}
+		}
+		acc := counter.Result(eval.DefaultLambda)
+		t.Set(row, 0, acc.RA)
+		t.Set(row, 1, acc.EA)
+		t.Set(row, 2, acc.PA)
+		return nil
+	}
+	const decay = 0.002
+	if err := run(0, false, 0); err != nil {
+		return nil, err
+	}
+	if err := run(1, true, 0); err != nil {
+		return nil, err
+	}
+	if err := run(2, false, decay); err != nil {
+		return nil, err
+	}
+	if err := run(3, true, decay); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CrossValidation reproduces the paper's 10-fold cross-validation
+// protocol (§V-B1) on the mall workload: C2MN accuracy per fold plus
+// the mean. The fold count shrinks when fewer sequences are available.
+func CrossValidation(sc Scale, folds int) (*Table, error) {
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	idx := eval.KFold(len(w.data), folds, sc.Seed+23)
+	rows := make([]string, 0, len(idx)+1)
+	for i := range idx {
+		rows = append(rows, "fold"+strconv.Itoa(i))
+	}
+	rows = append(rows, "mean")
+	t := NewTable("cv", "10-fold cross-validation of C2MN (cf. §V-B1)", rows, []string{"RA", "EA", "CA", "PA"})
+	var sums [4]float64
+	for fi, testIdx := range idx {
+		inTest := map[int]bool{}
+		for _, i := range testIdx {
+			inTest[i] = true
+		}
+		var train, test []int
+		for i := range w.data {
+			if inTest[i] {
+				test = append(test, i)
+			} else {
+				train = append(train, i)
+			}
+		}
+		trainSeqs := pick(w.data, train)
+		m, _, err := core.TrainExact(w.space, trainSeqs, w.cfg)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := features.NewExtractor(w.space, m.Params)
+		if err != nil {
+			return nil, err
+		}
+		var counter eval.Counter
+		for _, i := range test {
+			ctx := ex.NewSeqContext(&w.data[i].P, nil)
+			pred := m.Annotate(ctx, core.InferOptions{})
+			if err := counter.Add(w.data[i].Labels, pred); err != nil {
+				return nil, err
+			}
+		}
+		acc := counter.Result(eval.DefaultLambda)
+		vals := [4]float64{acc.RA, acc.EA, acc.CA, acc.PA}
+		for c, v := range vals {
+			t.Set(fi, c, v)
+			sums[c] += v
+		}
+	}
+	for c := range sums {
+		t.Set(len(idx), c, sums[c]/float64(len(idx)))
+	}
+	return t, nil
+}
+
+func pick(data []seq.LabeledSequence, idx []int) []seq.LabeledSequence {
+	out := make([]seq.LabeledSequence, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, data[i])
+	}
+	return out
+}
+
+// AblationGenericCRF pits a generic linear-chain CRF toolkit (LCCRF:
+// exact-likelihood chains over the same matching/transition/
+// synchronization features, no coupling, no segmentation) against the
+// decoupled CMN and the full C2MN. This quantifies what exists today —
+// the paper notes only generic CRF libraries are available for this
+// problem — versus the coupled model.
+func AblationGenericCRF(sc Scale) (*Table, error) {
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	methods := []baseline.Method{
+		baseline.NewLCCRF(w.cfg.Params),
+		sc.newCMN(w.cfg),
+		sc.newC2MN(w.cfg),
+	}
+	results, err := w.runMethods(methods)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("ablation-crf", "Generic linear-chain CRF vs CMN vs C2MN",
+		methodNames(methods), []string{"RA", "EA", "CA", "PA"})
+	for i, r := range results {
+		t.Set(i, 0, r.acc.RA)
+		t.Set(i, 1, r.acc.EA)
+		t.Set(i, 2, r.acc.CA)
+		t.Set(i, 3, r.acc.PA)
+	}
+	return t, nil
+}
+
+// Ablations runs every ablation study.
+func Ablations(sc Scale) ([]*Table, error) {
+	a, err := AblationExactVsMCMC(sc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := AblationCandidateRadius(sc)
+	if err != nil {
+		return nil, err
+	}
+	c, err := AblationOptionalFeatures(sc)
+	if err != nil {
+		return nil, err
+	}
+	d, err := AblationGenericCRF(sc)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{a, b, c, d}, nil
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 3, 64)
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import "testing"
+
+func TestAblationOptionalFeatures(t *testing.T) {
+	sc := microScale()
+	tb, err := AblationOptionalFeatures(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"base", "region-prior", "time-decay", "both"}
+	for i, r := range want {
+		if tb.RowNames[i] != r {
+			t.Fatalf("rows = %v", tb.RowNames)
+		}
+	}
+	for i := range tb.RowNames {
+		for j := range tb.ColNames {
+			if v := tb.Cells[i][j]; v <= 0 || v > 1 {
+				t.Errorf("%s/%s = %v", tb.RowNames[i], tb.ColNames[j], v)
+			}
+		}
+	}
+}
+
+func TestCrossValidation(t *testing.T) {
+	sc := microScale()
+	tb, err := CrossValidation(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.RowNames[len(tb.RowNames)-1] != "mean" {
+		t.Fatalf("rows = %v", tb.RowNames)
+	}
+	// The mean row is the average of the fold rows.
+	for j := range tb.ColNames {
+		sum := 0.0
+		for i := 0; i < len(tb.RowNames)-1; i++ {
+			sum += tb.Cells[i][j]
+		}
+		mean := sum / float64(len(tb.RowNames)-1)
+		got := tb.Cells[len(tb.RowNames)-1][j]
+		if diff := mean - got; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("mean %s = %v, want %v", tb.ColNames[j], got, mean)
+		}
+	}
+	// Dispatch path.
+	tables, err := Run("cv", sc)
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("Run(cv) = %v, %v", tables, err)
+	}
+}
+
+func TestAblationGenericCRF(t *testing.T) {
+	sc := microScale()
+	tb, err := AblationGenericCRF(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"LCCRF", "CMN", "C2MN"}
+	for i, r := range want {
+		if tb.RowNames[i] != r {
+			t.Fatalf("rows = %v", tb.RowNames)
+		}
+	}
+	for i := range tb.RowNames {
+		if v := tb.Cells[i][0]; v <= 0 || v > 1 {
+			t.Errorf("%s RA = %v", tb.RowNames[i], v)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"c2mn/internal/seq"
+	"c2mn/internal/sim"
+)
+
+// Table3 reproduces Table III: statistics of the (simulated) mall
+// dataset. Columns: sequences, records, avg records/sequence, avg
+// duration, avg sampling interval.
+func Table3(sc Scale) (*Table, error) {
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	ds := seq.Dataset{Sequences: w.data}
+	st := ds.Stats()
+	t := NewTable("table3", "Statistics of the mall dataset (cf. paper Table III)",
+		[]string{"mall"},
+		[]string{"sequences", "records", "recs/seq", "duration(s)", "interval(s)"})
+	t.Format = "%.1f"
+	t.Set(0, 0, float64(st.Sequences))
+	t.Set(0, 1, float64(st.Records))
+	t.Set(0, 2, st.AvgRecordsPer)
+	t.Set(0, 3, st.AvgDurationSec)
+	t.Set(0, 4, st.AvgIntervalSec)
+	return t, nil
+}
+
+// Table4 reproduces Table IV: RA/EA/CA/PA for the ten methods on the
+// mall workload with a 70/30 split.
+func Table4(sc Scale) (*Table, error) {
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	methods := sc.fullSet(w.cfg)
+	results, err := w.runMethods(methods)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("table4", "Labeling accuracy on the mall workload (cf. paper Table IV)",
+		methodNames(methods), []string{"RA", "EA", "CA", "PA"})
+	for i, r := range results {
+		t.Set(i, 0, r.acc.RA)
+		t.Set(i, 1, r.acc.EA)
+		t.Set(i, 2, r.acc.CA)
+		t.Set(i, 3, r.acc.PA)
+	}
+	return t, nil
+}
+
+// Table5 reproduces Table V: record counts of the synthetic datasets
+// generated for each (T, μ) setting.
+func Table5(sc Scale) (*Table, error) {
+	space, err := sim.GenerateBuilding(sc.SynthSpec, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	settings := []struct {
+		name  string
+		t, mu float64
+	}{
+		{"T5u3", 5, 3},
+		{"T5u5", 5, 5},
+		{"T5u7", 5, 7},
+		{"T10u7", 10, 7},
+		{"T15u7", 15, 7},
+	}
+	rows := make([]string, len(settings))
+	for i, s := range settings {
+		rows[i] = s.name
+	}
+	t := NewTable("table5", "Synthetic mobility datasets (cf. paper Table V)",
+		rows, []string{"T(s)", "mu(m)", "records"})
+	t.Format = "%.0f"
+	for i, s := range settings {
+		spec := sim.DefaultMobility(sc.SynthObjects, sc.SynthDuration)
+		spec.T = s.t
+		spec.Mu = s.mu
+		ds, err := sim.Generate(space, spec, sc.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		t.Set(i, 0, s.t)
+		t.Set(i, 1, s.mu)
+		t.Set(i, 2, float64(ds.NumRecords()))
+	}
+	return t, nil
+}
+
+// fracLabel formats a training fraction as the paper's x-axis labels.
+func fracLabel(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }

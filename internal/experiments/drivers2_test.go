@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// microScale shrinks Tiny further for the training-time sweeps, which
+// must run the MCMC trainer many times.
+func microScale() Scale {
+	sc := Tiny()
+	sc.MallObjects = 6
+	sc.MallDuration = 900
+	sc.SynthObjects = 6
+	sc.SynthDuration = 700
+	sc.M = 15
+	sc.MaxIter = 8
+	sc.NumQueries = 2
+	sc.QTs = []float64{300, 600, 900}
+	return sc
+}
+
+func TestMSweepShape(t *testing.T) {
+	sc := microScale()
+	ra, ea, err := MSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.ColNames) != 4 || len(ea.ColNames) != 4 {
+		t.Fatalf("M columns = %v", ra.ColNames)
+	}
+	for _, tb := range []*Table{ra, ea} {
+		if len(tb.RowNames) != 6 {
+			t.Fatalf("%s rows = %v", tb.ID, tb.RowNames)
+		}
+		for i := range tb.RowNames {
+			for j := range tb.ColNames {
+				if v := tb.Cells[i][j]; v < 0 || v > 1 {
+					t.Errorf("%s cell %d,%d = %v", tb.ID, i, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxIterSweepShape(t *testing.T) {
+	sc := microScale()
+	tb, err := MaxIterSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.RowNames) != 6 {
+		t.Fatalf("rows = %v", tb.RowNames)
+	}
+	for i := range tb.RowNames {
+		for j := range tb.ColNames {
+			if tb.Cells[i][j] <= 0 {
+				t.Errorf("training time cell %d,%d = %v must be positive", i, j, tb.Cells[i][j])
+			}
+		}
+		// More iterations should not be dramatically cheaper.
+		first, last := tb.Cells[i][0], tb.Cells[i][len(tb.ColNames)-1]
+		if last < first*0.3 {
+			t.Errorf("%s: time shrank from %v to %v with more iterations", tb.RowNames[i], first, last)
+		}
+	}
+}
+
+func TestTrainingTimeVsFractionShape(t *testing.T) {
+	sc := microScale()
+	tb, err := TrainingTimeVsFraction(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.ColNames) != 5 {
+		t.Fatalf("cols = %v", tb.ColNames)
+	}
+	for i := range tb.RowNames {
+		for j := range tb.ColNames {
+			if tb.Cells[i][j] <= 0 {
+				t.Errorf("cell %d,%d = %v", i, j, tb.Cells[i][j])
+			}
+		}
+	}
+}
+
+func TestFirstConfiguredVariableShape(t *testing.T) {
+	sc := microScale()
+	tb, err := FirstConfiguredVariable(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.RowNames) != 2 || tb.RowNames[0] != "C2MN" || tb.RowNames[1] != "C2MN@R" {
+		t.Fatalf("rows = %v", tb.RowNames)
+	}
+	for i := range tb.RowNames {
+		for j := range tb.ColNames {
+			if tb.Cells[i][j] <= 0 {
+				t.Errorf("cell %d,%d = %v", i, j, tb.Cells[i][j])
+			}
+		}
+	}
+}
+
+func TestTSweepShape(t *testing.T) {
+	sc := microScale()
+	pa, tkprq, tkfrpq, err := TSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.ID != "fig14" || tkprq.ID != "fig15" || tkfrpq.ID != "fig16" {
+		t.Fatalf("ids = %s %s %s", pa.ID, tkprq.ID, tkfrpq.ID)
+	}
+	wantCols := []string{"T=5s", "T=10s", "T=15s"}
+	for i, c := range pa.ColNames {
+		if c != wantCols[i] {
+			t.Fatalf("cols = %v", pa.ColNames)
+		}
+	}
+	for _, tb := range []*Table{pa, tkprq, tkfrpq} {
+		if len(tb.RowNames) != 6 {
+			t.Fatalf("%s rows = %v", tb.ID, tb.RowNames)
+		}
+		for i := range tb.RowNames {
+			for j := range tb.ColNames {
+				if v := tb.Cells[i][j]; v < 0 || v > 1 {
+					t.Errorf("%s cell out of range: %v", tb.ID, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMuSweepShape(t *testing.T) {
+	sc := microScale()
+	pa, tkprq, tkfrpq, err := MuSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.ID != "fig17" || tkprq.ID != "fig18" || tkfrpq.ID != "fig19" {
+		t.Fatalf("ids = %s %s %s", pa.ID, tkprq.ID, tkfrpq.ID)
+	}
+	if pa.ColNames[0] != "mu=3m" || pa.ColNames[2] != "mu=7m" {
+		t.Fatalf("cols = %v", pa.ColNames)
+	}
+}
+
+func TestRunDispatchAllIDs(t *testing.T) {
+	sc := microScale()
+	for _, id := range []string{"fig9", "fig11"} {
+		tables, err := Run(id, sc)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("Run(%s) returned no tables", id)
+		}
+	}
+	// Combined dispatches return multiple tables.
+	tables, err := Run("fig14", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Run(fig14) = %d tables", len(tables))
+	}
+}
+
+func TestAblationExactVsMCMC(t *testing.T) {
+	sc := microScale()
+	tb, err := AblationExactVsMCMC(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"Algorithm1", "ExactPL"} {
+		if v := tb.Cell(row, "RA"); v <= 0 || v > 1 {
+			t.Errorf("%s RA = %v", row, v)
+		}
+		if v := tb.Cell(row, "time(s)"); v <= 0 {
+			t.Errorf("%s time = %v", row, v)
+		}
+	}
+}
+
+func TestFigSlicers(t *testing.T) {
+	sc := microScale()
+	for _, f := range []func(Scale) (*Table, error){Fig9, Fig11} {
+		tb, err := f(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb == nil || len(tb.RowNames) == 0 {
+			t.Fatalf("empty table")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "paper", ""} {
+		if _, ok := ScaleByName(name); !ok {
+			t.Errorf("ScaleByName(%q) failed", name)
+		}
+	}
+	if _, ok := ScaleByName("bogus"); ok {
+		t.Errorf("bogus scale accepted")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("x", "title", []string{"a", "b"}, []string{"c1", "c2"})
+	tb.Set(0, 1, 0.5)
+	if got := tb.Cell("a", "c2"); got != 0.5 {
+		t.Errorf("Cell = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := tb.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"x", "title", "a", "b", "c1", "c2", "0.5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("unknown cell should panic")
+		}
+	}()
+	tb.Cell("nope", "c1")
+}
+
+func TestTable3Shape(t *testing.T) {
+	sc := Tiny()
+	tb, err := Table3(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Cell("mall", "sequences") < 4 {
+		t.Errorf("too few sequences: %v", tb.Cell("mall", "sequences"))
+	}
+	if tb.Cell("mall", "records") <= tb.Cell("mall", "sequences") {
+		t.Errorf("records should exceed sequences")
+	}
+	if tb.Cell("mall", "interval(s)") <= 0 {
+		t.Errorf("interval must be positive")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	sc := Tiny()
+	tb, err := Table4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.RowNames) != 10 {
+		t.Fatalf("Table IV should have 10 methods, got %v", tb.RowNames)
+	}
+	// Every accuracy is a valid probability.
+	for i, row := range tb.RowNames {
+		for j, col := range tb.ColNames {
+			v := tb.Cells[i][j]
+			if v < 0 || v > 1 {
+				t.Errorf("%s/%s = %v out of [0,1]", row, col, v)
+			}
+		}
+	}
+	// Headline shape: C2MN tops CA among all methods (allowing slack
+	// for family members, strict vs the separate baselines).
+	c2mn := tb.Cell("C2MN", "CA")
+	for _, m := range []string{"SMoT", "SAPDV"} {
+		if c2mn <= tb.Cell(m, "CA")-0.02 {
+			t.Errorf("C2MN CA %v should beat %s CA %v", c2mn, m, tb.Cell(m, "CA"))
+		}
+	}
+	if c2mn < 0.6 {
+		t.Errorf("C2MN CA %v implausibly low", c2mn)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	sc := Tiny()
+	tb, err := Table5(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record counts decrease as T grows (Table V).
+	if !(tb.Cell("T5u7", "records") > tb.Cell("T10u7", "records") &&
+		tb.Cell("T10u7", "records") > tb.Cell("T15u7", "records")) {
+		t.Errorf("record counts not decreasing in T")
+	}
+	// Same T, different mu: counts are similar (within 20%).
+	a, b := tb.Cell("T5u3", "records"), tb.Cell("T5u7", "records")
+	if a/b > 1.2 || b/a > 1.2 {
+		t.Errorf("same-T counts diverge: %v vs %v", a, b)
+	}
+}
+
+func TestTrainingFractionSweepShape(t *testing.T) {
+	sc := Tiny()
+	ca, pa, err := TrainingFractionSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.ColNames) != 5 || ca.ColNames[0] != "40%" || ca.ColNames[4] != "80%" {
+		t.Errorf("fraction columns = %v", ca.ColNames)
+	}
+	for _, tb := range []*Table{ca, pa} {
+		for i := range tb.RowNames {
+			for j := range tb.ColNames {
+				if v := tb.Cells[i][j]; v < 0 || v > 1 {
+					t.Errorf("%s cell out of range: %v", tb.ID, v)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryPrecisionShape(t *testing.T) {
+	sc := Tiny()
+	tkprq, tkfrpq, err := QueryPrecision(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range []*Table{tkprq, tkfrpq} {
+		if len(tb.RowNames) != 10 {
+			t.Fatalf("%s should have 10 methods", tb.ID)
+		}
+		for i := range tb.RowNames {
+			for j := range tb.ColNames {
+				if v := tb.Cells[i][j]; v < 0 || v > 1 {
+					t.Errorf("%s precision out of range: %v", tb.ID, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	sc := Tiny()
+	tables, err := Run("table5", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "table5" {
+		t.Errorf("Run(table5) = %v", tables)
+	}
+	if _, err := Run("nope", sc); err == nil {
+		t.Errorf("unknown id should fail")
+	}
+	ids := IDs()
+	if len(ids) < 19 {
+		t.Errorf("IDs incomplete: %v", ids)
+	}
+}
+
+func TestAblationCandidateRadius(t *testing.T) {
+	sc := Tiny()
+	tb, err := AblationCandidateRadius(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate sets grow with the radius.
+	first := tb.Cells[0][3]
+	last := tb.Cells[len(tb.RowNames)-1][3]
+	if !(last > first) {
+		t.Errorf("candidate count should grow with v: %v vs %v", first, last)
+	}
+}

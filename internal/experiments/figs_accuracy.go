@@ -1,0 +1,91 @@
+package experiments
+
+import "strconv"
+
+// TrainingFractionSweep reproduces Figs. 5 and 6: combined accuracy
+// (CA) and perfect accuracy (PA) of the C2MN family as the training
+// fraction grows from 40% to 80%. The two tables share one
+// computation; Fig5 and Fig6 are slicing wrappers.
+func TrainingFractionSweep(sc Scale) (ca, pa *Table, err error) {
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, nil, err
+	}
+	fracs := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+	cols := make([]string, len(fracs))
+	for i, f := range fracs {
+		cols[i] = fracLabel(f)
+	}
+	names := methodNames(sc.c2mnFamily(w.cfg))
+	ca = NewTable("fig5", "Combined accuracy vs training data fraction (cf. paper Fig. 5)", names, cols)
+	pa = NewTable("fig6", "Perfect accuracy vs training data fraction (cf. paper Fig. 6)", names, cols)
+	for fi, frac := range fracs {
+		w.resplit(frac, sc.Seed+3)
+		results, err := w.runMethods(sc.c2mnFamily(w.cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		for mi, r := range results {
+			ca.Set(mi, fi, r.acc.CA)
+			pa.Set(mi, fi, r.acc.PA)
+		}
+	}
+	return ca, pa, nil
+}
+
+// Fig5 returns the CA-vs-training-fraction series.
+func Fig5(sc Scale) (*Table, error) {
+	ca, _, err := TrainingFractionSweep(sc)
+	return ca, err
+}
+
+// Fig6 returns the PA-vs-training-fraction series.
+func Fig6(sc Scale) (*Table, error) {
+	_, pa, err := TrainingFractionSweep(sc)
+	return pa, err
+}
+
+// MSweep reproduces Figs. 7 and 8: region and event accuracy of the
+// C2MN family as the number of MCMC instances M varies (400–1000 in
+// the paper; scaled values here keep the same 1:2.5 span). The sweep
+// forces Algorithm 1 (the exact trainer has no M).
+func MSweep(sc Scale) (ra, ea *Table, err error) {
+	sc.Exact = false
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, nil, err
+	}
+	ms := []int{sc.M * 2 / 4, sc.M * 3 / 4, sc.M, sc.M * 5 / 4}
+	cols := make([]string, len(ms))
+	for i, m := range ms {
+		cols[i] = strconv.Itoa(m)
+	}
+	names := methodNames(sc.c2mnFamily(w.cfg))
+	ra = NewTable("fig7", "Region accuracy vs MCMC instances M (cf. paper Fig. 7)", names, cols)
+	ea = NewTable("fig8", "Event accuracy vs MCMC instances M (cf. paper Fig. 8)", names, cols)
+	for mi, m := range ms {
+		cfg := w.cfg
+		cfg.M = m
+		results, err := w.runMethods(sc.c2mnFamily(cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		for ri, r := range results {
+			ra.Set(ri, mi, r.acc.RA)
+			ea.Set(ri, mi, r.acc.EA)
+		}
+	}
+	return ra, ea, nil
+}
+
+// Fig7 returns the RA-vs-M series.
+func Fig7(sc Scale) (*Table, error) {
+	ra, _, err := MSweep(sc)
+	return ra, err
+}
+
+// Fig8 returns the EA-vs-M series.
+func Fig8(sc Scale) (*Table, error) {
+	_, ea, err := MSweep(sc)
+	return ea, err
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/query"
+	"c2mn/internal/seq"
+)
+
+// queryStudy computes the average TkPRQ and TkFRPQ precision of each
+// trained method's m-semantics against the ground truth m-semantics,
+// over NumQueries random query sets and the given window lengths.
+func (sc Scale) queryStudy(w *world, results []methodEval, windows []float64) (tkprq, tkfrpq *Table, err error) {
+	truth := w.truthMS()
+	predByMethod := make([][]seq.MSSequence, len(results))
+	names := make([]string, len(results))
+	for i, r := range results {
+		predByMethod[i] = w.predMS(r.pred)
+		names[i] = r.name
+	}
+
+	cols := make([]string, len(windows))
+	for i, qt := range windows {
+		cols[i] = fmt.Sprintf("QT=%.0fmin", qt/60)
+	}
+	tkprq = NewTable("fig12", "TkPRQ precision vs query window (cf. paper Fig. 12)", names, cols)
+	tkfrpq = NewTable("fig13", "TkFRPQ precision vs query window (cf. paper Fig. 13)", names, cols)
+
+	regions := w.space.Regions()
+	rng := rand.New(rand.NewSource(sc.Seed + 17))
+	drawSets := func(frac float64) [][]indoor.RegionID {
+		qSize := int(frac * float64(len(regions)))
+		if qSize < 2 {
+			qSize = 2
+		}
+		sets := make([][]indoor.RegionID, sc.NumQueries)
+		for q := range sets {
+			perm := rng.Perm(len(regions))
+			set := make([]indoor.RegionID, qSize)
+			for i := 0; i < qSize; i++ {
+				set[i] = regions[perm[i]]
+			}
+			sets[q] = set
+		}
+		return sets
+	}
+	// Pre-draw the query sets so every method answers the same
+	// queries; pair queries use their own (smaller) sets, as the paper
+	// does on the synthetic venue.
+	querySets := drawSets(sc.QFrac)
+	pairFrac := sc.PairQFrac
+	if pairFrac <= 0 {
+		pairFrac = sc.QFrac
+	}
+	pairSets := drawSets(pairFrac)
+
+	for wi, qt := range windows {
+		win := query.Window{Start: 0, End: qt}
+		for mi := range results {
+			var sumP, sumF float64
+			for _, qs := range querySets {
+				truthTop := query.TopKPopularRegions(truth, qs, win, sc.QueryK)
+				gotTop := query.TopKPopularRegions(predByMethod[mi], qs, win, sc.QueryK)
+				sumP += query.RegionPrecision(gotTop, truthTop, sc.QueryK)
+			}
+			for _, qs := range pairSets {
+				truthPairs := query.TopKFrequentPairs(truth, qs, win, sc.QueryK)
+				gotPairs := query.TopKFrequentPairs(predByMethod[mi], qs, win, sc.QueryK)
+				sumF += query.PairPrecision(gotPairs, truthPairs, sc.QueryK)
+			}
+			tkprq.Set(mi, wi, sumP/float64(sc.NumQueries))
+			tkfrpq.Set(mi, wi, sumF/float64(sc.NumQueries))
+		}
+	}
+	return tkprq, tkfrpq, nil
+}
+
+// QueryPrecision reproduces Figs. 12 and 13: the precision of TkPRQ
+// and TkFRPQ answered over each method's annotated m-semantics on the
+// mall workload, as the query window QT grows.
+func QueryPrecision(sc Scale) (tkprq, tkfrpq *Table, err error) {
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, nil, err
+	}
+	methods := sc.fullSet(w.cfg)
+	results, err := w.runMethods(methods)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sc.queryStudy(w, results, sc.QTs)
+}
+
+// Fig12 returns the TkPRQ precision series.
+func Fig12(sc Scale) (*Table, error) {
+	t, _, err := QueryPrecision(sc)
+	return t, err
+}
+
+// Fig13 returns the TkFRPQ precision series.
+func Fig13(sc Scale) (*Table, error) {
+	_, t, err := QueryPrecision(sc)
+	return t, err
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import "fmt"
+
+// synthSweep runs the six-method synthetic study for a list of (T, μ)
+// settings, producing PA, TkPRQ-precision and TkFRPQ-precision series.
+// The query study uses the middle QT window, matching the paper's
+// fixed QT = 120 min for Figs. 15/16/18/19.
+func (sc Scale) synthSweep(id string, settings []struct {
+	label string
+	t, mu float64
+}) (pa, tkprq, tkfrpq *Table, err error) {
+	cols := make([]string, len(settings))
+	for i, s := range settings {
+		cols[i] = s.label
+	}
+	qt := sc.QTs[len(sc.QTs)/2]
+	var names []string
+	for si, s := range settings {
+		w, err := sc.synthWorld(s.t, s.mu)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		methods := sc.sixSet(w.cfg)
+		if names == nil {
+			names = methodNames(methods)
+			pa = NewTable(id, "Perfect accuracy (cf. paper Figs. 14/17)", names, cols)
+			tkprq = NewTable(id, "TkPRQ precision (cf. paper Figs. 15/18)", names, cols)
+			tkfrpq = NewTable(id, "TkFRPQ precision (cf. paper Figs. 16/19)", names, cols)
+		}
+		results, err := w.runMethods(methods)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		qp, qf, err := sc.queryStudy(w, results, []float64{qt})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for mi, r := range results {
+			pa.Set(mi, si, r.acc.PA)
+			tkprq.Set(mi, si, qp.Cells[mi][0])
+			tkfrpq.Set(mi, si, qf.Cells[mi][0])
+		}
+	}
+	return pa, tkprq, tkfrpq, nil
+}
+
+// TSweep reproduces Figs. 14–16: the effect of the maximum positioning
+// period T (temporal sparsity) with μ fixed at 7 m.
+func TSweep(sc Scale) (pa, tkprq, tkfrpq *Table, err error) {
+	settings := []struct {
+		label string
+		t, mu float64
+	}{
+		{"T=5s", 5, 7},
+		{"T=10s", 10, 7},
+		{"T=15s", 15, 7},
+	}
+	pa, tkprq, tkfrpq, err = sc.synthSweep("figT", settings)
+	if err != nil {
+		return
+	}
+	pa.ID, pa.Title = "fig14", "Perfect accuracy vs T (cf. paper Fig. 14)"
+	tkprq.ID, tkprq.Title = "fig15", "TkPRQ precision vs T (cf. paper Fig. 15)"
+	tkfrpq.ID, tkfrpq.Title = "fig16", "TkFRPQ precision vs T (cf. paper Fig. 16)"
+	return
+}
+
+// Fig14 returns PA vs T.
+func Fig14(sc Scale) (*Table, error) {
+	pa, _, _, err := TSweep(sc)
+	return pa, err
+}
+
+// Fig15 returns TkPRQ precision vs T.
+func Fig15(sc Scale) (*Table, error) {
+	_, t, _, err := TSweep(sc)
+	return t, err
+}
+
+// Fig16 returns TkFRPQ precision vs T.
+func Fig16(sc Scale) (*Table, error) {
+	_, _, t, err := TSweep(sc)
+	return t, err
+}
+
+// MuSweep reproduces Figs. 17–19: the effect of the positioning error
+// factor μ with T fixed at 5 s.
+func MuSweep(sc Scale) (pa, tkprq, tkfrpq *Table, err error) {
+	settings := []struct {
+		label string
+		t, mu float64
+	}{
+		{"mu=3m", 5, 3},
+		{"mu=5m", 5, 5},
+		{"mu=7m", 5, 7},
+	}
+	pa, tkprq, tkfrpq, err = sc.synthSweep("figMu", settings)
+	if err != nil {
+		return
+	}
+	pa.ID, pa.Title = "fig17", "Perfect accuracy vs mu (cf. paper Fig. 17)"
+	tkprq.ID, tkprq.Title = "fig18", "TkPRQ precision vs mu (cf. paper Fig. 18)"
+	tkfrpq.ID, tkfrpq.Title = "fig19", "TkFRPQ precision vs mu (cf. paper Fig. 19)"
+	return
+}
+
+// Fig17 returns PA vs μ.
+func Fig17(sc Scale) (*Table, error) {
+	pa, _, _, err := MuSweep(sc)
+	return pa, err
+}
+
+// Fig18 returns TkPRQ precision vs μ.
+func Fig18(sc Scale) (*Table, error) {
+	_, t, _, err := MuSweep(sc)
+	return t, err
+}
+
+// Fig19 returns TkFRPQ precision vs μ.
+func Fig19(sc Scale) (*Table, error) {
+	_, _, t, err := MuSweep(sc)
+	return t, err
+}
+
+// Run dispatches an experiment by its id ("table3", "fig14", ...) and
+// returns its tables (a combined driver may return several).
+func Run(id string, sc Scale) ([]*Table, error) {
+	one := func(t *Table, err error) ([]*Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+	switch id {
+	case "table3":
+		return one(Table3(sc))
+	case "table4":
+		return one(Table4(sc))
+	case "table5":
+		return one(Table5(sc))
+	case "fig5", "fig6":
+		ca, pa, err := TrainingFractionSweep(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{ca, pa}, nil
+	case "fig7", "fig8":
+		ra, ea, err := MSweep(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{ra, ea}, nil
+	case "fig9":
+		return one(Fig9(sc))
+	case "fig10":
+		return one(Fig10(sc))
+	case "fig11":
+		return one(Fig11(sc))
+	case "fig12", "fig13":
+		a, b, err := QueryPrecision(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{a, b}, nil
+	case "fig14", "fig15", "fig16":
+		a, b, c, err := TSweep(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{a, b, c}, nil
+	case "fig17", "fig18", "fig19":
+		a, b, c, err := MuSweep(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{a, b, c}, nil
+	case "ablation":
+		return Ablations(sc)
+	case "cv":
+		return one(CrossValidation(sc, 10))
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+}
+
+// IDs lists every runnable experiment id.
+func IDs() []string {
+	return []string{
+		"table3", "table4", "table5",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"ablation", "cv",
+	}
+}

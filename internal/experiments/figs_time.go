@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strconv"
+
+	"c2mn/internal/baseline"
+	"c2mn/internal/core"
+)
+
+// trainingTime measures one Algorithm 1 run in seconds. When
+// fullIters is true the convergence threshold is relaxed so the run
+// executes exactly max_iter steps (Figs. 9–10 plot cost against
+// max_iter); otherwise the paper's δ applies, so convergence speed
+// differences show (Fig. 11 contrasts the first-configured variable).
+func trainingTime(w *world, cfg core.Config, decoupled bool, firstVar core.Var, fullIters bool) (float64, error) {
+	if fullIters {
+		cfg.Delta = 1e-12
+	}
+	cfg.Decoupled = decoupled
+	cfg.FirstVar = firstVar
+	_, stats, err := core.Train(w.space, w.train, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Elapsed.Seconds(), nil
+}
+
+// MaxIterSweep reproduces Fig. 9: training time of the C2MN family as
+// max_iter grows. Algorithm 1 is always used (the exact trainer has no
+// per-iteration sampling cost to measure). CMN's time is its single
+// decoupled run, matching the paper's "longest of the two parts"
+// convention for comparability.
+func MaxIterSweep(sc Scale) (*Table, error) {
+	sc.Exact = false
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	iters := []int{sc.MaxIter / 2, sc.MaxIter, sc.MaxIter * 5 / 4, sc.MaxIter * 3 / 2}
+	cols := make([]string, len(iters))
+	for i, it := range iters {
+		cols[i] = strconv.Itoa(it)
+	}
+	family := sc.c2mnFamily(w.cfg)
+	t := NewTable("fig9", "Training time (s) vs max_iter (cf. paper Fig. 9)", methodNames(family), cols)
+	t.Format = "%.2f"
+	for ii, maxIter := range iters {
+		for mi, m := range family {
+			cm := m.(*baseline.C2MN)
+			cfg := cm.Cfg
+			cfg.MaxIter = maxIter
+			secs, err := trainingTime(w, cfg, cfg.Decoupled, cfg.FirstVar, true)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(mi, ii, secs)
+		}
+	}
+	return t, nil
+}
+
+// Fig9 is MaxIterSweep.
+func Fig9(sc Scale) (*Table, error) { return MaxIterSweep(sc) }
+
+// TrainingTimeVsFraction reproduces Fig. 10: training time of the C2MN
+// family as the training fraction grows from 40% to 80%.
+func TrainingTimeVsFraction(sc Scale) (*Table, error) {
+	sc.Exact = false
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	fracs := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+	cols := make([]string, len(fracs))
+	for i, f := range fracs {
+		cols[i] = fracLabel(f)
+	}
+	family := sc.c2mnFamily(w.cfg)
+	t := NewTable("fig10", "Training time (s) vs training data fraction (cf. paper Fig. 10)", methodNames(family), cols)
+	t.Format = "%.2f"
+	for fi, frac := range fracs {
+		w.resplit(frac, sc.Seed+3)
+		for mi, m := range family {
+			cm := m.(*baseline.C2MN)
+			secs, err := trainingTime(w, cm.Cfg, cm.Cfg.Decoupled, cm.Cfg.FirstVar, true)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(mi, fi, secs)
+		}
+	}
+	return t, nil
+}
+
+// Fig10 is TrainingTimeVsFraction.
+func Fig10(sc Scale) (*Table, error) { return TrainingTimeVsFraction(sc) }
+
+// FirstConfiguredVariable reproduces Fig. 11: training time of C2MN
+// (E configured first) against C2MN@R (R configured first) across
+// max_iter settings.
+func FirstConfiguredVariable(sc Scale) (*Table, error) {
+	sc.Exact = false
+	w, err := sc.mallWorld()
+	if err != nil {
+		return nil, err
+	}
+	iters := []int{sc.MaxIter / 2, sc.MaxIter * 3 / 4, sc.MaxIter, sc.MaxIter * 5 / 4}
+	cols := make([]string, len(iters))
+	for i, it := range iters {
+		cols[i] = strconv.Itoa(it)
+	}
+	t := NewTable("fig11", "Training time (s) by first-configured variable (cf. paper Fig. 11)",
+		[]string{"C2MN", "C2MN@R"}, cols)
+	t.Format = "%.2f"
+	for ii, maxIter := range iters {
+		cfg := w.cfg
+		cfg.MaxIter = maxIter
+		secsE, err := trainingTime(w, cfg, false, core.VarE, false)
+		if err != nil {
+			return nil, err
+		}
+		secsR, err := trainingTime(w, cfg, false, core.VarR, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Set(0, ii, secsE)
+		t.Set(1, ii, secsR)
+	}
+	return t, nil
+}
+
+// Fig11 is FirstConfiguredVariable.
+func Fig11(sc Scale) (*Table, error) { return FirstConfiguredVariable(sc) }

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a uniform numeric result grid: one row per method (or
+// dataset), one column per metric or sweep point. Cells hold the raw
+// numbers so tests can assert shapes; Fprint renders the same rows the
+// paper's tables and figure series report.
+type Table struct {
+	ID       string
+	Title    string
+	RowNames []string
+	ColNames []string
+	Cells    [][]float64
+	// Format is the printf verb for cells (default "%.4f").
+	Format string
+}
+
+// NewTable allocates an empty table with the given axes.
+func NewTable(id, title string, rows, cols []string) *Table {
+	t := &Table{ID: id, Title: title, RowNames: rows, ColNames: cols}
+	t.Cells = make([][]float64, len(rows))
+	for i := range t.Cells {
+		t.Cells[i] = make([]float64, len(cols))
+	}
+	return t
+}
+
+// Set stores a cell by index.
+func (t *Table) Set(row, col int, v float64) { t.Cells[row][col] = v }
+
+// Cell fetches a cell by row and column name; it panics on unknown
+// names (programmer error in tests).
+func (t *Table) Cell(row, col string) float64 {
+	ri, ci := t.rowIndex(row), t.colIndex(col)
+	if ri < 0 || ci < 0 {
+		panic(fmt.Sprintf("experiments: no cell (%q, %q) in table %s", row, col, t.ID))
+	}
+	return t.Cells[ri][ci]
+}
+
+func (t *Table) rowIndex(name string) int {
+	for i, n := range t.RowNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *Table) colIndex(name string) int {
+	for i, n := range t.ColNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) error {
+	format := t.Format
+	if format == "" {
+		format = "%.4f"
+	}
+	width := 12
+	for _, c := range t.ColNames {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	rowW := 12
+	for _, r := range t.RowNames {
+		if len(r)+2 > rowW {
+			rowW = len(r) + 2
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-*s", rowW, "")
+	for _, c := range t.ColNames {
+		fmt.Fprintf(w, "%*s", width, c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", rowW+width*len(t.ColNames)))
+	for i, r := range t.RowNames {
+		fmt.Fprintf(w, "%-*s", rowW, r)
+		for j := range t.ColNames {
+			fmt.Fprintf(w, "%*s", width, fmt.Sprintf(format, t.Cells[i][j]))
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"c2mn/internal/baseline"
+	"c2mn/internal/core"
+	"c2mn/internal/eval"
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+	"c2mn/internal/sim"
+)
+
+// world is one experiment environment: a venue plus a labeled
+// train/test split.
+type world struct {
+	space *indoor.Space
+	train []seq.LabeledSequence
+	test  []seq.LabeledSequence
+	data  []seq.LabeledSequence
+	// cfg is the base C2MN config tuned to this workload.
+	cfg core.Config
+}
+
+// mallWorld builds the simulated stand-in for the paper's real mall
+// dataset (§V-B1) with a 70/30 split.
+func (sc Scale) mallWorld() (*world, error) {
+	space, err := sim.GenerateBuilding(sc.MallSpec, sc.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mall building: %w", err)
+	}
+	spec := sim.MallMobility(sc.MallObjects, sc.MallDuration)
+	ds, err := sim.Generate(space, spec, sc.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mall mobility: %w", err)
+	}
+	return sc.newWorld(space, ds.Sequences, sc.mallParams(), sc.Sigma2Mall, 0.7)
+}
+
+// synthWorld builds a ten-floor synthetic workload for one (T, μ)
+// setting (§V-C, Table V).
+func (sc Scale) synthWorld(t, mu float64) (*world, error) {
+	space, err := sim.GenerateBuilding(sc.SynthSpec, sc.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: synth building: %w", err)
+	}
+	spec := sim.DefaultMobility(sc.SynthObjects, sc.SynthDuration)
+	spec.T = t
+	spec.Mu = mu
+	ds, err := sim.Generate(space, spec, sc.Seed+2)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: synth mobility: %w", err)
+	}
+	return sc.newWorld(space, ds.Sequences, sc.synthParams(), sc.Sigma2Synth, 0.7)
+}
+
+func (sc Scale) newWorld(space *indoor.Space, data []seq.LabeledSequence, params features.Params, sigma2, frac float64) (*world, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("experiments: workload produced only %d sequences", len(data))
+	}
+	params.Cluster = baseline.TuneClusterParams(data)
+	train, test := eval.Split(data, frac, sc.Seed+3)
+	return &world{
+		space: space,
+		train: train,
+		test:  test,
+		data:  data,
+		cfg:   sc.coreConfig(params, sigma2),
+	}, nil
+}
+
+// resplit changes the train/test fraction in place (Fig. 5/6/10).
+func (w *world) resplit(frac float64, seed int64) {
+	w.train, w.test = eval.Split(w.data, frac, seed)
+}
+
+// Method set construction. Names follow the paper's tables.
+
+func (sc Scale) newC2MN(cfg core.Config) *baseline.C2MN {
+	m := baseline.NewC2MN(cfg)
+	m.Exact = sc.Exact
+	return m
+}
+
+func (sc Scale) newVariant(label string, cfg core.Config, remove features.CliqueSet) *baseline.C2MN {
+	m := baseline.NewC2MNVariant(label, cfg, remove)
+	m.Exact = sc.Exact
+	return m
+}
+
+func (sc Scale) newCMN(cfg core.Config) *baseline.C2MN {
+	m := baseline.NewCMN(cfg)
+	m.Exact = sc.Exact
+	return m
+}
+
+// c2mnFamily returns the six jointly-trained models of Figs. 5–10:
+// CMN, the four structural ablations, and full C2MN.
+func (sc Scale) c2mnFamily(cfg core.Config) []baseline.Method {
+	return []baseline.Method{
+		sc.newCMN(cfg),
+		sc.newVariant("C2MN/Tran", cfg, features.Transition),
+		sc.newVariant("C2MN/Syn", cfg, features.Synchronization),
+		sc.newVariant("C2MN/ES", cfg, features.SegmentationES),
+		sc.newVariant("C2MN/SS", cfg, features.SegmentationSS),
+		sc.newC2MN(cfg),
+	}
+}
+
+// separateBaselines returns the four non-CMN methods of §V-A, tuned to
+// the workload's clustering parameters. The HMM observation grid
+// tracks the positioning noise amplitude (≈ the tuned spatial epsilon)
+// so frequency counting does not starve on noisy workloads.
+func (sc Scale) separateBaselines(cfg core.Config) []baseline.Method {
+	hmmdc := baseline.NewHMMDC()
+	hmmdc.Cluster = cfg.Params.Cluster
+	if eps := cfg.Params.Cluster.EpsS; eps > hmmdc.CellSize {
+		hmmdc.CellSize = eps
+	}
+	sapda := baseline.NewSAPDA()
+	sapda.Cluster = cfg.Params.Cluster
+	return []baseline.Method{
+		baseline.NewSMoT(),
+		hmmdc,
+		baseline.NewSAPDV(),
+		sapda,
+	}
+}
+
+// fullSet returns the ten methods of Table IV in the paper's order.
+func (sc Scale) fullSet(cfg core.Config) []baseline.Method {
+	out := sc.separateBaselines(cfg)
+	out = append(out, sc.c2mnFamily(cfg)...)
+	return out
+}
+
+// sixSet returns the six methods compared in the synthetic study
+// (Figs. 14–19).
+func (sc Scale) sixSet(cfg core.Config) []baseline.Method {
+	out := sc.separateBaselines(cfg)
+	out = append(out, sc.newCMN(cfg), sc.newC2MN(cfg))
+	return out
+}
+
+// methodEval trains one method on the world and measures its labeling
+// accuracy on the test set; annotated predicts are returned for query
+// studies.
+type methodEval struct {
+	name string
+	acc  eval.Accuracy
+	pred []seq.Labels
+}
+
+// runMethod trains and evaluates a single method.
+func (w *world) runMethod(m baseline.Method) (methodEval, error) {
+	if err := m.Train(w.space, w.train); err != nil {
+		return methodEval{}, fmt.Errorf("experiments: train %s: %w", m.Name(), err)
+	}
+	var counter eval.Counter
+	res := methodEval{name: m.Name()}
+	for i := range w.test {
+		labels, err := m.Annotate(&w.test[i].P)
+		if err != nil {
+			return methodEval{}, fmt.Errorf("experiments: annotate %s: %w", m.Name(), err)
+		}
+		if err := counter.Add(w.test[i].Labels, labels); err != nil {
+			return methodEval{}, err
+		}
+		res.pred = append(res.pred, labels)
+	}
+	res.acc = counter.Result(eval.DefaultLambda)
+	return res, nil
+}
+
+// runMethods evaluates a whole method set.
+func (w *world) runMethods(methods []baseline.Method) ([]methodEval, error) {
+	out := make([]methodEval, 0, len(methods))
+	for _, m := range methods {
+		r, err := w.runMethod(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// truthMS merges the test set's ground-truth labels into ms-sequences.
+func (w *world) truthMS() []seq.MSSequence {
+	out := make([]seq.MSSequence, 0, len(w.test))
+	for i := range w.test {
+		out = append(out, seq.Merge(&w.test[i].P, w.test[i].Labels))
+	}
+	return out
+}
+
+// predMS merges one method's predicted labels into ms-sequences.
+func (w *world) predMS(pred []seq.Labels) []seq.MSSequence {
+	out := make([]seq.MSSequence, 0, len(w.test))
+	for i := range w.test {
+		out = append(out, seq.Merge(&w.test[i].P, pred[i]))
+	}
+	return out
+}
+
+func methodNames(methods []baseline.Method) []string {
+	out := make([]string, len(methods))
+	for i, m := range methods {
+		out[i] = m.Name()
+	}
+	return out
+}

@@ -1,0 +1,444 @@
+// Package features implements the eight clique-template feature
+// functions of the paper's Table II, their aggregation into empirical
+// feature vectors, and the exact node-local ("Markov blanket") feature
+// computation that the learning and inference procedures of C2MN rely
+// on.
+//
+// The weight vector w has Dim = 12 components:
+//
+//	index 0      fsm  — spatial matching          (matching, region)
+//	index 1      fem  — event matching            (matching, event)
+//	index 2      fst  — space transition          (transition, region)
+//	index 3      fet  — event transition          (transition, event)
+//	index 4      fsc  — spatial consistency       (synchronization, region)
+//	index 5      fec  — event consistency         (synchronization, event)
+//	index 6..8   fes  — event-based segmentation  (segmentation, 3 features)
+//	index 9..11  fss  — space-based segmentation  (segmentation, 3 features)
+//
+// Segmentation feature values are normalised to [-1, 1] by run length
+// (the paper states fes/fss values "need to be normalized" without
+// fixing the scheme; per-record normalisation keeps every feature
+// bounded regardless of sequence length).
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"c2mn/internal/cluster"
+	"c2mn/internal/geom"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// Weight vector layout.
+const (
+	IdxSM = 0 // spatial matching
+	IdxEM = 1 // event matching
+	IdxST = 2 // space transition
+	IdxET = 3 // event transition
+	IdxSC = 4 // spatial consistency
+	IdxEC = 5 // event consistency
+	IdxES = 6 // event-based segmentation (3 components)
+	IdxSS = 9 // space-based segmentation (3 components)
+
+	// Dim is the dimensionality of the weight vector.
+	Dim = 12
+)
+
+// Names returns human-readable names for the weight components.
+func Names() [Dim]string {
+	return [Dim]string{
+		"fsm", "fem", "fst", "fet", "fsc", "fec",
+		"fes.regions", "fes.speed", "fes.turns",
+		"fss.eventRuns", "fss.eventChanges", "fss.boundaryPass",
+	}
+}
+
+// CliqueSet selects which clique templates are active; ablations of
+// §V-A (C2MN/Tran, /Syn, /ES, /SS and CMN) disable subsets.
+type CliqueSet uint8
+
+// Clique template groups.
+const (
+	Matching CliqueSet = 1 << iota
+	Transition
+	Synchronization
+	SegmentationES
+	SegmentationSS
+
+	// AllCliques enables the complete C2MN structure.
+	AllCliques = Matching | Transition | Synchronization | SegmentationES | SegmentationSS
+)
+
+// Has reports whether all cliques in q are enabled.
+func (c CliqueSet) Has(q CliqueSet) bool { return c&q == q }
+
+// Params holds the feature hyper-parameters. The defaults follow the
+// paper's tuned real-data values (§V-B1).
+type Params struct {
+	// V is the uncertainty-region radius of fsm, meters.
+	V float64
+	// Alpha and Beta are the fem constants for border points,
+	// 0 < Beta < Alpha < 1.
+	Alpha, Beta float64
+	// GammaST is the fst distance scale in (0,1).
+	GammaST float64
+	// GammaEC is the fec/fes speed scale.
+	GammaEC float64
+	// TimeDecayST is the optional γ' of Eq. 4's time-decay extension;
+	// zero disables it.
+	TimeDecayST float64
+	// TimeDecaySC is the optional γ'' of Eq. 5's time-decay extension;
+	// zero disables it.
+	TimeDecaySC float64
+	// Cluster parameterises the st-DBSCAN pass that tags record
+	// densities for fem.
+	Cluster cluster.Params
+	// Cliques selects the active clique templates.
+	Cliques CliqueSet
+	// RegionPrior optionally holds a per-region popularity multiplier
+	// for fsm, indexed by RegionID and normalised to max 1 — the
+	// paper's §III-B (1) alternative design ("include the normalized
+	// historical region frequency as a multiplier"). Empty disables
+	// the prior.
+	RegionPrior []float64
+}
+
+// DefaultParams returns the paper's tuned configuration: v = 15 m,
+// α = 0.8, β = 0.6, γst = 0.1, γec = 0.2, st-DBSCAN(εs = 8 m,
+// εt = 60 s, ptm = 4), all cliques enabled.
+func DefaultParams() Params {
+	return Params{
+		V:       15,
+		Alpha:   0.8,
+		Beta:    0.6,
+		GammaST: 0.1,
+		GammaEC: 0.2,
+		Cluster: cluster.Params{EpsS: 8, EpsT: 60, MinPts: 4},
+		Cliques: AllCliques,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.V <= 0 {
+		return fmt.Errorf("features: V must be positive, got %g", p.V)
+	}
+	if !(0 < p.Beta && p.Beta < p.Alpha && p.Alpha < 1) {
+		return fmt.Errorf("features: need 0 < beta < alpha < 1, got alpha=%g beta=%g", p.Alpha, p.Beta)
+	}
+	if p.GammaST <= 0 || p.GammaST >= 1 {
+		return fmt.Errorf("features: GammaST must be in (0,1), got %g", p.GammaST)
+	}
+	if p.GammaEC <= 0 {
+		return fmt.Errorf("features: GammaEC must be positive, got %g", p.GammaEC)
+	}
+	return p.Cluster.Validate()
+}
+
+// Extractor computes features against one indoor space.
+type Extractor struct {
+	Space  *indoor.Space
+	Params Params
+}
+
+// NewExtractor builds an Extractor after validating params.
+func NewExtractor(space *indoor.Space, params Params) (*Extractor, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extractor{Space: space, Params: params}, nil
+}
+
+// SeqContext caches the label-independent computations for one
+// p-sequence: density tags, candidate regions, fsm overlaps, distance
+// and turn prefix sums.
+type SeqContext struct {
+	Ex *Extractor
+	P  *seq.PSequence
+
+	// Density holds each record's st-DBSCAN tag.
+	Density []cluster.Density
+	// Candidates holds each record's candidate region labels.
+	Candidates [][]indoor.RegionID
+
+	// overlap[i][k] is fsm(θi, Candidates[i][k]).
+	overlap [][]float64
+	// dist[i] is dE(θi.l, θi+1.l); n-1 entries.
+	dist []float64
+	// dt[i] is θi+1.t − θi.t; n-1 entries.
+	dt []float64
+	// speedNorm[i] is min(1, γec · dist[i]/dt[i]); n-1 entries.
+	speedNorm []float64
+	// distCum[k] = Σ_{x<k} dist[x]; n entries.
+	distCum []float64
+	// turnCum[k] = number of turn points among 1..k; n entries.
+	turnCum []int
+}
+
+// NewSeqContext precomputes the context of one p-sequence. When
+// truth is non-nil its regions are force-included in the candidate
+// sets so that training labels are always representable.
+func (ex *Extractor) NewSeqContext(p *seq.PSequence, truth []indoor.RegionID) *SeqContext {
+	n := p.Len()
+	c := &SeqContext{
+		Ex:         ex,
+		P:          p,
+		Candidates: make([][]indoor.RegionID, n),
+		overlap:    make([][]float64, n),
+		dist:       make([]float64, max(0, n-1)),
+		dt:         make([]float64, max(0, n-1)),
+		speedNorm:  make([]float64, max(0, n-1)),
+		distCum:    make([]float64, n),
+		turnCum:    make([]int, n),
+	}
+	// st-DBSCAN density tags.
+	pts := make([]cluster.Point, n)
+	for i, rec := range p.Records {
+		pts[i] = cluster.Point{X: rec.Loc.X, Y: rec.Loc.Y, Floor: rec.Loc.Floor, T: rec.T}
+	}
+	res, err := cluster.Run(pts, ex.Params.Cluster)
+	if err != nil {
+		// Params were validated at construction; this is unreachable
+		// except for programmer error.
+		panic(fmt.Sprintf("features: st-DBSCAN: %v", err))
+	}
+	c.Density = res.Tag
+
+	// Candidate regions and fsm overlaps.
+	for i, rec := range p.Records {
+		cands := ex.Space.CandidateRegions(rec.Loc, ex.Params.V, nil)
+		if truth != nil && truth[i] != indoor.NoRegion && !containsRegion(cands, truth[i]) {
+			cands = insertRegion(cands, truth[i])
+		}
+		c.Candidates[i] = cands
+		ov := make([]float64, len(cands))
+		for k, r := range cands {
+			ov[k] = ex.Space.UncertaintyOverlap(rec.Loc, ex.Params.V, r)
+		}
+		c.overlap[i] = ov
+	}
+
+	// Pairwise distances, times and speeds.
+	for i := 0; i+1 < n; i++ {
+		a, b := p.Records[i], p.Records[i+1]
+		c.dist[i] = a.Loc.Dist(b.Loc)
+		c.dt[i] = b.T - a.T
+		speed := 0.0
+		if c.dt[i] > 0 {
+			speed = c.dist[i] / c.dt[i]
+		}
+		c.speedNorm[i] = math.Min(1, ex.Params.GammaEC*speed)
+	}
+	for i := 1; i < n; i++ {
+		c.distCum[i] = c.distCum[i-1] + c.dist[i-1]
+	}
+	// Turn points (footnote 4: heading change > 90°).
+	for i := 1; i < n; i++ {
+		c.turnCum[i] = c.turnCum[i-1]
+		if i+1 < n && geom.IsTurn(p.Records[i-1].Loc.Point(), p.Records[i].Loc.Point(), p.Records[i+1].Loc.Point()) {
+			c.turnCum[i]++
+		}
+	}
+	return c
+}
+
+func containsRegion(rs []indoor.RegionID, r indoor.RegionID) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+func insertRegion(rs []indoor.RegionID, r indoor.RegionID) []indoor.RegionID {
+	rs = append(rs, r)
+	for i := len(rs) - 1; i > 0 && rs[i] < rs[i-1]; i-- {
+		rs[i], rs[i-1] = rs[i-1], rs[i]
+	}
+	return rs
+}
+
+// Len returns the sequence length.
+func (c *SeqContext) Len() int { return c.P.Len() }
+
+// ---- individual feature functions (Table II) ----
+
+// SM is feature (1), fsm(θi, r): the overlap ratio between the
+// uncertainty disk of record i and region r, optionally scaled by the
+// historical region-frequency prior.
+func (c *SeqContext) SM(i int, r indoor.RegionID) float64 {
+	for k, cand := range c.Candidates[i] {
+		if cand == r {
+			return c.overlap[i][k] * c.prior(r)
+		}
+	}
+	if r == indoor.NoRegion {
+		return 0
+	}
+	// Non-candidate regions still get their true (typically zero)
+	// overlap.
+	return c.Ex.Space.UncertaintyOverlap(c.P.Records[i].Loc, c.Ex.Params.V, r) * c.prior(r)
+}
+
+// prior returns the fsm multiplier for region r (1 when no prior is
+// configured or r is out of range).
+func (c *SeqContext) prior(r indoor.RegionID) float64 {
+	p := c.Ex.Params.RegionPrior
+	if len(p) == 0 || r < 0 || int(r) >= len(p) {
+		return 1
+	}
+	return p[r]
+}
+
+// EM is feature (2), fem(θi, e): the density/event compatibility.
+func (c *SeqContext) EM(i int, e seq.Event) float64 {
+	switch {
+	case e == seq.Stay && c.Density[i] == cluster.Core:
+		return 1
+	case e == seq.Pass && c.Density[i] == cluster.Noise:
+		return 1
+	case e == seq.Stay && c.Density[i] == cluster.Border:
+		return c.Ex.Params.Alpha
+	case e == seq.Pass && c.Density[i] == cluster.Border:
+		return c.Ex.Params.Beta
+	default:
+		return 0
+	}
+}
+
+// ST is feature (3), fst(ri, ri+1) for the pair starting at record i:
+// exp(−γst · E[dI]) with the optional time-decay multiplier. Identical
+// consecutive labels score 1 (the paper's Fig. 4 example sets
+// fst(rC, rC) = 1).
+func (c *SeqContext) ST(i int, ra, rb indoor.RegionID) float64 {
+	v := 1.0
+	if ra != rb {
+		d := c.Ex.Space.RegionDist(ra, rb)
+		if math.IsInf(d, 1) {
+			return 0
+		}
+		v = math.Exp(-c.Ex.Params.GammaST * d)
+	}
+	if g := c.Ex.Params.TimeDecayST; g > 0 {
+		v *= math.Exp(-g * c.dt[i])
+	}
+	return v
+}
+
+// ET is feature (4), fet(ei, ei+1): event label smoothness.
+func (c *SeqContext) ET(ea, eb seq.Event) float64 {
+	if ea == eb {
+		return 1
+	}
+	return 0
+}
+
+// SC is feature (5), fsc(θi, θi+1, ri, ri+1):
+// exp(−|E[dI] − dE|), the consistency between region-level and raw
+// distances, with the optional time decay.
+func (c *SeqContext) SC(i int, ra, rb indoor.RegionID) float64 {
+	d := c.Ex.Space.RegionDist(ra, rb)
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	v := math.Exp(-math.Abs(d - c.dist[i]))
+	if g := c.Ex.Params.TimeDecaySC; g > 0 {
+		v *= math.Exp(-g * c.dt[i])
+	}
+	return v
+}
+
+// EC is feature (6), fec(θi, θi+1, ei, ei+1): consistency between the
+// observed speed and the pass-ness of the two event labels.
+func (c *SeqContext) EC(i int, ea, eb seq.Event) float64 {
+	return math.Exp(-math.Abs(c.speedNorm[i] - (passInd(ea)+passInd(eb))/2))
+}
+
+func passInd(e seq.Event) float64 {
+	if e == seq.Pass {
+		return 1
+	}
+	return 0
+}
+
+// segDist returns Σ dE(θx, θx+1) for a ≤ x < b.
+func (c *SeqContext) segDist(a, b int) float64 { return c.distCum[b] - c.distCum[a] }
+
+// segTurns returns the number of turn points strictly inside [a, b].
+func (c *SeqContext) segTurns(a, b int) int {
+	if b-a < 2 {
+		return 0
+	}
+	return c.turnCum[b-1] - c.turnCum[a]
+}
+
+// segSpeedNorm returns the normalised average speed over [a, b].
+func (c *SeqContext) segSpeedNorm(a, b int) float64 {
+	if a >= b {
+		return 0
+	}
+	dur := c.P.Records[b].T - c.P.Records[a].T
+	if dur <= 0 {
+		return 0
+	}
+	return math.Min(1, c.Ex.Params.GammaEC*c.segDist(a, b)/dur)
+}
+
+// ES is feature (7), fes over the event-based segmentation covering
+// records [a, b] that all carry event e. The three components are
+// sign·(distinct regions, speed, −turns), each normalised by run
+// length, where sign = 2·I(e)−1 (+1 for pass, −1 for stay). reg gives
+// the region label of a record.
+func (c *SeqContext) ES(a, b int, e seq.Event, reg func(int) indoor.RegionID, out *[3]float64) {
+	sign := 2*passInd(e) - 1
+	distinct := 0
+	var prev indoor.RegionID = -2
+	// Count distinct runs of region labels; for the compactness
+	// feature distinct *labels* and distinct *runs* coincide in intent,
+	// runs are O(len) to count.
+	seen := map[indoor.RegionID]bool{}
+	for x := a; x <= b; x++ {
+		r := reg(x)
+		if r != prev {
+			prev = r
+		}
+		if !seen[r] {
+			seen[r] = true
+			distinct++
+		}
+	}
+	runLen := float64(b - a + 1)
+	out[0] = sign * float64(distinct) / runLen
+	out[1] = sign * c.segSpeedNorm(a, b)
+	out[2] = -sign * float64(c.segTurns(a, b)) / runLen
+}
+
+// SS is feature (8), fss over the space-based segmentation covering
+// records [a, b] that all carry the same region label. The components
+// are (−event runs, −event changes, boundary pass indicators), each
+// normalised by run length (the last by 2). ev gives the event label
+// of a record.
+func (c *SeqContext) SS(a, b int, ev func(int) seq.Event, out *[3]float64) {
+	runs := 1
+	changes := 0
+	for x := a; x < b; x++ {
+		if ev(x) != ev(x+1) {
+			changes++
+			runs++
+		}
+	}
+	runLen := float64(b - a + 1)
+	out[0] = -float64(runs) / runLen
+	out[1] = -float64(changes) / runLen
+	out[2] = (passInd(ev(a)) + passInd(ev(b))) / 2
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,501 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"c2mn/internal/cluster"
+	"c2mn/internal/geom"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// testSpace builds a one-floor venue with a hallway and three rooms,
+// each its own region.
+func testSpace(t testing.TB) *indoor.Space {
+	t.Helper()
+	b := indoor.NewBuilder()
+	hall := b.AddPartition(0, geom.RectPoly(geom.Pt(0, 0), geom.Pt(30, 4)))
+	ra := b.AddPartition(0, geom.RectPoly(geom.Pt(0, 4), geom.Pt(10, 14)))
+	rb := b.AddPartition(0, geom.RectPoly(geom.Pt(10, 4), geom.Pt(20, 14)))
+	rc := b.AddPartition(0, geom.RectPoly(geom.Pt(20, 4), geom.Pt(30, 14)))
+	b.AddDoor(geom.Pt(5, 4), hall, ra)
+	b.AddDoor(geom.Pt(15, 4), hall, rb)
+	b.AddDoor(geom.Pt(25, 4), hall, rc)
+	b.AddRegion("A", ra)
+	b.AddRegion("B", rb)
+	b.AddRegion("C", rc)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testParams() Params {
+	p := DefaultParams()
+	p.V = 3
+	p.Cluster = cluster.Params{EpsS: 3, EpsT: 30, MinPts: 3}
+	return p
+}
+
+// walkSequence fabricates a p-sequence that stays in room A, walks the
+// hallway, then stays in room C.
+func walkSequence() *seq.PSequence {
+	p := &seq.PSequence{ObjectID: "w"}
+	add := func(x, y, t float64) {
+		p.Records = append(p.Records, seq.Record{Loc: indoor.Loc(x, y, 0), T: t})
+	}
+	// Stay in A (dense).
+	for i := 0; i < 6; i++ {
+		add(5+0.3*float64(i%2), 9+0.2*float64(i%3), float64(i*10))
+	}
+	// Pass through the hallway (fast, sparse).
+	add(5, 4.5, 70)
+	add(12, 2, 72)
+	add(20, 2, 74)
+	add(25, 4.5, 76)
+	// Stay in C (dense).
+	for i := 0; i < 6; i++ {
+		add(25+0.3*float64(i%2), 9+0.2*float64(i%3), 110+float64(i*10))
+	}
+	return p
+}
+
+func newCtx(t testing.TB) *SeqContext {
+	t.Helper()
+	ex, err := NewExtractor(testSpace(t), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex.NewSeqContext(walkSequence(), nil)
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := testParams()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.V = 0 },
+		func(p *Params) { p.Alpha = 1.2 },
+		func(p *Params) { p.Beta = 0.9 }, // beta > alpha
+		func(p *Params) { p.GammaST = 0 },
+		func(p *Params) { p.GammaST = 1.5 },
+		func(p *Params) { p.GammaEC = -1 },
+		func(p *Params) { p.Cluster.MinPts = 0 },
+	}
+	for i, mut := range bad {
+		p := testParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+	if _, err := NewExtractor(testSpace(t), Params{}); err == nil {
+		t.Errorf("NewExtractor with zero params should fail")
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.V != 15 || p.Alpha != 0.8 || p.Beta != 0.6 || p.GammaST != 0.1 || p.GammaEC != 0.2 {
+		t.Errorf("defaults diverge from §V-B1: %+v", p)
+	}
+	if p.Cluster.EpsS != 8 || p.Cluster.EpsT != 60 || p.Cluster.MinPts != 4 {
+		t.Errorf("st-DBSCAN defaults diverge: %+v", p.Cluster)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+}
+
+func TestSeqContextPrecomputation(t *testing.T) {
+	c := newCtx(t)
+	n := c.Len()
+	if n != 16 {
+		t.Fatalf("Len = %d", n)
+	}
+	// The dense head is clustered (stay-ish), the fast middle is noise.
+	if c.Density[2] == cluster.Noise {
+		t.Errorf("dense record tagged noise")
+	}
+	if c.Density[7] != cluster.Noise {
+		t.Errorf("fast hallway record tagged %v", c.Density[7])
+	}
+	// Every record has at least one candidate.
+	for i, cands := range c.Candidates {
+		if len(cands) == 0 {
+			t.Errorf("record %d has no candidates", i)
+		}
+	}
+}
+
+func TestCandidatesIncludeTruth(t *testing.T) {
+	ex, _ := NewExtractor(testSpace(t), testParams())
+	p := walkSequence()
+	truth := make([]indoor.RegionID, p.Len())
+	for i := range truth {
+		truth[i] = 1 // force region B everywhere
+	}
+	c := ex.NewSeqContext(p, truth)
+	for i, cands := range c.Candidates {
+		found := false
+		for _, r := range cands {
+			if r == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("record %d candidates %v missing forced truth", i, cands)
+		}
+		for k := 1; k < len(cands); k++ {
+			if cands[k] <= cands[k-1] {
+				t.Errorf("record %d candidates not sorted: %v", i, cands)
+			}
+		}
+	}
+}
+
+func TestSMValues(t *testing.T) {
+	c := newCtx(t)
+	// Record 0 sits well inside room A (region 0).
+	if got := c.SM(0, 0); math.Abs(got-1) > 1e-6 {
+		t.Errorf("SM(in A, A) = %v, want 1", got)
+	}
+	// Region C is far away: zero overlap.
+	if got := c.SM(0, 2); got != 0 {
+		t.Errorf("SM(in A, C) = %v, want 0", got)
+	}
+	if got := c.SM(0, indoor.NoRegion); got != 0 {
+		t.Errorf("SM(NoRegion) = %v", got)
+	}
+}
+
+func TestEMValues(t *testing.T) {
+	c := newCtx(t)
+	p := c.Ex.Params
+	cases := []struct {
+		d    cluster.Density
+		e    seq.Event
+		want float64
+	}{
+		{cluster.Core, seq.Stay, 1},
+		{cluster.Noise, seq.Pass, 1},
+		{cluster.Border, seq.Stay, p.Alpha},
+		{cluster.Border, seq.Pass, p.Beta},
+		{cluster.Core, seq.Pass, 0},
+		{cluster.Noise, seq.Stay, 0},
+	}
+	for _, tc := range cases {
+		c.Density[0] = tc.d
+		if got := c.EM(0, tc.e); got != tc.want {
+			t.Errorf("EM(%v,%v) = %v, want %v", tc.d, tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestSTValues(t *testing.T) {
+	c := newCtx(t)
+	// Identical labels: 1 (no decay configured).
+	if got := c.ST(0, 1, 1); got != 1 {
+		t.Errorf("ST(same) = %v", got)
+	}
+	// Nearby pair beats the far pair.
+	ab := c.ST(0, 0, 1)
+	ac := c.ST(0, 0, 2)
+	if !(ab > ac && ac > 0) {
+		t.Errorf("ST ordering wrong: d(A,B)=%v d(A,C)=%v", ab, ac)
+	}
+	if got := c.ST(0, 0, indoor.NoRegion); got != 0 {
+		t.Errorf("ST(NoRegion) = %v", got)
+	}
+	// Time decay multiplies in.
+	c.Ex.Params.TimeDecayST = 0.01
+	withDecay := c.ST(0, 0, 1)
+	if !(withDecay < ab) {
+		t.Errorf("time decay should shrink ST: %v vs %v", withDecay, ab)
+	}
+	c.Ex.Params.TimeDecayST = 0
+}
+
+func TestETValues(t *testing.T) {
+	c := newCtx(t)
+	if c.ET(seq.Stay, seq.Stay) != 1 || c.ET(seq.Pass, seq.Pass) != 1 {
+		t.Errorf("ET(same) != 1")
+	}
+	if c.ET(seq.Stay, seq.Pass) != 0 {
+		t.Errorf("ET(diff) != 0")
+	}
+}
+
+func TestSCValues(t *testing.T) {
+	c := newCtx(t)
+	// fsc is exp(−|E[dI] − dE|): check the formula on both label pairs
+	// and that the better-matching pair scores higher.
+	for _, pair := range [][2]indoor.RegionID{{0, 0}, {0, 1}, {1, 2}} {
+		want := math.Exp(-math.Abs(c.Ex.Space.RegionDist(pair[0], pair[1]) - c.dist[6]))
+		if got := c.SC(6, pair[0], pair[1]); math.Abs(got-want) > 1e-12 {
+			t.Errorf("SC(6,%v) = %v, want %v", pair, got, want)
+		}
+	}
+	// A ~7 m hop is more consistent with the ~5 m intra-region
+	// expectation than with the ~20 m A→B walk.
+	if !(c.SC(6, 0, 0) > c.SC(6, 0, 1)) {
+		t.Errorf("SC ordering wrong: same=%v cross=%v", c.SC(6, 0, 0), c.SC(6, 0, 1))
+	}
+	if got := c.SC(0, indoor.NoRegion, 0); got != 0 {
+		t.Errorf("SC(NoRegion) = %v", got)
+	}
+	// Time decay shrinks fsc.
+	base := c.SC(6, 0, 1)
+	c.Ex.Params.TimeDecaySC = 0.05
+	if got := c.SC(6, 0, 1); !(got < base) {
+		t.Errorf("time decay should shrink SC: %v vs %v", got, base)
+	}
+	c.Ex.Params.TimeDecaySC = 0
+}
+
+func TestECValues(t *testing.T) {
+	c := newCtx(t)
+	// Records 0→1 are slow (stay-like): stay/stay maximises consistency.
+	ss := c.EC(0, seq.Stay, seq.Stay)
+	pp := c.EC(0, seq.Pass, seq.Pass)
+	if !(ss > pp) {
+		t.Errorf("slow step should favor stay/stay: %v vs %v", ss, pp)
+	}
+	if math.Abs(ss-1) > 0.05 {
+		t.Errorf("EC(slow, stay, stay) = %v, want ~1", ss)
+	}
+	// Records 6→7 are fast: pass/pass wins.
+	fast := c.EC(6, seq.Pass, seq.Pass)
+	slowLabel := c.EC(6, seq.Stay, seq.Stay)
+	if !(fast > slowLabel) {
+		t.Errorf("fast step should favor pass/pass: %v vs %v", fast, slowLabel)
+	}
+}
+
+func TestESVector(t *testing.T) {
+	c := newCtx(t)
+	R := make([]indoor.RegionID, c.Len())
+	for i := range R {
+		R[i] = 0
+	}
+	var stay, pass [3]float64
+	c.ES(0, 5, seq.Stay, func(x int) indoor.RegionID { return R[x] }, &stay)
+	c.ES(0, 5, seq.Pass, func(x int) indoor.RegionID { return R[x] }, &pass)
+	// Opposite signs between stay and pass.
+	for k := 0; k < 3; k++ {
+		if stay[k] != -pass[k] {
+			t.Errorf("ES sign asymmetry at %d: %v vs %v", k, stay[k], pass[k])
+		}
+	}
+	// One region over six records: distinct/len = 1/6, negated for stay.
+	if math.Abs(stay[0]+1.0/6.0) > 1e-9 {
+		t.Errorf("ES distinct = %v, want -1/6", stay[0])
+	}
+	// More distinct regions increases the magnitude.
+	R[2], R[3] = 1, 2
+	var stay2 [3]float64
+	c.ES(0, 5, seq.Stay, func(x int) indoor.RegionID { return R[x] }, &stay2)
+	if !(stay2[0] < stay[0]) {
+		t.Errorf("distinct regions should lower stay score: %v vs %v", stay2[0], stay[0])
+	}
+	// Single-record run is well-defined.
+	var single [3]float64
+	c.ES(3, 3, seq.Pass, func(x int) indoor.RegionID { return R[x] }, &single)
+	if single[0] != 1 || single[1] != 0 || single[2] != 0 {
+		t.Errorf("single-record ES = %v", single)
+	}
+}
+
+func TestSSVector(t *testing.T) {
+	c := newCtx(t)
+	E := []seq.Event{seq.Stay, seq.Stay, seq.Pass, seq.Pass, seq.Stay, seq.Stay}
+	var v [3]float64
+	c.SS(0, 5, func(x int) seq.Event { return E[x] }, &v)
+	// 3 runs, 2 changes over 6 records; boundary events both stay.
+	if math.Abs(v[0]+0.5) > 1e-9 {
+		t.Errorf("SS runs = %v, want -0.5", v[0])
+	}
+	if math.Abs(v[1]+2.0/6.0) > 1e-9 {
+		t.Errorf("SS changes = %v, want -1/3", v[1])
+	}
+	if v[2] != 0 {
+		t.Errorf("SS boundary = %v, want 0", v[2])
+	}
+	// Pass at the boundaries raises the third component.
+	E[0], E[5] = seq.Pass, seq.Pass
+	c.SS(0, 5, func(x int) seq.Event { return E[x] }, &v)
+	if v[2] != 1 {
+		t.Errorf("SS boundary pass = %v, want 1", v[2])
+	}
+	// Single record run.
+	c.SS(2, 2, func(x int) seq.Event { return seq.Pass }, &v)
+	if v[0] != -1 || v[1] != 0 || v[2] != 1 {
+		t.Errorf("single-record SS = %v", v)
+	}
+}
+
+func TestRunBounds(t *testing.T) {
+	R := []indoor.RegionID{1, 1, 2, 2, 2, 3}
+	if a := runStartRegion(R, 4); a != 2 {
+		t.Errorf("runStartRegion = %d", a)
+	}
+	if b := runEndRegion(R, 2); b != 4 {
+		t.Errorf("runEndRegion = %d", b)
+	}
+	E := []seq.Event{seq.Stay, seq.Pass, seq.Pass}
+	if a := runStartEvent(E, 2); a != 1 {
+		t.Errorf("runStartEvent = %d", a)
+	}
+	if b := runEndEvent(E, 1); b != 2 {
+		t.Errorf("runEndEvent = %d", b)
+	}
+}
+
+// randomLabels draws a random labeling from the candidate sets.
+func randomLabels(c *SeqContext, rng *rand.Rand) ([]indoor.RegionID, []seq.Event) {
+	n := c.Len()
+	R := make([]indoor.RegionID, n)
+	E := make([]seq.Event, n)
+	for i := 0; i < n; i++ {
+		cands := c.Candidates[i]
+		R[i] = cands[rng.Intn(len(cands))]
+		E[i] = seq.Event(rng.Intn(2))
+	}
+	return R, E
+}
+
+// TestLocalFeaturesMatchTotalDeltas is the central correctness check:
+// for any node and any pair of labels, the difference of local
+// (Markov-blanket) features equals the difference of total features.
+// This guarantees the local conditionals used in Gibbs sampling and
+// ICM are exact.
+func TestLocalFeaturesMatchTotalDeltas(t *testing.T) {
+	for _, cliques := range []CliqueSet{
+		AllCliques,
+		AllCliques &^ Transition,
+		AllCliques &^ Synchronization,
+		AllCliques &^ SegmentationES,
+		AllCliques &^ SegmentationSS,
+		Matching | Transition | Synchronization,
+	} {
+		params := testParams()
+		params.Cliques = cliques
+		ex, err := NewExtractor(testSpace(t), params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := ex.NewSeqContext(walkSequence(), nil)
+		rng := rand.New(rand.NewSource(int64(cliques)))
+		n := c.Len()
+
+		tot1 := make([]float64, Dim)
+		tot2 := make([]float64, Dim)
+		loc1 := make([]float64, Dim)
+		loc2 := make([]float64, Dim)
+
+		for trial := 0; trial < 30; trial++ {
+			R, E := randomLabels(c, rng)
+			i := rng.Intn(n)
+
+			// Region node check.
+			cands := c.Candidates[i]
+			r1 := cands[rng.Intn(len(cands))]
+			r2 := cands[rng.Intn(len(cands))]
+			R[i] = r1
+			c.TotalFeatures(R, E, tot1)
+			R[i] = r2
+			c.TotalFeatures(R, E, tot2)
+			c.LocalRegionFeatures(R, E, i, r1, loc1)
+			c.LocalRegionFeatures(R, E, i, r2, loc2)
+			for k := 0; k < Dim; k++ {
+				dTot := tot1[k] - tot2[k]
+				dLoc := loc1[k] - loc2[k]
+				if math.Abs(dTot-dLoc) > 1e-9 {
+					t.Fatalf("cliques=%b region node %d feature %d (%s): total delta %v != local delta %v",
+						cliques, i, k, Names()[k], dTot, dLoc)
+				}
+			}
+
+			// Event node check.
+			E[i] = seq.Stay
+			c.TotalFeatures(R, E, tot1)
+			E[i] = seq.Pass
+			c.TotalFeatures(R, E, tot2)
+			c.LocalEventFeatures(R, E, i, seq.Stay, loc1)
+			c.LocalEventFeatures(R, E, i, seq.Pass, loc2)
+			for k := 0; k < Dim; k++ {
+				dTot := tot1[k] - tot2[k]
+				dLoc := loc1[k] - loc2[k]
+				if math.Abs(dTot-dLoc) > 1e-9 {
+					t.Fatalf("cliques=%b event node %d feature %d (%s): total delta %v != local delta %v",
+						cliques, i, k, Names()[k], dTot, dLoc)
+				}
+			}
+		}
+	}
+}
+
+func TestCliqueMaskZeroesFeatures(t *testing.T) {
+	params := testParams()
+	params.Cliques = Matching
+	ex, _ := NewExtractor(testSpace(t), params)
+	c := ex.NewSeqContext(walkSequence(), nil)
+	rng := rand.New(rand.NewSource(3))
+	R, E := randomLabels(c, rng)
+	out := make([]float64, Dim)
+	c.TotalFeatures(R, E, out)
+	for k := IdxST; k < Dim; k++ {
+		if out[k] != 0 {
+			t.Errorf("masked feature %d = %v, want 0", k, out[k])
+		}
+	}
+	if out[IdxSM] == 0 && out[IdxEM] == 0 {
+		t.Errorf("matching features should be non-zero")
+	}
+}
+
+func TestTotalFeaturesBounded(t *testing.T) {
+	// All per-clique features are bounded, so totals are bounded by the
+	// number of cliques.
+	c := newCtx(t)
+	rng := rand.New(rand.NewSource(4))
+	out := make([]float64, Dim)
+	n := float64(c.Len())
+	for trial := 0; trial < 50; trial++ {
+		R, E := randomLabels(c, rng)
+		c.TotalFeatures(R, E, out)
+		for k, v := range out {
+			if math.Abs(v) > 2*n {
+				t.Fatalf("feature %d = %v out of bound", k, v)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("feature %d = %v", k, v)
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("bad feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCliqueSetHas(t *testing.T) {
+	cs := Matching | Transition
+	if !cs.Has(Matching) || !cs.Has(Transition) || cs.Has(Synchronization) {
+		t.Errorf("Has wrong")
+	}
+	if !AllCliques.Has(SegmentationES | SegmentationSS) {
+		t.Errorf("AllCliques incomplete")
+	}
+}

@@ -1,0 +1,33 @@
+package features
+
+import (
+	"testing"
+)
+
+func TestRegionPriorScalesSM(t *testing.T) {
+	params := testParams()
+	params.RegionPrior = []float64{0.5, 1.0, 0.25}
+	ex, err := NewExtractor(testSpace(t), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ex.NewSeqContext(walkSequence(), nil)
+
+	noPrior := testParams()
+	ex2, _ := NewExtractor(testSpace(t), noPrior)
+	c2 := ex2.NewSeqContext(walkSequence(), nil)
+
+	// Record 0 sits in room A (region 0): prior 0.5 halves fsm.
+	withP := c.SM(0, 0)
+	without := c2.SM(0, 0)
+	if diff := withP - 0.5*without; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("prior-scaled SM = %v, want %v", withP, 0.5*without)
+	}
+	// Out-of-range region falls back to multiplier 1.
+	if got := c.prior(99); got != 1 {
+		t.Errorf("out-of-range prior = %v", got)
+	}
+	if got := c.prior(-1); got != 1 {
+		t.Errorf("negative region prior = %v", got)
+	}
+}

@@ -1,0 +1,241 @@
+package features
+
+import (
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// TotalFeatures accumulates the empirical feature vector
+// f(P, R, E) = Σ_ct Σ_{c∈C(ct)} f_c over every clique of the unrolled
+// network (the parameter-shared form of Eq. 2). out must have length
+// Dim and is overwritten.
+func (c *SeqContext) TotalFeatures(R []indoor.RegionID, E []seq.Event, out []float64) {
+	for k := range out {
+		out[k] = 0
+	}
+	n := c.Len()
+	cl := c.Ex.Params.Cliques
+	if cl.Has(Matching) {
+		for i := 0; i < n; i++ {
+			out[IdxSM] += c.SM(i, R[i])
+			out[IdxEM] += c.EM(i, E[i])
+		}
+	}
+	if cl.Has(Transition) {
+		for i := 0; i+1 < n; i++ {
+			out[IdxST] += c.ST(i, R[i], R[i+1])
+			out[IdxET] += c.ET(E[i], E[i+1])
+		}
+	}
+	if cl.Has(Synchronization) {
+		for i := 0; i+1 < n; i++ {
+			out[IdxSC] += c.SC(i, R[i], R[i+1])
+			out[IdxEC] += c.EC(i, E[i], E[i+1])
+		}
+	}
+	if cl.Has(SegmentationES) {
+		var v [3]float64
+		for a := 0; a < n; {
+			b := a
+			for b+1 < n && E[b+1] == E[a] {
+				b++
+			}
+			c.ES(a, b, E[a], func(x int) indoor.RegionID { return R[x] }, &v)
+			out[IdxES] += v[0]
+			out[IdxES+1] += v[1]
+			out[IdxES+2] += v[2]
+			a = b + 1
+		}
+	}
+	if cl.Has(SegmentationSS) {
+		var v [3]float64
+		for a := 0; a < n; {
+			b := a
+			for b+1 < n && R[b+1] == R[a] {
+				b++
+			}
+			c.SS(a, b, func(x int) seq.Event { return E[x] }, &v)
+			out[IdxSS] += v[0]
+			out[IdxSS+1] += v[1]
+			out[IdxSS+2] += v[2]
+			a = b + 1
+		}
+	}
+}
+
+// runStartRegion returns the first index of the maximal same-region
+// run containing i.
+func runStartRegion(R []indoor.RegionID, i int) int {
+	for i > 0 && R[i-1] == R[i] {
+		i--
+	}
+	return i
+}
+
+// runEndRegion returns the last index of the maximal same-region run
+// containing i.
+func runEndRegion(R []indoor.RegionID, i int) int {
+	for i+1 < len(R) && R[i+1] == R[i] {
+		i++
+	}
+	return i
+}
+
+// runStartEvent and runEndEvent are the event-label analogues.
+func runStartEvent(E []seq.Event, i int) int {
+	for i > 0 && E[i-1] == E[i] {
+		i--
+	}
+	return i
+}
+
+func runEndEvent(E []seq.Event, i int) int {
+	for i+1 < len(E) && E[i+1] == E[i] {
+		i++
+	}
+	return i
+}
+
+// LocalRegionFeatures accumulates into out (length Dim, overwritten)
+// the features of every clique containing region node i, evaluated
+// with R[i] substituted by r. This is the exact Markov-blanket
+// statistic used by the local conditionals P(ri | MB(ri)) in both
+// learning (Eq. 6–9) and inference: cliques not containing node i
+// contribute equally to every candidate r and cancel from the
+// conditional.
+func (c *SeqContext) LocalRegionFeatures(R []indoor.RegionID, E []seq.Event, i int, r indoor.RegionID, out []float64) {
+	for k := range out {
+		out[k] = 0
+	}
+	n := c.Len()
+	cl := c.Ex.Params.Cliques
+	if cl.Has(Matching) {
+		out[IdxSM] = c.SM(i, r)
+	}
+	reg := func(x int) indoor.RegionID {
+		if x == i {
+			return r
+		}
+		return R[x]
+	}
+	if cl.Has(Transition) {
+		if i > 0 {
+			out[IdxST] += c.ST(i-1, R[i-1], r)
+		}
+		if i+1 < n {
+			out[IdxST] += c.ST(i, r, R[i+1])
+		}
+	}
+	if cl.Has(Synchronization) {
+		if i > 0 {
+			out[IdxSC] += c.SC(i-1, R[i-1], r)
+		}
+		if i+1 < n {
+			out[IdxSC] += c.SC(i, r, R[i+1])
+		}
+	}
+	if cl.Has(SegmentationES) {
+		// The event-based segmentation clique containing record i is
+		// the maximal same-event run around i; its region-distinctness
+		// feature depends on r.
+		a, b := runStartEvent(E, i), runEndEvent(E, i)
+		var v [3]float64
+		c.ES(a, b, E[i], reg, &v)
+		out[IdxES] += v[0]
+		out[IdxES+1] += v[1]
+		out[IdxES+2] += v[2]
+	}
+	if cl.Has(SegmentationSS) {
+		// Changing R[i] reshapes the space-based segmentation runs in
+		// the window spanned by the runs of i−1 and i+1; boundaries
+		// outside the window are unaffected.
+		A, B := i, i
+		if i > 0 {
+			A = runStartRegion(R, i-1)
+		}
+		if i+1 < n {
+			B = runEndRegion(R, i+1)
+		}
+		var v [3]float64
+		for x := A; x <= B; {
+			y := x
+			for y+1 <= B && reg(y+1) == reg(x) {
+				y++
+			}
+			c.SS(x, y, func(z int) seq.Event { return E[z] }, &v)
+			out[IdxSS] += v[0]
+			out[IdxSS+1] += v[1]
+			out[IdxSS+2] += v[2]
+			x = y + 1
+		}
+	}
+}
+
+// LocalEventFeatures accumulates into out (length Dim, overwritten)
+// the features of every clique containing event node i, evaluated with
+// E[i] substituted by e. See LocalRegionFeatures.
+func (c *SeqContext) LocalEventFeatures(R []indoor.RegionID, E []seq.Event, i int, e seq.Event, out []float64) {
+	for k := range out {
+		out[k] = 0
+	}
+	n := c.Len()
+	cl := c.Ex.Params.Cliques
+	if cl.Has(Matching) {
+		out[IdxEM] = c.EM(i, e)
+	}
+	ev := func(x int) seq.Event {
+		if x == i {
+			return e
+		}
+		return E[x]
+	}
+	if cl.Has(Transition) {
+		if i > 0 {
+			out[IdxET] += c.ET(E[i-1], e)
+		}
+		if i+1 < n {
+			out[IdxET] += c.ET(e, E[i+1])
+		}
+	}
+	if cl.Has(Synchronization) {
+		if i > 0 {
+			out[IdxEC] += c.EC(i-1, E[i-1], e)
+		}
+		if i+1 < n {
+			out[IdxEC] += c.EC(i, e, E[i+1])
+		}
+	}
+	if cl.Has(SegmentationES) {
+		// Changing E[i] reshapes the event runs within the window
+		// spanned by the runs of i−1 and i+1.
+		A, B := i, i
+		if i > 0 {
+			A = runStartEvent(E, i-1)
+		}
+		if i+1 < n {
+			B = runEndEvent(E, i+1)
+		}
+		var v [3]float64
+		for x := A; x <= B; {
+			y := x
+			for y+1 <= B && ev(y+1) == ev(x) {
+				y++
+			}
+			c.ES(x, y, ev(x), func(z int) indoor.RegionID { return R[z] }, &v)
+			out[IdxES] += v[0]
+			out[IdxES+1] += v[1]
+			out[IdxES+2] += v[2]
+			x = y + 1
+		}
+	}
+	if cl.Has(SegmentationSS) {
+		// The space-based segmentation clique containing record i is
+		// the same-region run around i; its event statistics depend on e.
+		a, b := runStartRegion(R, i), runEndRegion(R, i)
+		var v [3]float64
+		c.SS(a, b, ev, &v)
+		out[IdxSS] += v[0]
+		out[IdxSS+1] += v[1]
+		out[IdxSS+2] += v[2]
+	}
+}

@@ -1,0 +1,124 @@
+package geom
+
+import "math"
+
+// Circle is a disk centered at C with radius R.
+type Circle struct {
+	C Point
+	R float64
+}
+
+// Area returns the area of the disk.
+func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
+
+// Contains reports whether p lies inside or on the circle.
+func (c Circle) Contains(p Point) bool { return c.C.Dist(p) <= c.R+Eps }
+
+// Bounds returns the bounding rectangle of the circle.
+func (c Circle) Bounds() Rect {
+	return Rect{
+		Point{c.C.X - c.R, c.C.Y - c.R},
+		Point{c.C.X + c.R, c.C.Y + c.R},
+	}
+}
+
+// IntersectArea returns the exact area of the intersection between the
+// disk and the polygon. It decomposes the polygon into signed triangles
+// anchored at the circle center and sums each triangle's exact
+// intersection with the disk (sectors where the edge lies outside the
+// circle, plain triangles where it lies inside). The result is clamped
+// to [0, min(circle area, polygon area)].
+func (c Circle) IntersectArea(poly Polygon) float64 {
+	if len(poly) < 3 || c.R <= 0 {
+		return 0
+	}
+	// Quick reject on bounding boxes.
+	if !poly.Bounds().IntersectsCircle(c.C, c.R) {
+		return 0
+	}
+	total := 0.0
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		a := poly[i].Sub(c.C)
+		b := poly[(i+1)%n].Sub(c.C)
+		total += circleEdgeArea(c.R, a, b)
+	}
+	area := math.Abs(total)
+	return Clamp(area, 0, math.Min(c.Area(), poly.Area()))
+}
+
+// circleEdgeArea returns the signed area of the intersection between
+// the disk of radius r centered at the origin and the triangle
+// (origin, a, b).
+func circleEdgeArea(r float64, a, b Point) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na < Eps || nb < Eps {
+		return 0
+	}
+	cross := a.Cross(b)
+	if math.Abs(cross) < Eps*Eps {
+		return 0
+	}
+	if na <= r+Eps && nb <= r+Eps {
+		// Both endpoints inside: plain triangle.
+		return cross / 2
+	}
+	// Solve |a + t(b-a)| = r for t.
+	d := b.Sub(a)
+	qa := d.Dot(d)
+	qb := 2 * a.Dot(d)
+	qc := a.Dot(a) - r*r
+	disc := qb*qb - 4*qa*qc
+	if disc <= 0 {
+		// Edge entirely outside the circle: circular sector.
+		return sectorArea(r, a, b)
+	}
+	sq := math.Sqrt(disc)
+	t1 := (-qb - sq) / (2 * qa)
+	t2 := (-qb + sq) / (2 * qa)
+	if t1 >= 1 || t2 <= 0 {
+		// Chord misses the segment: sector again.
+		return sectorArea(r, a, b)
+	}
+	t1c := Clamp(t1, 0, 1)
+	t2c := Clamp(t2, 0, 1)
+	p1 := a.Add(d.Scale(t1c))
+	p2 := a.Add(d.Scale(t2c))
+	area := 0.0
+	if t1 > 0 {
+		area += sectorArea(r, a, p1)
+	}
+	area += p1.Cross(p2) / 2
+	if t2 < 1 {
+		area += sectorArea(r, p2, b)
+	}
+	return area
+}
+
+// sectorArea returns the signed area of the circular sector of radius r
+// swept from direction a to direction b.
+func sectorArea(r float64, a, b Point) float64 {
+	theta := math.Atan2(a.Cross(b), a.Dot(b))
+	return r * r * theta / 2
+}
+
+// IntersectsPolygon reports whether the disk and polygon share any
+// point, checking containment both ways plus edge proximity.
+func (c Circle) IntersectsPolygon(poly Polygon) bool {
+	if len(poly) < 3 {
+		return false
+	}
+	if !poly.Bounds().IntersectsCircle(c.C, c.R) {
+		return false
+	}
+	if poly.Contains(c.C) {
+		return true
+	}
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		if DistPointSegment(c.C, poly[i], poly[(i+1)%n]) <= c.R {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,355 @@
+// Package geom provides the planar geometry primitives used by the
+// indoor space model and the C2MN feature functions: points, rectangles,
+// polygons, circle–polygon intersection areas and turn detection.
+//
+// All coordinates are in meters. The package is self-contained and has
+// no dependencies outside the standard library.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used for geometric predicates.
+const Eps = 1e-9
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p×q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean norm of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Mid returns the midpoint of p and q.
+func (p Point) Mid(q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+func (p Point) String() string { return fmt.Sprintf("(%.3f,%.3f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle. A Rect is valid when Min.X <= Max.X
+// and Min.Y <= Max.Y.
+type Rect struct {
+	Min, Max Point
+}
+
+// RectOf builds the bounding rectangle of a set of points.
+func RectOf(pts ...Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{pts[0], pts[0]}
+	for _, p := range pts[1:] {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}
+
+// ExtendPoint grows r to include p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	if p.X < r.Min.X {
+		r.Min.X = p.X
+	}
+	if p.Y < r.Min.Y {
+		r.Min.Y = p.Y
+	}
+	if p.X > r.Max.X {
+		r.Max.X = p.X
+	}
+	if p.Y > r.Max.Y {
+		r.Max.Y = p.Y
+	}
+	return r
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return r.ExtendPoint(s.Min).ExtendPoint(s.Max)
+}
+
+// Intersects reports whether r and s overlap (touching counts).
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of r.
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return r.ContainsPoint(s.Min) && r.ContainsPoint(s.Max)
+}
+
+// Area returns the area of r.
+func (r Rect) Area() float64 {
+	if r.Max.X < r.Min.X || r.Max.Y < r.Min.Y {
+		return 0
+	}
+	return (r.Max.X - r.Min.X) * (r.Max.Y - r.Min.Y)
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point { return r.Min.Mid(r.Max) }
+
+// Expand grows r by d in every direction.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{Point{r.Min.X - d, r.Min.Y - d}, Point{r.Max.X + d, r.Max.Y + d}}
+}
+
+// DistPoint returns the distance from p to the closest point of r
+// (zero when p is inside r).
+func (r Rect) DistPoint(p Point) float64 {
+	dx := math.Max(math.Max(r.Min.X-p.X, 0), p.X-r.Max.X)
+	dy := math.Max(math.Max(r.Min.Y-p.Y, 0), p.Y-r.Max.Y)
+	return math.Hypot(dx, dy)
+}
+
+// IntersectsCircle reports whether r overlaps the disk centered at c
+// with radius rad.
+func (r Rect) IntersectsCircle(c Point, rad float64) bool {
+	return r.DistPoint(c) <= rad
+}
+
+// Polygon is a simple polygon given by its vertices in order (either
+// orientation). The ring is implicitly closed: the last vertex connects
+// back to the first.
+type Polygon []Point
+
+// RectPoly builds a rectangular polygon from two opposite corners.
+func RectPoly(min, max Point) Polygon {
+	return Polygon{min, {max.X, min.Y}, max, {min.X, max.Y}}
+}
+
+// Area returns the (unsigned) area of the polygon via the shoelace
+// formula.
+func (poly Polygon) Area() float64 {
+	return math.Abs(poly.SignedArea())
+}
+
+// SignedArea returns the signed shoelace area: positive for
+// counter-clockwise rings, negative for clockwise ones.
+func (poly Polygon) SignedArea() float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		sum += p.Cross(q)
+	}
+	return sum / 2
+}
+
+// Perimeter returns the total boundary length of the polygon.
+func (poly Polygon) Perimeter() float64 {
+	if len(poly) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i, p := range poly {
+		sum += p.Dist(poly[(i+1)%len(poly)])
+	}
+	return sum
+}
+
+// Centroid returns the area centroid of the polygon. For degenerate
+// polygons it falls back to the vertex average.
+func (poly Polygon) Centroid() Point {
+	a := poly.SignedArea()
+	if math.Abs(a) < Eps {
+		var c Point
+		for _, p := range poly {
+			c = c.Add(p)
+		}
+		if len(poly) > 0 {
+			c = c.Scale(1 / float64(len(poly)))
+		}
+		return c
+	}
+	var c Point
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		w := p.Cross(q)
+		c.X += (p.X + q.X) * w
+		c.Y += (p.Y + q.Y) * w
+	}
+	return c.Scale(1 / (6 * a))
+}
+
+// Bounds returns the bounding rectangle of the polygon.
+func (poly Polygon) Bounds() Rect { return RectOf(poly...) }
+
+// Contains reports whether p lies inside the polygon (boundary points
+// count as inside) using the even-odd ray-casting rule.
+func (poly Polygon) Contains(p Point) bool {
+	if len(poly) < 3 {
+		return false
+	}
+	if poly.OnBoundary(p) {
+		return true
+	}
+	inside := false
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		a, b := poly[i], poly[(i+1)%n]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			x := a.X + (p.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if p.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// OnBoundary reports whether p lies on an edge of the polygon (within
+// Eps tolerance).
+func (poly Polygon) OnBoundary(p Point) bool {
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		if DistPointSegment(p, poly[i], poly[(i+1)%n]) < Eps {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the polygon has at least three vertices and a
+// non-degenerate area.
+func (poly Polygon) Validate() error {
+	if len(poly) < 3 {
+		return fmt.Errorf("geom: polygon needs at least 3 vertices, got %d", len(poly))
+	}
+	if poly.Area() < Eps {
+		return fmt.Errorf("geom: polygon area is degenerate (%g)", poly.Area())
+	}
+	return nil
+}
+
+// DistPointSegment returns the distance from p to the segment a-b.
+func DistPointSegment(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	l2 := ab.Dot(ab)
+	if l2 < Eps*Eps {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / l2
+	t = Clamp(t, 0, 1)
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
+// ClosestOnSegment returns the point on segment a-b closest to p.
+func ClosestOnSegment(p, a, b Point) Point {
+	ab := b.Sub(a)
+	l2 := ab.Dot(ab)
+	if l2 < Eps*Eps {
+		return a
+	}
+	t := Clamp(p.Sub(a).Dot(ab)/l2, 0, 1)
+	return a.Add(ab.Scale(t))
+}
+
+// Clamp limits v to the range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SegmentsIntersect reports whether segments a-b and c-d share at least
+// one point.
+func SegmentsIntersect(a, b, c, d Point) bool {
+	d1 := orient(c, d, a)
+	d2 := orient(c, d, b)
+	d3 := orient(a, b, c)
+	d4 := orient(a, b, d)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSeg(c, d, a):
+		return true
+	case d2 == 0 && onSeg(c, d, b):
+		return true
+	case d3 == 0 && onSeg(a, b, c):
+		return true
+	case d4 == 0 && onSeg(a, b, d):
+		return true
+	}
+	return false
+}
+
+func orient(a, b, c Point) float64 {
+	v := b.Sub(a).Cross(c.Sub(a))
+	if math.Abs(v) < Eps {
+		return 0
+	}
+	return v
+}
+
+func onSeg(a, b, p Point) bool {
+	return math.Min(a.X, b.X)-Eps <= p.X && p.X <= math.Max(a.X, b.X)+Eps &&
+		math.Min(a.Y, b.Y)-Eps <= p.Y && p.Y <= math.Max(a.Y, b.Y)+Eps
+}
+
+// Angle returns the absolute turning angle, in radians within [0, π],
+// between direction a→b and direction b→c. Degenerate steps (zero
+// movement) yield a zero angle.
+func Angle(a, b, c Point) float64 {
+	u := b.Sub(a)
+	v := c.Sub(b)
+	nu, nv := u.Norm(), v.Norm()
+	if nu < Eps || nv < Eps {
+		return 0
+	}
+	cos := Clamp(u.Dot(v)/(nu*nv), -1, 1)
+	return math.Acos(cos)
+}
+
+// IsTurn reports whether the heading change at b along the path a→b→c
+// exceeds 90 degrees, the turn criterion of the paper's fes feature
+// (footnote 4 of the paper).
+func IsTurn(a, b, c Point) bool {
+	return Angle(a, b, c) > math.Pi/2+Eps
+}
+
+// CountTurns counts the number of turns along a path, applying IsTurn
+// at every interior point.
+func CountTurns(path []Point) int {
+	n := 0
+	for i := 1; i+1 < len(path); i++ {
+		if IsTurn(path[i-1], path[i], path[i+1]) {
+			n++
+		}
+	}
+	return n
+}

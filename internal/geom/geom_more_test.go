@@ -1,0 +1,67 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRectCenterExpand(t *testing.T) {
+	r := Rect{Pt(0, 0), Pt(4, 2)}
+	if got := r.Center(); got != Pt(2, 1) {
+		t.Errorf("Center = %v", got)
+	}
+	e := r.Expand(1)
+	if e.Min != Pt(-1, -1) || e.Max != Pt(5, 3) {
+		t.Errorf("Expand = %+v", e)
+	}
+	// Invalid rect has zero area.
+	bad := Rect{Pt(4, 4), Pt(0, 0)}
+	if bad.Area() != 0 {
+		t.Errorf("inverted rect area = %v", bad.Area())
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := Pt(1.5, -2).String(); s != "(1.500,-2.000)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDegenerateCentroid(t *testing.T) {
+	// Collinear polygon falls back to the vertex average.
+	degenerate := Polygon{Pt(0, 0), Pt(2, 0), Pt(4, 0)}
+	c := degenerate.Centroid()
+	if math.Abs(c.X-2) > 1e-12 || math.Abs(c.Y) > 1e-12 {
+		t.Errorf("degenerate centroid = %v", c)
+	}
+	var empty Polygon
+	if got := empty.Centroid(); got != Pt(0, 0) {
+		t.Errorf("empty centroid = %v", got)
+	}
+	if got := empty.Perimeter(); got != 0 {
+		t.Errorf("empty perimeter = %v", got)
+	}
+	if got := (Polygon{Pt(0, 0), Pt(1, 1)}).SignedArea(); got != 0 {
+		t.Errorf("2-point signed area = %v", got)
+	}
+}
+
+func TestContainsTinyPolygon(t *testing.T) {
+	if (Polygon{Pt(0, 0), Pt(1, 1)}).Contains(Pt(0.5, 0.5)) {
+		t.Errorf("2-point polygon cannot contain anything")
+	}
+}
+
+func TestCircleIntersectAreaDegenerate(t *testing.T) {
+	c := Circle{Pt(0, 0), 0}
+	if got := c.IntersectArea(RectPoly(Pt(-1, -1), Pt(1, 1))); got != 0 {
+		t.Errorf("zero-radius area = %v", got)
+	}
+	c = Circle{Pt(0, 0), 1}
+	if got := c.IntersectArea(Polygon{Pt(0, 0), Pt(1, 1)}); got != 0 {
+		t.Errorf("degenerate polygon area = %v", got)
+	}
+	if (Circle{Pt(0, 0), 1}).IntersectsPolygon(Polygon{Pt(0, 0)}) {
+		t.Errorf("degenerate polygon should not intersect")
+	}
+}

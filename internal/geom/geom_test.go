@@ -1,0 +1,324 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -1)
+	if got := p.Add(q); got != Pt(4, 1) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -7 {
+		t.Errorf("Cross = %v", got)
+	}
+	if !almost(p.Dist(q), math.Sqrt(13), 1e-12) {
+		t.Errorf("Dist = %v", p.Dist(q))
+	}
+	if got := p.Mid(q); got != Pt(2, 0.5) {
+		t.Errorf("Mid = %v", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectOf(Pt(0, 0), Pt(4, 3), Pt(2, -1))
+	if r.Min != Pt(0, -1) || r.Max != Pt(4, 3) {
+		t.Fatalf("RectOf = %+v", r)
+	}
+	if got := r.Area(); got != 16 {
+		t.Errorf("Area = %v", got)
+	}
+	if !r.ContainsPoint(Pt(2, 2)) || r.ContainsPoint(Pt(5, 0)) {
+		t.Errorf("ContainsPoint wrong")
+	}
+	s := Rect{Pt(3, 2), Pt(6, 6)}
+	if !r.Intersects(s) {
+		t.Errorf("expected intersection")
+	}
+	if r.Intersects(Rect{Pt(5, 5), Pt(6, 6)}) {
+		t.Errorf("unexpected intersection")
+	}
+	u := r.Union(s)
+	if u.Min != Pt(0, -1) || u.Max != Pt(6, 6) {
+		t.Errorf("Union = %+v", u)
+	}
+	if !u.ContainsRect(r) || !u.ContainsRect(s) {
+		t.Errorf("Union must contain operands")
+	}
+}
+
+func TestRectDistPoint(t *testing.T) {
+	r := Rect{Pt(0, 0), Pt(2, 2)}
+	cases := []struct {
+		p Point
+		d float64
+	}{
+		{Pt(1, 1), 0},
+		{Pt(3, 1), 1},
+		{Pt(-1, -1), math.Sqrt2},
+		{Pt(1, 5), 3},
+	}
+	for _, c := range cases {
+		if got := r.DistPoint(c.p); !almost(got, c.d, 1e-12) {
+			t.Errorf("DistPoint(%v) = %v, want %v", c.p, got, c.d)
+		}
+	}
+	if !r.IntersectsCircle(Pt(3, 1), 1.5) || r.IntersectsCircle(Pt(3, 1), 0.5) {
+		t.Errorf("IntersectsCircle wrong")
+	}
+}
+
+func TestPolygonAreaCentroid(t *testing.T) {
+	sq := RectPoly(Pt(0, 0), Pt(2, 2))
+	if got := sq.Area(); !almost(got, 4, 1e-12) {
+		t.Errorf("square area = %v", got)
+	}
+	if got := sq.Centroid(); !almost(got.X, 1, 1e-12) || !almost(got.Y, 1, 1e-12) {
+		t.Errorf("square centroid = %v", got)
+	}
+	if got := sq.Perimeter(); !almost(got, 8, 1e-12) {
+		t.Errorf("square perimeter = %v", got)
+	}
+	// Clockwise orientation gives negative signed area, same unsigned.
+	cw := Polygon{Pt(0, 0), Pt(0, 2), Pt(2, 2), Pt(2, 0)}
+	if cw.SignedArea() >= 0 {
+		t.Errorf("clockwise signed area should be negative: %v", cw.SignedArea())
+	}
+	if !almost(cw.Area(), 4, 1e-12) {
+		t.Errorf("clockwise unsigned area = %v", cw.Area())
+	}
+	tri := Polygon{Pt(0, 0), Pt(4, 0), Pt(0, 3)}
+	if got := tri.Area(); !almost(got, 6, 1e-12) {
+		t.Errorf("triangle area = %v", got)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	poly := Polygon{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(2, 2), Pt(0, 4)} // concave
+	in := []Point{Pt(1, 1), Pt(3, 1), Pt(2, 0.5), Pt(0, 0), Pt(2, 2)}
+	out := []Point{Pt(2, 3.5), Pt(-1, 0), Pt(5, 5), Pt(2, 4)}
+	for _, p := range in {
+		if !poly.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	for _, p := range out {
+		if poly.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := (Polygon{Pt(0, 0), Pt(1, 1)}).Validate(); err == nil {
+		t.Errorf("expected error for 2-vertex polygon")
+	}
+	if err := (Polygon{Pt(0, 0), Pt(1, 1), Pt(2, 2)}).Validate(); err == nil {
+		t.Errorf("expected error for collinear polygon")
+	}
+	if err := RectPoly(Pt(0, 0), Pt(1, 1)).Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestDistPointSegment(t *testing.T) {
+	cases := []struct {
+		p, a, b Point
+		d       float64
+	}{
+		{Pt(0, 1), Pt(-1, 0), Pt(1, 0), 1},
+		{Pt(2, 0), Pt(-1, 0), Pt(1, 0), 1},
+		{Pt(0, 0), Pt(0, 0), Pt(0, 0), 0},
+		{Pt(3, 4), Pt(0, 0), Pt(0, 0), 5},
+	}
+	for _, c := range cases {
+		if got := DistPointSegment(c.p, c.a, c.b); !almost(got, c.d, 1e-12) {
+			t.Errorf("DistPointSegment(%v,%v,%v) = %v, want %v", c.p, c.a, c.b, got, c.d)
+		}
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	if !SegmentsIntersect(Pt(0, 0), Pt(2, 2), Pt(0, 2), Pt(2, 0)) {
+		t.Errorf("crossing segments should intersect")
+	}
+	if SegmentsIntersect(Pt(0, 0), Pt(1, 0), Pt(0, 1), Pt(1, 1)) {
+		t.Errorf("parallel segments should not intersect")
+	}
+	if !SegmentsIntersect(Pt(0, 0), Pt(2, 0), Pt(1, 0), Pt(1, 1)) {
+		t.Errorf("touching segments should intersect")
+	}
+	if !SegmentsIntersect(Pt(0, 0), Pt(2, 0), Pt(1, 0), Pt(3, 0)) {
+		t.Errorf("overlapping collinear segments should intersect")
+	}
+}
+
+func TestAngleAndTurns(t *testing.T) {
+	if got := Angle(Pt(0, 0), Pt(1, 0), Pt(2, 0)); !almost(got, 0, 1e-12) {
+		t.Errorf("straight angle = %v", got)
+	}
+	if got := Angle(Pt(0, 0), Pt(1, 0), Pt(1, 1)); !almost(got, math.Pi/2, 1e-12) {
+		t.Errorf("right angle = %v", got)
+	}
+	if got := Angle(Pt(0, 0), Pt(1, 0), Pt(0, 0)); !almost(got, math.Pi, 1e-12) {
+		t.Errorf("u-turn angle = %v", got)
+	}
+	if IsTurn(Pt(0, 0), Pt(1, 0), Pt(2, 0.1)) {
+		t.Errorf("slight bend should not be a turn")
+	}
+	if !IsTurn(Pt(0, 0), Pt(1, 0), Pt(0.5, -1)) {
+		t.Errorf("sharp bend should be a turn")
+	}
+	path := []Point{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1), Pt(0, 0.5)}
+	// Each corner is exactly 90 degrees which does not exceed the
+	// strict >90 criterion, so no turns are counted.
+	if got := CountTurns(path); got != 0 {
+		t.Errorf("CountTurns(square) = %d, want 0", got)
+	}
+	zig := []Point{Pt(0, 0), Pt(1, 0), Pt(0.1, 0.2), Pt(1.1, 0.4)}
+	if got := CountTurns(zig); got != 2 {
+		t.Errorf("CountTurns(zigzag) = %d, want 2", got)
+	}
+}
+
+func TestCircleIntersectAreaExactCases(t *testing.T) {
+	c := Circle{Pt(0, 0), 1}
+	// Polygon fully containing the circle: area is the circle area.
+	big := RectPoly(Pt(-5, -5), Pt(5, 5))
+	if got := c.IntersectArea(big); !almost(got, math.Pi, 1e-9) {
+		t.Errorf("contained circle area = %v, want pi", got)
+	}
+	// Polygon fully inside the circle: area is polygon area.
+	small := RectPoly(Pt(-0.3, -0.3), Pt(0.3, 0.3))
+	if got := c.IntersectArea(small); !almost(got, 0.36, 1e-9) {
+		t.Errorf("contained polygon area = %v, want 0.36", got)
+	}
+	// Disjoint: zero.
+	far := RectPoly(Pt(10, 10), Pt(11, 11))
+	if got := c.IntersectArea(far); got != 0 {
+		t.Errorf("disjoint area = %v, want 0", got)
+	}
+	// Half-plane cut: rectangle covering exactly the right half.
+	half := RectPoly(Pt(0, -5), Pt(5, 5))
+	if got := c.IntersectArea(half); !almost(got, math.Pi/2, 1e-9) {
+		t.Errorf("half area = %v, want pi/2", got)
+	}
+	// Quarter cut.
+	quarter := RectPoly(Pt(0, 0), Pt(5, 5))
+	if got := c.IntersectArea(quarter); !almost(got, math.Pi/4, 1e-9) {
+		t.Errorf("quarter area = %v, want pi/4", got)
+	}
+}
+
+func TestCircleIntersectAreaKnownSegment(t *testing.T) {
+	// Circle radius 2 at origin against the half-plane x >= 1 gives a
+	// circular segment with area r^2*(theta - sin theta)/2 where
+	// theta = 2*acos(d/r).
+	c := Circle{Pt(0, 0), 2}
+	rect := RectPoly(Pt(1, -10), Pt(10, 10))
+	theta := 2 * math.Acos(1.0/2.0)
+	want := 0.5 * 4 * (theta - math.Sin(theta))
+	if got := c.IntersectArea(rect); !almost(got, want, 1e-9) {
+		t.Errorf("segment area = %v, want %v", got, want)
+	}
+}
+
+func TestCircleIntersectAreaMonteCarlo(t *testing.T) {
+	// Cross-validate the analytic area against Monte Carlo estimates on
+	// random circles vs a fixed concave polygon.
+	poly := Polygon{Pt(0, 0), Pt(6, 0), Pt(6, 4), Pt(3, 2), Pt(0, 4)}
+	rng := rand.New(rand.NewSource(42))
+	const samples = 60000
+	for trial := 0; trial < 8; trial++ {
+		c := Circle{Pt(rng.Float64()*8-1, rng.Float64()*6-1), 0.5 + rng.Float64()*2.5}
+		got := c.IntersectArea(poly)
+		hits := 0
+		for i := 0; i < samples; i++ {
+			ang := rng.Float64() * 2 * math.Pi
+			rad := c.R * math.Sqrt(rng.Float64())
+			p := Pt(c.C.X+rad*math.Cos(ang), c.C.Y+rad*math.Sin(ang))
+			if poly.Contains(p) {
+				hits++
+			}
+		}
+		mc := float64(hits) / samples * c.Area()
+		tol := 0.05*c.Area() + 0.02
+		if math.Abs(got-mc) > tol {
+			t.Errorf("trial %d: analytic %v vs monte carlo %v (circle %+v)", trial, got, mc, c)
+		}
+	}
+}
+
+func TestCircleIntersectAreaProperties(t *testing.T) {
+	poly := Polygon{Pt(0, 0), Pt(5, 0), Pt(5, 5), Pt(0, 5)}
+	f := func(x, y, r float64) bool {
+		c := Circle{Pt(math.Mod(math.Abs(x), 10)-2, math.Mod(math.Abs(y), 10)-2), math.Mod(math.Abs(r), 4) + 0.01}
+		a := c.IntersectArea(poly)
+		return a >= 0 && a <= c.Area()+1e-9 && a <= poly.Area()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircleIntersectsPolygon(t *testing.T) {
+	poly := RectPoly(Pt(0, 0), Pt(4, 4))
+	cases := []struct {
+		c    Circle
+		want bool
+	}{
+		{Circle{Pt(2, 2), 0.5}, true},     // center inside
+		{Circle{Pt(-1, 2), 1.5}, true},    // overlaps edge
+		{Circle{Pt(-2, -2), 1}, false},    // disjoint
+		{Circle{Pt(5, 2), 1}, true},       // touches edge
+		{Circle{Pt(6, 6), 0.5}, false},    // near corner but out
+		{Circle{Pt(-0.5, -0.5), 1}, true}, // corner overlap
+	}
+	for _, tc := range cases {
+		if got := tc.c.IntersectsPolygon(poly); got != tc.want {
+			t.Errorf("IntersectsPolygon(%+v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestCircleContainsBounds(t *testing.T) {
+	c := Circle{Pt(1, 1), 2}
+	if !c.Contains(Pt(1, 3)) || c.Contains(Pt(1, 3.01)) {
+		t.Errorf("Contains boundary wrong")
+	}
+	b := c.Bounds()
+	if b.Min != Pt(-1, -1) || b.Max != Pt(3, 3) {
+		t.Errorf("Bounds = %+v", b)
+	}
+}
+
+func TestClosestOnSegment(t *testing.T) {
+	got := ClosestOnSegment(Pt(0, 5), Pt(-2, 0), Pt(2, 0))
+	if !almost(got.X, 0, 1e-12) || !almost(got.Y, 0, 1e-12) {
+		t.Errorf("ClosestOnSegment = %v", got)
+	}
+	got = ClosestOnSegment(Pt(10, 0), Pt(-2, 0), Pt(2, 0))
+	if got != Pt(2, 0) {
+		t.Errorf("clamped end = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Errorf("Clamp wrong")
+	}
+}

@@ -1,0 +1,210 @@
+// Package hmm implements a discrete-observation hidden Markov model
+// with frequency-counted maximum-likelihood parameters and Viterbi
+// decoding. It is the substrate of the HMM+DC baseline (semantic
+// regions as hidden states, location grid cells as observations,
+// §V-A) and of SAP's stay-segment region labeling.
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a first-order HMM over discrete states and observations.
+// All parameters are kept in log space.
+type Model struct {
+	NumStates int
+	NumObs    int
+
+	logInit  []float64   // logInit[s]
+	logTrans [][]float64 // logTrans[s][s']
+	logEmit  [][]float64 // logEmit[s][o]
+}
+
+// Counter accumulates frequency counts for maximum-likelihood
+// estimation with additive (Laplace) smoothing.
+type Counter struct {
+	numStates int
+	numObs    int
+	initCnt   []float64
+	transCnt  [][]float64
+	emitCnt   [][]float64
+}
+
+// NewCounter creates a Counter for the given domain sizes.
+func NewCounter(numStates, numObs int) (*Counter, error) {
+	if numStates <= 0 || numObs <= 0 {
+		return nil, fmt.Errorf("hmm: domain sizes must be positive (%d states, %d obs)", numStates, numObs)
+	}
+	c := &Counter{numStates: numStates, numObs: numObs}
+	c.initCnt = make([]float64, numStates)
+	c.transCnt = make([][]float64, numStates)
+	c.emitCnt = make([][]float64, numStates)
+	for s := 0; s < numStates; s++ {
+		c.transCnt[s] = make([]float64, numStates)
+		c.emitCnt[s] = make([]float64, numObs)
+	}
+	return c, nil
+}
+
+// AddSequence counts one labeled sequence: states[i] emits obs[i].
+func (c *Counter) AddSequence(states, obs []int) error {
+	if len(states) != len(obs) {
+		return fmt.Errorf("hmm: states (%d) and observations (%d) misaligned", len(states), len(obs))
+	}
+	for i, s := range states {
+		if s < 0 || s >= c.numStates {
+			return fmt.Errorf("hmm: state %d out of range at %d", s, i)
+		}
+		o := obs[i]
+		if o < 0 || o >= c.numObs {
+			return fmt.Errorf("hmm: observation %d out of range at %d", o, i)
+		}
+		c.emitCnt[s][o]++
+		if i == 0 {
+			c.initCnt[s]++
+		} else {
+			c.transCnt[states[i-1]][s]++
+		}
+	}
+	return nil
+}
+
+// Estimate finalises the model with additive smoothing pseudo-count
+// alpha (alpha <= 0 defaults to 0.1).
+func (c *Counter) Estimate(alpha float64) *Model {
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	m := &Model{NumStates: c.numStates, NumObs: c.numObs}
+	m.logInit = normalizeLog(c.initCnt, alpha)
+	m.logTrans = make([][]float64, c.numStates)
+	m.logEmit = make([][]float64, c.numStates)
+	for s := 0; s < c.numStates; s++ {
+		m.logTrans[s] = normalizeLog(c.transCnt[s], alpha)
+		m.logEmit[s] = normalizeLog(c.emitCnt[s], alpha)
+	}
+	return m
+}
+
+func normalizeLog(counts []float64, alpha float64) []float64 {
+	total := 0.0
+	for _, v := range counts {
+		total += v + alpha
+	}
+	out := make([]float64, len(counts))
+	for i, v := range counts {
+		out[i] = math.Log((v + alpha) / total)
+	}
+	return out
+}
+
+// Viterbi returns the most likely state sequence for the observations
+// along with its log probability.
+func (m *Model) Viterbi(obs []int) ([]int, float64, error) {
+	n := len(obs)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for i, o := range obs {
+		if o < 0 || o >= m.NumObs {
+			return nil, 0, fmt.Errorf("hmm: observation %d out of range at %d", o, i)
+		}
+	}
+	s := m.NumStates
+	prev := make([]float64, s)
+	cur := make([]float64, s)
+	back := make([][]int32, n)
+	for st := 0; st < s; st++ {
+		prev[st] = m.logInit[st] + m.logEmit[st][obs[0]]
+	}
+	for t := 1; t < n; t++ {
+		back[t] = make([]int32, s)
+		for st := 0; st < s; st++ {
+			bestV := math.Inf(-1)
+			bestP := 0
+			for p := 0; p < s; p++ {
+				if v := prev[p] + m.logTrans[p][st]; v > bestV {
+					bestV, bestP = v, p
+				}
+			}
+			cur[st] = bestV + m.logEmit[st][obs[t]]
+			back[t][st] = int32(bestP)
+		}
+		prev, cur = cur, prev
+	}
+	bestV := math.Inf(-1)
+	bestS := 0
+	for st := 0; st < s; st++ {
+		if prev[st] > bestV {
+			bestV, bestS = prev[st], st
+		}
+	}
+	path := make([]int, n)
+	path[n-1] = bestS
+	for t := n - 1; t > 0; t-- {
+		path[t-1] = int(back[t][path[t]])
+	}
+	return path, bestV, nil
+}
+
+// LogProb returns the joint log probability of a (states, obs) pair,
+// useful for testing Viterbi optimality.
+func (m *Model) LogProb(states, obs []int) float64 {
+	lp := 0.0
+	for i, s := range states {
+		lp += m.logEmit[s][obs[i]]
+		if i == 0 {
+			lp += m.logInit[s]
+		} else {
+			lp += m.logTrans[states[i-1]][s]
+		}
+	}
+	return lp
+}
+
+// Grid discretises planar locations into HMM observation symbols. The
+// same grid must be used for training and decoding.
+type Grid struct {
+	MinX, MinY float64
+	CellSize   float64
+	Cols, Rows int
+	Floors     int
+}
+
+// NewGrid covers [minX,maxX]×[minY,maxY] across `floors` floors with
+// square cells.
+func NewGrid(minX, minY, maxX, maxY, cellSize float64, floors int) (*Grid, error) {
+	if cellSize <= 0 || maxX <= minX || maxY <= minY || floors <= 0 {
+		return nil, fmt.Errorf("hmm: invalid grid spec")
+	}
+	g := &Grid{MinX: minX, MinY: minY, CellSize: cellSize, Floors: floors}
+	g.Cols = int((maxX-minX)/cellSize) + 1
+	g.Rows = int((maxY-minY)/cellSize) + 1
+	return g, nil
+}
+
+// NumCells returns the observation domain size.
+func (g *Grid) NumCells() int { return g.Cols * g.Rows * g.Floors }
+
+// Cell maps a location to its observation symbol; coordinates outside
+// the grid clamp to the border, unknown floors clamp to the nearest
+// modeled floor.
+func (g *Grid) Cell(x, y float64, floor int) int {
+	cx := int((x - g.MinX) / g.CellSize)
+	cy := int((y - g.MinY) / g.CellSize)
+	cx = clampInt(cx, 0, g.Cols-1)
+	cy = clampInt(cy, 0, g.Rows-1)
+	floor = clampInt(floor, 0, g.Floors-1)
+	return (floor*g.Rows+cy)*g.Cols + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

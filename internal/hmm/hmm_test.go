@@ -1,0 +1,225 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCounterErrors(t *testing.T) {
+	if _, err := NewCounter(0, 3); err == nil {
+		t.Errorf("zero states should fail")
+	}
+	if _, err := NewCounter(3, 0); err == nil {
+		t.Errorf("zero obs should fail")
+	}
+	c, err := NewCounter(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSequence([]int{0, 1}, []int{0}); err == nil {
+		t.Errorf("misaligned should fail")
+	}
+	if err := c.AddSequence([]int{0, 5}, []int{0, 0}); err == nil {
+		t.Errorf("state out of range should fail")
+	}
+	if err := c.AddSequence([]int{0, 1}, []int{0, 9}); err == nil {
+		t.Errorf("obs out of range should fail")
+	}
+}
+
+func TestEstimateProbabilitiesNormalised(t *testing.T) {
+	c, _ := NewCounter(3, 4)
+	if err := c.AddSequence([]int{0, 1, 1, 2}, []int{0, 1, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Estimate(0.5)
+	rows := append([][]float64{m.logInit}, m.logTrans...)
+	rows = append(rows, m.logEmit...)
+	for ri, row := range rows {
+		sum := 0.0
+		for _, lp := range row {
+			sum += math.Exp(lp)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", ri, sum)
+		}
+	}
+}
+
+func TestViterbiRecoverStates(t *testing.T) {
+	// Deterministic emissions: state s emits observation s. Viterbi
+	// must recover the exact state path.
+	c, _ := NewCounter(3, 3)
+	seqs := [][]int{
+		{0, 0, 1, 1, 2, 2},
+		{2, 2, 1, 0, 0, 0},
+		{1, 1, 1, 2, 0, 1},
+	}
+	for _, s := range seqs {
+		if err := c.AddSequence(s, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := c.Estimate(0.01)
+	for _, s := range seqs {
+		path, _, err := m.Viterbi(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s {
+			if path[i] != s[i] {
+				t.Fatalf("Viterbi(%v) = %v", s, path)
+			}
+		}
+	}
+}
+
+func TestViterbiOptimality(t *testing.T) {
+	// Viterbi's path must have log-probability >= every enumerated path.
+	rng := rand.New(rand.NewSource(3))
+	c, _ := NewCounter(3, 3)
+	for i := 0; i < 20; i++ {
+		n := 4
+		st := make([]int, n)
+		ob := make([]int, n)
+		for j := range st {
+			st[j] = rng.Intn(3)
+			ob[j] = rng.Intn(3)
+		}
+		if err := c.AddSequence(st, ob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := c.Estimate(0.2)
+	obs := []int{0, 2, 1, 1, 0}
+	path, lp, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LogProb(path, obs); math.Abs(got-lp) > 1e-9 {
+		t.Errorf("Viterbi score %v != LogProb %v", lp, got)
+	}
+	n := len(obs)
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= 3
+	}
+	for code := 0; code < total; code++ {
+		states := make([]int, n)
+		c := code
+		for i := 0; i < n; i++ {
+			states[i] = c % 3
+			c /= 3
+		}
+		if m.LogProb(states, obs) > lp+1e-9 {
+			t.Fatalf("found better path %v than Viterbi %v", states, path)
+		}
+	}
+}
+
+func TestViterbiEdgeCases(t *testing.T) {
+	c, _ := NewCounter(2, 2)
+	_ = c.AddSequence([]int{0, 1}, []int{0, 1})
+	m := c.Estimate(0.1)
+	path, _, err := m.Viterbi(nil)
+	if err != nil || path != nil {
+		t.Errorf("empty obs = %v, %v", path, err)
+	}
+	path, _, err = m.Viterbi([]int{1})
+	if err != nil || len(path) != 1 {
+		t.Errorf("single obs = %v, %v", path, err)
+	}
+	if _, _, err := m.Viterbi([]int{5}); err == nil {
+		t.Errorf("out-of-range obs should fail")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := NewGrid(0, 0, 100, 50, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cols != 11 || g.Rows != 6 {
+		t.Errorf("grid dims = %dx%d", g.Cols, g.Rows)
+	}
+	if g.NumCells() != 11*6*2 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+	// Distinct cells for distinct areas.
+	if g.Cell(5, 5, 0) == g.Cell(95, 45, 0) {
+		t.Errorf("far cells equal")
+	}
+	// Same cell for nearby points.
+	if g.Cell(5, 5, 0) != g.Cell(6, 6, 0) {
+		t.Errorf("near cells differ")
+	}
+	// Floor separation.
+	if g.Cell(5, 5, 0) == g.Cell(5, 5, 1) {
+		t.Errorf("floors share cells")
+	}
+	// Clamping.
+	if got := g.Cell(-10, -10, 0); got != g.Cell(0, 0, 0) {
+		t.Errorf("clamp min: %d", got)
+	}
+	if got := g.Cell(1e6, 1e6, 9); got != g.Cell(100, 50, 1) {
+		t.Errorf("clamp max: %d", got)
+	}
+	if _, err := NewGrid(0, 0, -1, 5, 1, 1); err == nil {
+		t.Errorf("bad grid should fail")
+	}
+	if _, err := NewGrid(0, 0, 10, 5, 0, 1); err == nil {
+		t.Errorf("zero cell should fail")
+	}
+}
+
+func TestNoisyChannelDecoding(t *testing.T) {
+	// States follow a sticky chain; observations are noisy state
+	// readings. Viterbi should beat raw observation decoding.
+	rng := rand.New(rand.NewSource(7))
+	gen := func(n int) (states, obs []int) {
+		states = make([]int, n)
+		obs = make([]int, n)
+		s := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.15 {
+				s = rng.Intn(3)
+			}
+			states[i] = s
+			if rng.Float64() < 0.25 {
+				obs[i] = rng.Intn(3)
+			} else {
+				obs[i] = s
+			}
+		}
+		return
+	}
+	c, _ := NewCounter(3, 3)
+	for i := 0; i < 200; i++ {
+		st, ob := gen(40)
+		if err := c.AddSequence(st, ob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := c.Estimate(0.1)
+	var vOK, rawOK, total int
+	for i := 0; i < 50; i++ {
+		st, ob := gen(40)
+		path, _, err := m.Viterbi(ob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range st {
+			total++
+			if path[j] == st[j] {
+				vOK++
+			}
+			if ob[j] == st[j] {
+				rawOK++
+			}
+		}
+	}
+	if vOK <= rawOK {
+		t.Errorf("Viterbi accuracy %d/%d not above raw %d/%d", vOK, total, rawOK, total)
+	}
+}

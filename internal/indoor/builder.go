@@ -1,0 +1,175 @@
+package indoor
+
+import (
+	"fmt"
+	"sort"
+
+	"c2mn/internal/geom"
+	"c2mn/internal/rtree"
+)
+
+// Builder accumulates partitions, doors and regions and assembles an
+// immutable Space. The zero Builder is not usable; create one with
+// NewBuilder.
+type Builder struct {
+	partitions []Partition
+	doors      []Door
+	regions    []Region
+	err        error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddPartition registers a partition on the given floor and returns its
+// ID. The polygon must be a valid simple polygon.
+func (b *Builder) AddPartition(floor int, poly geom.Polygon) PartitionID {
+	id := PartitionID(len(b.partitions))
+	if err := poly.Validate(); err != nil && b.err == nil {
+		b.err = fmt.Errorf("partition %d: %w", id, err)
+	}
+	own := make(geom.Polygon, len(poly))
+	copy(own, poly)
+	b.partitions = append(b.partitions, Partition{
+		ID:       id,
+		Floor:    floor,
+		Poly:     own,
+		Region:   NoRegion,
+		area:     own.Area(),
+		centroid: own.Centroid(),
+	})
+	return id
+}
+
+// AddDoor registers a door at the planar point at connecting partitions
+// pa and pb, and returns its ID. A door between partitions on different
+// floors is marked as a staircase.
+func (b *Builder) AddDoor(at geom.Point, pa, pb PartitionID) DoorID {
+	id := DoorID(len(b.doors))
+	if b.err == nil {
+		if !b.validPartition(pa) || !b.validPartition(pb) {
+			b.err = fmt.Errorf("door %d: unknown partition (%d,%d)", id, pa, pb)
+		} else if pa == pb {
+			b.err = fmt.Errorf("door %d: connects partition %d to itself", id, pa)
+		}
+	}
+	stair := false
+	if b.validPartition(pa) && b.validPartition(pb) {
+		stair = b.partitions[pa].Floor != b.partitions[pb].Floor
+	}
+	b.doors = append(b.doors, Door{ID: id, At: at, A: pa, B: pb, Stair: stair})
+	return id
+}
+
+// AddRegion registers a semantic region over the given partitions and
+// returns its ID. A partition may belong to at most one region.
+func (b *Builder) AddRegion(name string, parts ...PartitionID) RegionID {
+	id := RegionID(len(b.regions))
+	area := 0.0
+	for _, pid := range parts {
+		if !b.validPartition(pid) {
+			if b.err == nil {
+				b.err = fmt.Errorf("region %q: unknown partition %d", name, pid)
+			}
+			continue
+		}
+		if r := b.partitions[pid].Region; r != NoRegion && b.err == nil {
+			b.err = fmt.Errorf("region %q: partition %d already in region %d", name, pid, r)
+		}
+		b.partitions[pid].Region = id
+		area += b.partitions[pid].area
+	}
+	own := make([]PartitionID, len(parts))
+	copy(own, parts)
+	b.regions = append(b.regions, Region{ID: id, Name: name, Partitions: own, area: area})
+	return id
+}
+
+func (b *Builder) validPartition(id PartitionID) bool {
+	return id >= 0 && int(id) < len(b.partitions)
+}
+
+// Build validates the accumulated definitions, computes the spatial
+// indexes and distance matrices, and returns the finished Space.
+func (b *Builder) Build() (*Space, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.partitions) == 0 {
+		return nil, fmt.Errorf("indoor: space has no partitions")
+	}
+	s := &Space{
+		partitions: b.partitions,
+		doors:      b.doors,
+		regions:    b.regions,
+	}
+	// Attach doors to partitions.
+	for i := range s.doors {
+		d := &s.doors[i]
+		s.partitions[d.A].Doors = append(s.partitions[d.A].Doors, d.ID)
+		s.partitions[d.B].Doors = append(s.partitions[d.B].Doors, d.ID)
+	}
+	// Distinct floors and per-floor R-trees.
+	floorSet := map[int]bool{}
+	for i := range s.partitions {
+		floorSet[s.partitions[i].Floor] = true
+	}
+	for f := range floorSet {
+		s.floors = append(s.floors, f)
+	}
+	sort.Ints(s.floors)
+	s.floorTrees = make(map[int]*rtree.Tree, len(s.floors))
+	for _, f := range s.floors {
+		var entries []rtree.Entry
+		for i := range s.partitions {
+			if s.partitions[i].Floor == f {
+				entries = append(entries, rtree.Entry{Rect: s.partitions[i].Poly.Bounds(), ID: i})
+			}
+		}
+		s.floorTrees[f] = rtree.New(entries)
+	}
+	s.buildDoorGraph()
+	s.computeDoorDistances()
+	s.computeRegionDistances()
+	return s, nil
+}
+
+// buildDoorGraph constructs the accessibility graph over door *sides*:
+// each door contributes two nodes, one per connected partition. Within
+// a partition, the sides facing it are linked with their straight-line
+// distance (partitions are convex by construction, so the straight
+// line stays inside). The two sides of one door are linked with the
+// crossing cost: zero for an ordinary door, StairLength for a
+// staircase.
+func (s *Space) buildDoorGraph() {
+	s.doorAdj = make([][]doorEdge, 2*len(s.doors))
+	for i := range s.partitions {
+		pid := PartitionID(i)
+		doors := s.partitions[i].Doors
+		for a := 0; a < len(doors); a++ {
+			for bi := a + 1; bi < len(doors); bi++ {
+				na := s.doorSide(doors[a], pid)
+				nb := s.doorSide(doors[bi], pid)
+				w := s.doors[doors[a]].At.Dist(s.doors[doors[bi]].At)
+				s.doorAdj[na] = append(s.doorAdj[na], doorEdge{nb, w})
+				s.doorAdj[nb] = append(s.doorAdj[nb], doorEdge{na, w})
+			}
+		}
+	}
+	for i := range s.doors {
+		w := 0.0
+		if s.doors[i].Stair {
+			w = StairLength
+		}
+		s.doorAdj[2*i] = append(s.doorAdj[2*i], doorEdge{2*i + 1, w})
+		s.doorAdj[2*i+1] = append(s.doorAdj[2*i+1], doorEdge{2 * i, w})
+	}
+}
+
+// doorSide returns the graph node for door d's side facing partition p.
+func (s *Space) doorSide(d DoorID, p PartitionID) int {
+	if s.doors[d].A == p {
+		return int(2 * d)
+	}
+	return int(2*d + 1)
+}

@@ -1,0 +1,185 @@
+package indoor
+
+import (
+	"container/heap"
+	"math"
+)
+
+// meanIntraFactor approximates the expected distance between two
+// uniform points inside a compact region of area A as
+// meanIntraFactor * sqrt(A) (the exact constant for a square is
+// ≈ 0.5214).
+const meanIntraFactor = 0.5214
+
+// StairLength is the walking distance attributed to traversing one
+// staircase between adjacent floors (slope length, not just the
+// vertical rise).
+const StairLength = 1.5 * FloorHeight
+
+// computeDoorDistances runs Dijkstra from every door side over the
+// accessibility graph and stores the full side-to-side walking
+// distance matrix (the paper precomputes shortest indoor distances
+// between doors to speed up MIWD computations, §V-B1).
+func (s *Space) computeDoorDistances() {
+	n := 2 * len(s.doors)
+	s.d2d = make([][]float32, n)
+	for src := 0; src < n; src++ {
+		s.d2d[src] = s.dijkstraFrom(src)
+	}
+}
+
+func (s *Space) dijkstraFrom(src int) []float32 {
+	n := 2 * len(s.doors)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &doorHeap{{door: src, dist: 0}}
+	heap.Init(pq)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(doorDist)
+		if it.dist > dist[it.door] {
+			continue
+		}
+		for _, e := range s.doorAdj[it.door] {
+			nd := it.dist + e.w
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, doorDist{door: e.to, dist: nd})
+			}
+		}
+	}
+	out := make([]float32, n)
+	for i, d := range dist {
+		out[i] = float32(d)
+	}
+	return out
+}
+
+type doorDist struct {
+	door int // door-side node index
+	dist float64
+}
+
+type doorHeap []doorDist
+
+func (h doorHeap) Len() int            { return len(h) }
+func (h doorHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h doorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *doorHeap) Push(x interface{}) { *h = append(*h, x.(doorDist)) }
+func (h *doorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// MIWD returns the minimum indoor walking distance between two
+// locations: straight-line within a partition, otherwise the best
+// door-to-door route. Locations outside any partition, or in mutually
+// unreachable partitions, fall back to the straight-line distance.
+func (s *Space) MIWD(a, b Location) float64 {
+	pa, pb := s.PartitionAt(a), s.PartitionAt(b)
+	if pa == NoPartition || pb == NoPartition {
+		return a.Dist(b)
+	}
+	return s.miwdBetween(a, pa, b, pb)
+}
+
+func (s *Space) miwdBetween(a Location, pa PartitionID, b Location, pb PartitionID) float64 {
+	if pa == pb {
+		return a.Point().Dist(b.Point())
+	}
+	best := math.Inf(1)
+	for _, da := range s.partitions[pa].Doors {
+		enter := a.Point().Dist(s.doors[da].At)
+		sideA := s.doorSide(da, pa)
+		for _, db := range s.partitions[pb].Doors {
+			through := float64(s.d2d[sideA][s.doorSide(db, pb)])
+			if math.IsInf(through, 1) {
+				continue
+			}
+			d := enter + through + s.doors[db].At.Dist(b.Point())
+			if d < best {
+				best = d
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return a.Dist(b)
+	}
+	return best
+}
+
+// computeRegionDistances precomputes the expected MIWD between every
+// pair of semantic regions: E[dI(p,q)] for p uniform in region i and q
+// uniform in region j. The expectation is approximated by the
+// area-weighted average of partition-centroid MIWDs; the intra-region
+// distance uses the uniform-square expectation meanIntraFactor·√area.
+func (s *Space) computeRegionDistances() {
+	n := len(s.regions)
+	s.regionDist = make([][]float64, n)
+	for i := range s.regionDist {
+		s.regionDist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		s.regionDist[i][i] = meanIntraFactor * math.Sqrt(s.regions[i].area)
+		for j := i + 1; j < n; j++ {
+			d := s.expectedRegionDist(RegionID(i), RegionID(j))
+			s.regionDist[i][j] = d
+			s.regionDist[j][i] = d
+		}
+	}
+}
+
+func (s *Space) expectedRegionDist(ri, rj RegionID) float64 {
+	var sum, wsum float64
+	for _, pa := range s.regions[ri].Partitions {
+		for _, pb := range s.regions[rj].Partitions {
+			a, b := &s.partitions[pa], &s.partitions[pb]
+			w := a.area * b.area
+			d := s.miwdBetween(a.Centroid(), pa, b.Centroid(), pb)
+			sum += w * d
+			wsum += w
+		}
+	}
+	if wsum == 0 {
+		return math.Inf(1)
+	}
+	return sum / wsum
+}
+
+// RegionDist returns the precomputed expected indoor walking distance
+// E[dI(p∈ri, q∈rj)] used by the space transition (fst) and spatial
+// consistency (fsc) features. The intra-region distance RegionDist(r,r)
+// is small but non-zero.
+func (s *Space) RegionDist(ri, rj RegionID) float64 {
+	if ri == NoRegion || rj == NoRegion {
+		return math.Inf(1)
+	}
+	return s.regionDist[ri][rj]
+}
+
+// RegionCentroid returns the area-weighted centroid of a region; its
+// floor is the floor of the region's largest partition.
+func (s *Space) RegionCentroid(r RegionID) Location {
+	reg := &s.regions[r]
+	var cx, cy, wsum, maxA float64
+	floor := 0
+	for _, pid := range reg.Partitions {
+		p := &s.partitions[pid]
+		cx += p.centroid.X * p.area
+		cy += p.centroid.Y * p.area
+		wsum += p.area
+		if p.area > maxA {
+			maxA = p.area
+			floor = p.Floor
+		}
+	}
+	if wsum == 0 {
+		return Location{Floor: floor}
+	}
+	return Location{cx / wsum, cy / wsum, floor}
+}

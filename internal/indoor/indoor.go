@@ -1,0 +1,307 @@
+// Package indoor models indoor venues: multi-floor buildings
+// decomposed into partitions (rooms, hallway cells) connected by doors
+// and staircases, with semantic regions defined over partitions.
+//
+// It provides the spatial substrate of the C2MN annotation model:
+//   - point → partition / region lookup backed by per-floor R-trees,
+//   - uncertainty-disk ∩ region overlap ratios (feature fsm),
+//   - minimum indoor walking distances (MIWD, Lu et al. [17]) over the
+//     accessibility door graph with a precomputed door-to-door matrix,
+//   - expected region-to-region indoor distances (features fst, fsc).
+package indoor
+
+import (
+	"fmt"
+	"math"
+
+	"c2mn/internal/geom"
+	"c2mn/internal/rtree"
+)
+
+// FloorHeight is the vertical distance, in meters, between consecutive
+// floors. It is used when computing straight-line distances between
+// locations on different floors.
+const FloorHeight = 4.0
+
+// PartitionID identifies a partition within a Space.
+type PartitionID int
+
+// DoorID identifies a door within a Space.
+type DoorID int
+
+// RegionID identifies a semantic region within a Space.
+type RegionID int
+
+// Sentinel IDs for "not found".
+const (
+	NoPartition PartitionID = -1
+	NoRegion    RegionID    = -1
+	NoDoor      DoorID      = -1
+)
+
+// Location is an indoor position: a planar point plus a floor number.
+type Location struct {
+	X, Y  float64
+	Floor int
+}
+
+// Loc is shorthand for Location{x, y, floor}.
+func Loc(x, y float64, floor int) Location { return Location{x, y, floor} }
+
+// Point returns the planar component of the location.
+func (l Location) Point() geom.Point { return geom.Pt(l.X, l.Y) }
+
+// Dist returns the straight-line distance to m, counting FloorHeight
+// per floor of separation.
+func (l Location) Dist(m Location) float64 {
+	dz := float64(l.Floor-m.Floor) * FloorHeight
+	return math.Sqrt((l.X-m.X)*(l.X-m.X) + (l.Y-m.Y)*(l.Y-m.Y) + dz*dz)
+}
+
+func (l Location) String() string {
+	return fmt.Sprintf("(%.2f,%.2f,F%d)", l.X, l.Y, l.Floor)
+}
+
+// Partition is an indoor cell (room, hallway segment) bounded by walls
+// and doors. Partitions do not overlap within a floor.
+type Partition struct {
+	ID     PartitionID
+	Floor  int
+	Poly   geom.Polygon
+	Region RegionID // NoRegion when the partition carries no semantics
+	Doors  []DoorID
+
+	area     float64
+	centroid geom.Point
+}
+
+// Area returns the partition's floor area.
+func (p *Partition) Area() float64 { return p.area }
+
+// Centroid returns the partition's area centroid as a Location.
+func (p *Partition) Centroid() Location {
+	return Location{p.centroid.X, p.centroid.Y, p.Floor}
+}
+
+// Door connects two partitions. A staircase door connects partitions on
+// different floors; its location carries the floor of partition A.
+type Door struct {
+	ID   DoorID
+	At   geom.Point
+	A, B PartitionID
+	// Stair is true when the door connects partitions on different
+	// floors.
+	Stair bool
+}
+
+// Region is a semantic region: a named, non-overlapping group of
+// partitions (e.g. a shop in a mall).
+type Region struct {
+	ID         RegionID
+	Name       string
+	Partitions []PartitionID
+
+	area float64
+}
+
+// Area returns the total area of the region's partitions.
+func (r *Region) Area() float64 { return r.area }
+
+// Space is an immutable indoor venue built by a Builder.
+type Space struct {
+	partitions []Partition
+	doors      []Door
+	regions    []Region
+
+	floors     []int               // sorted distinct floor numbers
+	floorTrees map[int]*rtree.Tree // partition index per floor
+	doorAdj    [][]doorEdge        // accessibility graph between doors
+	d2d        [][]float32         // door-to-door walking distance
+	regionDist [][]float64         // expected region-to-region MIWD
+}
+
+type doorEdge struct {
+	to int // door-side node index
+	w  float64
+}
+
+// NumPartitions returns the number of partitions.
+func (s *Space) NumPartitions() int { return len(s.partitions) }
+
+// NumDoors returns the number of doors.
+func (s *Space) NumDoors() int { return len(s.doors) }
+
+// NumRegions returns the number of semantic regions.
+func (s *Space) NumRegions() int { return len(s.regions) }
+
+// Floors returns the sorted list of floor numbers present.
+func (s *Space) Floors() []int { return s.floors }
+
+// Partition returns the partition with the given ID.
+func (s *Space) Partition(id PartitionID) *Partition { return &s.partitions[id] }
+
+// Door returns the door with the given ID.
+func (s *Space) Door(id DoorID) *Door { return &s.doors[id] }
+
+// Region returns the region with the given ID.
+func (s *Space) Region(id RegionID) *Region { return &s.regions[id] }
+
+// Regions returns all region IDs in order.
+func (s *Space) Regions() []RegionID {
+	ids := make([]RegionID, len(s.regions))
+	for i := range ids {
+		ids[i] = RegionID(i)
+	}
+	return ids
+}
+
+// PartitionAt returns the partition containing l, or NoPartition.
+func (s *Space) PartitionAt(l Location) PartitionID {
+	tree, ok := s.floorTrees[l.Floor]
+	if !ok {
+		return NoPartition
+	}
+	p := l.Point()
+	ids := tree.Search(geom.Rect{Min: p, Max: p}, nil)
+	for _, id := range ids {
+		if s.partitions[id].Poly.Contains(p) {
+			return PartitionID(id)
+		}
+	}
+	return NoPartition
+}
+
+// RegionAt returns the semantic region containing l, or NoRegion.
+func (s *Space) RegionAt(l Location) RegionID {
+	pid := s.PartitionAt(l)
+	if pid == NoPartition {
+		return NoRegion
+	}
+	return s.partitions[pid].Region
+}
+
+// NearestRegion returns the semantic region nearest to l on l's floor
+// (the containing region when l falls inside one), or NoRegion when the
+// floor has no regions.
+func (s *Space) NearestRegion(l Location) RegionID {
+	tree, ok := s.floorTrees[l.Floor]
+	if !ok {
+		return NoRegion
+	}
+	// Expand k until a region-bearing partition appears.
+	for k := 8; ; k *= 4 {
+		nbs := tree.Nearest(l.Point(), k)
+		for _, nb := range nbs {
+			if r := s.partitions[nb.ID].Region; r != NoRegion {
+				return r
+			}
+		}
+		if len(nbs) < k {
+			return NoRegion
+		}
+	}
+}
+
+// CandidateRegions appends the IDs of semantic regions whose area
+// overlaps the uncertainty disk UR(l, v), in increasing region-ID
+// order without duplicates. When no region overlaps, the nearest
+// region is used as a fallback so that every record has at least one
+// candidate label.
+func (s *Space) CandidateRegions(l Location, v float64, dst []RegionID) []RegionID {
+	tree, ok := s.floorTrees[l.Floor]
+	if !ok {
+		return dst
+	}
+	start := len(dst)
+	circle := geom.Circle{C: l.Point(), R: v}
+	ids := tree.SearchCircle(circle.C, circle.R, nil)
+	seen := map[RegionID]bool{}
+	for _, id := range ids {
+		part := &s.partitions[id]
+		if part.Region == NoRegion || seen[part.Region] {
+			continue
+		}
+		if circle.IntersectsPolygon(part.Poly) {
+			seen[part.Region] = true
+			dst = append(dst, part.Region)
+		}
+	}
+	if len(dst) == start {
+		if r := s.NearestRegion(l); r != NoRegion {
+			dst = append(dst, r)
+		}
+		return dst
+	}
+	// Keep deterministic order.
+	sub := dst[start:]
+	for i := 1; i < len(sub); i++ {
+		for j := i; j > 0 && sub[j] < sub[j-1]; j-- {
+			sub[j], sub[j-1] = sub[j-1], sub[j]
+		}
+	}
+	return dst
+}
+
+// UncertaintyOverlap returns area(UR(l,v) ∩ region) / area(UR(l,v)),
+// the spatial matching feature fsm of the paper (Eq. 3). Regions on a
+// different floor overlap nothing.
+func (s *Space) UncertaintyOverlap(l Location, v float64, region RegionID) float64 {
+	if region == NoRegion || v <= 0 {
+		return 0
+	}
+	circle := geom.Circle{C: l.Point(), R: v}
+	total := 0.0
+	for _, pid := range s.regions[region].Partitions {
+		part := &s.partitions[pid]
+		if part.Floor != l.Floor {
+			continue
+		}
+		total += circle.IntersectArea(part.Poly)
+	}
+	return geom.Clamp(total/circle.Area(), 0, 1)
+}
+
+// Bounds returns the planar bounding rectangle over all partitions.
+func (s *Space) Bounds() geom.Rect {
+	var r geom.Rect
+	first := true
+	for i := range s.partitions {
+		b := s.partitions[i].Poly.Bounds()
+		if first {
+			r, first = b, false
+		} else {
+			r = r.Union(b)
+		}
+	}
+	return r
+}
+
+// Stats summarises the space, mirroring the venue statistics the paper
+// reports in §V-B1 and §V-C.
+type Stats struct {
+	Floors     int
+	Partitions int
+	Doors      int
+	Stairs     int
+	Regions    int
+	TotalArea  float64
+}
+
+// Stats returns summary statistics of the space.
+func (s *Space) Stats() Stats {
+	st := Stats{
+		Floors:     len(s.floors),
+		Partitions: len(s.partitions),
+		Doors:      len(s.doors),
+		Regions:    len(s.regions),
+	}
+	for i := range s.doors {
+		if s.doors[i].Stair {
+			st.Stairs++
+		}
+	}
+	for i := range s.partitions {
+		st.TotalArea += s.partitions[i].area
+	}
+	return st
+}

@@ -1,0 +1,350 @@
+package indoor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"c2mn/internal/geom"
+)
+
+// buildTestSpace constructs a small two-floor venue:
+//
+//	floor 0:  hallway (0,0)-(40,4); rooms A,B,C,D of 10x10 above it,
+//	          each with a door to the hallway; C and D connected
+//	          directly; regions rA={A}, rB={B}, rCD={C,D}.
+//	floor 1:  hallway (0,0)-(40,4); room E (0,4)-(20,14); region rE={E};
+//	          a staircase connects the two hallways at (39,2).
+func buildTestSpace(t *testing.T) (*Space, map[string]PartitionID, map[string]RegionID) {
+	t.Helper()
+	b := NewBuilder()
+	parts := map[string]PartitionID{}
+	parts["hall0"] = b.AddPartition(0, geom.RectPoly(geom.Pt(0, 0), geom.Pt(40, 4)))
+	parts["A"] = b.AddPartition(0, geom.RectPoly(geom.Pt(0, 4), geom.Pt(10, 14)))
+	parts["B"] = b.AddPartition(0, geom.RectPoly(geom.Pt(10, 4), geom.Pt(20, 14)))
+	parts["C"] = b.AddPartition(0, geom.RectPoly(geom.Pt(20, 4), geom.Pt(30, 14)))
+	parts["D"] = b.AddPartition(0, geom.RectPoly(geom.Pt(30, 4), geom.Pt(40, 14)))
+	parts["hall1"] = b.AddPartition(1, geom.RectPoly(geom.Pt(0, 0), geom.Pt(40, 4)))
+	parts["E"] = b.AddPartition(1, geom.RectPoly(geom.Pt(0, 4), geom.Pt(20, 14)))
+
+	b.AddDoor(geom.Pt(5, 4), parts["hall0"], parts["A"])
+	b.AddDoor(geom.Pt(15, 4), parts["hall0"], parts["B"])
+	b.AddDoor(geom.Pt(25, 4), parts["hall0"], parts["C"])
+	b.AddDoor(geom.Pt(35, 4), parts["hall0"], parts["D"])
+	b.AddDoor(geom.Pt(30, 9), parts["C"], parts["D"])
+	b.AddDoor(geom.Pt(10, 4), parts["hall1"], parts["E"])
+	b.AddDoor(geom.Pt(39, 2), parts["hall0"], parts["hall1"])
+
+	regions := map[string]RegionID{}
+	regions["rA"] = b.AddRegion("rA", parts["A"])
+	regions["rB"] = b.AddRegion("rB", parts["B"])
+	regions["rCD"] = b.AddRegion("rCD", parts["C"], parts["D"])
+	regions["rE"] = b.AddRegion("rE", parts["E"])
+
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s, parts, regions
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.Build(); err == nil {
+		t.Errorf("empty space should fail")
+	}
+
+	b = NewBuilder()
+	b.AddPartition(0, geom.Polygon{geom.Pt(0, 0), geom.Pt(1, 1)})
+	if _, err := b.Build(); err == nil {
+		t.Errorf("degenerate polygon should fail")
+	}
+
+	b = NewBuilder()
+	p := b.AddPartition(0, geom.RectPoly(geom.Pt(0, 0), geom.Pt(1, 1)))
+	b.AddDoor(geom.Pt(0, 0), p, PartitionID(99))
+	if _, err := b.Build(); err == nil {
+		t.Errorf("door to unknown partition should fail")
+	}
+
+	b = NewBuilder()
+	p = b.AddPartition(0, geom.RectPoly(geom.Pt(0, 0), geom.Pt(1, 1)))
+	b.AddDoor(geom.Pt(0, 0), p, p)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("self door should fail")
+	}
+
+	b = NewBuilder()
+	p = b.AddPartition(0, geom.RectPoly(geom.Pt(0, 0), geom.Pt(1, 1)))
+	b.AddRegion("r1", p)
+	b.AddRegion("r2", p)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("partition in two regions should fail")
+	}
+}
+
+func TestLocationDist(t *testing.T) {
+	a, b := Loc(0, 0, 0), Loc(3, 4, 0)
+	if got := a.Dist(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("planar Dist = %v", got)
+	}
+	c := Loc(0, 0, 1)
+	if got := a.Dist(c); math.Abs(got-FloorHeight) > 1e-12 {
+		t.Errorf("vertical Dist = %v", got)
+	}
+}
+
+func TestPartitionAndRegionLookup(t *testing.T) {
+	s, parts, regions := buildTestSpace(t)
+	cases := []struct {
+		l    Location
+		part PartitionID
+		reg  RegionID
+	}{
+		{Loc(5, 9, 0), parts["A"], regions["rA"]},
+		{Loc(15, 9, 0), parts["B"], regions["rB"]},
+		{Loc(25, 9, 0), parts["C"], regions["rCD"]},
+		{Loc(35, 9, 0), parts["D"], regions["rCD"]},
+		{Loc(20, 2, 0), parts["hall0"], NoRegion},
+		{Loc(5, 9, 1), parts["E"], regions["rE"]},
+		{Loc(100, 100, 0), NoPartition, NoRegion},
+		{Loc(5, 9, 7), NoPartition, NoRegion},
+	}
+	for _, c := range cases {
+		if got := s.PartitionAt(c.l); got != c.part {
+			t.Errorf("PartitionAt(%v) = %v, want %v", c.l, got, c.part)
+		}
+		if got := s.RegionAt(c.l); got != c.reg {
+			t.Errorf("RegionAt(%v) = %v, want %v", c.l, got, c.reg)
+		}
+	}
+}
+
+func TestNearestRegion(t *testing.T) {
+	s, _, regions := buildTestSpace(t)
+	// From the hallway under room B, the nearest region is rB.
+	if got := s.NearestRegion(Loc(15, 3, 0)); got != regions["rB"] {
+		t.Errorf("NearestRegion(hall under B) = %v, want rB=%v", got, regions["rB"])
+	}
+	// Inside a region, the region itself is nearest.
+	if got := s.NearestRegion(Loc(5, 9, 0)); got != regions["rA"] {
+		t.Errorf("NearestRegion(in A) = %v, want rA", got)
+	}
+	// Unknown floor.
+	if got := s.NearestRegion(Loc(5, 9, 9)); got != NoRegion {
+		t.Errorf("NearestRegion(bad floor) = %v, want NoRegion", got)
+	}
+}
+
+func TestCandidateRegions(t *testing.T) {
+	s, _, regions := buildTestSpace(t)
+	// Small disk inside room A: only rA.
+	got := s.CandidateRegions(Loc(5, 9, 0), 2, nil)
+	if len(got) != 1 || got[0] != regions["rA"] {
+		t.Errorf("CandidateRegions(in A) = %v", got)
+	}
+	// Disk straddling the A/B wall: both.
+	got = s.CandidateRegions(Loc(10, 9, 0), 3, nil)
+	if len(got) != 2 || got[0] != regions["rA"] || got[1] != regions["rB"] {
+		t.Errorf("CandidateRegions(A|B wall) = %v", got)
+	}
+	// Deep in the hallway with a tiny disk: falls back to nearest.
+	got = s.CandidateRegions(Loc(20, 0.5, 0), 0.2, nil)
+	if len(got) != 1 {
+		t.Errorf("CandidateRegions(hall fallback) = %v", got)
+	}
+	// Candidates are sorted and unique even for multi-partition regions.
+	got = s.CandidateRegions(Loc(30, 9, 0), 5, nil)
+	if len(got) != 1 || got[0] != regions["rCD"] {
+		t.Errorf("CandidateRegions(C|D) = %v, want just rCD", got)
+	}
+}
+
+func TestUncertaintyOverlap(t *testing.T) {
+	s, _, regions := buildTestSpace(t)
+	// Disk fully inside room A: overlap 1.
+	if got := s.UncertaintyOverlap(Loc(5, 9, 0), 2, regions["rA"]); math.Abs(got-1) > 1e-9 {
+		t.Errorf("full overlap = %v", got)
+	}
+	// Disk centered on the A/B wall: half in each.
+	a := s.UncertaintyOverlap(Loc(10, 9, 0), 2, regions["rA"])
+	bv := s.UncertaintyOverlap(Loc(10, 9, 0), 2, regions["rB"])
+	if math.Abs(a-0.5) > 1e-9 || math.Abs(bv-0.5) > 1e-9 {
+		t.Errorf("wall overlap = %v, %v, want 0.5 each", a, bv)
+	}
+	// Wrong floor: zero.
+	if got := s.UncertaintyOverlap(Loc(5, 9, 1), 2, regions["rA"]); got != 0 {
+		t.Errorf("cross-floor overlap = %v", got)
+	}
+	// Multi-partition region accumulates both parts.
+	cd := s.UncertaintyOverlap(Loc(30, 9, 0), 2, regions["rCD"])
+	if math.Abs(cd-1) > 1e-9 {
+		t.Errorf("multi-partition overlap = %v, want 1", cd)
+	}
+	if got := s.UncertaintyOverlap(Loc(5, 9, 0), 2, NoRegion); got != 0 {
+		t.Errorf("NoRegion overlap = %v", got)
+	}
+}
+
+func TestMIWDSamePartition(t *testing.T) {
+	s, _, _ := buildTestSpace(t)
+	a, b := Loc(2, 6, 0), Loc(8, 12, 0)
+	want := a.Point().Dist(b.Point())
+	if got := s.MIWD(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("same-partition MIWD = %v, want %v", got, want)
+	}
+}
+
+func TestMIWDThroughDoors(t *testing.T) {
+	s, _, _ := buildTestSpace(t)
+	// From room A to room B the walk goes door(5,4) -> hallway -> door(15,4).
+	a, b := Loc(5, 9, 0), Loc(15, 9, 0)
+	want := a.Point().Dist(geom.Pt(5, 4)) + geom.Pt(5, 4).Dist(geom.Pt(15, 4)) + geom.Pt(15, 4).Dist(b.Point())
+	if got := s.MIWD(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("A->B MIWD = %v, want %v", got, want)
+	}
+	// C to D can shortcut through the connecting door (30,9).
+	c, d := Loc(29, 9, 0), Loc(31, 9, 0)
+	if got := s.MIWD(c, d); math.Abs(got-2) > 1e-9 {
+		t.Errorf("C->D MIWD = %v, want 2 (direct door)", got)
+	}
+}
+
+func TestMIWDCrossFloor(t *testing.T) {
+	s, _, _ := buildTestSpace(t)
+	a := Loc(38, 2, 0) // floor-0 hallway near the staircase
+	b := Loc(38, 2, 1) // floor-1 hallway, same planar point
+	got := s.MIWD(a, b)
+	if math.IsInf(got, 1) {
+		t.Fatalf("cross-floor MIWD infinite")
+	}
+	// Must include the stair penalty and be at least the vertical gap.
+	if got < FloorHeight {
+		t.Errorf("cross-floor MIWD = %v, want >= %v", got, FloorHeight)
+	}
+}
+
+func TestMIWDFallbacks(t *testing.T) {
+	s, _, _ := buildTestSpace(t)
+	// Outside any partition: straight line.
+	a, b := Loc(-5, -5, 0), Loc(5, 9, 0)
+	if got, want := s.MIWD(a, b), a.Dist(b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("outside MIWD = %v, want straight-line %v", got, want)
+	}
+}
+
+func TestMIWDProperties(t *testing.T) {
+	s, _, _ := buildTestSpace(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := Loc(rng.Float64()*40, rng.Float64()*14, 0)
+		b := Loc(rng.Float64()*40, rng.Float64()*14, 0)
+		if s.PartitionAt(a) == NoPartition || s.PartitionAt(b) == NoPartition {
+			continue
+		}
+		dab := s.MIWD(a, b)
+		dba := s.MIWD(b, a)
+		if math.Abs(dab-dba) > 1e-6 {
+			t.Fatalf("MIWD not symmetric: %v vs %v (a=%v b=%v)", dab, dba, a, b)
+		}
+		if dab < a.Point().Dist(b.Point())-1e-6 {
+			t.Fatalf("MIWD below straight line: %v < %v (a=%v b=%v)", dab, a.Point().Dist(b.Point()), a, b)
+		}
+	}
+}
+
+func TestRegionDist(t *testing.T) {
+	s, _, regions := buildTestSpace(t)
+	rA, rB, rCD, rE := regions["rA"], regions["rB"], regions["rCD"], regions["rE"]
+	// Symmetry.
+	if s.RegionDist(rA, rB) != s.RegionDist(rB, rA) {
+		t.Errorf("RegionDist not symmetric")
+	}
+	// Intra-region distance is small but positive.
+	if d := s.RegionDist(rA, rA); d <= 0 || d > 10 {
+		t.Errorf("intra RegionDist = %v", d)
+	}
+	// Closer regions have smaller expected distance.
+	if !(s.RegionDist(rA, rB) < s.RegionDist(rA, rCD)) {
+		t.Errorf("expected d(rA,rB) < d(rA,rCD): %v vs %v", s.RegionDist(rA, rB), s.RegionDist(rA, rCD))
+	}
+	// Cross-floor distance is largest.
+	if !(s.RegionDist(rA, rE) > s.RegionDist(rA, rCD)) {
+		t.Errorf("expected cross-floor to dominate: %v vs %v", s.RegionDist(rA, rE), s.RegionDist(rA, rCD))
+	}
+	// NoRegion yields +inf.
+	if !math.IsInf(s.RegionDist(NoRegion, rA), 1) {
+		t.Errorf("NoRegion distance should be +inf")
+	}
+}
+
+func TestRegionCentroid(t *testing.T) {
+	s, _, regions := buildTestSpace(t)
+	c := s.RegionCentroid(regions["rA"])
+	if math.Abs(c.X-5) > 1e-9 || math.Abs(c.Y-9) > 1e-9 || c.Floor != 0 {
+		t.Errorf("rA centroid = %v", c)
+	}
+	cd := s.RegionCentroid(regions["rCD"])
+	if math.Abs(cd.X-30) > 1e-9 {
+		t.Errorf("rCD centroid = %v", cd)
+	}
+}
+
+func TestStatsAndBounds(t *testing.T) {
+	s, _, _ := buildTestSpace(t)
+	st := s.Stats()
+	if st.Floors != 2 || st.Partitions != 7 || st.Doors != 7 || st.Regions != 4 || st.Stairs != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+	wantArea := 40*4.0 + 4*100 + 40*4 + 200.0
+	if math.Abs(st.TotalArea-wantArea) > 1e-9 {
+		t.Errorf("TotalArea = %v, want %v", st.TotalArea, wantArea)
+	}
+	b := s.Bounds()
+	if b.Min != geom.Pt(0, 0) || b.Max != geom.Pt(40, 14) {
+		t.Errorf("Bounds = %+v", b)
+	}
+	if got := len(s.Regions()); got != 4 {
+		t.Errorf("Regions() len = %d", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s, _, regions := buildTestSpace(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	s2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if s2.Stats() != s.Stats() {
+		t.Errorf("stats changed: %+v vs %+v", s2.Stats(), s.Stats())
+	}
+	// Lookups and distances must be preserved.
+	probe := Loc(15, 9, 0)
+	if s2.RegionAt(probe) != s.RegionAt(probe) {
+		t.Errorf("RegionAt changed after round trip")
+	}
+	for _, ri := range s.Regions() {
+		for _, rj := range s.Regions() {
+			if math.Abs(s.RegionDist(ri, rj)-s2.RegionDist(ri, rj)) > 1e-9 {
+				t.Errorf("RegionDist(%d,%d) changed", ri, rj)
+			}
+		}
+	}
+	if s2.Region(regions["rA"]).Name != "rA" {
+		t.Errorf("region name lost")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{bad json")); err == nil {
+		t.Errorf("malformed JSON should fail")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"partitions":[]}`)); err == nil {
+		t.Errorf("empty space should fail")
+	}
+}

@@ -1,0 +1,92 @@
+package indoor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"c2mn/internal/geom"
+)
+
+// jsonSpace is the portable on-disk schema of a Space. Derived data
+// (indexes, distance matrices) is rebuilt on load.
+type jsonSpace struct {
+	Partitions []jsonPartition `json:"partitions"`
+	Doors      []jsonDoor      `json:"doors"`
+	Regions    []jsonRegion    `json:"regions"`
+}
+
+type jsonPartition struct {
+	Floor int          `json:"floor"`
+	Poly  [][2]float64 `json:"poly"`
+}
+
+type jsonDoor struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	A int     `json:"a"`
+	B int     `json:"b"`
+}
+
+type jsonRegion struct {
+	Name       string `json:"name"`
+	Partitions []int  `json:"partitions"`
+}
+
+// WriteJSON serialises the space to w. The output contains only the
+// source definitions; spatial indexes and distance matrices are
+// recomputed by ReadJSON.
+func (s *Space) WriteJSON(w io.Writer) error {
+	js := jsonSpace{}
+	for i := range s.partitions {
+		p := &s.partitions[i]
+		jp := jsonPartition{Floor: p.Floor}
+		for _, v := range p.Poly {
+			jp.Poly = append(jp.Poly, [2]float64{v.X, v.Y})
+		}
+		js.Partitions = append(js.Partitions, jp)
+	}
+	for i := range s.doors {
+		d := &s.doors[i]
+		js.Doors = append(js.Doors, jsonDoor{X: d.At.X, Y: d.At.Y, A: int(d.A), B: int(d.B)})
+	}
+	for i := range s.regions {
+		r := &s.regions[i]
+		jr := jsonRegion{Name: r.Name}
+		for _, pid := range r.Partitions {
+			jr.Partitions = append(jr.Partitions, int(pid))
+		}
+		js.Regions = append(js.Regions, jr)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(js)
+}
+
+// ReadJSON deserialises a space written by WriteJSON, rebuilding all
+// derived structures.
+func ReadJSON(r io.Reader) (*Space, error) {
+	var js jsonSpace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("indoor: decoding space: %w", err)
+	}
+	b := NewBuilder()
+	for _, jp := range js.Partitions {
+		poly := make(geom.Polygon, len(jp.Poly))
+		for i, v := range jp.Poly {
+			poly[i] = geom.Pt(v[0], v[1])
+		}
+		b.AddPartition(jp.Floor, poly)
+	}
+	for _, jd := range js.Doors {
+		b.AddDoor(geom.Pt(jd.X, jd.Y), PartitionID(jd.A), PartitionID(jd.B))
+	}
+	for _, jr := range js.Regions {
+		parts := make([]PartitionID, len(jr.Partitions))
+		for i, p := range jr.Partitions {
+			parts[i] = PartitionID(p)
+		}
+		b.AddRegion(jr.Name, parts...)
+	}
+	return b.Build()
+}

@@ -1,0 +1,84 @@
+package indoor
+
+import (
+	"container/heap"
+	"math"
+)
+
+// MIWDOnDemand computes the same minimum indoor walking distance as
+// MIWD but without consulting the precomputed door-to-door matrix: it
+// runs a fresh multi-source Dijkstra from the source partition's door
+// sides at query time. The paper precomputes the matrix to "speed up
+// computations on MIWD" (§V-B1) at a large memory cost (990.8 MB for
+// its venue); this method is the memory-free alternative that the
+// distance-matrix ablation bench compares against.
+func (s *Space) MIWDOnDemand(a, b Location) float64 {
+	pa, pb := s.PartitionAt(a), s.PartitionAt(b)
+	if pa == NoPartition || pb == NoPartition {
+		return a.Dist(b)
+	}
+	if pa == pb {
+		return a.Point().Dist(b.Point())
+	}
+	// Multi-source Dijkstra over door sides, seeded with the walk from
+	// a to each door of its partition.
+	n := 2 * len(s.doors)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	pq := &doorHeap{}
+	heap.Init(pq)
+	for _, da := range s.partitions[pa].Doors {
+		side := s.doorSide(da, pa)
+		d := a.Point().Dist(s.doors[da].At)
+		if d < dist[side] {
+			dist[side] = d
+			heap.Push(pq, doorDist{door: side, dist: d})
+		}
+	}
+	// Early exit once every target door side is settled.
+	targets := map[int]bool{}
+	for _, db := range s.partitions[pb].Doors {
+		targets[s.doorSide(db, pb)] = true
+	}
+	remaining := len(targets)
+	for pq.Len() > 0 && remaining > 0 {
+		it := heap.Pop(pq).(doorDist)
+		if it.dist > dist[it.door] {
+			continue
+		}
+		if targets[it.door] {
+			targets[it.door] = false
+			remaining--
+		}
+		for _, e := range s.doorAdj[it.door] {
+			nd := it.dist + e.w
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, doorDist{door: e.to, dist: nd})
+			}
+		}
+	}
+	best := math.Inf(1)
+	for _, db := range s.partitions[pb].Doors {
+		side := s.doorSide(db, pb)
+		if d := dist[side] + s.doors[db].At.Dist(b.Point()); d < best {
+			best = d
+		}
+	}
+	if math.IsInf(best, 1) {
+		return a.Dist(b)
+	}
+	return best
+}
+
+// DistanceMatrixBytes reports the memory footprint of the precomputed
+// door-to-door matrix, mirroring the paper's 990.8 MB statistic.
+func (s *Space) DistanceMatrixBytes() int {
+	total := 0
+	for _, row := range s.d2d {
+		total += 4 * len(row)
+	}
+	return total
+}

@@ -1,0 +1,44 @@
+package indoor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMIWDOnDemandMatchesMatrix(t *testing.T) {
+	s, _, _ := buildTestSpace(t)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		floorA, floorB := rng.Intn(2), rng.Intn(2)
+		a := Loc(rng.Float64()*40, rng.Float64()*14, floorA)
+		b := Loc(rng.Float64()*40, rng.Float64()*14, floorB)
+		got := s.MIWDOnDemand(a, b)
+		want := s.MIWD(a, b)
+		if math.Abs(got-want) > 1e-4 {
+			t.Fatalf("MIWDOnDemand(%v,%v) = %v, matrix MIWD = %v", a, b, got, want)
+		}
+	}
+}
+
+func TestMIWDOnDemandFallbacks(t *testing.T) {
+	s, _, _ := buildTestSpace(t)
+	outside := Loc(-10, -10, 0)
+	in := Loc(5, 9, 0)
+	if got, want := s.MIWDOnDemand(outside, in), outside.Dist(in); math.Abs(got-want) > 1e-9 {
+		t.Errorf("outside fallback = %v, want %v", got, want)
+	}
+	// Same partition: straight line.
+	a, b := Loc(2, 6, 0), Loc(8, 12, 0)
+	if got, want := s.MIWDOnDemand(a, b), a.Point().Dist(b.Point()); math.Abs(got-want) > 1e-9 {
+		t.Errorf("same-partition = %v, want %v", got, want)
+	}
+}
+
+func TestDistanceMatrixBytes(t *testing.T) {
+	s, _, _ := buildTestSpace(t)
+	// 7 doors → 14 sides → 14x14 float32 entries.
+	if got, want := s.DistanceMatrixBytes(), 14*14*4; got != want {
+		t.Errorf("DistanceMatrixBytes = %d, want %d", got, want)
+	}
+}

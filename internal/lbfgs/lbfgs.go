@@ -1,0 +1,351 @@
+// Package lbfgs implements the limited-memory BFGS quasi-Newton method
+// (Liu & Nocedal, 1989), the optimiser the paper uses to update C2MN
+// weights inside the alternate learning loop (Algorithm 1, line 17).
+//
+// Two entry points are provided:
+//
+//   - Minimize runs a full optimisation of a deterministic objective
+//     with backtracking Armijo line search. It is used in tests and by
+//     baselines with closed-form objectives.
+//   - Stepper supports the paper's usage, where the objective value and
+//     gradient are *estimates* recomputed once per outer iteration
+//     (MCMC approximations, Eq. 8–9): each Step consumes one
+//     (value, gradient) evaluation and returns the next iterate, while
+//     maintaining the limited-memory curvature history.
+package lbfgs
+
+import (
+	"errors"
+	"math"
+)
+
+// Options configures Minimize.
+type Options struct {
+	// History is the number of correction pairs kept (m). Default 8.
+	History int
+	// MaxIter bounds the number of outer iterations. Default 100.
+	MaxIter int
+	// GradTol stops when the gradient inf-norm falls below it. Default 1e-8.
+	GradTol float64
+	// StepTol stops when the iterate inf-norm change falls below it. Default 1e-12.
+	StepTol float64
+}
+
+func (o *Options) fill() {
+	if o.History <= 0 {
+		o.History = 8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.GradTol <= 0 {
+		o.GradTol = 1e-8
+	}
+	if o.StepTol <= 0 {
+		o.StepTol = 1e-12
+	}
+}
+
+// Objective evaluates a function and its gradient at x. The returned
+// gradient must be a fresh slice (it is retained).
+type Objective func(x []float64) (fx float64, grad []float64)
+
+// Result reports the outcome of Minimize.
+type Result struct {
+	X          []float64
+	F          float64
+	Iterations int
+	Converged  bool
+}
+
+// ErrLineSearch is returned when no acceptable step can be found; the
+// best iterate so far is still returned in Result.
+var ErrLineSearch = errors.New("lbfgs: line search failed")
+
+// Minimize runs L-BFGS from x0 and returns the best iterate found.
+func Minimize(obj Objective, x0 []float64, opts Options) (Result, error) {
+	opts.fill()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	fx, g := obj(x)
+	hist := newHistory(opts.History, n)
+	res := Result{X: x, F: fx}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		if infNorm(g) < opts.GradTol {
+			res.Converged = true
+			return res, nil
+		}
+		dir := hist.direction(g)
+		// Ensure a descent direction; fall back to steepest descent.
+		if dot(dir, g) >= 0 {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+		}
+		step, fNew, xNew, gNew, ok := lineSearch(obj, x, fx, g, dir)
+		if !ok {
+			return res, ErrLineSearch
+		}
+		_ = step
+		s := make([]float64, n)
+		y := make([]float64, n)
+		maxMove := 0.0
+		for i := range x {
+			s[i] = xNew[i] - x[i]
+			y[i] = gNew[i] - g[i]
+			if m := math.Abs(s[i]); m > maxMove {
+				maxMove = m
+			}
+		}
+		hist.push(s, y)
+		x, fx, g = xNew, fNew, gNew
+		res.X, res.F = x, fx
+		if maxMove < opts.StepTol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// lineSearch finds a step satisfying the strong Wolfe conditions via
+// bracketing and zoom (Nocedal & Wright, Algorithms 3.5 and 3.6).
+// Enforcing the curvature condition keeps the (s, y) pairs useful for
+// the limited-memory Hessian approximation.
+func lineSearch(obj Objective, x []float64, fx float64, g, dir []float64) (step, fNew float64, xNew, gNew []float64, ok bool) {
+	const (
+		c1       = 1e-4
+		c2       = 0.9
+		alphaMax = 1e4
+		maxIter  = 30
+	)
+	slope := dot(g, dir)
+	if slope >= 0 || math.IsNaN(slope) {
+		return 0, 0, nil, nil, false
+	}
+	eval := func(alpha float64) (float64, []float64, []float64, float64) {
+		xt := make([]float64, len(x))
+		for i := range x {
+			xt[i] = x[i] + alpha*dir[i]
+		}
+		ft, gt := obj(xt)
+		return ft, gt, xt, dot(gt, dir)
+	}
+	zoom := func(lo, fLo float64, hi float64) (float64, float64, []float64, []float64, bool) {
+		for it := 0; it < maxIter; it++ {
+			alpha := (lo + hi) / 2
+			ft, gt, xt, dt := eval(alpha)
+			switch {
+			case math.IsNaN(ft) || ft > fx+c1*alpha*slope || ft >= fLo:
+				hi = alpha
+			case math.Abs(dt) <= -c2*slope:
+				return alpha, ft, xt, gt, true
+			case dt*(hi-lo) >= 0:
+				hi = lo
+				fallthrough
+			default:
+				lo, fLo = alpha, ft
+			}
+			if math.Abs(hi-lo) < 1e-16 {
+				if ft <= fx+c1*alpha*slope && !math.IsNaN(ft) {
+					return alpha, ft, xt, gt, true
+				}
+				return 0, 0, nil, nil, false
+			}
+		}
+		// Accept the best sufficient-decrease point found.
+		alpha := (lo + hi) / 2
+		ft, gt, xt, _ := eval(alpha)
+		if !math.IsNaN(ft) && ft <= fx+c1*alpha*slope {
+			return alpha, ft, xt, gt, true
+		}
+		return 0, 0, nil, nil, false
+	}
+
+	alphaPrev, fPrev := 0.0, fx
+	alpha := 1.0
+	for it := 0; it < maxIter; it++ {
+		ft, gt, xt, dt := eval(alpha)
+		if math.IsNaN(ft) || ft > fx+c1*alpha*slope || (it > 0 && ft >= fPrev) {
+			return zoom(alphaPrev, fPrev, alpha)
+		}
+		if math.Abs(dt) <= -c2*slope {
+			return alpha, ft, xt, gt, true
+		}
+		if dt >= 0 {
+			return zoom(alpha, ft, alphaPrev)
+		}
+		alphaPrev, fPrev = alpha, ft
+		alpha *= 2
+		if alpha > alphaMax {
+			return alphaPrev, ft, xt, gt, true
+		}
+	}
+	return 0, 0, nil, nil, false
+}
+
+// Stepper is the incremental interface used by Algorithm 1: the caller
+// supplies one (possibly stochastic) objective value and gradient per
+// step, and receives the next iterate computed from the two-loop
+// recursion over the retained curvature pairs. Steps whose curvature
+// information is unusable (sᵀy ≤ 0) are still taken but not recorded,
+// which keeps the inverse-Hessian approximation positive definite.
+type Stepper struct {
+	hist *history
+	// StepSize scales the quasi-Newton direction; the MCMC-estimated
+	// gradients are noisy, so a damped step keeps learning stable.
+	StepSize float64
+	// MaxMove caps the inf-norm of a single update.
+	MaxMove float64
+
+	prevX []float64
+	prevG []float64
+	has   bool
+}
+
+// NewStepper returns a Stepper with history size m for dimension n.
+func NewStepper(m, n int) *Stepper {
+	if m <= 0 {
+		m = 8
+	}
+	return &Stepper{hist: newHistory(m, n), StepSize: 1.0, MaxMove: 1.0}
+}
+
+// Step consumes the gradient at x and returns the next iterate. The
+// objective value is accepted for interface symmetry and future line
+// search use; the damped two-loop direction is applied directly.
+func (st *Stepper) Step(x []float64, _ float64, grad []float64) []float64 {
+	n := len(x)
+	if st.has {
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			s[i] = x[i] - st.prevX[i]
+			y[i] = grad[i] - st.prevG[i]
+		}
+		st.hist.push(s, y)
+	}
+	dir := st.hist.direction(grad)
+	if dot(dir, grad) >= 0 {
+		for i := range dir {
+			dir[i] = -grad[i]
+		}
+	}
+	// Damp and cap the move.
+	scale := st.StepSize
+	maxc := 0.0
+	for i := range dir {
+		if a := math.Abs(dir[i]) * scale; a > maxc {
+			maxc = a
+		}
+	}
+	if st.MaxMove > 0 && maxc > st.MaxMove {
+		scale *= st.MaxMove / maxc
+	}
+	next := make([]float64, n)
+	for i := range x {
+		next[i] = x[i] + scale*dir[i]
+	}
+	st.prevX = append(st.prevX[:0], x...)
+	st.prevG = append(st.prevG[:0], grad...)
+	st.has = true
+	return next
+}
+
+// history keeps the m most recent (s, y) pairs and evaluates the
+// two-loop recursion.
+type history struct {
+	m     int
+	s, y  [][]float64
+	rho   []float64
+	alpha []float64
+}
+
+func newHistory(m, n int) *history {
+	_ = n
+	return &history{m: m}
+}
+
+func (h *history) push(s, y []float64) {
+	sy := dot(s, y)
+	if sy <= 1e-12 {
+		return // skip non-curvature pairs
+	}
+	if len(h.s) == h.m {
+		h.s = h.s[1:]
+		h.y = h.y[1:]
+		h.rho = h.rho[1:]
+	}
+	h.s = append(h.s, s)
+	h.y = append(h.y, y)
+	h.rho = append(h.rho, 1/sy)
+}
+
+// direction returns the L-BFGS descent direction -H·g via the two-loop
+// recursion. With no history it returns -g.
+func (h *history) direction(g []float64) []float64 {
+	q := append([]float64(nil), g...)
+	k := len(h.s)
+	if cap(h.alpha) < k {
+		h.alpha = make([]float64, k)
+	}
+	alpha := h.alpha[:k]
+	for i := k - 1; i >= 0; i-- {
+		alpha[i] = h.rho[i] * dot(h.s[i], q)
+		axpy(q, -alpha[i], h.y[i])
+	}
+	if k > 0 {
+		// Initial Hessian scaling γ = sᵀy / yᵀy of the newest pair.
+		last := k - 1
+		gamma := dot(h.s[last], h.y[last]) / dot(h.y[last], h.y[last])
+		for i := range q {
+			q[i] *= gamma
+		}
+	}
+	for i := 0; i < k; i++ {
+		beta := h.rho[i] * dot(h.y[i], q)
+		axpy(q, alpha[i]-beta, h.s[i])
+	}
+	for i := range q {
+		q[i] = -q[i]
+	}
+	return q
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(dst []float64, a float64, x []float64) {
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+func infNorm(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// InfNormDiff returns ‖a−b‖∞, the Chebyshev distance Algorithm 1 uses
+// as its convergence criterion (line 18).
+func InfNormDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

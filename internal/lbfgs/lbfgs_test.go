@@ -1,0 +1,241 @@
+package lbfgs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quadratic builds a convex quadratic f(x) = Σ ci (xi - bi)^2.
+func quadratic(c, b []float64) Objective {
+	return func(x []float64) (float64, []float64) {
+		f := 0.0
+		g := make([]float64, len(x))
+		for i := range x {
+			d := x[i] - b[i]
+			f += c[i] * d * d
+			g[i] = 2 * c[i] * d
+		}
+		return f, g
+	}
+}
+
+func rosenbrock(x []float64) (float64, []float64) {
+	f := 0.0
+	g := make([]float64, len(x))
+	for i := 0; i+1 < len(x); i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		f += 100*a*a + b*b
+		g[i] += -400*x[i]*a - 2*b
+		g[i+1] += 200 * a
+	}
+	return f, g
+}
+
+func TestMinimizeQuadratic(t *testing.T) {
+	obj := quadratic([]float64{1, 10, 0.5}, []float64{3, -2, 7})
+	res, err := Minimize(obj, []float64{0, 0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge: %+v", res)
+	}
+	want := []float64{3, -2, 7}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-5 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+	if res.F > 1e-9 {
+		t.Errorf("F = %v, want ~0", res.F)
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	res, err := Minimize(rosenbrock, []float64{-1.2, 1}, Options{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 1} {
+		if math.Abs(res.X[i]-want) > 1e-4 {
+			t.Errorf("x[%d] = %v, want 1", i, res.X[i])
+		}
+	}
+}
+
+func TestMinimizeRosenbrock10D(t *testing.T) {
+	x0 := make([]float64, 10)
+	for i := range x0 {
+		x0[i] = -1
+	}
+	res, err := Minimize(rosenbrock, x0, Options{MaxIter: 2000, History: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-6 {
+		t.Errorf("10-D Rosenbrock F = %v, want ~0", res.F)
+	}
+}
+
+func TestMinimizeAtOptimum(t *testing.T) {
+	obj := quadratic([]float64{1, 1}, []float64{0, 0})
+	res, err := Minimize(obj, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 1 {
+		t.Errorf("at-optimum run = %+v", res)
+	}
+}
+
+func TestMinimizeBeatsGradientDescentOnIllConditioned(t *testing.T) {
+	// Strongly ill-conditioned quadratic: L-BFGS should converge in few
+	// iterations where plain gradient descent crawls.
+	obj := quadratic([]float64{1, 1000}, []float64{1, 1})
+	res, err := Minimize(obj, []float64{-5, 4}, Options{MaxIter: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-8 {
+		t.Errorf("ill-conditioned F = %v after %d iters", res.F, res.Iterations)
+	}
+}
+
+func TestMinimizeConvergesFromRandomStarts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		c := make([]float64, n)
+		b := make([]float64, n)
+		x0 := make([]float64, n)
+		for i := range c {
+			c[i] = 0.1 + rng.Float64()*10
+			b[i] = rng.Float64()*20 - 10
+			x0[i] = rng.Float64()*20 - 10
+		}
+		res, err := Minimize(quadratic(c, b), x0, Options{MaxIter: 200})
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(res.X[i]-b[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepperConvergesOnQuadratic(t *testing.T) {
+	obj := quadratic([]float64{2, 0.5, 5}, []float64{1, -3, 2})
+	st := NewStepper(8, 3)
+	x := []float64{10, 10, 10}
+	for i := 0; i < 200; i++ {
+		f, g := obj(x)
+		x = st.Step(x, f, g)
+	}
+	want := []float64{1, -3, 2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-3 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestStepperNoisyGradient(t *testing.T) {
+	// With zero-mean noise on the gradient the stepper should still
+	// land near the optimum (this mimics MCMC-estimated gradients).
+	obj := quadratic([]float64{1, 1}, []float64{4, -4})
+	rng := rand.New(rand.NewSource(9))
+	st := NewStepper(5, 2)
+	st.StepSize = 0.5
+	st.MaxMove = 0.5
+	x := []float64{0, 0}
+	for i := 0; i < 400; i++ {
+		f, g := obj(x)
+		for j := range g {
+			g[j] += rng.NormFloat64() * 0.05
+		}
+		x = st.Step(x, f, g)
+	}
+	for i, want := range []float64{4, -4} {
+		if math.Abs(x[i]-want) > 0.3 {
+			t.Errorf("noisy x[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestStepperMaxMoveCap(t *testing.T) {
+	st := NewStepper(4, 2)
+	st.MaxMove = 0.1
+	x := []float64{0, 0}
+	g := []float64{100, -50}
+	next := st.Step(x, 0, g)
+	for i := range next {
+		if math.Abs(next[i]-x[i]) > 0.1+1e-12 {
+			t.Errorf("move %v exceeds cap", next[i]-x[i])
+		}
+	}
+}
+
+func TestHistorySkipsBadCurvature(t *testing.T) {
+	h := newHistory(4, 2)
+	h.push([]float64{1, 0}, []float64{-1, 0}) // s·y < 0: skipped
+	if len(h.s) != 0 {
+		t.Errorf("negative curvature pair retained")
+	}
+	h.push([]float64{1, 0}, []float64{1, 0})
+	if len(h.s) != 1 {
+		t.Errorf("valid pair dropped")
+	}
+	// Rolling window keeps at most m pairs.
+	for i := 0; i < 10; i++ {
+		h.push([]float64{1, float64(i)}, []float64{1, float64(i)})
+	}
+	if len(h.s) != 4 {
+		t.Errorf("history size = %d, want 4", len(h.s))
+	}
+}
+
+func TestDirectionIsDescentWithoutHistory(t *testing.T) {
+	h := newHistory(4, 3)
+	g := []float64{1, -2, 3}
+	d := h.direction(g)
+	if dot(d, g) >= 0 {
+		t.Errorf("direction not descent: %v", d)
+	}
+	for i := range g {
+		if d[i] != -g[i] {
+			t.Errorf("no-history direction should be -g, got %v", d)
+		}
+	}
+}
+
+func TestInfNormDiff(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 5, 2}
+	if got := InfNormDiff(a, b); got != 3 {
+		t.Errorf("InfNormDiff = %v, want 3", got)
+	}
+	if got := InfNormDiff(a, a); got != 0 {
+		t.Errorf("InfNormDiff identical = %v", got)
+	}
+}
+
+func TestLineSearchFailure(t *testing.T) {
+	// An objective that always increases along any direction cannot
+	// satisfy Armijo: expect ErrLineSearch (gradient pushes uphill).
+	bad := func(x []float64) (float64, []float64) {
+		return math.NaN(), []float64{1}
+	}
+	_, err := Minimize(bad, []float64{0}, Options{MaxIter: 3})
+	if err == nil {
+		t.Errorf("expected line search failure")
+	}
+}

@@ -1,0 +1,156 @@
+package query
+
+import (
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+func ms(r indoor.RegionID, start, end float64, e seq.Event) seq.MSemantics {
+	return seq.MSemantics{Region: r, Start: start, End: end, Event: e}
+}
+
+func fixtures() []seq.MSSequence {
+	return []seq.MSSequence{
+		{ObjectID: "o1", Semantics: []seq.MSemantics{
+			ms(1, 0, 100, seq.Stay),
+			ms(2, 150, 200, seq.Pass), // pass: not a visit
+			ms(3, 250, 400, seq.Stay),
+		}},
+		{ObjectID: "o2", Semantics: []seq.MSemantics{
+			ms(1, 10, 60, seq.Stay),
+			ms(3, 100, 150, seq.Stay),
+			ms(1, 500, 600, seq.Stay), // outside window in some tests
+		}},
+		{ObjectID: "o3", Semantics: []seq.MSemantics{
+			ms(2, 20, 80, seq.Stay),
+			ms(1, 90, 130, seq.Stay),
+		}},
+	}
+}
+
+func allQ() []indoor.RegionID { return []indoor.RegionID{1, 2, 3} }
+
+func TestWindowContains(t *testing.T) {
+	w := Window{100, 200}
+	if !w.Contains(ms(1, 50, 100, seq.Stay)) {
+		t.Errorf("touching start should count")
+	}
+	if !w.Contains(ms(1, 200, 300, seq.Stay)) {
+		t.Errorf("touching end should count")
+	}
+	if w.Contains(ms(1, 0, 99, seq.Stay)) {
+		t.Errorf("before window should not count")
+	}
+}
+
+func TestTopKPopularRegions(t *testing.T) {
+	w := Window{0, 450}
+	got := TopKPopularRegions(fixtures(), allQ(), w, 3)
+	// Visits: r1 = o1+o2+o3 = 3, r3 = o1+o2 = 2, r2 = o3 = 1.
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].Region != 1 || got[0].Count != 3 {
+		t.Errorf("rank1 = %+v", got[0])
+	}
+	if got[1].Region != 3 || got[1].Count != 2 {
+		t.Errorf("rank2 = %+v", got[1])
+	}
+	if got[2].Region != 2 || got[2].Count != 1 {
+		t.Errorf("rank3 = %+v", got[2])
+	}
+}
+
+func TestTopKPopularRegionsWindowAndQ(t *testing.T) {
+	// Narrow window drops o2's late visit to r1.
+	got := TopKPopularRegions(fixtures(), allQ(), Window{450, 700}, 3)
+	if len(got) != 1 || got[0].Region != 1 || got[0].Count != 1 {
+		t.Errorf("late window = %v", got)
+	}
+	// Restricting Q hides region 1.
+	got = TopKPopularRegions(fixtures(), []indoor.RegionID{2, 3}, Window{0, 450}, 3)
+	for _, rc := range got {
+		if rc.Region == 1 {
+			t.Errorf("region 1 not in Q but returned")
+		}
+	}
+	// k truncates.
+	got = TopKPopularRegions(fixtures(), allQ(), Window{0, 450}, 1)
+	if len(got) != 1 {
+		t.Errorf("k=1 returned %d", len(got))
+	}
+}
+
+func TestTopKFrequentPairs(t *testing.T) {
+	w := Window{0, 450}
+	got := TopKFrequentPairs(fixtures(), allQ(), w, 5)
+	// o1 visited {1,3}, o2 visited {1,3}, o3 visited {1,2}.
+	// Pairs: (1,3) x2, (1,2) x1.
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].A != 1 || got[0].B != 3 || got[0].Count != 2 {
+		t.Errorf("rank1 = %+v", got[0])
+	}
+	if got[1].A != 1 || got[1].B != 2 || got[1].Count != 1 {
+		t.Errorf("rank2 = %+v", got[1])
+	}
+}
+
+func TestPrecisionPerfectAndPartial(t *testing.T) {
+	w := Window{0, 450}
+	truth := TopKPopularRegions(fixtures(), allQ(), w, 2)
+	if p := RegionPrecision(truth, truth, 2); p != 1 {
+		t.Errorf("self precision = %v", p)
+	}
+	other := []RegionCount{{Region: 1, Count: 9}, {Region: 2, Count: 8}}
+	// truth top-2 = {1, 3}; other has {1, 2}: 1 hit of 2.
+	if p := RegionPrecision(other, truth, 2); p != 0.5 {
+		t.Errorf("partial precision = %v", p)
+	}
+	if p := RegionPrecision(nil, truth, 2); p != 0 {
+		t.Errorf("empty precision = %v", p)
+	}
+	if p := RegionPrecision(truth, nil, 2); p != 0 {
+		t.Errorf("no-truth precision = %v", p)
+	}
+	if p := RegionPrecision(truth, truth, 0); p != 0 {
+		t.Errorf("k=0 precision = %v", p)
+	}
+}
+
+func TestPairPrecision(t *testing.T) {
+	truth := []PairCount{{1, 3, 2}, {1, 2, 1}}
+	got := []PairCount{{1, 3, 5}, {2, 3, 4}}
+	if p := PairPrecision(got, truth, 2); p != 0.5 {
+		t.Errorf("pair precision = %v", p)
+	}
+	if p := PairPrecision(truth, truth, 2); p != 1 {
+		t.Errorf("self pair precision = %v", p)
+	}
+}
+
+func TestDeterministicTieBreaks(t *testing.T) {
+	// Two regions with equal counts order by ID.
+	mss := []seq.MSSequence{
+		{ObjectID: "a", Semantics: []seq.MSemantics{ms(5, 0, 10, seq.Stay), ms(2, 20, 30, seq.Stay)}},
+	}
+	got := TopKPopularRegions(mss, []indoor.RegionID{2, 5}, Window{0, 100}, 2)
+	if got[0].Region != 2 || got[1].Region != 5 {
+		t.Errorf("tie break wrong: %v", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if got := TopKPopularRegions(nil, allQ(), Window{0, 1}, 3); len(got) != 0 {
+		t.Errorf("nil mss = %v", got)
+	}
+	if got := TopKFrequentPairs(nil, allQ(), Window{0, 1}, 3); len(got) != 0 {
+		t.Errorf("nil mss pairs = %v", got)
+	}
+	if got := TopKPopularRegions(fixtures(), nil, Window{0, 450}, 3); len(got) != 0 {
+		t.Errorf("empty Q = %v", got)
+	}
+}

@@ -1,0 +1,265 @@
+// Package rtree implements a static, bulk-loaded R-tree over
+// rectangles using Sort-Tile-Recursive (STR) packing. The tree indexes
+// the indoor partitions and semantic regions of a venue (the paper
+// keeps "an R-tree to index all partitions and their corresponding
+// semantic regions", §V-B1) and supports rectangle search, circle
+// search and k-nearest-neighbour queries.
+package rtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"c2mn/internal/geom"
+)
+
+// Entry is one indexed item: a bounding rectangle plus an opaque ID the
+// caller can resolve back to its own objects.
+type Entry struct {
+	Rect geom.Rect
+	ID   int
+}
+
+// Tree is an immutable STR-packed R-tree.
+type Tree struct {
+	root *node
+	size int
+	// fanout is the maximum number of children per node.
+	fanout int
+}
+
+type node struct {
+	rect     geom.Rect
+	children []*node
+	entries  []Entry // non-nil only at leaves
+}
+
+func (n *node) leaf() bool { return n.entries != nil }
+
+// DefaultFanout is the node capacity used by New.
+const DefaultFanout = 16
+
+// New bulk-loads a tree from entries using STR packing. The entries
+// slice is not retained. An empty input yields an empty, queryable
+// tree.
+func New(entries []Entry) *Tree {
+	return NewWithFanout(entries, DefaultFanout)
+}
+
+// NewWithFanout bulk-loads with an explicit node capacity (minimum 2).
+func NewWithFanout(entries []Entry, fanout int) *Tree {
+	if fanout < 2 {
+		fanout = 2
+	}
+	t := &Tree{size: len(entries), fanout: fanout}
+	if len(entries) == 0 {
+		return t
+	}
+	own := make([]Entry, len(entries))
+	copy(own, entries)
+	leaves := packLeaves(own, fanout)
+	t.root = packUpward(leaves, fanout)
+	return t
+}
+
+// packLeaves tiles entries into leaf nodes: sort by center X, slice
+// into vertical strips of ~sqrt(n/fanout) runs, sort each strip by
+// center Y, and chunk into leaves.
+func packLeaves(entries []Entry, fanout int) []*node {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Rect.Center().X < entries[j].Rect.Center().X
+	})
+	nLeaves := (len(entries) + fanout - 1) / fanout
+	nStrips := isqrtCeil(nLeaves)
+	perStrip := nStrips * fanout
+	var leaves []*node
+	for s := 0; s < len(entries); s += perStrip {
+		strip := entries[s:min(s+perStrip, len(entries))]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].Rect.Center().Y < strip[j].Rect.Center().Y
+		})
+		for o := 0; o < len(strip); o += fanout {
+			chunk := strip[o:min(o+fanout, len(strip))]
+			ln := &node{entries: chunk}
+			ln.rect = chunk[0].Rect
+			for _, e := range chunk[1:] {
+				ln.rect = ln.rect.Union(e.Rect)
+			}
+			leaves = append(leaves, ln)
+		}
+	}
+	return leaves
+}
+
+// packUpward builds internal levels until a single root remains.
+func packUpward(level []*node, fanout int) *node {
+	for len(level) > 1 {
+		sort.Slice(level, func(i, j int) bool {
+			return level[i].rect.Center().X < level[j].rect.Center().X
+		})
+		nParents := (len(level) + fanout - 1) / fanout
+		nStrips := isqrtCeil(nParents)
+		perStrip := nStrips * fanout
+		var next []*node
+		for s := 0; s < len(level); s += perStrip {
+			strip := level[s:min(s+perStrip, len(level))]
+			sort.Slice(strip, func(i, j int) bool {
+				return strip[i].rect.Center().Y < strip[j].rect.Center().Y
+			})
+			for o := 0; o < len(strip); o += fanout {
+				chunk := strip[o:min(o+fanout, len(strip))]
+				in := &node{children: chunk}
+				in.rect = chunk[0].rect
+				for _, ch := range chunk[1:] {
+					in.rect = in.rect.Union(ch.rect)
+				}
+				next = append(next, in)
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func isqrtCeil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (0 for an empty tree).
+func (t *Tree) Height() int {
+	h, n := 0, t.root
+	for n != nil {
+		h++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Search appends to dst the IDs of all entries whose rectangle
+// intersects query, and returns the extended slice.
+func (t *Tree) Search(query geom.Rect, dst []int) []int {
+	if t.root == nil {
+		return dst
+	}
+	return searchNode(t.root, query, dst)
+}
+
+func searchNode(n *node, query geom.Rect, dst []int) []int {
+	if !n.rect.Intersects(query) {
+		return dst
+	}
+	if n.leaf() {
+		for _, e := range n.entries {
+			if e.Rect.Intersects(query) {
+				dst = append(dst, e.ID)
+			}
+		}
+		return dst
+	}
+	for _, ch := range n.children {
+		dst = searchNode(ch, query, dst)
+	}
+	return dst
+}
+
+// SearchCircle appends the IDs of entries whose rectangle intersects
+// the disk centered at c with radius r.
+func (t *Tree) SearchCircle(c geom.Point, r float64, dst []int) []int {
+	if t.root == nil {
+		return dst
+	}
+	return searchCircleNode(t.root, c, r, dst)
+}
+
+func searchCircleNode(n *node, c geom.Point, r float64, dst []int) []int {
+	if !n.rect.IntersectsCircle(c, r) {
+		return dst
+	}
+	if n.leaf() {
+		for _, e := range n.entries {
+			if e.Rect.IntersectsCircle(c, r) {
+				dst = append(dst, e.ID)
+			}
+		}
+		return dst
+	}
+	for _, ch := range n.children {
+		dst = searchCircleNode(ch, c, r, dst)
+	}
+	return dst
+}
+
+// Neighbor is one k-NN result: the entry ID and its rectangle's
+// distance to the query point.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// Nearest returns up to k entries ordered by increasing rectangle
+// distance from p, using best-first branch-and-bound traversal.
+func (t *Tree) Nearest(p geom.Point, k int) []Neighbor {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	pq := &distHeap{}
+	heap.Init(pq)
+	heap.Push(pq, distItem{node: t.root, dist: t.root.rect.DistPoint(p)})
+	var out []Neighbor
+	for pq.Len() > 0 && len(out) < k {
+		it := heap.Pop(pq).(distItem)
+		switch {
+		case it.node == nil:
+			out = append(out, Neighbor{ID: it.id, Dist: it.dist})
+		case it.node.leaf():
+			for _, e := range it.node.entries {
+				heap.Push(pq, distItem{id: e.ID, dist: e.Rect.DistPoint(p)})
+			}
+		default:
+			for _, ch := range it.node.children {
+				heap.Push(pq, distItem{node: ch, dist: ch.rect.DistPoint(p)})
+			}
+		}
+	}
+	return out
+}
+
+type distItem struct {
+	node *node // nil for entry items
+	id   int
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

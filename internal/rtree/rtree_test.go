@@ -1,0 +1,206 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"c2mn/internal/geom"
+)
+
+func randomEntries(rng *rand.Rand, n int) []Entry {
+	entries := make([]Entry, n)
+	for i := range entries {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		w, h := rng.Float64()*5, rng.Float64()*5
+		entries[i] = Entry{
+			Rect: geom.Rect{Min: geom.Pt(x, y), Max: geom.Pt(x+w, y+h)},
+			ID:   i,
+		}
+	}
+	return entries
+}
+
+func bruteSearch(entries []Entry, q geom.Rect) []int {
+	var out []int
+	for _, e := range entries {
+		if e.Rect.Intersects(q) {
+			out = append(out, e.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Search(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}, nil); len(got) != 0 {
+		t.Errorf("Search on empty = %v", got)
+	}
+	if got := tr.Nearest(geom.Pt(0, 0), 3); got != nil {
+		t.Errorf("Nearest on empty = %v", got)
+	}
+	if tr.Height() != 0 {
+		t.Errorf("Height = %d", tr.Height())
+	}
+}
+
+func TestSingleEntry(t *testing.T) {
+	e := Entry{Rect: geom.Rect{Min: geom.Pt(1, 1), Max: geom.Pt(2, 2)}, ID: 7}
+	tr := New([]Entry{e})
+	got := tr.Search(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(3, 3)}, nil)
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("Search = %v", got)
+	}
+	got = tr.Search(geom.Rect{Min: geom.Pt(5, 5), Max: geom.Pt(6, 6)}, nil)
+	if len(got) != 0 {
+		t.Errorf("miss Search = %v", got)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 5, 16, 17, 100, 500} {
+		entries := randomEntries(rng, n)
+		tr := New(entries)
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		for q := 0; q < 50; q++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			query := geom.Rect{Min: geom.Pt(x, y), Max: geom.Pt(x+rng.Float64()*20, y+rng.Float64()*20)}
+			got := tr.Search(query, nil)
+			sort.Ints(got)
+			want := bruteSearch(entries, query)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d query=%+v: got %d results, want %d", n, query, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d: result mismatch %v vs %v", n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchCircleMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	entries := randomEntries(rng, 300)
+	tr := New(entries)
+	for q := 0; q < 50; q++ {
+		c := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		r := rng.Float64() * 15
+		got := tr.SearchCircle(c, r, nil)
+		sort.Ints(got)
+		var want []int
+		for _, e := range entries {
+			if e.Rect.IntersectsCircle(c, r) {
+				want = append(want, e.ID)
+			}
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("circle query %v r=%v: got %d, want %d", c, r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("circle mismatch %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	entries := randomEntries(rng, 200)
+	tr := New(entries)
+	for q := 0; q < 30; q++ {
+		p := geom.Pt(rng.Float64()*120-10, rng.Float64()*120-10)
+		k := 1 + rng.Intn(10)
+		got := tr.Nearest(p, k)
+		if len(got) != k {
+			t.Fatalf("Nearest returned %d, want %d", len(got), k)
+		}
+		dists := make([]float64, len(entries))
+		for i, e := range entries {
+			dists[i] = e.Rect.DistPoint(p)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if nb.Dist != dists[i] && (nb.Dist-dists[i]) > 1e-12 {
+				t.Fatalf("k=%d rank %d: dist %v, want %v", k, i, nb.Dist, dists[i])
+			}
+			if i > 0 && got[i].Dist < got[i-1].Dist {
+				t.Fatalf("Nearest results not ordered: %v", got)
+			}
+		}
+	}
+}
+
+func TestNearestKLargerThanTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	entries := randomEntries(rng, 5)
+	tr := New(entries)
+	got := tr.Nearest(geom.Pt(0, 0), 50)
+	if len(got) != 5 {
+		t.Errorf("Nearest with big k = %d results, want 5", len(got))
+	}
+}
+
+func TestFanoutVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	entries := randomEntries(rng, 257)
+	query := geom.Rect{Min: geom.Pt(20, 20), Max: geom.Pt(60, 60)}
+	want := bruteSearch(entries, query)
+	for _, fanout := range []int{1, 2, 3, 8, 64, 1000} {
+		tr := NewWithFanout(entries, fanout)
+		got := tr.Search(query, nil)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("fanout %d: got %d results, want %d", fanout, len(got), len(want))
+		}
+		if tr.Height() < 1 {
+			t.Errorf("fanout %d: height %d", fanout, tr.Height())
+		}
+	}
+}
+
+func TestSearchAppendsToDst(t *testing.T) {
+	entries := []Entry{{Rect: geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}, ID: 1}}
+	tr := New(entries)
+	dst := []int{99}
+	got := tr.Search(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(2, 2)}, dst)
+	if len(got) != 2 || got[0] != 99 || got[1] != 1 {
+		t.Errorf("append semantics broken: %v", got)
+	}
+}
+
+func TestPropertySearchComplete(t *testing.T) {
+	// Property: every entry is findable by querying its own rectangle.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		entries := randomEntries(rng, 1+rng.Intn(200))
+		tr := New(entries)
+		for _, e := range entries {
+			found := false
+			for _, id := range tr.Search(e.Rect, nil) {
+				if id == e.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package seq
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"c2mn/internal/indoor"
+)
+
+// ReadRecordsCSV ingests raw positioning logs in the common
+// object,x,y,floor,t CSV layout (header optional; extra columns are
+// ignored). Records are grouped per object and sorted by time — raw
+// feeds are rarely ordered. Use Preprocess to split the streams into
+// p-sequences.
+func ReadRecordsCSV(r io.Reader) (map[string][]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	out := map[string][]Record{}
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("seq: csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(row) < 5 {
+			return nil, fmt.Errorf("seq: csv line %d: want at least 5 columns (object,x,y,floor,t), got %d", line, len(row))
+		}
+		if line == 1 && !looksNumeric(row[1]) && !looksNumeric(row[2]) &&
+			!looksNumeric(row[3]) && !looksNumeric(row[4]) {
+			continue // header
+		}
+		x, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("seq: csv line %d: x: %w", line, err)
+		}
+		y, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("seq: csv line %d: y: %w", line, err)
+		}
+		floor, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("seq: csv line %d: floor: %w", line, err)
+		}
+		t, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("seq: csv line %d: t: %w", line, err)
+		}
+		out[row[0]] = append(out[row[0]], Record{Loc: indoor.Loc(x, y, floor), T: t})
+	}
+	for id := range out {
+		recs := out[id]
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].T < recs[j].T })
+	}
+	return out, nil
+}
+
+// WriteRecordsCSV writes streams in the layout ReadRecordsCSV accepts,
+// with a header, objects in sorted order.
+func WriteRecordsCSV(w io.Writer, streams map[string][]Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"object", "x", "y", "floor", "t"}); err != nil {
+		return err
+	}
+	ids := make([]string, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, rec := range streams[id] {
+			row := []string{
+				id,
+				strconv.FormatFloat(rec.Loc.X, 'f', -1, 64),
+				strconv.FormatFloat(rec.Loc.Y, 'f', -1, 64),
+				strconv.Itoa(rec.Loc.Floor),
+				strconv.FormatFloat(rec.T, 'f', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func looksNumeric(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

@@ -1,0 +1,98 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadRecordsCSV(t *testing.T) {
+	in := strings.NewReader(`object,x,y,floor,t
+dev1,1.5,2.5,0,100
+dev2,3,4,1,50
+dev1,1.6,2.4,0,90
+`)
+	streams, err := ReadRecordsCSV(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 2 {
+		t.Fatalf("streams = %d", len(streams))
+	}
+	d1 := streams["dev1"]
+	if len(d1) != 2 {
+		t.Fatalf("dev1 records = %d", len(d1))
+	}
+	// Sorted by time despite input order.
+	if d1[0].T != 90 || d1[1].T != 100 {
+		t.Errorf("dev1 not time-sorted: %+v", d1)
+	}
+	if d1[1].Loc.X != 1.5 || d1[1].Loc.Y != 2.5 || d1[1].Loc.Floor != 0 {
+		t.Errorf("dev1 record = %+v", d1[1])
+	}
+}
+
+func TestReadRecordsCSVNoHeader(t *testing.T) {
+	in := strings.NewReader("dev1,1,2,0,10\ndev1,2,3,0,20\n")
+	streams, err := ReadRecordsCSV(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams["dev1"]) != 2 {
+		t.Fatalf("no-header parse lost rows: %+v", streams)
+	}
+}
+
+func TestReadRecordsCSVErrors(t *testing.T) {
+	cases := []string{
+		"dev1,1,2,0\n",       // too few columns
+		"dev1,x,2,0,10\n",    // bad x
+		"dev1,1,y,0,10\n",    // bad y
+		"dev1,1,2,zero,10\n", // bad floor
+		"dev1,1,2,0,never\n", // bad t
+	}
+	for i, c := range cases {
+		if _, err := ReadRecordsCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail: %q", i, c)
+		}
+	}
+	// Header-only input yields no streams, no error.
+	streams, err := ReadRecordsCSV(strings.NewReader("object,x,y,floor,t\n"))
+	if err != nil || len(streams) != 0 {
+		t.Errorf("header-only = %v, %v", streams, err)
+	}
+}
+
+func TestRecordsCSVRoundTrip(t *testing.T) {
+	streams := map[string][]Record{
+		"b": {rec(1, 2, 0, 10), rec(3, 4, 1, 20)},
+		"a": {rec(5.25, -1.5, 2, 30)},
+	}
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, streams); err != nil {
+		t.Fatal(err)
+	}
+	// Header present, objects sorted.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "object,x,y,floor,t" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a,") {
+		t.Errorf("objects not sorted: %q", lines[1])
+	}
+	back, err := ReadRecordsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, recs := range streams {
+		got := back[id]
+		if len(got) != len(recs) {
+			t.Fatalf("%s: %d records, want %d", id, len(got), len(recs))
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Errorf("%s[%d] = %+v, want %+v", id, i, got[i], recs[i])
+			}
+		}
+	}
+}

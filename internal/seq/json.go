@@ -1,0 +1,82 @@
+package seq
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"c2mn/internal/indoor"
+)
+
+// jsonDataset is the compact on-disk schema: per sequence, records as
+// [x, y, floor, t] tuples and labels as parallel arrays.
+type jsonDataset struct {
+	Sequences []jsonSequence `json:"sequences"`
+}
+
+type jsonSequence struct {
+	ObjectID string       `json:"object_id"`
+	Records  [][4]float64 `json:"records"`
+	Regions  []int        `json:"regions,omitempty"`
+	Events   []uint8      `json:"events,omitempty"`
+}
+
+// WriteJSON serialises the dataset to w.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	jd := jsonDataset{}
+	for i := range d.Sequences {
+		ls := &d.Sequences[i]
+		js := jsonSequence{ObjectID: ls.P.ObjectID}
+		for _, rec := range ls.P.Records {
+			js.Records = append(js.Records, [4]float64{rec.Loc.X, rec.Loc.Y, float64(rec.Loc.Floor), rec.T})
+		}
+		for _, r := range ls.Labels.Regions {
+			js.Regions = append(js.Regions, int(r))
+		}
+		for _, e := range ls.Labels.Events {
+			js.Events = append(js.Events, uint8(e))
+		}
+		jd.Sequences = append(jd.Sequences, js)
+	}
+	return json.NewEncoder(w).Encode(jd)
+}
+
+// ReadJSON deserialises a dataset written by WriteJSON. Sequences may
+// omit labels, in which case empty labels of the right length are
+// created with regions set to NoRegion.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var jd jsonDataset
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, fmt.Errorf("seq: decoding dataset: %w", err)
+	}
+	d := &Dataset{}
+	for _, js := range jd.Sequences {
+		ls := LabeledSequence{P: PSequence{ObjectID: js.ObjectID}}
+		for _, rec := range js.Records {
+			ls.P.Records = append(ls.P.Records, Record{
+				Loc: indoor.Loc(rec[0], rec[1], int(rec[2])),
+				T:   rec[3],
+			})
+		}
+		n := ls.P.Len()
+		if len(js.Regions) == 0 && len(js.Events) == 0 {
+			ls.Labels = NewLabels(n)
+		} else {
+			if len(js.Regions) != n || len(js.Events) != n {
+				return nil, fmt.Errorf("seq: sequence %q labels misaligned", js.ObjectID)
+			}
+			ls.Labels = NewLabels(n)
+			for i, rr := range js.Regions {
+				ls.Labels.Regions[i] = indoor.RegionID(rr)
+			}
+			for i, ee := range js.Events {
+				ls.Labels.Events[i] = Event(ee)
+			}
+		}
+		d.Sequences = append(d.Sequences, ls)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,264 @@
+// Package seq defines the data model of the annotation pipeline:
+// positioning records, p-sequences (Definition 1 of the paper),
+// region/event label sequences, m-semantics (Definition 2) and the
+// label-and-merge construction of ms-sequences (Definition 3, Fig. 2).
+// It also provides the preprocessing the paper applies to raw data
+// (η-gap splitting and ψ-duration filtering, §V-B1) and JSON dataset
+// serialisation.
+package seq
+
+import (
+	"fmt"
+
+	"c2mn/internal/indoor"
+)
+
+// Event is an indoor mobility event: the paper's two generic movement
+// patterns.
+type Event uint8
+
+// The two mobility events. A stay means the object remained in a
+// semantic region long enough for a purpose fulfilled there; a pass
+// means it merely went through.
+const (
+	Pass Event = iota
+	Stay
+)
+
+// NumEvents is the size of the event label domain.
+const NumEvents = 2
+
+func (e Event) String() string {
+	switch e {
+	case Stay:
+		return "stay"
+	case Pass:
+		return "pass"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(e))
+	}
+}
+
+// Record is one positioning record θ(l, t): an estimated indoor
+// location and a timestamp in seconds.
+type Record struct {
+	Loc indoor.Location
+	T   float64
+}
+
+// PSequence is a time-ordered positioning sequence of one object.
+type PSequence struct {
+	ObjectID string
+	Records  []Record
+}
+
+// Len returns the number of records.
+func (p *PSequence) Len() int { return len(p.Records) }
+
+// Duration returns the covered time span in seconds.
+func (p *PSequence) Duration() float64 {
+	if len(p.Records) < 2 {
+		return 0
+	}
+	return p.Records[len(p.Records)-1].T - p.Records[0].T
+}
+
+// Validate checks that records are in non-decreasing time order.
+func (p *PSequence) Validate() error {
+	for i := 1; i < len(p.Records); i++ {
+		if p.Records[i].T < p.Records[i-1].T {
+			return fmt.Errorf("seq: %s records out of order at %d (%.3f < %.3f)",
+				p.ObjectID, i, p.Records[i].T, p.Records[i-1].T)
+		}
+	}
+	return nil
+}
+
+// Labels carries the per-record region and event labels of one
+// p-sequence; both slices are index-aligned with the records.
+type Labels struct {
+	Regions []indoor.RegionID
+	Events  []Event
+}
+
+// NewLabels allocates label slices for n records, with regions
+// initialised to NoRegion.
+func NewLabels(n int) Labels {
+	l := Labels{
+		Regions: make([]indoor.RegionID, n),
+		Events:  make([]Event, n),
+	}
+	for i := range l.Regions {
+		l.Regions[i] = indoor.NoRegion
+	}
+	return l
+}
+
+// Clone returns a deep copy.
+func (l Labels) Clone() Labels {
+	c := Labels{
+		Regions: append([]indoor.RegionID(nil), l.Regions...),
+		Events:  append([]Event(nil), l.Events...),
+	}
+	return c
+}
+
+// LabeledSequence couples a p-sequence with its ground-truth or
+// predicted labels.
+type LabeledSequence struct {
+	P      PSequence
+	Labels Labels
+}
+
+// Validate checks record ordering and label alignment.
+func (ls *LabeledSequence) Validate() error {
+	if err := ls.P.Validate(); err != nil {
+		return err
+	}
+	n := ls.P.Len()
+	if len(ls.Labels.Regions) != n || len(ls.Labels.Events) != n {
+		return fmt.Errorf("seq: %s labels misaligned: %d records, %d regions, %d events",
+			ls.P.ObjectID, n, len(ls.Labels.Regions), len(ls.Labels.Events))
+	}
+	return nil
+}
+
+// MSemantics is one mobility semantics triple ms(r, τ, e): an object
+// did e in region r throughout the period τ = [Start, End].
+type MSemantics struct {
+	Region indoor.RegionID
+	Start  float64
+	End    float64
+	Event  Event
+}
+
+// Duration returns End - Start.
+func (ms MSemantics) Duration() float64 { return ms.End - ms.Start }
+
+func (ms MSemantics) String() string {
+	return fmt.Sprintf("(r%d, [%.0f,%.0f], %s)", ms.Region, ms.Start, ms.End, ms.Event)
+}
+
+// MSSequence is an object's time-ordered ms-sequence.
+type MSSequence struct {
+	ObjectID  string
+	Semantics []MSemantics
+}
+
+// Merge performs the label-and-merge step (Fig. 2): consecutive records
+// sharing both the region and the event label collapse into one
+// m-semantics whose period spans their timestamps. Records labelled
+// NoRegion are skipped (no semantics can be asserted for them).
+func Merge(p *PSequence, labels Labels) MSSequence {
+	out := MSSequence{ObjectID: p.ObjectID}
+	n := p.Len()
+	for i := 0; i < n; {
+		r, e := labels.Regions[i], labels.Events[i]
+		j := i + 1
+		for j < n && labels.Regions[j] == r && labels.Events[j] == e {
+			j++
+		}
+		if r != indoor.NoRegion {
+			out.Semantics = append(out.Semantics, MSemantics{
+				Region: r,
+				Start:  p.Records[i].T,
+				End:    p.Records[j-1].T,
+				Event:  e,
+			})
+		}
+		i = j
+	}
+	return out
+}
+
+// Preprocess applies the paper's data cleaning to one raw record
+// stream: the stream is split whenever the gap between consecutive
+// records exceeds eta seconds, and resulting sequences shorter than
+// psi seconds are dropped. Sub-sequence IDs get a "#k" suffix.
+func Preprocess(objectID string, records []Record, eta, psi float64) []PSequence {
+	var out []PSequence
+	start := 0
+	flush := func(end int, k int) {
+		if end <= start {
+			return
+		}
+		sub := records[start:end]
+		if sub[len(sub)-1].T-sub[0].T < psi {
+			return
+		}
+		cp := make([]Record, len(sub))
+		copy(cp, sub)
+		out = append(out, PSequence{
+			ObjectID: fmt.Sprintf("%s#%d", objectID, k),
+			Records:  cp,
+		})
+	}
+	k := 0
+	for i := 1; i < len(records); i++ {
+		if records[i].T-records[i-1].T > eta {
+			flush(i, k)
+			k++
+			start = i
+		}
+	}
+	flush(len(records), k)
+	return out
+}
+
+// Dataset is a labeled corpus: a set of labeled p-sequences over one
+// indoor space.
+type Dataset struct {
+	Sequences []LabeledSequence
+}
+
+// NumRecords returns the total record count over all sequences.
+func (d *Dataset) NumRecords() int {
+	n := 0
+	for i := range d.Sequences {
+		n += d.Sequences[i].P.Len()
+	}
+	return n
+}
+
+// Validate checks every sequence.
+func (d *Dataset) Validate() error {
+	for i := range d.Sequences {
+		if err := d.Sequences[i].Validate(); err != nil {
+			return fmt.Errorf("sequence %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats summarises a dataset the way the paper's Table III does.
+type Stats struct {
+	Sequences      int
+	Records        int
+	AvgRecordsPer  float64
+	AvgDurationSec float64
+	AvgIntervalSec float64
+}
+
+// Stats computes dataset statistics.
+func (d *Dataset) Stats() Stats {
+	st := Stats{Sequences: len(d.Sequences)}
+	var dur, interval float64
+	var intervals int
+	for i := range d.Sequences {
+		p := &d.Sequences[i].P
+		st.Records += p.Len()
+		dur += p.Duration()
+		for j := 1; j < p.Len(); j++ {
+			interval += p.Records[j].T - p.Records[j-1].T
+			intervals++
+		}
+	}
+	if st.Sequences > 0 {
+		st.AvgRecordsPer = float64(st.Records) / float64(st.Sequences)
+		st.AvgDurationSec = dur / float64(st.Sequences)
+	}
+	if intervals > 0 {
+		st.AvgIntervalSec = interval / float64(intervals)
+	}
+	return st
+}

@@ -1,0 +1,221 @@
+// Package sim generates synthetic indoor venues and mobility data in
+// the style of the Vita toolkit (Li et al., PVLDB 2016) that the paper
+// uses for its synthetic experiments (§V-C), and doubles as the
+// substitute for the paper's proprietary Hangzhou-mall Wi-Fi dataset
+// (§V-B) — see DESIGN.md for the substitution rationale.
+//
+// Buildings are procedural: every floor has a central hallway band
+// split into cells, with rooms on both sides; rooms carry semantic
+// regions (some spanning two adjacent rooms), hallways carry none.
+// Staircases connect hallway cells across floors. Moving objects
+// follow the waypoint model: walk to a destination region through the
+// door graph, dwell there, repeat. Positioning records are sampled
+// aperiodically with bounded error, plus configurable outlier and
+// false-floor rates.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"c2mn/internal/geom"
+	"c2mn/internal/indoor"
+)
+
+// BuildingSpec describes a procedural multi-floor venue.
+type BuildingSpec struct {
+	// Floors is the number of floors.
+	Floors int
+	// Columns is the number of room columns per side of the hallway.
+	Columns int
+	// RoomW and RoomD are the room width and depth, meters.
+	RoomW, RoomD float64
+	// HallW is the hallway band width, meters.
+	HallW float64
+	// Stairs is the number of staircase columns connecting floors.
+	Stairs int
+	// TargetRegions caps the number of semantic regions (0 = one
+	// region per room).
+	TargetRegions int
+	// MultiFrac is the probability that a region spans two adjacent
+	// rooms.
+	MultiFrac float64
+}
+
+// Validate checks spec sanity.
+func (s BuildingSpec) Validate() error {
+	if s.Floors <= 0 || s.Columns <= 0 {
+		return fmt.Errorf("sim: Floors and Columns must be positive")
+	}
+	if s.RoomW <= 0 || s.RoomD <= 0 || s.HallW <= 0 {
+		return fmt.Errorf("sim: room dimensions must be positive")
+	}
+	if s.Stairs < 1 && s.Floors > 1 {
+		return fmt.Errorf("sim: multi-floor building needs stairs")
+	}
+	if s.MultiFrac < 0 || s.MultiFrac > 1 {
+		return fmt.Errorf("sim: MultiFrac must be in [0,1]")
+	}
+	return nil
+}
+
+// MallBuilding mirrors the scale of the paper's real venue (§V-B1):
+// seven floors, ~202 shop regions. Sizes are scaled to container
+// hardware; the topology class (compact shops along shared hallways)
+// is what the model depends on. Shops are 10×12 m — small relative to
+// real mall units but large enough relative to the positioning
+// uncertainty radius that the fsm overlap stays discriminative.
+func MallBuilding() BuildingSpec {
+	return BuildingSpec{
+		Floors:        7,
+		Columns:       15, // 30 rooms per floor, 210 rooms total
+		RoomW:         10,
+		RoomD:         12,
+		HallW:         6,
+		Stairs:        4,
+		TargetRegions: 202,
+		MultiFrac:     0.05,
+	}
+}
+
+// SynthBuilding mirrors the paper's ten-floor Vita environment
+// (§V-C): 4 staircases, 423 semantic regions.
+func SynthBuilding() BuildingSpec {
+	return BuildingSpec{
+		Floors:        10,
+		Columns:       23, // 46 rooms per floor, 460 rooms total
+		RoomW:         8,
+		RoomD:         10,
+		HallW:         5,
+		Stairs:        4,
+		TargetRegions: 423,
+		MultiFrac:     0.05,
+	}
+}
+
+// SmallBuilding is a two-floor venue for tests and examples.
+func SmallBuilding() BuildingSpec {
+	return BuildingSpec{
+		Floors:        2,
+		Columns:       5,
+		RoomW:         8,
+		RoomD:         10,
+		HallW:         5,
+		Stairs:        2,
+		TargetRegions: 0,
+		MultiFrac:     0.1,
+	}
+}
+
+// GenerateBuilding constructs the indoor space for a spec. The same
+// (spec, seed) pair always yields the same space.
+func GenerateBuilding(spec BuildingSpec, seed int64) (*indoor.Space, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := indoor.NewBuilder()
+
+	cols := spec.Columns
+	hallY0 := spec.RoomD
+	hallY1 := spec.RoomD + spec.HallW
+
+	// Partition IDs per floor.
+	type floorParts struct {
+		hall  []indoor.PartitionID // one hallway cell per column
+		south []indoor.PartitionID // rooms below the hallway
+		north []indoor.PartitionID // rooms above the hallway
+	}
+	floors := make([]floorParts, spec.Floors)
+
+	for f := 0; f < spec.Floors; f++ {
+		fp := floorParts{
+			hall:  make([]indoor.PartitionID, cols),
+			south: make([]indoor.PartitionID, cols),
+			north: make([]indoor.PartitionID, cols),
+		}
+		for cIdx := 0; cIdx < cols; cIdx++ {
+			x0 := float64(cIdx) * spec.RoomW
+			x1 := x0 + spec.RoomW
+			fp.south[cIdx] = b.AddPartition(f, geom.RectPoly(geom.Pt(x0, 0), geom.Pt(x1, hallY0)))
+			fp.hall[cIdx] = b.AddPartition(f, geom.RectPoly(geom.Pt(x0, hallY0), geom.Pt(x1, hallY1)))
+			fp.north[cIdx] = b.AddPartition(f, geom.RectPoly(geom.Pt(x0, hallY1), geom.Pt(x1, hallY1+spec.RoomD)))
+		}
+		midX := func(cIdx int) float64 { return float64(cIdx)*spec.RoomW + spec.RoomW/2 }
+		for cIdx := 0; cIdx < cols; cIdx++ {
+			// Room doors open onto the hallway cell of the same column.
+			b.AddDoor(geom.Pt(midX(cIdx), hallY0), fp.south[cIdx], fp.hall[cIdx])
+			b.AddDoor(geom.Pt(midX(cIdx), hallY1), fp.north[cIdx], fp.hall[cIdx])
+			// Hallway cells chain left to right.
+			if cIdx > 0 {
+				b.AddDoor(geom.Pt(float64(cIdx)*spec.RoomW, (hallY0+hallY1)/2), fp.hall[cIdx-1], fp.hall[cIdx])
+			}
+		}
+		floors[f] = fp
+	}
+
+	// Staircases between consecutive floors, spread across columns.
+	for f := 0; f+1 < spec.Floors; f++ {
+		for s := 0; s < spec.Stairs; s++ {
+			cIdx := (s*cols/spec.Stairs + cols/(2*spec.Stairs)) % cols
+			at := geom.Pt(float64(cIdx)*spec.RoomW+spec.RoomW/2, (hallY0+hallY1)/2)
+			b.AddDoor(at, floors[f].hall[cIdx], floors[f+1].hall[cIdx])
+		}
+	}
+
+	// Semantic regions over rooms, in shuffled order; occasionally a
+	// region spans two horizontally adjacent rooms on the same side.
+	type roomRef struct {
+		floor, col int
+		north      bool
+		id         indoor.PartitionID
+	}
+	var rooms []roomRef
+	for f := 0; f < spec.Floors; f++ {
+		for cIdx := 0; cIdx < cols; cIdx++ {
+			rooms = append(rooms, roomRef{f, cIdx, false, floors[f].south[cIdx]})
+			rooms = append(rooms, roomRef{f, cIdx, true, floors[f].north[cIdx]})
+		}
+	}
+	rng.Shuffle(len(rooms), func(i, j int) { rooms[i], rooms[j] = rooms[j], rooms[i] })
+	target := spec.TargetRegions
+	if target <= 0 || target > len(rooms) {
+		target = len(rooms)
+	}
+	assigned := make(map[indoor.PartitionID]bool)
+	count := 0
+	for _, rm := range rooms {
+		if count >= target {
+			break
+		}
+		if assigned[rm.id] {
+			continue
+		}
+		parts := []indoor.PartitionID{rm.id}
+		assigned[rm.id] = true
+		if rng.Float64() < spec.MultiFrac && rm.col+1 < cols {
+			var next indoor.PartitionID
+			if rm.north {
+				next = floors[rm.floor].north[rm.col+1]
+			} else {
+				next = floors[rm.floor].south[rm.col+1]
+			}
+			if !assigned[next] {
+				assigned[next] = true
+				parts = append(parts, next)
+				// A door joins the two rooms of a multi-room region.
+				x := float64(rm.col+1) * spec.RoomW
+				var y float64
+				if rm.north {
+					y = hallY1 + spec.RoomD/2
+				} else {
+					y = hallY0 / 2
+				}
+				b.AddDoor(geom.Pt(x, y), rm.id, next)
+			}
+		}
+		b.AddRegion(fmt.Sprintf("R%03d", count), parts...)
+		count++
+	}
+	return b.Build()
+}

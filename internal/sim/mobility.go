@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"c2mn/internal/geom"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// MobilitySpec describes a synthetic mobility workload: how objects
+// move (waypoint model, §V-C) and how the positioning system observes
+// them.
+type MobilitySpec struct {
+	// Objects is the number of moving objects.
+	Objects int
+	// Duration is each object's lifespan in seconds.
+	Duration float64
+	// MaxSpeed is the maximum walking speed, m/s (paper: 1.7).
+	MaxSpeed float64
+	// StayMin and StayMax bound the dwell time at a destination,
+	// seconds (paper: 1 s – 30 min).
+	StayMin, StayMax float64
+	// T is the maximum positioning period: after a report the object
+	// keeps silent for at most T seconds (paper Table V: 5–15 s; the
+	// mall data averages ~15 s).
+	T float64
+	// Mu is the positioning error factor: an estimate falls within Mu
+	// meters of the true location (paper: 3–7 m synthetic, 2–25 m
+	// real).
+	Mu float64
+	// FalseFloorProb is the probability of reporting a wrong floor
+	// (paper: 3%).
+	FalseFloorProb float64
+	// OutlierProb is the probability of an outlier located within
+	// 2.5·Mu–10·Mu of the true location (paper: 3%).
+	OutlierProb float64
+}
+
+// Validate checks spec sanity.
+func (s MobilitySpec) Validate() error {
+	if s.Objects <= 0 {
+		return fmt.Errorf("sim: Objects must be positive")
+	}
+	if s.Duration <= 0 || s.MaxSpeed <= 0 {
+		return fmt.Errorf("sim: Duration and MaxSpeed must be positive")
+	}
+	if s.StayMin < 0 || s.StayMax < s.StayMin {
+		return fmt.Errorf("sim: invalid stay bounds [%g,%g]", s.StayMin, s.StayMax)
+	}
+	if s.T < 1 {
+		return fmt.Errorf("sim: T must be >= 1 second")
+	}
+	if s.Mu < 0 {
+		return fmt.Errorf("sim: Mu must be non-negative")
+	}
+	if s.FalseFloorProb < 0 || s.FalseFloorProb > 1 || s.OutlierProb < 0 || s.OutlierProb > 1 {
+		return fmt.Errorf("sim: probabilities must be in [0,1]")
+	}
+	return nil
+}
+
+// DefaultMobility mirrors the paper's synthetic setup: 1.7 m/s maximum
+// speed, dwell 1 s–30 min, T = 5 s, μ = 3 m, 3% outliers and false
+// floors.
+func DefaultMobility(objects int, duration float64) MobilitySpec {
+	return MobilitySpec{
+		Objects:        objects,
+		Duration:       duration,
+		MaxSpeed:       1.7,
+		StayMin:        1,
+		StayMax:        1800,
+		T:              5,
+		Mu:             3,
+		FalseFloorProb: 0.03,
+		OutlierProb:    0.03,
+	}
+}
+
+// MallMobility approximates the real dataset's observation profile
+// (Table III): ~1/15 Hz sampling and 2–25 m errors.
+func MallMobility(objects int, duration float64) MobilitySpec {
+	m := DefaultMobility(objects, duration)
+	m.T = 30
+	m.Mu = 8
+	m.StayMax = 900
+	return m
+}
+
+// Generate simulates the workload on a space and returns the labeled
+// dataset: each record carries its ground-truth region (the region at
+// the true location, or the nearest region when the true location is
+// in an unassigned partition such as a hallway) and ground-truth event
+// (stay while dwelling, pass while moving). The same (space, spec,
+// seed) triple always yields the same dataset.
+func Generate(space *indoor.Space, spec MobilitySpec, seed int64) (*seq.Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if space.NumRegions() < 2 {
+		return nil, fmt.Errorf("sim: space needs at least 2 regions")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := &seq.Dataset{}
+	for o := 0; o < spec.Objects; o++ {
+		ls := simulateObject(space, spec, fmt.Sprintf("obj-%04d", o), rng)
+		if ls.P.Len() >= 2 {
+			ds.Sequences = append(ds.Sequences, ls)
+		}
+	}
+	return ds, nil
+}
+
+// truthPoint is the ground-truth state at one simulated second.
+type truthPoint struct {
+	loc    indoor.Location
+	moving bool
+}
+
+// simulateObject runs the waypoint model for one object and samples
+// its positioning records.
+func simulateObject(space *indoor.Space, spec MobilitySpec, id string, rng *rand.Rand) seq.LabeledSequence {
+	track := simulateTrack(space, spec, rng)
+	ls := seq.LabeledSequence{P: seq.PSequence{ObjectID: id}}
+	t := 1 + rng.Float64()*(spec.T-1)
+	for t < float64(len(track)) {
+		tp := track[int(t)]
+		loc := perturb(space, tp.loc, spec, rng)
+		ls.P.Records = append(ls.P.Records, seq.Record{Loc: loc, T: t})
+		region := space.RegionAt(tp.loc)
+		if region == indoor.NoRegion {
+			region = space.NearestRegion(tp.loc)
+		}
+		ls.Labels.Regions = append(ls.Labels.Regions, region)
+		if tp.moving {
+			ls.Labels.Events = append(ls.Labels.Events, seq.Pass)
+		} else {
+			ls.Labels.Events = append(ls.Labels.Events, seq.Stay)
+		}
+		t += 1 + rng.Float64()*(spec.T-1)
+	}
+	return ls
+}
+
+// simulateTrack produces the per-second ground truth of one object.
+func simulateTrack(space *indoor.Space, spec MobilitySpec, rng *rand.Rand) []truthPoint {
+	nTicks := int(spec.Duration)
+	track := make([]truthPoint, 0, nTicks)
+
+	// Start dwelling at a random region.
+	curRegion := indoor.RegionID(rng.Intn(space.NumRegions()))
+	cur := regionAnchor(space, curRegion, rng)
+	stayLeft := dwell(spec, rng)
+
+	var path []indoor.Location // remaining waypoints when moving
+	var speed float64
+	var stairRemaining float64 // meters left on the staircase being crossed
+
+	for len(track) < nTicks {
+		if len(path) == 0 {
+			// Dwelling.
+			if stayLeft > 0 {
+				jit := indoor.Loc(cur.X+rng.NormFloat64()*0.3, cur.Y+rng.NormFloat64()*0.3, cur.Floor)
+				if space.PartitionAt(jit) == indoor.NoPartition {
+					jit = cur
+				}
+				track = append(track, truthPoint{jit, false})
+				stayLeft--
+				continue
+			}
+			// Pick the next destination and route to it.
+			next := indoor.RegionID(rng.Intn(space.NumRegions()))
+			if next == curRegion {
+				next = indoor.RegionID((int(next) + 1) % space.NumRegions())
+			}
+			dest := regionAnchor(space, next, rng)
+			path = routeWaypoints(space, cur, dest)
+			curRegion = next
+			speed = (0.4 + 0.6*rng.Float64()) * spec.MaxSpeed
+			if len(path) == 0 {
+				// Unreachable: restart at the destination.
+				cur = dest
+				stayLeft = dwell(spec, rng)
+				continue
+			}
+		}
+		// Moving: advance `speed` meters along the waypoint polyline,
+		// one second per tick.
+		budget := speed
+		for budget > 0 && len(path) > 0 {
+			nextWp := path[0]
+			if nextWp.Floor != cur.Floor {
+				// Stair traversal: walk down the stair segment,
+				// carrying progress across ticks.
+				if stairRemaining == 0 {
+					stairRemaining = indoor.StairLength
+				}
+				if budget >= stairRemaining {
+					budget -= stairRemaining
+					stairRemaining = 0
+					cur = nextWp
+					path = path[1:]
+				} else {
+					stairRemaining -= budget
+					budget = 0
+				}
+				continue
+			}
+			d := cur.Point().Dist(nextWp.Point())
+			if d <= budget {
+				budget -= d
+				cur = nextWp
+				path = path[1:]
+			} else {
+				frac := budget / d
+				cur = indoor.Loc(cur.X+(nextWp.X-cur.X)*frac, cur.Y+(nextWp.Y-cur.Y)*frac, cur.Floor)
+				budget = 0
+			}
+		}
+		moving := len(path) > 0
+		track = append(track, truthPoint{cur, moving})
+		if !moving {
+			stayLeft = dwell(spec, rng)
+		}
+	}
+	return track
+}
+
+func dwell(spec MobilitySpec, rng *rand.Rand) int {
+	return int(spec.StayMin + rng.Float64()*(spec.StayMax-spec.StayMin))
+}
+
+// regionAnchor picks a point inside a random partition of the region.
+func regionAnchor(space *indoor.Space, r indoor.RegionID, rng *rand.Rand) indoor.Location {
+	parts := space.Region(r).Partitions
+	p := space.Partition(parts[rng.Intn(len(parts))])
+	c := p.Centroid()
+	b := p.Poly.Bounds()
+	for try := 0; try < 8; try++ {
+		x := b.Min.X + rng.Float64()*(b.Max.X-b.Min.X)
+		y := b.Min.Y + rng.Float64()*(b.Max.Y-b.Min.Y)
+		cand := indoor.Loc(x, y, p.Floor)
+		if p.Poly.Contains(cand.Point()) {
+			// Keep away from the walls so jitter stays inside.
+			if cand.Point().Dist(c.Point()) < 0.8*c.Point().Dist(b.Min) {
+				return cand
+			}
+		}
+	}
+	return c
+}
+
+// routeWaypoints returns the walk from a to b as waypoints through the
+// door graph (BFS over partitions; edges are doors).
+func routeWaypoints(space *indoor.Space, a, b indoor.Location) []indoor.Location {
+	pa, pb := space.PartitionAt(a), space.PartitionAt(b)
+	if pa == indoor.NoPartition || pb == indoor.NoPartition {
+		return nil
+	}
+	if pa == pb {
+		return []indoor.Location{b}
+	}
+	doors := routeDoors(space, pa, pb)
+	if doors == nil {
+		return nil
+	}
+	var wps []indoor.Location
+	curPart := pa
+	for _, d := range doors {
+		door := space.Door(d)
+		var other indoor.PartitionID
+		if door.A == curPart {
+			other = door.B
+		} else {
+			other = door.A
+		}
+		wps = append(wps, indoor.Loc(door.At.X, door.At.Y, space.Partition(curPart).Floor))
+		if door.Stair {
+			// Crossing a staircase adds the landing on the other floor.
+			wps = append(wps, indoor.Loc(door.At.X, door.At.Y, space.Partition(other).Floor))
+		}
+		curPart = other
+	}
+	wps = append(wps, b)
+	return wps
+}
+
+// routeDoors finds a door path between partitions with BFS.
+func routeDoors(space *indoor.Space, from, to indoor.PartitionID) []indoor.DoorID {
+	type hop struct {
+		part indoor.PartitionID
+		door indoor.DoorID
+		prev int
+	}
+	visited := map[indoor.PartitionID]bool{from: true}
+	queue := []hop{{part: from, door: indoor.NoDoor, prev: -1}}
+	for qi := 0; qi < len(queue); qi++ {
+		h := queue[qi]
+		if h.part == to {
+			var doors []indoor.DoorID
+			for i := qi; queue[i].prev >= 0; i = queue[i].prev {
+				doors = append(doors, queue[i].door)
+			}
+			// Reverse into walking order.
+			for l, r := 0, len(doors)-1; l < r; l, r = l+1, r-1 {
+				doors[l], doors[r] = doors[r], doors[l]
+			}
+			return doors
+		}
+		for _, d := range space.Partition(h.part).Doors {
+			door := space.Door(d)
+			other := door.A
+			if other == h.part {
+				other = door.B
+			}
+			if !visited[other] {
+				visited[other] = true
+				queue = append(queue, hop{part: other, door: d, prev: qi})
+			}
+		}
+	}
+	return nil
+}
+
+// perturb applies the positioning error model to a true location.
+func perturb(space *indoor.Space, loc indoor.Location, spec MobilitySpec, rng *rand.Rand) indoor.Location {
+	dist := rng.Float64() * spec.Mu
+	if rng.Float64() < spec.OutlierProb {
+		dist = (2.5 + 7.5*rng.Float64()) * spec.Mu
+	}
+	ang := rng.Float64() * 2 * math.Pi
+	out := indoor.Loc(loc.X+dist*math.Cos(ang), loc.Y+dist*math.Sin(ang), loc.Floor)
+	if rng.Float64() < spec.FalseFloorProb {
+		delta := 1 + rng.Intn(2)
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		floors := space.Floors()
+		nf := out.Floor + delta
+		if nf < floors[0] {
+			nf = floors[0]
+		}
+		if nf > floors[len(floors)-1] {
+			nf = floors[len(floors)-1]
+		}
+		out.Floor = nf
+	}
+	// Clamp into the building bounding box so estimates stay plottable.
+	b := space.Bounds()
+	out.X = geom.Clamp(out.X, b.Min.X, b.Max.X)
+	out.Y = geom.Clamp(out.Y, b.Min.Y, b.Max.Y)
+	return out
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"c2mn/internal/indoor"
+)
+
+func TestRouteDoorsShortest(t *testing.T) {
+	space, err := GenerateBuilding(SmallBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-floor route between two rooms in different columns must
+	// pass through at least: room door, hallway chain, room door.
+	a := space.PartitionAt(indoor.Loc(4, 5, 0))  // south room, column 0
+	b := space.PartitionAt(indoor.Loc(36, 5, 0)) // south room, column 4
+	if a == indoor.NoPartition || b == indoor.NoPartition {
+		t.Fatal("probe points missed partitions")
+	}
+	doors := routeDoors(space, a, b)
+	if doors == nil {
+		t.Fatal("no route found")
+	}
+	// BFS gives a minimal-hop path: door out of a, 4 hallway links,
+	// door into b = 6 doors.
+	if len(doors) != 6 {
+		t.Errorf("route length = %d doors, want 6", len(doors))
+	}
+	// The path must be connected: consecutive doors share a partition.
+	cur := a
+	for _, d := range doors {
+		door := space.Door(d)
+		switch cur {
+		case door.A:
+			cur = door.B
+		case door.B:
+			cur = door.A
+		default:
+			t.Fatalf("door %d does not touch partition %d", d, cur)
+		}
+	}
+	if cur != b {
+		t.Errorf("route ends at %d, want %d", cur, b)
+	}
+	// Trivial route.
+	if got := routeDoors(space, a, a); len(got) != 0 {
+		t.Errorf("self route = %v", got)
+	}
+}
+
+func TestRouteWaypointsCrossFloor(t *testing.T) {
+	space, err := GenerateBuilding(SmallBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := indoor.Loc(4, 5, 0)
+	b := indoor.Loc(36, 5, 1)
+	wps := routeWaypoints(space, a, b)
+	if wps == nil {
+		t.Fatal("no cross-floor route")
+	}
+	// The final waypoint is the destination on floor 1, and somewhere
+	// along the way the floor flips exactly via a stair pair (same
+	// planar point, different floors).
+	last := wps[len(wps)-1]
+	if last != b {
+		t.Errorf("last waypoint = %v, want %v", last, b)
+	}
+	sawStair := false
+	for i := 1; i < len(wps); i++ {
+		if wps[i].Floor != wps[i-1].Floor {
+			sawStair = true
+			if wps[i].X != wps[i-1].X || wps[i].Y != wps[i-1].Y {
+				t.Errorf("floor change moved planar position: %v -> %v", wps[i-1], wps[i])
+			}
+		}
+	}
+	if !sawStair {
+		t.Errorf("cross-floor route never changed floor: %v", wps)
+	}
+}
+
+func TestRegionAnchorInsideRegion(t *testing.T) {
+	space, err := GenerateBuilding(SmallBuilding(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newTestRand()
+	for _, r := range space.Regions() {
+		for i := 0; i < 5; i++ {
+			a := regionAnchor(space, r, rng)
+			if got := space.RegionAt(a); got != r {
+				t.Fatalf("anchor %v for region %d lands in region %d", a, r, got)
+			}
+		}
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+func TestBuildingSpecValidate(t *testing.T) {
+	bad := []BuildingSpec{
+		{},
+		{Floors: 2, Columns: 3, RoomW: 8, RoomD: 10, HallW: 5, Stairs: 0},
+		{Floors: 1, Columns: 3, RoomW: 0, RoomD: 10, HallW: 5},
+		{Floors: 1, Columns: 3, RoomW: 8, RoomD: 10, HallW: 5, MultiFrac: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should fail validation", i)
+		}
+	}
+	for _, s := range []BuildingSpec{MallBuilding(), SynthBuilding(), SmallBuilding()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("profile spec invalid: %v", err)
+		}
+	}
+}
+
+func TestGenerateSmallBuilding(t *testing.T) {
+	space, err := GenerateBuilding(SmallBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := space.Stats()
+	// 2 floors x (5 south + 5 hall + 5 north) partitions.
+	if st.Partitions != 30 {
+		t.Errorf("Partitions = %d, want 30", st.Partitions)
+	}
+	if st.Floors != 2 {
+		t.Errorf("Floors = %d", st.Floors)
+	}
+	if st.Stairs != 2 {
+		t.Errorf("Stairs = %d", st.Stairs)
+	}
+	if st.Regions == 0 {
+		t.Errorf("no regions generated")
+	}
+	// Hallway partitions carry no region: probe the hallway band.
+	if r := space.RegionAt(indoor.Loc(20, 12.5, 0)); r != indoor.NoRegion {
+		t.Errorf("hallway has region %v", r)
+	}
+}
+
+func TestGenerateBuildingDeterministic(t *testing.T) {
+	a, err := GenerateBuilding(SmallBuilding(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateBuilding(SmallBuilding(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("same seed, different stats: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	for _, r := range a.Regions() {
+		if a.Region(r).Name != b.Region(r).Name {
+			t.Errorf("region %d name differs", r)
+		}
+	}
+}
+
+func TestGenerateBuildingProfiles(t *testing.T) {
+	mall, err := GenerateBuilding(MallBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mall.Stats()
+	if st.Regions != 202 {
+		t.Errorf("mall regions = %d, want 202 (§V-B1)", st.Regions)
+	}
+	if st.Floors != 7 {
+		t.Errorf("mall floors = %d", st.Floors)
+	}
+
+	synth, err := GenerateBuilding(SynthBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = synth.Stats()
+	if st.Regions != 423 {
+		t.Errorf("synth regions = %d, want 423 (§V-C)", st.Regions)
+	}
+	if st.Floors != 10 {
+		t.Errorf("synth floors = %d", st.Floors)
+	}
+}
+
+func TestBuildingConnectivity(t *testing.T) {
+	// Every region must be reachable from every other: MIWD between
+	// region centroids is finite.
+	space, err := GenerateBuilding(SmallBuilding(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := space.Regions()
+	a := space.RegionCentroid(regions[0])
+	for _, r := range regions[1:] {
+		b := space.RegionCentroid(r)
+		if d := space.MIWD(a, b); math.IsInf(d, 1) {
+			t.Errorf("region %d unreachable from %d", r, regions[0])
+		}
+	}
+}
+
+func TestMobilitySpecValidate(t *testing.T) {
+	bad := []MobilitySpec{
+		{},
+		{Objects: 1, Duration: 10, MaxSpeed: 1, StayMin: 5, StayMax: 1, T: 5},
+		{Objects: 1, Duration: 10, MaxSpeed: 1, T: 0.5},
+		{Objects: 1, Duration: 10, MaxSpeed: 1, T: 5, Mu: -1},
+		{Objects: 1, Duration: 10, MaxSpeed: 1, T: 5, OutlierProb: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should fail", i)
+		}
+	}
+	if err := DefaultMobility(10, 3600).Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	if err := MallMobility(10, 3600).Validate(); err != nil {
+		t.Errorf("mall invalid: %v", err)
+	}
+}
+
+func TestGenerateMobility(t *testing.T) {
+	space, err := GenerateBuilding(SmallBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultMobility(5, 1200)
+	spec.StayMax = 120
+	ds, err := Generate(space, spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sequences) != 5 {
+		t.Fatalf("sequences = %d", len(ds.Sequences))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("dataset invalid: %v", err)
+	}
+	var stays, passes int
+	for _, ls := range ds.Sequences {
+		n := ls.P.Len()
+		// Records are within the lifespan and intervals within [1, T].
+		for i := 0; i < n; i++ {
+			if ls.P.Records[i].T < 0 || ls.P.Records[i].T > spec.Duration {
+				t.Fatalf("record time %v out of range", ls.P.Records[i].T)
+			}
+			if i > 0 {
+				dt := ls.P.Records[i].T - ls.P.Records[i-1].T
+				if dt < 1-1e-9 || dt > spec.T+1e-9 {
+					t.Fatalf("interval %v outside [1,%v]", dt, spec.T)
+				}
+			}
+			if ls.Labels.Regions[i] == indoor.NoRegion {
+				t.Fatalf("record %d has no ground-truth region", i)
+			}
+			switch ls.Labels.Events[i] {
+			case seq.Stay:
+				stays++
+			case seq.Pass:
+				passes++
+			}
+		}
+	}
+	if stays == 0 || passes == 0 {
+		t.Errorf("degenerate event mix: %d stays, %d passes", stays, passes)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	space, _ := GenerateBuilding(SmallBuilding(), 1)
+	spec := DefaultMobility(3, 600)
+	a, err := Generate(space, spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(space, spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sequences) != len(b.Sequences) {
+		t.Fatalf("sequence count differs")
+	}
+	for i := range a.Sequences {
+		pa, pb := a.Sequences[i].P, b.Sequences[i].P
+		if pa.Len() != pb.Len() {
+			t.Fatalf("sequence %d length differs", i)
+		}
+		for j := range pa.Records {
+			if pa.Records[j] != pb.Records[j] {
+				t.Fatalf("sequence %d record %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSamplingDensityScalesWithT(t *testing.T) {
+	// Table V: larger T → fewer records for the same workload.
+	space, _ := GenerateBuilding(SmallBuilding(), 1)
+	counts := map[float64]int{}
+	for _, tt := range []float64{5, 10, 15} {
+		spec := DefaultMobility(4, 1800)
+		spec.T = tt
+		ds, err := Generate(space, spec, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[tt] = ds.NumRecords()
+	}
+	if !(counts[5] > counts[10] && counts[10] > counts[15]) {
+		t.Errorf("record counts not decreasing in T: %v", counts)
+	}
+}
+
+func TestErrorMagnitudeScalesWithMu(t *testing.T) {
+	// Records should wander farther from region anchors as Mu grows;
+	// proxy: average distance between consecutive records during stays
+	// grows with Mu.
+	space, _ := GenerateBuilding(SmallBuilding(), 1)
+	spread := func(mu float64) float64 {
+		spec := DefaultMobility(4, 1800)
+		spec.Mu = mu
+		spec.StayMin, spec.StayMax = 300, 600 // mostly staying
+		ds, err := Generate(space, spec, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		var cnt int
+		for _, ls := range ds.Sequences {
+			for i := 1; i < ls.P.Len(); i++ {
+				if ls.Labels.Events[i] == seq.Stay && ls.Labels.Events[i-1] == seq.Stay {
+					sum += ls.P.Records[i].Loc.Dist(ls.P.Records[i-1].Loc)
+					cnt++
+				}
+			}
+		}
+		return sum / float64(cnt)
+	}
+	if !(spread(1) < spread(7)) {
+		t.Errorf("error spread not increasing with Mu: %v vs %v", spread(1), spread(7))
+	}
+}
+
+func TestFalseFloorRate(t *testing.T) {
+	space, _ := GenerateBuilding(SmallBuilding(), 1)
+	spec := DefaultMobility(6, 1800)
+	spec.FalseFloorProb = 0.2
+	spec.Mu = 0.5
+	spec.OutlierProb = 0
+	ds, err := Generate(space, spec, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count records whose floor differs from the truth-region floor.
+	var wrong, total int
+	for _, ls := range ds.Sequences {
+		for i := range ls.P.Records {
+			total++
+			trueFloor := space.RegionCentroid(ls.Labels.Regions[i]).Floor
+			if ls.P.Records[i].Loc.Floor != trueFloor {
+				wrong++
+			}
+		}
+	}
+	rate := float64(wrong) / float64(total)
+	if rate < 0.08 || rate > 0.40 {
+		t.Errorf("false-floor proxy rate = %v, expected near 0.2", rate)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	space, _ := GenerateBuilding(SmallBuilding(), 1)
+	if _, err := Generate(space, MobilitySpec{}, 1); err == nil {
+		t.Errorf("invalid spec should fail")
+	}
+	// Space with 1 region rejected.
+	one := BuildingSpec{Floors: 1, Columns: 2, RoomW: 8, RoomD: 10, HallW: 5, Stairs: 1, TargetRegions: 1}
+	s1, err := GenerateBuilding(one, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(s1, DefaultMobility(1, 60), 1); err == nil {
+		t.Errorf("single-region space should fail")
+	}
+}
