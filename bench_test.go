@@ -11,8 +11,11 @@ package c2mn
 // runs or =paper for the full-parameter configuration.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -382,6 +385,43 @@ func benchMobility() MobilitySpec {
 		Mu:             3,
 		FalseFloorProb: 0.03,
 		OutlierProb:    0.03,
+	}
+}
+
+// BenchmarkAnnotateAllParallel compares batch annotation throughput of
+// a 1-worker pool against a GOMAXPROCS-sized pool on a generated mall
+// workload — the Engine's AnnotateAllCtx scaling across cores.
+func BenchmarkAnnotateAllParallel(b *testing.B) {
+	space, data := benchAnnotationWorld(b)
+	ann, err := Train(space, data[:len(data)/2], TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	test := data[len(data)/2:]
+	ps := make([]PSequence, 0, 32)
+	for len(ps) < 32 {
+		ps = append(ps, test[len(ps)%len(test)].P)
+	}
+	pools := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pools = append(pools, n)
+	}
+	for _, workers := range pools {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := NewEngine(ann, WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.AnnotateAllCtx(context.Background(), ps); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(ps))*float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
+		})
 	}
 }
 

@@ -6,7 +6,7 @@
 // Mobility Semantics Annotation Using Coupled Conditional Markov
 // Networks", ICDE 2020.
 //
-// The typical flow is:
+// The typical offline flow is:
 //
 //  1. model the venue with a Builder (partitions, doors, regions) or
 //     generate one with GenerateBuilding,
@@ -16,6 +16,16 @@
 //  4. analyse the m-semantics, e.g. with the top-k queries
 //     TopKPopularRegions and TopKFrequentPairs.
 //
+// For serving, wrap the trained Annotator in an Engine: it adds
+// context-aware batch annotation on a bounded worker pool
+// (AnnotateAllCtx + WithWorkers), streaming ingestion with online
+// η-gap segmentation (Feed/Flush — record-by-record ingestion that
+// segments exactly as batch Preprocess does), and a live m-semantics
+// store whose TopKPopularRegions/TopKFrequentPairs answer while
+// records are still arriving. Cancellation and failure modes are
+// typed: ErrCanceled, ErrEmptySequence, ErrNoModel. cmd/msserve
+// exposes the Engine over HTTP.
+//
 // The heavy lifting lives in the internal packages (geometry, R-tree,
 // indoor topology and MIWD distances, st-DBSCAN, L-BFGS, the C2MN
 // model with its alternate learning algorithm, baselines, simulator
@@ -23,8 +33,12 @@
 package c2mn
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"c2mn/internal/baseline"
 	"c2mn/internal/core"
@@ -234,16 +248,163 @@ func (a *Annotator) AnnotateWindowed(p *PSequence, window, overlap int) (Labels,
 	return labels, seq.Merge(p, labels), nil
 }
 
-// AnnotateAll annotates a batch of sequences and returns their
-// ms-sequences.
+// guard checks the shared preconditions of every context-accepting
+// annotation entry point: a trained model (ErrNoModel), a live context
+// (ErrCanceled) and a non-empty sequence (ErrEmptySequence).
+func (a *Annotator) guard(ctx context.Context, p *PSequence) error {
+	if a == nil || a.model == nil {
+		return ErrNoModel
+	}
+	if err := ctx.Err(); err != nil {
+		return canceled(err)
+	}
+	if p.Len() == 0 {
+		return ErrEmptySequence
+	}
+	return nil
+}
+
+// AnnotateCtx is Annotate with cancellation and typed errors: it
+// returns an error wrapping ErrCanceled when ctx is done, and
+// ErrEmptySequence for a sequence with no records. Cancellation is
+// observed before inference starts; a sequence whose inference is
+// already underway runs to completion.
+func (a *Annotator) AnnotateCtx(ctx context.Context, p *PSequence) (Labels, MSSequence, error) {
+	if err := a.guard(ctx, p); err != nil {
+		return Labels{}, MSSequence{}, err
+	}
+	return a.Annotate(p)
+}
+
+// AnnotateWindowedCtx is AnnotateWindowed with the same cancellation
+// and typed-error contract as AnnotateCtx.
+func (a *Annotator) AnnotateWindowedCtx(ctx context.Context, p *PSequence, window, overlap int) (Labels, MSSequence, error) {
+	if err := a.guard(ctx, p); err != nil {
+		return Labels{}, MSSequence{}, err
+	}
+	return a.AnnotateWindowed(p, window, overlap)
+}
+
+// AnnotateAll annotates a batch of sequences on a worker pool sized to
+// GOMAXPROCS and returns their ms-sequences in input order. An empty
+// sequence in the batch fails with ErrEmptySequence. Use an Engine
+// with WithWorkers to bound the pool, or AnnotateAllCtx for
+// cancellation.
 func (a *Annotator) AnnotateAll(ps []PSequence) ([]MSSequence, error) {
-	out := make([]MSSequence, 0, len(ps))
-	for i := range ps {
-		_, ms, err := a.Annotate(&ps[i])
-		if err != nil {
-			return nil, fmt.Errorf("c2mn: sequence %d: %w", i, err)
+	return a.annotateAll(context.Background(), ps, 0)
+}
+
+// AnnotateAllCtx is AnnotateAll with cancellation: annotation stops
+// promptly when ctx is done — between sequences, not within one — and
+// the returned error wraps ErrCanceled. Output order is deterministic
+// — out[i] corresponds to ps[i] — for any pool size.
+func (a *Annotator) AnnotateAllCtx(ctx context.Context, ps []PSequence) ([]MSSequence, error) {
+	return a.annotateAll(ctx, ps, 0)
+}
+
+// annotateAll runs the batch through whole-sequence inference; see
+// annotateAllFunc for the pool semantics.
+func (a *Annotator) annotateAll(ctx context.Context, ps []PSequence, workers int) ([]MSSequence, error) {
+	return a.annotateAllFunc(ctx, ps, workers, func(p *PSequence) (Labels, MSSequence, error) {
+		return a.Annotate(p)
+	})
+}
+
+// annotateAllFunc runs the batch on a bounded worker pool, annotating
+// each sequence with annotate. workers <= 0 means GOMAXPROCS.
+// Sequences are handed to workers by index and results written to
+// their input slots, so output ordering never depends on scheduling.
+// The first error (lowest sequence index) wins; cancellation is
+// reported only when no sequence failed first.
+func (a *Annotator) annotateAllFunc(ctx context.Context, ps []PSequence, workers int, annotate func(*PSequence) (Labels, MSSequence, error)) ([]MSSequence, error) {
+	if a == nil || a.model == nil {
+		return nil, ErrNoModel
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	out := make([]MSSequence, len(ps))
+	if len(ps) == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
+	}
+	if workers == 1 {
+		for i := range ps {
+			if err := ctx.Err(); err != nil {
+				return nil, canceled(err)
+			}
+			if ps[i].Len() == 0 {
+				return nil, fmt.Errorf("c2mn: sequence %d: %w", i, ErrEmptySequence)
+			}
+			_, ms, err := annotate(&ps[i])
+			if err != nil {
+				return nil, fmt.Errorf("c2mn: sequence %d: %w", i, err)
+			}
+			out[i] = ms
 		}
-		out = append(out, ms)
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		errIdx   = len(ps)
+		firstErr error
+	)
+	next.Store(-1)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		halt()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(ps) {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					halt()
+					return
+				case <-stop:
+					return
+				default:
+				}
+				if ps[i].Len() == 0 {
+					record(i, fmt.Errorf("c2mn: sequence %d: %w", i, ErrEmptySequence))
+					return
+				}
+				_, ms, err := annotate(&ps[i])
+				if err != nil {
+					record(i, fmt.Errorf("c2mn: sequence %d: %w", i, err))
+					return
+				}
+				out[i] = ms
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
 	}
 	return out, nil
 }

@@ -6,6 +6,11 @@
 //
 //	msannotate -space mall.json -model model.json -data queries.json
 //	msannotate -space mall.json -model model.json -data queries.json -out labeled.json -accuracy
+//
+// Long sequences (day-long streams) can be routed through windowed
+// inference with -window/-overlap instead of whole-sequence inference:
+//
+//	msannotate -space mall.json -model model.json -data day.json -window 256 -overlap 32
 package main
 
 import (
@@ -28,7 +33,18 @@ func main() {
 	outPath := flag.String("out", "", "optional output path for the labeled dataset JSON")
 	accuracy := flag.Bool("accuracy", false, "report accuracy against the labels in -data")
 	maxPrint := flag.Int("print", 3, "number of annotated sequences to print")
+	window := flag.Int("window", 0, "windowed inference chunk size in records (0 = whole-sequence)")
+	overlap := flag.Int("overlap", 0, "windowed inference context overlap in records (0 = default 32, -1 = none)")
 	flag.Parse()
+	if *window < 0 {
+		log.Fatal("-window must be >= 0")
+	}
+	if *overlap < -1 {
+		log.Fatal("-overlap must be >= -1 (0 = default 32, -1 = none)")
+	}
+	if *window == 0 && *overlap != 0 {
+		log.Fatal("-overlap requires -window")
+	}
 
 	space := loadSpace(*spacePath)
 	model, err := os.Open(*modelPath)
@@ -46,7 +62,14 @@ func main() {
 	out := &c2mn.Dataset{}
 	for i := range ds.Sequences {
 		ls := &ds.Sequences[i]
-		labels, ms, err := ann.Annotate(&ls.P)
+		var labels c2mn.Labels
+		var ms c2mn.MSSequence
+		var err error
+		if *window > 0 {
+			labels, ms, err = ann.AnnotateWindowed(&ls.P, *window, *overlap)
+		} else {
+			labels, ms, err = ann.Annotate(&ls.P)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,392 @@
+// Command msserve exposes a trained C2MN annotation Engine over HTTP:
+// one-shot batch annotation, record-by-record streaming ingestion with
+// online η-gap segmentation, and live top-k queries over the
+// m-semantics annotated so far.
+//
+// Usage:
+//
+//	msserve -space mall.json -model model.json -addr :8080
+//
+// Endpoints (JSON over HTTP):
+//
+//	POST /annotate              {"object_id", "records": [{"x","y","floor","t"}]}
+//	POST /feed                  same body; records join the object's stream
+//	POST /flush                 complete all open stream fragments
+//	GET  /query/popular-regions ?k=5&start=0&end=3600&regions=1,2,3
+//	GET  /query/frequent-pairs  same parameters
+//	GET  /stats                 streaming pipeline counters
+//	GET  /healthz               liveness probe
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"c2mn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	spacePath := flag.String("space", "space.json", "venue JSON path")
+	modelPath := flag.String("model", "model.json", "trained model path")
+	eta := flag.Float64("eta", c2mn.DefaultEta, "stream split gap η in seconds")
+	psi := flag.Float64("psi", c2mn.DefaultPsi, "minimum fragment duration ψ in seconds")
+	workers := flag.Int("workers", 0, "batch annotation workers (0 = GOMAXPROCS)")
+	window := flag.Int("window", 0, "windowed inference chunk size (0 = whole-sequence)")
+	overlap := flag.Int("overlap", 0, "windowed inference overlap (0 = default 32, -1 = none)")
+	retention := flag.Float64("retention", 0, "live store retention in seconds of stream time (0 = keep all)")
+	flag.Parse()
+
+	engine, err := buildEngine(*spacePath, *modelPath, *eta, *psi, *workers, *window, *overlap, *retention)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("serving on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+func buildEngine(spacePath, modelPath string, eta, psi float64, workers, window, overlap int, retention float64) (*c2mn.Engine, error) {
+	sf, err := os.Open(spacePath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	space, err := c2mn.ReadSpace(sf)
+	if err != nil {
+		return nil, err
+	}
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	ann, err := c2mn.Load(space, mf)
+	if err != nil {
+		return nil, err
+	}
+	return c2mn.NewEngine(ann,
+		c2mn.WithPreprocess(eta, psi),
+		c2mn.WithWorkers(workers),
+		c2mn.WithWindowing(window, overlap),
+		c2mn.WithRetention(retention),
+	)
+}
+
+// server handles the HTTP surface over one Engine.
+type server struct {
+	engine *c2mn.Engine
+}
+
+// newServer builds the route table.
+func newServer(e *c2mn.Engine) http.Handler {
+	s := &server{engine: e}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /annotate", s.handleAnnotate)
+	mux.HandleFunc("POST /feed", s.handleFeed)
+	mux.HandleFunc("POST /flush", s.handleFlush)
+	mux.HandleFunc("GET /query/popular-regions", s.handlePopularRegions)
+	mux.HandleFunc("GET /query/frequent-pairs", s.handleFrequentPairs)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// Wire types. Records are flat {x, y, floor, t} objects; timestamps
+// are seconds, as everywhere in the package.
+type wireRecord struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Floor int     `json:"floor"`
+	T     float64 `json:"t"`
+}
+
+type sequenceRequest struct {
+	ObjectID string       `json:"object_id"`
+	Records  []wireRecord `json:"records"`
+}
+
+type wireSemantics struct {
+	Region     int     `json:"region"`
+	RegionName string  `json:"region_name,omitempty"`
+	Start      float64 `json:"start"`
+	End        float64 `json:"end"`
+	Event      string  `json:"event"`
+}
+
+type annotateResponse struct {
+	ObjectID  string          `json:"object_id"`
+	Regions   []int           `json:"regions"`
+	Events    []string        `json:"events"`
+	Semantics []wireSemantics `json:"semantics"`
+}
+
+func (s *server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeSequence(w, r)
+	if !ok {
+		return
+	}
+	p := toPSequence(req)
+	labels, ms, err := s.engine.AnnotateCtx(r.Context(), &p)
+	if err != nil {
+		writeAnnotateError(w, err)
+		return
+	}
+	resp := annotateResponse{
+		ObjectID:  p.ObjectID,
+		Regions:   make([]int, len(labels.Regions)),
+		Events:    make([]string, len(labels.Events)),
+		Semantics: s.wireSemantics(ms),
+	}
+	for i, rg := range labels.Regions {
+		resp.Regions[i] = int(rg)
+	}
+	for i, ev := range labels.Events {
+		resp.Events[i] = ev.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type feedResponse struct {
+	Fed                int `json:"fed"`
+	CompletedSequences int `json:"completed_sequences"`
+}
+
+func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeSequence(w, r)
+	if !ok {
+		return
+	}
+	p := toPSequence(req)
+	// The response uses only this call's counts — no engine-wide stats
+	// scan on the ingestion hot path.
+	completed, err := s.engine.FeedAll(p.ObjectID, p.Records)
+	if err != nil {
+		// Partial success: valid records were ingested and may have
+		// emitted sequences. Report the counts with the error so the
+		// client knows not to blindly re-feed the batch.
+		writeJSON(w, http.StatusUnprocessableEntity, struct {
+			Error string `json:"error"`
+			feedResponse
+		}{err.Error(), feedResponse{Fed: len(p.Records), CompletedSequences: completed}})
+		return
+	}
+	writeJSON(w, http.StatusOK, feedResponse{
+		Fed:                len(p.Records),
+		CompletedSequences: completed,
+	})
+}
+
+type flushResponse struct {
+	PendingRecords   int   `json:"pending_records"`
+	EmittedSequences int64 `json:"emitted_sequences"`
+}
+
+func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.engine.Flush(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	st := s.engine.Stats()
+	writeJSON(w, http.StatusOK, flushResponse{
+		PendingRecords:   st.PendingRecords,
+		EmittedSequences: st.EmittedSequences,
+	})
+}
+
+type regionCountResponse struct {
+	Region     int    `json:"region"`
+	RegionName string `json:"region_name,omitempty"`
+	Count      int    `json:"count"`
+}
+
+func (s *server) handlePopularRegions(w http.ResponseWriter, r *http.Request) {
+	q, win, k, err := s.queryParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	top := s.engine.TopKPopularRegions(q, win, k)
+	out := make([]regionCountResponse, len(top))
+	for i, rc := range top {
+		out[i] = regionCountResponse{
+			Region:     int(rc.Region),
+			RegionName: s.regionName(rc.Region),
+			Count:      rc.Count,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type pairCountResponse struct {
+	A     int    `json:"a"`
+	AName string `json:"a_name,omitempty"`
+	B     int    `json:"b"`
+	BName string `json:"b_name,omitempty"`
+	Count int    `json:"count"`
+}
+
+func (s *server) handleFrequentPairs(w http.ResponseWriter, r *http.Request) {
+	q, win, k, err := s.queryParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	top := s.engine.TopKFrequentPairs(q, win, k)
+	out := make([]pairCountResponse, len(top))
+	for i, pc := range top {
+		out[i] = pairCountResponse{
+			A: int(pc.A), AName: s.regionName(pc.A),
+			B: int(pc.B), BName: s.regionName(pc.B),
+			Count: pc.Count,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// queryParams parses k (default 5), start/end (default all time) and
+// regions (default: every region of the venue).
+func (s *server) queryParams(r *http.Request) ([]c2mn.RegionID, c2mn.Window, int, error) {
+	vals := r.URL.Query()
+	k := 5
+	win := c2mn.Window{Start: 0, End: math.MaxFloat64}
+	if v := vals.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return nil, win, 0, fmt.Errorf("bad k %q", v)
+		}
+		k = n
+	}
+	if v := vals.Get("start"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, win, 0, fmt.Errorf("bad start %q", v)
+		}
+		win.Start = f
+	}
+	if v := vals.Get("end"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, win, 0, fmt.Errorf("bad end %q", v)
+		}
+		win.End = f
+	}
+	var q []c2mn.RegionID
+	if v := vals.Get("regions"); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, win, 0, fmt.Errorf("bad region %q", part)
+			}
+			q = append(q, c2mn.RegionID(n))
+		}
+	} else {
+		q = s.engine.Space().Regions()
+	}
+	return q, win, k, nil
+}
+
+func (s *server) regionName(id c2mn.RegionID) string {
+	if id == c2mn.NoRegion {
+		return ""
+	}
+	return s.engine.Space().Region(id).Name
+}
+
+func (s *server) wireSemantics(ms c2mn.MSSequence) []wireSemantics {
+	out := make([]wireSemantics, len(ms.Semantics))
+	for i, m := range ms.Semantics {
+		out[i] = wireSemantics{
+			Region:     int(m.Region),
+			RegionName: s.regionName(m.Region),
+			Start:      m.Start,
+			End:        m.End,
+			Event:      m.Event.String(),
+		}
+	}
+	return out
+}
+
+func decodeSequence(w http.ResponseWriter, r *http.Request) (sequenceRequest, bool) {
+	var req sequenceRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return req, false
+	}
+	if req.ObjectID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("object_id is required"))
+		return req, false
+	}
+	return req, true
+}
+
+func toPSequence(req sequenceRequest) c2mn.PSequence {
+	p := c2mn.PSequence{ObjectID: req.ObjectID, Records: make([]c2mn.Record, len(req.Records))}
+	for i, rec := range req.Records {
+		p.Records[i] = c2mn.Record{Loc: c2mn.Loc(rec.X, rec.Y, rec.Floor), T: rec.T}
+	}
+	return p
+}
+
+// writeAnnotateError maps the typed annotation errors to statuses:
+// client mistakes (empty or invalid sequences) are 4xx, cancellation —
+// normally the client having gone away — is 499-style.
+func writeAnnotateError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, c2mn.ErrEmptySequence):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, c2mn.ErrCanceled):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, c2mn.ErrNoModel):
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,240 @@
+package main
+
+// Integration test: train a small model, stand the HTTP surface up on
+// httptest, and round-trip /annotate, /feed + /flush and the live
+// queries against direct Engine calls.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"c2mn"
+	"c2mn/internal/sim"
+)
+
+const testEta, testPsi = 120, 60
+
+func testEngine(t *testing.T) (*c2mn.Engine, []c2mn.LabeledSequence) {
+	t.Helper()
+	space, err := c2mn.GenerateBuilding(sim.SmallBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sim.DefaultMobility(10, 1500)
+	spec.StayMax = 300
+	ds, err := c2mn.GenerateMobility(space, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Sequences[:7], ds.Sequences[7:]
+	ann, err := c2mn.Train(space, train, c2mn.TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c2mn.NewEngine(ann, c2mn.WithPreprocess(testEta, testPsi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, test
+}
+
+func toWire(records []c2mn.Record) []wireRecord {
+	out := make([]wireRecord, len(records))
+	for i, r := range records {
+		out[i] = wireRecord{X: r.Loc.X, Y: r.Loc.Y, Floor: r.Loc.Floor, T: r.T}
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestServerRoundTrips(t *testing.T) {
+	engine, test := testEngine(t)
+	ts := httptest.NewServer(newServer(engine))
+	defer ts.Close()
+
+	// Liveness.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	// /annotate matches a direct Engine call.
+	p := test[0].P
+	resp = postJSON(t, ts.URL+"/annotate", sequenceRequest{
+		ObjectID: p.ObjectID,
+		Records:  toWire(p.Records),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/annotate status = %s", resp.Status)
+	}
+	got := decodeBody[annotateResponse](t, resp)
+	labels, ms, err := engine.Annotator().Annotate(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ObjectID != p.ObjectID || len(got.Regions) != len(labels.Regions) {
+		t.Fatalf("/annotate shape: %s with %d regions", got.ObjectID, len(got.Regions))
+	}
+	for i, r := range labels.Regions {
+		if got.Regions[i] != int(r) {
+			t.Fatalf("/annotate region[%d] = %d, want %d", i, got.Regions[i], r)
+		}
+	}
+	if len(got.Semantics) != len(ms.Semantics) {
+		t.Fatalf("/annotate semantics count = %d, want %d", len(got.Semantics), len(ms.Semantics))
+	}
+	for i, m := range ms.Semantics {
+		w := got.Semantics[i]
+		if w.Region != int(m.Region) || w.Start != m.Start || w.End != m.End || w.Event != m.Event.String() {
+			t.Fatalf("/annotate semantics[%d] = %+v, want %v", i, w, m)
+		}
+	}
+
+	// Empty sequences are a client error.
+	resp = postJSON(t, ts.URL+"/annotate", sequenceRequest{ObjectID: "empty"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/annotate empty status = %s, want 400", resp.Status)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/annotate", sequenceRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/annotate no object_id status = %s, want 400", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Stream every test object through /feed, then /flush.
+	for i := range test {
+		resp = postJSON(t, ts.URL+"/feed", sequenceRequest{
+			ObjectID: fmt.Sprintf("obj%d", i),
+			Records:  toWire(test[i].P.Records),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/feed status = %s", resp.Status)
+		}
+		fed := decodeBody[feedResponse](t, resp)
+		if fed.Fed != len(test[i].P.Records) {
+			t.Fatalf("/feed fed = %d, want %d", fed.Fed, len(test[i].P.Records))
+		}
+	}
+	resp = postJSON(t, ts.URL+"/flush", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/flush status = %s", resp.Status)
+	}
+	flushed := decodeBody[flushResponse](t, resp)
+	if flushed.PendingRecords != 0 {
+		t.Fatalf("/flush left %d records pending", flushed.PendingRecords)
+	}
+	if flushed.EmittedSequences == 0 {
+		t.Fatal("/flush emitted nothing")
+	}
+
+	// Live query over the fed stream matches the Engine directly.
+	resp, err = http.Get(ts.URL + "/query/popular-regions?k=3")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query/popular-regions: %v %v", resp.Status, err)
+	}
+	gotTop := decodeBody[[]regionCountResponse](t, resp)
+	wantTop := engine.TopKPopularRegions(engine.Space().Regions(), c2mn.Window{Start: 0, End: 1e18}, 3)
+	if len(gotTop) != len(wantTop) {
+		t.Fatalf("/query/popular-regions returned %d entries, want %d", len(gotTop), len(wantTop))
+	}
+	for i, rc := range wantTop {
+		if gotTop[i].Region != int(rc.Region) || gotTop[i].Count != rc.Count {
+			t.Fatalf("/query/popular-regions[%d] = %+v, want %v", i, gotTop[i], rc)
+		}
+	}
+
+	// Frequent pairs and stats respond.
+	resp, err = http.Get(ts.URL + "/query/frequent-pairs?k=3")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query/frequent-pairs: %v %v", resp.Status, err)
+	}
+	decodeBody[[]pairCountResponse](t, resp)
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: %v %v", resp.Status, err)
+	}
+	st := decodeBody[c2mn.EngineStats](t, resp)
+	if st.EmittedSequences != flushed.EmittedSequences {
+		t.Fatalf("/stats emitted = %d, want %d", st.EmittedSequences, flushed.EmittedSequences)
+	}
+
+	// Parameter validation.
+	for _, bad := range []string{"?k=0", "?k=x", "?start=x", "?regions=1,x"} {
+		resp, err = http.Get(ts.URL + "/query/popular-regions" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad params %q status = %s, want 400", bad, resp.Status)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestServerQueryParamsWindowAndRegions(t *testing.T) {
+	engine, test := testEngine(t)
+	ts := httptest.NewServer(newServer(engine))
+	defer ts.Close()
+
+	for i := range test {
+		resp := postJSON(t, ts.URL+"/feed", sequenceRequest{
+			ObjectID: fmt.Sprintf("obj%d", i),
+			Records:  toWire(test[i].P.Records),
+		})
+		resp.Body.Close()
+	}
+	resp := postJSON(t, ts.URL+"/flush", nil)
+	resp.Body.Close()
+
+	// Restricting the window and region set narrows the answer the same
+	// way the library query does.
+	regions := engine.Space().Regions()
+	q := []c2mn.RegionID{regions[0], regions[1]}
+	w := c2mn.Window{Start: 0, End: 700}
+	want := engine.TopKPopularRegions(q, w, 2)
+	url := fmt.Sprintf("%s/query/popular-regions?k=2&start=0&end=700&regions=%d,%d",
+		ts.URL, regions[0], regions[1])
+	resp, err := http.Get(url)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %v %v", resp.Status, err)
+	}
+	got := decodeBody[[]regionCountResponse](t, resp)
+	gotPlain := make([]c2mn.RegionCount, len(got))
+	for i, rc := range got {
+		gotPlain[i] = c2mn.RegionCount{Region: c2mn.RegionID(rc.Region), Count: rc.Count}
+	}
+	if !reflect.DeepEqual(gotPlain, want) {
+		t.Fatalf("windowed query = %v, want %v", gotPlain, want)
+	}
+}

@@ -1,0 +1,255 @@
+package c2mn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"c2mn/internal/query"
+	"c2mn/internal/seq"
+)
+
+// Engine is the serving surface of the package: a trained Annotator
+// bound to its venue, plus the machinery a long-running service needs
+// around it — a bounded worker pool for batch annotation, streaming
+// ingestion with online η-gap segmentation, and a live m-semantics
+// store the top-k queries can be answered from while records are still
+// arriving.
+//
+// An Engine is safe for concurrent use. Batch entry points
+// (AnnotateCtx, AnnotateAllCtx) are stateless; the streaming entry
+// points (Feed, FeedAll, Flush) share per-object segmentation state
+// and the live store. Records of one object must be fed in
+// timestamp order; different objects may be fed concurrently and
+// interleaved freely.
+type Engine struct {
+	ann       *Annotator
+	workers   int
+	eta, psi  float64
+	window    int
+	overlap   int
+	onSeq     func(MSSequence)
+	retention float64
+	store     *query.Store
+
+	mu   sync.Mutex // guards segs and fed
+	segs map[string]*seq.Segmenter
+	fed  int64
+
+	emitted atomic.Int64
+}
+
+// NewEngine wraps a trained annotator in an Engine. It returns
+// ErrNoModel when the annotator is nil or has no model behind it.
+func NewEngine(a *Annotator, opts ...Option) (*Engine, error) {
+	if a == nil || a.model == nil {
+		return nil, ErrNoModel
+	}
+	e := &Engine{
+		ann:  a,
+		eta:  DefaultEta,
+		psi:  DefaultPsi,
+		segs: map[string]*seq.Segmenter{},
+	}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	e.store = query.NewStore(e.retention)
+	return e, nil
+}
+
+// Annotator returns the wrapped annotator.
+func (e *Engine) Annotator() *Annotator { return e.ann }
+
+// Space returns the engine's venue.
+func (e *Engine) Space() *Space { return e.ann.Space() }
+
+// annotate applies the engine's configured inference to one sequence:
+// AnnotateWindowed when WithWindowing is set, whole-sequence inference
+// otherwise. Every Engine path — single, batch and streaming — funnels
+// through here so they cannot diverge.
+func (e *Engine) annotate(p *PSequence) (Labels, MSSequence, error) {
+	if e.window > 0 {
+		return e.ann.AnnotateWindowed(p, e.window, e.overlap)
+	}
+	return e.ann.Annotate(p)
+}
+
+// AnnotateCtx labels one p-sequence under the engine's configuration.
+// It honours ctx cancellation (ErrCanceled) and rejects empty
+// sequences (ErrEmptySequence); cancellation is observed before
+// inference starts, not within it.
+func (e *Engine) AnnotateCtx(ctx context.Context, p *PSequence) (Labels, MSSequence, error) {
+	if err := e.ann.guard(ctx, p); err != nil {
+		return Labels{}, MSSequence{}, err
+	}
+	return e.annotate(p)
+}
+
+// AnnotateAllCtx annotates a batch on the engine's worker pool (see
+// WithWorkers), returning ms-sequences in input order under the
+// engine's configured inference. On context cancellation it stops
+// promptly (between sequences) and returns an error wrapping
+// ErrCanceled; an empty sequence in the batch fails with
+// ErrEmptySequence.
+func (e *Engine) AnnotateAllCtx(ctx context.Context, ps []PSequence) ([]MSSequence, error) {
+	return e.ann.annotateAllFunc(ctx, ps, e.workers, e.annotate)
+}
+
+// Feed appends one positioning record to objectID's stream. When the
+// record's gap from the object's previous record exceeds η, the
+// buffered fragment is completed exactly as batch Preprocess would
+// complete it (same split, same ψ filter, same "#k" sub-sequence ID),
+// annotated, added to the live store, and handed to the WithOnSequence
+// callback. Records of one object must arrive in timestamp order; a
+// record older than the object's last buffered one is rejected with an
+// error and not ingested.
+func (e *Engine) Feed(objectID string, r Record) error {
+	_, err := e.feed(objectID, r)
+	return err
+}
+
+// FeedAll feeds a slice of records of one object in order and reports
+// how many completed sequences they caused to be emitted. Every record
+// is ingested even when an earlier completed fragment fails annotation
+// — a bad fragment must not drop the rest of a delivery batch — and
+// the fragments' errors are joined.
+func (e *Engine) FeedAll(objectID string, records []Record) (int, error) {
+	emitted := 0
+	var errs []error
+	for i := range records {
+		done, err := e.feed(objectID, records[i])
+		if err != nil {
+			errs = append(errs, err)
+		}
+		if done {
+			emitted++
+		}
+	}
+	return emitted, errors.Join(errs...)
+}
+
+// feed ingests one record and reports whether it completed (and
+// emitted) a sequence. An out-of-order record is rejected here, where
+// it is attributable, rather than buffered to poison the whole
+// fragment at annotation time.
+func (e *Engine) feed(objectID string, r Record) (bool, error) {
+	e.mu.Lock()
+	s, ok := e.segs[objectID]
+	if !ok {
+		s = seq.NewSegmenter(objectID, e.eta, e.psi)
+		e.segs[objectID] = s
+	}
+	if last, buffered := s.Last(); buffered && r.T < last {
+		e.mu.Unlock()
+		return false, fmt.Errorf("c2mn: stream %s: record at t=%.3f out of order (last t=%.3f)",
+			objectID, r.T, last)
+	}
+	p, done := s.Feed(r)
+	e.fed++
+	e.mu.Unlock()
+	if !done {
+		return false, nil
+	}
+	if err := e.process(&p); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Flush completes every object's trailing fragment — as batch
+// Preprocess does at end of input — and annotates and emits the
+// fragments that survive the ψ filter, in object-ID order. Per-object
+// stream state is released afterwards, so a long-running server that
+// flushes periodically does not accumulate one entry per object ID
+// ever seen; a stream that keeps feeding after a Flush restarts its
+// fragment numbering at "#0", exactly like a fresh Preprocess call.
+// All fragments are processed even if some fail; their errors are
+// joined.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	ids := make([]string, 0, len(e.segs))
+	for id := range e.segs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var done []PSequence
+	for _, id := range ids {
+		if p, ok := e.segs[id].Flush(); ok {
+			done = append(done, p)
+		}
+		delete(e.segs, id)
+	}
+	e.mu.Unlock()
+	var errs []error
+	for i := range done {
+		if err := e.process(&done[i]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// process annotates one completed fragment and emits its m-semantics.
+func (e *Engine) process(p *PSequence) error {
+	_, ms, err := e.annotate(p)
+	if err != nil {
+		return fmt.Errorf("c2mn: stream %s: %w", p.ObjectID, err)
+	}
+	e.store.Add(ms)
+	e.emitted.Add(1)
+	if e.onSeq != nil {
+		e.onSeq(ms)
+	}
+	return nil
+}
+
+// TopKPopularRegions answers a TkPRQ over the live store.
+func (e *Engine) TopKPopularRegions(q []RegionID, w Window, k int) []RegionCount {
+	return e.store.TopKPopularRegions(q, w, k)
+}
+
+// TopKFrequentPairs answers a TkFRPQ over the live store.
+func (e *Engine) TopKFrequentPairs(q []RegionID, w Window, k int) []PairCount {
+	return e.store.TopKFrequentPairs(q, w, k)
+}
+
+// Sequences returns a snapshot of the live store's ms-sequences.
+func (e *Engine) Sequences() []MSSequence { return e.store.Snapshot() }
+
+// EngineStats is a point-in-time view of the streaming pipeline.
+type EngineStats struct {
+	// FedRecords counts records accepted by Feed.
+	FedRecords int64
+	// PendingObjects counts objects with a buffered open fragment.
+	PendingObjects int
+	// PendingRecords counts records buffered in open fragments.
+	PendingRecords int
+	// EmittedSequences counts ms-sequences emitted so far.
+	EmittedSequences int64
+	// StoredSequences and StoredSemantics size the live store (after
+	// retention eviction).
+	StoredSequences int
+	StoredSemantics int
+}
+
+// Stats reports the streaming pipeline's counters.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{EmittedSequences: e.emitted.Load()}
+	e.mu.Lock()
+	st.FedRecords = e.fed
+	for _, s := range e.segs {
+		if n := s.Pending(); n > 0 {
+			st.PendingObjects++
+			st.PendingRecords += n
+		}
+	}
+	e.mu.Unlock()
+	st.StoredSequences, st.StoredSemantics = e.store.Len()
+	return st
+}

@@ -1,0 +1,33 @@
+package c2mn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed sentinel errors of the annotation API. Callers match them with
+// errors.Is; all errors returned by the context-accepting entry points
+// and the Engine wrap one of these (or a sequence validation error).
+var (
+	// ErrCanceled is returned when a context is canceled or its
+	// deadline passes before annotation completes.
+	ErrCanceled = errors.New("c2mn: annotation canceled")
+
+	// ErrEmptySequence is returned when a sequence with no records is
+	// submitted for annotation; no semantics can be asserted for it.
+	ErrEmptySequence = errors.New("c2mn: empty positioning sequence")
+
+	// ErrNoModel is returned when an Engine or annotation call is made
+	// without a trained model behind it.
+	ErrNoModel = errors.New("c2mn: no trained model")
+)
+
+// canceled wraps a context cancellation cause in ErrCanceled so that
+// errors.Is(err, ErrCanceled) holds while the original cause (e.g.
+// context.DeadlineExceeded) stays matchable too.
+func canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}

@@ -1,0 +1,105 @@
+// Streaming: wrap a trained annotator in an Engine, feed raw
+// positioning records one at a time — interleaved across objects, as a
+// positioning system delivers them — and watch ms-sequences come out
+// of the online η-gap segmenter while the live top-k queries answer
+// mid-stream.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"c2mn"
+	"c2mn/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Simulate a venue and a labeled workload, and train on half.
+	space, err := c2mn.GenerateBuilding(sim.SmallBuilding(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sim.DefaultMobility(10, 1500)
+	spec.StayMax = 300
+	ds, err := c2mn.GenerateMobility(space, spec, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ann, err := c2mn.Train(space, ds.Sequences[:7], c2mn.TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build the serving engine: sequences completed by the online
+	// segmenter are annotated and announced through the callback.
+	engine, err := c2mn.NewEngine(ann,
+		c2mn.WithPreprocess(120, 60),
+		c2mn.WithOnSequence(func(ms c2mn.MSSequence) {
+			fmt.Printf("completed %s: %d m-semantics\n", ms.ObjectID, len(ms.Semantics))
+			for _, m := range ms.Semantics {
+				fmt.Printf("  (%s, [%.0fs, %.0fs], %s)\n",
+					space.Region(m.Region).Name, m.Start, m.End, m.Event)
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Replay the held-out objects' raw records in timestamp order,
+	// interleaved across objects — the engine keeps one open fragment
+	// per object and closes it when an η-gap appears.
+	test := ds.Sequences[7:]
+	type cursor struct {
+		id   string
+		recs []c2mn.Record
+		next int
+	}
+	cursors := make([]*cursor, len(test))
+	for i := range test {
+		cursors[i] = &cursor{id: fmt.Sprintf("visitor-%d", i), recs: test[i].P.Records}
+	}
+	for remaining := true; remaining; {
+		remaining = false
+		// Feed the record with the earliest timestamp next.
+		var pick *cursor
+		for _, c := range cursors {
+			if c.next >= len(c.recs) {
+				continue
+			}
+			remaining = true
+			if pick == nil || c.recs[c.next].T < pick.recs[pick.next].T {
+				pick = c
+			}
+		}
+		if pick == nil {
+			break
+		}
+		if err := engine.Feed(pick.id, pick.recs[pick.next]); err != nil {
+			log.Fatal(err)
+		}
+		pick.next++
+	}
+
+	// 4. End of stream: close the trailing fragments.
+	if err := engine.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	st := engine.Stats()
+	fmt.Printf("\nfed %d records, emitted %d ms-sequences\n", st.FedRecords, st.EmittedSequences)
+
+	// 5. Query the live store: where did visitors actually stay?
+	top := engine.TopKPopularRegions(space.Regions(), c2mn.Window{Start: 0, End: spec.Duration}, 3)
+	fmt.Println("\ntop-3 popular regions over the stream:")
+	for _, rc := range top {
+		fmt.Printf("  %-24s %d stays\n", space.Region(rc.Region).Name, rc.Count)
+	}
+}

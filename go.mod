@@ -1,0 +1,3 @@
+module c2mn
+
+go 1.24

@@ -1,0 +1,104 @@
+package query
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+func storeMS(object string, triples ...seq.MSemantics) seq.MSSequence {
+	return seq.MSSequence{ObjectID: object, Semantics: triples}
+}
+
+func stay(r indoor.RegionID, start, end float64) seq.MSemantics {
+	return seq.MSemantics{Region: r, Start: start, End: end, Event: seq.Stay}
+}
+
+func TestStoreMatchesBatchQueries(t *testing.T) {
+	mss := []seq.MSSequence{
+		storeMS("a", stay(1, 0, 10), stay(2, 20, 30)),
+		storeMS("b", stay(1, 5, 15), stay(3, 40, 50)),
+		storeMS("c", stay(2, 0, 5)),
+	}
+	s := NewStore(0)
+	for _, ms := range mss {
+		s.Add(ms)
+	}
+	q := []indoor.RegionID{1, 2, 3}
+	w := Window{Start: 0, End: 100}
+	if got, want := s.TopKPopularRegions(q, w, 3), TopKPopularRegions(mss, q, w, 3); !reflect.DeepEqual(got, want) {
+		t.Errorf("TopKPopularRegions: got %v want %v", got, want)
+	}
+	if got, want := s.TopKFrequentPairs(q, w, 3), TopKFrequentPairs(mss, q, w, 3); !reflect.DeepEqual(got, want) {
+		t.Errorf("TopKFrequentPairs: got %v want %v", got, want)
+	}
+	if seqs, sems := s.Len(); seqs != 3 || sems != 5 {
+		t.Errorf("Len = %d, %d", seqs, sems)
+	}
+}
+
+func TestStoreIgnoresEmptySequences(t *testing.T) {
+	s := NewStore(0)
+	s.Add(seq.MSSequence{ObjectID: "empty"})
+	if seqs, _ := s.Len(); seqs != 0 {
+		t.Errorf("empty sequence stored")
+	}
+}
+
+func TestStoreRetentionEvicts(t *testing.T) {
+	s := NewStore(100)
+	s.Add(storeMS("old", stay(1, 0, 10)))
+	s.Add(storeMS("mid", stay(2, 50, 60)))
+	if seqs, _ := s.Len(); seqs != 2 {
+		t.Fatalf("premature eviction: %d sequences", seqs)
+	}
+	// maxEnd jumps to 300: horizon 200 evicts both earlier sequences.
+	s.Add(storeMS("new", stay(3, 290, 300)))
+	if seqs, sems := s.Len(); seqs != 1 || sems != 1 {
+		t.Fatalf("retention kept %d sequences / %d semantics, want 1/1", seqs, sems)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap[0].ObjectID != "new" {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// The evicted region no longer counts.
+	top := s.TopKPopularRegions([]indoor.RegionID{1, 2, 3}, Window{0, 1000}, 3)
+	if len(top) != 1 || top[0].Region != 3 {
+		t.Errorf("post-eviction top-k = %v", top)
+	}
+}
+
+func TestStoreSnapshotIsolated(t *testing.T) {
+	s := NewStore(0)
+	s.Add(storeMS("a", stay(1, 0, 10)))
+	snap := s.Snapshot()
+	s.Add(storeMS("b", stay(2, 0, 10)))
+	if len(snap) != 1 {
+		t.Errorf("snapshot grew with the store")
+	}
+}
+
+func TestStoreConcurrentAddAndQuery(t *testing.T) {
+	s := NewStore(500)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				t0 := float64(g*200 + i)
+				s.Add(storeMS("obj", stay(indoor.RegionID(i%5), t0, t0+1)))
+				if i%10 == 0 {
+					s.TopKPopularRegions([]indoor.RegionID{0, 1, 2, 3, 4}, Window{0, 1e9}, 3)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if seqs, _ := s.Len(); seqs == 0 {
+		t.Fatal("store empty after concurrent adds")
+	}
+}

@@ -175,33 +175,21 @@ func Merge(p *PSequence, labels Labels) MSSequence {
 // stream: the stream is split whenever the gap between consecutive
 // records exceeds eta seconds, and resulting sequences shorter than
 // psi seconds are dropped. Sub-sequence IDs get a "#k" suffix.
+//
+// Preprocess is the batch form of Segmenter: it feeds the records
+// through an incremental segmenter, so streaming ingestion (e.g.
+// Engine.Feed in the root package) segments identically.
 func Preprocess(objectID string, records []Record, eta, psi float64) []PSequence {
+	s := NewSegmenter(objectID, eta, psi)
 	var out []PSequence
-	start := 0
-	flush := func(end int, k int) {
-		if end <= start {
-			return
-		}
-		sub := records[start:end]
-		if sub[len(sub)-1].T-sub[0].T < psi {
-			return
-		}
-		cp := make([]Record, len(sub))
-		copy(cp, sub)
-		out = append(out, PSequence{
-			ObjectID: fmt.Sprintf("%s#%d", objectID, k),
-			Records:  cp,
-		})
-	}
-	k := 0
-	for i := 1; i < len(records); i++ {
-		if records[i].T-records[i-1].T > eta {
-			flush(i, k)
-			k++
-			start = i
+	for _, r := range records {
+		if p, ok := s.Feed(r); ok {
+			out = append(out, p)
 		}
 	}
-	flush(len(records), k)
+	if p, ok := s.Flush(); ok {
+		out = append(out, p)
+	}
 	return out
 }
 

@@ -1,0 +1,87 @@
+package seq
+
+import "fmt"
+
+// Segmenter performs the η-gap/ψ-duration preprocessing of Preprocess
+// incrementally, one record at a time, so that continuous positioning
+// streams can be segmented online without buffering the whole stream.
+//
+// Feeding a record stream through Feed (plus a final Flush) yields
+// exactly the p-sequences Preprocess yields on the same records in one
+// batch: the same splits, the same ψ filtering, and the same "#k"
+// sub-sequence IDs. Preprocess itself is implemented on a Segmenter,
+// so the two cannot drift apart.
+//
+// A Segmenter is not safe for concurrent use; callers that share one
+// across goroutines must serialise access.
+type Segmenter struct {
+	objectID string
+	eta, psi float64
+	k        int
+	buf      []Record
+}
+
+// NewSegmenter returns an incremental segmenter for one object's
+// stream, splitting on gaps larger than eta seconds and dropping
+// fragments shorter than psi seconds.
+func NewSegmenter(objectID string, eta, psi float64) *Segmenter {
+	return &Segmenter{objectID: objectID, eta: eta, psi: psi}
+}
+
+// ObjectID returns the stream's object identifier.
+func (s *Segmenter) ObjectID() string { return s.objectID }
+
+// Pending returns the number of buffered records not yet part of a
+// completed sequence.
+func (s *Segmenter) Pending() int { return len(s.buf) }
+
+// Last returns the timestamp of the most recently buffered record,
+// with ok = false when no record is buffered.
+func (s *Segmenter) Last() (t float64, ok bool) {
+	if len(s.buf) == 0 {
+		return 0, false
+	}
+	return s.buf[len(s.buf)-1].T, true
+}
+
+// Feed appends one record to the stream. When the record's gap from
+// the previous one exceeds η the buffered fragment is completed: it is
+// returned with ok = true if it survives the ψ filter, and silently
+// dropped (ok = false) otherwise. In either case the fragment counter
+// advances, matching Preprocess's sub-sequence numbering.
+func (s *Segmenter) Feed(r Record) (p PSequence, ok bool) {
+	if len(s.buf) > 0 && r.T-s.buf[len(s.buf)-1].T > s.eta {
+		p, ok = s.complete()
+	}
+	s.buf = append(s.buf, r)
+	return p, ok
+}
+
+// Flush completes the trailing fragment, if any survives the ψ filter.
+// The stream may keep feeding afterwards; within one Segmenter the
+// fragment numbering continues where it left off, so its sub-sequence
+// IDs never collide. (A caller that discards the Segmenter after
+// flushing — as Engine.Flush does to release per-object state —
+// restarts numbering at #0, like a fresh Preprocess call.)
+func (s *Segmenter) Flush() (p PSequence, ok bool) {
+	return s.complete()
+}
+
+// complete closes the current buffer as fragment #k, advances k, and
+// reports whether the fragment passes the ψ-duration filter.
+func (s *Segmenter) complete() (PSequence, bool) {
+	if len(s.buf) == 0 {
+		return PSequence{}, false
+	}
+	frag := s.buf
+	k := s.k
+	s.k++
+	s.buf = nil
+	if frag[len(frag)-1].T-frag[0].T < s.psi {
+		return PSequence{}, false
+	}
+	return PSequence{
+		ObjectID: fmt.Sprintf("%s#%d", s.objectID, k),
+		Records:  frag,
+	}, true
+}

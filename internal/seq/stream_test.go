@@ -1,0 +1,137 @@
+package seq
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// referencePreprocess is the original batch implementation of
+// Preprocess, kept verbatim as the parity oracle for the incremental
+// Segmenter (Preprocess itself now runs on a Segmenter).
+func referencePreprocess(objectID string, records []Record, eta, psi float64) []PSequence {
+	var out []PSequence
+	start := 0
+	flush := func(end int, k int) {
+		if end <= start {
+			return
+		}
+		sub := records[start:end]
+		if sub[len(sub)-1].T-sub[0].T < psi {
+			return
+		}
+		cp := make([]Record, len(sub))
+		copy(cp, sub)
+		out = append(out, PSequence{
+			ObjectID: fmt.Sprintf("%s#%d", objectID, k),
+			Records:  cp,
+		})
+	}
+	k := 0
+	for i := 1; i < len(records); i++ {
+		if records[i].T-records[i-1].T > eta {
+			flush(i, k)
+			k++
+			start = i
+		}
+	}
+	flush(len(records), k)
+	return out
+}
+
+// randomStream generates a record stream with occasional η-sized gaps.
+func randomStream(rng *rand.Rand, n int, eta float64) []Record {
+	var records []Record
+	t := rng.Float64() * 100
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.08 {
+			t += eta + rng.Float64()*eta // force a split
+		} else {
+			t += rng.Float64() * eta * 0.3
+		}
+		records = append(records, rec(rng.Float64()*50, rng.Float64()*50, rng.Intn(2), t))
+	}
+	return records
+}
+
+func TestSegmenterMatchesBatchPreprocess(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		eta := 60 + rng.Float64()*240
+		psi := rng.Float64() * 120
+		if trial%10 == 0 {
+			psi = 0 // psi = 0 keeps single-record fragments
+		}
+		records := randomStream(rng, n, eta)
+
+		want := referencePreprocess("obj", records, eta, psi)
+		got := Preprocess("obj", records, eta, psi)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d eta=%g psi=%g):\nbatch Preprocess diverged from reference\n got %v\nwant %v",
+				trial, n, eta, psi, got, want)
+		}
+
+		// Incremental: one record at a time, trailing fragment at Flush.
+		s := NewSegmenter("obj", eta, psi)
+		var inc []PSequence
+		for _, r := range records {
+			if p, ok := s.Feed(r); ok {
+				inc = append(inc, p)
+			}
+		}
+		if p, ok := s.Flush(); ok {
+			inc = append(inc, p)
+		}
+		if !reflect.DeepEqual(inc, want) {
+			t.Fatalf("trial %d (n=%d eta=%g psi=%g):\nincremental segmenter diverged\n got %v\nwant %v",
+				trial, n, eta, psi, inc, want)
+		}
+	}
+}
+
+func TestSegmenterPendingAndFlushContinuation(t *testing.T) {
+	s := NewSegmenter("dev", 100, 0)
+	if p, ok := s.Flush(); ok {
+		t.Fatalf("Flush on empty segmenter emitted %v", p)
+	}
+	s.Feed(rec(0, 0, 0, 0))
+	s.Feed(rec(0, 0, 0, 10))
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	p, ok := s.Flush()
+	if !ok || p.ObjectID != "dev#0" || p.Len() != 2 {
+		t.Fatalf("first flush = %v, %v", p, ok)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after flush = %d", s.Pending())
+	}
+	// Numbering continues after a flush: no ID collisions.
+	s.Feed(rec(0, 0, 0, 20))
+	p, ok = s.Flush()
+	if !ok || p.ObjectID != "dev#1" {
+		t.Fatalf("post-flush fragment = %v, %v", p, ok)
+	}
+	if s.ObjectID() != "dev" {
+		t.Fatalf("ObjectID = %q", s.ObjectID())
+	}
+}
+
+func TestSegmenterDropsShortFragments(t *testing.T) {
+	s := NewSegmenter("dev", 50, 30)
+	// Fragment of 20 s, then a gap: dropped, but the counter advances.
+	s.Feed(rec(0, 0, 0, 0))
+	if p, ok := s.Feed(rec(0, 0, 0, 20)); ok {
+		t.Fatalf("unexpected emit %v", p)
+	}
+	if p, ok := s.Feed(rec(0, 0, 0, 200)); ok {
+		t.Fatalf("short fragment should be dropped, got %v", p)
+	}
+	s.Feed(rec(0, 0, 0, 240))
+	p, ok := s.Flush()
+	if !ok || p.ObjectID != "dev#1" {
+		t.Fatalf("fragment after a dropped one = %v, %v (want dev#1)", p, ok)
+	}
+}

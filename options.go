@@ -1,0 +1,78 @@
+package c2mn
+
+import "fmt"
+
+// Default Engine configuration: the paper's real-data preprocessing
+// thresholds (§V-B1) and unbounded m-semantics retention.
+const (
+	// DefaultEta is the default η-gap split threshold in seconds.
+	DefaultEta = 300
+	// DefaultPsi is the default ψ minimum fragment duration in seconds.
+	DefaultPsi = 60
+)
+
+// An Option configures an Engine.
+type Option func(*Engine) error
+
+// WithWorkers bounds the Engine's annotation worker pool to n
+// goroutines. n <= 0 (the default) means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(e *Engine) error {
+		e.workers = n
+		return nil
+	}
+}
+
+// WithPreprocess overrides the streaming η-gap split threshold and ψ
+// minimum fragment duration (seconds). The defaults are DefaultEta and
+// DefaultPsi.
+func WithPreprocess(eta, psi float64) Option {
+	return func(e *Engine) error {
+		if eta <= 0 {
+			return fmt.Errorf("c2mn: WithPreprocess: eta must be positive, got %g", eta)
+		}
+		if psi < 0 {
+			return fmt.Errorf("c2mn: WithPreprocess: psi must be non-negative, got %g", psi)
+		}
+		e.eta, e.psi = eta, psi
+		return nil
+	}
+}
+
+// WithWindowing routes every sequence the Engine annotates — batch
+// and streaming alike — through AnnotateWindowed with the given chunk
+// size and overlap instead of whole-sequence inference. window 0
+// disables windowing (the default). overlap 0 uses the inference
+// default of 32 context records; pass -1 for no overlap at all.
+func WithWindowing(window, overlap int) Option {
+	return func(e *Engine) error {
+		if window < 0 || overlap < -1 {
+			return fmt.Errorf("c2mn: WithWindowing: bad window/overlap (%d/%d)", window, overlap)
+		}
+		e.window, e.overlap = window, overlap
+		return nil
+	}
+}
+
+// WithOnSequence registers a callback invoked with every ms-sequence
+// the streaming pipeline emits, after it has been added to the live
+// store. The callback runs on the goroutine that completed the
+// sequence (the Feed or Flush caller); it must not call back into the
+// Engine's ingestion methods.
+func WithOnSequence(fn func(MSSequence)) Option {
+	return func(e *Engine) error {
+		e.onSeq = fn
+		return nil
+	}
+}
+
+// WithRetention keeps only m-semantics that ended within the trailing
+// `seconds` of stream time in the Engine's live store, turning the
+// top-k queries into sliding-window queries. seconds <= 0 (the
+// default) retains everything.
+func WithRetention(seconds float64) Option {
+	return func(e *Engine) error {
+		e.retention = seconds
+		return nil
+	}
+}
