@@ -388,6 +388,32 @@ func benchMobility() MobilitySpec {
 	}
 }
 
+// BenchmarkAnnotateSingleSequence measures the steady-state cost of
+// annotating one sequence through the pooled-workspace path — the
+// per-request hot path of cmd/msserve. allocs/op covers only the
+// returned labels and m-semantics once the pool is warm.
+func BenchmarkAnnotateSingleSequence(b *testing.B) {
+	space, data := benchAnnotationWorld(b)
+	ann, err := Train(space, data[:len(data)/2], TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &data[len(data)/2].P
+	if _, _, err := ann.Annotate(p); err != nil { // warm the pool
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(p.Len()), "records/seq")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ann.Annotate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAnnotateAllParallel compares batch annotation throughput of
 // a 1-worker pool against a GOMAXPROCS-sized pool on a generated mall
 // workload — the Engine's AnnotateAllCtx scaling across cores.

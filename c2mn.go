@@ -26,6 +26,12 @@
 // typed: ErrCanceled, ErrEmptySequence, ErrNoModel. cmd/msserve
 // exposes the Engine over HTTP.
 //
+// Annotation runs on pooled, reusable inference workspaces with
+// incremental (Markov-blanket delta) scoring, so steady-state
+// annotation allocates only its results; AnnotateOptions and
+// WithInferOptions expose the inference tuning (ICM sweeps, annealed
+// restart, seed).
+//
 // The heavy lifting lives in the internal packages (geometry, R-tree,
 // indoor topology and MIWD distances, st-DBSCAN, L-BFGS, the C2MN
 // model with its alternate learning algorithm, baselines, simulator
@@ -172,10 +178,24 @@ type TrainOptions struct {
 }
 
 // Annotator is a trained C2MN bound to its venue.
+//
+// Annotation runs on pooled inference workspaces: each call borrows a
+// reusable (sequence-context, workspace) pair, so steady-state
+// annotation allocates only the returned labels and m-semantics. The
+// pool makes every Annotate* method safe for concurrent use.
 type Annotator struct {
 	space *indoor.Space
 	model *core.Model
 	ex    *features.Extractor
+	pool  sync.Pool // of *inferState
+}
+
+// inferState bundles the per-worker reusable inference memory: the
+// label-independent sequence context and the core workspace holding
+// label slices, logits, feature buffers and the running score.
+type inferState struct {
+	ctx *features.SeqContext
+	ws  *core.Workspace
 }
 
 // Train learns a C2MN from labeled sequences over a venue.
@@ -213,7 +233,11 @@ func newAnnotator(space *Space, model *core.Model) (*Annotator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Annotator{space: space, model: model, ex: ex}, nil
+	a := &Annotator{space: space, model: model, ex: ex}
+	a.pool.New = func() any {
+		return &inferState{ctx: &features.SeqContext{Ex: a.ex}, ws: core.NewWorkspace()}
+	}
+	return a, nil
 }
 
 // Space returns the annotator's venue.
@@ -226,13 +250,26 @@ func (a *Annotator) Weights() []float64 {
 }
 
 // Annotate labels a p-sequence and returns both the per-record labels
-// and the merged m-semantics sequence.
+// and the merged m-semantics sequence, using the default inference
+// configuration.
 func (a *Annotator) Annotate(p *PSequence) (Labels, MSSequence, error) {
+	return a.AnnotateOpts(p, AnnotateOptions{})
+}
+
+// AnnotateOpts is Annotate with explicit inference tuning: the ICM
+// sweep bound, the optional annealed restart and its seed.
+func (a *Annotator) AnnotateOpts(p *PSequence, opts AnnotateOptions) (Labels, MSSequence, error) {
+	if err := opts.validate(); err != nil {
+		return Labels{}, MSSequence{}, err
+	}
 	if err := p.Validate(); err != nil {
 		return Labels{}, MSSequence{}, err
 	}
-	labels, ms := a.model.AnnotateSequence(a.ex, p)
-	return labels, ms, nil
+	st := a.pool.Get().(*inferState)
+	st.ctx.Reset(p, nil)
+	labels := st.ws.Annotate(a.model, st.ctx, opts.inferOptions())
+	a.pool.Put(st)
+	return labels, seq.Merge(p, labels), nil
 }
 
 // AnnotateWindowed labels a long p-sequence in bounded-cost chunks of
@@ -241,10 +278,23 @@ func (a *Annotator) Annotate(p *PSequence) (Labels, MSSequence, error) {
 // whole-sequence inference would be too costly; near chunk borders the
 // overlap preserves the sequential context the model needs.
 func (a *Annotator) AnnotateWindowed(p *PSequence, window, overlap int) (Labels, MSSequence, error) {
+	return a.AnnotateWindowedOpts(p, window, overlap, AnnotateOptions{})
+}
+
+// AnnotateWindowedOpts is AnnotateWindowed with explicit inference
+// tuning for the per-chunk inference.
+func (a *Annotator) AnnotateWindowedOpts(p *PSequence, window, overlap int, opts AnnotateOptions) (Labels, MSSequence, error) {
+	if err := opts.validate(); err != nil {
+		return Labels{}, MSSequence{}, err
+	}
 	if err := p.Validate(); err != nil {
 		return Labels{}, MSSequence{}, err
 	}
-	labels := a.model.AnnotateWindowed(a.ex, p, core.WindowOptions{Window: window, Overlap: overlap})
+	st := a.pool.Get().(*inferState)
+	labels := st.ws.AnnotateWindowed(a.model, st.ctx, p, core.WindowOptions{
+		Window: window, Overlap: overlap, Infer: opts.inferOptions(),
+	})
+	a.pool.Put(st)
 	return labels, seq.Merge(p, labels), nil
 }
 

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkAnnotateSingleSequence-8   \t 1202\t    982374 ns/op\t     512 B/op\t       9 allocs/op\t       100 records/seq")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkAnnotateSingleSequence-8" || r.Iterations != 1202 {
+		t.Fatalf("name/iters = %q/%d", r.Name, r.Iterations)
+	}
+	if r.NsPerOp != 982374 {
+		t.Fatalf("ns/op = %g", r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 512 || r.AllocsPerOp == nil || *r.AllocsPerOp != 9 {
+		t.Fatalf("memory columns lost")
+	}
+	if r.Metrics["records/seq"] != 100 {
+		t.Fatalf("custom metric lost: %v", r.Metrics)
+	}
+
+	if _, ok := parseLine("ok  \tc2mn\t12.3s"); ok {
+		t.Fatal("non-benchmark line accepted")
+	}
+	if _, ok := parseLine("BenchmarkBroken-8 notanumber 12 ns/op"); ok {
+		t.Fatal("bad iteration count accepted")
+	}
+}

@@ -50,16 +50,24 @@ func main() {
 	window := flag.Int("window", 0, "windowed inference chunk size (0 = whole-sequence)")
 	overlap := flag.Int("overlap", 0, "windowed inference overlap (0 = default 32, -1 = none)")
 	retention := flag.Float64("retention", 0, "live store retention in seconds of stream time (0 = keep all)")
+	maxBody := flag.Int64("max-body", defaultMaxBody, "maximum request body size in bytes")
+	maxSweeps := flag.Int("max-sweeps", 0, "ICM sweep bound per sequence (0 = default 20)")
+	annealSweeps := flag.Int("anneal-sweeps", 0, "annealed-restart Gibbs sweeps (0 = off)")
+	seed := flag.Int64("seed", 0, "annealing randomness seed")
 	flag.Parse()
 
-	engine, err := buildEngine(*spacePath, *modelPath, *eta, *psi, *workers, *window, *overlap, *retention)
+	if *maxBody <= 0 {
+		log.Fatalf("-max-body must be positive, got %d", *maxBody)
+	}
+	infer := c2mn.AnnotateOptions{MaxSweeps: *maxSweeps, AnnealSweeps: *annealSweeps, Seed: *seed}
+	engine, err := buildEngine(*spacePath, *modelPath, *eta, *psi, *workers, *window, *overlap, *retention, infer)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(engine),
+		Handler:           newServer(engine, *maxBody),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -76,7 +84,7 @@ func main() {
 	}
 }
 
-func buildEngine(spacePath, modelPath string, eta, psi float64, workers, window, overlap int, retention float64) (*c2mn.Engine, error) {
+func buildEngine(spacePath, modelPath string, eta, psi float64, workers, window, overlap int, retention float64, infer c2mn.AnnotateOptions) (*c2mn.Engine, error) {
 	sf, err := os.Open(spacePath)
 	if err != nil {
 		return nil, err
@@ -100,17 +108,23 @@ func buildEngine(spacePath, modelPath string, eta, psi float64, workers, window,
 		c2mn.WithWorkers(workers),
 		c2mn.WithWindowing(window, overlap),
 		c2mn.WithRetention(retention),
+		c2mn.WithInferOptions(infer),
 	)
 }
 
+// defaultMaxBody caps request bodies at 32 MiB unless -max-body says
+// otherwise.
+const defaultMaxBody = 32 << 20
+
 // server handles the HTTP surface over one Engine.
 type server struct {
-	engine *c2mn.Engine
+	engine  *c2mn.Engine
+	maxBody int64
 }
 
-// newServer builds the route table.
-func newServer(e *c2mn.Engine) http.Handler {
-	s := &server{engine: e}
+// newServer builds the route table. maxBody caps every request body.
+func newServer(e *c2mn.Engine, maxBody int64) http.Handler {
+	s := &server{engine: e, maxBody: maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /annotate", s.handleAnnotate)
 	mux.HandleFunc("POST /feed", s.handleFeed)
@@ -154,7 +168,7 @@ type annotateResponse struct {
 }
 
 func (s *server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeSequence(w, r)
+	req, ok := s.decodeSequence(w, r)
 	if !ok {
 		return
 	}
@@ -185,7 +199,7 @@ type feedResponse struct {
 }
 
 func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeSequence(w, r)
+	req, ok := s.decodeSequence(w, r)
 	if !ok {
 		return
 	}
@@ -343,10 +357,16 @@ func (s *server) wireSemantics(ms c2mn.MSSequence) []wireSemantics {
 	return out
 }
 
-func decodeSequence(w http.ResponseWriter, r *http.Request) (sequenceRequest, bool) {
+func (s *server) decodeSequence(w http.ResponseWriter, r *http.Request) (sequenceRequest, bool) {
 	var req sequenceRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return req, false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return req, false
 	}

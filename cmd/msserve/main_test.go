@@ -78,7 +78,7 @@ func decodeBody[T any](t *testing.T, resp *http.Response) T {
 
 func TestServerRoundTrips(t *testing.T) {
 	engine, test := testEngine(t)
-	ts := httptest.NewServer(newServer(engine))
+	ts := httptest.NewServer(newServer(engine, defaultMaxBody))
 	defer ts.Close()
 
 	// Liveness.
@@ -204,7 +204,7 @@ func TestServerRoundTrips(t *testing.T) {
 
 func TestServerQueryParamsWindowAndRegions(t *testing.T) {
 	engine, test := testEngine(t)
-	ts := httptest.NewServer(newServer(engine))
+	ts := httptest.NewServer(newServer(engine, defaultMaxBody))
 	defer ts.Close()
 
 	for i := range test {
@@ -237,4 +237,32 @@ func TestServerQueryParamsWindowAndRegions(t *testing.T) {
 	if !reflect.DeepEqual(gotPlain, want) {
 		t.Fatalf("windowed query = %v, want %v", gotPlain, want)
 	}
+}
+
+func TestServerMaxBodyRejectsOversizedRequests(t *testing.T) {
+	engine, test := testEngine(t)
+	ts := httptest.NewServer(newServer(engine, 128))
+	defer ts.Close()
+
+	for _, path := range []string{"/annotate", "/feed"} {
+		resp := postJSON(t, ts.URL+path, sequenceRequest{
+			ObjectID: "big",
+			Records:  toWire(test[0].P.Records),
+		})
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized status = %s, want 413", path, resp.Status)
+		}
+		body := decodeBody[map[string]string](t, resp)
+		if body["error"] == "" {
+			t.Fatalf("%s oversized response carries no JSON error", path)
+		}
+	}
+
+	// A request under the cap still reaches the handler (and fails for
+	// its own reasons, not with 413).
+	resp := postJSON(t, ts.URL+"/annotate", sequenceRequest{ObjectID: "s"})
+	if resp.StatusCode == http.StatusRequestEntityTooLarge {
+		t.Fatalf("small request rejected as too large: %s", resp.Status)
+	}
+	resp.Body.Close()
 }

@@ -31,6 +31,7 @@ type Engine struct {
 	eta, psi  float64
 	window    int
 	overlap   int
+	infer     AnnotateOptions
 	onSeq     func(MSSequence)
 	retention float64
 	store     *query.Store
@@ -71,13 +72,14 @@ func (e *Engine) Space() *Space { return e.ann.Space() }
 
 // annotate applies the engine's configured inference to one sequence:
 // AnnotateWindowed when WithWindowing is set, whole-sequence inference
-// otherwise. Every Engine path — single, batch and streaming — funnels
-// through here so they cannot diverge.
+// otherwise, both under the WithInferOptions tuning. Every Engine path
+// — single, batch and streaming — funnels through here so they cannot
+// diverge.
 func (e *Engine) annotate(p *PSequence) (Labels, MSSequence, error) {
 	if e.window > 0 {
-		return e.ann.AnnotateWindowed(p, e.window, e.overlap)
+		return e.ann.AnnotateWindowedOpts(p, e.window, e.overlap, e.infer)
 	}
-	return e.ann.Annotate(p)
+	return e.ann.AnnotateOpts(p, e.infer)
 }
 
 // AnnotateCtx labels one p-sequence under the engine's configuration.

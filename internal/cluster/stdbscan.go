@@ -80,24 +80,43 @@ type Result struct {
 // NoCluster marks points that belong to no cluster.
 const NoCluster = -1
 
+// Scratch holds the working buffers of a clustering run so that
+// callers tagging many sequences (one Run per p-sequence) can reuse
+// them via RunScratch instead of allocating per call.
+type Scratch struct {
+	visited    []bool
+	nbuf, qbuf []int
+}
+
 // Run clusters the points. The input is assumed time-ordered (as
 // p-sequences are); the neighbourhood scan exploits this to examine
 // only the temporal window around each point, giving O(n·w) behaviour
 // where w is the window width.
 func Run(points []Point, params Params) (Result, error) {
-	if err := params.Validate(); err != nil {
+	var res Result
+	if err := RunScratch(points, params, &res, &Scratch{}); err != nil {
 		return Result{}, err
 	}
-	n := len(points)
-	res := Result{
-		Cluster: make([]int, n),
-		Tag:     make([]Density, n),
+	return res, nil
+}
+
+// RunScratch is Run writing into res and drawing every working buffer
+// from res and sc, both of which are grown as needed and fully
+// overwritten. Steady-state it allocates nothing.
+func RunScratch(points []Point, params Params, res *Result, sc *Scratch) error {
+	if err := params.Validate(); err != nil {
+		return err
 	}
+	n := len(points)
+	res.Cluster = growSlice(res.Cluster, n)
+	res.Tag = growSlice(res.Tag, n)
+	res.NumClusters = 0
 	for i := range res.Cluster {
 		res.Cluster[i] = NoCluster
+		res.Tag[i] = Noise
 	}
 	if n == 0 {
-		return res, nil
+		return nil
 	}
 
 	neighbors := func(i int, dst []int) []int {
@@ -117,8 +136,11 @@ func Run(points []Point, params Params) (Result, error) {
 		return dst
 	}
 
-	visited := make([]bool, n)
-	var nbuf, qbuf []int
+	visited := growSlice(sc.visited, n)
+	for i := range visited {
+		visited[i] = false
+	}
+	nbuf, qbuf := sc.nbuf, sc.qbuf
 	clusterID := 0
 	for i := 0; i < n; i++ {
 		if visited[i] {
@@ -145,16 +167,17 @@ func Run(points []Point, params Params) (Result, error) {
 				continue
 			}
 			visited[j] = true
-			jn := neighbors(j, nil)
-			if len(jn) >= params.MinPts {
+			nbuf = neighbors(j, nbuf)
+			if len(nbuf) >= params.MinPts {
 				res.Tag[j] = Core
-				qbuf = append(qbuf, jn...)
+				qbuf = append(qbuf, nbuf...)
 			}
 		}
 		clusterID++
 	}
 	res.NumClusters = clusterID
-	return res, nil
+	sc.visited, sc.nbuf, sc.qbuf = visited, nbuf, qbuf
+	return nil
 }
 
 func near(a, b Point, epsS float64) bool {
@@ -163,4 +186,13 @@ func near(a, b Point, epsS float64) bool {
 	}
 	dx, dy := a.X-b.X, a.Y-b.Y
 	return dx*dx+dy*dy <= epsS*epsS
+}
+
+// growSlice returns s resized to n entries, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

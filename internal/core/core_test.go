@@ -439,7 +439,7 @@ func TestAnnotateSequenceMerging(t *testing.T) {
 	ex, _ := features.NewExtractor(space, model.Params)
 	rng := rand.New(rand.NewSource(123))
 	ls := synthSequence("q", 0, 2, rng)
-	labels, ms := model.AnnotateSequence(ex, &ls.P)
+	labels, ms := model.AnnotateSequence(ex, &ls.P, InferOptions{})
 	if len(labels.Regions) != ls.P.Len() {
 		t.Fatalf("labels misaligned")
 	}

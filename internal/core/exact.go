@@ -80,13 +80,17 @@ func TrainExact(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*M
 		return nil, TrainStats{}, fmt.Errorf("core: no labeled nodes in training data")
 	}
 
+	// logits is shared across objective evaluations: L-BFGS calls obj
+	// many times per training run and the per-node domains are small,
+	// so one grown-once buffer serves every node.
+	var logits []float64
 	obj := func(w []float64) (float64, []float64) {
 		f := 0.0
 		g := make([]float64, features.Dim)
 		for _, nd := range nodes {
 			k := len(nd.feats)
 			maxL := math.Inf(-1)
-			logits := make([]float64, k)
+			logits = grow(logits, k)
 			for c := 0; c < k; c++ {
 				logits[c] = dot(w, nd.feats[c])
 				if logits[c] > maxL {

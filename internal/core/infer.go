@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/rand"
 
 	"c2mn/internal/features"
 	"c2mn/internal/indoor"
@@ -89,182 +88,18 @@ type InferOptions struct {
 // conditional until a fixed point. Every accepted move increases the
 // global score w·f(P,R,E), because the local Markov-blanket feature
 // deltas equal the global ones, so the procedure terminates.
+//
+// Annotate allocates a throwaway Workspace; callers on a hot path
+// should pool a Workspace and use its Annotate method directly.
 func (m *Model) Annotate(ctx *features.SeqContext, opts InferOptions) seq.Labels {
-	if opts.MaxSweeps <= 0 {
-		opts.MaxSweeps = 20
-	}
-	n := ctx.Len()
-	R := InitRegions(ctx)
-	E := InitEvents(ctx)
-	if n == 0 {
-		return seq.Labels{Regions: R, Events: E}
-	}
-
-	// First candidate: ICM from the deterministic initialisation.
-	bestR := append([]indoor.RegionID(nil), R...)
-	bestE := append([]seq.Event(nil), E...)
-	m.icm(ctx, bestR, bestE, opts.MaxSweeps)
-	m.blockICM(ctx, bestR, bestE, opts.MaxSweeps)
-	bestScore := m.Score(ctx, bestR, bestE)
-
-	// Second candidate: annealed Gibbs from the initialisation, then
-	// ICM; keep whichever fixed point scores higher. The annealing
-	// escapes local optima near region boundaries that greedy ICM
-	// cannot leave.
-	if opts.AnnealSweeps > 0 {
-		m.anneal(ctx, R, E, opts)
-		m.icm(ctx, R, E, opts.MaxSweeps)
-		m.blockICM(ctx, R, E, opts.MaxSweeps)
-		if s := m.Score(ctx, R, E); s > bestScore {
-			bestScore = s
-			copy(bestR, R)
-			copy(bestE, E)
-		}
-	}
-	return seq.Labels{Regions: bestR, Events: bestE}
-}
-
-// blockICM interleaves run-level region moves with node-level sweeps:
-// each maximal same-region run is tentatively relabeled as a whole to
-// every candidate of its records, keeping score-improving moves.
-// Single-node ICM cannot make these moves once transition potentials
-// lock a run into a uniform (possibly wrong) label; relabeling the
-// block escapes that local optimum. Every accepted move increases the
-// global score, so the procedure terminates.
-func (m *Model) blockICM(ctx *features.SeqContext, R []indoor.RegionID, E []seq.Event, maxSweeps int) {
-	n := ctx.Len()
-	if n == 0 {
-		return
-	}
-	cur := m.Score(ctx, R, E)
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		improved := false
-		for a := 0; a < n; {
-			b := a
-			for b+1 < n && R[b+1] == R[a] {
-				b++
-			}
-			orig := R[a]
-			// Candidate labels: union over the run's records.
-			seen := map[indoor.RegionID]bool{orig: true}
-			bestLabel, bestScore := orig, cur
-			for x := a; x <= b; x++ {
-				for _, r := range ctx.Candidates[x] {
-					if seen[r] {
-						continue
-					}
-					seen[r] = true
-					for y := a; y <= b; y++ {
-						R[y] = r
-					}
-					if s := m.Score(ctx, R, E); s > bestScore {
-						bestLabel, bestScore = r, s
-					}
-				}
-			}
-			for y := a; y <= b; y++ {
-				R[y] = bestLabel
-			}
-			if bestLabel != orig {
-				improved = true
-				cur = bestScore
-			}
-			a = b + 1
-		}
-		if !improved {
-			break
-		}
-		// Let node-level moves refine boundaries after block changes.
-		m.icm(ctx, R, E, maxSweeps)
-		cur = m.Score(ctx, R, E)
-	}
-}
-
-// anneal runs tempered Gibbs sweeps over R and E in place.
-func (m *Model) anneal(ctx *features.SeqContext, R []indoor.RegionID, E []seq.Event, opts InferOptions) {
-	n := ctx.Len()
-	rng := rand.New(rand.NewSource(opts.Seed + 0x5eed))
-	buf := make([]float64, features.Dim)
-	logits := make([]float64, 0, 16)
-	for sweep := 0; sweep < opts.AnnealSweeps; sweep++ {
-		temp := 2.0 * float64(opts.AnnealSweeps-sweep) / float64(opts.AnnealSweeps)
-		for i := 0; i < n; i++ {
-			cands := ctx.Candidates[i]
-			if len(cands) > 1 {
-				logits = logits[:0]
-				maxL := math.Inf(-1)
-				for _, r := range cands {
-					ctx.LocalRegionFeatures(R, E, i, r, buf)
-					v := dot(m.Weights, buf) / temp
-					logits = append(logits, v)
-					if v > maxL {
-						maxL = v
-					}
-				}
-				normalizeExp(logits, maxL)
-				R[i] = cands[sampleIndex(logits, rng)]
-			}
-			logits = logits[:0]
-			maxL := math.Inf(-1)
-			for e := 0; e < seq.NumEvents; e++ {
-				ctx.LocalEventFeatures(R, E, i, seq.Event(e), buf)
-				v := dot(m.Weights, buf) / temp
-				logits = append(logits, v)
-				if v > maxL {
-					maxL = v
-				}
-			}
-			normalizeExp(logits, maxL)
-			E[i] = seq.Event(sampleIndex(logits, rng))
-		}
-	}
-}
-
-// icm runs coordinate-ascent sweeps over R and E in place until a
-// fixed point; every accepted move increases the global score (the
-// local Markov-blanket feature deltas equal the global ones), so the
-// loop terminates.
-func (m *Model) icm(ctx *features.SeqContext, R []indoor.RegionID, E []seq.Event, maxSweeps int) {
-	n := ctx.Len()
-	buf := make([]float64, features.Dim)
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		changed := false
-		for i := 0; i < n; i++ {
-			best, bestV := R[i], math.Inf(-1)
-			for _, r := range ctx.Candidates[i] {
-				ctx.LocalRegionFeatures(R, E, i, r, buf)
-				if v := dot(m.Weights, buf); v > bestV {
-					best, bestV = r, v
-				}
-			}
-			if best != R[i] {
-				R[i] = best
-				changed = true
-			}
-		}
-		for i := 0; i < n; i++ {
-			best, bestV := E[i], math.Inf(-1)
-			for e := 0; e < seq.NumEvents; e++ {
-				ctx.LocalEventFeatures(R, E, i, seq.Event(e), buf)
-				if v := dot(m.Weights, buf); v > bestV {
-					best, bestV = seq.Event(e), v
-				}
-			}
-			if best != E[i] {
-				E[i] = best
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
+	var ws Workspace
+	return ws.Annotate(m, ctx, opts)
 }
 
 // AnnotateSequence is a convenience wrapper building the sequence
 // context and returning merged m-semantics along with the labels.
-func (m *Model) AnnotateSequence(ex *features.Extractor, p *seq.PSequence) (seq.Labels, seq.MSSequence) {
+func (m *Model) AnnotateSequence(ex *features.Extractor, p *seq.PSequence, opts InferOptions) (seq.Labels, seq.MSSequence) {
 	ctx := ex.NewSeqContext(p, nil)
-	labels := m.Annotate(ctx, InferOptions{})
+	labels := m.Annotate(ctx, opts)
 	return labels, seq.Merge(p, labels)
 }

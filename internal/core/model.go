@@ -214,6 +214,12 @@ func RegionPriorFromLabels(numRegions int, data []seq.LabeledSequence) []float64
 // stays, noise records are passes.
 func InitEvents(ctx *features.SeqContext) []seq.Event {
 	E := make([]seq.Event, ctx.Len())
+	InitEventsInto(ctx, E)
+	return E
+}
+
+// InitEventsInto is InitEvents writing into E (length ctx.Len()).
+func InitEventsInto(ctx *features.SeqContext, E []seq.Event) {
 	for i, d := range ctx.Density {
 		if d == cluster.Noise {
 			E[i] = seq.Pass
@@ -221,7 +227,6 @@ func InitEvents(ctx *features.SeqContext) []seq.Event {
 			E[i] = seq.Stay
 		}
 	}
-	return E
 }
 
 // InitRegions derives the initial region configuration R̄ by
@@ -229,6 +234,12 @@ func InitEvents(ctx *features.SeqContext) []seq.Event {
 // its maximum-overlap candidate.
 func InitRegions(ctx *features.SeqContext) []indoor.RegionID {
 	R := make([]indoor.RegionID, ctx.Len())
+	InitRegionsInto(ctx, R)
+	return R
+}
+
+// InitRegionsInto is InitRegions writing into R (length ctx.Len()).
+func InitRegionsInto(ctx *features.SeqContext, R []indoor.RegionID) {
 	for i := range R {
 		best := indoor.NoRegion
 		bestV := -1.0
@@ -239,7 +250,6 @@ func InitRegions(ctx *features.SeqContext) []indoor.RegionID {
 		}
 		R[i] = best
 	}
-	return R
 }
 
 func dot(a, b []float64) float64 {

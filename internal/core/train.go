@@ -141,7 +141,9 @@ func Train(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*Model,
 	var best snapshot
 	first := true
 	grad := make([]float64, features.Dim)
-	probs := make([]float64, 0, 16)
+	// The sampler draws its per-node logits buffer from one shared
+	// inference workspace instead of allocating per pass.
+	ws := NewWorkspace()
 
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		stats.Iterations = iter + 1
@@ -152,7 +154,7 @@ func Train(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*Model,
 		}
 		var touched [features.Dim]bool
 		for _, ts := range seqs {
-			ts.samplePass(w, cfg.M, rng, grad, &probs)
+			ts.samplePass(w, cfg.M, rng, grad, ws)
 			ts.markTouched(&touched)
 		}
 		// The prior term applies to the weights participating in this
@@ -259,18 +261,17 @@ func (ts *trainSeq) buildNodeCache(b Var) {
 
 // samplePass draws M label samples per node from the local
 // conditionals under w, accumulates the gradient contribution
-// Σ_i (1/M) Σ_j Δf(j) into grad, and records the sample counts.
-func (ts *trainSeq) samplePass(w []float64, m int, rng *rand.Rand, grad []float64, probs *[]float64) {
+// Σ_i (1/M) Σ_j Δf(j) into grad, and records the sample counts. The
+// per-node probability buffer comes from the shared workspace ws.
+func (ts *trainSeq) samplePass(w []float64, m int, rng *rand.Rand, grad []float64, ws *Workspace) {
 	for i := range ts.nodes {
 		nc := &ts.nodes[i]
 		if nc.trueIdx < 0 {
 			continue // unlabeled node: no empirical features
 		}
 		k := len(nc.feats)
-		if cap(*probs) < k {
-			*probs = make([]float64, k)
-		}
-		p := (*probs)[:k]
+		ws.logits = grow(ws.logits, k)
+		p := ws.logits
 		maxL := math.Inf(-1)
 		for c := 0; c < k; c++ {
 			p[c] = dot(w, nc.feats[c])

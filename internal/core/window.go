@@ -35,37 +35,11 @@ func (o WindowOptions) fill() WindowOptions {
 // suitable for day-long streams; the overlap preserves the sequential
 // context that the transition, synchronization and segmentation
 // cliques need near chunk borders.
+//
+// AnnotateWindowed allocates a throwaway workspace and context;
+// callers on a hot path should pool them and use
+// Workspace.AnnotateWindowed directly.
 func (m *Model) AnnotateWindowed(ex *features.Extractor, p *seq.PSequence, opts WindowOptions) seq.Labels {
-	opts = opts.fill()
-	n := p.Len()
-	if n <= opts.Window+2*opts.Overlap {
-		ctx := ex.NewSeqContext(p, nil)
-		return m.Annotate(ctx, opts.Infer)
-	}
-	out := seq.NewLabels(n)
-	for start := 0; start < n; start += opts.Window {
-		end := start + opts.Window
-		if end > n {
-			end = n
-		}
-		lo := start - opts.Overlap
-		if lo < 0 {
-			lo = 0
-		}
-		hi := end + opts.Overlap
-		if hi > n {
-			hi = n
-		}
-		chunk := seq.PSequence{
-			ObjectID: p.ObjectID,
-			Records:  p.Records[lo:hi],
-		}
-		ctx := ex.NewSeqContext(&chunk, nil)
-		labels := m.Annotate(ctx, opts.Infer)
-		for i := start; i < end; i++ {
-			out.Regions[i] = labels.Regions[i-lo]
-			out.Events[i] = labels.Events[i-lo]
-		}
-	}
-	return out
+	var ws Workspace
+	return ws.AnnotateWindowed(m, &features.SeqContext{Ex: ex}, p, opts)
 }

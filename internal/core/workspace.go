@@ -1,0 +1,382 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"c2mn/internal/features"
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// Workspace holds every mutable buffer one inference run needs — the
+// R/E label slices, the candidate logits, feature scratch vectors and
+// a maintained running score — so that repeated annotation reuses the
+// same memory. A zero Workspace is ready to use; Annotate grows the
+// buffers to the bound sequence and performs no steady-state
+// allocation beyond the returned labels.
+//
+// The running score is updated incrementally: every accepted move adds
+// the exact Markov-blanket feature delta of that move (see
+// features.RegionRunDelta), so block moves cost O(run·Dim) instead of
+// the O(n·Dim) full rescore the previous implementation paid per
+// tentative relabeling.
+//
+// A Workspace is not safe for concurrent use. The public layer keeps a
+// sync.Pool of them, one handed to each annotation worker.
+type Workspace struct {
+	m   *Model
+	ctx *features.SeqContext
+
+	// score is the running w·f(P, R, E) of the current configuration.
+	score     float64
+	initScore float64
+
+	// R/E are the current configuration; initR/initE preserve the
+	// deterministic initialisation for the annealed restart; bestR/bestE
+	// hold the best fixed point found so far.
+	R     []indoor.RegionID
+	E     []seq.Event
+	initR []indoor.RegionID
+	initE []seq.Event
+	bestR []indoor.RegionID
+	bestE []seq.Event
+
+	// Scratch: per-candidate feature buffers, logits and the raw
+	// (untempered) potentials of the annealed sweeps.
+	buf    []float64
+	delta  []float64
+	logits []float64
+	raw    []float64
+	tried  []indoor.RegionID
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset binds the workspace to a model and a prepared sequence
+// context, loads the deterministic initialisation (maximum-overlap
+// regions, density-tag events) into R/E and computes the starting
+// score with one full feature pass — the only full pass of the run.
+func (ws *Workspace) Reset(m *Model, ctx *features.SeqContext) {
+	n := ctx.Len()
+	ws.m, ws.ctx = m, ctx
+	ws.R = grow(ws.R, n)
+	ws.E = grow(ws.E, n)
+	ws.initR = grow(ws.initR, n)
+	ws.initE = grow(ws.initE, n)
+	ws.bestR = grow(ws.bestR, n)
+	ws.bestE = grow(ws.bestE, n)
+	ws.buf = grow(ws.buf, features.Dim)
+	ws.delta = grow(ws.delta, features.Dim)
+	InitRegionsInto(ctx, ws.R)
+	InitEventsInto(ctx, ws.E)
+	copy(ws.initR, ws.R)
+	copy(ws.initE, ws.E)
+	ctx.TotalFeatures(ws.R, ws.E, ws.buf)
+	ws.score = dot(m.Weights, ws.buf)
+	ws.initScore = ws.score
+}
+
+// Score returns the running score of the current configuration. It
+// equals m.Score(ctx, R, E) up to floating-point association, which
+// the workspace tests assert.
+func (ws *Workspace) Score() float64 { return ws.score }
+
+// Labels returns a copy of the current configuration that outlives the
+// workspace.
+func (ws *Workspace) Labels() seq.Labels {
+	return seq.Labels{
+		Regions: append([]indoor.RegionID{}, ws.R...),
+		Events:  append([]seq.Event{}, ws.E...),
+	}
+}
+
+// Annotate runs the full inference pipeline of Model.Annotate on the
+// workspace's buffers and returns an owned copy of the best labels.
+func (ws *Workspace) Annotate(m *Model, ctx *features.SeqContext, opts InferOptions) seq.Labels {
+	ws.annotate(m, ctx, opts)
+	return ws.Labels()
+}
+
+// annotate is Annotate leaving the result in ws.R/ws.E (and ws.score)
+// without copying it out; the windowed path reads it in place.
+func (ws *Workspace) annotate(m *Model, ctx *features.SeqContext, opts InferOptions) {
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = 20
+	}
+	ws.Reset(m, ctx)
+	if ctx.Len() == 0 {
+		return
+	}
+
+	// First candidate: ICM from the deterministic initialisation.
+	ws.icm(opts.MaxSweeps)
+	ws.blockICM(opts.MaxSweeps)
+	bestScore := ws.score
+	copy(ws.bestR, ws.R)
+	copy(ws.bestE, ws.E)
+
+	// Second candidate: annealed Gibbs from the initialisation, then
+	// ICM; keep whichever fixed point scores higher. The annealing
+	// escapes local optima near region boundaries that greedy ICM
+	// cannot leave.
+	if opts.AnnealSweeps > 0 {
+		copy(ws.R, ws.initR)
+		copy(ws.E, ws.initE)
+		ws.score = ws.initScore
+		ws.anneal(opts)
+		ws.icm(opts.MaxSweeps)
+		ws.blockICM(opts.MaxSweeps)
+		if ws.score > bestScore {
+			bestScore = ws.score
+			copy(ws.bestR, ws.R)
+			copy(ws.bestE, ws.E)
+		}
+	}
+	copy(ws.R, ws.bestR)
+	copy(ws.E, ws.bestE)
+	ws.score = bestScore
+}
+
+// icm runs coordinate-ascent sweeps over R and E in place until a
+// fixed point; every accepted move increases the running score by its
+// exact Markov-blanket delta (the local feature deltas equal the
+// global ones), so the loop terminates.
+func (ws *Workspace) icm(maxSweeps int) {
+	ctx, w := ws.ctx, ws.m.Weights
+	R, E, buf := ws.R, ws.E, ws.buf
+	n := ctx.Len()
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			cur := R[i]
+			best, bestV := cur, math.Inf(-1)
+			curV := math.Inf(-1)
+			for _, r := range ctx.Candidates[i] {
+				ctx.LocalRegionFeatures(R, E, i, r, buf)
+				v := dot(w, buf)
+				if r == cur {
+					curV = v
+				}
+				if v > bestV {
+					best, bestV = r, v
+				}
+			}
+			if best != cur {
+				if math.IsInf(curV, -1) {
+					// The current label came from a block move over a
+					// neighbour's candidate set and is not in this
+					// record's; score it explicitly for the delta.
+					ctx.LocalRegionFeatures(R, E, i, cur, buf)
+					curV = dot(w, buf)
+				}
+				R[i] = best
+				ws.score += bestV - curV
+				changed = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			cur := E[i]
+			best, bestV := cur, math.Inf(-1)
+			curV := 0.0
+			for e := 0; e < seq.NumEvents; e++ {
+				ctx.LocalEventFeatures(R, E, i, seq.Event(e), buf)
+				v := dot(w, buf)
+				if seq.Event(e) == cur {
+					curV = v
+				}
+				if v > bestV {
+					best, bestV = seq.Event(e), v
+				}
+			}
+			if best != cur {
+				E[i] = best
+				ws.score += bestV - curV
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// blockICM interleaves run-level region moves with node-level sweeps:
+// each maximal same-region run is tentatively relabeled as a whole to
+// every candidate of its records, keeping score-improving moves.
+// Single-node ICM cannot make these moves once transition potentials
+// lock a run into a uniform (possibly wrong) label; relabeling the
+// block escapes that local optimum. Each tentative move is priced by
+// features.RegionRunDelta — O(run·Dim) on the run's Markov blanket —
+// instead of a full O(n·Dim) rescore. Every accepted move increases
+// the running score, so the procedure terminates.
+func (ws *Workspace) blockICM(maxSweeps int) {
+	ctx, w := ws.ctx, ws.m.Weights
+	R, E := ws.R, ws.E
+	n := ctx.Len()
+	if n == 0 {
+		return
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		improved := false
+		for a := 0; a < n; {
+			b := a
+			for b+1 < n && R[b+1] == R[a] {
+				b++
+			}
+			orig := R[a]
+			// Candidate labels: union over the run's records.
+			tried := append(ws.tried[:0], orig)
+			bestLabel, bestDelta := orig, 0.0
+			for x := a; x <= b; x++ {
+				for _, r := range ctx.Candidates[x] {
+					if containsRegion(tried, r) {
+						continue
+					}
+					tried = append(tried, r)
+					ctx.RegionRunDelta(R, E, a, b, r, ws.delta)
+					if d := dot(w, ws.delta); d > bestDelta {
+						bestLabel, bestDelta = r, d
+					}
+				}
+			}
+			ws.tried = tried
+			if bestLabel != orig {
+				for y := a; y <= b; y++ {
+					R[y] = bestLabel
+				}
+				ws.score += bestDelta
+				improved = true
+			}
+			a = b + 1
+		}
+		if !improved {
+			break
+		}
+		// Let node-level moves refine boundaries after block changes.
+		ws.icm(maxSweeps)
+	}
+}
+
+// anneal runs tempered Gibbs sweeps over R and E in place, keeping the
+// running score in step with every sampled move.
+func (ws *Workspace) anneal(opts InferOptions) {
+	ctx, w := ws.ctx, ws.m.Weights
+	R, E, buf := ws.R, ws.E, ws.buf
+	n := ctx.Len()
+	rng := rand.New(rand.NewSource(opts.Seed + 0x5eed))
+	for sweep := 0; sweep < opts.AnnealSweeps; sweep++ {
+		temp := 2.0 * float64(opts.AnnealSweeps-sweep) / float64(opts.AnnealSweeps)
+		for i := 0; i < n; i++ {
+			cands := ctx.Candidates[i]
+			if len(cands) > 1 {
+				logits := ws.logits[:0]
+				raw := ws.raw[:0]
+				rawOld := math.Inf(-1)
+				maxL := math.Inf(-1)
+				for _, r := range cands {
+					ctx.LocalRegionFeatures(R, E, i, r, buf)
+					rv := dot(w, buf)
+					if r == R[i] {
+						rawOld = rv
+					}
+					v := rv / temp
+					raw = append(raw, rv)
+					logits = append(logits, v)
+					if v > maxL {
+						maxL = v
+					}
+				}
+				normalizeExp(logits, maxL)
+				k := sampleIndex(logits, rng)
+				if cands[k] != R[i] {
+					if math.IsInf(rawOld, -1) {
+						ctx.LocalRegionFeatures(R, E, i, R[i], buf)
+						rawOld = dot(w, buf)
+					}
+					R[i] = cands[k]
+					ws.score += raw[k] - rawOld
+				}
+				ws.logits, ws.raw = logits, raw
+			}
+			logits := ws.logits[:0]
+			raw := ws.raw[:0]
+			rawOld := 0.0
+			maxL := math.Inf(-1)
+			for e := 0; e < seq.NumEvents; e++ {
+				ctx.LocalEventFeatures(R, E, i, seq.Event(e), buf)
+				rv := dot(w, buf)
+				if seq.Event(e) == E[i] {
+					rawOld = rv
+				}
+				v := rv / temp
+				raw = append(raw, rv)
+				logits = append(logits, v)
+				if v > maxL {
+					maxL = v
+				}
+			}
+			normalizeExp(logits, maxL)
+			k := sampleIndex(logits, rng)
+			if seq.Event(k) != E[i] {
+				E[i] = seq.Event(k)
+				ws.score += raw[k] - rawOld
+			}
+			ws.logits, ws.raw = logits, raw
+		}
+	}
+}
+
+// AnnotateWindowed is Model.AnnotateWindowed on reusable buffers: ctx
+// is re-bound to each chunk in turn and ws annotates it, so a pooled
+// (ctx, ws) pair serves day-long sequences without per-chunk
+// allocation beyond the output labels.
+func (ws *Workspace) AnnotateWindowed(m *Model, ctx *features.SeqContext, p *seq.PSequence, opts WindowOptions) seq.Labels {
+	opts = opts.fill()
+	n := p.Len()
+	if n <= opts.Window+2*opts.Overlap {
+		ctx.Reset(p, nil)
+		return ws.Annotate(m, ctx, opts.Infer)
+	}
+	out := seq.NewLabels(n)
+	chunk := seq.PSequence{ObjectID: p.ObjectID}
+	for start := 0; start < n; start += opts.Window {
+		end := start + opts.Window
+		if end > n {
+			end = n
+		}
+		lo := start - opts.Overlap
+		if lo < 0 {
+			lo = 0
+		}
+		hi := end + opts.Overlap
+		if hi > n {
+			hi = n
+		}
+		chunk.Records = p.Records[lo:hi]
+		ctx.Reset(&chunk, nil)
+		ws.annotate(m, ctx, opts.Infer)
+		copy(out.Regions[start:end], ws.R[start-lo:end-lo])
+		copy(out.Events[start:end], ws.E[start-lo:end-lo])
+	}
+	return out
+}
+
+func containsRegion(rs []indoor.RegionID, r indoor.RegionID) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// grow returns s resized to n entries, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

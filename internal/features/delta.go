@@ -1,0 +1,152 @@
+package features
+
+import (
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// This file implements the incremental (delta) feature computation the
+// inference workspace builds its maintained running score on: instead
+// of recomputing the full O(n·Dim) feature vector after a tentative
+// move, each API returns the exact change f(P, R', E') − f(P, R, E)
+// restricted to the Markov blanket of the move. Cliques not containing
+// a moved node contribute identically to both configurations and
+// cancel, so the deltas equal the global differences exactly (up to
+// floating-point association).
+
+// RegionMoveDelta accumulates into out (length Dim, overwritten) the
+// feature change of the single-node move R[i] → r, computed as the
+// difference of the two Markov-blanket statistics. scratch must have
+// length Dim and is clobbered. R is not modified.
+func (c *SeqContext) RegionMoveDelta(R []indoor.RegionID, E []seq.Event, i int, r indoor.RegionID, scratch, out []float64) {
+	c.LocalRegionFeatures(R, E, i, r, out)
+	c.LocalRegionFeatures(R, E, i, R[i], scratch)
+	for k := range out {
+		out[k] -= scratch[k]
+	}
+}
+
+// EventMoveDelta is the event-node analogue of RegionMoveDelta for the
+// move E[i] → e.
+func (c *SeqContext) EventMoveDelta(R []indoor.RegionID, E []seq.Event, i int, e seq.Event, scratch, out []float64) {
+	c.LocalEventFeatures(R, E, i, e, out)
+	c.LocalEventFeatures(R, E, i, E[i], scratch)
+	for k := range out {
+		out[k] -= scratch[k]
+	}
+}
+
+// RegionRunDelta accumulates into out (length Dim, overwritten) the
+// feature change of the block move that relabels the uniform segment
+// [a, b] (every R[x], a ≤ x ≤ b, carries the same label) to r. The
+// segment must be right-maximal (b == n−1 or R[b+1] ≠ R[b]); the left
+// neighbour may carry the same label, as happens when a preceding run
+// was just merged into this one. R is not modified.
+//
+// Cost is O(w·Dim) where w spans the segment, its neighbouring region
+// runs and the event runs overlapping it — the Markov blanket of the
+// block — instead of the O(n·Dim) of a full rescore.
+func (c *SeqContext) RegionRunDelta(R []indoor.RegionID, E []seq.Event, a, b int, r indoor.RegionID, out []float64) {
+	for k := range out {
+		out[k] = 0
+	}
+	orig := R[a]
+	if r == orig {
+		return
+	}
+	n := c.Len()
+	cl := c.Ex.Params.Cliques
+	// reg is the tentative labeling R' restricted to the indices the
+	// affected cliques touch.
+	reg := func(x int) indoor.RegionID {
+		if x >= a && x <= b {
+			return r
+		}
+		return R[x]
+	}
+	if cl.Has(Matching) {
+		for i := a; i <= b; i++ {
+			out[IdxSM] += c.SM(i, r) - c.SM(i, orig)
+		}
+	}
+	if cl.Has(Transition) {
+		// Interior transition edges pair identical labels on both sides
+		// of the move and fst(x, x) is label-independent, so only the
+		// boundary edges change.
+		if a > 0 {
+			out[IdxST] += c.ST(a-1, R[a-1], r) - c.ST(a-1, R[a-1], orig)
+		}
+		if b+1 < n {
+			out[IdxST] += c.ST(b, r, R[b+1]) - c.ST(b, orig, R[b+1])
+		}
+	}
+	if cl.Has(Synchronization) {
+		// fsc(x, x) depends on the intra-region distance E[dI(p,q∈x)],
+		// which differs per region, so interior edges must be rescored
+		// along with the boundaries.
+		if a > 0 {
+			out[IdxSC] += c.SC(a-1, R[a-1], r) - c.SC(a-1, R[a-1], orig)
+		}
+		for i := a; i < b; i++ {
+			out[IdxSC] += c.SC(i, r, r) - c.SC(i, orig, orig)
+		}
+		if b+1 < n {
+			out[IdxSC] += c.SC(b, r, R[b+1]) - c.SC(b, orig, R[b+1])
+		}
+	}
+	if cl.Has(SegmentationES) {
+		// Every event-based segmentation clique overlapping [a, b] sees
+		// region labels change; those fully outside do not.
+		A, B := runStartEvent(E, a), runEndEvent(E, b)
+		var vNew, vOld [3]float64
+		for x := A; x <= B; {
+			y := x
+			for y+1 <= B && E[y+1] == E[x] {
+				y++
+			}
+			c.ES(x, y, E[x], reg, &vNew)
+			c.ES(x, y, E[x], func(z int) indoor.RegionID { return R[z] }, &vOld)
+			out[IdxES] += vNew[0] - vOld[0]
+			out[IdxES+1] += vNew[1] - vOld[1]
+			out[IdxES+2] += vNew[2] - vOld[2]
+			x = y + 1
+		}
+	}
+	if cl.Has(SegmentationSS) {
+		// The move reshapes the space-based segmentation runs in the
+		// window spanned by the segment and its neighbouring runs: the
+		// segment can merge with a neighbour when r matches its label.
+		// Run boundaries outside the window involve only unchanged
+		// labels on both sides and stay put.
+		A, B := a, b
+		if a > 0 {
+			A = runStartRegion(R, a-1)
+		}
+		if b+1 < n {
+			B = runEndRegion(R, b+1)
+		}
+		var v [3]float64
+		for x := A; x <= B; {
+			y := x
+			for y+1 <= B && R[y+1] == R[x] {
+				y++
+			}
+			c.SS(x, y, func(z int) seq.Event { return E[z] }, &v)
+			out[IdxSS] -= v[0]
+			out[IdxSS+1] -= v[1]
+			out[IdxSS+2] -= v[2]
+			x = y + 1
+		}
+		for x := A; x <= B; {
+			y := x
+			for y+1 <= B && reg(y+1) == reg(x) {
+				y++
+			}
+			c.SS(x, y, func(z int) seq.Event { return E[z] }, &v)
+			out[IdxSS] += v[0]
+			out[IdxSS+1] += v[1]
+			out[IdxSS+2] += v[2]
+			x = y + 1
+		}
+	}
+}

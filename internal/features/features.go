@@ -154,6 +154,12 @@ func NewExtractor(space *indoor.Space, params Params) (*Extractor, error) {
 // SeqContext caches the label-independent computations for one
 // p-sequence: density tags, candidate regions, fsm overlaps, distance
 // and turn prefix sums.
+//
+// A SeqContext has a reset-and-reuse lifecycle: Reset re-binds it to a
+// new p-sequence, reusing every internal buffer (candidate arenas,
+// density tags, clustering scratch, prefix sums), so a pooled context
+// performs zero steady-state allocation per sequence. A SeqContext is
+// not safe for concurrent use.
 type SeqContext struct {
 	Ex *Extractor
 	P  *seq.PSequence
@@ -175,46 +181,81 @@ type SeqContext struct {
 	distCum []float64
 	// turnCum[k] = number of turn points among 1..k; n entries.
 	turnCum []int
+
+	// Reusable backing storage. candArena/ovArena hold every record's
+	// candidates/overlaps contiguously; candOff[i] is record i's offset
+	// (n+1 entries). Candidates/overlap above are re-sliced views into
+	// the arenas on every Reset.
+	candArena      []indoor.RegionID
+	candOff        []int
+	ovArena        []float64
+	pts            []cluster.Point
+	clusterRes     cluster.Result
+	clusterScratch cluster.Scratch
+	// seenScratch backs the distinct-region count of ES.
+	seenScratch []indoor.RegionID
+	// idsScratch backs the R-tree lookups of the candidate search.
+	idsScratch []int
 }
 
 // NewSeqContext precomputes the context of one p-sequence. When
 // truth is non-nil its regions are force-included in the candidate
 // sets so that training labels are always representable.
 func (ex *Extractor) NewSeqContext(p *seq.PSequence, truth []indoor.RegionID) *SeqContext {
+	c := &SeqContext{Ex: ex}
+	c.Reset(p, truth)
+	return c
+}
+
+// Reset re-binds the context to a new p-sequence, recomputing every
+// cached quantity while reusing the context's internal buffers. The
+// semantics are identical to building a fresh context with
+// NewSeqContext; c.Ex must be set.
+func (c *SeqContext) Reset(p *seq.PSequence, truth []indoor.RegionID) {
+	ex := c.Ex
 	n := p.Len()
-	c := &SeqContext{
-		Ex:         ex,
-		P:          p,
-		Candidates: make([][]indoor.RegionID, n),
-		overlap:    make([][]float64, n),
-		dist:       make([]float64, max(0, n-1)),
-		dt:         make([]float64, max(0, n-1)),
-		speedNorm:  make([]float64, max(0, n-1)),
-		distCum:    make([]float64, n),
-		turnCum:    make([]int, n),
-	}
+	c.P = p
+	c.Candidates = growSlice(c.Candidates, n)
+	c.overlap = growSlice(c.overlap, n)
+	c.dist = growSlice(c.dist, max(0, n-1))
+	c.dt = growSlice(c.dt, max(0, n-1))
+	c.speedNorm = growSlice(c.speedNorm, max(0, n-1))
+	c.distCum = growSlice(c.distCum, n)
+	c.turnCum = growSlice(c.turnCum, n)
+	c.candOff = growSlice(c.candOff, n+1)
+
 	// st-DBSCAN density tags.
-	pts := make([]cluster.Point, n)
+	c.pts = growSlice(c.pts, n)
 	for i, rec := range p.Records {
-		pts[i] = cluster.Point{X: rec.Loc.X, Y: rec.Loc.Y, Floor: rec.Loc.Floor, T: rec.T}
+		c.pts[i] = cluster.Point{X: rec.Loc.X, Y: rec.Loc.Y, Floor: rec.Loc.Floor, T: rec.T}
 	}
-	res, err := cluster.Run(pts, ex.Params.Cluster)
-	if err != nil {
+	if err := cluster.RunScratch(c.pts, ex.Params.Cluster, &c.clusterRes, &c.clusterScratch); err != nil {
 		// Params were validated at construction; this is unreachable
 		// except for programmer error.
 		panic(fmt.Sprintf("features: st-DBSCAN: %v", err))
 	}
-	c.Density = res.Tag
+	c.Density = c.clusterRes.Tag
 
-	// Candidate regions and fsm overlaps.
+	// Candidate regions into the arena. The views are sliced out only
+	// after the arena stops growing: an append inside the loop may move
+	// the backing array.
+	c.candArena = c.candArena[:0]
 	for i, rec := range p.Records {
-		cands := ex.Space.CandidateRegions(rec.Loc, ex.Params.V, nil)
-		if truth != nil && truth[i] != indoor.NoRegion && !containsRegion(cands, truth[i]) {
-			cands = insertRegion(cands, truth[i])
+		c.candOff[i] = len(c.candArena)
+		c.candArena, c.idsScratch = ex.Space.CandidateRegionsScratch(rec.Loc, ex.Params.V, c.candArena, c.idsScratch)
+		if truth != nil && truth[i] != indoor.NoRegion && !containsRegion(c.candArena[c.candOff[i]:], truth[i]) {
+			c.candArena = insertRegion(c.candArena, c.candOff[i], truth[i])
 		}
-		c.Candidates[i] = cands
-		ov := make([]float64, len(cands))
-		for k, r := range cands {
+	}
+	c.candOff[n] = len(c.candArena)
+
+	// fsm overlaps, arena-backed like the candidates.
+	c.ovArena = growSlice(c.ovArena, len(c.candArena))
+	for i, rec := range p.Records {
+		lo, hi := c.candOff[i], c.candOff[i+1]
+		c.Candidates[i] = c.candArena[lo:hi:hi]
+		ov := c.ovArena[lo:hi:hi]
+		for k, r := range c.Candidates[i] {
 			ov[k] = ex.Space.UncertaintyOverlap(rec.Loc, ex.Params.V, r)
 		}
 		c.overlap[i] = ov
@@ -231,6 +272,10 @@ func (ex *Extractor) NewSeqContext(p *seq.PSequence, truth []indoor.RegionID) *S
 		}
 		c.speedNorm[i] = math.Min(1, ex.Params.GammaEC*speed)
 	}
+	if n > 0 {
+		c.distCum[0] = 0
+		c.turnCum[0] = 0
+	}
 	for i := 1; i < n; i++ {
 		c.distCum[i] = c.distCum[i-1] + c.dist[i-1]
 	}
@@ -241,7 +286,15 @@ func (ex *Extractor) NewSeqContext(p *seq.PSequence, truth []indoor.RegionID) *S
 			c.turnCum[i]++
 		}
 	}
-	return c
+}
+
+// growSlice returns s resized to n entries, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 func containsRegion(rs []indoor.RegionID, r indoor.RegionID) bool {
@@ -253,9 +306,11 @@ func containsRegion(rs []indoor.RegionID, r indoor.RegionID) bool {
 	return false
 }
 
-func insertRegion(rs []indoor.RegionID, r indoor.RegionID) []indoor.RegionID {
+// insertRegion appends r and insertion-sorts it into the suffix
+// rs[start:], keeping the per-record candidate views ordered.
+func insertRegion(rs []indoor.RegionID, start int, r indoor.RegionID) []indoor.RegionID {
 	rs = append(rs, r)
-	for i := len(rs) - 1; i > 0 && rs[i] < rs[i-1]; i-- {
+	for i := len(rs) - 1; i > start && rs[i] < rs[i-1]; i-- {
 		rs[i], rs[i-1] = rs[i-1], rs[i]
 	}
 	return rs
@@ -394,24 +449,27 @@ func (c *SeqContext) segSpeedNorm(a, b int) float64 {
 // the region label of a record.
 func (c *SeqContext) ES(a, b int, e seq.Event, reg func(int) indoor.RegionID, out *[3]float64) {
 	sign := 2*passInd(e) - 1
-	distinct := 0
-	var prev indoor.RegionID = -2
-	// Count distinct runs of region labels; for the compactness
-	// feature distinct *labels* and distinct *runs* coincide in intent,
-	// runs are O(len) to count.
-	seen := map[indoor.RegionID]bool{}
+	// Count distinct region labels over the run. The distinct set is
+	// small (bounded by the candidate regions around the run), so a
+	// linear scan over a reused scratch slice beats a map — and
+	// allocates nothing, which matters on the inference hot path.
+	seen := c.seenScratch[:0]
 	for x := a; x <= b; x++ {
 		r := reg(x)
-		if r != prev {
-			prev = r
+		found := false
+		for _, s := range seen {
+			if s == r {
+				found = true
+				break
+			}
 		}
-		if !seen[r] {
-			seen[r] = true
-			distinct++
+		if !found {
+			seen = append(seen, r)
 		}
 	}
+	c.seenScratch = seen
 	runLen := float64(b - a + 1)
-	out[0] = sign * float64(distinct) / runLen
+	out[0] = sign * float64(len(seen)) / runLen
 	out[1] = sign * c.segSpeedNorm(a, b)
 	out[2] = -sign * float64(c.segTurns(a, b)) / runLen
 }

@@ -208,21 +208,27 @@ func (s *Space) NearestRegion(l Location) RegionID {
 // region is used as a fallback so that every record has at least one
 // candidate label.
 func (s *Space) CandidateRegions(l Location, v float64, dst []RegionID) []RegionID {
+	dst, _ = s.CandidateRegionsScratch(l, v, dst, nil)
+	return dst
+}
+
+// CandidateRegionsScratch is CandidateRegions drawing the R-tree
+// search buffer from ids, which is grown as needed and returned for
+// reuse — per-record candidate lookup without per-call allocation.
+func (s *Space) CandidateRegionsScratch(l Location, v float64, dst []RegionID, ids []int) ([]RegionID, []int) {
 	tree, ok := s.floorTrees[l.Floor]
 	if !ok {
-		return dst
+		return dst, ids
 	}
 	start := len(dst)
 	circle := geom.Circle{C: l.Point(), R: v}
-	ids := tree.SearchCircle(circle.C, circle.R, nil)
-	seen := map[RegionID]bool{}
+	ids = tree.SearchCircle(circle.C, circle.R, ids[:0])
 	for _, id := range ids {
 		part := &s.partitions[id]
-		if part.Region == NoRegion || seen[part.Region] {
+		if part.Region == NoRegion || regionsContain(dst[start:], part.Region) {
 			continue
 		}
 		if circle.IntersectsPolygon(part.Poly) {
-			seen[part.Region] = true
 			dst = append(dst, part.Region)
 		}
 	}
@@ -230,7 +236,7 @@ func (s *Space) CandidateRegions(l Location, v float64, dst []RegionID) []Region
 		if r := s.NearestRegion(l); r != NoRegion {
 			dst = append(dst, r)
 		}
-		return dst
+		return dst, ids
 	}
 	// Keep deterministic order.
 	sub := dst[start:]
@@ -239,7 +245,18 @@ func (s *Space) CandidateRegions(l Location, v float64, dst []RegionID) []Region
 			sub[j], sub[j-1] = sub[j-1], sub[j]
 		}
 	}
-	return dst
+	return dst, ids
+}
+
+// regionsContain reports whether rs holds r; candidate sets are small,
+// so a linear scan beats a map and allocates nothing.
+func regionsContain(rs []RegionID, r RegionID) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
 }
 
 // UncertaintyOverlap returns area(UR(l,v) ∩ region) / area(UR(l,v)),

@@ -1,0 +1,136 @@
+package c2mn
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestAnnotateOptsTuningAndDeterminism(t *testing.T) {
+	a, test := testAnnotator(t)
+	p := &test[0].P
+
+	// Zero options match the default entry point.
+	_, plain, err := a.Annotate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, zero, err := a.AnnotateOpts(p, AnnotateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, zero) {
+		t.Fatalf("zero AnnotateOptions diverge from Annotate")
+	}
+
+	// The annealed restart is deterministic per seed.
+	opts := AnnotateOptions{MaxSweeps: 10, AnnealSweeps: 5, Seed: 42}
+	_, first, err := a.AnnotateOpts(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := a.AnnotateOpts(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed produced different annotations")
+	}
+
+	// Invalid tuning is rejected on the direct path too, matching the
+	// Engine's WithInferOptions behaviour.
+	if _, _, err := a.AnnotateOpts(p, AnnotateOptions{MaxSweeps: -1}); err == nil {
+		t.Fatalf("AnnotateOpts accepted negative MaxSweeps")
+	}
+	if _, _, err := a.AnnotateWindowedOpts(p, 8, 4, AnnotateOptions{AnnealSweeps: -1}); err == nil {
+		t.Fatalf("AnnotateWindowedOpts accepted negative AnnealSweeps")
+	}
+}
+
+func TestWithInferOptionsThreadsThroughEngine(t *testing.T) {
+	a, test := testAnnotator(t)
+	opts := AnnotateOptions{MaxSweeps: 6, AnnealSweeps: 3, Seed: 7}
+	eng, err := NewEngine(a, WithInferOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := test[0].P
+	_, got, err := eng.AnnotateCtx(context.Background(), &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := a.AnnotateOpts(&p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine inference ignores WithInferOptions")
+	}
+
+	// Windowed engines thread the same tuning per chunk.
+	weng, err := NewEngine(a, WithInferOptions(opts), WithWindowing(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wgot, err := weng.AnnotateCtx(context.Background(), &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wwant, err := a.AnnotateWindowedOpts(&p, 8, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wgot, wwant) {
+		t.Fatalf("windowed engine inference ignores WithInferOptions")
+	}
+
+	// Nonsense tuning is rejected at construction.
+	if _, err := NewEngine(a, WithInferOptions(AnnotateOptions{MaxSweeps: -1})); err == nil {
+		t.Fatalf("negative MaxSweeps accepted")
+	}
+	if _, err := NewEngine(a, WithInferOptions(AnnotateOptions{AnnealSweeps: -1})); err == nil {
+		t.Fatalf("negative AnnealSweeps accepted")
+	}
+}
+
+// TestAnnotatePoolConcurrentConsistency hammers the annotator's shared
+// workspace pool from many goroutines and checks every result against
+// a serial run — the test the -race CI job leans on.
+func TestAnnotatePoolConcurrentConsistency(t *testing.T) {
+	a, test := testAnnotator(t)
+	want := make([]MSSequence, len(test))
+	for i := range test {
+		_, ms, err := a.Annotate(&test[i].P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ms
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				for i := range test {
+					_, ms, err := a.Annotate(&test[i].P)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(ms, want[i]) {
+						t.Errorf("concurrent annotation of sequence %d diverged", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
