@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"c2mn/internal/experiments"
+	"c2mn/internal/query"
 )
 
 func benchScale(b *testing.B) experiments.Scale {
@@ -447,6 +448,55 @@ func BenchmarkAnnotateAllParallel(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(len(ps))*float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
+		})
+	}
+}
+
+// BenchmarkTopKPopularRegions measures live-store top-k query latency
+// against the number of retained sequences. The bucketed aggregate
+// index answers from per-bucket region counts plus two boundary-bucket
+// scans, so the cost across the sub-benchmarks should stay roughly
+// flat while the store grows 16× — the sub-linear scaling CI tracks in
+// BENCH_infer.json. The fixed-width recent window mirrors the common
+// serving query ("the last ~15 minutes"); `stored-seqs` reports the
+// store size per sub-benchmark.
+func BenchmarkTopKPopularRegions(b *testing.B) {
+	const (
+		regions     = 32
+		staysPerSeq = 3
+		windowSecs  = 900
+	)
+	queryRegions := make([]RegionID, regions)
+	for i := range queryRegions {
+		queryRegions[i] = RegionID(i)
+	}
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("stored=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			st := query.NewStore(0)
+			t := 0.0
+			for i := 0; i < n; i++ {
+				ms := MSSequence{ObjectID: fmt.Sprintf("o%d", i)}
+				for j := 0; j < staysPerSeq; j++ {
+					d := 30 + rng.Float64()*120
+					ms.Semantics = append(ms.Semantics, MSemantics{
+						Region: RegionID(rng.Intn(regions)),
+						Start:  t,
+						End:    t + d,
+						Event:  Stay,
+					})
+					t += d * 0.4 // overlapping, steadily advancing stream time
+				}
+				st.Add(ms)
+			}
+			w := Window{Start: t - windowSecs, End: t}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if top := st.TopKPopularRegions(queryRegions, w, 5); len(top) == 0 {
+					b.Fatal("empty top-k over a populated window")
+				}
+			}
+			b.ReportMetric(float64(n), "stored-seqs")
 		})
 	}
 }

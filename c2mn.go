@@ -21,10 +21,14 @@
 // (AnnotateAllCtx + WithWorkers), streaming ingestion with online
 // η-gap segmentation (Feed/Flush — record-by-record ingestion that
 // segments exactly as batch Preprocess does), and a live m-semantics
-// store whose TopKPopularRegions/TopKFrequentPairs answer while
-// records are still arriving. Cancellation and failure modes are
-// typed: ErrCanceled, ErrEmptySequence, ErrNoModel. cmd/msserve
-// exposes the Engine over HTTP.
+// store whose TopKPopularRegions/TopKFrequentPairs answer from an
+// incrementally maintained time-bucketed index while records are
+// still arriving. A multi-building deployment hosts many venues in a
+// VenueRegistry — independently loaded (Space, model) shards, hot
+// reloadable via Annotator.Save/Load, with all traffic routed by
+// venue ID. Cancellation and failure modes are typed: ErrCanceled,
+// ErrEmptySequence, ErrNoModel, ErrUnknownVenue, ErrModelVersion.
+// cmd/msserve exposes the registry over HTTP.
 //
 // Annotation runs on pooled, reusable inference workspaces with
 // incremental (Markov-blanket delta) scoring, so steady-state
@@ -40,6 +44,7 @@ package c2mn
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -460,13 +465,19 @@ func (a *Annotator) annotateAllFunc(ctx context.Context, ps []PSequence, workers
 }
 
 // Save serialises the annotator's model (the venue is saved separately
-// with Space.WriteJSON).
+// with Space.WriteJSON). The file carries a versioned header, so an
+// old binary refuses a future format instead of misreading it.
 func (a *Annotator) Save(w io.Writer) error { return a.model.WriteJSON(w) }
 
-// Load restores an annotator from a saved model and its venue.
+// Load restores an annotator from a saved model and its venue. Models
+// written by a newer format version fail with ErrModelVersion;
+// headerless files from before the header existed still load.
 func Load(space *Space, r io.Reader) (*Annotator, error) {
 	model, err := core.ReadModelJSON(r)
 	if err != nil {
+		if errors.Is(err, core.ErrModelVersion) {
+			return nil, fmt.Errorf("%w: %w", ErrModelVersion, err)
+		}
 		return nil, err
 	}
 	return newAnnotator(space, model)

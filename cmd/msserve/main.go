@@ -1,34 +1,62 @@
-// Command msserve exposes a trained C2MN annotation Engine over HTTP:
-// one-shot batch annotation, record-by-record streaming ingestion with
-// online η-gap segmentation, and live top-k queries over the
-// m-semantics annotated so far.
+// Command msserve exposes trained C2MN annotation engines over HTTP.
+// It serves one or many venues — each an independently loaded
+// (space, model) pair — and routes batch annotation, record-by-record
+// streaming ingestion with online η-gap segmentation, and live top-k
+// queries by venue.
 //
 // Usage:
 //
 //	msserve -space mall.json -model model.json -addr :8080
+//	msserve -venue north=mall-n.json,model-n.json \
+//	        -venue south=mall-s.json,model-s.json -addr :8080
 //
-// Endpoints (JSON over HTTP):
+// Endpoints (JSON over HTTP). Data-plane endpoints take the venue as
+// a path segment (/venues/{venue}/...) or a ?venue= parameter on the
+// bare path; with exactly one venue loaded the parameter may be
+// omitted.
 //
-//	POST /annotate              {"object_id", "records": [{"x","y","floor","t"}]}
-//	POST /feed                  same body; records join the object's stream
-//	POST /flush                 complete all open stream fragments
-//	GET  /query/popular-regions ?k=5&start=0&end=3600&regions=1,2,3
-//	GET  /query/frequent-pairs  same parameters
-//	GET  /stats                 streaming pipeline counters
-//	GET  /healthz               liveness probe
+//	POST   /annotate                      {"object_id", "records": [{"x","y","floor","t"}]}
+//	POST   /feed                          same body; records join the object's stream
+//	POST   /flush                         complete open stream fragments (?venue=, default all)
+//	GET    /query/popular-regions         ?k=5&start=0&end=3600&regions=1,2,3
+//	GET    /query/frequent-pairs          same parameters
+//	POST   /venues/{venue}/annotate       path-routed equivalents of the above
+//	POST   /venues/{venue}/feed
+//	POST   /venues/{venue}/flush
+//	GET    /venues/{venue}/query/popular-regions
+//	GET    /venues/{venue}/query/frequent-pairs
+//	GET    /venues/{venue}/stats          one venue's pipeline counters
+//	GET    /venues                        list loaded venues with stats
+//	POST   /venues                        {"venue","space","model"}: (re)load from server-side paths
+//	DELETE /venues/{venue}                unload a venue
+//	GET    /stats                         per-venue counters + totals
+//	GET    /healthz                       liveness probe
+//
+// POST /venues and DELETE /venues/{venue} are destructive admin
+// operations (they replace or discard a venue's live state and read
+// server-side files); gate them with -admin-token (or the
+// MSSERVE_ADMIN_TOKEN environment variable), which requires
+// "Authorization: Bearer <token>" on those endpoints. Leave it empty
+// only behind an authenticating proxy.
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain before exiting.
 package main
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -42,11 +70,18 @@ func main() {
 	log.SetPrefix("msserve: ")
 
 	addr := flag.String("addr", ":8080", "listen address")
-	spacePath := flag.String("space", "space.json", "venue JSON path")
-	modelPath := flag.String("model", "model.json", "trained model path")
+	spacePath := flag.String("space", "", "venue JSON path (single-venue form; venue ID \"default\")")
+	modelPath := flag.String("model", "", "trained model path (single-venue form)")
+	var venueSpecs []string
+	flag.Func("venue", "venue spec id=space.json,model.json (repeatable)", func(v string) error {
+		venueSpecs = append(venueSpecs, v)
+		return nil
+	})
 	eta := flag.Float64("eta", c2mn.DefaultEta, "stream split gap η in seconds")
 	psi := flag.Float64("psi", c2mn.DefaultPsi, "minimum fragment duration ψ in seconds")
-	workers := flag.Int("workers", 0, "batch annotation workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "per-venue batch annotation workers (0 = GOMAXPROCS)")
+	budget := flag.Int("budget", 0, "total concurrent annotations across all venues (0 = unbounded)")
+	maxVenues := flag.Int("max-venues", 0, "maximum loaded venues (0 = unlimited)")
 	window := flag.Int("window", 0, "windowed inference chunk size (0 = whole-sequence)")
 	overlap := flag.Int("overlap", 0, "windowed inference overlap (0 = default 32, -1 = none)")
 	retention := flag.Float64("retention", 0, "live store retention in seconds of stream time (0 = keep all)")
@@ -54,88 +89,215 @@ func main() {
 	maxSweeps := flag.Int("max-sweeps", 0, "ICM sweep bound per sequence (0 = default 20)")
 	annealSweeps := flag.Int("anneal-sweeps", 0, "annealed-restart Gibbs sweeps (0 = off)")
 	seed := flag.Int64("seed", 0, "annealing randomness seed")
+	adminToken := flag.String("admin-token", os.Getenv("MSSERVE_ADMIN_TOKEN"),
+		"bearer token required on venue load/unload admin endpoints (empty = open)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 
 	if *maxBody <= 0 {
 		log.Fatalf("-max-body must be positive, got %d", *maxBody)
 	}
+	type venueLoad struct{ id, space, model string }
+	var loads []venueLoad
+	for _, spec := range venueSpecs {
+		id, spacePath, modelPath, err := parseVenueSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loads = append(loads, venueLoad{id, spacePath, modelPath})
+	}
+	if *spacePath != "" || *modelPath != "" {
+		if *spacePath == "" || *modelPath == "" {
+			log.Fatal("-space and -model must be given together")
+		}
+		// Appended directly, not via the spec syntax, so paths containing
+		// '=' or ',' survive.
+		loads = append(loads, venueLoad{"default", *spacePath, *modelPath})
+	}
+	if len(loads) == 0 {
+		log.Fatal("no venues: pass -space/-model or at least one -venue id=space.json,model.json")
+	}
+
 	infer := c2mn.AnnotateOptions{MaxSweeps: *maxSweeps, AnnealSweeps: *annealSweeps, Seed: *seed}
-	engine, err := buildEngine(*spacePath, *modelPath, *eta, *psi, *workers, *window, *overlap, *retention, infer)
+	registry, err := c2mn.NewVenueRegistry(
+		c2mn.WithVenueDefaults(
+			c2mn.WithPreprocess(*eta, *psi),
+			c2mn.WithWorkers(*workers),
+			c2mn.WithWindowing(*window, *overlap),
+			c2mn.WithRetention(*retention),
+			c2mn.WithInferOptions(infer),
+		),
+		c2mn.WithVenueBudget(*budget),
+		c2mn.WithMaxVenues(*maxVenues),
+	)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, l := range loads {
+		if err := loadVenueFiles(registry, l.id, l.space, l.model); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded venue %q (space %s, model %s)", l.id, l.space, l.model)
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(engine, *maxBody),
+		Handler:           newServer(registry, *maxBody, *adminToken),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(shutdownCtx)
-	}()
-	log.Printf("serving on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("serving %d venue(s) on %s", registry.Len(), ln.Addr())
+	if err := serve(ctx, srv, ln, *drain); err != nil {
 		log.Fatal(err)
 	}
+	log.Print("drained, bye")
 }
 
-func buildEngine(spacePath, modelPath string, eta, psi float64, workers, window, overlap int, retention float64, infer c2mn.AnnotateOptions) (*c2mn.Engine, error) {
+// serve runs srv on ln until ctx is canceled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// up to drain to complete, and serve returns once the server has
+// fully stopped. A nil return means a clean exit (either a drained
+// shutdown or the listener closing normally).
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Drain timeout exceeded: force-close lingering connections.
+		srv.Close()
+		<-errc
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// parseVenueSpec splits "id=space.json,model.json".
+func parseVenueSpec(spec string) (id, spacePath, modelPath string, err error) {
+	id, paths, ok := strings.Cut(spec, "=")
+	if !ok || id == "" {
+		return "", "", "", fmt.Errorf("bad -venue %q: want id=space.json,model.json", spec)
+	}
+	spacePath, modelPath, ok = strings.Cut(paths, ",")
+	if !ok || spacePath == "" || modelPath == "" {
+		return "", "", "", fmt.Errorf("bad -venue %q: want id=space.json,model.json", spec)
+	}
+	return id, spacePath, modelPath, nil
+}
+
+// loadVenueFiles loads a (space, model) pair from disk into the
+// registry under the venue ID, replacing any engine already there.
+func loadVenueFiles(registry *c2mn.VenueRegistry, id, spacePath, modelPath string) error {
 	sf, err := os.Open(spacePath)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer sf.Close()
 	space, err := c2mn.ReadSpace(sf)
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("venue %q: reading space: %w", id, err)
 	}
 	mf, err := os.Open(modelPath)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer mf.Close()
-	ann, err := c2mn.Load(space, mf)
-	if err != nil {
-		return nil, err
+	if _, err := registry.Load(id, space, mf); err != nil {
+		return err
 	}
-	return c2mn.NewEngine(ann,
-		c2mn.WithPreprocess(eta, psi),
-		c2mn.WithWorkers(workers),
-		c2mn.WithWindowing(window, overlap),
-		c2mn.WithRetention(retention),
-		c2mn.WithInferOptions(infer),
-	)
+	return nil
 }
 
 // defaultMaxBody caps request bodies at 32 MiB unless -max-body says
 // otherwise.
 const defaultMaxBody = 32 << 20
 
-// server handles the HTTP surface over one Engine.
+// server handles the HTTP surface over a venue registry.
 type server struct {
-	engine  *c2mn.Engine
-	maxBody int64
+	registry   *c2mn.VenueRegistry
+	maxBody    int64
+	adminToken string
 }
 
 // newServer builds the route table. maxBody caps every request body.
-func newServer(e *c2mn.Engine, maxBody int64) http.Handler {
-	s := &server{engine: e, maxBody: maxBody}
+// A non-empty adminToken gates the mutating admin endpoints (venue
+// load/unload) behind `Authorization: Bearer <token>`; empty leaves
+// them open, for deployments fronted by their own auth.
+func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string) http.Handler {
+	s := &server{registry: registry, maxBody: maxBody, adminToken: adminToken}
 	mux := http.NewServeMux()
+	// Bare data-plane paths: venue from ?venue=, or the sole venue.
 	mux.HandleFunc("POST /annotate", s.handleAnnotate)
 	mux.HandleFunc("POST /feed", s.handleFeed)
 	mux.HandleFunc("POST /flush", s.handleFlush)
 	mux.HandleFunc("GET /query/popular-regions", s.handlePopularRegions)
 	mux.HandleFunc("GET /query/frequent-pairs", s.handleFrequentPairs)
+	// Venue-scoped equivalents with the venue as a path segment.
+	mux.HandleFunc("POST /venues/{venue}/annotate", s.handleAnnotate)
+	mux.HandleFunc("POST /venues/{venue}/feed", s.handleFeed)
+	mux.HandleFunc("POST /venues/{venue}/flush", s.handleFlush)
+	mux.HandleFunc("GET /venues/{venue}/query/popular-regions", s.handlePopularRegions)
+	mux.HandleFunc("GET /venues/{venue}/query/frequent-pairs", s.handleFrequentPairs)
+	mux.HandleFunc("GET /venues/{venue}/stats", s.handleVenueStats)
+	// Admin plane.
+	mux.HandleFunc("GET /venues", s.handleListVenues)
+	mux.HandleFunc("POST /venues", s.handleLoadVenue)
+	mux.HandleFunc("DELETE /venues/{venue}", s.handleUnloadVenue)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// venueID resolves the request's venue: the path segment, then the
+// query parameter, then — when exactly one venue is loaded — that
+// venue. The empty string with a nil error means "not specified and
+// ambiguous" is impossible: an error is always returned instead.
+func (s *server) venueID(r *http.Request) (string, error) {
+	if v := r.PathValue("venue"); v != "" {
+		return v, nil
+	}
+	if v := r.URL.Query().Get("venue"); v != "" {
+		return v, nil
+	}
+	if ids := s.registry.Venues(); len(ids) == 1 {
+		return ids[0], nil
+	}
+	return "", fmt.Errorf("venue required: pass /venues/{venue}/... or ?venue= (loaded: %s)",
+		strings.Join(s.registry.Venues(), ", "))
+}
+
+// engine resolves the request's venue engine, writing the error
+// response (400 for a missing venue spec, 404 for an unknown one)
+// itself. The bool reports success.
+func (s *server) engine(w http.ResponseWriter, r *http.Request) (*c2mn.Engine, string, bool) {
+	id, err := s.venueID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, "", false
+	}
+	e, err := s.registry.Engine(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, "", false
+	}
+	return e, id, true
 }
 
 // Wire types. Records are flat {x, y, floor, t} objects; timestamps
@@ -161,6 +323,7 @@ type wireSemantics struct {
 }
 
 type annotateResponse struct {
+	Venue     string          `json:"venue"`
 	ObjectID  string          `json:"object_id"`
 	Regions   []int           `json:"regions"`
 	Events    []string        `json:"events"`
@@ -168,21 +331,26 @@ type annotateResponse struct {
 }
 
 func (s *server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	e, venue, ok := s.engine(w, r)
+	if !ok {
+		return
+	}
 	req, ok := s.decodeSequence(w, r)
 	if !ok {
 		return
 	}
 	p := toPSequence(req)
-	labels, ms, err := s.engine.AnnotateCtx(r.Context(), &p)
+	labels, ms, err := e.AnnotateCtx(r.Context(), &p)
 	if err != nil {
 		writeAnnotateError(w, err)
 		return
 	}
 	resp := annotateResponse{
+		Venue:     venue,
 		ObjectID:  p.ObjectID,
 		Regions:   make([]int, len(labels.Regions)),
 		Events:    make([]string, len(labels.Events)),
-		Semantics: s.wireSemantics(ms),
+		Semantics: wireSemanticsOf(e, ms),
 	}
 	for i, rg := range labels.Regions {
 		resp.Regions[i] = int(rg)
@@ -194,11 +362,16 @@ func (s *server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 }
 
 type feedResponse struct {
-	Fed                int `json:"fed"`
-	CompletedSequences int `json:"completed_sequences"`
+	Venue              string `json:"venue"`
+	Fed                int    `json:"fed"`
+	CompletedSequences int    `json:"completed_sequences"`
 }
 
 func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	e, venue, ok := s.engine(w, r)
+	if !ok {
+		return
+	}
 	req, ok := s.decodeSequence(w, r)
 	if !ok {
 		return
@@ -206,7 +379,7 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	p := toPSequence(req)
 	// The response uses only this call's counts — no engine-wide stats
 	// scan on the ingestion hot path.
-	completed, err := s.engine.FeedAll(p.ObjectID, p.Records)
+	completed, err := e.FeedAll(p.ObjectID, p.Records)
 	if err != nil {
 		// Partial success: valid records were ingested and may have
 		// emitted sequences. Report the counts with the error so the
@@ -214,30 +387,64 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, struct {
 			Error string `json:"error"`
 			feedResponse
-		}{err.Error(), feedResponse{Fed: len(p.Records), CompletedSequences: completed}})
+		}{err.Error(), feedResponse{Venue: venue, Fed: len(p.Records), CompletedSequences: completed}})
 		return
 	}
 	writeJSON(w, http.StatusOK, feedResponse{
+		Venue:              venue,
 		Fed:                len(p.Records),
 		CompletedSequences: completed,
 	})
 }
 
 type flushResponse struct {
+	Venues           int   `json:"venues"`
 	PendingRecords   int   `json:"pending_records"`
 	EmittedSequences int64 `json:"emitted_sequences"`
 }
 
+// handleFlush flushes one venue when specified, every venue otherwise.
+// The response totals pending records and emitted sequences across the
+// flushed venues. Flushing all venues keeps going past a failing one —
+// a bad fragment in venue A must not leave venue B's streams open —
+// and reports the joined errors alongside the counts.
 func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if err := s.engine.Flush(); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+	var ids []string
+	explicit := false
+	if v := r.PathValue("venue"); v != "" {
+		ids, explicit = []string{v}, true
+	} else if v := r.URL.Query().Get("venue"); v != "" {
+		ids, explicit = []string{v}, true
+	} else {
+		ids = s.registry.Venues()
+	}
+	resp := flushResponse{}
+	var errs []error
+	for _, id := range ids {
+		e, err := s.registry.Engine(id)
+		if err != nil {
+			if explicit {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			continue // unloaded between listing and flush
+		}
+		resp.Venues++
+		if err := e.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("venue %q: %w", id, err))
+		}
+		st := e.Stats()
+		resp.PendingRecords += st.PendingRecords
+		resp.EmittedSequences += st.EmittedSequences
+	}
+	if len(errs) > 0 {
+		writeJSON(w, http.StatusUnprocessableEntity, struct {
+			Error string `json:"error"`
+			flushResponse
+		}{errors.Join(errs...).Error(), resp})
 		return
 	}
-	st := s.engine.Stats()
-	writeJSON(w, http.StatusOK, flushResponse{
-		PendingRecords:   st.PendingRecords,
-		EmittedSequences: st.EmittedSequences,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type regionCountResponse struct {
@@ -247,17 +454,21 @@ type regionCountResponse struct {
 }
 
 func (s *server) handlePopularRegions(w http.ResponseWriter, r *http.Request) {
-	q, win, k, err := s.queryParams(r)
+	e, _, ok := s.engine(w, r)
+	if !ok {
+		return
+	}
+	q, win, k, err := queryParams(e, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	top := s.engine.TopKPopularRegions(q, win, k)
+	top := e.TopKPopularRegions(q, win, k)
 	out := make([]regionCountResponse, len(top))
 	for i, rc := range top {
 		out[i] = regionCountResponse{
 			Region:     int(rc.Region),
-			RegionName: s.regionName(rc.Region),
+			RegionName: regionName(e, rc.Region),
 			Count:      rc.Count,
 		}
 	}
@@ -273,30 +484,146 @@ type pairCountResponse struct {
 }
 
 func (s *server) handleFrequentPairs(w http.ResponseWriter, r *http.Request) {
-	q, win, k, err := s.queryParams(r)
+	e, _, ok := s.engine(w, r)
+	if !ok {
+		return
+	}
+	q, win, k, err := queryParams(e, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	top := s.engine.TopKFrequentPairs(q, win, k)
+	top := e.TopKFrequentPairs(q, win, k)
 	out := make([]pairCountResponse, len(top))
 	for i, pc := range top {
 		out[i] = pairCountResponse{
-			A: int(pc.A), AName: s.regionName(pc.A),
-			B: int(pc.B), BName: s.regionName(pc.B),
+			A: int(pc.A), AName: regionName(e, pc.A),
+			B: int(pc.B), BName: regionName(e, pc.B),
 			Count: pc.Count,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+// statsResponse breaks the pipeline counters down per venue and sums
+// them for the fleet view.
+type statsResponse struct {
+	Venues map[string]c2mn.EngineStats `json:"venues"`
+	Totals c2mn.EngineStats            `json:"totals"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.Stats())
+	per := s.registry.Stats()
+	resp := statsResponse{Venues: per}
+	for _, st := range per {
+		resp.Totals.FedRecords += st.FedRecords
+		resp.Totals.PendingObjects += st.PendingObjects
+		resp.Totals.PendingRecords += st.PendingRecords
+		resp.Totals.EmittedSequences += st.EmittedSequences
+		resp.Totals.StoredSequences += st.StoredSequences
+		resp.Totals.StoredSemantics += st.StoredSemantics
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleVenueStats(w http.ResponseWriter, r *http.Request) {
+	e, _, ok := s.engine(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Stats())
+}
+
+// venueInfo is one row of the /venues listing.
+type venueInfo struct {
+	Venue   string           `json:"venue"`
+	Regions int              `json:"regions"`
+	Stats   c2mn.EngineStats `json:"stats"`
+}
+
+func (s *server) handleListVenues(w http.ResponseWriter, r *http.Request) {
+	ids := s.registry.Venues()
+	out := make([]venueInfo, 0, len(ids))
+	for _, id := range ids {
+		e, err := s.registry.Engine(id)
+		if err != nil {
+			continue // unloaded between listing and lookup
+		}
+		out = append(out, venueInfo{
+			Venue:   id,
+			Regions: len(e.Space().Regions()),
+			Stats:   e.Stats(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Venue < out[j].Venue })
+	writeJSON(w, http.StatusOK, map[string]any{"venues": out})
+}
+
+// loadVenueRequest is the admin body for POST /venues: server-side
+// file paths of a space and a model saved with Annotator.Save. Loading
+// an already-loaded venue ID hot-reloads it.
+type loadVenueRequest struct {
+	Venue string `json:"venue"`
+	Space string `json:"space"`
+	Model string `json:"model"`
+}
+
+// authorizeAdmin enforces the admin bearer token on the mutating
+// admin endpoints. It reports whether the request may proceed,
+// writing the 401 itself otherwise.
+func (s *server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if s.adminToken == "" {
+		return true
+	}
+	token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(s.adminToken)) != 1 {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeError(w, http.StatusUnauthorized, errors.New("admin endpoint requires a valid bearer token"))
+		return false
+	}
+	return true
+}
+
+func (s *server) handleLoadVenue(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	var req loadVenueRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Venue == "" || req.Space == "" || req.Model == "" {
+		writeError(w, http.StatusBadRequest, errors.New("venue, space and model are required"))
+		return
+	}
+	if err := loadVenueFiles(s.registry, req.Venue, req.Space, req.Model); err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, c2mn.ErrTooManyVenues) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"venue": req.Venue, "status": "loaded"})
+}
+
+func (s *server) handleUnloadVenue(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	id := r.PathValue("venue")
+	if err := s.registry.Unload(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"venue": id, "status": "unloaded"})
 }
 
 // queryParams parses k (default 5), start/end (default all time) and
 // regions (default: every region of the venue).
-func (s *server) queryParams(r *http.Request) ([]c2mn.RegionID, c2mn.Window, int, error) {
+func queryParams(e *c2mn.Engine, r *http.Request) ([]c2mn.RegionID, c2mn.Window, int, error) {
 	vals := r.URL.Query()
 	k := 5
 	win := c2mn.Window{Start: 0, End: math.MaxFloat64}
@@ -309,14 +636,14 @@ func (s *server) queryParams(r *http.Request) ([]c2mn.RegionID, c2mn.Window, int
 	}
 	if v := vals.Get("start"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
+		if err != nil || math.IsNaN(f) {
 			return nil, win, 0, fmt.Errorf("bad start %q", v)
 		}
 		win.Start = f
 	}
 	if v := vals.Get("end"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
+		if err != nil || math.IsNaN(f) {
 			return nil, win, 0, fmt.Errorf("bad end %q", v)
 		}
 		win.End = f
@@ -331,24 +658,24 @@ func (s *server) queryParams(r *http.Request) ([]c2mn.RegionID, c2mn.Window, int
 			q = append(q, c2mn.RegionID(n))
 		}
 	} else {
-		q = s.engine.Space().Regions()
+		q = e.Space().Regions()
 	}
 	return q, win, k, nil
 }
 
-func (s *server) regionName(id c2mn.RegionID) string {
+func regionName(e *c2mn.Engine, id c2mn.RegionID) string {
 	if id == c2mn.NoRegion {
 		return ""
 	}
-	return s.engine.Space().Region(id).Name
+	return e.Space().Region(id).Name
 }
 
-func (s *server) wireSemantics(ms c2mn.MSSequence) []wireSemantics {
+func wireSemanticsOf(e *c2mn.Engine, ms c2mn.MSSequence) []wireSemantics {
 	out := make([]wireSemantics, len(ms.Semantics))
 	for i, m := range ms.Semantics {
 		out[i] = wireSemantics{
 			Region:     int(m.Region),
-			RegionName: s.regionName(m.Region),
+			RegionName: regionName(e, m.Region),
 			Start:      m.Start,
 			End:        m.End,
 			Event:      m.Event.String(),

@@ -1,17 +1,27 @@
 package main
 
-// Integration test: train a small model, stand the HTTP surface up on
+// Integration tests: train a small model, stand the HTTP surface up on
 // httptest, and round-trip /annotate, /feed + /flush and the live
-// queries against direct Engine calls.
+// queries against direct Engine calls — single-venue and multi-venue,
+// plus the admin plane and graceful shutdown.
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"c2mn"
 	"c2mn/internal/sim"
@@ -19,30 +29,63 @@ import (
 
 const testEta, testPsi = 120, 60
 
-func testEngine(t *testing.T) (*c2mn.Engine, []c2mn.LabeledSequence) {
+var (
+	annOnce sync.Once
+	annVal  *c2mn.Annotator
+	annTest []c2mn.LabeledSequence
+	annErr  error
+)
+
+// testParts trains one small model, shared across tests (the engines
+// built on it are independent; training dominates test time).
+func testParts(t *testing.T) (*c2mn.Annotator, []c2mn.LabeledSequence) {
 	t.Helper()
-	space, err := c2mn.GenerateBuilding(sim.SmallBuilding(), 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	spec := sim.DefaultMobility(10, 1500)
-	spec.StayMax = 300
-	ds, err := c2mn.GenerateMobility(space, spec, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	train, test := ds.Sequences[:7], ds.Sequences[7:]
-	ann, err := c2mn.Train(space, train, c2mn.TrainOptions{
-		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	annOnce.Do(func() {
+		space, err := c2mn.GenerateBuilding(sim.SmallBuilding(), 1)
+		if err != nil {
+			annErr = err
+			return
+		}
+		spec := sim.DefaultMobility(10, 1500)
+		spec.StayMax = 300
+		ds, err := c2mn.GenerateMobility(space, spec, 5)
+		if err != nil {
+			annErr = err
+			return
+		}
+		train, test := ds.Sequences[:7], ds.Sequences[7:]
+		ann, err := c2mn.Train(space, train, c2mn.TrainOptions{
+			V: 6, Exact: true, TuneClustering: true, Seed: 1,
+		})
+		if err != nil {
+			annErr = err
+			return
+		}
+		annVal, annTest = ann, test
 	})
+	if annErr != nil {
+		t.Fatal(annErr)
+	}
+	return annVal, annTest
+}
+
+// testRegistry builds a registry hosting the venues under the shared
+// test model.
+func testRegistry(t *testing.T, venues ...string) (*c2mn.VenueRegistry, []c2mn.LabeledSequence) {
+	t.Helper()
+	ann, test := testParts(t)
+	registry, err := c2mn.NewVenueRegistry(
+		c2mn.WithVenueDefaults(c2mn.WithPreprocess(testEta, testPsi)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := c2mn.NewEngine(ann, c2mn.WithPreprocess(testEta, testPsi))
-	if err != nil {
-		t.Fatal(err)
+	for _, id := range venues {
+		if _, err := registry.Register(id, ann); err != nil {
+			t.Fatal(err)
+		}
 	}
-	return e, test
+	return registry, test
 }
 
 func toWire(records []c2mn.Record) []wireRecord {
@@ -77,8 +120,12 @@ func decodeBody[T any](t *testing.T, resp *http.Response) T {
 }
 
 func TestServerRoundTrips(t *testing.T) {
-	engine, test := testEngine(t)
-	ts := httptest.NewServer(newServer(engine, defaultMaxBody))
+	registry, test := testRegistry(t, "default")
+	engine, err := registry.Engine("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
 	defer ts.Close()
 
 	// Liveness.
@@ -88,7 +135,8 @@ func TestServerRoundTrips(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	// /annotate matches a direct Engine call.
+	// /annotate (venue defaulted: only one loaded) matches a direct
+	// Engine call.
 	p := test[0].P
 	resp = postJSON(t, ts.URL+"/annotate", sequenceRequest{
 		ObjectID: p.ObjectID,
@@ -101,6 +149,9 @@ func TestServerRoundTrips(t *testing.T) {
 	labels, ms, err := engine.Annotator().Annotate(&p)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got.Venue != "default" {
+		t.Fatalf("/annotate venue = %q", got.Venue)
 	}
 	if got.ObjectID != p.ObjectID || len(got.Regions) != len(labels.Regions) {
 		t.Fatalf("/annotate shape: %s with %d regions", got.ObjectID, len(got.Regions))
@@ -174,7 +225,7 @@ func TestServerRoundTrips(t *testing.T) {
 		}
 	}
 
-	// Frequent pairs and stats respond.
+	// Frequent pairs and stats respond; stats carry the venue split.
 	resp, err = http.Get(ts.URL + "/query/frequent-pairs?k=3")
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("/query/frequent-pairs: %v %v", resp.Status, err)
@@ -184,13 +235,16 @@ func TestServerRoundTrips(t *testing.T) {
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("/stats: %v %v", resp.Status, err)
 	}
-	st := decodeBody[c2mn.EngineStats](t, resp)
-	if st.EmittedSequences != flushed.EmittedSequences {
-		t.Fatalf("/stats emitted = %d, want %d", st.EmittedSequences, flushed.EmittedSequences)
+	st := decodeBody[statsResponse](t, resp)
+	if st.Totals.EmittedSequences != flushed.EmittedSequences {
+		t.Fatalf("/stats totals emitted = %d, want %d", st.Totals.EmittedSequences, flushed.EmittedSequences)
+	}
+	if st.Venues["default"].EmittedSequences != flushed.EmittedSequences {
+		t.Fatalf("/stats venue split missing: %+v", st.Venues)
 	}
 
 	// Parameter validation.
-	for _, bad := range []string{"?k=0", "?k=x", "?start=x", "?regions=1,x"} {
+	for _, bad := range []string{"?k=0", "?k=x", "?start=x", "?start=NaN", "?end=nan", "?regions=1,x"} {
 		resp, err = http.Get(ts.URL + "/query/popular-regions" + bad)
 		if err != nil {
 			t.Fatal(err)
@@ -203,8 +257,9 @@ func TestServerRoundTrips(t *testing.T) {
 }
 
 func TestServerQueryParamsWindowAndRegions(t *testing.T) {
-	engine, test := testEngine(t)
-	ts := httptest.NewServer(newServer(engine, defaultMaxBody))
+	registry, test := testRegistry(t, "default")
+	engine, _ := registry.Engine("default")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
 	defer ts.Close()
 
 	for i := range test {
@@ -240,8 +295,8 @@ func TestServerQueryParamsWindowAndRegions(t *testing.T) {
 }
 
 func TestServerMaxBodyRejectsOversizedRequests(t *testing.T) {
-	engine, test := testEngine(t)
-	ts := httptest.NewServer(newServer(engine, 128))
+	registry, test := testRegistry(t, "default")
+	ts := httptest.NewServer(newServer(registry, 128, ""))
 	defer ts.Close()
 
 	for _, path := range []string{"/annotate", "/feed"} {
@@ -265,4 +320,388 @@ func TestServerMaxBodyRejectsOversizedRequests(t *testing.T) {
 		t.Fatalf("small request rejected as too large: %s", resp.Status)
 	}
 	resp.Body.Close()
+}
+
+// TestServerMultiVenue is the two-venue end-to-end: concurrent feeding
+// into both venues, per-venue queries verifying isolation, and the
+// 404 + ErrUnknownVenue contract on a bad venue ID.
+func TestServerMultiVenue(t *testing.T) {
+	registry, test := testRegistry(t, "north", "south")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer ts.Close()
+
+	// With two venues loaded, a bare data-plane call must name one.
+	resp := postJSON(t, ts.URL+"/feed", sequenceRequest{ObjectID: "o", Records: toWire(test[0].P.Records)})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ambiguous venue status = %s, want 400", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Feed both venues concurrently: north gets even test objects via
+	// the path form, south gets odd ones via the ?venue= form. The same
+	// object IDs are reused across venues — streams must not collide.
+	var wg sync.WaitGroup
+	feedErrs := make(chan string, len(test)*2)
+	for i := range test {
+		wg.Add(1)
+		go func(i int) {
+			// No t.Fatal here: testing.T must not be failed from spawned
+			// goroutines, so every failure flows through feedErrs.
+			defer wg.Done()
+			var url string
+			if i%2 == 0 {
+				url = fmt.Sprintf("%s/venues/north/feed", ts.URL)
+			} else {
+				url = fmt.Sprintf("%s/feed?venue=south", ts.URL)
+			}
+			buf, err := json.Marshal(sequenceRequest{
+				ObjectID: fmt.Sprintf("obj%d", i/2),
+				Records:  toWire(test[i].P.Records),
+			})
+			if err != nil {
+				feedErrs <- fmt.Sprintf("feed %d: marshal: %v", i, err)
+				return
+			}
+			resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+			if err != nil {
+				feedErrs <- fmt.Sprintf("feed %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				feedErrs <- fmt.Sprintf("feed %d: %s", i, resp.Status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(feedErrs)
+	for msg := range feedErrs {
+		t.Fatal(msg)
+	}
+	resp = postJSON(t, ts.URL+"/flush", nil) // no venue: flushes all
+	flushed := decodeBody[flushResponse](t, resp)
+	if flushed.Venues != 2 || flushed.EmittedSequences == 0 {
+		t.Fatalf("/flush all = %+v", flushed)
+	}
+
+	// Per-venue queries match the per-venue engines: isolation.
+	for _, id := range []string{"north", "south"} {
+		engine, err := registry.Engine(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/venues/%s/query/popular-regions?k=4", ts.URL, id))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("venue %s query: %v %v", id, resp.Status, err)
+		}
+		got := decodeBody[[]regionCountResponse](t, resp)
+		want := engine.TopKPopularRegions(engine.Space().Regions(), c2mn.Window{Start: 0, End: math.MaxFloat64}, 4)
+		if len(got) != len(want) {
+			t.Fatalf("venue %s: %d entries, want %d", id, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Region != int(want[i].Region) || got[i].Count != want[i].Count {
+				t.Fatalf("venue %s[%d] = %+v, want %+v", id, i, got[i], want[i])
+			}
+		}
+	}
+	// The two venues saw different streams, so their stores differ.
+	north, _ := registry.Sequences("north")
+	south, _ := registry.Sequences("south")
+	if reflect.DeepEqual(north, south) {
+		t.Fatal("venue stores identical: isolation broken")
+	}
+
+	// Unknown venue IDs are 404 with the sentinel's message, on every
+	// routed endpoint.
+	for _, probe := range []struct {
+		method, url string
+	}{
+		{"POST", ts.URL + "/venues/nowhere/feed"},
+		{"POST", ts.URL + "/feed?venue=nowhere"},
+		{"POST", ts.URL + "/venues/nowhere/annotate"},
+		{"GET", ts.URL + "/venues/nowhere/query/popular-regions"},
+		{"GET", ts.URL + "/venues/nowhere/stats"},
+		{"POST", ts.URL + "/flush?venue=nowhere"},
+	} {
+		var resp *http.Response
+		var err error
+		if probe.method == "POST" {
+			resp = postJSON(t, probe.url, sequenceRequest{ObjectID: "o"})
+		} else {
+			resp, err = http.Get(probe.url)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s status = %s, want 404", probe.method, probe.url, resp.Status)
+		}
+		body := decodeBody[map[string]string](t, resp)
+		if !strings.Contains(body["error"], "unknown venue") {
+			t.Fatalf("%s error = %q, want unknown-venue message", probe.url, body["error"])
+		}
+	}
+
+	// Per-venue stats via the path form.
+	resp, err := http.Get(ts.URL + "/venues/north/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/venues/north/stats: %v %v", resp.Status, err)
+	}
+	nst := decodeBody[c2mn.EngineStats](t, resp)
+	if nst.EmittedSequences == 0 {
+		t.Fatal("north emitted nothing")
+	}
+}
+
+// TestServerAdminPlane exercises /venues list, load-from-disk (hot
+// reload included) and unload.
+func TestServerAdminPlane(t *testing.T) {
+	registry, test := testRegistry(t, "alpha")
+	ann, _ := testParts(t)
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer ts.Close()
+
+	// Save the model + space for the admin load.
+	dir := t.TempDir()
+	spacePath := filepath.Join(dir, "space.json")
+	modelPath := filepath.Join(dir, "model.json")
+	sf, err := os.Create(spacePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ann.Space().WriteJSON(sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ann.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	// List: one venue.
+	resp, err := http.Get(ts.URL + "/venues")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/venues: %v %v", resp.Status, err)
+	}
+	listing := decodeBody[struct {
+		Venues []venueInfo `json:"venues"`
+	}](t, resp)
+	if len(listing.Venues) != 1 || listing.Venues[0].Venue != "alpha" || listing.Venues[0].Regions == 0 {
+		t.Fatalf("/venues = %+v", listing)
+	}
+
+	// Load a second venue from disk.
+	resp = postJSON(t, ts.URL+"/venues", loadVenueRequest{Venue: "beta", Space: spacePath, Model: modelPath})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /venues status = %s", resp.Status)
+	}
+	resp.Body.Close()
+	if got := registry.Venues(); !reflect.DeepEqual(got, []string{"alpha", "beta"}) {
+		t.Fatalf("venues after load = %v", got)
+	}
+	// The loaded venue annotates.
+	resp = postJSON(t, ts.URL+"/venues/beta/annotate", sequenceRequest{
+		ObjectID: test[0].P.ObjectID,
+		Records:  toWire(test[0].P.Records),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("beta annotate status = %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Hot reload an existing ID is allowed and swaps the engine.
+	before, _ := registry.Engine("beta")
+	resp = postJSON(t, ts.URL+"/venues", loadVenueRequest{Venue: "beta", Space: spacePath, Model: modelPath})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("hot reload status = %s", resp.Status)
+	}
+	resp.Body.Close()
+	after, _ := registry.Engine("beta")
+	if before == after {
+		t.Fatal("hot reload did not swap the engine")
+	}
+
+	// Bad loads are client errors.
+	resp = postJSON(t, ts.URL+"/venues", loadVenueRequest{Venue: "", Space: spacePath, Model: modelPath})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty venue load status = %s", resp.Status)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/venues", loadVenueRequest{Venue: "x", Space: spacePath, Model: filepath.Join(dir, "missing.json")})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("missing model load status = %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Unload.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/venues/beta", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /venues/beta: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	if registry.Len() != 1 {
+		t.Fatalf("venues after unload = %v", registry.Venues())
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/venues/beta", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double unload status = %s, want 404", resp.Status)
+	}
+	resp.Body.Close()
+}
+
+// TestServerAdminTokenGatesMutations: with -admin-token set, venue
+// load/unload require the bearer token; the read-only planes stay
+// open.
+func TestServerAdminTokenGatesMutations(t *testing.T) {
+	registry, _ := testRegistry(t, "alpha")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, "s3cret"))
+	defer ts.Close()
+
+	// Mutating admin calls without (or with a wrong) token: 401.
+	resp := postJSON(t, ts.URL+"/venues", loadVenueRequest{Venue: "x", Space: "s", Model: "m"})
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless load status = %s, want 401", resp.Status)
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/venues/alpha", nil)
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-token unload: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	if registry.Len() != 1 {
+		t.Fatal("unauthorized request mutated the registry")
+	}
+
+	// The right token works.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/venues/alpha", nil)
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized unload: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	if registry.Len() != 0 {
+		t.Fatal("authorized unload did not apply")
+	}
+
+	// Read-only endpoints stay open.
+	resp, err = http.Get(ts.URL + "/venues")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/venues listing behind token: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+}
+
+// TestServeGracefulShutdown drives the same serve() helper main uses:
+// on context cancellation an in-flight request completes within the
+// drain window, the listener refuses new connections, and serve
+// returns cleanly.
+func TestServeGracefulShutdown(t *testing.T) {
+	registry, _ := testRegistry(t, "default")
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	inner := newServer(registry, defaultMaxBody, "")
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && r.URL.Query().Get("slow") == "1" {
+			close(started)
+			<-release // hold the request open across the shutdown signal
+		}
+		inner.ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(ctx, srv, ln, 5*time.Second) }()
+
+	// Start a request that is still in flight when shutdown begins.
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/healthz?slow=1")
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			reqDone <- fmt.Errorf("in-flight request status %s", resp.Status)
+			return
+		}
+		reqDone <- nil
+	}()
+	<-started
+	cancel() // the SIGINT/SIGTERM path
+
+	select {
+	case err := <-serveDone:
+		t.Fatalf("serve returned before draining in-flight request: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request during shutdown: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve() = %v, want clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+	// The listener is closed: new connections fail.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestServeDrainTimeout: a request that outlives the drain window is
+// force-closed and serve reports the shutdown error.
+func TestServeDrainTimeout(t *testing.T) {
+	registry, _ := testRegistry(t, "default")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	inner := newServer(registry, defaultMaxBody, "")
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("hang") == "1" {
+			close(started)
+			<-release
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(ctx, srv, ln, 20*time.Millisecond) }()
+	go http.Get("http://" + ln.Addr().String() + "/healthz?hang=1")
+	<-started
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("serve() = %v, want deadline-exceeded shutdown error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve hung past the drain timeout")
+	}
 }

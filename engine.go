@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +26,7 @@ import (
 // interleaved freely.
 type Engine struct {
 	ann       *Annotator
+	venue     string
 	workers   int
 	eta, psi  float64
 	window    int
@@ -34,11 +34,12 @@ type Engine struct {
 	infer     AnnotateOptions
 	onSeq     func(MSSequence)
 	retention float64
+	budget    chan struct{} // optional shared inference budget (see WithVenueBudget)
 	store     *query.Store
 
-	mu   sync.Mutex // guards segs and fed
-	segs map[string]*seq.Segmenter
-	fed  int64
+	mu      sync.Mutex // guards streams and fed
+	streams *seq.StreamSet
+	fed     int64
 
 	emitted atomic.Int64
 }
@@ -50,16 +51,16 @@ func NewEngine(a *Annotator, opts ...Option) (*Engine, error) {
 		return nil, ErrNoModel
 	}
 	e := &Engine{
-		ann:  a,
-		eta:  DefaultEta,
-		psi:  DefaultPsi,
-		segs: map[string]*seq.Segmenter{},
+		ann: a,
+		eta: DefaultEta,
+		psi: DefaultPsi,
 	}
 	for _, opt := range opts {
 		if err := opt(e); err != nil {
 			return nil, err
 		}
 	}
+	e.streams = seq.NewStreamSet(e.eta, e.psi)
 	e.store = query.NewStore(e.retention)
 	return e, nil
 }
@@ -67,40 +68,92 @@ func NewEngine(a *Annotator, opts ...Option) (*Engine, error) {
 // Annotator returns the wrapped annotator.
 func (e *Engine) Annotator() *Annotator { return e.ann }
 
-// Space returns the engine's venue.
+// Space returns the engine's venue geometry.
 func (e *Engine) Space() *Space { return e.ann.Space() }
 
-// annotate applies the engine's configured inference to one sequence:
+// VenueID returns the venue identifier set with WithVenueID — the
+// engine's shard name inside a VenueRegistry — or "" for a
+// single-venue engine.
+func (e *Engine) VenueID() string { return e.venue }
+
+// acquire takes one slot of the shared inference budget, waiting
+// until one frees or ctx is canceled. A nil budget acquires nothing.
+func (e *Engine) acquire(ctx context.Context) error {
+	if e.budget == nil {
+		return nil
+	}
+	select {
+	case e.budget <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return canceled(ctx.Err())
+	}
+}
+
+// release returns an acquired budget slot.
+func (e *Engine) release() {
+	if e.budget != nil {
+		<-e.budget
+	}
+}
+
+// infer applies the engine's configured inference to one sequence:
 // AnnotateWindowed when WithWindowing is set, whole-sequence inference
 // otherwise, both under the WithInferOptions tuning. Every Engine path
 // — single, batch and streaming — funnels through here so they cannot
-// diverge.
-func (e *Engine) annotate(p *PSequence) (Labels, MSSequence, error) {
+// diverge. Callers hold a budget slot (annotate / annotateCtx).
+func (e *Engine) inferSeq(p *PSequence) (Labels, MSSequence, error) {
 	if e.window > 0 {
 		return e.ann.AnnotateWindowedOpts(p, e.window, e.overlap, e.infer)
 	}
 	return e.ann.AnnotateOpts(p, e.infer)
 }
 
+// annotate is the streaming-path inference: the budget slot is waited
+// for unconditionally (stream fragments must not be dropped because
+// the fleet is momentarily busy) and held for the inference only.
+func (e *Engine) annotate(p *PSequence) (Labels, MSSequence, error) {
+	e.acquire(context.Background())
+	defer e.release()
+	return e.inferSeq(p)
+}
+
+// annotateCtx is the request-path inference: waiting for a budget
+// slot is cancellable, and cancellation is re-checked after the wait
+// so a request that went dead in the queue never runs inference.
+func (e *Engine) annotateCtx(ctx context.Context, p *PSequence) (Labels, MSSequence, error) {
+	if err := e.acquire(ctx); err != nil {
+		return Labels{}, MSSequence{}, err
+	}
+	defer e.release()
+	if err := ctx.Err(); err != nil {
+		return Labels{}, MSSequence{}, canceled(err)
+	}
+	return e.inferSeq(p)
+}
+
 // AnnotateCtx labels one p-sequence under the engine's configuration.
 // It honours ctx cancellation (ErrCanceled) and rejects empty
 // sequences (ErrEmptySequence); cancellation is observed before
-// inference starts, not within it.
+// inference starts — including while queued for a shared venue budget
+// slot — not within it.
 func (e *Engine) AnnotateCtx(ctx context.Context, p *PSequence) (Labels, MSSequence, error) {
 	if err := e.ann.guard(ctx, p); err != nil {
 		return Labels{}, MSSequence{}, err
 	}
-	return e.annotate(p)
+	return e.annotateCtx(ctx, p)
 }
 
 // AnnotateAllCtx annotates a batch on the engine's worker pool (see
 // WithWorkers), returning ms-sequences in input order under the
 // engine's configured inference. On context cancellation it stops
-// promptly (between sequences) and returns an error wrapping
-// ErrCanceled; an empty sequence in the batch fails with
-// ErrEmptySequence.
+// promptly (between sequences, or while waiting for a shared budget
+// slot) and returns an error wrapping ErrCanceled; an empty sequence
+// in the batch fails with ErrEmptySequence.
 func (e *Engine) AnnotateAllCtx(ctx context.Context, ps []PSequence) ([]MSSequence, error) {
-	return e.ann.annotateAllFunc(ctx, ps, e.workers, e.annotate)
+	return e.ann.annotateAllFunc(ctx, ps, e.workers, func(p *PSequence) (Labels, MSSequence, error) {
+		return e.annotateCtx(ctx, p)
+	})
 }
 
 // Feed appends one positioning record to objectID's stream. When the
@@ -142,15 +195,11 @@ func (e *Engine) FeedAll(objectID string, records []Record) (int, error) {
 // fragment at annotation time.
 func (e *Engine) feed(objectID string, r Record) (bool, error) {
 	e.mu.Lock()
-	s, ok := e.segs[objectID]
-	if !ok {
-		s = seq.NewSegmenter(objectID, e.eta, e.psi)
-		e.segs[objectID] = s
-	}
+	s := e.streams.Get(seq.StreamKey{Venue: e.venue, Object: objectID})
 	if last, buffered := s.Last(); buffered && r.T < last {
 		e.mu.Unlock()
 		return false, fmt.Errorf("c2mn: stream %s: record at t=%.3f out of order (last t=%.3f)",
-			objectID, r.T, last)
+			e.streamName(objectID), r.T, last)
 	}
 	p, done := s.Feed(r)
 	e.fed++
@@ -175,18 +224,7 @@ func (e *Engine) feed(objectID string, r Record) (bool, error) {
 // joined.
 func (e *Engine) Flush() error {
 	e.mu.Lock()
-	ids := make([]string, 0, len(e.segs))
-	for id := range e.segs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	var done []PSequence
-	for _, id := range ids {
-		if p, ok := e.segs[id].Flush(); ok {
-			done = append(done, p)
-		}
-		delete(e.segs, id)
-	}
+	done := e.streams.FlushAll()
 	e.mu.Unlock()
 	var errs []error
 	for i := range done {
@@ -197,11 +235,19 @@ func (e *Engine) Flush() error {
 	return errors.Join(errs...)
 }
 
+// streamName qualifies an object ID with the venue for error messages.
+func (e *Engine) streamName(objectID string) string {
+	if e.venue == "" {
+		return objectID
+	}
+	return e.venue + "/" + objectID
+}
+
 // process annotates one completed fragment and emits its m-semantics.
 func (e *Engine) process(p *PSequence) error {
 	_, ms, err := e.annotate(p)
 	if err != nil {
-		return fmt.Errorf("c2mn: stream %s: %w", p.ObjectID, err)
+		return fmt.Errorf("c2mn: stream %s: %w", e.streamName(p.ObjectID), err)
 	}
 	e.store.Add(ms)
 	e.emitted.Add(1)
@@ -245,12 +291,7 @@ func (e *Engine) Stats() EngineStats {
 	st := EngineStats{EmittedSequences: e.emitted.Load()}
 	e.mu.Lock()
 	st.FedRecords = e.fed
-	for _, s := range e.segs {
-		if n := s.Pending(); n > 0 {
-			st.PendingObjects++
-			st.PendingRecords += n
-		}
-	}
+	st.PendingObjects, st.PendingRecords = e.streams.Pending()
 	e.mu.Unlock()
 	st.StoredSequences, st.StoredSemantics = e.store.Len()
 	return st

@@ -20,7 +20,25 @@ var (
 	// ErrNoModel is returned when an Engine or annotation call is made
 	// without a trained model behind it.
 	ErrNoModel = errors.New("c2mn: no trained model")
+
+	// ErrUnknownVenue is returned when a VenueRegistry call names a
+	// venue that is not loaded.
+	ErrUnknownVenue = errors.New("c2mn: unknown venue")
+
+	// ErrTooManyVenues is returned when loading a new venue would
+	// exceed the registry's WithMaxVenues limit.
+	ErrTooManyVenues = errors.New("c2mn: too many venues")
+
+	// ErrModelVersion is returned by Load when the model file was
+	// written by a newer format version than this build understands.
+	ErrModelVersion = errors.New("c2mn: unsupported model format version")
 )
+
+// unknownVenue wraps ErrUnknownVenue with the offending venue ID so
+// errors.Is(err, ErrUnknownVenue) holds and the message names the ID.
+func unknownVenue(id string) error {
+	return fmt.Errorf("%w: %q", ErrUnknownVenue, id)
+}
 
 // canceled wraps a context cancellation cause in ErrCanceled so that
 // errors.Is(err, ErrCanceled) holds while the original cause (e.g.

@@ -13,6 +13,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -103,21 +104,52 @@ func (m *Model) Score(ctx *features.SeqContext, R []indoor.RegionID, E []seq.Eve
 	return dot(m.Weights, f)
 }
 
+// Model serialisation format. Version 1 added the header; version-0
+// files (headerless, written before the header existed) still load.
+const (
+	// ModelFormat names the file type in the header.
+	ModelFormat = "c2mn-model"
+	// ModelFormatVersion is the version this build writes.
+	ModelFormatVersion = 1
+)
+
+// ErrModelVersion is returned by ReadModelJSON for files written by a
+// newer format version than this build understands.
+var ErrModelVersion = errors.New("core: unsupported model format version")
+
 type jsonModel struct {
+	Format  string          `json:"format,omitempty"`
+	Version int             `json:"version,omitempty"`
 	Weights []float64       `json:"weights"`
 	Params  features.Params `json:"params"`
 }
 
-// WriteJSON serialises the model.
+// WriteJSON serialises the model with a versioned header.
 func (m *Model) WriteJSON(w io.Writer) error {
-	return json.NewEncoder(w).Encode(jsonModel{Weights: m.Weights, Params: m.Params})
+	return json.NewEncoder(w).Encode(jsonModel{
+		Format:  ModelFormat,
+		Version: ModelFormatVersion,
+		Weights: m.Weights,
+		Params:  m.Params,
+	})
 }
 
-// ReadModelJSON deserialises a model written by WriteJSON.
+// ReadModelJSON deserialises a model written by WriteJSON. It accepts
+// the current format version and every older one (including the
+// headerless version 0) and rejects files from a newer format with
+// ErrModelVersion, so a stale binary fails loudly instead of
+// misreading a future layout.
 func ReadModelJSON(r io.Reader) (*Model, error) {
 	var jm jsonModel
 	if err := json.NewDecoder(r).Decode(&jm); err != nil {
 		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if jm.Format != "" && jm.Format != ModelFormat {
+		return nil, fmt.Errorf("core: model file has format %q, want %q", jm.Format, ModelFormat)
+	}
+	if jm.Version > ModelFormatVersion {
+		return nil, fmt.Errorf("%w: file is version %d, this build reads <= %d",
+			ErrModelVersion, jm.Version, ModelFormatVersion)
 	}
 	m := &Model{Weights: jm.Weights, Params: jm.Params}
 	if err := m.Validate(); err != nil {

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"c2mn/internal/features"
+)
+
+func TestModelJSONCarriesVersionHeader(t *testing.T) {
+	m := NewModel(features.DefaultParams())
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var header struct {
+		Format  string `json:"format"`
+		Version int    `json:"version"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &header); err != nil {
+		t.Fatal(err)
+	}
+	if header.Format != ModelFormat || header.Version != ModelFormatVersion {
+		t.Fatalf("header = %q v%d, want %q v%d",
+			header.Format, header.Version, ModelFormat, ModelFormatVersion)
+	}
+	if _, err := ReadModelJSON(&buf); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestReadModelJSONVersionGate(t *testing.T) {
+	m := NewModel(features.DefaultParams())
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A future version is rejected with the sentinel.
+	future := strings.Replace(buf.String(), `"version":1`, `"version":99`, 1)
+	if future == buf.String() {
+		t.Fatal("test setup: version field not found in serialised model")
+	}
+	if _, err := ReadModelJSON(strings.NewReader(future)); !errors.Is(err, ErrModelVersion) {
+		t.Fatalf("future version: err = %v, want ErrModelVersion", err)
+	}
+
+	// A wrong format string is rejected.
+	alien := strings.Replace(buf.String(), ModelFormat, "other-format", 1)
+	if _, err := ReadModelJSON(strings.NewReader(alien)); err == nil {
+		t.Fatal("foreign format accepted")
+	}
+
+	// A legacy headerless file (version 0) still loads.
+	var legacy struct {
+		Weights []float64       `json:"weights"`
+		Params  features.Params `json:"params"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModelJSON(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("legacy headerless model rejected: %v", err)
+	}
+}

@@ -1,0 +1,569 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// Index is an incrementally-maintained, time-bucketed aggregate over a
+// set of retained ms-sequences. It answers the two top-k queries
+// exactly — identical to a brute-force recount over the retained
+// sequences — while paying per query a cost bounded by the bucket
+// count plus the events of at most two boundary buckets, instead of a
+// scan of every retained semantics triple.
+//
+// The structure is a ring of fixed-width time buckets covering the
+// span of all retained stay events. Per bucket it keeps
+//
+//   - per-region counts of stay events whose period *starts* in the
+//     bucket and, separately, whose period *ends* in the bucket;
+//   - the start/end event records themselves, for exact partial counts
+//     inside the two buckets a query window's edges fall into;
+//   - the set of sequences with a stay period intersecting the bucket,
+//     the candidate generator for the pair query.
+//
+// TkPRQ uses the identity, valid for Start <= End windows,
+//
+//	#{e : e.End >= w.Start && e.Start <= w.End}
+//	  = #{e : e.Start <= w.End} - #{e : e.End < w.Start}
+//
+// both terms of which are a prefix sum over bucket aggregates plus one
+// boundary-bucket scan. TkFRPQ gathers the sequences registered in
+// the buckets the window overlaps and recounts only those — exact, and
+// proportional to the activity inside the window rather than to the
+// total retained history.
+//
+// When the event span outgrows the bucket budget the bucket width
+// doubles and the ring is rebuilt from the retained sequences, so the
+// bucket count stays bounded for unbounded retention. Eviction is
+// driven by a min-heap on sequence end time, which is correct for
+// out-of-order sequence completion (a stale sequence is evicted even
+// when fresher sequences arrived before it). Evicted sequences are
+// removed from the aggregates immediately and from the per-bucket
+// event lists lazily; a rebuild compacts the lists once dead
+// sequences outnumber live ones.
+//
+// An Index is not safe for concurrent use; Store adds the lock.
+type Index struct {
+	retention float64
+
+	maxBuckets int
+	baseWidth  float64 // finest resolution; width recovers to it on rebuilds
+	width      float64 // current bucket width in seconds
+	base       int64   // time-key of buckets[0] (key = floor(t/width))
+	buckets    []bucket
+
+	seqs []idxSeq
+	heap []int32 // min-heap of seq indices ordered by end time
+
+	alive    int // live sequences
+	aliveSem int // semantics triples across live sequences
+	maxEnd   float64
+	hasMax   bool
+}
+
+// idxSeq is one stored sequence plus its eviction bookkeeping.
+type idxSeq struct {
+	ms   seq.MSSequence
+	end  float64 // last semantics End: the eviction key
+	dead bool
+}
+
+// bucket aggregates the stay events of one time slice.
+type bucket struct {
+	stayStarts map[indoor.RegionID]int // stay events starting here, by region
+	stayEnds   map[indoor.RegionID]int // stay events ending here, by region
+	starts     []eventRef              // the start events themselves (lazy-deleted)
+	ends       []eventRef              // the end events themselves (lazy-deleted)
+	seqIDs     []int32                 // sequences with a stay period intersecting the bucket
+}
+
+// eventRef is one endpoint of a stay event.
+type eventRef struct {
+	seq    int32
+	region indoor.RegionID
+	t      float64
+}
+
+const (
+	// defaultMaxBuckets bounds the ring; beyond it the width doubles.
+	defaultMaxBuckets = 128
+	// retentionBuckets is the initial resolution of a bounded window.
+	retentionBuckets = 48
+	// defaultWidth (seconds) seeds the resolution when retention is
+	// unbounded and no better guess exists.
+	defaultWidth = 60
+	// compactMinDead delays list compaction until it pays for itself.
+	compactMinDead = 64
+	// maxKeyMagnitude clamps time keys so extreme timestamps (e.g. a
+	// client feeding t = 1e300) cannot overflow the int64 key space.
+	maxKeyMagnitude = int64(1) << 53
+)
+
+// NewIndex returns an empty index. retention <= 0 keeps everything.
+func NewIndex(retention float64) *Index {
+	width := float64(defaultWidth)
+	if retention > 0 && retention/retentionBuckets < width {
+		width = retention / retentionBuckets
+	}
+	return &Index{
+		retention:  retention,
+		maxBuckets: defaultMaxBuckets,
+		baseWidth:  width,
+		width:      width,
+	}
+}
+
+// fitWidth returns the smallest power-of-two multiple of the base
+// width at which the [lo, hi] time range fits the bucket budget.
+// Starting from the base width — not the current one — lets the
+// resolution recover after a transiently wide span (one sequence with
+// an extreme timestamp would otherwise coarsen the index forever).
+func (ix *Index) fitWidth(lo, hi float64) float64 {
+	width := ix.baseWidth
+	for spanAt(lo, hi, width) > int64(ix.maxBuckets) {
+		width *= 2
+	}
+	return width
+}
+
+// keyOf maps a timestamp to its bucket key at the current width.
+func (ix *Index) keyOf(t float64) int64 {
+	f := math.Floor(t / ix.width)
+	switch {
+	case f > float64(maxKeyMagnitude):
+		return maxKeyMagnitude
+	case f < -float64(maxKeyMagnitude):
+		return -maxKeyMagnitude
+	}
+	return int64(f)
+}
+
+// Add inserts one ms-sequence, updates the bucket aggregates with its
+// stay events, and evicts sequences that fell behind the retention
+// horizon. Sequences with no semantics are ignored.
+func (ix *Index) Add(ms seq.MSSequence) {
+	if len(ms.Semantics) == 0 {
+		return
+	}
+	end := ms.Semantics[len(ms.Semantics)-1].End
+	idx := int32(len(ix.seqs))
+	ix.seqs = append(ix.seqs, idxSeq{ms: ms, end: end})
+	ix.alive++
+	ix.aliveSem += len(ms.Semantics)
+	if !ix.hasMax || end > ix.maxEnd {
+		ix.maxEnd, ix.hasMax = end, true
+	}
+	// Coverage first: growing the ring may instead trigger a coarsening
+	// rebuild, which (re)indexes every live sequence including this one.
+	if !ix.ensureCoverage(idx) {
+		ix.indexEvents(idx)
+	}
+	ix.heapPush(idx)
+	ix.evict()
+	if dead := len(ix.seqs) - ix.alive; dead >= compactMinDead && dead > ix.alive {
+		ix.compact()
+	}
+}
+
+// ensureCoverage extends the ring to cover seq idx's stay events. It
+// reports whether it rebuilt the ring (which indexes idx already).
+func (ix *Index) ensureCoverage(idx int32) bool {
+	lo, hi, any := int64(0), int64(0), false
+	for _, m := range ix.seqs[idx].ms.Semantics {
+		if m.Event != seq.Stay {
+			continue
+		}
+		ks, ke := ix.keyOf(m.Start), ix.keyOf(m.End)
+		if !any {
+			lo, hi, any = ks, ke, true
+			continue
+		}
+		lo, hi = min(lo, ks), max(hi, ke)
+	}
+	if !any {
+		return false
+	}
+	if len(ix.buckets) > 0 {
+		lo = min(lo, ix.base)
+		hi = max(hi, ix.base+int64(len(ix.buckets))-1)
+	}
+	if hi-lo+1 > int64(ix.maxBuckets) {
+		// The tracked span outgrew the ring — often only because evicted
+		// front buckets are still allocated (they are reclaimed lazily).
+		// Rebuild on the live span at the finest width that fits it:
+		// usually a re-base at the current (or even the base) width, and
+		// a genuine coarsening only when the live span demands it.
+		tlo, thi := ix.liveTimeRange(idx)
+		ix.rebuild(ix.fitWidth(tlo, thi))
+		return true
+	}
+	if len(ix.buckets) == 0 {
+		ix.base = lo
+		ix.buckets = make([]bucket, hi-lo+1)
+		return false
+	}
+	if lo < ix.base {
+		grown := make([]bucket, int(ix.base-lo)+len(ix.buckets))
+		copy(grown[ix.base-lo:], ix.buckets)
+		ix.buckets, ix.base = grown, lo
+	}
+	if last := ix.base + int64(len(ix.buckets)) - 1; hi > last {
+		ix.buckets = append(ix.buckets, make([]bucket, hi-last)...)
+	}
+	return false
+}
+
+// liveTimeRange returns the min start and max end over the stay events
+// of all live sequences up to and including upTo.
+func (ix *Index) liveTimeRange(upTo int32) (lo, hi float64) {
+	first := true
+	for i := int32(0); i <= upTo; i++ {
+		if ix.seqs[i].dead {
+			continue
+		}
+		for _, m := range ix.seqs[i].ms.Semantics {
+			if m.Event != seq.Stay {
+				continue
+			}
+			if first {
+				lo, hi, first = m.Start, m.End, false
+				continue
+			}
+			lo, hi = math.Min(lo, m.Start), math.Max(hi, m.End)
+		}
+	}
+	return lo, hi
+}
+
+// spanAt returns the bucket count the [lo, hi] time range needs at the
+// given width.
+func spanAt(lo, hi float64, width float64) int64 {
+	kl := int64(math.Max(math.Min(math.Floor(lo/width), float64(maxKeyMagnitude)), -float64(maxKeyMagnitude)))
+	kh := int64(math.Max(math.Min(math.Floor(hi/width), float64(maxKeyMagnitude)), -float64(maxKeyMagnitude)))
+	return kh - kl + 1
+}
+
+// indexEvents registers seq idx's stay events in the (already
+// covering) ring.
+func (ix *Index) indexEvents(idx int32) {
+	for _, m := range ix.seqs[idx].ms.Semantics {
+		if m.Event != seq.Stay {
+			continue
+		}
+		ks, ke := ix.keyOf(m.Start), ix.keyOf(m.End)
+		bs := &ix.buckets[ks-ix.base]
+		if bs.stayStarts == nil {
+			bs.stayStarts = map[indoor.RegionID]int{}
+		}
+		bs.stayStarts[m.Region]++
+		bs.starts = append(bs.starts, eventRef{seq: idx, region: m.Region, t: m.Start})
+		be := &ix.buckets[ke-ix.base]
+		if be.stayEnds == nil {
+			be.stayEnds = map[indoor.RegionID]int{}
+		}
+		be.stayEnds[m.Region]++
+		be.ends = append(be.ends, eventRef{seq: idx, region: m.Region, t: m.End})
+		for k := ks; k <= ke; k++ {
+			b := &ix.buckets[k-ix.base]
+			if n := len(b.seqIDs); n == 0 || b.seqIDs[n-1] != idx {
+				b.seqIDs = append(b.seqIDs, idx)
+			}
+		}
+	}
+}
+
+// rebuild re-creates the ring at the given width from the live
+// sequences, dropping lazily-deleted event references along the way.
+func (ix *Index) rebuild(width float64) {
+	ix.width = width
+	ix.buckets = nil
+	ix.base = 0
+	for i := range ix.seqs {
+		if ix.seqs[i].dead {
+			continue
+		}
+		if !ix.ensureCoverage(int32(i)) {
+			ix.indexEvents(int32(i))
+		}
+	}
+}
+
+// compact drops dead sequences entirely: the seqs slice, the heap and
+// the ring are rebuilt over the live survivors, preserving insertion
+// order (and with it Snapshot order). The width is re-fit to the
+// surviving span, so resolution lost to since-evicted outliers comes
+// back.
+func (ix *Index) compact() {
+	live := make([]idxSeq, 0, ix.alive)
+	for i := range ix.seqs {
+		if !ix.seqs[i].dead {
+			live = append(live, ix.seqs[i])
+		}
+	}
+	ix.seqs = live
+	ix.heap = ix.heap[:0]
+	for i := range ix.seqs {
+		ix.heapPush(int32(i))
+	}
+	width := ix.baseWidth
+	if len(ix.seqs) > 0 {
+		tlo, thi := ix.liveTimeRange(int32(len(ix.seqs) - 1))
+		width = ix.fitWidth(tlo, thi)
+	}
+	ix.rebuild(width)
+}
+
+// evict kills sequences whose end time fell behind the retention
+// horizon. The heap ordering makes this exact under out-of-order ends:
+// the staleness check always sees the oldest live sequence, not the
+// insertion head.
+func (ix *Index) evict() {
+	if ix.retention <= 0 {
+		return
+	}
+	horizon := ix.maxEnd - ix.retention
+	for len(ix.heap) > 0 {
+		idx := ix.heap[0]
+		if ix.seqs[idx].end >= horizon {
+			return
+		}
+		ix.heapPop()
+		ix.kill(idx)
+	}
+}
+
+// kill removes one sequence from the aggregates. Its entries in the
+// per-bucket event and candidate lists are left for lazy deletion.
+func (ix *Index) kill(idx int32) {
+	s := &ix.seqs[idx]
+	s.dead = true
+	ix.alive--
+	ix.aliveSem -= len(s.ms.Semantics)
+	for _, m := range s.ms.Semantics {
+		if m.Event != seq.Stay {
+			continue
+		}
+		bs := &ix.buckets[ix.keyOf(m.Start)-ix.base]
+		if bs.stayStarts[m.Region]--; bs.stayStarts[m.Region] == 0 {
+			delete(bs.stayStarts, m.Region)
+		}
+		be := &ix.buckets[ix.keyOf(m.End)-ix.base]
+		if be.stayEnds[m.Region]--; be.stayEnds[m.Region] == 0 {
+			delete(be.stayEnds, m.Region)
+		}
+	}
+}
+
+// Len returns the live sequence and semantics counts.
+func (ix *Index) Len() (sequences, semantics int) {
+	return ix.alive, ix.aliveSem
+}
+
+// Snapshot returns the live sequences in insertion order.
+func (ix *Index) Snapshot() []seq.MSSequence {
+	out := make([]seq.MSSequence, 0, ix.alive)
+	for i := range ix.seqs {
+		if !ix.seqs[i].dead {
+			out = append(out, ix.seqs[i].ms)
+		}
+	}
+	return out
+}
+
+// TopKPopularRegions answers a TkPRQ over the live sequences, with
+// results identical to TopKPopularRegions over Snapshot().
+func (ix *Index) TopKPopularRegions(q []indoor.RegionID, w Window, k int) []RegionCount {
+	if math.IsNaN(w.Start) || math.IsNaN(w.End) {
+		// Window.Contains is false against NaN bounds everywhere, and
+		// the prefix-sum identity below would silently miscount.
+		return make([]RegionCount, 0)
+	}
+	if w.Start > w.End {
+		// Degenerate inverted window: Window.Contains still matches
+		// periods spanning [w.End, w.Start]; recount rather than
+		// special-case the prefix-sum identity, which assumes order.
+		return TopKPopularRegions(ix.Snapshot(), q, w, k)
+	}
+	qs := regionSet(q)
+	counts := map[indoor.RegionID]int{}
+	ix.accumulate(counts, qs, w.End, false, +1)  // +#{Start <= w.End}
+	ix.accumulate(counts, qs, w.Start, true, -1) // -#{End < w.Start}
+	out := make([]RegionCount, 0, len(counts))
+	for r, c := range counts {
+		if c > 0 {
+			out = append(out, RegionCount{r, c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Region < out[j].Region
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// accumulate adds sign * #{events with endpoint before cutoff} to
+// counts, per region restricted to qs. ends selects which endpoint:
+// start times compare inclusively (Start <= cutoff), end times
+// strictly (End < cutoff), matching the TkPRQ identity.
+func (ix *Index) accumulate(counts map[indoor.RegionID]int, qs map[indoor.RegionID]bool, cutoff float64, ends bool, sign int) {
+	if len(ix.buckets) == 0 {
+		return
+	}
+	edge := ix.cutoffBucket(cutoff)
+	interior := min(edge, len(ix.buckets))
+	for b := 0; b < interior; b++ {
+		agg := ix.buckets[b].stayStarts
+		if ends {
+			agg = ix.buckets[b].stayEnds
+		}
+		for r, c := range agg {
+			if qs[r] {
+				counts[r] += sign * c
+			}
+		}
+	}
+	if edge < 0 || edge >= len(ix.buckets) {
+		return
+	}
+	evs := ix.buckets[edge].starts
+	if ends {
+		evs = ix.buckets[edge].ends
+	}
+	for _, ev := range evs {
+		if ix.seqs[ev.seq].dead || !qs[ev.region] {
+			continue
+		}
+		if (!ends && ev.t <= cutoff) || (ends && ev.t < cutoff) {
+			counts[ev.region] += sign
+		}
+	}
+}
+
+// cutoffBucket maps a query timestamp onto a ring position: -1 before
+// the ring, len(buckets) past it, else the bucket index. Comparisons
+// run in float space so an extreme cutoff (e.g. MaxFloat64) cannot
+// overflow the key arithmetic.
+func (ix *Index) cutoffBucket(t float64) int {
+	if t < float64(ix.base)*ix.width {
+		return -1
+	}
+	if t >= float64(ix.base+int64(len(ix.buckets)))*ix.width {
+		return len(ix.buckets)
+	}
+	b := int(ix.keyOf(t) - ix.base)
+	return min(max(b, 0), len(ix.buckets)-1)
+}
+
+// TopKFrequentPairs answers a TkFRPQ over the live sequences, with
+// results identical to TopKFrequentPairs over Snapshot(). Candidates
+// come from the buckets the window overlaps, so the cost follows the
+// activity inside the window, not the total retained history.
+func (ix *Index) TopKFrequentPairs(q []indoor.RegionID, w Window, k int) []PairCount {
+	if math.IsNaN(w.Start) || math.IsNaN(w.End) {
+		return make([]PairCount, 0)
+	}
+	if w.Start > w.End {
+		return TopKFrequentPairs(ix.Snapshot(), q, w, k)
+	}
+	if len(ix.buckets) == 0 {
+		return make([]PairCount, 0)
+	}
+	b0 := max(ix.cutoffBucket(w.Start), 0)
+	b1 := min(ix.cutoffBucket(w.End), len(ix.buckets)-1)
+	counts := map[[2]indoor.RegionID]int{}
+	qs := regionSet(q)
+	seen := map[int32]bool{}
+	var regions []indoor.RegionID
+	for b := b0; b <= b1; b++ {
+		for _, idx := range ix.buckets[b].seqIDs {
+			if seen[idx] || ix.seqs[idx].dead {
+				continue
+			}
+			seen[idx] = true
+			regions = regions[:0]
+			for _, m := range ix.seqs[idx].ms.Semantics {
+				if m.Event == seq.Stay && qs[m.Region] && w.Contains(m) && !containsRegion(regions, m.Region) {
+					regions = append(regions, m.Region)
+				}
+			}
+			sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+			for i := 0; i < len(regions); i++ {
+				for j := i + 1; j < len(regions); j++ {
+					counts[[2]indoor.RegionID{regions[i], regions[j]}]++
+				}
+			}
+		}
+	}
+	out := make([]PairCount, 0, len(counts))
+	for p, c := range counts {
+		out = append(out, PairCount{p[0], p[1], c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func containsRegion(rs []indoor.RegionID, r indoor.RegionID) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// heapPush / heapPop maintain the eviction min-heap on sequence end.
+
+func (ix *Index) heapPush(idx int32) {
+	ix.heap = append(ix.heap, idx)
+	i := len(ix.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if ix.seqs[ix.heap[parent]].end <= ix.seqs[ix.heap[i]].end {
+			break
+		}
+		ix.heap[parent], ix.heap[i] = ix.heap[i], ix.heap[parent]
+		i = parent
+	}
+}
+
+func (ix *Index) heapPop() {
+	n := len(ix.heap) - 1
+	ix.heap[0] = ix.heap[n]
+	ix.heap = ix.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && ix.seqs[ix.heap[l]].end < ix.seqs[ix.heap[least]].end {
+			least = l
+		}
+		if r < n && ix.seqs[ix.heap[r]].end < ix.seqs[ix.heap[least]].end {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		ix.heap[i], ix.heap[least] = ix.heap[least], ix.heap[i]
+		i = least
+	}
+}

@@ -1,0 +1,277 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// mirrorStore is the brute-force reference: a plain slice with the
+// same eviction contract as the index (evict when a sequence's last
+// end falls strictly behind maxEnd - retention).
+type mirrorStore struct {
+	retention float64
+	maxEnd    float64
+	hasMax    bool
+	mss       []seq.MSSequence
+}
+
+func (m *mirrorStore) add(ms seq.MSSequence) {
+	if len(ms.Semantics) == 0 {
+		return
+	}
+	if end := ms.Semantics[len(ms.Semantics)-1].End; !m.hasMax || end > m.maxEnd {
+		m.maxEnd, m.hasMax = end, true
+	}
+	m.mss = append(m.mss, ms)
+	if m.retention <= 0 {
+		return
+	}
+	horizon := m.maxEnd - m.retention
+	kept := m.mss[:0]
+	for _, ms := range m.mss {
+		if ms.Semantics[len(ms.Semantics)-1].End >= horizon {
+			kept = append(kept, ms)
+		}
+	}
+	m.mss = kept
+}
+
+func (m *mirrorStore) semantics() int {
+	n := 0
+	for _, ms := range m.mss {
+		n += len(ms.Semantics)
+	}
+	return n
+}
+
+// randomMS builds a sequence of 1..5 time-ordered semantics with
+// random regions, a mix of stays and passes, and periods anywhere in
+// [lo, hi) — sequence end times across calls are deliberately NOT
+// monotone, exercising out-of-order eviction.
+func randomMS(rng *rand.Rand, id int, lo, hi float64) seq.MSSequence {
+	n := 1 + rng.Intn(5)
+	ms := seq.MSSequence{ObjectID: fmt.Sprintf("obj%d", id)}
+	t := lo + rng.Float64()*(hi-lo)*0.8
+	for i := 0; i < n; i++ {
+		d := rng.Float64() * (hi - lo) * 0.05
+		ev := seq.Stay
+		if rng.Intn(4) == 0 {
+			ev = seq.Pass
+		}
+		ms.Semantics = append(ms.Semantics, seq.MSemantics{
+			Region: indoor.RegionID(rng.Intn(10)),
+			Start:  t,
+			End:    t + d,
+			Event:  ev,
+		})
+		t += d + rng.Float64()*(hi-lo)*0.02
+	}
+	return ms
+}
+
+// TestIndexMatchesBruteForce is the exactness property: under random
+// adds (with out-of-order end times) and retention evictions, the
+// bucketed top-k answers equal a brute-force recount over the
+// retained sequences, for random windows, query sets and k.
+func TestIndexMatchesBruteForce(t *testing.T) {
+	allRegions := make([]indoor.RegionID, 10)
+	for i := range allRegions {
+		allRegions[i] = indoor.RegionID(i)
+	}
+	cases := []struct {
+		name      string
+		retention float64
+		lo, hi    float64
+	}{
+		{"unbounded", 0, 0, 2000},
+		{"windowed", 300, 0, 2000},
+		{"tight-window", 40, 0, 2000},
+		{"negative-times", 250, -5000, 1000},
+		{"wide-span-coarsens", 0, 0, 500000}, // >> maxBuckets * defaultWidth
+		{"wide-span-windowed", 20000, 0, 500000},
+	}
+	for ci, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + ci)))
+			s := NewStore(tc.retention)
+			mirror := &mirrorStore{retention: tc.retention}
+			for i := 0; i < 400; i++ {
+				ms := randomMS(rng, i, tc.lo, tc.hi)
+				if i%31 == 0 {
+					ms.Semantics = nil // empty sequences are ignored
+				}
+				s.Add(ms)
+				mirror.add(ms)
+				if i%5 != 0 {
+					continue
+				}
+				// Random query: window, region subset, k.
+				a := tc.lo + rng.Float64()*(tc.hi-tc.lo)
+				b := tc.lo + rng.Float64()*(tc.hi-tc.lo)
+				w := Window{Start: min(a, b), End: max(a, b)}
+				q := allRegions
+				if rng.Intn(2) == 0 {
+					q = allRegions[:1+rng.Intn(len(allRegions))]
+				}
+				k := 1 + rng.Intn(6)
+
+				if got, want := s.TopKPopularRegions(q, w, k), TopKPopularRegions(mirror.mss, q, w, k); !reflect.DeepEqual(got, want) {
+					t.Fatalf("step %d: TopKPopularRegions(%v, %v, %d)\n got %v\nwant %v",
+						i, q, w, k, got, want)
+				}
+				if got, want := s.TopKFrequentPairs(q, w, k), TopKFrequentPairs(mirror.mss, q, w, k); !reflect.DeepEqual(got, want) {
+					t.Fatalf("step %d: TopKFrequentPairs(%v, %v, %d)\n got %v\nwant %v",
+						i, q, w, k, got, want)
+				}
+				seqs, sems := s.Len()
+				if seqs != len(mirror.mss) || sems != mirror.semantics() {
+					t.Fatalf("step %d: Len = (%d, %d), want (%d, %d)",
+						i, seqs, sems, len(mirror.mss), mirror.semantics())
+				}
+			}
+			// Final full-content check.
+			if got, want := s.Snapshot(), mirror.mss; !reflect.DeepEqual(got, append([]seq.MSSequence{}, want...)) {
+				t.Fatalf("snapshot diverged: %d vs %d sequences", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestIndexOutOfOrderEviction pins the eviction fix: a stale sequence
+// must be evicted even when a fresher one arrived before it (the old
+// head-first amortised eviction kept it).
+func TestIndexOutOfOrderEviction(t *testing.T) {
+	s := NewStore(100)
+	s.Add(storeMS("fresh", stay(1, 490, 500))) // arrives first, ends late
+	s.Add(storeMS("stale", stay(2, 440, 450))) // arrives second, ends early
+	s.Add(storeMS("new", stay(3, 590, 600)))   // horizon -> 500
+	if seqs, _ := s.Len(); seqs != 2 {
+		t.Fatalf("stored %d sequences, want 2 (stale evicted, fresh kept)", seqs)
+	}
+	snap := s.Snapshot()
+	ids := map[string]bool{}
+	for _, ms := range snap {
+		ids[ms.ObjectID] = true
+	}
+	if !ids["fresh"] || !ids["new"] || ids["stale"] {
+		t.Fatalf("retained %v, want fresh+new without stale", ids)
+	}
+	// The evicted sequence no longer counts in either query.
+	top := s.TopKPopularRegions([]indoor.RegionID{1, 2, 3}, Window{0, 1000}, 3)
+	for _, rc := range top {
+		if rc.Region == 2 {
+			t.Fatalf("evicted region still counted: %v", top)
+		}
+	}
+}
+
+// TestIndexNaNWindow: NaN bounds match the brute-force semantics —
+// Window.Contains is false against NaN, so both queries are empty.
+func TestIndexNaNWindow(t *testing.T) {
+	s := NewStore(0)
+	s.Add(storeMS("a", stay(1, 0, 100), stay(2, 50, 150)))
+	nan := math.NaN()
+	for _, w := range []Window{{nan, 100}, {0, nan}, {nan, nan}} {
+		got := s.TopKPopularRegions([]indoor.RegionID{1, 2}, w, 5)
+		want := TopKPopularRegions(s.Snapshot(), []indoor.RegionID{1, 2}, w, 5)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("NaN window %v: got %v, want %v", w, got, want)
+		}
+		if len(got) != 0 {
+			t.Fatalf("NaN window %v returned counts: %v", w, got)
+		}
+		if pairs := s.TopKFrequentPairs([]indoor.RegionID{1, 2}, w, 5); len(pairs) != 0 {
+			t.Fatalf("NaN window %v returned pairs: %v", w, pairs)
+		}
+	}
+}
+
+// TestIndexInvertedWindow checks the degenerate Start > End window
+// agrees with the brute-force semantics of Window.Contains.
+func TestIndexInvertedWindow(t *testing.T) {
+	s := NewStore(0)
+	spanning := storeMS("span", stay(1, 0, 100)) // intersects [50, 40] per Contains
+	narrow := storeMS("narrow", stay(2, 45, 47)) // does not
+	s.Add(spanning)
+	s.Add(narrow)
+	w := Window{Start: 50, End: 40}
+	got := s.TopKPopularRegions([]indoor.RegionID{1, 2}, w, 5)
+	want := TopKPopularRegions([]seq.MSSequence{spanning, narrow}, []indoor.RegionID{1, 2}, w, 5)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("inverted window: got %v, want %v", got, want)
+	}
+}
+
+// TestIndexRetentionKeepsResolution: under a retention window, wall-
+// clock advance alone must not coarsen the buckets — the live span
+// stays ~retention wide, so overflow of the ring is resolved by
+// re-basing at the current width, not by doubling it.
+func TestIndexRetentionKeepsResolution(t *testing.T) {
+	s := NewStore(900)
+	want := s.ix.width
+	for i := 0; i < 600; i++ { // 60k seconds of stream time, ~66 windows
+		t0 := float64(i * 100)
+		s.Add(storeMS(fmt.Sprintf("o%d", i), stay(indoor.RegionID(i%5), t0, t0+60)))
+	}
+	if s.ix.width != want {
+		t.Fatalf("bucket width coarsened to %g under a sliding window, want %g", s.ix.width, want)
+	}
+	if len(s.ix.buckets) > s.ix.maxBuckets {
+		t.Fatalf("ring grew to %d buckets, cap %d", len(s.ix.buckets), s.ix.maxBuckets)
+	}
+}
+
+// TestIndexWidthRecoversAfterOutlier: a transiently wide time span —
+// e.g. one sequence with far-future timestamps — coarsens the buckets,
+// but once it is evicted and the ring is rebuilt over the survivors,
+// the resolution must return to the base width instead of staying
+// degraded forever.
+func TestIndexWidthRecoversAfterOutlier(t *testing.T) {
+	s := NewStore(900)
+	base := s.ix.width
+	// An outlier far in the future coarsens the ring and (by advancing
+	// maxEnd) evicts everything else.
+	s.Add(storeMS("outlier", stay(1, 1e7, 1e7+10)))
+	s.Add(storeMS("normal", stay(2, 0, 60))) // instantly stale, evicted
+	if s.ix.width <= base {
+		t.Fatalf("test setup: outlier did not coarsen (width %g)", s.ix.width)
+	}
+	// Traffic continues in the outlier's time frame; churn through the
+	// retention window until the outlier is evicted and a compaction
+	// rebuild re-fits the width to the surviving ~900s span.
+	for i := 0; i < 300; i++ {
+		t0 := 1e7 + float64(i*100)
+		s.Add(storeMS(fmt.Sprintf("o%d", i), stay(indoor.RegionID(i%5), t0, t0+60)))
+	}
+	if s.ix.width != base {
+		t.Fatalf("width stuck at %g after the outlier was evicted, want recovery to %g", s.ix.width, base)
+	}
+}
+
+// TestIndexCompaction drives enough churn through a small window that
+// dead sequences repeatedly outnumber live ones, forcing compaction
+// rebuilds, and verifies correctness afterwards.
+func TestIndexCompaction(t *testing.T) {
+	s := NewStore(50)
+	mirror := &mirrorStore{retention: 50}
+	for i := 0; i < 1000; i++ {
+		t0 := float64(i)
+		ms := storeMS(fmt.Sprintf("o%d", i), stay(indoor.RegionID(i%7), t0, t0+5))
+		s.Add(ms)
+		mirror.add(ms)
+	}
+	q := []indoor.RegionID{0, 1, 2, 3, 4, 5, 6}
+	w := Window{Start: 940, End: 1010}
+	if got, want := s.TopKPopularRegions(q, w, 7), TopKPopularRegions(mirror.mss, q, w, 7); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-churn TopKPopularRegions: got %v, want %v", got, want)
+	}
+	if seqs, _ := s.Len(); seqs != len(mirror.mss) {
+		t.Fatalf("post-churn Len = %d, want %d", seqs, len(mirror.mss))
+	}
+}

@@ -14,74 +14,47 @@ import (
 // each completed ms-sequence as it is emitted and queries see all
 // semantics added so far.
 //
+// Internally the store maintains an Index — an incrementally updated,
+// time-bucketed aggregate of per-region stay counts and per-bucket
+// candidate sequences — so the top-k queries cost on the order of the
+// bucket count plus the activity inside the queried window, not a
+// recount of every retained semantics triple. Answers are exact: they
+// equal the brute-force queries over Snapshot().
+//
 // A positive retention turns the store into a sliding window over
 // stream time: whenever a new ms-sequence advances the maximum period
 // end seen so far, sequences that ended more than retention seconds
-// before it become eligible for eviction. Eviction is amortised — it
-// compacts only when the oldest stored sequence is stale — so a query
-// may transiently see slightly more history than the window, never
-// less.
+// before it are evicted. Eviction orders sequences by their end time
+// (not arrival order), so interleaved streams whose sequences complete
+// out of order are evicted correctly: a stale sequence cannot hide
+// behind a fresher one that happened to arrive first.
+//
+// Each venue shard owns one Store, so this lock is per shard; stores
+// of different venues never contend.
 type Store struct {
-	mu        sync.RWMutex
-	retention float64
-	maxEnd    float64
-	mss       []seq.MSSequence
-	semantics int
+	mu sync.RWMutex
+	ix *Index
 }
 
 // NewStore returns an empty store. retention <= 0 keeps everything.
 func NewStore(retention float64) *Store {
-	return &Store{retention: retention}
+	return &Store{ix: NewIndex(retention)}
 }
 
-// Add appends one ms-sequence. Sequences with no semantics are
-// ignored — they carry nothing a query could count.
+// Add appends one ms-sequence and folds its stay events into the
+// aggregate index. Sequences with no semantics are ignored — they
+// carry nothing a query could count.
 func (s *Store) Add(ms seq.MSSequence) {
-	if len(ms.Semantics) == 0 {
-		return
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if end := ms.Semantics[len(ms.Semantics)-1].End; end > s.maxEnd {
-		s.maxEnd = end
-	}
-	s.mss = append(s.mss, ms)
-	s.semantics += len(ms.Semantics)
-	s.evictLocked()
-}
-
-// evictLocked drops sequences that ended before the retention horizon.
-// Streams append in roughly increasing time order, so checking the head
-// first keeps the common case O(1).
-func (s *Store) evictLocked() {
-	if s.retention <= 0 || len(s.mss) == 0 {
-		return
-	}
-	horizon := s.maxEnd - s.retention
-	if last := s.mss[0].Semantics[len(s.mss[0].Semantics)-1]; last.End >= horizon {
-		return
-	}
-	kept := s.mss[:0]
-	semantics := 0
-	for _, ms := range s.mss {
-		if ms.Semantics[len(ms.Semantics)-1].End >= horizon {
-			kept = append(kept, ms)
-			semantics += len(ms.Semantics)
-		}
-	}
-	// Release the tail so evicted sequences can be collected.
-	for i := len(kept); i < len(s.mss); i++ {
-		s.mss[i] = seq.MSSequence{}
-	}
-	s.mss = kept
-	s.semantics = semantics
+	s.ix.Add(ms)
 }
 
 // Len returns the number of stored sequences and semantics triples.
 func (s *Store) Len() (sequences, semantics int) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.mss), s.semantics
+	return s.ix.Len()
 }
 
 // Snapshot returns a copy of the stored sequences, safe to use after
@@ -90,19 +63,19 @@ func (s *Store) Len() (sequences, semantics int) {
 func (s *Store) Snapshot() []seq.MSSequence {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]seq.MSSequence(nil), s.mss...)
+	return s.ix.Snapshot()
 }
 
 // TopKPopularRegions answers a TkPRQ over the current contents.
 func (s *Store) TopKPopularRegions(q []indoor.RegionID, w Window, k int) []RegionCount {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return TopKPopularRegions(s.mss, q, w, k)
+	return s.ix.TopKPopularRegions(q, w, k)
 }
 
 // TopKFrequentPairs answers a TkFRPQ over the current contents.
 func (s *Store) TopKFrequentPairs(q []indoor.RegionID, w Window, k int) []PairCount {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return TopKFrequentPairs(s.mss, q, w, k)
+	return s.ix.TopKFrequentPairs(q, w, k)
 }

@@ -1,0 +1,92 @@
+package seq
+
+import "sort"
+
+// StreamKey identifies one object's positioning stream within one
+// venue. A multi-venue deployment routes every record by this pair, so
+// the same object ID active in two venues segments as two independent
+// streams.
+type StreamKey struct {
+	Venue  string
+	Object string
+}
+
+// StreamSet is a keyed collection of incremental Segmenters: the
+// streaming state of a serving pipeline, one Segmenter per
+// (venue, object) stream, all sharing one η/ψ preprocessing
+// configuration. Segmenters are created on first use and released by
+// FlushAll, so a long-running server does not accumulate an entry per
+// object ID ever seen.
+//
+// A StreamSet is not safe for concurrent use; callers (the Engine)
+// serialise access.
+type StreamSet struct {
+	eta, psi float64
+	streams  map[StreamKey]*Segmenter
+}
+
+// NewStreamSet returns an empty stream collection splitting on eta-gap
+// and filtering fragments shorter than psi seconds.
+func NewStreamSet(eta, psi float64) *StreamSet {
+	return &StreamSet{eta: eta, psi: psi, streams: map[StreamKey]*Segmenter{}}
+}
+
+// Get returns the stream's segmenter, creating it on first use. The
+// segmenter is keyed by the full (venue, object) pair but emits
+// fragment IDs from the object ID alone — the venue is routing
+// information, not part of the data.
+func (ss *StreamSet) Get(k StreamKey) *Segmenter {
+	s, ok := ss.streams[k]
+	if !ok {
+		s = NewSegmenter(k.Object, ss.eta, ss.psi)
+		ss.streams[k] = s
+	}
+	return s
+}
+
+// Len returns the number of tracked streams.
+func (ss *StreamSet) Len() int { return len(ss.streams) }
+
+// Keys returns the tracked stream keys ordered by (venue, object).
+func (ss *StreamSet) Keys() []StreamKey {
+	out := make([]StreamKey, 0, len(ss.streams))
+	for k := range ss.streams {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Venue != out[j].Venue {
+			return out[i].Venue < out[j].Venue
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// Pending reports how many streams have a buffered open fragment and
+// how many records those fragments hold.
+func (ss *StreamSet) Pending() (streams, records int) {
+	for _, s := range ss.streams {
+		if n := s.Pending(); n > 0 {
+			streams++
+			records += n
+		}
+	}
+	return streams, records
+}
+
+// FlushAll completes every stream's trailing fragment in (venue,
+// object) key order, releases all stream state, and returns the
+// fragments that survive the ψ filter. The next record of a stream
+// that keeps feeding starts a fresh segmenter, restarting fragment
+// numbering at "#0" exactly like a fresh Preprocess call.
+func (ss *StreamSet) FlushAll() []PSequence {
+	keys := ss.Keys()
+	var done []PSequence
+	for _, k := range keys {
+		if p, ok := ss.streams[k].Flush(); ok {
+			done = append(done, p)
+		}
+		delete(ss.streams, k)
+	}
+	return done
+}

@@ -1,0 +1,77 @@
+package seq
+
+import (
+	"reflect"
+	"testing"
+)
+
+func srec(t float64) Record { return Record{T: t} }
+
+func TestStreamSetKeysByVenueAndObject(t *testing.T) {
+	ss := NewStreamSet(100, 0)
+	// The same object ID in two venues is two independent streams.
+	a := ss.Get(StreamKey{Venue: "north", Object: "o"})
+	b := ss.Get(StreamKey{Venue: "south", Object: "o"})
+	if a == b {
+		t.Fatal("streams of different venues share a segmenter")
+	}
+	if got := ss.Get(StreamKey{Venue: "north", Object: "o"}); got != a {
+		t.Fatal("Get did not return the existing segmenter")
+	}
+	a.Feed(srec(0))
+	if b.Pending() != 0 {
+		t.Fatal("feeding one venue's stream affected the other")
+	}
+	want := []StreamKey{{"north", "o"}, {"south", "o"}}
+	if got := ss.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	if ss.Len() != 2 {
+		t.Fatalf("Len() = %d", ss.Len())
+	}
+}
+
+func TestStreamSetFragmentIDsOmitVenue(t *testing.T) {
+	ss := NewStreamSet(100, 0)
+	s := ss.Get(StreamKey{Venue: "mall-7", Object: "visitor"})
+	s.Feed(srec(0))
+	s.Feed(srec(10))
+	p, ok := s.Flush()
+	if !ok {
+		t.Fatal("flush dropped the fragment")
+	}
+	if p.ObjectID != "visitor#0" {
+		t.Fatalf("fragment ID = %q, want venue-free %q", p.ObjectID, "visitor#0")
+	}
+}
+
+func TestStreamSetFlushAllReleasesState(t *testing.T) {
+	ss := NewStreamSet(100, 0)
+	ss.Get(StreamKey{Venue: "a", Object: "x"}).Feed(srec(0))
+	ss.Get(StreamKey{Venue: "a", Object: "x"}).Feed(srec(5))
+	ss.Get(StreamKey{Venue: "b", Object: "y"}).Feed(srec(1))
+	ss.Get(StreamKey{Venue: "a", Object: "empty"}) // no records buffered
+
+	streams, records := ss.Pending()
+	if streams != 2 || records != 3 {
+		t.Fatalf("Pending() = %d streams / %d records, want 2/3", streams, records)
+	}
+	done := ss.FlushAll()
+	if len(done) != 2 {
+		t.Fatalf("FlushAll returned %d fragments, want 2", len(done))
+	}
+	// Key order: venue first, then object.
+	if done[0].ObjectID != "x#0" || done[1].ObjectID != "y#0" {
+		t.Fatalf("flush order = %q, %q", done[0].ObjectID, done[1].ObjectID)
+	}
+	if ss.Len() != 0 {
+		t.Fatalf("FlushAll left %d streams tracked", ss.Len())
+	}
+	// A continuing stream restarts numbering at #0.
+	s := ss.Get(StreamKey{Venue: "a", Object: "x"})
+	s.Feed(srec(100))
+	s.Feed(srec(110))
+	if p, ok := s.Flush(); !ok || p.ObjectID != "x#0" {
+		t.Fatalf("post-flush fragment = %v %v, want x#0 restart", p.ObjectID, ok)
+	}
+}

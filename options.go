@@ -124,10 +124,76 @@ func WithOnSequence(fn func(MSSequence)) Option {
 // WithRetention keeps only m-semantics that ended within the trailing
 // `seconds` of stream time in the Engine's live store, turning the
 // top-k queries into sliding-window queries. seconds <= 0 (the
-// default) retains everything.
+// default) retains everything. Eviction orders sequences by their end
+// time, so interleaved streams completing out of order are evicted
+// correctly.
 func WithRetention(seconds float64) Option {
 	return func(e *Engine) error {
 		e.retention = seconds
+		return nil
+	}
+}
+
+// WithVenueID names the engine's venue shard. A VenueRegistry sets it
+// to the registration key; standalone engines may set it so stream
+// error messages and callbacks identify the venue. The ID also keys
+// the engine's streaming state, so two engines with different venue
+// IDs never share a (venue, object) stream.
+func WithVenueID(id string) Option {
+	return func(e *Engine) error {
+		e.venue = id
+		return nil
+	}
+}
+
+// withBudget shares a sized inference-slot channel across engines: an
+// annotation holds one slot for its duration, so the aggregate
+// concurrency — and with it the aggregate growth of the per-annotator
+// sync.Pool of inference workspaces — is bounded registry-wide
+// instead of per venue. The registry installs it via WithVenueBudget.
+func withBudget(ch chan struct{}) Option {
+	return func(e *Engine) error {
+		e.budget = ch
+		return nil
+	}
+}
+
+// A RegistryOption configures a VenueRegistry.
+type RegistryOption func(*VenueRegistry) error
+
+// WithVenueDefaults applies opts to every engine the registry loads,
+// before any per-venue options passed at Load/Register time. Typical
+// deployment-wide settings: WithPreprocess, WithRetention,
+// WithWorkers, WithInferOptions.
+func WithVenueDefaults(opts ...Option) RegistryOption {
+	return func(vr *VenueRegistry) error {
+		vr.defaults = append(vr.defaults, opts...)
+		return nil
+	}
+}
+
+// WithVenueBudget bounds the total number of concurrently running
+// annotations across ALL venues of the registry to n slots. Without
+// it every venue engine annotates with only its own worker bound, so
+// a registry hosting v venues could run v×workers inferences at once;
+// the budget caps the fleet-wide inference concurrency and thereby
+// the aggregate pooled-workspace memory. n <= 0 (the default) means
+// no shared budget.
+func WithVenueBudget(n int) RegistryOption {
+	return func(vr *VenueRegistry) error {
+		if n > 0 {
+			vr.budget = make(chan struct{}, n)
+		}
+		return nil
+	}
+}
+
+// WithMaxVenues caps how many venues the registry will host; loading
+// beyond it fails with ErrTooManyVenues (hot reloads of an existing
+// venue are always allowed). n <= 0 (the default) means unlimited.
+func WithMaxVenues(n int) RegistryOption {
+	return func(vr *VenueRegistry) error {
+		vr.maxVenues = n
 		return nil
 	}
 }

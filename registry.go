@@ -1,0 +1,242 @@
+package c2mn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// VenueRegistry hosts many independently loaded venues — each an
+// immutable (Space, model) pair wrapped in its own Engine — and routes
+// annotation, streaming ingestion and the top-k queries by venue ID.
+// It is the sharding boundary of a multi-building deployment: every
+// venue owns its model, its streaming segmentation state (keyed by
+// (venue, object)) and its live m-semantics store with a per-shard
+// lock, so traffic against one venue never contends with another.
+//
+// Venues are hot-(re)loadable: Load deserialises a model saved with
+// Annotator.Save and atomically swaps it in under its venue ID —
+// in-flight calls against the previous engine complete on the old
+// model, new calls see the new one. Unload removes a venue.
+//
+// The registry itself is safe for concurrent use. Registry-wide
+// settings come from RegistryOptions: WithVenueDefaults (engine
+// options applied to every venue), WithVenueBudget (a shared bound on
+// fleet-wide inference concurrency) and WithMaxVenues.
+type VenueRegistry struct {
+	mu        sync.RWMutex
+	venues    map[string]*Engine
+	defaults  []Option
+	budget    chan struct{}
+	maxVenues int
+}
+
+// NewVenueRegistry returns an empty registry.
+func NewVenueRegistry(opts ...RegistryOption) (*VenueRegistry, error) {
+	vr := &VenueRegistry{venues: map[string]*Engine{}}
+	for _, opt := range opts {
+		if err := opt(vr); err != nil {
+			return nil, err
+		}
+	}
+	return vr, nil
+}
+
+// Register wraps a trained annotator in a fresh Engine and installs it
+// under venueID, replacing (hot-reloading) any engine already serving
+// that ID. Engine options apply in order: registry defaults first,
+// then opts; the venue ID and the registry's shared inference budget
+// are always set last. The new engine starts with empty streaming
+// state and an empty live store.
+func (vr *VenueRegistry) Register(venueID string, a *Annotator, opts ...Option) (*Engine, error) {
+	if venueID == "" {
+		return nil, errors.New("c2mn: venue ID must not be empty")
+	}
+	all := make([]Option, 0, len(vr.defaults)+len(opts)+2)
+	all = append(all, vr.defaults...)
+	all = append(all, opts...)
+	all = append(all, WithVenueID(venueID), withBudget(vr.budget))
+	e, err := NewEngine(a, all...)
+	if err != nil {
+		return nil, fmt.Errorf("c2mn: venue %q: %w", venueID, err)
+	}
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	if _, reload := vr.venues[venueID]; !reload && vr.maxVenues > 0 && len(vr.venues) >= vr.maxVenues {
+		return nil, fmt.Errorf("%w: limit %d reached loading %q", ErrTooManyVenues, vr.maxVenues, venueID)
+	}
+	vr.venues[venueID] = e
+	return e, nil
+}
+
+// Load restores an annotator from a model saved with Annotator.Save
+// and registers it under venueID (see Register for the reload and
+// option semantics).
+func (vr *VenueRegistry) Load(venueID string, space *Space, model io.Reader, opts ...Option) (*Engine, error) {
+	a, err := Load(space, model)
+	if err != nil {
+		return nil, fmt.Errorf("c2mn: venue %q: %w", venueID, err)
+	}
+	return vr.Register(venueID, a, opts...)
+}
+
+// Unload removes a venue. In-flight calls against its engine complete;
+// subsequent routed calls fail with ErrUnknownVenue.
+func (vr *VenueRegistry) Unload(venueID string) error {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	if _, ok := vr.venues[venueID]; !ok {
+		return unknownVenue(venueID)
+	}
+	delete(vr.venues, venueID)
+	return nil
+}
+
+// Engine returns the venue's current engine, or ErrUnknownVenue.
+func (vr *VenueRegistry) Engine(venueID string) (*Engine, error) {
+	vr.mu.RLock()
+	defer vr.mu.RUnlock()
+	e, ok := vr.venues[venueID]
+	if !ok {
+		return nil, unknownVenue(venueID)
+	}
+	return e, nil
+}
+
+// Venues returns the loaded venue IDs, sorted.
+func (vr *VenueRegistry) Venues() []string {
+	vr.mu.RLock()
+	defer vr.mu.RUnlock()
+	out := make([]string, 0, len(vr.venues))
+	for id := range vr.venues {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of loaded venues.
+func (vr *VenueRegistry) Len() int {
+	vr.mu.RLock()
+	defer vr.mu.RUnlock()
+	return len(vr.venues)
+}
+
+// engines snapshots the venue map for iteration outside the lock.
+func (vr *VenueRegistry) engines() map[string]*Engine {
+	vr.mu.RLock()
+	defer vr.mu.RUnlock()
+	out := make(map[string]*Engine, len(vr.venues))
+	for id, e := range vr.venues {
+		out[id] = e
+	}
+	return out
+}
+
+// AnnotateCtx routes a one-shot annotation to the venue's engine.
+func (vr *VenueRegistry) AnnotateCtx(ctx context.Context, venueID string, p *PSequence) (Labels, MSSequence, error) {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return Labels{}, MSSequence{}, err
+	}
+	return e.AnnotateCtx(ctx, p)
+}
+
+// AnnotateAllCtx routes a batch annotation to the venue's engine.
+func (vr *VenueRegistry) AnnotateAllCtx(ctx context.Context, venueID string, ps []PSequence) ([]MSSequence, error) {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return nil, err
+	}
+	return e.AnnotateAllCtx(ctx, ps)
+}
+
+// Feed routes one positioning record to the venue's stream of
+// objectID. The (venue, object) pair keys the stream, so the same
+// object ID active in two venues segments independently.
+func (vr *VenueRegistry) Feed(venueID, objectID string, r Record) error {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return err
+	}
+	return e.Feed(objectID, r)
+}
+
+// FeedAll routes a record batch to the venue's stream of objectID and
+// reports how many completed sequences it caused to be emitted.
+func (vr *VenueRegistry) FeedAll(venueID, objectID string, records []Record) (int, error) {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return 0, err
+	}
+	return e.FeedAll(objectID, records)
+}
+
+// Flush completes one venue's open stream fragments.
+func (vr *VenueRegistry) Flush(venueID string) error {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return err
+	}
+	return e.Flush()
+}
+
+// FlushAll flushes every venue, in venue-ID order; per-venue errors
+// are joined, and every venue is flushed even when an earlier one
+// fails.
+func (vr *VenueRegistry) FlushAll() error {
+	engines := vr.engines()
+	ids := make([]string, 0, len(engines))
+	for id := range engines {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var errs []error
+	for _, id := range ids {
+		if err := engines[id].Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("venue %q: %w", id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// TopKPopularRegions answers a TkPRQ over one venue's live store.
+func (vr *VenueRegistry) TopKPopularRegions(venueID string, q []RegionID, w Window, k int) ([]RegionCount, error) {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return nil, err
+	}
+	return e.TopKPopularRegions(q, w, k), nil
+}
+
+// TopKFrequentPairs answers a TkFRPQ over one venue's live store.
+func (vr *VenueRegistry) TopKFrequentPairs(venueID string, q []RegionID, w Window, k int) ([]PairCount, error) {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return nil, err
+	}
+	return e.TopKFrequentPairs(q, w, k), nil
+}
+
+// Sequences returns a snapshot of one venue's live ms-sequences.
+func (vr *VenueRegistry) Sequences(venueID string) ([]MSSequence, error) {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return nil, err
+	}
+	return e.Sequences(), nil
+}
+
+// Stats reports every venue's streaming pipeline counters, keyed by
+// venue ID.
+func (vr *VenueRegistry) Stats() map[string]EngineStats {
+	engines := vr.engines()
+	out := make(map[string]EngineStats, len(engines))
+	for id, e := range engines {
+		out[id] = e.Stats()
+	}
+	return out
+}
