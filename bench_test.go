@@ -537,3 +537,87 @@ func BenchmarkAblationDistanceMatrix(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkFleetTopK measures the fleet-scoped query path — the
+// parallel per-shard scans plus the exact cross-venue merge behind
+// VenueRegistry.Query — against the number of venues at a fixed total
+// number of retained sequences. The per-shard indexes answer in
+// near-constant time, so the fleet query cost tracked in
+// BENCH_infer.json should grow with the merge width, not with the
+// fleet's total retained history.
+func BenchmarkFleetTopK(b *testing.B) {
+	const (
+		totalSeqs   = 8192
+		regions     = 32
+		staysPerSeq = 3
+		windowSecs  = 900
+	)
+	space, data := benchAnnotationWorld(b)
+	ann, err := Train(space, data[:len(data)/2], TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queryRegions := make([]RegionID, regions)
+	for i := range queryRegions {
+		queryRegions[i] = RegionID(i)
+	}
+	for _, venues := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("venues=%d", venues), func(b *testing.B) {
+			vr, err := NewVenueRegistry()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(17))
+			maxT := 0.0
+			for v := 0; v < venues; v++ {
+				e, err := vr.Register(fmt.Sprintf("v%02d", v), ann)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// The stores are loaded directly with synthetic
+				// m-semantics: the benchmark isolates query fan-out and
+				// merge cost from annotation cost.
+				t := 0.0
+				for i := 0; i < totalSeqs/venues; i++ {
+					ms := MSSequence{ObjectID: fmt.Sprintf("v%d-o%d", v, i)}
+					for j := 0; j < staysPerSeq; j++ {
+						d := 30 + rng.Float64()*120
+						ms.Semantics = append(ms.Semantics, MSemantics{
+							Region: RegionID(rng.Intn(regions)),
+							Start:  t,
+							End:    t + d,
+							Event:  Stay,
+						})
+						t += d * 0.4
+					}
+					e.store.Add(ms)
+				}
+				if t > maxT {
+					maxT = t
+				}
+			}
+			q := Query{
+				Kind:    QueryPopularRegions,
+				Scope:   ScopeFleet,
+				Regions: queryRegions,
+				Window:  &Window{Start: maxT - windowSecs, End: maxT},
+				K:       5,
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := vr.Query(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Regions) == 0 {
+					b.Fatal("empty fleet top-k over a populated window")
+				}
+			}
+			b.ReportMetric(float64(venues), "venues")
+		})
+	}
+}

@@ -26,9 +26,17 @@
 // still arriving. A multi-building deployment hosts many venues in a
 // VenueRegistry — independently loaded (Space, model) shards, hot
 // reloadable via Annotator.Save/Load, with all traffic routed by
-// venue ID. Cancellation and failure modes are typed: ErrCanceled,
-// ErrEmptySequence, ErrNoModel, ErrUnknownVenue, ErrModelVersion.
-// cmd/msserve exposes the registry over HTTP.
+// venue ID. Queries go through one composable request type: build a
+// Query (kind, region filter, window, k, and a scope of one venue, an
+// explicit venue list, or the whole fleet) and execute it with
+// VenueRegistry.Query, which fans fleet scans out across the venue
+// shards in parallel and merges the counts exactly; the TopK* methods
+// remain as thin compatibility wrappers. Cancellation and failure
+// modes are typed: ErrCanceled, ErrEmptySequence, ErrNoModel,
+// ErrUnknownVenue, ErrModelVersion, ErrInvalidQuery, and — when
+// WithFeedQueueTimeout bounds a saturated venue's wait for budget
+// slots — ErrBacklog. cmd/msserve exposes the registry over a
+// versioned (/v1) HTTP surface.
 //
 // Annotation runs on pooled, reusable inference workspaces with
 // incremental (Markov-blanket delta) scoring, so steady-state

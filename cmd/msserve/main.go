@@ -10,27 +10,39 @@
 //	msserve -venue north=mall-n.json,model-n.json \
 //	        -venue south=mall-s.json,model-s.json -addr :8080
 //
-// Endpoints (JSON over HTTP). Data-plane endpoints take the venue as
-// a path segment (/venues/{venue}/...) or a ?venue= parameter on the
-// bare path; with exactly one venue loaded the parameter may be
-// omitted.
+// Endpoints (JSON over HTTP). The canonical surface is versioned
+// under /v1/; every route below is mounted there. Data-plane
+// endpoints take the venue as a path segment (/v1/venues/{venue}/...)
+// or a ?venue= parameter on the bare path; with exactly one venue
+// loaded the parameter may be omitted.
 //
-//	POST   /annotate                      {"object_id", "records": [{"x","y","floor","t"}]}
-//	POST   /feed                          same body; records join the object's stream
-//	POST   /flush                         complete open stream fragments (?venue=, default all)
-//	GET    /query/popular-regions         ?k=5&start=0&end=3600&regions=1,2,3
-//	GET    /query/frequent-pairs          same parameters
-//	POST   /venues/{venue}/annotate       path-routed equivalents of the above
-//	POST   /venues/{venue}/feed
-//	POST   /venues/{venue}/flush
-//	GET    /venues/{venue}/query/popular-regions
-//	GET    /venues/{venue}/query/frequent-pairs
-//	GET    /venues/{venue}/stats          one venue's pipeline counters
-//	GET    /venues                        list loaded venues with stats
-//	POST   /venues                        {"venue","space","model"}: (re)load from server-side paths
-//	DELETE /venues/{venue}                unload a venue
-//	GET    /stats                         per-venue counters + totals
-//	GET    /healthz                       liveness probe
+//	POST   /v1/query                         unified query: JSON body = c2mn.Query
+//	                                         (kind, scope venue|venues|fleet, venues,
+//	                                         regions, window, k, per_venue) + optional
+//	                                         page_size / cursor pagination fields
+//	POST   /v1/annotate                      {"object_id", "records": [{"x","y","floor","t"}]}
+//	POST   /v1/feed                          same body; records join the object's stream
+//	POST   /v1/flush                         complete open stream fragments (?venue=, default all)
+//	GET    /v1/query/popular-regions         ?k=5&start=0&end=3600&regions=1,2,3
+//	                                         (+ ?scope=fleet or ?venues=a,b for cross-venue)
+//	GET    /v1/query/frequent-pairs          same parameters
+//	POST   /v1/venues/{venue}/annotate       path-routed equivalents of the above
+//	POST   /v1/venues/{venue}/feed
+//	POST   /v1/venues/{venue}/flush
+//	GET    /v1/venues/{venue}/query/popular-regions
+//	GET    /v1/venues/{venue}/query/frequent-pairs
+//	GET    /v1/venues/{venue}/stats          one venue's pipeline counters
+//	GET    /v1/venues                        list loaded venues with stats
+//	POST   /v1/venues                        {"venue","space","model"}: (re)load from server-side paths
+//	DELETE /v1/venues/{venue}                unload a venue
+//	GET    /v1/stats                         per-venue counters + totals
+//	GET    /v1/healthz                       liveness probe
+//
+// /v1 errors are typed: {"error": {"code": "unknown_venue", ...}}.
+// The unversioned paths from earlier releases stay mounted as
+// deprecated aliases onto the same handlers — identical behaviour and
+// flat {"error": "..."} payloads, plus Deprecation/Link headers
+// pointing at the /v1 successor.
 //
 // POST /venues and DELETE /venues/{venue} are destructive admin
 // operations (they replace or discard a venue's live state and read
@@ -39,6 +51,11 @@
 // "Authorization: Bearer <token>" on those endpoints. Leave it empty
 // only behind an authenticating proxy.
 //
+// With -budget bounding fleet-wide inference and -feed-timeout set,
+// /feed sheds load instead of queueing without bound: a completed
+// fragment that cannot get an inference slot in time fails with
+// 429 + Retry-After (error code "backlog").
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain before exiting.
 package main
@@ -46,6 +63,7 @@ package main
 import (
 	"context"
 	"crypto/subtle"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -56,6 +74,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
@@ -89,6 +108,8 @@ func main() {
 	maxSweeps := flag.Int("max-sweeps", 0, "ICM sweep bound per sequence (0 = default 20)")
 	annealSweeps := flag.Int("anneal-sweeps", 0, "annealed-restart Gibbs sweeps (0 = off)")
 	seed := flag.Int64("seed", 0, "annealing randomness seed")
+	feedTimeout := flag.Duration("feed-timeout", 0,
+		"bound on a fed fragment's wait for a -budget inference slot; exceeded waits fail with 429 (0 = wait forever)")
 	adminToken := flag.String("admin-token", os.Getenv("MSSERVE_ADMIN_TOKEN"),
 		"bearer token required on venue load/unload admin endpoints (empty = open)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
@@ -126,6 +147,7 @@ func main() {
 			c2mn.WithWindowing(*window, *overlap),
 			c2mn.WithRetention(*retention),
 			c2mn.WithInferOptions(infer),
+			c2mn.WithFeedQueueTimeout(*feedTimeout),
 		),
 		c2mn.WithVenueBudget(*budget),
 		c2mn.WithMaxVenues(*maxVenues),
@@ -141,7 +163,7 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Handler:           newServer(registry, *maxBody, *adminToken),
+		Handler:           newServer(registry, *maxBody, *adminToken, withFeedRetryAfter(*feedTimeout)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -229,40 +251,88 @@ const defaultMaxBody = 32 << 20
 
 // server handles the HTTP surface over a venue registry.
 type server struct {
-	registry   *c2mn.VenueRegistry
-	maxBody    int64
-	adminToken string
+	registry       *c2mn.VenueRegistry
+	maxBody        int64
+	adminToken     string
+	retryAfterSecs string // Retry-After hint on 429 backlog responses
 }
 
-// newServer builds the route table. maxBody caps every request body.
-// A non-empty adminToken gates the mutating admin endpoints (venue
-// load/unload) behind `Authorization: Bearer <token>`; empty leaves
-// them open, for deployments fronted by their own auth.
-func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string) http.Handler {
-	s := &server{registry: registry, maxBody: maxBody, adminToken: adminToken}
+// A serverOption tunes the handler beyond the required arguments.
+type serverOption func(*server)
+
+// withFeedRetryAfter derives the Retry-After hint on 429 backlog
+// responses from the -feed-timeout bound: a client backing off for at
+// least the queue-wait bound gives the backlog one full drain window.
+func withFeedRetryAfter(d time.Duration) serverOption {
+	return func(s *server) {
+		if secs := int(math.Ceil(d.Seconds())); secs > 1 {
+			s.retryAfterSecs = strconv.Itoa(secs)
+		}
+	}
+}
+
+// newServer builds the route table: the canonical versioned surface
+// under /v1/ plus the pre-versioning unversioned paths, kept as
+// deprecated aliases onto the same handlers. maxBody caps every
+// request body. A non-empty adminToken gates the mutating admin
+// endpoints (venue load/unload) behind `Authorization: Bearer
+// <token>`; empty leaves them open, for deployments fronted by their
+// own auth.
+func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string, opts ...serverOption) http.Handler {
+	s := &server{registry: registry, maxBody: maxBody, adminToken: adminToken, retryAfterSecs: "1"}
+	for _, opt := range opts {
+		opt(s)
+	}
 	mux := http.NewServeMux()
-	// Bare data-plane paths: venue from ?venue=, or the sole venue.
-	mux.HandleFunc("POST /annotate", s.handleAnnotate)
-	mux.HandleFunc("POST /feed", s.handleFeed)
-	mux.HandleFunc("POST /flush", s.handleFlush)
-	mux.HandleFunc("GET /query/popular-regions", s.handlePopularRegions)
-	mux.HandleFunc("GET /query/frequent-pairs", s.handleFrequentPairs)
-	// Venue-scoped equivalents with the venue as a path segment.
-	mux.HandleFunc("POST /venues/{venue}/annotate", s.handleAnnotate)
-	mux.HandleFunc("POST /venues/{venue}/feed", s.handleFeed)
-	mux.HandleFunc("POST /venues/{venue}/flush", s.handleFlush)
-	mux.HandleFunc("GET /venues/{venue}/query/popular-regions", s.handlePopularRegions)
-	mux.HandleFunc("GET /venues/{venue}/query/frequent-pairs", s.handleFrequentPairs)
-	mux.HandleFunc("GET /venues/{venue}/stats", s.handleVenueStats)
-	// Admin plane.
-	mux.HandleFunc("GET /venues", s.handleListVenues)
-	mux.HandleFunc("POST /venues", s.handleLoadVenue)
-	mux.HandleFunc("DELETE /venues/{venue}", s.handleUnloadVenue)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		// Bare data-plane paths: venue from ?venue=, or the sole venue;
+		// the query GETs also accept ?venues=a,b and ?scope=fleet.
+		{"POST /annotate", s.handleAnnotate},
+		{"POST /feed", s.handleFeed},
+		{"POST /flush", s.handleFlush},
+		{"GET /query/popular-regions", s.handlePopularRegions},
+		{"GET /query/frequent-pairs", s.handleFrequentPairs},
+		// Venue-scoped equivalents with the venue as a path segment.
+		{"POST /venues/{venue}/annotate", s.handleAnnotate},
+		{"POST /venues/{venue}/feed", s.handleFeed},
+		{"POST /venues/{venue}/flush", s.handleFlush},
+		{"GET /venues/{venue}/query/popular-regions", s.handlePopularRegions},
+		{"GET /venues/{venue}/query/frequent-pairs", s.handleFrequentPairs},
+		{"GET /venues/{venue}/stats", s.handleVenueStats},
+		// Admin plane.
+		{"GET /venues", s.handleListVenues},
+		{"POST /venues", s.handleLoadVenue},
+		{"DELETE /venues/{venue}", s.handleUnloadVenue},
+		{"GET /stats", s.handleStats},
+		{"GET /healthz", s.handleHealthz},
+	}
+	for _, rt := range routes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, rt.h)
+		mux.HandleFunc(rt.pattern, deprecated(rt.h))
+	}
+	// The unified query endpoint is v1-only: it is the API the
+	// versioning exists for.
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	return mux
+}
+
+// deprecated marks a legacy unversioned route: same handler as its
+// /v1 twin, plus RFC 8594-style headers steering clients to the
+// successor.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1`+r.URL.Path+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // venueID resolves the request's venue: the path segment, then the
@@ -289,12 +359,12 @@ func (s *server) venueID(r *http.Request) (string, error) {
 func (s *server) engine(w http.ResponseWriter, r *http.Request) (*c2mn.Engine, string, bool) {
 	id, err := s.venueID(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return nil, "", false
 	}
 	e, err := s.registry.Engine(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, r, http.StatusNotFound, err)
 		return nil, "", false
 	}
 	return e, id, true
@@ -342,7 +412,7 @@ func (s *server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	p := toPSequence(req)
 	labels, ms, err := e.AnnotateCtx(r.Context(), &p)
 	if err != nil {
-		writeAnnotateError(w, err)
+		writeAnnotateError(w, r, err)
 		return
 	}
 	resp := annotateResponse{
@@ -384,10 +454,7 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		// Partial success: valid records were ingested and may have
 		// emitted sequences. Report the counts with the error so the
 		// client knows not to blindly re-feed the batch.
-		writeJSON(w, http.StatusUnprocessableEntity, struct {
-			Error string `json:"error"`
-			feedResponse
-		}{err.Error(), feedResponse{Venue: venue, Fed: len(p.Records), CompletedSequences: completed}})
+		s.writeIngestError(w, r, err, feedResponse{Venue: venue, Fed: len(p.Records), CompletedSequences: completed})
 		return
 	}
 	writeJSON(w, http.StatusOK, feedResponse{
@@ -395,6 +462,38 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		Fed:                len(p.Records),
 		CompletedSequences: completed,
 	})
+}
+
+// writeIngestError reports a partial-success ingestion failure (feed
+// or flush) alongside its counts payload. A backlogged venue
+// (feed-timeout exceeded waiting for an inference slot) is load
+// shedding, not a client mistake: 429 + Retry-After instead of 422.
+func (s *server) writeIngestError(w http.ResponseWriter, r *http.Request, err error, payload any) {
+	status := http.StatusUnprocessableEntity
+	if errors.Is(err, c2mn.ErrBacklog) {
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", s.retryAfterSecs)
+	}
+	writeErrorWith(w, r, status, err, payload)
+}
+
+// writeErrorWith writes an error next to a partial-success payload's
+// fields, in the route tree's envelope style: a typed error object on
+// /v1, the flat error string on legacy routes. payload must marshal
+// to a JSON object without an "error" key.
+func writeErrorWith(w http.ResponseWriter, r *http.Request, status int, err error, payload any) {
+	body := map[string]any{}
+	if buf, merr := json.Marshal(payload); merr == nil {
+		// Best-effort: a payload that does not marshal still reports
+		// the error below.
+		json.Unmarshal(buf, &body)
+	}
+	if isV1(r) {
+		body["error"] = wireError{Code: errorCode(status, err), Message: err.Error()}
+	} else {
+		body["error"] = err.Error()
+	}
+	writeJSON(w, status, body)
 }
 
 type flushResponse struct {
@@ -424,7 +523,7 @@ func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		e, err := s.registry.Engine(id)
 		if err != nil {
 			if explicit {
-				writeError(w, http.StatusNotFound, err)
+				writeError(w, r, http.StatusNotFound, err)
 				return
 			}
 			continue // unloaded between listing and flush
@@ -438,13 +537,157 @@ func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		resp.EmittedSequences += st.EmittedSequences
 	}
 	if len(errs) > 0 {
-		writeJSON(w, http.StatusUnprocessableEntity, struct {
-			Error string `json:"error"`
-			flushResponse
-		}{errors.Join(errs...).Error(), resp})
+		s.writeIngestError(w, r, errors.Join(errs...), resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// The unified query endpoint. The request embeds the library's Query
+// verbatim plus cursor-style pagination: page_size bounds one page of
+// the ranked list, and the opaque cursor returned with a partial page
+// fetches the next one (the follow-up request carries only cursor,
+// and optionally a new page_size).
+type queryRequest struct {
+	c2mn.Query
+	PageSize int    `json:"page_size,omitempty"`
+	Cursor   string `json:"cursor,omitempty"`
+}
+
+type queryResponse struct {
+	c2mn.QueryResult
+	Offset     int    `json:"offset,omitempty"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// queryCursor is the decoded pagination cursor: the original query
+// plus the resume position. It is stateless — each page re-runs the
+// query — so pages concatenate to the unpaginated answer as long as
+// the underlying stores are quiescent between pages.
+type queryCursor struct {
+	Query    c2mn.Query `json:"q"`
+	PageSize int        `json:"page_size"`
+	Offset   int        `json:"offset"`
+}
+
+func encodeCursor(c queryCursor) (string, error) {
+	buf, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	return base64.RawURLEncoding.EncodeToString(buf), nil
+}
+
+func decodeCursor(s string) (queryCursor, error) {
+	var c queryCursor
+	buf, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return c, fmt.Errorf("bad cursor: %w", err)
+	}
+	if err := json.Unmarshal(buf, &c); err != nil {
+		return c, fmt.Errorf("bad cursor: %w", err)
+	}
+	if c.PageSize <= 0 || c.Offset < 0 {
+		return c, errors.New("bad cursor: invalid page bounds")
+	}
+	return c, nil
+}
+
+// paginate slices the result's ranked list to [offset, offset+size)
+// and returns the next page's offset, or -1 when this page exhausts
+// the list. The bounds arithmetic never computes offset+size directly
+// — a forged cursor can carry offset near MaxInt, and the sum would
+// wrap negative and panic the slice expression.
+func paginate(res *c2mn.QueryResult, offset, size int) int {
+	if res.Kind == c2mn.QueryFrequentPairs {
+		n := len(res.Pairs)
+		lo := min(offset, n)
+		hi := lo + min(size, n-lo)
+		res.Pairs = res.Pairs[lo:hi]
+		if hi < n {
+			return hi
+		}
+		return -1
+	}
+	n := len(res.Regions)
+	lo := min(offset, n)
+	hi := lo + min(size, n-lo)
+	res.Regions = res.Regions[lo:hi]
+	if hi < n {
+		return hi
+	}
+	return -1
+}
+
+// handleQuery serves POST /v1/query: decode the Query (or resume a
+// cursor), execute it through the registry's single entry point, and
+// page the ranked list.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.PageSize < 0 {
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("negative page_size %d", req.PageSize))
+		return
+	}
+	q, pageSize, offset := req.Query, req.PageSize, 0
+	if req.Cursor != "" {
+		if !reflect.DeepEqual(req.Query, c2mn.Query{}) {
+			writeError(w, r, http.StatusBadRequest, errors.New("cursor and query fields are mutually exclusive"))
+			return
+		}
+		cur, err := decodeCursor(req.Cursor)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		q, offset = cur.Query, cur.Offset
+		pageSize = cur.PageSize
+		if req.PageSize > 0 {
+			pageSize = req.PageSize
+		}
+	}
+	res, err := s.registry.Query(r.Context(), q)
+	if err != nil {
+		writeQueryError(w, r, err)
+		return
+	}
+	resp := queryResponse{QueryResult: res}
+	if pageSize > 0 {
+		resp.Offset = offset
+		if next := paginate(&resp.QueryResult, offset, pageSize); next >= 0 {
+			cursor, err := encodeCursor(queryCursor{Query: q, PageSize: pageSize, Offset: next})
+			if err != nil {
+				writeError(w, r, http.StatusInternalServerError, err)
+				return
+			}
+			resp.NextCursor = cursor
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeQueryError maps VenueRegistry.Query failures onto statuses.
+func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, c2mn.ErrInvalidQuery):
+		writeError(w, r, http.StatusBadRequest, err)
+	case errors.Is(err, c2mn.ErrUnknownVenue):
+		writeError(w, r, http.StatusNotFound, err)
+	case errors.Is(err, c2mn.ErrCanceled):
+		writeError(w, r, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, r, http.StatusUnprocessableEntity, err)
+	}
 }
 
 type regionCountResponse struct {
@@ -454,21 +697,15 @@ type regionCountResponse struct {
 }
 
 func (s *server) handlePopularRegions(w http.ResponseWriter, r *http.Request) {
-	e, _, ok := s.engine(w, r)
+	res, space, ok := s.runTopKSugar(w, r, c2mn.QueryPopularRegions)
 	if !ok {
 		return
 	}
-	q, win, k, err := queryParams(e, r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	top := e.TopKPopularRegions(q, win, k)
-	out := make([]regionCountResponse, len(top))
-	for i, rc := range top {
+	out := make([]regionCountResponse, len(res.Regions))
+	for i, rc := range res.Regions {
 		out[i] = regionCountResponse{
 			Region:     int(rc.Region),
-			RegionName: regionName(e, rc.Region),
+			RegionName: regionName(space, rc.Region),
 			Count:      rc.Count,
 		}
 	}
@@ -484,25 +721,78 @@ type pairCountResponse struct {
 }
 
 func (s *server) handleFrequentPairs(w http.ResponseWriter, r *http.Request) {
-	e, _, ok := s.engine(w, r)
+	res, space, ok := s.runTopKSugar(w, r, c2mn.QueryFrequentPairs)
 	if !ok {
 		return
 	}
-	q, win, k, err := queryParams(e, r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	top := e.TopKFrequentPairs(q, win, k)
-	out := make([]pairCountResponse, len(top))
-	for i, pc := range top {
+	out := make([]pairCountResponse, len(res.Pairs))
+	for i, pc := range res.Pairs {
 		out[i] = pairCountResponse{
-			A: int(pc.A), AName: regionName(e, pc.A),
-			B: int(pc.B), BName: regionName(e, pc.B),
+			A: int(pc.A), AName: regionName(space, pc.A),
+			B: int(pc.B), BName: regionName(space, pc.B),
 			Count: pc.Count,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// runTopKSugar executes a GET query sugar route through the unified
+// query path, writing the error response itself on failure. The
+// returned Space resolves region names when exactly one venue was
+// scanned; it is nil for wider scans, whose merged rows have no
+// single naming venue.
+func (s *server) runTopKSugar(w http.ResponseWriter, r *http.Request, kind c2mn.QueryKind) (c2mn.QueryResult, *c2mn.Space, bool) {
+	scope, venues, err := s.sugarScope(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return c2mn.QueryResult{}, nil, false
+	}
+	regions, win, k, err := sugarParams(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return c2mn.QueryResult{}, nil, false
+	}
+	res, err := s.registry.Query(r.Context(), c2mn.Query{
+		Kind: kind, Scope: scope, Venues: venues,
+		Regions: regions, Window: win, K: k,
+	})
+	if err != nil {
+		writeQueryError(w, r, err)
+		return c2mn.QueryResult{}, nil, false
+	}
+	var space *c2mn.Space
+	if len(res.Scanned) == 1 {
+		// One scanned venue — whatever scope phrased it — names the rows.
+		if e, err := s.registry.Engine(res.Scanned[0]); err == nil {
+			space = e.Space()
+		}
+	}
+	return res, space, true
+}
+
+// sugarScope resolves a query GET's scope: the cross-venue forms
+// ?venues=a,b and ?scope=fleet first (they have no single-venue
+// equivalent), then the shared single-venue resolution chain of
+// venueID — path segment, ?venue=, sole loaded venue.
+func (s *server) sugarScope(r *http.Request) (c2mn.QueryScope, []string, error) {
+	if r.PathValue("venue") == "" && r.URL.Query().Get("venue") == "" {
+		vals := r.URL.Query()
+		if v := vals.Get("venues"); v != "" {
+			return c2mn.ScopeVenues, strings.Split(v, ","), nil
+		}
+		switch sc := vals.Get("scope"); sc {
+		case "fleet":
+			return c2mn.ScopeFleet, nil, nil
+		case "":
+		default:
+			return "", nil, fmt.Errorf("bad scope %q (only \"fleet\" may be given without venues)", sc)
+		}
+	}
+	id, err := s.venueID(r)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w — or pass ?venues=a,b / ?scope=fleet for a cross-venue query", err)
+	}
+	return c2mn.ScopeVenue, []string{id}, nil
 }
 
 // statsResponse breaks the pipeline counters down per venue and sums
@@ -578,7 +868,7 @@ func (s *server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
 	token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
 	if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(s.adminToken)) != 1 {
 		w.Header().Set("WWW-Authenticate", "Bearer")
-		writeError(w, http.StatusUnauthorized, errors.New("admin endpoint requires a valid bearer token"))
+		writeError(w, r, http.StatusUnauthorized, errors.New("admin endpoint requires a valid bearer token"))
 		return false
 	}
 	return true
@@ -591,11 +881,11 @@ func (s *server) handleLoadVenue(w http.ResponseWriter, r *http.Request) {
 	var req loadVenueRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if req.Venue == "" || req.Space == "" || req.Model == "" {
-		writeError(w, http.StatusBadRequest, errors.New("venue, space and model are required"))
+		writeError(w, r, http.StatusBadRequest, errors.New("venue, space and model are required"))
 		return
 	}
 	if err := loadVenueFiles(s.registry, req.Venue, req.Space, req.Model); err != nil {
@@ -603,7 +893,7 @@ func (s *server) handleLoadVenue(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, c2mn.ErrTooManyVenues) {
 			status = http.StatusConflict
 		}
-		writeError(w, status, err)
+		writeError(w, r, status, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"venue": req.Venue, "status": "loaded"})
@@ -615,59 +905,63 @@ func (s *server) handleUnloadVenue(w http.ResponseWriter, r *http.Request) {
 	}
 	id := r.PathValue("venue")
 	if err := s.registry.Unload(id); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, r, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"venue": id, "status": "unloaded"})
 }
 
-// queryParams parses k (default 5), start/end (default all time) and
-// regions (default: every region of the venue).
-func queryParams(e *c2mn.Engine, r *http.Request) ([]c2mn.RegionID, c2mn.Window, int, error) {
+// sugarParams parses a query GET's k (default: the library default),
+// start/end (default: all time) and regions (default: every region of
+// each scanned venue — applied inside the query path).
+func sugarParams(r *http.Request) ([]c2mn.RegionID, *c2mn.Window, int, error) {
 	vals := r.URL.Query()
-	k := 5
-	win := c2mn.Window{Start: 0, End: math.MaxFloat64}
+	k := 0
 	if v := vals.Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			return nil, win, 0, fmt.Errorf("bad k %q", v)
+			return nil, nil, 0, fmt.Errorf("bad k %q", v)
 		}
 		k = n
 	}
-	if v := vals.Get("start"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || math.IsNaN(f) {
-			return nil, win, 0, fmt.Errorf("bad start %q", v)
+	var win *c2mn.Window
+	if vals.Get("start") != "" || vals.Get("end") != "" {
+		// A single given bound leaves the other at all-of-time, matching
+		// the nil-window default: ?end= alone is a pure upper bound.
+		win = &c2mn.Window{Start: -math.MaxFloat64, End: math.MaxFloat64}
+		if v := vals.Get("start"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || math.IsNaN(f) {
+				return nil, nil, 0, fmt.Errorf("bad start %q", v)
+			}
+			win.Start = f
 		}
-		win.Start = f
-	}
-	if v := vals.Get("end"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || math.IsNaN(f) {
-			return nil, win, 0, fmt.Errorf("bad end %q", v)
+		if v := vals.Get("end"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || math.IsNaN(f) {
+				return nil, nil, 0, fmt.Errorf("bad end %q", v)
+			}
+			win.End = f
 		}
-		win.End = f
 	}
 	var q []c2mn.RegionID
 	if v := vals.Get("regions"); v != "" {
 		for _, part := range strings.Split(v, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				return nil, win, 0, fmt.Errorf("bad region %q", part)
+				return nil, nil, 0, fmt.Errorf("bad region %q", part)
 			}
 			q = append(q, c2mn.RegionID(n))
 		}
-	} else {
-		q = e.Space().Regions()
 	}
 	return q, win, k, nil
 }
 
-func regionName(e *c2mn.Engine, id c2mn.RegionID) string {
-	if id == c2mn.NoRegion {
+func regionName(sp *c2mn.Space, id c2mn.RegionID) string {
+	if sp == nil || id == c2mn.NoRegion {
 		return ""
 	}
-	return e.Space().Region(id).Name
+	return sp.Region(id).Name
 }
 
 func wireSemanticsOf(e *c2mn.Engine, ms c2mn.MSSequence) []wireSemantics {
@@ -675,7 +969,7 @@ func wireSemanticsOf(e *c2mn.Engine, ms c2mn.MSSequence) []wireSemantics {
 	for i, m := range ms.Semantics {
 		out[i] = wireSemantics{
 			Region:     int(m.Region),
-			RegionName: regionName(e, m.Region),
+			RegionName: regionName(e.Space(), m.Region),
 			Start:      m.Start,
 			End:        m.End,
 			Event:      m.Event.String(),
@@ -690,15 +984,15 @@ func (s *server) decodeSequence(w http.ResponseWriter, r *http.Request) (sequenc
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
 			return req, false
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return req, false
 	}
 	if req.ObjectID == "" {
-		writeError(w, http.StatusBadRequest, errors.New("object_id is required"))
+		writeError(w, r, http.StatusBadRequest, errors.New("object_id is required"))
 		return req, false
 	}
 	return req, true
@@ -715,20 +1009,77 @@ func toPSequence(req sequenceRequest) c2mn.PSequence {
 // writeAnnotateError maps the typed annotation errors to statuses:
 // client mistakes (empty or invalid sequences) are 4xx, cancellation —
 // normally the client having gone away — is 499-style.
-func writeAnnotateError(w http.ResponseWriter, err error) {
+func writeAnnotateError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, c2mn.ErrEmptySequence):
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 	case errors.Is(err, c2mn.ErrCanceled):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, r, http.StatusServiceUnavailable, err)
 	case errors.Is(err, c2mn.ErrNoModel):
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 	default:
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, r, http.StatusUnprocessableEntity, err)
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// wireError is the typed /v1 error payload.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// isV1 reports whether the request came in through the versioned
+// route tree (which carries typed error payloads).
+func isV1(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/") }
+
+// errorCode derives the stable machine-readable code of a /v1 error:
+// the library's sentinel when one matches, a status-derived fallback
+// otherwise.
+func errorCode(status int, err error) string {
+	switch {
+	case errors.Is(err, c2mn.ErrUnknownVenue):
+		return "unknown_venue"
+	case errors.Is(err, c2mn.ErrInvalidQuery):
+		return "invalid_query"
+	case errors.Is(err, c2mn.ErrBacklog):
+		return "backlog"
+	case errors.Is(err, c2mn.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, c2mn.ErrTooManyVenues):
+		return "too_many_venues"
+	case errors.Is(err, c2mn.ErrEmptySequence):
+		return "empty_sequence"
+	case errors.Is(err, c2mn.ErrModelVersion):
+		return "model_version"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_argument"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusTooManyRequests:
+		return "backlog"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	}
+	if status >= http.StatusInternalServerError {
+		return "internal"
+	}
+	return "unprocessable"
+}
+
+// writeError emits the error envelope: /v1 routes get the typed
+// {"error": {"code", "message"}} payload, legacy unversioned routes
+// keep the pre-versioning flat {"error": "..."} string.
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	if isV1(r) {
+		writeJSON(w, status, map[string]wireError{"error": {Code: errorCode(status, err), Message: err.Error()}})
+		return
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 

@@ -705,3 +705,352 @@ func TestServeDrainTimeout(t *testing.T) {
 		t.Fatal("serve hung past the drain timeout")
 	}
 }
+
+// TestServerV1FleetQuery is the acceptance end-to-end: three loaded
+// venues with different streams, POST /v1/query with fleet scope, and
+// the merged top-k must equal a brute-force recount over the
+// concatenation of all venues' retained m-semantics.
+func TestServerV1FleetQuery(t *testing.T) {
+	ids := []string{"east", "north", "west"}
+	registry, test := testRegistry(t, ids...)
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer ts.Close()
+
+	// Venue i gets the test sequences from offset i on: overlapping but
+	// distinct workloads per venue.
+	for vi, id := range ids {
+		for si := vi; si < len(test); si++ {
+			resp := postJSON(t, fmt.Sprintf("%s/v1/venues/%s/feed", ts.URL, id), sequenceRequest{
+				ObjectID: fmt.Sprintf("obj%d", si),
+				Records:  toWire(test[si].P.Records),
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/v1 feed %s: %s", id, resp.Status)
+			}
+			resp.Body.Close()
+		}
+	}
+	resp := postJSON(t, ts.URL+"/v1/flush", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/flush: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Brute-force reference over the concatenated venue snapshots.
+	var all []c2mn.MSSequence
+	var regions []c2mn.RegionID
+	for _, id := range ids {
+		seqs, err := registry.Sequences(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, seqs...)
+		e, _ := registry.Engine(id)
+		regions = e.Space().Regions()
+	}
+	allTime := c2mn.Window{Start: 0, End: 1e18}
+
+	const k = 4
+	resp = postJSON(t, ts.URL+"/v1/query", queryRequest{Query: c2mn.Query{
+		Kind: c2mn.QueryPopularRegions, Scope: c2mn.ScopeFleet,
+		Window: &allTime, K: k, PerVenue: true,
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/query fleet: %s", resp.Status)
+	}
+	got := decodeBody[queryResponse](t, resp)
+	if !reflect.DeepEqual(got.Scanned, ids) {
+		t.Fatalf("scanned = %v, want %v", got.Scanned, ids)
+	}
+	want := c2mn.TopKPopularRegions(all, regions, allTime, k)
+	if !reflect.DeepEqual(got.Regions, want) {
+		t.Fatalf("fleet /v1/query = %v, brute force = %v", got.Regions, want)
+	}
+	if len(got.PerVenue) != len(ids) {
+		t.Fatalf("per_venue has %d entries, want %d", len(got.PerVenue), len(ids))
+	}
+	for i, vc := range got.PerVenue {
+		e, err := registry.Engine(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vc.Venue != ids[i] || !reflect.DeepEqual(vc.Regions, e.TopKPopularRegions(regions, allTime, k)) {
+			t.Fatalf("per_venue[%d] = %+v diverges from venue top-k", i, vc)
+		}
+	}
+
+	// The pair kind merges exactly too.
+	resp = postJSON(t, ts.URL+"/v1/query", queryRequest{Query: c2mn.Query{
+		Kind: c2mn.QueryFrequentPairs, Scope: c2mn.ScopeFleet, Window: &allTime, K: k,
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/query pairs: %s", resp.Status)
+	}
+	gotPairs := decodeBody[queryResponse](t, resp)
+	wantPairs := c2mn.TopKFrequentPairs(all, regions, allTime, k)
+	if !reflect.DeepEqual(gotPairs.Pairs, wantPairs) {
+		t.Fatalf("fleet pair /v1/query = %v, brute force = %v", gotPairs.Pairs, wantPairs)
+	}
+
+	// The GET sugar route answers the same fleet query.
+	hresp, err := http.Get(fmt.Sprintf("%s/v1/query/popular-regions?scope=fleet&k=%d&start=0&end=1e18", ts.URL, k))
+	if err != nil || hresp.StatusCode != http.StatusOK {
+		t.Fatalf("sugar fleet query: %v %v", hresp.Status, err)
+	}
+	sugar := decodeBody[[]regionCountResponse](t, hresp)
+	if len(sugar) != len(want) {
+		t.Fatalf("sugar fleet query returned %d rows, want %d", len(sugar), len(want))
+	}
+	for i, rc := range want {
+		if sugar[i].Region != int(rc.Region) || sugar[i].Count != rc.Count {
+			t.Fatalf("sugar[%d] = %+v, want %+v", i, sugar[i], rc)
+		}
+	}
+
+	// An explicit venue list via ?venues= merges that subset.
+	hresp, err = http.Get(fmt.Sprintf("%s/v1/query/popular-regions?venues=west,east&k=%d", ts.URL, k))
+	if err != nil || hresp.StatusCode != http.StatusOK {
+		t.Fatalf("sugar venues query: %v %v", hresp.Status, err)
+	}
+	subset := decodeBody[[]regionCountResponse](t, hresp)
+	var wantSub []c2mn.MSSequence
+	for _, id := range []string{"west", "east"} {
+		seqs, _ := registry.Sequences(id)
+		wantSub = append(wantSub, seqs...)
+	}
+	wantSubTop := c2mn.TopKPopularRegions(wantSub, regions, allTime, k)
+	for i, rc := range wantSubTop {
+		if subset[i].Region != int(rc.Region) || subset[i].Count != rc.Count {
+			t.Fatalf("subset sugar[%d] = %+v, want %+v", i, subset[i], rc)
+		}
+	}
+}
+
+// TestServerV1QueryPagination drives the cursor protocol: pages of the
+// ranked list concatenate to the unpaginated answer, and the final
+// page carries no cursor.
+func TestServerV1QueryPagination(t *testing.T) {
+	registry, test := testRegistry(t, "default")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer ts.Close()
+
+	for i := range test {
+		resp := postJSON(t, ts.URL+"/v1/feed", sequenceRequest{
+			ObjectID: fmt.Sprintf("obj%d", i),
+			Records:  toWire(test[i].P.Records),
+		})
+		resp.Body.Close()
+	}
+	resp := postJSON(t, ts.URL+"/v1/flush", nil)
+	resp.Body.Close()
+
+	full := c2mn.Query{Kind: c2mn.QueryPopularRegions, K: 50}
+	resp = postJSON(t, ts.URL+"/v1/query", queryRequest{Query: full})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unpaginated query: %s", resp.Status)
+	}
+	whole := decodeBody[queryResponse](t, resp)
+	if len(whole.Regions) < 3 {
+		t.Fatalf("workload too small to paginate: %d regions", len(whole.Regions))
+	}
+	if whole.NextCursor != "" {
+		t.Fatal("unpaginated query returned a cursor")
+	}
+
+	const pageSize = 2
+	var pages []c2mn.RegionCount
+	req := queryRequest{Query: full, PageSize: pageSize}
+	for hops := 0; ; hops++ {
+		if hops > len(whole.Regions) {
+			t.Fatal("cursor chain does not terminate")
+		}
+		resp := postJSON(t, ts.URL+"/v1/query", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page %d: %s", hops, resp.Status)
+		}
+		page := decodeBody[queryResponse](t, resp)
+		if len(page.Regions) > pageSize {
+			t.Fatalf("page %d has %d rows, page_size %d", hops, len(page.Regions), pageSize)
+		}
+		if page.Offset != hops*pageSize {
+			t.Fatalf("page %d offset = %d, want %d", hops, page.Offset, hops*pageSize)
+		}
+		pages = append(pages, page.Regions...)
+		if page.NextCursor == "" {
+			break
+		}
+		req = queryRequest{Cursor: page.NextCursor}
+	}
+	if !reflect.DeepEqual(pages, whole.Regions) {
+		t.Fatalf("concatenated pages = %v, unpaginated = %v", pages, whole.Regions)
+	}
+
+	// A cursor combined with query fields is rejected — even when only
+	// a non-kind field like k is set.
+	resp = postJSON(t, ts.URL+"/v1/query", queryRequest{Query: full, Cursor: "abc"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cursor+query status = %s, want 400", resp.Status)
+	}
+	resp.Body.Close()
+	valid, err := encodeCursor(queryCursor{Query: full, PageSize: pageSize, Offset: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, ts.URL+"/v1/query", queryRequest{Query: c2mn.Query{K: 50}, Cursor: valid})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cursor+k status = %s, want 400", resp.Status)
+	}
+	resp.Body.Close()
+	// So is a corrupt cursor.
+	resp = postJSON(t, ts.URL+"/v1/query", queryRequest{Cursor: "!!!not-base64!!!"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt cursor status = %s, want 400", resp.Status)
+	}
+	resp.Body.Close()
+
+	// A forged cursor with an extreme offset pages past the end — an
+	// empty final page, never a sliced-out-of-range panic.
+	forged, err := encodeCursor(queryCursor{Query: full, PageSize: pageSize, Offset: math.MaxInt64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, ts.URL+"/v1/query", queryRequest{Cursor: forged})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forged-offset cursor status = %s, want 200", resp.Status)
+	}
+	tail := decodeBody[queryResponse](t, resp)
+	if len(tail.Regions) != 0 || tail.NextCursor != "" {
+		t.Fatalf("forged-offset cursor page = %+v, want empty terminal page", tail)
+	}
+}
+
+// v1Error is the typed /v1 error envelope as tests decode it.
+type v1Error struct {
+	Error wireError `json:"error"`
+}
+
+// TestServerV1TypedErrorsAndDeprecation: /v1 errors carry machine
+// codes, legacy routes keep the flat payload and gain deprecation
+// headers.
+func TestServerV1TypedErrorsAndDeprecation(t *testing.T) {
+	registry, _ := testRegistry(t, "alpha")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer ts.Close()
+
+	// Typed unknown-venue error on /v1.
+	resp, err := http.Get(ts.URL + "/v1/venues/nowhere/stats")
+	if err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1 unknown venue: %v %v", resp.Status, err)
+	}
+	te := decodeBody[v1Error](t, resp)
+	if te.Error.Code != "unknown_venue" || !strings.Contains(te.Error.Message, "unknown venue") {
+		t.Fatalf("/v1 error envelope = %+v", te)
+	}
+
+	// Typed invalid-query error from the unified endpoint.
+	resp = postJSON(t, ts.URL+"/v1/query", queryRequest{Query: c2mn.Query{Kind: "bogus"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/v1/query bad kind status = %s, want 400", resp.Status)
+	}
+	te = decodeBody[v1Error](t, resp)
+	if te.Error.Code != "invalid_query" {
+		t.Fatalf("bad kind error code = %q, want invalid_query", te.Error.Code)
+	}
+
+	// Unknown venue through the unified endpoint is typed 404.
+	resp = postJSON(t, ts.URL+"/v1/query", queryRequest{Query: c2mn.Query{
+		Kind: c2mn.QueryPopularRegions, Venues: []string{"nowhere"},
+	}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/query unknown venue status = %s, want 404", resp.Status)
+	}
+	te = decodeBody[v1Error](t, resp)
+	if te.Error.Code != "unknown_venue" {
+		t.Fatalf("unknown venue code = %q", te.Error.Code)
+	}
+
+	// The legacy route answers identically in substance but keeps the
+	// flat error string and carries the deprecation headers.
+	resp, err = http.Get(ts.URL + "/venues/nowhere/stats")
+	if err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy unknown venue: %v %v", resp.Status, err)
+	}
+	if resp.Header.Get("Deprecation") != "true" || !strings.Contains(resp.Header.Get("Link"), "/v1/venues/nowhere/stats") {
+		t.Fatalf("legacy deprecation headers = %v", resp.Header)
+	}
+	flat := decodeBody[map[string]string](t, resp)
+	if !strings.Contains(flat["error"], "unknown venue") {
+		t.Fatalf("legacy error body = %v", flat)
+	}
+
+	// /v1 success paths exist for the aliased routes too.
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/healthz: %v %v", resp.Status, err)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1 route carries a deprecation header")
+	}
+	resp.Body.Close()
+}
+
+// TestFeedBacklogResponseShape pins the 429 load-shedding contract of
+// /feed: backlog errors map to 429 with a Retry-After hint derived
+// from -feed-timeout, typed on /v1 and flat on legacy routes.
+func TestFeedBacklogResponseShape(t *testing.T) {
+	s := &server{retryAfterSecs: "1"}
+	withFeedRetryAfter(2500 * time.Millisecond)(s)
+	if s.retryAfterSecs != "3" {
+		t.Fatalf("retry-after from 2.5s timeout = %q, want 3", s.retryAfterSecs)
+	}
+	withFeedRetryAfter(0)(s) // unset bound keeps the minimum hint
+	if s.retryAfterSecs != "3" {
+		t.Fatalf("zero timeout overwrote the hint: %q", s.retryAfterSecs)
+	}
+
+	backlog := fmt.Errorf("stream x: %w", c2mn.ErrBacklog)
+	if code := errorCode(http.StatusTooManyRequests, backlog); code != "backlog" {
+		t.Fatalf("backlog error code = %q", code)
+	}
+
+	// A backlog error maps to 429 + Retry-After; the v1 envelope
+	// carries the typed error next to the counts.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/feed", nil)
+	s.writeIngestError(rec, req, backlog, feedResponse{Venue: "v", Fed: 3})
+	var v1 struct {
+		Error wireError `json:"error"`
+		feedResponse
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &v1); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusTooManyRequests || v1.Error.Code != "backlog" || v1.Fed != 3 {
+		t.Fatalf("v1 backlog response = %d %+v", rec.Code, v1)
+	}
+	if rec.Header().Get("Retry-After") != s.retryAfterSecs {
+		t.Fatalf("Retry-After = %q, want %q", rec.Header().Get("Retry-After"), s.retryAfterSecs)
+	}
+
+	// The legacy envelope keeps the flat error string.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, "/feed", nil)
+	s.writeIngestError(rec, req, backlog, feedResponse{Venue: "v", Fed: 3})
+	var legacy struct {
+		Error string `json:"error"`
+		feedResponse
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Error == "" || !strings.Contains(legacy.Error, "backlog") {
+		t.Fatalf("legacy backlog response = %+v", legacy)
+	}
+
+	// A non-backlog ingestion failure stays a 422.
+	rec = httptest.NewRecorder()
+	s.writeIngestError(rec, req, errors.New("bad fragment"), feedResponse{Venue: "v"})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("plain ingest error status = %d, want 422", rec.Code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"c2mn/internal/query"
 	"c2mn/internal/seq"
@@ -25,17 +26,18 @@ import (
 // timestamp order; different objects may be fed concurrently and
 // interleaved freely.
 type Engine struct {
-	ann       *Annotator
-	venue     string
-	workers   int
-	eta, psi  float64
-	window    int
-	overlap   int
-	infer     AnnotateOptions
-	onSeq     func(MSSequence)
-	retention float64
-	budget    chan struct{} // optional shared inference budget (see WithVenueBudget)
-	store     *query.Store
+	ann         *Annotator
+	venue       string
+	workers     int
+	eta, psi    float64
+	window      int
+	overlap     int
+	infer       AnnotateOptions
+	onSeq       func(MSSequence)
+	retention   float64
+	budget      chan struct{} // optional shared inference budget (see WithVenueBudget)
+	feedTimeout time.Duration // bound on streaming-path budget waits (see WithFeedQueueTimeout)
+	store       *query.Store
 
 	mu      sync.Mutex // guards streams and fed
 	streams *seq.StreamSet
@@ -110,10 +112,21 @@ func (e *Engine) inferSeq(p *PSequence) (Labels, MSSequence, error) {
 }
 
 // annotate is the streaming-path inference: the budget slot is waited
-// for unconditionally (stream fragments must not be dropped because
-// the fleet is momentarily busy) and held for the inference only.
+// for without a caller context (stream fragments must not be dropped
+// because one HTTP client went away) and held for the inference only.
+// The wait is unbounded by default; WithFeedQueueTimeout bounds it, so
+// a venue whose backlog outgrows the fleet budget fails fast with
+// ErrBacklog instead of wedging its Feed callers.
 func (e *Engine) annotate(p *PSequence) (Labels, MSSequence, error) {
-	e.acquire(context.Background())
+	ctx := context.Background()
+	if e.budget != nil && e.feedTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.feedTimeout)
+		defer cancel()
+	}
+	if err := e.acquire(ctx); err != nil {
+		return Labels{}, MSSequence{}, fmt.Errorf("%w: no inference slot within %v", ErrBacklog, e.feedTimeout)
+	}
 	defer e.release()
 	return e.inferSeq(p)
 }
@@ -257,14 +270,59 @@ func (e *Engine) process(p *PSequence) error {
 	return nil
 }
 
-// TopKPopularRegions answers a TkPRQ over the live store.
-func (e *Engine) TopKPopularRegions(q []RegionID, w Window, k int) []RegionCount {
-	return e.store.TopKPopularRegions(q, w, k)
+// queryCounts is the single per-shard query executor: every query
+// entry point — the engine's TopK* compatibility wrappers and the
+// per-venue fan-out behind VenueRegistry.Query — funnels through it.
+// Callers resolve the unified defaults first (queryDefaults here, the
+// normalized Query on the registry path), so venue-scoped and
+// fleet-scoped answers cannot diverge. It answers one kind over the
+// live store with counts truncated at k; pass query.AllCounts for the
+// untruncated lists a cross-venue merge needs.
+func (e *Engine) queryCounts(kind QueryKind, regions []RegionID, w Window, k int) ([]RegionCount, []PairCount) {
+	switch kind {
+	case QueryFrequentPairs:
+		return nil, e.store.TopKFrequentPairs(regions, w, k)
+	default:
+		return e.store.TopKPopularRegions(regions, w, k), nil
+	}
 }
 
-// TopKFrequentPairs answers a TkFRPQ over the live store.
+// queryDefaults applies the unified query semantics to the TopK*
+// wrappers' arguments: an empty region set means every region of the
+// venue, k == 0 means DefaultQueryK — matching what Query.normalized
+// and the registry fan-out apply on the VenueRegistry path. A
+// negative k stays negative and yields an empty list downstream (the
+// error-returning registry path rejects it with ErrInvalidQuery; the
+// errorless engine wrappers degrade to the empty answer instead).
+func (e *Engine) queryDefaults(q []RegionID, k int) ([]RegionID, int) {
+	if len(q) == 0 {
+		q = e.Space().Regions()
+	}
+	if k == 0 {
+		k = DefaultQueryK
+	}
+	return q, k
+}
+
+// TopKPopularRegions answers a TkPRQ over the live store. It is a
+// compatibility wrapper over the unified query path — an empty q
+// means every region of the venue, k == 0 means DefaultQueryK, a
+// negative k yields an empty list; prefer VenueRegistry.Query in
+// multi-venue deployments.
+func (e *Engine) TopKPopularRegions(q []RegionID, w Window, k int) []RegionCount {
+	q, k = e.queryDefaults(q, k)
+	rcs, _ := e.queryCounts(QueryPopularRegions, q, w, k)
+	return rcs
+}
+
+// TopKFrequentPairs answers a TkFRPQ over the live store. It is a
+// compatibility wrapper over the unified query path, with the same
+// empty-q and k defaults as TopKPopularRegions; prefer
+// VenueRegistry.Query in multi-venue deployments.
 func (e *Engine) TopKFrequentPairs(q []RegionID, w Window, k int) []PairCount {
-	return e.store.TopKFrequentPairs(q, w, k)
+	q, k = e.queryDefaults(q, k)
+	_, pcs := e.queryCounts(QueryFrequentPairs, q, w, k)
+	return pcs
 }
 
 // Sequences returns a snapshot of the live store's ms-sequences.

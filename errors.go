@@ -32,12 +32,29 @@ var (
 	// ErrModelVersion is returned by Load when the model file was
 	// written by a newer format version than this build understands.
 	ErrModelVersion = errors.New("c2mn: unsupported model format version")
+
+	// ErrBacklog is returned by the streaming ingestion path when a
+	// completed fragment's wait for a shared inference slot (see
+	// WithVenueBudget) exceeds the WithFeedQueueTimeout bound — the
+	// venue's annotation backlog has outgrown the fleet's capacity and
+	// the caller should back off and retry.
+	ErrBacklog = errors.New("c2mn: annotation backlog")
+
+	// ErrInvalidQuery is returned by VenueRegistry.Query when the Query
+	// is malformed: unknown kind or scope, a venue list that
+	// contradicts the scope, a negative K, or a NaN window bound.
+	ErrInvalidQuery = errors.New("c2mn: invalid query")
 )
 
 // unknownVenue wraps ErrUnknownVenue with the offending venue ID so
 // errors.Is(err, ErrUnknownVenue) holds and the message names the ID.
 func unknownVenue(id string) error {
 	return fmt.Errorf("%w: %q", ErrUnknownVenue, id)
+}
+
+// invalidQuery wraps ErrInvalidQuery with the specific defect.
+func invalidQuery(detail string) error {
+	return fmt.Errorf("%w: %s", ErrInvalidQuery, detail)
 }
 
 // canceled wraps a context cancellation cause in ErrCanceled so that

@@ -398,16 +398,8 @@ func (ix *Index) TopKPopularRegions(q []indoor.RegionID, w Window, k int) []Regi
 			out = append(out, RegionCount{r, c})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Region < out[j].Region
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out
+	sortRegionCounts(out)
+	return TruncateRegionCounts(out, k)
 }
 
 // accumulate adds sign * #{events with endpoint before cutoff} to
@@ -507,19 +499,8 @@ func (ix *Index) TopKFrequentPairs(q []indoor.RegionID, w Window, k int) []PairC
 	for p, c := range counts {
 		out = append(out, PairCount{p[0], p[1], c})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out
+	sortPairCounts(out)
+	return TruncatePairCounts(out, k)
 }
 
 func containsRegion(rs []indoor.RegionID, r indoor.RegionID) bool {

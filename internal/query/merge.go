@@ -1,0 +1,126 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"c2mn/internal/indoor"
+)
+
+// AllCounts, passed as k, disables top-k truncation: the query returns
+// the full count list, the form a cross-shard merge needs.
+const AllCounts = math.MaxInt
+
+// Cross-shard merging. A fleet-scoped query fans out to per-venue
+// stores, collects each shard's untruncated counts, and merges them
+// here. The merge is exact because the partials are full counts, not
+// per-shard top-k lists: a region ranked k+1 in every shard can still
+// win the merged ranking, which a merge of truncated lists would miss.
+//
+// All ranked count lists in this package share one canonical order —
+// count descending, ties broken by region ID(s) ascending — so merged
+// and single-shard answers compare (and concatenate across pages)
+// deterministically.
+
+// sortRegionCounts orders a count list canonically.
+func sortRegionCounts(out []RegionCount) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Region < out[j].Region
+	})
+}
+
+// sortPairCounts orders a pair-count list canonically.
+func sortPairCounts(out []PairCount) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+}
+
+// TruncateRegionCounts caps a canonically-ordered count list at k
+// entries. k <= 0 yields an empty list; a nil input stays nil.
+func TruncateRegionCounts(rcs []RegionCount, k int) []RegionCount {
+	if rcs == nil {
+		return nil
+	}
+	if k < 0 {
+		k = 0
+	}
+	if len(rcs) > k {
+		rcs = rcs[:k]
+	}
+	return rcs
+}
+
+// TruncatePairCounts caps a canonically-ordered pair-count list at k
+// entries. k <= 0 yields an empty list; a nil input stays nil.
+func TruncatePairCounts(pcs []PairCount, k int) []PairCount {
+	if pcs == nil {
+		return nil
+	}
+	if k < 0 {
+		k = 0
+	}
+	if len(pcs) > k {
+		pcs = pcs[:k]
+	}
+	return pcs
+}
+
+// MergeRegionCounts sums per-shard region counts exactly — the inputs
+// must be untruncated — and returns the merged counts in canonical
+// order. Region IDs are merged by value: fleet queries assume a shared
+// region ID namespace across venues (the per-venue breakdown is the
+// disambiguated view).
+func MergeRegionCounts(lists ...[]RegionCount) []RegionCount {
+	if len(lists) == 1 {
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	counts := make(map[indoor.RegionID]int, total)
+	for _, l := range lists {
+		for _, rc := range l {
+			counts[rc.Region] += rc.Count
+		}
+	}
+	out := make([]RegionCount, 0, len(counts))
+	for r, c := range counts {
+		out = append(out, RegionCount{Region: r, Count: c})
+	}
+	sortRegionCounts(out)
+	return out
+}
+
+// MergePairCounts is the pair analogue of MergeRegionCounts.
+func MergePairCounts(lists ...[]PairCount) []PairCount {
+	if len(lists) == 1 {
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	counts := make(map[[2]indoor.RegionID]int, total)
+	for _, l := range lists {
+		for _, pc := range l {
+			counts[[2]indoor.RegionID{pc.A, pc.B}] += pc.Count
+		}
+	}
+	out := make([]PairCount, 0, len(counts))
+	for p, c := range counts {
+		out = append(out, PairCount{A: p[0], B: p[1], Count: c})
+	}
+	sortPairCounts(out)
+	return out
+}

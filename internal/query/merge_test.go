@@ -1,0 +1,148 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// randomFleet builds n retention-bounded indexes and feeds them random
+// ms-sequences with steadily advancing stream time, so adds and
+// evictions interleave across shards exactly as venue stores would see
+// them.
+func randomFleet(rng *rand.Rand, n, seqsPerShard, regions int) []*Index {
+	shards := make([]*Index, n)
+	for i := range shards {
+		shards[i] = NewIndex(200 + rng.Float64()*400)
+	}
+	t := make([]float64, n)
+	for s := 0; s < seqsPerShard; s++ {
+		for i := range shards {
+			ms := seq.MSSequence{ObjectID: fmt.Sprintf("v%d-o%d", i, s)}
+			stays := 1 + rng.Intn(4)
+			for j := 0; j < stays; j++ {
+				d := 10 + rng.Float64()*120
+				ev := seq.Stay
+				if rng.Float64() < 0.2 {
+					ev = seq.Pass
+				}
+				ms.Semantics = append(ms.Semantics, seq.MSemantics{
+					Region: indoor.RegionID(rng.Intn(regions)),
+					Start:  t[i],
+					End:    t[i] + d,
+					Event:  ev,
+				})
+				// Overlapping periods, sometimes jumping backwards so
+				// sequences complete out of order within the shard.
+				t[i] += d * (0.2 + rng.Float64()*0.8)
+				if rng.Float64() < 0.1 {
+					t[i] -= d
+				}
+			}
+			shards[i].Add(ms)
+		}
+	}
+	return shards
+}
+
+// TestMergeMatchesBruteForceOverConcatenation is the fleet-merge
+// property test: merging each shard's untruncated counts must equal a
+// brute-force recount over the concatenation of all shards' live
+// snapshots — under random adds and retention evictions across >= 3
+// shards, random query windows, and random region subsets.
+func TestMergeMatchesBruteForceOverConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const regions = 12
+	for trial := 0; trial < 25; trial++ {
+		shards := randomFleet(rng, 3+rng.Intn(3), 20+rng.Intn(40), regions)
+
+		// The brute-force reference: every shard's snapshot, concatenated.
+		var all []seq.MSSequence
+		for _, ix := range shards {
+			all = append(all, ix.Snapshot()...)
+		}
+
+		q := make([]indoor.RegionID, 0, regions)
+		for r := 0; r < regions; r++ {
+			if rng.Float64() < 0.7 {
+				q = append(q, indoor.RegionID(r))
+			}
+		}
+		lo := rng.Float64() * 3000
+		w := Window{Start: lo, End: lo + rng.Float64()*3000}
+		k := 1 + rng.Intn(regions)
+
+		regionParts := make([][]RegionCount, len(shards))
+		pairParts := make([][]PairCount, len(shards))
+		for i, ix := range shards {
+			regionParts[i] = ix.TopKPopularRegions(q, w, AllCounts)
+			pairParts[i] = ix.TopKFrequentPairs(q, w, AllCounts)
+		}
+
+		gotR := TruncateRegionCounts(MergeRegionCounts(regionParts...), k)
+		wantR := TopKPopularRegions(all, q, w, k)
+		if !reflect.DeepEqual(append([]RegionCount{}, gotR...), wantR) {
+			t.Fatalf("trial %d: merged TkPRQ = %v, brute force = %v (window %+v, k=%d)", trial, gotR, wantR, w, k)
+		}
+
+		gotP := TruncatePairCounts(MergePairCounts(pairParts...), k)
+		wantP := TopKFrequentPairs(all, q, w, k)
+		if !reflect.DeepEqual(append([]PairCount{}, gotP...), wantP) {
+			t.Fatalf("trial %d: merged TkFRPQ = %v, brute force = %v (window %+v, k=%d)", trial, gotP, wantP, w, k)
+		}
+	}
+}
+
+// TestMergeSingleShardIsIdentity pins the single-list fast path: a
+// one-venue merge is the shard's own canonical answer.
+func TestMergeSingleShardIsIdentity(t *testing.T) {
+	in := []RegionCount{{Region: 2, Count: 9}, {Region: 1, Count: 4}}
+	if got := MergeRegionCounts(in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("single-shard merge = %v, want input %v", got, in)
+	}
+	pin := []PairCount{{A: 1, B: 2, Count: 3}}
+	if got := MergePairCounts(pin); !reflect.DeepEqual(got, pin) {
+		t.Fatalf("single-shard pair merge = %v, want input %v", got, pin)
+	}
+}
+
+// TestMergeSumsSharedRegionIDs pins the namespace semantics: counts of
+// the same region ID from different shards sum, and a region that is
+// nobody's per-shard leader can still win the merged ranking.
+func TestMergeSumsSharedRegionIDs(t *testing.T) {
+	a := []RegionCount{{Region: 1, Count: 5}, {Region: 3, Count: 4}}
+	b := []RegionCount{{Region: 2, Count: 5}, {Region: 3, Count: 4}}
+	got := MergeRegionCounts(a, b)
+	want := []RegionCount{{Region: 3, Count: 8}, {Region: 1, Count: 5}, {Region: 2, Count: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+}
+
+// TestTruncateBounds pins the truncation edge cases shared by every
+// ranked list.
+func TestTruncateBounds(t *testing.T) {
+	in := []RegionCount{{Region: 1, Count: 2}, {Region: 2, Count: 1}}
+	if got := TruncateRegionCounts(in, 1); len(got) != 1 || got[0].Region != 1 {
+		t.Fatalf("k=1 truncation = %v", got)
+	}
+	if got := TruncateRegionCounts(in, 0); len(got) != 0 {
+		t.Fatalf("k=0 truncation = %v, want empty", got)
+	}
+	if got := TruncateRegionCounts(in, -3); len(got) != 0 {
+		t.Fatalf("negative k truncation = %v, want empty", got)
+	}
+	if got := TruncateRegionCounts(in, 99); !reflect.DeepEqual(got, in) {
+		t.Fatalf("oversized k truncation = %v, want input", got)
+	}
+	if got := TruncateRegionCounts(nil, 5); got != nil {
+		t.Fatalf("nil truncation = %v, want nil", got)
+	}
+	if got := TruncatePairCounts([]PairCount{{A: 1, B: 2, Count: 1}}, 0); len(got) != 0 {
+		t.Fatalf("pair k=0 truncation = %v, want empty", got)
+	}
+}

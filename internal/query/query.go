@@ -18,7 +18,8 @@ import (
 
 // Window is a query time interval [Start, End] in seconds.
 type Window struct {
-	Start, End float64
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
 }
 
 // Contains reports whether an m-semantics period intersects the
@@ -29,14 +30,15 @@ func (w Window) Contains(ms seq.MSemantics) bool {
 
 // RegionCount pairs a region with its visit count.
 type RegionCount struct {
-	Region indoor.RegionID
-	Count  int
+	Region indoor.RegionID `json:"region"`
+	Count  int             `json:"count"`
 }
 
 // PairCount pairs an ordered region pair with its co-visit count.
 type PairCount struct {
-	A, B  indoor.RegionID
-	Count int
+	A     indoor.RegionID `json:"a"`
+	B     indoor.RegionID `json:"b"`
+	Count int             `json:"count"`
 }
 
 // visits returns, per object, the set of query regions the object
@@ -76,16 +78,8 @@ func TopKPopularRegions(mss []seq.MSSequence, q []indoor.RegionID, w Window, k i
 	for r, c := range counts {
 		out = append(out, RegionCount{r, c})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Region < out[j].Region
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out
+	sortRegionCounts(out)
+	return TruncateRegionCounts(out, k)
 }
 
 // TopKFrequentPairs answers a TkFRPQ: the k pairs of Q×Q most
@@ -109,19 +103,8 @@ func TopKFrequentPairs(mss []seq.MSSequence, q []indoor.RegionID, w Window, k in
 	for p, c := range counts {
 		out = append(out, PairCount{p[0], p[1], c})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out
+	sortPairCounts(out)
+	return TruncatePairCounts(out, k)
 }
 
 // RegionPrecision is the fraction of the true top-k regions present in

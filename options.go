@@ -2,6 +2,7 @@ package c2mn
 
 import (
 	"fmt"
+	"time"
 
 	"c2mn/internal/core"
 )
@@ -130,6 +131,24 @@ func WithOnSequence(fn func(MSSequence)) Option {
 func WithRetention(seconds float64) Option {
 	return func(e *Engine) error {
 		e.retention = seconds
+		return nil
+	}
+}
+
+// WithFeedQueueTimeout bounds how long the streaming ingestion path
+// (Feed, FeedAll, Flush) waits for a shared inference slot (see
+// WithVenueBudget) before giving up on annotating a completed
+// fragment. Without it the wait is unbounded: a venue whose annotation
+// backlog outgrows the fleet budget blocks its Feed callers forever.
+// With a bound, a fragment whose wait exceeds d fails with ErrBacklog
+// — the fragment's records are consumed (the stream has moved on) but
+// the caller learns the venue is saturated and can shed load;
+// cmd/msserve translates it into 429 + Retry-After. d <= 0 (the
+// default) waits forever. The bound only applies when a budget is
+// installed; without one, ingestion never queues.
+func WithFeedQueueTimeout(d time.Duration) Option {
+	return func(e *Engine) error {
+		e.feedTimeout = d
 		return nil
 	}
 }
