@@ -11,6 +11,7 @@ package c2mn
 // runs or =paper for the full-parameter configuration.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 
 	"c2mn/internal/experiments"
 	"c2mn/internal/query"
+	"c2mn/internal/snapshot"
 )
 
 func benchScale(b *testing.B) experiments.Scale {
@@ -497,6 +499,64 @@ func BenchmarkTopKPopularRegions(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(n), "stored-seqs")
+		})
+	}
+}
+
+// BenchmarkSnapshotRestore measures the warm-restart hot path — the
+// boot-time cost of bringing one venue's query index back from a
+// serialized snapshot: read + checksum the c2mn-snapshot bytes, decode
+// the index section, and rebuild the bucketed aggregates from the
+// retained sequences. Tracked in BENCH_infer.json against the store
+// size; `snapshot-bytes` reports the serialized size per sub-benchmark.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	const (
+		regions     = 32
+		staysPerSeq = 3
+	)
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("stored=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			st := query.NewStore(0)
+			t := 0.0
+			for i := 0; i < n; i++ {
+				ms := MSSequence{ObjectID: fmt.Sprintf("o%d", i)}
+				for j := 0; j < staysPerSeq; j++ {
+					d := 30 + rng.Float64()*120
+					ms.Semantics = append(ms.Semantics, MSemantics{
+						Region: RegionID(rng.Intn(regions)),
+						Start:  t,
+						End:    t + d,
+						Event:  Stay,
+					})
+					t += d * 0.4
+				}
+				st.Add(ms)
+			}
+			var buf bytes.Buffer
+			if err := snapshot.Write(&buf, &snapshot.File{
+				Header: snapshot.Header{Venue: "bench"},
+				Index:  snapshot.EncodeIndex(st.SnapshotState()),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			data := buf.Bytes()
+			b.ReportMetric(float64(len(data)), "snapshot-bytes")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := snapshot.Read(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ix, err := query.RestoreIndex(snapshot.DecodeIndex(f.Index))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if seqs, _ := ix.Len(); seqs != n {
+					b.Fatalf("restored %d sequences, want %d", seqs, n)
+				}
+			}
 		})
 	}
 }

@@ -38,6 +38,15 @@
 // slots — ErrBacklog. cmd/msserve exposes the registry over a
 // versioned (/v1) HTTP surface.
 //
+// Venue serving state is durable: SnapshotVenue/SnapshotAll capture a
+// shard's live store, open stream fragments and counters into the
+// versioned c2mn-snapshot format (atomic fsync+rename files), and
+// RestoreVenue/RestoreAll warm-start a freshly loaded venue from them
+// — answers byte-identical to the captured shard, streams continuing
+// where they left off. Restores are guarded by space/model hashes and
+// the engine configuration, with typed ErrSnapshotVersion,
+// ErrSnapshotCorrupt, ErrSnapshotMismatch and ErrSnapshotConflict.
+//
 // Annotation runs on pooled, reusable inference workspaces with
 // incremental (Markov-blanket delta) scoring, so steady-state
 // annotation allocates only its results; AnnotateOptions and
@@ -52,6 +61,8 @@ package c2mn
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -201,6 +212,9 @@ type Annotator struct {
 	model *core.Model
 	ex    *features.Extractor
 	pool  sync.Pool // of *inferState
+
+	hashOnce       sync.Once // guards the lazily computed identity hashes
+	spaceH, modelH string
 }
 
 // inferState bundles the per-worker reusable inference memory: the
@@ -255,6 +269,23 @@ func newAnnotator(space *Space, model *core.Model) (*Annotator, error) {
 
 // Space returns the annotator's venue.
 func (a *Annotator) Space() *Space { return a.space }
+
+// hashes returns hex SHA-256 digests of the annotator's space and
+// model serialisations — the identity a venue snapshot records so it
+// can refuse to restore into a venue with different geometry or a
+// retrained model. Both serialisations are deterministic, so the same
+// (space, model) pair always hashes the same, across processes.
+func (a *Annotator) hashes() (spaceHash, modelHash string) {
+	a.hashOnce.Do(func() {
+		h := sha256.New()
+		a.space.WriteJSON(h)
+		a.spaceH = hex.EncodeToString(h.Sum(nil))
+		h = sha256.New()
+		a.model.WriteJSON(h)
+		a.modelH = hex.EncodeToString(h.Sum(nil))
+	})
+	return a.spaceH, a.modelH
+}
 
 // Weights returns a copy of the learned weight vector, ordered as
 // documented in internal/features.

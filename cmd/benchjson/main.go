@@ -9,13 +9,27 @@
 // Each benchmark result line becomes one object holding the benchmark
 // name, iteration count, ns/op, and — when -benchmem is on — B/op and
 // allocs/op, plus any custom metrics reported via b.ReportMetric.
+//
+// With -baseline, benchjson additionally acts as CI's regression gate:
+// after emitting the JSON it compares the fresh results against a
+// committed baseline file (itself benchjson output) and exits non-zero
+// when any benchmark matching -gate regressed in ns/op by more than
+// -max-ratio, or disappeared from the run entirely. Names are compared
+// with the trailing GOMAXPROCS suffix ("-8") stripped, so baselines
+// recorded on one machine gate runs on another.
+//
+//	benchjson -baseline ci/BENCH_baseline.json \
+//	          -gate '^BenchmarkAnnotateSingleSequence$' \
+//	          -max-ratio 2 < bench.txt > BENCH_infer.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -31,6 +45,11 @@ type result struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "baseline JSON file (benchjson output) to gate against")
+	gate := flag.String("gate", "", "regexp of benchmark names gated against the baseline (requires -baseline)")
+	maxRatio := flag.Float64("max-ratio", 2, "maximum allowed new/baseline ns/op ratio for gated benchmarks")
+	flag.Parse()
+
 	var out []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -56,6 +75,79 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *baseline == "" {
+		return
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var base []result
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: decoding baseline %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	problems := compareResults(out, base, gateRe, *maxRatio)
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "benchjson: %s\n", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+}
+
+// baseName strips the trailing GOMAXPROCS suffix ("-8") from a
+// benchmark result name, so baselines gate runs across machines with
+// different core counts.
+func baseName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compareResults checks every baseline benchmark matching gate against
+// the current results: a gated benchmark whose ns/op grew by more than
+// maxRatio — or which vanished from the run, which would otherwise let
+// the gate silently rot — is reported. Benchmarks present only in the
+// current run are new and pass freely.
+func compareResults(cur, base []result, gate *regexp.Regexp, maxRatio float64) []string {
+	current := make(map[string]result, len(cur))
+	for _, r := range cur {
+		current[baseName(r.Name)] = r
+	}
+	var problems []string
+	for _, b := range base {
+		name := baseName(b.Name)
+		if !gate.MatchString(name) {
+			continue
+		}
+		now, ok := current[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: gated benchmark missing from this run", name))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue // a zero baseline cannot express a ratio
+		}
+		if ratio := now.NsPerOp / b.NsPerOp; ratio > maxRatio {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx allowed)",
+				name, now.NsPerOp, b.NsPerOp, ratio, maxRatio))
+		}
+	}
+	return problems
 }
 
 // parseLine parses one benchmark result line of the form

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkAnnotateSingleSequence-8   \t 1202\t    982374 ns/op\t     512 B/op\t       9 allocs/op\t       100 records/seq")
@@ -25,5 +29,57 @@ func TestParseLine(t *testing.T) {
 	}
 	if _, ok := parseLine("BenchmarkBroken-8 notanumber 12 ns/op"); ok {
 		t.Fatal("bad iteration count accepted")
+	}
+}
+
+func TestBaseNameStripsGomaxprocsSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkAnnotateSingleSequence-8":  "BenchmarkAnnotateSingleSequence",
+		"BenchmarkAnnotateSingleSequence-16": "BenchmarkAnnotateSingleSequence",
+		"BenchmarkFleetTopK/venues=4-2":      "BenchmarkFleetTopK/venues=4",
+		"BenchmarkNoSuffix":                  "BenchmarkNoSuffix",
+		"BenchmarkTopK/stored=1000":          "BenchmarkTopK/stored=1000",
+	} {
+		if got := baseName(in); got != want {
+			t.Fatalf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCompareResults pins the regression gate: a >max-ratio ns/op
+// growth fails, shrinkage and modest growth pass, a vanished gated
+// benchmark fails, and non-gated benchmarks regress freely.
+func TestCompareResults(t *testing.T) {
+	gate := regexp.MustCompile("^BenchmarkHot$")
+	base := []result{
+		{Name: "BenchmarkHot-8", NsPerOp: 100},
+		{Name: "BenchmarkCold-8", NsPerOp: 100},
+	}
+
+	// Within bounds (1.9x < 2x), measured on a different core count.
+	cur := []result{{Name: "BenchmarkHot-16", NsPerOp: 190}, {Name: "BenchmarkCold-16", NsPerOp: 900}}
+	if p := compareResults(cur, base, gate, 2); len(p) != 0 {
+		t.Fatalf("within-bounds run flagged: %v", p)
+	}
+
+	// Over the ratio: flagged, naming the benchmark and the ratio.
+	cur = []result{{Name: "BenchmarkHot-16", NsPerOp: 201}, {Name: "BenchmarkCold-16", NsPerOp: 1}}
+	p := compareResults(cur, base, gate, 2)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkHot") || !strings.Contains(p[0], "2.01x") {
+		t.Fatalf("regression report = %v", p)
+	}
+
+	// A gated benchmark missing from the run fails the gate.
+	cur = []result{{Name: "BenchmarkCold-16", NsPerOp: 1}}
+	p = compareResults(cur, base, gate, 2)
+	if len(p) != 1 || !strings.Contains(p[0], "missing") {
+		t.Fatalf("missing-benchmark report = %v", p)
+	}
+
+	// A zero-ns baseline entry cannot gate (no ratio to express).
+	p = compareResults(cur, []result{{Name: "BenchmarkHot-8", NsPerOp: 0}, {Name: "BenchmarkCold-8"}},
+		regexp.MustCompile("."), 2)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkHot") {
+		t.Fatalf("zero-baseline report = %v", p)
 	}
 }

@@ -35,6 +35,7 @@
 //	GET    /v1/venues                        list loaded venues with stats
 //	POST   /v1/venues                        {"venue","space","model"}: (re)load from server-side paths
 //	DELETE /v1/venues/{venue}                unload a venue
+//	POST   /v1/venues/{venue}/snapshot       persist the venue's live state to -snapshot-dir now
 //	GET    /v1/stats                         per-venue counters + totals
 //	GET    /v1/healthz                       liveness probe
 //
@@ -56,6 +57,18 @@
 // fragment that cannot get an inference slot in time fails with
 // 429 + Retry-After (error code "backlog").
 //
+// With -snapshot-dir set, venue state is durable across restarts: on
+// boot every loaded venue with a snapshot file resumes its sliding
+// windows (live top-k store, open stream fragments, pipeline counters)
+// instead of starting cold; snapshots are written on graceful
+// shutdown, on the admin trigger above, and — with -snapshot-interval
+// — periodically in the background (jittered, skipping venues whose
+// pipelines have not advanced). Snapshot files are written atomically
+// (fsync + rename), so a crash mid-write never leaves a torn file; a
+// snapshot that does not match the venue's current space, model or
+// preprocessing configuration is refused at restore and the venue
+// starts cold.
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain before exiting.
 package main
@@ -70,6 +83,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -113,6 +127,10 @@ func main() {
 	adminToken := flag.String("admin-token", os.Getenv("MSSERVE_ADMIN_TOKEN"),
 		"bearer token required on venue load/unload admin endpoints (empty = open)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+	snapshotDir := flag.String("snapshot-dir", "",
+		"directory for venue snapshots: restored on boot (warm restart), written on shutdown and on the admin trigger (empty = no persistence)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0,
+		"background snapshot period per venue; unchanged venues are skipped (0 = snapshot only on shutdown/trigger; requires -snapshot-dir)")
 	flag.Parse()
 
 	if *maxBody <= 0 {
@@ -162,8 +180,27 @@ func main() {
 		log.Printf("loaded venue %q (space %s, model %s)", l.id, l.space, l.model)
 	}
 
+	if *snapshotInterval > 0 && *snapshotDir == "" {
+		log.Fatal("-snapshot-interval requires -snapshot-dir")
+	}
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		// Warm start: venues with a snapshot resume their sliding
+		// windows; a bad snapshot costs that venue its warmth, not the
+		// whole boot.
+		restored, err := registry.RestoreAll(*snapshotDir)
+		if err != nil {
+			log.Printf("warm start: %v (affected venues start cold)", err)
+		}
+		if len(restored) > 0 {
+			log.Printf("warm start: restored %d venue(s): %s", len(restored), strings.Join(restored, ", "))
+		}
+	}
+
 	srv := &http.Server{
-		Handler:           newServer(registry, *maxBody, *adminToken, withFeedRetryAfter(*feedTimeout)),
+		Handler:           newServer(registry, *maxBody, *adminToken, withFeedRetryAfter(*feedTimeout), withSnapshotDir(*snapshotDir)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -172,11 +209,85 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *snapshotDir != "" && *snapshotInterval > 0 {
+		go snapshotLoop(ctx, registry, *snapshotDir, *snapshotInterval)
+	}
 	log.Printf("serving %d venue(s) on %s", registry.Len(), ln.Addr())
 	if err := serve(ctx, srv, ln, *drain); err != nil {
 		log.Fatal(err)
 	}
+	if *snapshotDir != "" {
+		// Snapshot-on-drain: capture every venue — open fragments
+		// included — after in-flight requests finished, so the next boot
+		// restarts warm. Written atomically (fsync + rename); a SIGKILL
+		// mid-write leaves the previous snapshots intact.
+		if paths, err := registry.SnapshotAll(*snapshotDir); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else {
+			log.Printf("snapshotted %d venue(s) to %s", len(paths), *snapshotDir)
+		}
+	}
 	log.Print("drained, bye")
+}
+
+// snapshotLoop writes periodic background snapshots: each round,
+// jittered around the configured interval so fleets sharing a disk do
+// not snapshot in lockstep, persists the venues whose pipelines
+// advanced since their last snapshot. The change check keeps the loop
+// budget-aware — an idle venue costs nothing, and venues are written
+// one at a time so snapshot IO never bursts above a single shard's
+// serialisation.
+func snapshotLoop(ctx context.Context, registry *c2mn.VenueRegistry, dir string, interval time.Duration) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	last := map[string]c2mn.EngineStats{}
+	for {
+		// Jitter each round by ±10% of the interval.
+		d := interval + time.Duration((rng.Float64()-0.5)*0.2*float64(interval))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(d):
+		}
+		if _, err := snapshotRound(registry, dir, last); err != nil {
+			log.Printf("background snapshot: %v", err)
+		}
+	}
+}
+
+// snapshotRound snapshots every venue whose counters moved since the
+// stats recorded in last, updates last for the written venues, and
+// returns their IDs. Unloaded venues are dropped from last.
+func snapshotRound(registry *c2mn.VenueRegistry, dir string, last map[string]c2mn.EngineStats) ([]string, error) {
+	stats := registry.Stats()
+	for id := range last {
+		if _, ok := stats[id]; !ok {
+			delete(last, id)
+		}
+	}
+	ids := make([]string, 0, len(stats))
+	for id := range stats {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var written []string
+	var errs []error
+	for _, id := range ids {
+		if prev, ok := last[id]; ok && prev == stats[id] {
+			continue // unchanged since its last snapshot
+		}
+		if _, err := registry.SnapshotVenue(id, dir); err != nil {
+			if errors.Is(err, c2mn.ErrUnknownVenue) {
+				continue // unloaded between listing and snapshot
+			}
+			errs = append(errs, err)
+			continue
+		}
+		// Record the pre-snapshot sample: traffic landing during the
+		// write re-marks the venue changed for the next round.
+		last[id] = stats[id]
+		written = append(written, id)
+	}
+	return written, errors.Join(errs...)
 }
 
 // serve runs srv on ln until ctx is canceled, then shuts down
@@ -255,6 +366,7 @@ type server struct {
 	maxBody        int64
 	adminToken     string
 	retryAfterSecs string // Retry-After hint on 429 backlog responses
+	snapshotDir    string // venue snapshot directory ("" = persistence disabled)
 }
 
 // A serverOption tunes the handler beyond the required arguments.
@@ -269,6 +381,13 @@ func withFeedRetryAfter(d time.Duration) serverOption {
 			s.retryAfterSecs = strconv.Itoa(secs)
 		}
 	}
+}
+
+// withSnapshotDir enables the admin snapshot trigger, writing venue
+// snapshots into dir. The empty default leaves the endpoint mounted
+// but answering 409: persistence is off.
+func withSnapshotDir(dir string) serverOption {
+	return func(s *server) { s.snapshotDir = dir }
 }
 
 // newServer builds the route table: the canonical versioned surface
@@ -315,9 +434,37 @@ func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string, o
 		mux.HandleFunc(rt.pattern, deprecated(rt.h))
 	}
 	// The unified query endpoint is v1-only: it is the API the
-	// versioning exists for.
+	// versioning exists for. The snapshot trigger is v1-only too: it
+	// postdates the unversioned surface, so no legacy alias exists.
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/venues/{venue}/snapshot", s.handleSnapshotVenue)
 	return mux
+}
+
+// handleSnapshotVenue serves the admin snapshot trigger: persist one
+// venue's live state to the -snapshot-dir now (on top of the periodic
+// and shutdown snapshots), e.g. ahead of a planned kill or a venue
+// migration. Token-gated like the other mutating admin endpoints.
+func (s *server) handleSnapshotVenue(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	if s.snapshotDir == "" {
+		writeError(w, r, http.StatusConflict,
+			errors.New("snapshot persistence disabled: start msserve with -snapshot-dir"))
+		return
+	}
+	id := r.PathValue("venue")
+	path, err := s.registry.SnapshotVenue(id, s.snapshotDir)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, c2mn.ErrUnknownVenue) {
+			status = http.StatusNotFound
+		}
+		writeError(w, r, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"venue": id, "status": "snapshotted", "path": path})
 }
 
 // deprecated marks a legacy unversioned route: same handler as its
@@ -1051,6 +1198,14 @@ func errorCode(status int, err error) string {
 		return "empty_sequence"
 	case errors.Is(err, c2mn.ErrModelVersion):
 		return "model_version"
+	case errors.Is(err, c2mn.ErrSnapshotVersion):
+		return "snapshot_version"
+	case errors.Is(err, c2mn.ErrSnapshotMismatch):
+		return "snapshot_mismatch"
+	case errors.Is(err, c2mn.ErrSnapshotConflict):
+		return "snapshot_conflict"
+	case errors.Is(err, c2mn.ErrSnapshotCorrupt):
+		return "snapshot_corrupt"
 	}
 	switch status {
 	case http.StatusBadRequest:
@@ -1059,6 +1214,8 @@ func errorCode(status int, err error) string {
 		return "unauthorized"
 	case http.StatusNotFound:
 		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
 	case http.StatusRequestEntityTooLarge:
 		return "body_too_large"
 	case http.StatusTooManyRequests:

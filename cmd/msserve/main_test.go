@@ -556,6 +556,123 @@ func TestServerAdminPlane(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestServerSnapshotEndpoint drives the admin snapshot trigger: a
+// snapshot lands on disk and restores into a fresh registry with
+// identical query answers; unknown venues 404; without -snapshot-dir
+// the endpoint answers 409 with a typed code.
+func TestServerSnapshotEndpoint(t *testing.T) {
+	registry, test := testRegistry(t, "default")
+	dir := t.TempDir()
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, "", withSnapshotDir(dir)))
+	defer ts.Close()
+
+	for i := range test {
+		resp := postJSON(t, ts.URL+"/v1/feed", sequenceRequest{
+			ObjectID: fmt.Sprintf("obj%d", i),
+			Records:  toWire(test[i].P.Records),
+		})
+		resp.Body.Close()
+	}
+	resp := postJSON(t, ts.URL+"/v1/venues/default/snapshot", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot trigger status = %s", resp.Status)
+	}
+	snap := decodeBody[map[string]string](t, resp)
+	if snap["venue"] != "default" || snap["path"] != c2mn.SnapshotPath(dir, "default") {
+		t.Fatalf("snapshot response = %v", snap)
+	}
+	if _, err := os.Stat(snap["path"]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The written snapshot warm-starts a fresh registry: identical
+	// stats and identical pending streams.
+	ann, _ := testParts(t)
+	fresh, err := c2mn.NewVenueRegistry(c2mn.WithVenueDefaults(c2mn.WithPreprocess(testEta, testPsi)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Register("default", ann); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreVenue("default", dir); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fresh.Stats()["default"], registry.Stats()["default"]; got != want {
+		t.Fatalf("restored stats = %+v, want %+v", got, want)
+	}
+
+	// Unknown venue: 404 with the venue sentinel.
+	resp = postJSON(t, ts.URL+"/v1/venues/nowhere/snapshot", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown venue snapshot status = %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Persistence disabled: typed 409.
+	off := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer off.Close()
+	resp = postJSON(t, off.URL+"/v1/venues/default/snapshot", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("disabled snapshot status = %s, want 409", resp.Status)
+	}
+	te := decodeBody[v1Error](t, resp)
+	if te.Error.Code != "conflict" {
+		t.Fatalf("disabled snapshot code = %q", te.Error.Code)
+	}
+
+	// The trigger is a mutating admin endpoint: token-gated.
+	gated := httptest.NewServer(newServer(registry, defaultMaxBody, "s3cret", withSnapshotDir(dir)))
+	defer gated.Close()
+	resp = postJSON(t, gated.URL+"/v1/venues/default/snapshot", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless snapshot status = %s, want 401", resp.Status)
+	}
+	resp.Body.Close()
+}
+
+// TestSnapshotRoundSkipsUnchangedVenues pins the background loop's
+// budget-awareness: a venue is re-snapshotted only when its pipeline
+// counters moved since its last snapshot.
+func TestSnapshotRoundSkipsUnchangedVenues(t *testing.T) {
+	registry, test := testRegistry(t, "north", "south")
+	dir := t.TempDir()
+	last := map[string]c2mn.EngineStats{}
+
+	// First round: both venues are new to the tracker.
+	written, err := snapshotRound(registry, dir, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(written, []string{"north", "south"}) {
+		t.Fatalf("first round wrote %v", written)
+	}
+
+	// Nothing moved: nothing written.
+	if written, err = snapshotRound(registry, dir, last); err != nil || len(written) != 0 {
+		t.Fatalf("idle round wrote %v (err %v)", written, err)
+	}
+
+	// Traffic into north: only north is re-snapshotted.
+	if _, err := registry.FeedAll("north", "obj", test[0].P.Records); err != nil {
+		t.Fatal(err)
+	}
+	if written, err = snapshotRound(registry, dir, last); err != nil || !reflect.DeepEqual(written, []string{"north"}) {
+		t.Fatalf("post-traffic round wrote %v (err %v)", written, err)
+	}
+
+	// An unloaded venue falls out of the tracker without erroring.
+	if err := registry.Unload("south"); err != nil {
+		t.Fatal(err)
+	}
+	if written, err = snapshotRound(registry, dir, last); err != nil || len(written) != 0 {
+		t.Fatalf("post-unload round wrote %v (err %v)", written, err)
+	}
+	if _, ok := last["south"]; ok {
+		t.Fatal("unloaded venue still tracked")
+	}
+}
+
 // TestServerAdminTokenGatesMutations: with -admin-token set, venue
 // load/unload require the bearer token; the read-only planes stay
 // open.

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"c2mn/internal/query"
 	"c2mn/internal/seq"
+	"c2mn/internal/snapshot"
 )
 
 // Engine is the serving surface of the package: a trained Annotator
@@ -327,6 +329,125 @@ func (e *Engine) TopKFrequentPairs(q []RegionID, w Window, k int) []PairCount {
 
 // Sequences returns a snapshot of the live store's ms-sequences.
 func (e *Engine) Sequences() []MSSequence { return e.store.Snapshot() }
+
+// snapshotFile captures the engine's live serving state as a snapshot
+// file: identity header (venue ID plus space/model hashes), the η/ψ/
+// retention configuration, the pipeline counters, the open stream
+// fragments and the query-index state. Both sections are captured
+// under the ingestion lock — fragment completion requires it, so no
+// fragment can move from the stream buffers into the store between
+// the two captures and end up in both (a double count after restore).
+// A fragment completed just before the capture whose annotation is
+// still in flight appears in neither section: the snapshot simply
+// predates it, and a later snapshot picks it up.
+func (e *Engine) snapshotFile(nowUnix int64) *snapshot.File {
+	spaceH, modelH := e.ann.hashes()
+	e.mu.Lock()
+	fed := e.fed
+	emitted := e.emitted.Load()
+	streams := e.streams.SnapshotState()
+	ixState := e.store.SnapshotState()
+	e.mu.Unlock()
+	return &snapshot.File{
+		Header: snapshot.Header{
+			Venue:       e.venue,
+			SpaceHash:   spaceH,
+			ModelHash:   modelH,
+			CreatedUnix: nowUnix,
+		},
+		Engine: snapshot.EngineSection{
+			Eta:              e.eta,
+			Psi:              e.psi,
+			Retention:        e.retention,
+			FedRecords:       fed,
+			EmittedSequences: emitted,
+		},
+		Streams: snapshot.EncodeStreams(streams),
+		Index:   snapshot.EncodeIndex(ixState),
+	}
+}
+
+// WriteSnapshot serialises the engine's live serving state — open
+// stream fragments, the live m-semantics store, pipeline counters —
+// in the versioned c2mn-snapshot format. The snapshot records the
+// venue's identity (space and model hashes), so RestoreSnapshot can
+// refuse to load it into a venue it was not captured from. Use
+// VenueRegistry.SnapshotVenue for atomic on-disk snapshots.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	return snapshot.Write(w, e.snapshotFile(time.Now().Unix()))
+}
+
+// RestoreSnapshot installs a snapshot written by WriteSnapshot,
+// resuming the captured sliding windows: the store answers queries
+// warm and restored streams continue segmenting where they left off
+// (same open fragments, same "#k" numbering). Failure modes are
+// typed: ErrSnapshotVersion (future format), ErrSnapshotCorrupt
+// (truncated or checksum-failed file), ErrSnapshotMismatch (snapshot
+// of a different venue, space, model or η/ψ/retention configuration)
+// and ErrSnapshotConflict (the engine already has live state). On any
+// failure the engine is left unchanged.
+func (e *Engine) RestoreSnapshot(r io.Reader) error {
+	f, err := snapshot.Read(r)
+	if err != nil {
+		return wrapSnapshotError(err)
+	}
+	return e.restoreFile(f)
+}
+
+// wrapSnapshotError maps the snapshot package's sentinels onto the
+// public typed errors; other errors (e.g. os.ErrNotExist from a
+// missing file) pass through matchable.
+func wrapSnapshotError(err error) error {
+	switch {
+	case errors.Is(err, snapshot.ErrVersion):
+		return fmt.Errorf("%w: %w", ErrSnapshotVersion, err)
+	case errors.Is(err, snapshot.ErrFormat), errors.Is(err, snapshot.ErrCorrupt):
+		return fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
+	default:
+		return err
+	}
+}
+
+// restoreFile guards and installs a decoded snapshot; see
+// RestoreSnapshot for the contract.
+func (e *Engine) restoreFile(f *snapshot.File) error {
+	if f.Venue != e.venue {
+		return snapshotMismatch("snapshot is of venue %q, engine serves %q", f.Venue, e.venue)
+	}
+	spaceH, modelH := e.ann.hashes()
+	if f.SpaceHash != spaceH {
+		return snapshotMismatch("venue %q: space hash %.12s.., snapshot captured %.12s..", e.venue, spaceH, f.SpaceHash)
+	}
+	if f.ModelHash != modelH {
+		return snapshotMismatch("venue %q: model hash %.12s.., snapshot captured %.12s.. (retrained model?)",
+			e.venue, modelH, f.ModelHash)
+	}
+	if f.Engine.Eta != e.eta || f.Engine.Psi != e.psi || f.Engine.Retention != e.retention {
+		return snapshotMismatch("venue %q: engine configured (η=%g, ψ=%g, retention=%g), snapshot captured (η=%g, ψ=%g, retention=%g)",
+			e.venue, e.eta, e.psi, e.retention, f.Engine.Eta, f.Engine.Psi, f.Engine.Retention)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if seqs, _ := e.store.Len(); e.fed > 0 || e.emitted.Load() > 0 || e.streams.Len() > 0 || seqs > 0 {
+		return fmt.Errorf("%w: venue %q already ingested traffic (%d records fed, %d sequences stored)",
+			ErrSnapshotConflict, e.venue, e.fed, seqs)
+	}
+	// Validate the stream section on a scratch set before touching the
+	// engine, so a bad snapshot cannot leave it half-restored.
+	streams := seq.NewStreamSet(e.eta, e.psi)
+	if err := streams.RestoreState(snapshot.DecodeStreams(f.Streams)); err != nil {
+		return fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
+	}
+	// The store is empty (freshness above), so a failed index restore
+	// leaves it empty — still unchanged.
+	if err := e.store.RestoreState(snapshot.DecodeIndex(f.Index)); err != nil {
+		return fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
+	}
+	e.streams = streams
+	e.fed = f.Engine.FedRecords
+	e.emitted.Store(f.Engine.EmittedSequences)
+	return nil
+}
 
 // EngineStats is a point-in-time view of the streaming pipeline.
 type EngineStats struct {

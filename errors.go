@@ -44,12 +44,43 @@ var (
 	// is malformed: unknown kind or scope, a venue list that
 	// contradicts the scope, a negative K, or a NaN window bound.
 	ErrInvalidQuery = errors.New("c2mn: invalid query")
+
+	// ErrSnapshotVersion is returned when a snapshot file was written
+	// by a newer c2mn-snapshot format version than this build
+	// understands. (A file that is not a c2mn snapshot at all is
+	// ErrSnapshotCorrupt.)
+	ErrSnapshotVersion = errors.New("c2mn: unsupported snapshot format version")
+
+	// ErrSnapshotMismatch is returned when a snapshot does not belong
+	// to the venue it is being restored into: the venue ID, the space
+	// hash, the model hash, or the engine's η/ψ/retention configuration
+	// differs from what the snapshot was captured under. Restoring
+	// state annotated by a different model (e.g. after a retrain) would
+	// silently mix semantics of two models, so it is refused.
+	ErrSnapshotMismatch = errors.New("c2mn: snapshot does not match the loaded venue")
+
+	// ErrSnapshotCorrupt is returned for truncated or corrupted
+	// snapshot files (torn writes, checksum mismatches). The venue's
+	// live state is left untouched.
+	ErrSnapshotCorrupt = errors.New("c2mn: corrupt snapshot")
+
+	// ErrSnapshotConflict is returned when a snapshot is restored into
+	// a venue that already has live serving state (fed records, open
+	// streams or stored sequences). Restores only land on a freshly
+	// loaded venue — a warm restart must not silently discard traffic
+	// the venue has already absorbed.
+	ErrSnapshotConflict = errors.New("c2mn: venue already has live state")
 )
 
 // unknownVenue wraps ErrUnknownVenue with the offending venue ID so
 // errors.Is(err, ErrUnknownVenue) holds and the message names the ID.
 func unknownVenue(id string) error {
 	return fmt.Errorf("%w: %q", ErrUnknownVenue, id)
+}
+
+// snapshotMismatch wraps ErrSnapshotMismatch with the differing field.
+func snapshotMismatch(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshotMismatch, fmt.Sprintf(format, args...))
 }
 
 // invalidQuery wraps ErrInvalidQuery with the specific defect.

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -372,6 +373,71 @@ func (ix *Index) Snapshot() []seq.MSSequence {
 		}
 	}
 	return out
+}
+
+// IndexState is the serialisable state of an Index: the retained live
+// sequences in insertion order plus the bucket-geometry parameters and
+// the eviction clock. The derived structures — the bucket ring with
+// its per-region stay aggregates, the per-bucket event and candidate
+// lists and the eviction min-heap — are reconstructed deterministically
+// from the sequences by RestoreIndex, so a restored index answers every
+// query identically to the captured one without serialising redundant
+// (and lazily-deleted) internal state.
+type IndexState struct {
+	Retention float64
+	BaseWidth float64
+	Width     float64
+	MaxEnd    float64
+	HasMax    bool
+	Seqs      []seq.MSSequence
+}
+
+// SnapshotState captures the index's state. The per-sequence semantics
+// slices are shared with the index (append-only once stored), so the
+// capture is cheap and safe against later Adds.
+func (ix *Index) SnapshotState() IndexState {
+	return IndexState{
+		Retention: ix.retention,
+		BaseWidth: ix.baseWidth,
+		Width:     ix.width,
+		MaxEnd:    ix.maxEnd,
+		HasMax:    ix.hasMax,
+		Seqs:      ix.Snapshot(),
+	}
+}
+
+// RestoreIndex reconstructs an index from a captured state: the live
+// sequences are re-indexed in their original insertion order at the
+// captured bucket geometry, rebuilding the aggregates, candidate lists
+// and eviction heap. Every query over the restored index answers
+// identically to the same query over the captured one.
+func RestoreIndex(st IndexState) (*Index, error) {
+	if !(st.BaseWidth > 0) || !(st.Width >= st.BaseWidth) {
+		return nil, fmt.Errorf("query: invalid index state widths (base %g, width %g)",
+			st.BaseWidth, st.Width)
+	}
+	if math.IsNaN(st.MaxEnd) || math.IsInf(st.MaxEnd, 0) {
+		return nil, fmt.Errorf("query: invalid index state maxEnd %g", st.MaxEnd)
+	}
+	ix := &Index{
+		retention:  st.Retention,
+		maxBuckets: defaultMaxBuckets,
+		baseWidth:  st.BaseWidth,
+		width:      st.Width,
+	}
+	for _, ms := range st.Seqs {
+		ix.Add(ms)
+	}
+	// The captured eviction clock is authoritative: the replay recomputes
+	// it from the live sequences (the max-end sequence is never evicted,
+	// so the values agree), but restoring it explicitly keeps the horizon
+	// exact even for a state captured by a future writer with different
+	// eviction bookkeeping.
+	if st.HasMax {
+		ix.maxEnd, ix.hasMax = st.MaxEnd, st.HasMax
+		ix.evict()
+	}
+	return ix, nil
 }
 
 // TopKPopularRegions answers a TkPRQ over the live sequences, with

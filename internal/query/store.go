@@ -66,6 +66,28 @@ func (s *Store) Snapshot() []seq.MSSequence {
 	return s.ix.Snapshot()
 }
 
+// SnapshotState captures the store's index state under the read lock;
+// see Index.SnapshotState.
+func (s *Store) SnapshotState() IndexState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.SnapshotState()
+}
+
+// RestoreState replaces the store's contents with a captured state
+// (including its retention), atomically with respect to concurrent
+// queries. The store is unchanged when the state is invalid.
+func (s *Store) RestoreState(st IndexState) error {
+	ix, err := RestoreIndex(st)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ix = ix
+	s.mu.Unlock()
+	return nil
+}
+
 // TopKPopularRegions answers a TkPRQ over the current contents.
 func (s *Store) TopKPopularRegions(q []indoor.RegionID, w Window, k int) []RegionCount {
 	s.mu.RLock()

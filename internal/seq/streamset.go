@@ -1,6 +1,9 @@
 package seq
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // StreamKey identifies one object's positioning stream within one
 // venue. A multi-venue deployment routes every record by this pair, so
@@ -72,6 +75,68 @@ func (ss *StreamSet) Pending() (streams, records int) {
 		}
 	}
 	return streams, records
+}
+
+// StreamState is the serialisable state of one stream: its key, the
+// next fragment number (the "#k" counter) and the buffered records of
+// its open fragment. Together with the set's η/ψ configuration it
+// fully determines the segmenter's future behaviour, so a restored
+// stream continues segmenting exactly where the captured one left off
+// — same splits, same ψ filtering, same fragment IDs.
+type StreamState struct {
+	Key      StreamKey
+	Fragment int      // next fragment number ("#k")
+	Records  []Record // open-fragment buffer, time-ordered
+}
+
+// SnapshotState captures every stream's segmenter state in (venue,
+// object) key order. The record slices are copies: later Feeds do not
+// mutate a captured state.
+func (ss *StreamSet) SnapshotState() []StreamState {
+	keys := ss.Keys()
+	out := make([]StreamState, 0, len(keys))
+	for _, k := range keys {
+		s := ss.streams[k]
+		st := StreamState{Key: k, Fragment: s.k}
+		if len(s.buf) > 0 {
+			st.Records = append([]Record(nil), s.buf...)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// RestoreState replaces the set's streams with the captured states.
+// Invalid states — a negative fragment counter, out-of-order buffered
+// records, or a duplicated key — are rejected and the set is left
+// unchanged. The states' record slices are copied, so the caller may
+// keep mutating them afterwards.
+func (ss *StreamSet) RestoreState(states []StreamState) error {
+	streams := make(map[StreamKey]*Segmenter, len(states))
+	for _, st := range states {
+		if st.Fragment < 0 {
+			return fmt.Errorf("seq: stream %s/%s: negative fragment counter %d",
+				st.Key.Venue, st.Key.Object, st.Fragment)
+		}
+		for i := 1; i < len(st.Records); i++ {
+			if st.Records[i].T < st.Records[i-1].T {
+				return fmt.Errorf("seq: stream %s/%s: buffered records out of order at %d",
+					st.Key.Venue, st.Key.Object, i)
+			}
+		}
+		if _, dup := streams[st.Key]; dup {
+			return fmt.Errorf("seq: stream %s/%s: duplicate stream state",
+				st.Key.Venue, st.Key.Object)
+		}
+		s := NewSegmenter(st.Key.Object, ss.eta, ss.psi)
+		s.k = st.Fragment
+		if len(st.Records) > 0 {
+			s.buf = append([]Record(nil), st.Records...)
+		}
+		streams[st.Key] = s
+	}
+	ss.streams = streams
+	return nil
 }
 
 // FlushAll completes every stream's trailing fragment in (venue,

@@ -45,6 +45,67 @@ func TestStreamSetFragmentIDsOmitVenue(t *testing.T) {
 	}
 }
 
+// TestStreamSetSnapshotRestore pins the stream-persistence contract: a
+// restored set continues segmenting exactly where the captured one left
+// off — same open-fragment buffers, same splits, same "#k" IDs — and a
+// restore replaces (not merges into) the set's previous streams.
+func TestStreamSetSnapshotRestore(t *testing.T) {
+	ss := NewStreamSet(100, 0)
+	a := ss.Get(StreamKey{Venue: "m", Object: "a"})
+	a.Feed(srec(0))
+	a.Feed(srec(10))
+	a.Feed(srec(200)) // η-gap: completes a#0, buffers the t=200 record
+	ss.Get(StreamKey{Venue: "m", Object: "b"}).Feed(srec(5))
+
+	states := ss.SnapshotState()
+	if len(states) != 2 {
+		t.Fatalf("SnapshotState returned %d streams, want 2", len(states))
+	}
+	if states[0].Key != (StreamKey{Venue: "m", Object: "a"}) || states[0].Fragment != 1 ||
+		len(states[0].Records) != 1 || states[0].Records[0].T != 200 {
+		t.Fatalf("stream a state = %+v", states[0])
+	}
+
+	// The capture is isolated from further feeding.
+	a.Feed(srec(210))
+	if len(states[0].Records) != 1 {
+		t.Fatal("snapshot shares the live buffer")
+	}
+
+	fresh := NewStreamSet(100, 0)
+	fresh.Get(StreamKey{Venue: "old", Object: "gone"}).Feed(srec(1))
+	if err := fresh.RestoreState(states); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 2 {
+		t.Fatalf("restored set tracks %d streams, want 2 (restore must replace)", fresh.Len())
+	}
+	// The restored stream continues fragment numbering at #1.
+	ra := fresh.Get(StreamKey{Venue: "m", Object: "a"})
+	if ra.Pending() != 1 {
+		t.Fatalf("restored pending = %d, want 1", ra.Pending())
+	}
+	ra.Feed(srec(210))
+	if p, ok := ra.Flush(); !ok || p.ObjectID != "a#1" || len(p.Records) != 2 {
+		t.Fatalf("restored flush = %v %v, want a#1 with 2 records", p, ok)
+	}
+
+	// Invalid states are rejected and leave the set unchanged.
+	bad := [][]StreamState{
+		{{Key: StreamKey{"v", "o"}, Fragment: -1}},
+		{{Key: StreamKey{"v", "o"}, Records: []Record{srec(5), srec(1)}}},
+		{{Key: StreamKey{"v", "o"}}, {Key: StreamKey{"v", "o"}}},
+	}
+	for i, states := range bad {
+		if err := fresh.RestoreState(states); err == nil {
+			t.Fatalf("bad state %d accepted", i)
+		}
+	}
+	if fresh.Len() != 2 {
+		t.Fatal("failed restore mutated the set")
+	}
+}
+
 func TestStreamSetFlushAllReleasesState(t *testing.T) {
 	ss := NewStreamSet(100, 0)
 	ss.Get(StreamKey{Venue: "a", Object: "x"}).Feed(srec(0))

@@ -1,0 +1,188 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/query"
+	"c2mn/internal/seq"
+)
+
+func sampleFile() *File {
+	streams := []seq.StreamState{
+		{
+			Key:      seq.StreamKey{Venue: "north", Object: "a"},
+			Fragment: 2,
+			Records: []seq.Record{
+				{Loc: indoor.Loc(1, 2, 0), T: 10},
+				{Loc: indoor.Loc(3, 4, 1), T: 20},
+			},
+		},
+		{Key: seq.StreamKey{Venue: "north", Object: "b"}, Fragment: 0},
+	}
+	ix := query.NewIndex(600)
+	ix.Add(seq.MSSequence{ObjectID: "a#0", Semantics: []seq.MSemantics{
+		{Region: 3, Start: 0, End: 90, Event: seq.Stay},
+		{Region: 5, Start: 90, End: 120, Event: seq.Pass},
+	}})
+	ix.Add(seq.MSSequence{ObjectID: "b#0", Semantics: []seq.MSemantics{
+		{Region: 5, Start: 100, End: 400, Event: seq.Stay},
+	}})
+	return &File{
+		Header: Header{
+			Venue:       "north",
+			SpaceHash:   "spacehash",
+			ModelHash:   "modelhash",
+			CreatedUnix: 1234,
+		},
+		Engine:  EngineSection{Eta: 300, Psi: 60, Retention: 600, FedRecords: 17, EmittedSequences: 2},
+		Streams: EncodeStreams(streams),
+		Index:   EncodeIndex(ix.SnapshotState()),
+	}
+}
+
+// TestWriteReadRoundTrip pins byte-level fidelity of the whole format:
+// header identity, sections, and the seq/query state conversions.
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Format != Format || got.Version != FormatVersion {
+		t.Fatalf("header identity = %q v%d", got.Format, got.Version)
+	}
+	if got.Venue != "north" || got.SpaceHash != "spacehash" || got.ModelHash != "modelhash" || got.CreatedUnix != 1234 {
+		t.Fatalf("header fields = %+v", got.Header)
+	}
+	if got.Engine != f.Engine {
+		t.Fatalf("engine section = %+v, want %+v", got.Engine, f.Engine)
+	}
+	if !reflect.DeepEqual(got.Streams, f.Streams) {
+		t.Fatalf("streams = %+v, want %+v", got.Streams, f.Streams)
+	}
+	if !reflect.DeepEqual(got.Index, f.Index) {
+		t.Fatalf("index = %+v, want %+v", got.Index, f.Index)
+	}
+
+	// The decoded sections convert back to working state.
+	states := DecodeStreams(got.Streams)
+	if len(states) != 2 || states[0].Fragment != 2 || len(states[0].Records) != 2 ||
+		states[0].Records[1].Loc.Floor != 1 || states[0].Records[1].T != 20 {
+		t.Fatalf("decoded streams = %+v", states)
+	}
+	ixState := DecodeIndex(got.Index)
+	ix, err := query.RestoreIndex(ixState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqs, sems := ix.Len(); seqs != 2 || sems != 3 {
+		t.Fatalf("restored index Len = (%d, %d), want (2, 3)", seqs, sems)
+	}
+}
+
+// TestReadRejectsTruncation is the no-torn-snapshots contract: every
+// prefix of a valid snapshot fails with a typed error — never a panic,
+// never a silently partial restore.
+func TestReadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, n := range []int{0, 1, 10, len(whole) / 2, len(whole) - 1} {
+		_, err := Read(bytes.NewReader(whole[:n]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", n, len(whole))
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFormat) {
+			t.Fatalf("truncation at %d: err = %v, want ErrCorrupt/ErrFormat", n, err)
+		}
+	}
+	// A flipped body byte fails the checksum.
+	flipped := append([]byte(nil), whole...)
+	flipped[len(flipped)-2] ^= 0xff
+	if _, err := Read(bytes.NewReader(flipped)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+
+	// A corrupt header promising an absurd body length must fail as a
+	// short read — not attempt the allocation (which would OOM-crash
+	// the process instead of starting the venue cold).
+	huge := fmt.Sprintf("{\"format\":%q,\"version\":%d,\"body_len\":9000000000000000000}\n{}", Format, FormatVersion)
+	if _, err := Read(strings.NewReader(huge)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge body_len: err = %v, want ErrCorrupt", err)
+	}
+	negative := fmt.Sprintf("{\"format\":%q,\"version\":%d,\"body_len\":-1}\n", Format, FormatVersion)
+	if _, err := Read(strings.NewReader(negative)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("negative body_len: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadRejectsForeignAndFutureFiles pins the typed format/version
+// guards.
+func TestReadRejectsForeignAndFutureFiles(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"format\":\"other\"}\n{}")); !errors.Is(err, ErrFormat) {
+		t.Fatalf("foreign format: err = %v, want ErrFormat", err)
+	}
+	if _, err := Read(strings.NewReader("not json at all\n")); !errors.Is(err, ErrFormat) {
+		t.Fatalf("garbage header: err = %v, want ErrFormat", err)
+	}
+	future := fmt.Sprintf("{\"format\":%q,\"version\":%d}\n{}", Format, FormatVersion+1)
+	if _, err := Read(strings.NewReader(future)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: err = %v, want ErrVersion", err)
+	}
+}
+
+// TestWriteFileAtomicRename: a successful WriteFile leaves exactly the
+// snapshot (no temp residue), and overwriting keeps the file readable
+// at every point.
+func TestWriteFileAtomicRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "north.c2mnsnap")
+	f := sampleFile()
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Venue != "north" {
+		t.Fatalf("read-back venue = %q", got.Venue)
+	}
+	// Overwrite with changed counters; the new content replaces the old.
+	f.Engine.FedRecords = 99
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine.FedRecords != 99 {
+		t.Fatalf("overwrite not visible: fed = %d", got.Engine.FedRecords)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp residue left behind: %v", entries)
+	}
+	// A missing file surfaces as os.ErrNotExist for callers to skip.
+	if _, err := ReadFile(filepath.Join(dir, "missing.c2mnsnap")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want ErrNotExist", err)
+	}
+}

@@ -5,8 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/url"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"c2mn/internal/snapshot"
 )
 
 // VenueRegistry hosts many independently loaded venues — each an
@@ -230,6 +236,97 @@ func (vr *VenueRegistry) TopKFrequentPairs(venueID string, q []RegionID, w Windo
 		return nil, err
 	}
 	return res.Pairs, nil
+}
+
+// snapshotExt is the on-disk suffix of per-venue snapshot files.
+const snapshotExt = ".c2mnsnap"
+
+// SnapshotPath returns the file a venue's snapshot lives at inside a
+// snapshot directory. The venue ID is path-escaped, so IDs containing
+// separators or dots cannot climb out of the directory.
+func SnapshotPath(dir, venueID string) string {
+	return filepath.Join(dir, url.PathEscape(venueID)+snapshotExt)
+}
+
+// SnapshotVenue captures one venue's live serving state — open stream
+// fragments, the live m-semantics store and the pipeline counters —
+// into SnapshotPath(dir, venueID), and returns that path. The capture
+// takes the shard's read locks only briefly; serving continues
+// throughout. The write is atomic (temp file, fsync, rename), so a
+// crash mid-snapshot leaves the previous snapshot intact and a reader
+// never observes a torn file.
+func (vr *VenueRegistry) SnapshotVenue(venueID, dir string) (string, error) {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return "", err
+	}
+	path := SnapshotPath(dir, venueID)
+	if err := snapshot.WriteFile(path, e.snapshotFile(time.Now().Unix())); err != nil {
+		return "", fmt.Errorf("c2mn: snapshot venue %q: %w", venueID, err)
+	}
+	return path, nil
+}
+
+// SnapshotAll snapshots every loaded venue into dir, in venue-ID
+// order. Every venue is attempted even when an earlier one fails; the
+// per-venue errors are joined. It returns the paths written.
+func (vr *VenueRegistry) SnapshotAll(dir string) ([]string, error) {
+	var paths []string
+	var errs []error
+	for _, id := range vr.Venues() {
+		p, err := vr.SnapshotVenue(id, dir)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		paths = append(paths, p)
+	}
+	return paths, errors.Join(errs...)
+}
+
+// RestoreVenue restores one venue's state from SnapshotPath(dir,
+// venueID). The venue must already be loaded (the snapshot holds
+// serving state, not the model) and must not have ingested traffic
+// yet. Failure modes are typed: os.ErrNotExist when no snapshot file
+// exists, ErrSnapshotVersion / ErrSnapshotCorrupt for unreadable
+// files, ErrSnapshotMismatch when the snapshot was captured from a
+// different venue identity (space, model — e.g. after a retrain — or
+// η/ψ/retention configuration), and ErrSnapshotConflict when the
+// venue already has live state. The venue is unchanged on failure.
+func (vr *VenueRegistry) RestoreVenue(venueID, dir string) error {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return err
+	}
+	f, err := snapshot.ReadFile(SnapshotPath(dir, venueID))
+	if err != nil {
+		return wrapSnapshotError(err)
+	}
+	return e.restoreFile(f)
+}
+
+// RestoreAll warm-starts the registry from a snapshot directory: every
+// loaded venue with a snapshot file in dir is restored; venues without
+// one start cold, silently. It returns the venue IDs restored; venues
+// whose restore failed (corrupt file, identity mismatch, conflict)
+// contribute joined errors and keep their current — typically cold —
+// state, so one bad snapshot never blocks the rest of the fleet from
+// warming up.
+func (vr *VenueRegistry) RestoreAll(dir string) ([]string, error) {
+	var restored []string
+	var errs []error
+	for _, id := range vr.Venues() {
+		err := vr.RestoreVenue(id, dir)
+		switch {
+		case err == nil:
+			restored = append(restored, id)
+		case errors.Is(err, os.ErrNotExist):
+			// No snapshot for this venue: a cold start, not a failure.
+		default:
+			errs = append(errs, fmt.Errorf("venue %q: %w", id, err))
+		}
+	}
+	return restored, errors.Join(errs...)
 }
 
 // Sequences returns a snapshot of one venue's live ms-sequences.
