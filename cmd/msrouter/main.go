@@ -1,0 +1,129 @@
+// Command msrouter is the stateless routing tier in front of a fleet
+// of msserve backends. It owns no venue state: it keeps a backend
+// table, health-checks each backend's /readyz, learns which backend
+// hosts which venue, and places every venue on exactly one backend by
+// rendezvous (highest-random-weight) hashing — overridable per venue
+// with an explicit pin. Because the placement function is
+// deterministic and stateless, any number of router instances (and
+// any restart) compute the same routing.
+//
+// Usage:
+//
+//	msrouter -addr :9090 \
+//	         -backends http://10.0.0.7:8080,http://10.0.0.8:8080 \
+//	         -backend-token $MSSERVE_ADMIN_TOKEN
+//
+// The full msserve /v1 tree is proxied. Venue-scoped requests forward
+// to the owning backend with bounded, jittered retries on connection
+// errors only — an HTTP response, 429 backpressure included, is the
+// backend's answer and passes through with its Retry-After untouched.
+// Fleet- and multi-venue queries scatter across the owning backends,
+// fetch untruncated per-venue partials, and merge them exactly: the
+// answer is byte-identical to a single msserve holding every venue.
+//
+// Router-specific endpoints:
+//
+//	GET    /admin/backends      backend table with health + hosted venues
+//	POST   /admin/backends      {"url"}: add a backend
+//	DELETE /admin/backends?url= remove a backend
+//	GET    /admin/assignments   venue → backend placement (pins marked)
+//	POST   /admin/pins          {"venue","backend"}: pin a venue
+//	DELETE /admin/pins?venue=   drop a pin (placement reverts to HRW)
+//	POST   /admin/migrate       {"venue","to"}: live-migrate a venue
+//	GET    /healthz             router liveness
+//	GET    /readyz              503 until at least one backend is ready
+//
+// A migration drains the venue on its current owner, waits for the
+// pipeline to settle, snapshots, transfers the snapshot to the target
+// (which must hold the venue cold — loaded, never fed), restores it
+// there, pins the venue, and retires the source copy; feeds arriving
+// mid-migration get retryable 503s before cutover and 307s to the new
+// owner after. Queries answer throughout.
+//
+// -admin-token gates the router's own /admin plane; -backend-token is
+// presented to the backends' admin endpoints (their -admin-token)
+// during migrations and when proxying admin requests is not enough.
+//
+// On SIGINT/SIGTERM the router stops accepting connections and drains
+// in-flight requests for up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"c2mn/internal/router"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msrouter: ")
+
+	addr := flag.String("addr", ":9090", "listen address")
+	backends := flag.String("backends", "", "comma-separated msserve base URLs (http://host:port)")
+	adminToken := flag.String("admin-token", os.Getenv("MSROUTER_ADMIN_TOKEN"),
+		"bearer token required on the router's /admin endpoints (empty = open)")
+	backendToken := flag.String("backend-token", os.Getenv("MSSERVE_ADMIN_TOKEN"),
+		"bearer token the router presents to backend admin endpoints during migrations")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "backend health-check period")
+	retries := flag.Int("retries", 2, "retries per forwarded request on connection errors (never on HTTP responses)")
+	maxBody := flag.Int64("max-body", 32<<20, "maximum buffered request body size in bytes")
+	settleDelay := flag.Duration("settle-delay", 100*time.Millisecond,
+		"delay between the stats polls that decide a draining venue has quiesced")
+	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	var list []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			list = append(list, u)
+		}
+	}
+	rt, err := router.New(router.Config{
+		Backends:       list,
+		AdminToken:     *adminToken,
+		BackendToken:   *backendToken,
+		HealthInterval: *healthInterval,
+		Retries:        *retries,
+		MaxBody:        *maxBody,
+		SettleDelay:    *settleDelay,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go rt.Run(ctx)
+
+	srv := &http.Server{Handler: rt, ReadHeaderTimeout: 10 * time.Second}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("routing %d backend(s) on %s", len(list), ln.Addr())
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
+}

@@ -36,10 +36,29 @@
 //	POST   /v1/venues                        {"venue","space","model"}: (re)load from server-side paths
 //	DELETE /v1/venues/{venue}                unload a venue
 //	POST   /v1/venues/{venue}/snapshot       persist the venue's live state to -snapshot-dir now
+//	GET    /v1/venues/{venue}/snapshot/file  download the venue's on-disk snapshot bytes
+//	PUT    /v1/venues/{venue}/snapshot/file  upload + restore a snapshot into the (cold) venue
+//	POST   /v1/venues/{venue}/drain          stop accepting /feed for the venue (migration)
+//	DELETE /v1/venues/{venue}/drain          resume accepting /feed
 //	GET    /v1/stats                         per-venue counters + totals
-//	GET    /v1/healthz                       liveness probe
+//	GET    /v1/healthz                       liveness probe (also at /healthz)
+//	GET    /v1/readyz                        readiness probe (also at /readyz): 503 while
+//	                                         the process is draining for shutdown
 //
 // /v1 errors are typed: {"error": {"code": "unknown_venue", ...}}.
+// Requests carrying an X-Request-ID header get it echoed on the
+// response and embedded in /v1 error payloads, so a failure observed
+// behind a routing tier is correlatable across both log streams.
+//
+// Draining a venue is the first step of a live migration (see
+// cmd/msrouter): a drained venue rejects new /feed traffic with
+// 503 + Retry-After until a redirect target is set, then with
+// 307 → the new owner; queries keep answering from the frozen state
+// throughout. The snapshot file endpoints move the venue's state:
+// GET streams the venue's current on-disk snapshot, PUT restores an
+// uploaded snapshot into a venue with no live state — PR 5's
+// venue/space/model-hash guards turn a misrouted upload into a typed
+// 409/422, never corruption.
 // The unversioned paths from earlier releases stay mounted as
 // deprecated aliases onto the same handlers — identical behaviour and
 // flat {"error": "..."} payloads, plus Deprecation/Link headers
@@ -74,6 +93,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"crypto/subtle"
 	"encoding/base64"
@@ -81,17 +101,22 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -183,6 +208,7 @@ func main() {
 	if *snapshotInterval > 0 && *snapshotDir == "" {
 		log.Fatal("-snapshot-interval requires -snapshot-dir")
 	}
+	snaps := newSnapshotTracker()
 	if *snapshotDir != "" {
 		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
 			log.Fatal(err)
@@ -197,10 +223,26 @@ func main() {
 		if len(restored) > 0 {
 			log.Printf("warm start: restored %d venue(s): %s", len(restored), strings.Join(restored, ", "))
 		}
+		// A restored venue is exactly as fresh as its file: seed the
+		// tracker with the file's mtime so /v1/venues reports snapshot
+		// freshness from the first request, and the background loop
+		// skips venues that stay idle after the warm boot.
+		stats := registry.Stats()
+		for _, id := range restored {
+			if fi, err := os.Stat(c2mn.SnapshotPath(*snapshotDir, id)); err == nil {
+				snaps.recordAt(id, stats[id], fi.ModTime().Unix())
+			}
+		}
 	}
 
+	// Readiness flips on once warm boot finished (just below) and off
+	// when the drain starts, so a router's health checks stop routing
+	// new work here while in-flight requests finish.
+	var ready atomic.Bool
 	srv := &http.Server{
-		Handler:           newServer(registry, *maxBody, *adminToken, withFeedRetryAfter(*feedTimeout), withSnapshotDir(*snapshotDir)),
+		Handler: newServer(registry, *maxBody, *adminToken,
+			withFeedRetryAfter(*feedTimeout), withSnapshotDir(*snapshotDir),
+			withReadiness(&ready), withSnapshotTracker(snaps)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -210,10 +252,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *snapshotDir != "" && *snapshotInterval > 0 {
-		go snapshotLoop(ctx, registry, *snapshotDir, *snapshotInterval)
+		go snapshotLoop(ctx, registry, *snapshotDir, *snapshotInterval, snaps)
 	}
+	ready.Store(true)
 	log.Printf("serving %d venue(s) on %s", registry.Len(), ln.Addr())
-	if err := serve(ctx, srv, ln, *drain); err != nil {
+	if err := serve(ctx, srv, ln, *drain, func() { ready.Store(false) }); err != nil {
 		log.Fatal(err)
 	}
 	if *snapshotDir != "" {
@@ -237,9 +280,8 @@ func main() {
 // budget-aware — an idle venue costs nothing, and venues are written
 // one at a time so snapshot IO never bursts above a single shard's
 // serialisation.
-func snapshotLoop(ctx context.Context, registry *c2mn.VenueRegistry, dir string, interval time.Duration) {
+func snapshotLoop(ctx context.Context, registry *c2mn.VenueRegistry, dir string, interval time.Duration, snaps *snapshotTracker) {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	last := map[string]c2mn.EngineStats{}
 	for {
 		// Jitter each round by ±10% of the interval.
 		d := interval + time.Duration((rng.Float64()-0.5)*0.2*float64(interval))
@@ -248,22 +290,18 @@ func snapshotLoop(ctx context.Context, registry *c2mn.VenueRegistry, dir string,
 			return
 		case <-time.After(d):
 		}
-		if _, err := snapshotRound(registry, dir, last); err != nil {
+		if _, err := snapshotRound(registry, dir, snaps); err != nil {
 			log.Printf("background snapshot: %v", err)
 		}
 	}
 }
 
 // snapshotRound snapshots every venue whose counters moved since the
-// stats recorded in last, updates last for the written venues, and
-// returns their IDs. Unloaded venues are dropped from last.
-func snapshotRound(registry *c2mn.VenueRegistry, dir string, last map[string]c2mn.EngineStats) ([]string, error) {
+// stats recorded in the tracker, records the written venues, and
+// returns their IDs. Unloaded venues are dropped from the tracker.
+func snapshotRound(registry *c2mn.VenueRegistry, dir string, snaps *snapshotTracker) ([]string, error) {
 	stats := registry.Stats()
-	for id := range last {
-		if _, ok := stats[id]; !ok {
-			delete(last, id)
-		}
-	}
+	snaps.prune(stats)
 	ids := make([]string, 0, len(stats))
 	for id := range stats {
 		ids = append(ids, id)
@@ -272,7 +310,7 @@ func snapshotRound(registry *c2mn.VenueRegistry, dir string, last map[string]c2m
 	var written []string
 	var errs []error
 	for _, id := range ids {
-		if prev, ok := last[id]; ok && prev == stats[id] {
+		if rec, ok := snaps.get(id); ok && rec.stats == stats[id] {
 			continue // unchanged since its last snapshot
 		}
 		if _, err := registry.SnapshotVenue(id, dir); err != nil {
@@ -284,18 +322,78 @@ func snapshotRound(registry *c2mn.VenueRegistry, dir string, last map[string]c2m
 		}
 		// Record the pre-snapshot sample: traffic landing during the
 		// write re-marks the venue changed for the next round.
-		last[id] = stats[id]
+		snaps.record(id, stats[id])
 		written = append(written, id)
 	}
 	return written, errors.Join(errs...)
 }
 
+// snapshotTracker remembers, per venue, when the last snapshot was
+// written and the pipeline counters it captured. It backs both the
+// background loop's "did anything move" skip and the /v1/venues
+// freshness columns, so operators and the migration flow can judge
+// staleness without forcing a snapshot.
+type snapshotTracker struct {
+	mu sync.Mutex
+	m  map[string]snapshotRecord
+}
+
+// snapshotRecord is one venue's last-snapshot bookkeeping.
+type snapshotRecord struct {
+	unix  int64            // write time, unix seconds
+	stats c2mn.EngineStats // counters sampled just before the write
+}
+
+func newSnapshotTracker() *snapshotTracker {
+	return &snapshotTracker{m: map[string]snapshotRecord{}}
+}
+
+// record notes a snapshot written now capturing the given counters.
+func (t *snapshotTracker) record(id string, stats c2mn.EngineStats) {
+	t.recordAt(id, stats, time.Now().Unix())
+}
+
+// recordAt is record with an explicit timestamp (warm-boot seeding
+// uses the snapshot file's mtime).
+func (t *snapshotTracker) recordAt(id string, stats c2mn.EngineStats, unix int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[id] = snapshotRecord{unix: unix, stats: stats}
+}
+
+// get returns the venue's last-snapshot record, if any.
+func (t *snapshotTracker) get(id string) (snapshotRecord, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.m[id]
+	return rec, ok
+}
+
+// forget drops a venue's record (unload, hot reload).
+func (t *snapshotTracker) forget(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, id)
+}
+
+// prune drops records of venues absent from the given stats map.
+func (t *snapshotTracker) prune(loaded map[string]c2mn.EngineStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id := range t.m {
+		if _, ok := loaded[id]; !ok {
+			delete(t.m, id)
+		}
+	}
+}
+
 // serve runs srv on ln until ctx is canceled, then shuts down
-// gracefully: the listener closes immediately, in-flight requests get
-// up to drain to complete, and serve returns once the server has
-// fully stopped. A nil return means a clean exit (either a drained
-// shutdown or the listener closing normally).
-func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+// gracefully: onDrain (if non-nil) runs first — flipping readiness
+// off so probes see the drain — the listener closes, in-flight
+// requests get up to drain to complete, and serve returns once the
+// server has fully stopped. A nil return means a clean exit (either a
+// drained shutdown or the listener closing normally).
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, onDrain func()) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -305,6 +403,9 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 		}
 		return err
 	case <-ctx.Done():
+	}
+	if onDrain != nil {
+		onDrain()
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
@@ -367,6 +468,24 @@ type server struct {
 	adminToken     string
 	retryAfterSecs string // Retry-After hint on 429 backlog responses
 	snapshotDir    string // venue snapshot directory ("" = persistence disabled)
+	ready          *atomic.Bool
+	snaps          *snapshotTracker
+
+	// drainMu guards draining: venue → redirect base URL. A venue
+	// present with an empty value is draining without a cutover target
+	// yet (/feed answers 503 + Retry-After); a non-empty value is the
+	// new owner's base URL (/feed answers 307 there).
+	drainMu  sync.Mutex
+	draining map[string]string
+}
+
+// drainState reports whether a venue is draining and, once cut over,
+// where its feed traffic should go instead.
+func (s *server) drainState(venue string) (redirect string, draining bool) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	redirect, draining = s.draining[venue]
+	return redirect, draining
 }
 
 // A serverOption tunes the handler beyond the required arguments.
@@ -390,6 +509,19 @@ func withSnapshotDir(dir string) serverOption {
 	return func(s *server) { s.snapshotDir = dir }
 }
 
+// withReadiness wires /readyz to an externally owned flag, so main
+// can flip it off when the shutdown drain starts. Without it the
+// server constructs its own always-ready flag.
+func withReadiness(ready *atomic.Bool) serverOption {
+	return func(s *server) { s.ready = ready }
+}
+
+// withSnapshotTracker shares the background snapshot loop's freshness
+// bookkeeping with the /v1/venues listing.
+func withSnapshotTracker(t *snapshotTracker) serverOption {
+	return func(s *server) { s.snaps = t }
+}
+
 // newServer builds the route table: the canonical versioned surface
 // under /v1/ plus the pre-versioning unversioned paths, kept as
 // deprecated aliases onto the same handlers. maxBody caps every
@@ -398,9 +530,19 @@ func withSnapshotDir(dir string) serverOption {
 // <token>`; empty leaves them open, for deployments fronted by their
 // own auth.
 func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string, opts ...serverOption) http.Handler {
-	s := &server{registry: registry, maxBody: maxBody, adminToken: adminToken, retryAfterSecs: "1"}
+	s := &server{
+		registry: registry, maxBody: maxBody, adminToken: adminToken, retryAfterSecs: "1",
+		draining: map[string]string{},
+	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.ready == nil {
+		s.ready = &atomic.Bool{}
+		s.ready.Store(true)
+	}
+	if s.snaps == nil {
+		s.snaps = newSnapshotTracker()
 	}
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -435,10 +577,39 @@ func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string, o
 	}
 	// The unified query endpoint is v1-only: it is the API the
 	// versioning exists for. The snapshot trigger is v1-only too: it
-	// postdates the unversioned surface, so no legacy alias exists.
+	// postdates the unversioned surface, so no legacy alias exists —
+	// and the same goes for the migration endpoints (drain, snapshot
+	// transfer) below.
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/venues/{venue}/snapshot", s.handleSnapshotVenue)
-	return mux
+	mux.HandleFunc("GET /v1/venues/{venue}/snapshot/file", s.handleGetSnapshotFile)
+	mux.HandleFunc("PUT /v1/venues/{venue}/snapshot/file", s.handlePutSnapshotFile)
+	mux.HandleFunc("POST /v1/venues/{venue}/drain", s.handleDrainVenue)
+	mux.HandleFunc("DELETE /v1/venues/{venue}/drain", s.handleUndrainVenue)
+	// Readiness is new with the routing tier, so it has no deprecated
+	// unversioned twin; the bare path is mounted for plain probes, not
+	// as a legacy alias.
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return echoRequestID(mux)
+}
+
+// requestIDHeader correlates a request across the routing tier and
+// the venue backends: the router generates an ID when the client sent
+// none, msserve echoes whatever arrives, and both embed it in /v1
+// error payloads.
+const requestIDHeader = "X-Request-ID"
+
+// echoRequestID reflects an inbound X-Request-ID onto the response,
+// so a client (or the router) can match answers to requests across
+// process boundaries.
+func echoRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.Header.Get(requestIDHeader); id != "" {
+			w.Header().Set(requestIDHeader, id)
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // handleSnapshotVenue serves the admin snapshot trigger: persist one
@@ -455,6 +626,12 @@ func (s *server) handleSnapshotVenue(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("venue")
+	// Sample the counters before the write: traffic landing during the
+	// snapshot re-marks the venue stale, never silently fresh.
+	var stats c2mn.EngineStats
+	if e, err := s.registry.Engine(id); err == nil {
+		stats = e.Stats()
+	}
 	path, err := s.registry.SnapshotVenue(id, s.snapshotDir)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -464,7 +641,167 @@ func (s *server) handleSnapshotVenue(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, status, err)
 		return
 	}
+	s.snaps.record(id, stats)
 	writeJSON(w, http.StatusOK, map[string]string{"venue": id, "status": "snapshotted", "path": path})
+}
+
+// handleGetSnapshotFile streams a venue's on-disk snapshot bytes —
+// the transfer leg of a live migration. It serves whatever the
+// snapshot directory holds; callers wanting the current state POST
+// the snapshot trigger first. Token-gated: the snapshot is the
+// venue's full serving state.
+func (s *server) handleGetSnapshotFile(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	if s.snapshotDir == "" {
+		writeError(w, r, http.StatusConflict,
+			errors.New("snapshot persistence disabled: start msserve with -snapshot-dir"))
+		return
+	}
+	id := r.PathValue("venue")
+	path := c2mn.SnapshotPath(s.snapshotDir, id)
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeError(w, r, http.StatusNotFound,
+				fmt.Errorf("no snapshot file for venue %q (trigger POST /v1/venues/%s/snapshot first)", id, id))
+			return
+		}
+		writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, filepath.Base(path), fi.ModTime(), f)
+}
+
+// handlePutSnapshotFile restores an uploaded snapshot into the venue
+// — the landing leg of a live migration. The venue must be loaded
+// (the snapshot carries serving state, not the model) and cold; the
+// snapshot format's venue/space/model-hash guards refuse a payload
+// captured from any other venue identity with a typed error, so a
+// misrouted upload cannot corrupt state. On success the bytes are
+// also persisted to the snapshot directory (when one is configured),
+// so a crash right after the restore still reboots warm.
+func (s *server) handlePutSnapshotFile(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	id := r.PathValue("venue")
+	e, err := s.registry.Engine(id)
+	if err != nil {
+		writeError(w, r, http.StatusNotFound, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("snapshot exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("reading snapshot: %w", err))
+		return
+	}
+	if err := e.RestoreSnapshot(bytes.NewReader(body)); err != nil {
+		switch {
+		case errors.Is(err, c2mn.ErrSnapshotMismatch), errors.Is(err, c2mn.ErrSnapshotConflict):
+			writeError(w, r, http.StatusConflict, err)
+		case errors.Is(err, c2mn.ErrSnapshotCorrupt), errors.Is(err, c2mn.ErrSnapshotVersion):
+			writeError(w, r, http.StatusUnprocessableEntity, err)
+		default:
+			writeError(w, r, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if s.snapshotDir != "" {
+		path := c2mn.SnapshotPath(s.snapshotDir, id)
+		tmp := path + ".up"
+		if err := os.WriteFile(tmp, body, 0o644); err == nil {
+			if err := os.Rename(tmp, path); err != nil {
+				os.Remove(tmp)
+				log.Printf("persisting uploaded snapshot for %q: %v", id, err)
+			}
+		} else {
+			log.Printf("persisting uploaded snapshot for %q: %v", id, err)
+		}
+	}
+	s.snaps.record(id, e.Stats())
+	writeJSON(w, http.StatusOK, map[string]any{"venue": id, "status": "restored", "bytes": len(body)})
+}
+
+// errVenueDraining marks feed rejections against a draining venue, so
+// the typed /v1 error code distinguishes a migration pause from a
+// client mistake.
+var errVenueDraining = errors.New("venue is draining")
+
+// handleDrainVenue marks a venue draining: new /feed traffic is
+// rejected (503 + Retry-After without a cutover target, 307 → the
+// new owner once redirect_to is set by a second call), while
+// annotation and queries keep serving from the frozen state. The
+// migration coordinator calls it twice: once to quiesce before the
+// snapshot, once more after the restore to point stragglers at the
+// new owner.
+func (s *server) handleDrainVenue(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	id := r.PathValue("venue")
+	if _, err := s.registry.Engine(id); err != nil {
+		writeError(w, r, http.StatusNotFound, err)
+		return
+	}
+	var req struct {
+		RedirectTo string `json:"redirect_to"`
+	}
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+	}
+	s.drainMu.Lock()
+	s.draining[id] = strings.TrimSuffix(req.RedirectTo, "/")
+	s.drainMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"venue": id, "status": "draining", "redirect_to": req.RedirectTo})
+}
+
+// handleUndrainVenue cancels a drain (aborted migration): the venue
+// accepts /feed traffic again.
+func (s *server) handleUndrainVenue(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	id := r.PathValue("venue")
+	s.drainMu.Lock()
+	_, was := s.draining[id]
+	delete(s.draining, id)
+	s.drainMu.Unlock()
+	if !was {
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("venue %q is not draining", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"venue": id, "status": "accepting"})
+}
+
+// handleReadyz is the readiness probe: 200 while the process should
+// receive new traffic, 503 once the shutdown drain started (or before
+// warm boot completed). Liveness (/healthz) is deliberately separate
+// and never flips — a draining process is still alive.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 }
 
 // deprecated marks a legacy unversioned route: same handler as its
@@ -589,6 +926,21 @@ func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if redirect, draining := s.drainState(venue); draining {
+		// Migration in progress: before cutover the state is about to
+		// be snapshotted here (retry shortly), after cutover it lives
+		// at the new owner (follow the redirect with the same body).
+		if redirect != "" {
+			w.Header().Set("Location", redirect+"/v1/venues/"+url.PathEscape(venue)+"/feed")
+			writeError(w, r, http.StatusTemporaryRedirect,
+				fmt.Errorf("%w: venue %q moved to %s", errVenueDraining, venue, redirect))
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, r, http.StatusServiceUnavailable,
+			fmt.Errorf("%w: venue %q is migrating, retry shortly", errVenueDraining, venue))
+		return
+	}
 	req, ok := s.decodeSequence(w, r)
 	if !ok {
 		return
@@ -636,7 +988,10 @@ func writeErrorWith(w http.ResponseWriter, r *http.Request, status int, err erro
 		json.Unmarshal(buf, &body)
 	}
 	if isV1(r) {
-		body["error"] = wireError{Code: errorCode(status, err), Message: err.Error()}
+		body["error"] = wireError{
+			Code: errorCode(status, err), Message: err.Error(),
+			RequestID: r.Header.Get(requestIDHeader),
+		}
 	} else {
 		body["error"] = err.Error()
 	}
@@ -971,11 +1326,19 @@ func (s *server) handleVenueStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, e.Stats())
 }
 
-// venueInfo is one row of the /venues listing.
+// venueInfo is one row of the /venues listing. The snapshot columns
+// report durability freshness without touching the disk or forcing a
+// snapshot: last_snapshot_unix is when the venue's state was last
+// persisted (absent if never in this process's lifetime), and
+// snapshot_stale is true while the pipeline counters have moved since
+// — i.e. a crash right now would lose something.
 type venueInfo struct {
-	Venue   string           `json:"venue"`
-	Regions int              `json:"regions"`
-	Stats   c2mn.EngineStats `json:"stats"`
+	Venue            string           `json:"venue"`
+	Regions          int              `json:"regions"`
+	Stats            c2mn.EngineStats `json:"stats"`
+	LastSnapshotUnix int64            `json:"last_snapshot_unix,omitempty"`
+	SnapshotStale    bool             `json:"snapshot_stale"`
+	Draining         bool             `json:"draining,omitempty"`
 }
 
 func (s *server) handleListVenues(w http.ResponseWriter, r *http.Request) {
@@ -986,11 +1349,19 @@ func (s *server) handleListVenues(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue // unloaded between listing and lookup
 		}
-		out = append(out, venueInfo{
-			Venue:   id,
-			Regions: len(e.Space().Regions()),
-			Stats:   e.Stats(),
-		})
+		stats := e.Stats()
+		info := venueInfo{
+			Venue:         id,
+			Regions:       len(e.Space().Regions()),
+			Stats:         stats,
+			SnapshotStale: true, // until a recorded snapshot proves otherwise
+		}
+		if rec, ok := s.snaps.get(id); ok {
+			info.LastSnapshotUnix = rec.unix
+			info.SnapshotStale = rec.stats != stats
+		}
+		_, info.Draining = s.drainState(id)
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Venue < out[j].Venue })
 	writeJSON(w, http.StatusOK, map[string]any{"venues": out})
@@ -1043,6 +1414,12 @@ func (s *server) handleLoadVenue(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, status, err)
 		return
 	}
+	// A (re)loaded venue starts with a fresh engine: any previous
+	// drain state or snapshot freshness no longer describes it.
+	s.drainMu.Lock()
+	delete(s.draining, req.Venue)
+	s.drainMu.Unlock()
+	s.snaps.forget(req.Venue)
 	writeJSON(w, http.StatusCreated, map[string]string{"venue": req.Venue, "status": "loaded"})
 }
 
@@ -1055,6 +1432,12 @@ func (s *server) handleUnloadVenue(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusNotFound, err)
 		return
 	}
+	// The drain state and snapshot bookkeeping belong to the unloaded
+	// engine; a later reload of the same ID starts clean.
+	s.drainMu.Lock()
+	delete(s.draining, id)
+	s.drainMu.Unlock()
+	s.snaps.forget(id)
 	writeJSON(w, http.StatusOK, map[string]string{"venue": id, "status": "unloaded"})
 }
 
@@ -1169,10 +1552,14 @@ func writeAnnotateError(w http.ResponseWriter, r *http.Request, err error) {
 	}
 }
 
-// wireError is the typed /v1 error payload.
+// wireError is the typed /v1 error payload. RequestID reflects the
+// request's X-Request-ID (when one was sent, e.g. by the router), so
+// an error observed by the client is correlatable with the backend's
+// logs and the router's.
 type wireError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // isV1 reports whether the request came in through the versioned
@@ -1206,6 +1593,8 @@ func errorCode(status int, err error) string {
 		return "snapshot_conflict"
 	case errors.Is(err, c2mn.ErrSnapshotCorrupt):
 		return "snapshot_corrupt"
+	case errors.Is(err, errVenueDraining):
+		return "venue_draining"
 	}
 	switch status {
 	case http.StatusBadRequest:
@@ -1234,7 +1623,10 @@ func errorCode(status int, err error) string {
 // keep the pre-versioning flat {"error": "..."} string.
 func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	if isV1(r) {
-		writeJSON(w, status, map[string]wireError{"error": {Code: errorCode(status, err), Message: err.Error()}})
+		writeJSON(w, status, map[string]wireError{"error": {
+			Code: errorCode(status, err), Message: err.Error(),
+			RequestID: r.Header.Get(requestIDHeader),
+		}})
 		return
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})

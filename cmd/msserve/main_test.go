@@ -637,7 +637,7 @@ func TestServerSnapshotEndpoint(t *testing.T) {
 func TestSnapshotRoundSkipsUnchangedVenues(t *testing.T) {
 	registry, test := testRegistry(t, "north", "south")
 	dir := t.TempDir()
-	last := map[string]c2mn.EngineStats{}
+	last := newSnapshotTracker()
 
 	// First round: both venues are new to the tracker.
 	written, err := snapshotRound(registry, dir, last)
@@ -668,7 +668,7 @@ func TestSnapshotRoundSkipsUnchangedVenues(t *testing.T) {
 	if written, err = snapshotRound(registry, dir, last); err != nil || len(written) != 0 {
 		t.Fatalf("post-unload round wrote %v (err %v)", written, err)
 	}
-	if _, ok := last["south"]; ok {
+	if _, ok := last.get("south"); ok {
 		t.Fatal("unloaded venue still tracked")
 	}
 }
@@ -743,7 +743,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	srv := &http.Server{Handler: handler}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, srv, ln, 5*time.Second) }()
+	go func() { serveDone <- serve(ctx, srv, ln, 5*time.Second, nil) }()
 
 	// Start a request that is still in flight when shutdown begins.
 	reqDone := make(chan error, 1)
@@ -809,7 +809,7 @@ func TestServeDrainTimeout(t *testing.T) {
 	srv := &http.Server{Handler: handler}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, srv, ln, 20*time.Millisecond) }()
+	go func() { serveDone <- serve(ctx, srv, ln, 20*time.Millisecond, nil) }()
 	go http.Get("http://" + ln.Addr().String() + "/healthz?hang=1")
 	<-started
 	cancel()

@@ -70,6 +70,19 @@ var (
 	// loaded venue — a warm restart must not silently discard traffic
 	// the venue has already absorbed.
 	ErrSnapshotConflict = errors.New("c2mn: venue already has live state")
+
+	// ErrNoBackend is returned by the routing tier when a venue cannot
+	// be placed: no backend is registered, none is ready, or the
+	// venue's pin names a backend that has been removed from the
+	// table.
+	ErrNoBackend = errors.New("c2mn: no ready backend")
+
+	// ErrMigrationConflict is returned when a venue migration is
+	// requested while another migration of the same venue is still in
+	// flight. Exactly one coordinator may drain, snapshot and move a
+	// venue at a time; concurrent attempts would race the drain state
+	// and the snapshot transfer.
+	ErrMigrationConflict = errors.New("c2mn: venue migration already in progress")
 )
 
 // unknownVenue wraps ErrUnknownVenue with the offending venue ID so

@@ -1,0 +1,261 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"c2mn"
+)
+
+// handleVenueScoped forwards any /v1/venues/{venue}[/...] request to
+// the venue's owning backend: annotate, feed, flush, the query
+// sugars, per-venue stats, snapshot and drain admin, unload.
+func (rt *Router) handleVenueScoped(w http.ResponseWriter, r *http.Request) {
+	rt.forwardToOwner(w, r, r.PathValue("venue"))
+}
+
+// handleBareVenuePath forwards the bare data-plane paths (/v1/annotate,
+// /v1/feed) that name their venue by ?venue= — or, matching msserve's
+// sole-venue convenience, implicitly when the fleet serves exactly one.
+func (rt *Router) handleBareVenuePath(w http.ResponseWriter, r *http.Request) {
+	venue := r.URL.Query().Get("venue")
+	if venue == "" {
+		known := rt.knownVenues()
+		if len(known) != 1 {
+			rt.writeError(w, r, http.StatusBadRequest,
+				fmt.Errorf("%d venue(s) in the fleet: pass ?venue=", len(known)))
+			return
+		}
+		venue = known[0]
+	}
+	rt.forwardToOwner(w, r, venue)
+}
+
+// handleLoadVenue places a new venue: HRW over the ready backends
+// decides where POST /v1/venues lands (the body names server-side
+// file paths, so the owning backend loads from its own disk).
+func (rt *Router) handleLoadVenue(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	if err != nil {
+		rt.writeBodyError(w, r, err)
+		return
+	}
+	var req struct {
+		Venue string `json:"venue"`
+	}
+	// Tolerate a malformed body here: the backend owns request
+	// validation and will phrase the 400 itself.
+	_ = json.Unmarshal(body, &req)
+	venue := req.Venue
+	if venue == "" {
+		rt.writeError(w, r, http.StatusBadRequest, errors.New("venue is required"))
+		return
+	}
+	backend, err := rt.owner(venue)
+	if err != nil {
+		rt.writeError(w, r, http.StatusServiceUnavailable, err)
+		return
+	}
+	rt.forward(w, r, backend, body)
+}
+
+// forwardToOwner resolves the venue's owner and forwards the request,
+// buffering the body so transport-level retries can replay it.
+func (rt *Router) forwardToOwner(w http.ResponseWriter, r *http.Request, venue string) {
+	if venue == "" {
+		rt.writeError(w, r, http.StatusBadRequest, errors.New("empty venue ID"))
+		return
+	}
+	backend, err := rt.owner(venue)
+	if err != nil {
+		rt.writeError(w, r, http.StatusServiceUnavailable, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	if err != nil {
+		rt.writeBodyError(w, r, err)
+		return
+	}
+	rt.forward(w, r, backend, body)
+}
+
+// writeBodyError phrases a request-body read failure.
+func (rt *Router) writeBodyError(w http.ResponseWriter, r *http.Request, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		rt.writeError(w, r, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+		return
+	}
+	rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+}
+
+// forward proxies one buffered request to a backend and streams the
+// response back verbatim — status, headers and body untouched, so
+// backend answers (429 backpressure with its Retry-After included)
+// reach the client exactly as the backend wrote them. Transport
+// errors — no response received — are retried with jittered backoff
+// up to cfg.Retries times; a mid-migration 307 is followed once,
+// transparently, to the redirecting venue's new owner.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, backend string, body []byte) {
+	target := backend + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	resp, err := rt.roundTrip(r.Context(), r.Method, target, r.Header, body)
+	if err != nil {
+		rt.markUnreachable(backend, err)
+		rt.writeError(w, r, http.StatusBadGateway,
+			fmt.Errorf("backend %s unreachable: %w", backend, err))
+		return
+	}
+	if resp.StatusCode == http.StatusTemporaryRedirect {
+		if loc := resp.Header.Get("Location"); loc != "" {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			redirected, err := rt.roundTrip(r.Context(), r.Method, loc, r.Header, body)
+			if err != nil {
+				rt.writeError(w, r, http.StatusBadGateway,
+					fmt.Errorf("following migration redirect to %s: %w", loc, err))
+				return
+			}
+			resp = redirected
+		}
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vv := range resp.Header {
+		h[k] = vv
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// roundTrip issues one backend request with the bounded retry policy.
+// Only transport errors retry: a received response — any status — is
+// the backend's answer and is returned as-is.
+func (rt *Router) roundTrip(ctx context.Context, method, target string, header http.Header, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff with full jitter: sleep a uniform
+			// slice of 25ms·2^attempt so synchronized retries from
+			// concurrent requests spread out.
+			backoff := time.Duration(rand.Int64N(int64(25*time.Millisecond) << attempt))
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, target, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		copyForwardHeaders(req.Header, header)
+		resp, err := rt.client.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// copyForwardHeaders copies the client's headers onto the outbound
+// backend request, dropping the hop-by-hop set.
+func copyForwardHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		switch http.CanonicalHeaderKey(k) {
+		case "Connection", "Keep-Alive", "Te", "Trailer", "Transfer-Encoding", "Upgrade", "Proxy-Connection", "Host":
+			continue
+		}
+		dst[http.CanonicalHeaderKey(k)] = vv
+	}
+}
+
+// backendJSON issues one JSON request on the router's own behalf
+// (health probes aside, this is the migration coordinator's client):
+// bounded retries on transport errors, the backend admin token
+// attached, and non-2xx responses turned into errors carrying the
+// backend's own message.
+func (rt *Router) backendJSON(ctx context.Context, method, target string, body []byte, out any) error {
+	header := http.Header{}
+	if body != nil {
+		header.Set("Content-Type", "application/json")
+	}
+	if rt.cfg.BackendToken != "" {
+		header.Set("Authorization", "Bearer "+rt.cfg.BackendToken)
+	}
+	resp, err := rt.roundTrip(ctx, method, target, header, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBody))
+	if err != nil {
+		return fmt.Errorf("%s %s: reading response: %w", method, target, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return backendError(method, target, resp.StatusCode, buf)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(buf, out); err != nil {
+		return fmt.Errorf("%s %s: decoding response: %w", method, target, err)
+	}
+	return nil
+}
+
+// backendError folds a backend's typed /v1 error payload into a Go
+// error, mapping the wire codes that have library sentinels back onto
+// them so errors.Is works across the process boundary.
+func backendError(method, target string, status int, body []byte) error {
+	var payload struct {
+		Error wireError `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	var sentinel error
+	if err := json.Unmarshal(body, &payload); err == nil && payload.Error.Message != "" {
+		msg = payload.Error.Message
+		switch payload.Error.Code {
+		case "unknown_venue":
+			sentinel = c2mn.ErrUnknownVenue
+		case "invalid_query":
+			sentinel = c2mn.ErrInvalidQuery
+		case "snapshot_mismatch":
+			sentinel = c2mn.ErrSnapshotMismatch
+		case "snapshot_conflict":
+			sentinel = c2mn.ErrSnapshotConflict
+		case "snapshot_corrupt":
+			sentinel = c2mn.ErrSnapshotCorrupt
+		}
+	}
+	err := fmt.Errorf("%s %s: HTTP %d: %s", method, target, status, msg)
+	if sentinel != nil {
+		err = fmt.Errorf("%w: %w", sentinel, err)
+	}
+	return err
+}
+
+// venuePath builds a backend /v1/venues/{venue} subresource URL.
+func venuePath(backend, venue, sub string) string {
+	p := backend + "/v1/venues/" + url.PathEscape(venue)
+	if sub != "" {
+		p += "/" + sub
+	}
+	return p
+}

@@ -1,0 +1,66 @@
+// Package router implements msrouter's stateless routing tier: a
+// backend table over N msserve processes, venue→backend placement via
+// rendezvous (highest-random-weight) hashing with explicit pin
+// overrides, /v1 proxying with bounded retries, scatter-gather
+// execution of fleet-scoped queries with exact cross-backend merging,
+// and router-coordinated live venue migration built from msserve's
+// drain + snapshot-transfer primitives.
+//
+// The router holds no venue state. Everything it knows — backend
+// health, which backend hosts which venue — is re-learned within one
+// health-check round, so routers restart instantly, scale
+// horizontally behind a TCP balancer, and never need failover of
+// their own.
+package router
+
+import (
+	"hash/fnv"
+	"io"
+)
+
+// hrwScore ranks a (backend, venue) pair for rendezvous hashing:
+// 64-bit FNV-1a over the two strings with a separator byte (so
+// ("ab","c") and ("a","bc") score independently), then an fmix64
+// finalizer. FNV is stable across processes, platforms and Go
+// releases — unlike hash/maphash, whose per-process seed would
+// reshuffle every venue on a router restart — but its last-byte
+// avalanche is poor: without finalization the backend prefix
+// dominates the high bits and one backend out-scores the rest for
+// every venue. fmix64 (MurmurHash3's finalizer) diffuses every input
+// bit across the whole word, with fixed constants, so determinism is
+// preserved.
+func hrwScore(backend, venue string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, backend)
+	h.Write([]byte{0})
+	io.WriteString(h, venue)
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// RendezvousOwner returns the backend owning venue under HRW hashing:
+// the backend whose (backend, venue) score is highest, ties broken by
+// the lexicographically smaller backend name. The result depends only
+// on the *set* of backends — not their order, and not on any state —
+// which gives rendezvous hashing its two routing properties: every
+// router instance (and every restart) computes the same placement,
+// and removing one backend remaps only the venues that backend owned,
+// because every other venue's maximum is untouched.
+//
+// An empty backend list returns "".
+func RendezvousOwner(venue string, backends []string) string {
+	var best string
+	var bestScore uint64
+	for _, b := range backends {
+		s := hrwScore(b, venue)
+		if best == "" || s > bestScore || (s == bestScore && b < best) {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,594 @@
+package router
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"c2mn"
+)
+
+// Config tunes a Router. The zero value of every optional field picks
+// a sensible default (see New).
+type Config struct {
+	// Backends seeds the backend table with msserve base URLs
+	// (e.g. "http://10.0.0.7:8080"). More can be added and removed at
+	// runtime through /admin/backends.
+	Backends []string
+
+	// AdminToken gates the router's own /admin plane behind
+	// `Authorization: Bearer <token>`. Empty leaves it open.
+	AdminToken string
+
+	// BackendToken is the bearer token the router presents on the
+	// backend admin calls a migration makes (drain, snapshot,
+	// transfer, restore, unload). Empty sends no Authorization header;
+	// it must match the backends' -admin-token.
+	BackendToken string
+
+	// HealthInterval is the period of the background health sweep
+	// (default 2s). Each sweep probes every backend's /readyz and,
+	// when ready, refreshes its hosted-venue list from /v1/venues.
+	HealthInterval time.Duration
+
+	// Retries bounds how many times a forwarded request is retried on
+	// a transport error — connection refused/reset before any response
+	// byte — with jittered exponential backoff (default 2). HTTP error
+	// responses, 429 backpressure included, are never retried: the
+	// backend answered, and its Retry-After belongs to the client.
+	Retries int
+
+	// MaxBody caps buffered request bodies (default 32 MiB). Bodies
+	// are buffered so a transport-level retry can replay them.
+	MaxBody int64
+
+	// SettleDelay is how long the migration coordinator waits between
+	// the stats samples it compares to decide the drained venue has
+	// quiesced (default 100ms; tests shrink it).
+	SettleDelay time.Duration
+
+	// Client issues every backend request. The default disables
+	// automatic redirect following — the router re-forwards
+	// mid-migration 307s itself, exactly once.
+	Client *http.Client
+
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Router is the stateless routing tier. Create with New, mount as an
+// http.Handler, and run the health loop with Run.
+type Router struct {
+	cfg    Config
+	client *http.Client
+	mux    *http.ServeMux
+
+	mu        sync.RWMutex
+	backends  map[string]*backendState
+	pins      map[string]string // venue → backend URL, overriding HRW
+	migrating map[string]bool   // venues with an in-flight migration
+}
+
+// backendState is the router's view of one msserve process.
+type backendState struct {
+	url     string
+	ready   bool
+	checked time.Time       // last probe
+	lastErr string          // last probe failure, "" when healthy
+	venues  map[string]bool // hosted venues per the last discovery
+}
+
+// New builds a Router over the configured backends. The backend table
+// starts entirely unready; call CheckNow (or wait one HealthInterval
+// of Run) before routing.
+func New(cfg Config) (*Router, error) {
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("router: negative retries %d", cfg.Retries)
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 32 << 20
+	}
+	if cfg.SettleDelay <= 0 {
+		cfg.SettleDelay = 100 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	if client.CheckRedirect == nil {
+		// Redirects are routing decisions here: a 307 from a draining
+		// venue must be re-forwarded by the router, not chased by the
+		// transport (which would also leak backend addresses to retry
+		// logic).
+		client.CheckRedirect = func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		}
+	}
+	rt := &Router{
+		cfg:       cfg,
+		client:    client,
+		backends:  map[string]*backendState{},
+		pins:      map[string]string{},
+		migrating: map[string]bool{},
+	}
+	for _, u := range cfg.Backends {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("router: backend %q: want an http(s) base URL", u)
+		}
+		rt.backends[u] = &backendState{url: u, venues: map[string]bool{}}
+	}
+	rt.mux = rt.routes()
+	return rt, nil
+}
+
+// ServeHTTP dispatches to the router's route table, stamping every
+// request with an X-Request-ID (generated when the client sent none)
+// that is echoed on the response and forwarded to the backends.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(requestIDHeader) == "" {
+		r.Header.Set(requestIDHeader, newRequestID())
+	}
+	w.Header().Set(requestIDHeader, r.Header.Get(requestIDHeader))
+	rt.mux.ServeHTTP(w, r)
+}
+
+// requestIDHeader correlates one request across the router and the
+// backend that served it; both embed it in /v1 error payloads.
+const requestIDHeader = "X-Request-ID"
+
+// newRequestID returns a fresh 16-hex-char request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// routes assembles the route table: the router's own health and admin
+// planes, plus the proxied /v1 tree (see proxy.go and scatter.go).
+func (rt *Router) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	// The router's own probes. Liveness is unconditional; readiness
+	// requires at least one ready backend — a router that can place
+	// nothing should be pulled from its load balancer.
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /v1/readyz", rt.handleReadyz)
+	// Admin plane: backend table, placement, migration.
+	mux.HandleFunc("GET /admin/backends", rt.admin(rt.handleListBackends))
+	mux.HandleFunc("POST /admin/backends", rt.admin(rt.handleAddBackend))
+	mux.HandleFunc("DELETE /admin/backends", rt.admin(rt.handleRemoveBackend))
+	mux.HandleFunc("GET /admin/assignments", rt.admin(rt.handleAssignments))
+	mux.HandleFunc("POST /admin/pins", rt.admin(rt.handleSetPin))
+	mux.HandleFunc("DELETE /admin/pins", rt.admin(rt.handleDeletePin))
+	mux.HandleFunc("POST /admin/migrate", rt.admin(rt.handleMigrate))
+	// Proxied data plane.
+	mux.HandleFunc("POST /v1/query", rt.handleQuery)
+	mux.HandleFunc("GET /v1/query/popular-regions", rt.handleTopKSugar)
+	mux.HandleFunc("GET /v1/query/frequent-pairs", rt.handleTopKSugar)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/venues", rt.handleListVenues)
+	mux.HandleFunc("POST /v1/venues", rt.handleLoadVenue)
+	mux.HandleFunc("/v1/venues/{venue}", rt.handleVenueScoped)
+	mux.HandleFunc("/v1/venues/{venue}/{rest...}", rt.handleVenueScoped)
+	mux.HandleFunc("POST /v1/annotate", rt.handleBareVenuePath)
+	mux.HandleFunc("POST /v1/feed", rt.handleBareVenuePath)
+	mux.HandleFunc("POST /v1/flush", rt.handleFlush)
+	return mux
+}
+
+// Run drives the health loop until ctx is canceled: one immediate
+// sweep so routing works as soon as Run starts, then one per
+// HealthInterval.
+func (rt *Router) Run(ctx context.Context) {
+	rt.CheckNow(ctx)
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.CheckNow(ctx)
+		}
+	}
+}
+
+// CheckNow probes every backend once, concurrently: GET /readyz
+// decides readiness, and a ready backend's /v1/venues refreshes the
+// hosted-venue discovery that fleet queries and HRW placement use.
+func (rt *Router) CheckNow(ctx context.Context) {
+	rt.mu.RLock()
+	urls := make([]string, 0, len(rt.backends))
+	for u := range rt.backends {
+		urls = append(urls, u)
+	}
+	rt.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			rt.probe(ctx, u)
+		}(u)
+	}
+	wg.Wait()
+}
+
+// probe checks one backend and folds the result into the table.
+func (rt *Router) probe(ctx context.Context, url string) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthInterval)
+	defer cancel()
+	ready, venues, err := rt.probeBackend(ctx, url)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b, ok := rt.backends[url]
+	if !ok {
+		return // removed mid-probe
+	}
+	wasReady := b.ready
+	b.checked = time.Now()
+	b.ready = ready
+	if err != nil {
+		b.lastErr = err.Error()
+	} else {
+		b.lastErr = ""
+	}
+	if venues != nil {
+		b.venues = venues
+	}
+	if wasReady != ready {
+		rt.cfg.Logf("backend %s: ready=%v (%v)", url, ready, err)
+	}
+}
+
+// probeBackend performs the two probe requests. A nil venues map
+// means "no fresh discovery" (keep what we had).
+func (rt *Router) probeBackend(ctx context.Context, url string) (ready bool, venues map[string]bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return false, nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, nil, fmt.Errorf("readyz: %s", resp.Status)
+	}
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/venues", nil)
+	if err != nil {
+		return true, nil, err
+	}
+	resp, err = rt.client.Do(req)
+	if err != nil {
+		return true, nil, err
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Venues []struct {
+			Venue string `json:"venue"`
+		} `json:"venues"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return true, nil, fmt.Errorf("decoding venue list: %w", err)
+	}
+	venues = make(map[string]bool, len(list.Venues))
+	for _, v := range list.Venues {
+		venues[v.Venue] = true
+	}
+	return true, venues, nil
+}
+
+// markUnreachable flags a backend unready after a forward exhausted
+// its retries, so placement stops picking it before the next sweep
+// confirms.
+func (rt *Router) markUnreachable(url string, err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if b, ok := rt.backends[url]; ok && b.ready {
+		b.ready = false
+		b.lastErr = err.Error()
+		rt.cfg.Logf("backend %s: marked unready (%v)", url, err)
+	}
+}
+
+// owner resolves where a venue's traffic goes: the explicit pin if
+// one exists, else HRW over the ready backends that host the venue,
+// else — for venues nobody hosts yet, e.g. a fresh load — HRW over
+// all ready backends. Fails with c2mn.ErrNoBackend when nothing is
+// ready (or the pin names a removed backend).
+func (rt *Router) owner(venue string) (string, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ownerLocked(venue)
+}
+
+func (rt *Router) ownerLocked(venue string) (string, error) {
+	if pinned, ok := rt.pins[venue]; ok {
+		if _, exists := rt.backends[pinned]; exists {
+			return pinned, nil
+		}
+		return "", fmt.Errorf("%w: venue %q pinned to removed backend %q", c2mn.ErrNoBackend, venue, pinned)
+	}
+	var hosts, ready []string
+	for u, b := range rt.backends {
+		if !b.ready {
+			continue
+		}
+		ready = append(ready, u)
+		if b.venues[venue] {
+			hosts = append(hosts, u)
+		}
+	}
+	if len(hosts) > 0 {
+		return RendezvousOwner(venue, hosts), nil
+	}
+	if len(ready) == 0 {
+		return "", fmt.Errorf("%w: routing venue %q", c2mn.ErrNoBackend, venue)
+	}
+	return RendezvousOwner(venue, ready), nil
+}
+
+// knownVenues returns the fleet's venue universe — every venue hosted
+// by a ready backend, plus pinned venues — sorted. This is the venue
+// list a fleet-scoped query expands to.
+func (rt *Router) knownVenues() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	set := map[string]bool{}
+	for _, b := range rt.backends {
+		if !b.ready {
+			continue
+		}
+		for v := range b.venues {
+			set[v] = true
+		}
+	}
+	for v := range rt.pins {
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// readyBackends returns the ready backend URLs, sorted.
+func (rt *Router) readyBackends() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]string, 0, len(rt.backends))
+	for u, b := range rt.backends {
+		if b.ready {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if len(rt.readyBackends()) > 0 {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no ready backends"})
+}
+
+// admin wraps a handler with the router's bearer-token gate.
+func (rt *Router) admin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if rt.cfg.AdminToken != "" {
+			token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(rt.cfg.AdminToken)) != 1 {
+				w.Header().Set("WWW-Authenticate", "Bearer")
+				rt.writeError(w, r, http.StatusUnauthorized, errors.New("admin endpoint requires a valid bearer token"))
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// backendInfo is one row of the /admin/backends listing.
+type backendInfo struct {
+	URL           string   `json:"url"`
+	Ready         bool     `json:"ready"`
+	LastCheckUnix int64    `json:"last_check_unix,omitempty"`
+	LastError     string   `json:"last_error,omitempty"`
+	Venues        []string `json:"venues"`
+}
+
+func (rt *Router) handleListBackends(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	out := make([]backendInfo, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		info := backendInfo{URL: b.url, Ready: b.ready, LastError: b.lastErr, Venues: []string{}}
+		if !b.checked.IsZero() {
+			info.LastCheckUnix = b.checked.Unix()
+		}
+		for v := range b.venues {
+			info.Venues = append(info.Venues, v)
+		}
+		sort.Strings(info.Venues)
+		out = append(out, info)
+	}
+	rt.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	writeJSON(w, http.StatusOK, map[string]any{"backends": out})
+}
+
+func (rt *Router) handleAddBackend(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody)).Decode(&req); err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	u := strings.TrimSuffix(strings.TrimSpace(req.URL), "/")
+	if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("backend %q: want an http(s) base URL", req.URL))
+		return
+	}
+	rt.mu.Lock()
+	if _, ok := rt.backends[u]; !ok {
+		rt.backends[u] = &backendState{url: u, venues: map[string]bool{}}
+	}
+	rt.mu.Unlock()
+	// Probe immediately so the new backend can take traffic without
+	// waiting out a health interval.
+	rt.probe(r.Context(), u)
+	writeJSON(w, http.StatusCreated, map[string]string{"url": u, "status": "added"})
+}
+
+func (rt *Router) handleRemoveBackend(w http.ResponseWriter, r *http.Request) {
+	u := strings.TrimSuffix(r.URL.Query().Get("url"), "/")
+	if u == "" {
+		rt.writeError(w, r, http.StatusBadRequest, errors.New("pass ?url=<backend base URL>"))
+		return
+	}
+	rt.mu.Lock()
+	_, ok := rt.backends[u]
+	delete(rt.backends, u)
+	rt.mu.Unlock()
+	if !ok {
+		rt.writeError(w, r, http.StatusNotFound, fmt.Errorf("backend %q not in the table", u))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"url": u, "status": "removed"})
+}
+
+// assignment is one row of the /admin/assignments listing: where a
+// venue's traffic currently goes and why.
+type assignment struct {
+	Venue   string `json:"venue"`
+	Backend string `json:"backend,omitempty"`
+	Pinned  bool   `json:"pinned,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (rt *Router) handleAssignments(w http.ResponseWriter, r *http.Request) {
+	venues := rt.knownVenues()
+	out := make([]assignment, 0, len(venues))
+	rt.mu.RLock()
+	for _, v := range venues {
+		row := assignment{Venue: v}
+		_, row.Pinned = rt.pins[v]
+		b, err := rt.ownerLocked(v)
+		if err != nil {
+			row.Error = err.Error()
+		} else {
+			row.Backend = b
+		}
+		out = append(out, row)
+	}
+	rt.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"assignments": out})
+}
+
+func (rt *Router) handleSetPin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Venue   string `json:"venue"`
+		Backend string `json:"backend"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody)).Decode(&req); err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	req.Backend = strings.TrimSuffix(req.Backend, "/")
+	if req.Venue == "" || req.Backend == "" {
+		rt.writeError(w, r, http.StatusBadRequest, errors.New("venue and backend are required"))
+		return
+	}
+	rt.mu.Lock()
+	_, known := rt.backends[req.Backend]
+	if known {
+		rt.pins[req.Venue] = req.Backend
+	}
+	rt.mu.Unlock()
+	if !known {
+		rt.writeError(w, r, http.StatusNotFound, fmt.Errorf("backend %q not in the table", req.Backend))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"venue": req.Venue, "backend": req.Backend, "status": "pinned"})
+}
+
+func (rt *Router) handleDeletePin(w http.ResponseWriter, r *http.Request) {
+	v := r.URL.Query().Get("venue")
+	if v == "" {
+		rt.writeError(w, r, http.StatusBadRequest, errors.New("pass ?venue="))
+		return
+	}
+	rt.mu.Lock()
+	_, ok := rt.pins[v]
+	delete(rt.pins, v)
+	rt.mu.Unlock()
+	if !ok {
+		rt.writeError(w, r, http.StatusNotFound, fmt.Errorf("venue %q is not pinned", v))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"venue": v, "status": "unpinned"})
+}
+
+func (rt *Router) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Venue string `json:"venue"`
+		To    string `json:"to"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody)).Decode(&req); err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Venue == "" || req.To == "" {
+		rt.writeError(w, r, http.StatusBadRequest, errors.New("venue and to are required"))
+		return
+	}
+	report, err := rt.Migrate(r.Context(), req.Venue, strings.TrimSuffix(req.To, "/"))
+	if err != nil {
+		switch {
+		case errors.Is(err, c2mn.ErrMigrationConflict):
+			rt.writeError(w, r, http.StatusConflict, err)
+		case errors.Is(err, c2mn.ErrNoBackend):
+			rt.writeError(w, r, http.StatusServiceUnavailable, err)
+		case errors.Is(err, c2mn.ErrUnknownVenue):
+			rt.writeError(w, r, http.StatusNotFound, err)
+		default:
+			rt.writeError(w, r, http.StatusBadGateway, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}

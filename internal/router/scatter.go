@@ -1,0 +1,643 @@
+package router
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"c2mn"
+	"c2mn/internal/query"
+)
+
+// The scatter-gather query plane. A venue- or venues-scoped request
+// whose owners collapse onto one backend is forwarded verbatim — the
+// backend's own merge is already exact, and raw forwarding preserves
+// its response bytes (and region names) untouched. Everything wider
+// scatters: the router asks each target venue's owner for that one
+// venue's UNTRUNCATED counts (k = query.AllCounts — top-k partials
+// cannot merge exactly; a region ranked k+1 everywhere can be the
+// global winner) and merges them with the same internal/query helpers
+// msserve's registry uses, so a fleet answer through the router is
+// byte-identical to a single process holding every venue.
+
+// queryRequest mirrors msserve's POST /v1/query body: the library
+// Query plus cursor pagination.
+type queryRequest struct {
+	c2mn.Query
+	PageSize int    `json:"page_size,omitempty"`
+	Cursor   string `json:"cursor,omitempty"`
+}
+
+type queryResponse struct {
+	c2mn.QueryResult
+	Offset     int    `json:"offset,omitempty"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// queryCursor is the same stateless cursor msserve encodes, so a
+// cursor minted by either tier resumes through the other.
+type queryCursor struct {
+	Query    c2mn.Query `json:"q"`
+	PageSize int        `json:"page_size"`
+	Offset   int        `json:"offset"`
+}
+
+func encodeCursor(c queryCursor) (string, error) {
+	buf, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	return base64.RawURLEncoding.EncodeToString(buf), nil
+}
+
+func decodeCursor(s string) (queryCursor, error) {
+	var c queryCursor
+	buf, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return c, fmt.Errorf("bad cursor: %w", err)
+	}
+	if err := json.Unmarshal(buf, &c); err != nil {
+		return c, fmt.Errorf("bad cursor: %w", err)
+	}
+	if c.PageSize <= 0 || c.Offset < 0 {
+		return c, errors.New("bad cursor: invalid page bounds")
+	}
+	return c, nil
+}
+
+// normalizeQuery validates q and fills defaults exactly as the
+// library's Query.normalized does, so the router routes on the same
+// effective scope/venues/k the backends would compute. All failures
+// wrap c2mn.ErrInvalidQuery.
+func normalizeQuery(q c2mn.Query) (c2mn.Query, error) {
+	invalid := func(detail string) error {
+		return fmt.Errorf("%w: %s", c2mn.ErrInvalidQuery, detail)
+	}
+	switch q.Kind {
+	case c2mn.QueryPopularRegions, c2mn.QueryFrequentPairs:
+	default:
+		return q, invalid(fmt.Sprintf("kind %q (want %q or %q)", q.Kind, c2mn.QueryPopularRegions, c2mn.QueryFrequentPairs))
+	}
+	if q.Scope == "" {
+		switch len(q.Venues) {
+		case 0:
+			q.Scope = c2mn.ScopeFleet
+		case 1:
+			q.Scope = c2mn.ScopeVenue
+		default:
+			q.Scope = c2mn.ScopeVenues
+		}
+	}
+	switch q.Scope {
+	case c2mn.ScopeFleet:
+		if len(q.Venues) != 0 {
+			return q, invalid(`scope "fleet" does not take a venue list`)
+		}
+	case c2mn.ScopeVenue:
+		if len(q.Venues) != 1 {
+			return q, invalid(fmt.Sprintf(`scope "venue" wants exactly one venue, got %d`, len(q.Venues)))
+		}
+	case c2mn.ScopeVenues:
+		if len(q.Venues) == 0 {
+			return q, invalid(`scope "venues" wants at least one venue`)
+		}
+	default:
+		return q, invalid(fmt.Sprintf("scope %q", q.Scope))
+	}
+	if len(q.Venues) > 0 {
+		dedup := make([]string, 0, len(q.Venues))
+		seen := make(map[string]bool, len(q.Venues))
+		for _, id := range q.Venues {
+			if id == "" {
+				return q, invalid("empty venue ID")
+			}
+			if !seen[id] {
+				seen[id] = true
+				dedup = append(dedup, id)
+			}
+		}
+		q.Venues = dedup
+	}
+	if q.K < 0 {
+		return q, invalid(fmt.Sprintf("negative k %d", q.K))
+	}
+	if q.K == 0 {
+		q.K = c2mn.DefaultQueryK
+	}
+	if q.Window != nil {
+		if math.IsNaN(q.Window.Start) || math.IsNaN(q.Window.End) {
+			return q, invalid("NaN window bound")
+		}
+		w := *q.Window
+		q.Window = &w
+	}
+	return q, nil
+}
+
+// handleQuery serves the router's POST /v1/query: single-backend
+// scopes forward raw, wider scopes scatter-gather with the router
+// running the same cursor pagination msserve does.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	if err != nil {
+		rt.writeBodyError(w, r, err)
+		return
+	}
+	var req queryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.PageSize < 0 {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("negative page_size %d", req.PageSize))
+		return
+	}
+	q, pageSize, offset := req.Query, req.PageSize, 0
+	if req.Cursor != "" {
+		if !reflect.DeepEqual(req.Query, c2mn.Query{}) {
+			rt.writeError(w, r, http.StatusBadRequest, errors.New("cursor and query fields are mutually exclusive"))
+			return
+		}
+		cur, err := decodeCursor(req.Cursor)
+		if err != nil {
+			rt.writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		q, offset = cur.Query, cur.Offset
+		pageSize = cur.PageSize
+		if req.PageSize > 0 {
+			pageSize = req.PageSize
+		}
+	}
+	nq, err := normalizeQuery(q)
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if nq.Scope != c2mn.ScopeFleet {
+		if backend, single := rt.singleOwner(nq.Venues); single {
+			rt.forward(w, r, backend, body)
+			return
+		}
+	}
+	res, err := rt.scatter(r.Context(), nq)
+	if err != nil {
+		rt.writeScatterError(w, r, err)
+		return
+	}
+	resp := queryResponse{QueryResult: res}
+	if pageSize > 0 {
+		resp.Offset = offset
+		if next := paginate(&resp.QueryResult, offset, pageSize); next >= 0 {
+			cursor, err := encodeCursor(queryCursor{Query: q, PageSize: pageSize, Offset: next})
+			if err != nil {
+				rt.writeError(w, r, http.StatusInternalServerError, err)
+				return
+			}
+			resp.NextCursor = cursor
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// singleOwner reports whether every venue in the list resolves to one
+// backend, returning it. Resolution failures (no ready backend) fall
+// through to the scatter path, which phrases the error.
+func (rt *Router) singleOwner(venues []string) (string, bool) {
+	backend := ""
+	for _, v := range venues {
+		b, err := rt.owner(v)
+		if err != nil {
+			return "", false
+		}
+		if backend == "" {
+			backend = b
+		} else if backend != b {
+			return "", false
+		}
+	}
+	return backend, backend != ""
+}
+
+// writeScatterError maps scatter failures onto statuses, mirroring
+// msserve's writeQueryError.
+func (rt *Router) writeScatterError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, c2mn.ErrInvalidQuery):
+		rt.writeError(w, r, http.StatusBadRequest, err)
+	case errors.Is(err, c2mn.ErrUnknownVenue):
+		rt.writeError(w, r, http.StatusNotFound, err)
+	case errors.Is(err, c2mn.ErrNoBackend):
+		rt.writeError(w, r, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		rt.writeError(w, r, http.StatusServiceUnavailable, err)
+	default:
+		rt.writeError(w, r, http.StatusBadGateway, err)
+	}
+}
+
+// paginate is msserve's pagination verbatim: slice the ranked list to
+// [offset, offset+size) without ever computing the raw sum (a forged
+// cursor can put offset near MaxInt), returning the next offset or -1.
+func paginate(res *c2mn.QueryResult, offset, size int) int {
+	if res.Kind == c2mn.QueryFrequentPairs {
+		n := len(res.Pairs)
+		lo := min(offset, n)
+		hi := lo + min(size, n-lo)
+		res.Pairs = res.Pairs[lo:hi]
+		if hi < n {
+			return hi
+		}
+		return -1
+	}
+	n := len(res.Regions)
+	lo := min(offset, n)
+	hi := lo + min(size, n-lo)
+	res.Regions = res.Regions[lo:hi]
+	if hi < n {
+		return hi
+	}
+	return -1
+}
+
+// scatter executes a normalized multi-venue query across the fleet:
+// one untruncated single-venue partial per target venue, fetched from
+// the venue's owner in parallel, merged exactly. Fleet scope silently
+// skips venues that vanished since discovery (matching the registry's
+// own fleet semantics); an explicitly named venue that no backend
+// knows fails the whole query with ErrUnknownVenue.
+func (rt *Router) scatter(ctx context.Context, nq c2mn.Query) (c2mn.QueryResult, error) {
+	fleet := nq.Scope == c2mn.ScopeFleet
+	ids := nq.Venues
+	if fleet {
+		ids = rt.knownVenues() // sorted: fleet Scanned is sorted
+	}
+	type partial struct {
+		res     c2mn.QueryResult
+		skipped bool
+		err     error
+	}
+	parts := make([]partial, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(p *partial, id string) {
+			defer wg.Done()
+			backend, err := rt.owner(id)
+			if err != nil {
+				p.err = err
+				return
+			}
+			sub := c2mn.Query{
+				Kind: nq.Kind, Scope: c2mn.ScopeVenue, Venues: []string{id},
+				Regions: nq.Regions, Window: nq.Window, K: query.AllCounts,
+			}
+			body, err := json.Marshal(queryRequest{Query: sub})
+			if err != nil {
+				p.err = err
+				return
+			}
+			var resp queryResponse
+			if err := rt.backendJSON(ctx, http.MethodPost, backend+"/v1/query", body, &resp); err != nil {
+				if fleet && errors.Is(err, c2mn.ErrUnknownVenue) {
+					p.skipped = true // unloaded between discovery and scan
+					return
+				}
+				p.err = err
+				return
+			}
+			p.res = resp.QueryResult
+		}(&parts[i], id)
+	}
+	wg.Wait()
+
+	res := c2mn.QueryResult{Kind: nq.Kind, Scope: nq.Scope, K: nq.K, Scanned: make([]string, 0, len(ids))}
+	regionLists := make([][]c2mn.RegionCount, 0, len(ids))
+	pairLists := make([][]c2mn.PairCount, 0, len(ids))
+	for i := range parts {
+		p := &parts[i]
+		if p.err != nil {
+			return c2mn.QueryResult{}, fmt.Errorf("query venue %q: %w", ids[i], p.err)
+		}
+		if p.skipped {
+			continue
+		}
+		res.Scanned = append(res.Scanned, ids[i])
+		if nq.PerVenue {
+			res.PerVenue = append(res.PerVenue, c2mn.VenueCounts{
+				Venue:   ids[i],
+				Regions: query.TruncateRegionCounts(p.res.Regions, nq.K),
+				Pairs:   query.TruncatePairCounts(p.res.Pairs, nq.K),
+			})
+		}
+		regionLists = append(regionLists, p.res.Regions)
+		pairLists = append(pairLists, p.res.Pairs)
+	}
+	switch nq.Kind {
+	case c2mn.QueryFrequentPairs:
+		res.Pairs = query.TruncatePairCounts(query.MergePairCounts(pairLists...), nq.K)
+		if res.Pairs == nil {
+			res.Pairs = []c2mn.PairCount{}
+		}
+	default:
+		res.Regions = query.TruncateRegionCounts(query.MergeRegionCounts(regionLists...), nq.K)
+		if res.Regions == nil {
+			res.Regions = []c2mn.RegionCount{}
+		}
+	}
+	return res, nil
+}
+
+// handleTopKSugar serves the bare GET query sugars. Requests that
+// resolve to one backend — explicit ?venue=, or a sole-venue fleet —
+// forward raw so the backend's region-name resolution applies; the
+// cross-venue forms (?venues=a,b spanning backends, ?scope=fleet)
+// scatter and render the nameless rows msserve itself produces for
+// multi-venue scans.
+func (rt *Router) handleTopKSugar(w http.ResponseWriter, r *http.Request) {
+	kind := c2mn.QueryPopularRegions
+	if strings.HasSuffix(r.URL.Path, "/frequent-pairs") {
+		kind = c2mn.QueryFrequentPairs
+	}
+	vals := r.URL.Query()
+	scope, venues := c2mn.QueryScope(""), []string(nil)
+	switch {
+	case vals.Get("venue") != "":
+		scope, venues = c2mn.ScopeVenue, []string{vals.Get("venue")}
+	case vals.Get("venues") != "":
+		scope, venues = c2mn.ScopeVenues, strings.Split(vals.Get("venues"), ",")
+	case vals.Get("scope") == "fleet":
+		scope = c2mn.ScopeFleet
+	case vals.Get("scope") != "":
+		rt.writeError(w, r, http.StatusBadRequest,
+			fmt.Errorf("bad scope %q (only \"fleet\" may be given without venues)", vals.Get("scope")))
+		return
+	default:
+		known := rt.knownVenues()
+		if len(known) != 1 {
+			rt.writeError(w, r, http.StatusBadRequest,
+				fmt.Errorf("%d venue(s) in the fleet: pass ?venue=, ?venues=a,b or ?scope=fleet", len(known)))
+			return
+		}
+		scope, venues = c2mn.ScopeVenue, []string{known[0]}
+	}
+	if scope != c2mn.ScopeFleet {
+		if backend, single := rt.singleOwner(venues); single {
+			rt.forward(w, r, backend, nil)
+			return
+		}
+	}
+	regions, win, k, err := sugarParams(r)
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	nq, err := normalizeQuery(c2mn.Query{Kind: kind, Scope: scope, Venues: venues, Regions: regions, Window: win, K: k})
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	res, err := rt.scatter(r.Context(), nq)
+	if err != nil {
+		rt.writeScatterError(w, r, err)
+		return
+	}
+	// Multi-venue scans have no single naming venue, so the rows carry
+	// no region names — exactly like msserve's own cross-venue sugar.
+	if kind == c2mn.QueryFrequentPairs {
+		type pairRow struct {
+			A     int `json:"a"`
+			B     int `json:"b"`
+			Count int `json:"count"`
+		}
+		out := make([]pairRow, len(res.Pairs))
+		for i, pc := range res.Pairs {
+			out[i] = pairRow{A: int(pc.A), B: int(pc.B), Count: pc.Count}
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	type regionRow struct {
+		Region int `json:"region"`
+		Count  int `json:"count"`
+	}
+	out := make([]regionRow, len(res.Regions))
+	for i, rc := range res.Regions {
+		out[i] = regionRow{Region: int(rc.Region), Count: rc.Count}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// sugarParams parses the query sugars' k/start/end/regions exactly as
+// msserve does, so a scattered sugar rejects what a backend would.
+func sugarParams(r *http.Request) ([]c2mn.RegionID, *c2mn.Window, int, error) {
+	vals := r.URL.Query()
+	k := 0
+	if v := vals.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return nil, nil, 0, fmt.Errorf("bad k %q", v)
+		}
+		k = n
+	}
+	var win *c2mn.Window
+	if vals.Get("start") != "" || vals.Get("end") != "" {
+		win = &c2mn.Window{Start: -math.MaxFloat64, End: math.MaxFloat64}
+		if v := vals.Get("start"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || math.IsNaN(f) {
+				return nil, nil, 0, fmt.Errorf("bad start %q", v)
+			}
+			win.Start = f
+		}
+		if v := vals.Get("end"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || math.IsNaN(f) {
+				return nil, nil, 0, fmt.Errorf("bad end %q", v)
+			}
+			win.End = f
+		}
+	}
+	var q []c2mn.RegionID
+	if v := vals.Get("regions"); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("bad region %q", part)
+			}
+			q = append(q, c2mn.RegionID(n))
+		}
+	}
+	return q, win, k, nil
+}
+
+// handleStats aggregates GET /v1/stats across the fleet: each known
+// venue's counters come from its owning backend — never from a cold
+// dual-loaded copy — and sum into the same statsResponse shape (and
+// bytes: JSON object keys sort) a single msserve holding every venue
+// would emit.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	venues := rt.knownVenues()
+	type result struct {
+		stats   c2mn.EngineStats
+		skipped bool
+		err     error
+	}
+	results := make([]result, len(venues))
+	var wg sync.WaitGroup
+	for i, id := range venues {
+		wg.Add(1)
+		go func(res *result, id string) {
+			defer wg.Done()
+			backend, err := rt.owner(id)
+			if err != nil {
+				res.err = err
+				return
+			}
+			err = rt.backendJSON(r.Context(), http.MethodGet, venuePath(backend, id, "stats"), nil, &res.stats)
+			if errors.Is(err, c2mn.ErrUnknownVenue) {
+				res.skipped = true // unloaded between discovery and scan
+				return
+			}
+			res.err = err
+		}(&results[i], id)
+	}
+	wg.Wait()
+	resp := struct {
+		Venues map[string]c2mn.EngineStats `json:"venues"`
+		Totals c2mn.EngineStats            `json:"totals"`
+	}{Venues: map[string]c2mn.EngineStats{}}
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			rt.writeScatterError(w, r, fmt.Errorf("stats for venue %q: %w", venues[i], res.err))
+			return
+		}
+		if res.skipped {
+			continue
+		}
+		resp.Venues[venues[i]] = res.stats
+		resp.Totals.FedRecords += res.stats.FedRecords
+		resp.Totals.PendingObjects += res.stats.PendingObjects
+		resp.Totals.PendingRecords += res.stats.PendingRecords
+		resp.Totals.EmittedSequences += res.stats.EmittedSequences
+		resp.Totals.StoredSequences += res.stats.StoredSequences
+		resp.Totals.StoredSemantics += res.stats.StoredSemantics
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleListVenues merges GET /v1/venues across the ready backends.
+// Each venue's row comes from its owning backend only, so a venue
+// mid-migration (briefly loaded on two backends) lists once, with the
+// owner's snapshot-freshness columns.
+func (rt *Router) handleListVenues(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		venue string
+		raw   json.RawMessage
+	}
+	backends := rt.readyBackends()
+	lists := make([][]row, len(backends))
+	errs := make([]error, len(backends))
+	var wg sync.WaitGroup
+	for i, backend := range backends {
+		wg.Add(1)
+		go func(i int, backend string) {
+			defer wg.Done()
+			var resp struct {
+				Venues []json.RawMessage `json:"venues"`
+			}
+			if err := rt.backendJSON(r.Context(), http.MethodGet, backend+"/v1/venues", nil, &resp); err != nil {
+				errs[i] = err
+				return
+			}
+			for _, raw := range resp.Venues {
+				var id struct {
+					Venue string `json:"venue"`
+				}
+				if err := json.Unmarshal(raw, &id); err != nil || id.Venue == "" {
+					continue
+				}
+				if owner, err := rt.owner(id.Venue); err == nil && owner == backend {
+					lists[i] = append(lists[i], row{venue: id.Venue, raw: raw})
+				}
+			}
+		}(i, backend)
+	}
+	wg.Wait()
+	merged := make([]row, 0)
+	for i := range lists {
+		if errs[i] != nil {
+			rt.writeScatterError(w, r, fmt.Errorf("listing venues on %s: %w", backends[i], errs[i]))
+			return
+		}
+		merged = append(merged, lists[i]...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].venue < merged[j].venue })
+	out := make([]json.RawMessage, len(merged))
+	for i, rw := range merged {
+		out[i] = rw.raw
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"venues": out})
+}
+
+// handleFlush fans POST /v1/flush out venue-by-venue to each owner —
+// flushing every venue exactly once even when dual-loaded — and sums
+// the per-venue flush counters. A ?venue= flush forwards raw.
+func (rt *Router) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("venue") != "" {
+		rt.forwardToOwner(w, r, r.URL.Query().Get("venue"))
+		return
+	}
+	venues := rt.knownVenues()
+	type flushCounts struct {
+		Venues           int   `json:"venues"`
+		PendingRecords   int   `json:"pending_records"`
+		EmittedSequences int64 `json:"emitted_sequences"`
+	}
+	results := make([]flushCounts, len(venues))
+	errs := make([]error, len(venues))
+	var wg sync.WaitGroup
+	for i, id := range venues {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			backend, err := rt.owner(id)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = rt.backendJSON(r.Context(), http.MethodPost, venuePath(backend, id, "flush"), nil, &results[i])
+		}(i, id)
+	}
+	wg.Wait()
+	total := flushCounts{}
+	var failed []error
+	for i := range venues {
+		if errs[i] != nil {
+			if errors.Is(errs[i], c2mn.ErrUnknownVenue) {
+				continue // unloaded between discovery and flush
+			}
+			failed = append(failed, fmt.Errorf("venue %q: %w", venues[i], errs[i]))
+			continue
+		}
+		total.Venues += results[i].Venues
+		total.PendingRecords += results[i].PendingRecords
+		total.EmittedSequences += results[i].EmittedSequences
+	}
+	if len(failed) > 0 {
+		rt.writeError(w, r, http.StatusBadGateway, errors.Join(failed...))
+		return
+	}
+	writeJSON(w, http.StatusOK, total)
+}

@@ -1,0 +1,71 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"c2mn"
+)
+
+// wireError mirrors msserve's /v1 error payload, so clients see one
+// error shape whether the router or a backend produced it.
+type wireError struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// errorCode derives the stable machine-readable code of a
+// router-originated error: the library's sentinel when one matches, a
+// status-derived fallback otherwise.
+func errorCode(status int, err error) string {
+	switch {
+	case errors.Is(err, c2mn.ErrNoBackend):
+		return "no_backend"
+	case errors.Is(err, c2mn.ErrMigrationConflict):
+		return "migration_conflict"
+	case errors.Is(err, c2mn.ErrUnknownVenue):
+		return "unknown_venue"
+	case errors.Is(err, c2mn.ErrInvalidQuery):
+		return "invalid_query"
+	case errors.Is(err, c2mn.ErrCanceled):
+		return "canceled"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_argument"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusBadGateway:
+		return "backend_unreachable"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	}
+	if status >= http.StatusInternalServerError {
+		return "internal"
+	}
+	return "unprocessable"
+}
+
+// writeError emits a router-originated error in msserve's /v1 typed
+// envelope. Backend-originated errors are never re-enveloped — their
+// bodies stream through forward verbatim.
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, status, map[string]wireError{"error": {
+		Code: errorCode(status, err), Message: err.Error(),
+		RequestID: r.Header.Get(requestIDHeader),
+	}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
