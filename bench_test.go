@@ -18,6 +18,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"c2mn/internal/experiments"
@@ -415,6 +416,40 @@ func BenchmarkAnnotateSingleSequence(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAnnotateThroughput measures sustained annotation throughput
+// — sequences per second at fixed concurrency (GOMAXPROCS workers
+// sharing the workspace pool) — the serving SLO a fleet's capacity
+// planning divides by. The seqs/s custom metric is gated in CI (see
+// ci/BENCH_baseline.json): cmd/benchjson fails the job when it drops
+// below half the committed baseline, the higher-is-better analogue of
+// the ns/op ratchet.
+func BenchmarkAnnotateThroughput(b *testing.B) {
+	space, data := benchAnnotationWorld(b)
+	ann, err := Train(space, data[:len(data)/2], TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	test := data[len(data)/2:]
+	if _, _, err := ann.Annotate(&test[0].P); err != nil { // warm the pool
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := &test[int(next.Add(1))%len(test)].P
+			if _, _, err := ann.Annotate(p); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
 }
 
 // BenchmarkAnnotateAllParallel compares batch annotation throughput of

@@ -303,16 +303,33 @@ func (a *Annotator) Annotate(p *PSequence) (Labels, MSSequence, error) {
 // AnnotateOpts is Annotate with explicit inference tuning: the ICM
 // sweep bound, the optional annealed restart and its seed.
 func (a *Annotator) AnnotateOpts(p *PSequence, opts AnnotateOptions) (Labels, MSSequence, error) {
+	st := a.pool.Get().(*inferState)
+	defer a.pool.Put(st)
+	return a.annotateWith(st, p, 0, 0, opts)
+}
+
+// annotateWith runs one sequence's inference on a caller-held
+// inference state: whole-sequence when window == 0, windowed
+// otherwise. It is the common kernel under AnnotateOpts,
+// AnnotateWindowedOpts and the engine's coalesced /feed batching,
+// which amortizes one pooled state across a burst of completed
+// fragments.
+func (a *Annotator) annotateWith(st *inferState, p *PSequence, window, overlap int, opts AnnotateOptions) (Labels, MSSequence, error) {
 	if err := opts.validate(); err != nil {
 		return Labels{}, MSSequence{}, err
 	}
 	if err := p.Validate(); err != nil {
 		return Labels{}, MSSequence{}, err
 	}
-	st := a.pool.Get().(*inferState)
-	st.ctx.Reset(p, nil)
-	labels := st.ws.Annotate(a.model, st.ctx, opts.inferOptions())
-	a.pool.Put(st)
+	var labels Labels
+	if window > 0 {
+		labels = st.ws.AnnotateWindowed(a.model, st.ctx, p, core.WindowOptions{
+			Window: window, Overlap: overlap, Infer: opts.inferOptions(),
+		})
+	} else {
+		st.ctx.Reset(p, nil)
+		labels = st.ws.Annotate(a.model, st.ctx, opts.inferOptions())
+	}
 	return labels, seq.Merge(p, labels), nil
 }
 
@@ -328,18 +345,12 @@ func (a *Annotator) AnnotateWindowed(p *PSequence, window, overlap int) (Labels,
 // AnnotateWindowedOpts is AnnotateWindowed with explicit inference
 // tuning for the per-chunk inference.
 func (a *Annotator) AnnotateWindowedOpts(p *PSequence, window, overlap int, opts AnnotateOptions) (Labels, MSSequence, error) {
-	if err := opts.validate(); err != nil {
-		return Labels{}, MSSequence{}, err
-	}
-	if err := p.Validate(); err != nil {
-		return Labels{}, MSSequence{}, err
+	if window <= 0 {
+		window = core.DefaultWindow
 	}
 	st := a.pool.Get().(*inferState)
-	labels := st.ws.AnnotateWindowed(a.model, st.ctx, p, core.WindowOptions{
-		Window: window, Overlap: overlap, Infer: opts.inferOptions(),
-	})
-	a.pool.Put(st)
-	return labels, seq.Merge(p, labels), nil
+	defer a.pool.Put(st)
+	return a.annotateWith(st, p, window, overlap, opts)
 }
 
 // guard checks the shared preconditions of every context-accepting

@@ -21,6 +21,21 @@
 //	benchjson -baseline ci/BENCH_baseline.json \
 //	          -gate '^BenchmarkAnnotateSingleSequence$' \
 //	          -max-ratio 2 < bench.txt > BENCH_infer.json
+//
+// Custom metrics reported via b.ReportMetric are gated with
+// -metric-gate, a repeatable flag of the form
+//
+//	-metric-gate 'regexp=unit=higher'   (throughput-style metrics)
+//	-metric-gate 'regexp=unit=lower'    (latency-style metrics)
+//
+// compared under the same -max-ratio: a higher-is-better metric fails
+// when it drops below baseline/max-ratio, a lower-is-better one when
+// it exceeds baseline*max-ratio.
+//
+// With -md FILE, benchjson also writes a benchstat-style before/after
+// markdown table (baseline vs current, with deltas) for every
+// benchmark present in both runs — CI appends it to the job summary so
+// the PR shows the perf trajectory without downloading artifacts.
 package main
 
 import (
@@ -30,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,10 +60,47 @@ type result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// metricGate gates one custom metric over the benchmarks matching re.
+type metricGate struct {
+	re     *regexp.Regexp
+	unit   string
+	higher bool // true when larger values are better (throughput)
+}
+
+// metricGateList implements flag.Value for repeated -metric-gate flags.
+type metricGateList []metricGate
+
+func (l *metricGateList) String() string { return fmt.Sprintf("%d metric gates", len(*l)) }
+
+func (l *metricGateList) Set(spec string) error {
+	parts := strings.Split(spec, "=")
+	if len(parts) != 3 {
+		return fmt.Errorf("want 'regexp=unit=higher|lower', got %q", spec)
+	}
+	re, err := regexp.Compile(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad regexp in %q: %w", spec, err)
+	}
+	var higher bool
+	switch parts[2] {
+	case "higher":
+		higher = true
+	case "lower":
+		higher = false
+	default:
+		return fmt.Errorf("direction in %q must be 'higher' or 'lower'", spec)
+	}
+	*l = append(*l, metricGate{re: re, unit: parts[1], higher: higher})
+	return nil
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "baseline JSON file (benchjson output) to gate against")
 	gate := flag.String("gate", "", "regexp of benchmark names gated against the baseline (requires -baseline)")
-	maxRatio := flag.Float64("max-ratio", 2, "maximum allowed new/baseline ns/op ratio for gated benchmarks")
+	maxRatio := flag.Float64("max-ratio", 2, "maximum allowed regression ratio for gated benchmarks and metrics")
+	mdPath := flag.String("md", "", "write a markdown before/after table (baseline vs current) to this file (requires -baseline)")
+	var metricGates metricGateList
+	flag.Var(&metricGates, "metric-gate", "gate a custom metric: 'regexp=unit=higher|lower' (repeatable, requires -baseline)")
 	flag.Parse()
 
 	var out []result
@@ -94,7 +147,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: decoding baseline %s: %v\n", *baseline, err)
 		os.Exit(1)
 	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(markdownTable(out, base)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: writing %s: %v\n", *mdPath, err)
+			os.Exit(1)
+		}
+	}
 	problems := compareResults(out, base, gateRe, *maxRatio)
+	problems = append(problems, compareMetrics(out, base, metricGates, *maxRatio)...)
 	for _, p := range problems {
 		fmt.Fprintf(os.Stderr, "benchjson: %s\n", p)
 	}
@@ -148,6 +208,109 @@ func compareResults(cur, base []result, gate *regexp.Regexp, maxRatio float64) [
 		}
 	}
 	return problems
+}
+
+// compareMetrics checks the gated custom metrics of every baseline
+// benchmark against the current run, honouring each gate's direction.
+// A gated metric missing from the current run — renamed or no longer
+// reported — fails, for the same rot-proofing reason as a missing
+// gated benchmark.
+func compareMetrics(cur, base []result, gates metricGateList, maxRatio float64) []string {
+	if len(gates) == 0 {
+		return nil
+	}
+	current := make(map[string]result, len(cur))
+	for _, r := range cur {
+		current[baseName(r.Name)] = r
+	}
+	var problems []string
+	for _, b := range base {
+		name := baseName(b.Name)
+		for _, g := range gates {
+			if !g.re.MatchString(name) {
+				continue
+			}
+			was, ok := b.Metrics[g.unit]
+			if !ok || was <= 0 {
+				continue // baseline has nothing to gate against
+			}
+			now, ok := current[name]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: gated benchmark missing from this run", name))
+				continue
+			}
+			v, ok := now.Metrics[g.unit]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: gated metric %q missing from this run", name, g.unit))
+				continue
+			}
+			if g.higher {
+				if v < was/maxRatio {
+					problems = append(problems, fmt.Sprintf(
+						"%s: %.2f %s vs baseline %.2f %s (%.2fx drop > %.2fx allowed)",
+						name, v, g.unit, was, g.unit, was/v, maxRatio))
+				}
+			} else if v > was*maxRatio {
+				problems = append(problems, fmt.Sprintf(
+					"%s: %.2f %s vs baseline %.2f %s (%.2fx > %.2fx allowed)",
+					name, v, g.unit, was, g.unit, v/was, maxRatio))
+			}
+		}
+	}
+	return problems
+}
+
+// markdownTable renders a benchstat-style before/after comparison of
+// the benchmarks present in both runs: one row per measure (ns/op,
+// allocs/op and every custom metric both runs report), with the
+// relative delta. Baseline order is preserved.
+func markdownTable(cur, base []result) string {
+	current := make(map[string]result, len(cur))
+	for _, r := range cur {
+		current[baseName(r.Name)] = r
+	}
+	var sb strings.Builder
+	sb.WriteString("| benchmark | measure | baseline | current | delta |\n")
+	sb.WriteString("|---|---|---:|---:|---:|\n")
+	row := func(name, unit string, was, now float64) {
+		delta := "n/a"
+		if was > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(now-was)/was)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s |\n",
+			strings.TrimPrefix(name, "Benchmark"), unit, formatVal(was), formatVal(now), delta)
+	}
+	for _, b := range base {
+		name := baseName(b.Name)
+		now, ok := current[name]
+		if !ok {
+			continue
+		}
+		row(name, "ns/op", b.NsPerOp, now.NsPerOp)
+		if b.AllocsPerOp != nil && now.AllocsPerOp != nil {
+			row(name, "allocs/op", *b.AllocsPerOp, *now.AllocsPerOp)
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			if _, ok := now.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			row(name, u, b.Metrics[u], now.Metrics[u])
+		}
+	}
+	return sb.String()
+}
+
+// formatVal renders a measurement compactly: integers stay integral,
+// everything else keeps two decimals.
+func formatVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
 }
 
 // parseLine parses one benchmark result line of the form

@@ -83,3 +83,94 @@ func TestCompareResults(t *testing.T) {
 		t.Fatalf("zero-baseline report = %v", p)
 	}
 }
+
+func TestMetricGateListSet(t *testing.T) {
+	var l metricGateList
+	if err := l.Set("^BenchmarkAnnotateThroughput$=seqs/s=higher"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("^BenchmarkFleetTopK=latency-ms=lower"); err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 2 || !l[0].higher || l[0].unit != "seqs/s" || l[1].higher {
+		t.Fatalf("parsed gates = %+v", l)
+	}
+	for _, bad := range []string{"", "x=y", "x=y=sideways", "(=y=higher"} {
+		if err := l.Set(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestCompareMetrics pins the custom-metric gate in both directions: a
+// throughput metric fails on a >max-ratio drop, a latency-style metric
+// on a >max-ratio rise, and a gated metric that vanishes from the run
+// fails rather than silently un-gating.
+func TestCompareMetrics(t *testing.T) {
+	var gates metricGateList
+	if err := gates.Set("^BenchmarkThroughput$=seqs/s=higher"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gates.Set("^BenchmarkLatency$=ms/seq=lower"); err != nil {
+		t.Fatal(err)
+	}
+	base := []result{
+		{Name: "BenchmarkThroughput-8", Metrics: map[string]float64{"seqs/s": 100}},
+		{Name: "BenchmarkLatency-8", Metrics: map[string]float64{"ms/seq": 10}},
+	}
+
+	// Both within bounds: throughput halved exactly (ratio 2 allowed),
+	// latency below the ceiling.
+	cur := []result{
+		{Name: "BenchmarkThroughput-16", Metrics: map[string]float64{"seqs/s": 50}},
+		{Name: "BenchmarkLatency-16", Metrics: map[string]float64{"ms/seq": 19}},
+	}
+	if p := compareMetrics(cur, base, gates, 2); len(p) != 0 {
+		t.Fatalf("within-bounds run flagged: %v", p)
+	}
+
+	// Throughput collapse and latency blow-up: both flagged.
+	cur = []result{
+		{Name: "BenchmarkThroughput-16", Metrics: map[string]float64{"seqs/s": 40}},
+		{Name: "BenchmarkLatency-16", Metrics: map[string]float64{"ms/seq": 21}},
+	}
+	p := compareMetrics(cur, base, gates, 2)
+	if len(p) != 2 || !strings.Contains(p[0], "seqs/s") || !strings.Contains(p[1], "ms/seq") {
+		t.Fatalf("regression report = %v", p)
+	}
+
+	// The metric disappearing from the run fails the gate.
+	cur = []result{
+		{Name: "BenchmarkThroughput-16"},
+		{Name: "BenchmarkLatency-16", Metrics: map[string]float64{"ms/seq": 1}},
+	}
+	p = compareMetrics(cur, base, gates, 2)
+	if len(p) != 1 || !strings.Contains(p[0], "missing") {
+		t.Fatalf("missing-metric report = %v", p)
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	alloc := func(v float64) *float64 { return &v }
+	base := []result{
+		{Name: "BenchmarkHot-8", NsPerOp: 200, AllocsPerOp: alloc(10), Metrics: map[string]float64{"seqs/s": 50}},
+		{Name: "BenchmarkGone-8", NsPerOp: 1},
+	}
+	cur := []result{
+		{Name: "BenchmarkHot-16", NsPerOp: 100, AllocsPerOp: alloc(10), Metrics: map[string]float64{"seqs/s": 100}},
+		{Name: "BenchmarkNew-16", NsPerOp: 5},
+	}
+	md := markdownTable(cur, base)
+	for _, want := range []string{
+		"| Hot | ns/op | 200 | 100 | -50.0% |",
+		"| Hot | allocs/op | 10 | 10 | +0.0% |",
+		"| Hot | seqs/s | 50 | 100 | +100.0% |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("table missing row %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "Gone") || strings.Contains(md, "New") {
+		t.Fatalf("table includes benchmarks absent from one side:\n%s", md)
+	}
+}

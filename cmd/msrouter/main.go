@@ -55,6 +55,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -80,8 +81,13 @@ func main() {
 	settleDelay := flag.Duration("settle-delay", 100*time.Millisecond,
 		"delay between the stats polls that decide a draining venue has quiesced")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this separate address (e.g. localhost:6061); never exposed on -addr (empty = off)")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
 	var list []string
 	for _, u := range strings.Split(*backends, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -126,4 +132,27 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("drained, bye")
+}
+
+// startPprof serves the net/http/pprof endpoints on their own listener
+// and mux — never on the public -addr server, which fronts untrusted
+// traffic. The explicit mux keeps the profiling surface disjoint from
+// http.DefaultServeMux registrations.
+func startPprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("pprof listener: %v", err)
+	}
+	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
 }

@@ -76,6 +76,10 @@
 // fragment that cannot get an inference slot in time fails with
 // 429 + Retry-After (error code "backlog").
 //
+// Profiling is opt-in: -pprof-addr serves net/http/pprof on a separate
+// listener (keep it on localhost or a private interface); the public
+// -addr surface never exposes the profiling endpoints.
+//
 // With -snapshot-dir set, venue state is durable across restarts: on
 // boot every loaded venue with a snapshot file resumes its sliding
 // windows (live top-k store, open stream fragments, pipeline counters)
@@ -107,6 +111,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -156,10 +161,15 @@ func main() {
 		"directory for venue snapshots: restored on boot (warm restart), written on shutdown and on the admin trigger (empty = no persistence)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0,
 		"background snapshot period per venue; unchanged venues are skipped (0 = snapshot only on shutdown/trigger; requires -snapshot-dir)")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this separate address (e.g. localhost:6060); never exposed on -addr (empty = off)")
 	flag.Parse()
 
 	if *maxBody <= 0 {
 		log.Fatalf("-max-body must be positive, got %d", *maxBody)
+	}
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
 	}
 	type venueLoad struct{ id, space, model string }
 	var loads []venueLoad
@@ -280,6 +290,30 @@ func main() {
 // budget-aware — an idle venue costs nothing, and venues are written
 // one at a time so snapshot IO never bursts above a single shard's
 // serialisation.
+// startPprof serves the net/http/pprof endpoints on their own listener
+// and mux. The profiling surface is deliberately never mounted on the
+// public -addr server: an explicit mux (rather than the default one the
+// pprof import auto-registers on) keeps the two surfaces disjoint even
+// if the main server ever falls back to http.DefaultServeMux.
+func startPprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("pprof listener: %v", err)
+	}
+	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+}
+
 func snapshotLoop(ctx context.Context, registry *c2mn.VenueRegistry, dir string, interval time.Duration, snaps *snapshotTracker) {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {

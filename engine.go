@@ -45,7 +45,26 @@ type Engine struct {
 	streams *seq.StreamSet
 	fed     int64
 
+	// Coalesced /feed micro-batching (see annotateCoalesced): feedMu
+	// guards the burst queue and the leadership flag.
+	feedMu     sync.Mutex
+	feedQ      []*feedJob
+	feedLeader bool
+
 	emitted atomic.Int64
+	batches atomic.Int64 // leader drains, i.e. pooled-state acquisitions on the feed path
+}
+
+// feedJob is one completed stream fragment waiting in the coalescing
+// queue; done receives its annotation result exactly once.
+type feedJob struct {
+	p    *PSequence
+	done chan feedResult
+}
+
+type feedResult struct {
+	ms  MSSequence
+	err error
 }
 
 // NewEngine wraps a trained annotator in an Engine. It returns
@@ -113,24 +132,77 @@ func (e *Engine) inferSeq(p *PSequence) (Labels, MSSequence, error) {
 	return e.ann.AnnotateOpts(p, e.infer)
 }
 
-// annotate is the streaming-path inference: the budget slot is waited
-// for without a caller context (stream fragments must not be dropped
-// because one HTTP client went away) and held for the inference only.
-// The wait is unbounded by default; WithFeedQueueTimeout bounds it, so
-// a venue whose backlog outgrows the fleet budget fails fast with
-// ErrBacklog instead of wedging its Feed callers.
-func (e *Engine) annotate(p *PSequence) (Labels, MSSequence, error) {
+// annotateCoalesced is the streaming-path inference with micro-batch
+// coalescing: fragments completed by concurrent Feed calls while one
+// inference is underway queue up, and the goroutine holding the
+// (budget slot, pooled inference state) pair — the burst leader —
+// drains them all under that single acquisition before releasing it.
+// Under production-shaped concurrency this amortizes the per-sequence
+// budget wait, pool round-trip and workspace/context setup across the
+// burst while the shared geometry cache stays hot; an idle engine
+// degenerates to exactly one acquisition per fragment, and each
+// caller still returns only when its own fragment is annotated.
+//
+// The budget slot is waited for without a caller context (stream
+// fragments must not be dropped because one HTTP client went away) and
+// held for the drain only. The wait is unbounded by default;
+// WithFeedQueueTimeout bounds it, so a venue whose backlog outgrows
+// the fleet budget fails fast with ErrBacklog instead of wedging its
+// Feed callers — a failed wait fails the fragments queued at that
+// moment, and the next burst retries with a fresh wait.
+func (e *Engine) annotateCoalesced(p *PSequence) (MSSequence, error) {
+	job := &feedJob{p: p, done: make(chan feedResult, 1)}
+	e.feedMu.Lock()
+	e.feedQ = append(e.feedQ, job)
+	if e.feedLeader {
+		// A leader is draining; it will pick this job up before it
+		// releases its acquisition.
+		e.feedMu.Unlock()
+		r := <-job.done
+		return r.ms, r.err
+	}
+	e.feedLeader = true
+	e.feedMu.Unlock()
+
 	ctx := context.Background()
 	if e.budget != nil && e.feedTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.feedTimeout)
 		defer cancel()
 	}
-	if err := e.acquire(ctx); err != nil {
-		return Labels{}, MSSequence{}, fmt.Errorf("%w: no inference slot within %v", ErrBacklog, e.feedTimeout)
+	acquireErr := e.acquire(ctx)
+	var st *inferState
+	if acquireErr == nil {
+		st = e.ann.pool.Get().(*inferState)
+		e.batches.Add(1)
 	}
-	defer e.release()
-	return e.inferSeq(p)
+	for {
+		e.feedMu.Lock()
+		if len(e.feedQ) == 0 {
+			e.feedLeader = false
+			e.feedMu.Unlock()
+			break
+		}
+		j := e.feedQ[0]
+		copy(e.feedQ, e.feedQ[1:])
+		e.feedQ = e.feedQ[:len(e.feedQ)-1]
+		e.feedMu.Unlock()
+		var r feedResult
+		if acquireErr != nil {
+			r.err = fmt.Errorf("%w: no inference slot within %v", ErrBacklog, e.feedTimeout)
+		} else {
+			_, r.ms, r.err = e.ann.annotateWith(st, j.p, e.window, e.overlap, e.infer)
+		}
+		j.done <- r
+	}
+	if st != nil {
+		e.ann.pool.Put(st)
+	}
+	if acquireErr == nil {
+		e.release()
+	}
+	r := <-job.done
+	return r.ms, r.err
 }
 
 // annotateCtx is the request-path inference: waiting for a budget
@@ -258,9 +330,10 @@ func (e *Engine) streamName(objectID string) string {
 	return e.venue + "/" + objectID
 }
 
-// process annotates one completed fragment and emits its m-semantics.
+// process annotates one completed fragment — through the coalescing
+// micro-batcher — and emits its m-semantics.
 func (e *Engine) process(p *PSequence) error {
-	_, ms, err := e.annotate(p)
+	ms, err := e.annotateCoalesced(p)
 	if err != nil {
 		return fmt.Errorf("c2mn: stream %s: %w", e.streamName(p.ObjectID), err)
 	}
@@ -361,6 +434,7 @@ func (e *Engine) snapshotFile(nowUnix int64) *snapshot.File {
 			Retention:        e.retention,
 			FedRecords:       fed,
 			EmittedSequences: emitted,
+			FeedBatches:      e.batches.Load(),
 		},
 		Streams: snapshot.EncodeStreams(streams),
 		Index:   snapshot.EncodeIndex(ixState),
@@ -446,6 +520,7 @@ func (e *Engine) restoreFile(f *snapshot.File) error {
 	e.streams = streams
 	e.fed = f.Engine.FedRecords
 	e.emitted.Store(f.Engine.EmittedSequences)
+	e.batches.Store(f.Engine.FeedBatches)
 	return nil
 }
 
@@ -459,6 +534,10 @@ type EngineStats struct {
 	PendingRecords int
 	// EmittedSequences counts ms-sequences emitted so far.
 	EmittedSequences int64
+	// FeedBatches counts the pooled-state acquisitions the streaming
+	// path made; EmittedSequences/FeedBatches is the mean coalesced
+	// micro-batch size (1.0 when feeds never overlap).
+	FeedBatches int64
 	// StoredSequences and StoredSemantics size the live store (after
 	// retention eviction).
 	StoredSequences int
@@ -467,7 +546,7 @@ type EngineStats struct {
 
 // Stats reports the streaming pipeline's counters.
 func (e *Engine) Stats() EngineStats {
-	st := EngineStats{EmittedSequences: e.emitted.Load()}
+	st := EngineStats{EmittedSequences: e.emitted.Load(), FeedBatches: e.batches.Load()}
 	e.mu.Lock()
 	st.FedRecords = e.fed
 	st.PendingObjects, st.PendingRecords = e.streams.Pending()

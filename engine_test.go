@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 )
@@ -254,6 +255,75 @@ func TestEngineFeedMatchesBatchPipeline(t *testing.T) {
 	}
 	if st.PendingRecords != 0 {
 		t.Errorf("PendingRecords = %d after Flush", st.PendingRecords)
+	}
+}
+
+// TestEngineFeedCoalescedConcurrent drives the /feed micro-batcher
+// with production-shaped concurrency — every object streaming from its
+// own goroutine — and checks that coalescing is invisible in the
+// results: the emitted m-semantics are exactly the batch pipeline's,
+// every Feed caller gets its own fragment's outcome, and the
+// batch counter stays consistent (acquisitions never exceed emitted
+// fragments).
+func TestEngineFeedCoalescedConcurrent(t *testing.T) {
+	a, test := testAnnotator(t)
+	const eta, psi = 120, 60
+	streams := gappedStreams(test, eta)
+
+	var batch []MSSequence
+	for id, records := range streams {
+		frs := Preprocess(id, records, eta, psi)
+		mss, err := a.AnnotateAll(frs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, mss...)
+	}
+
+	e, err := NewEngine(a, WithPreprocess(eta, psi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(streams))
+	for id, records := range streams {
+		wg.Add(1)
+		go func(id string, records []Record) {
+			defer wg.Done()
+			for _, r := range records {
+				if err := e.Feed(id, r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(id, records)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantJSON, err := json.Marshal(sortedMSS(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(sortedMSS(e.Sequences()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("coalesced streaming m-semantics diverge from batch pipeline:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	st := e.Stats()
+	if st.EmittedSequences != int64(len(batch)) {
+		t.Errorf("EmittedSequences = %d, want %d", st.EmittedSequences, len(batch))
+	}
+	if st.FeedBatches < 1 || st.FeedBatches > st.EmittedSequences {
+		t.Errorf("FeedBatches = %d, want within [1, %d]", st.FeedBatches, st.EmittedSequences)
 	}
 }
 

@@ -216,9 +216,10 @@ func TestConditionalsNormalised(t *testing.T) {
 	}
 	R := InitRegions(ctx)
 	E := InitEvents(ctx)
+	buf := make([]float64, features.Dim)
 	for i := 0; i < ctx.Len(); i++ {
 		probs := make([]float64, len(ctx.Candidates[i]))
-		regionConditional(w, ctx, R, E, i, probs, nil)
+		regionConditional(w, ctx, R, E, i, probs, nil, buf)
 		sum := 0.0
 		for _, p := range probs {
 			if p < 0 || p > 1 {
@@ -230,7 +231,7 @@ func TestConditionalsNormalised(t *testing.T) {
 			t.Fatalf("region conditional sums to %v", sum)
 		}
 		ep := make([]float64, seq.NumEvents)
-		eventConditional(w, ctx, R, E, i, ep, nil)
+		eventConditional(w, ctx, R, E, i, ep, nil, buf)
 		if math.Abs(ep[0]+ep[1]-1) > 1e-9 {
 			t.Fatalf("event conditional sums to %v", ep[0]+ep[1])
 		}

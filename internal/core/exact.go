@@ -38,10 +38,16 @@ func TrainExact(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*M
 	}
 
 	// Precompute every node's candidate feature vectors once: they do
-	// not depend on w.
+	// not depend on w. Features are stored flat with a features.Dim
+	// stride so the many objective evaluations below walk one
+	// contiguous allocation per node.
 	type node struct {
-		feats   [][]float64
+		feats   []float64
+		ncand   int
 		trueIdx int
+	}
+	cand := func(nd *node, k int) []float64 {
+		return nd.feats[k*features.Dim : (k+1)*features.Dim]
 	}
 	var nodes []node
 	for i := range data {
@@ -54,11 +60,9 @@ func TrainExact(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*M
 		for j := 0; j < n; j++ {
 			// Region node.
 			cands := ctx.Candidates[j]
-			rn := node{feats: make([][]float64, len(cands)), trueIdx: -1}
+			rn := node{feats: make([]float64, len(cands)*features.Dim), ncand: len(cands), trueIdx: -1}
 			for k, r := range cands {
-				buf := make([]float64, features.Dim)
-				ctx.LocalRegionFeatures(ls.Labels.Regions, ls.Labels.Events, j, r, buf)
-				rn.feats[k] = buf
+				ctx.LocalRegionFeatures(ls.Labels.Regions, ls.Labels.Events, j, r, cand(&rn, k))
 				if r == ls.Labels.Regions[j] {
 					rn.trueIdx = k
 				}
@@ -67,11 +71,9 @@ func TrainExact(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*M
 				nodes = append(nodes, rn)
 			}
 			// Event node.
-			en := node{feats: make([][]float64, seq.NumEvents), trueIdx: int(ls.Labels.Events[j])}
+			en := node{feats: make([]float64, seq.NumEvents*features.Dim), ncand: seq.NumEvents, trueIdx: int(ls.Labels.Events[j])}
 			for e := 0; e < seq.NumEvents; e++ {
-				buf := make([]float64, features.Dim)
-				ctx.LocalEventFeatures(ls.Labels.Regions, ls.Labels.Events, j, seq.Event(e), buf)
-				en.feats[e] = buf
+				ctx.LocalEventFeatures(ls.Labels.Regions, ls.Labels.Events, j, seq.Event(e), cand(&en, e))
 			}
 			nodes = append(nodes, en)
 		}
@@ -87,12 +89,13 @@ func TrainExact(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*M
 	obj := func(w []float64) (float64, []float64) {
 		f := 0.0
 		g := make([]float64, features.Dim)
-		for _, nd := range nodes {
-			k := len(nd.feats)
+		for i := range nodes {
+			nd := &nodes[i]
+			k := nd.ncand
 			maxL := math.Inf(-1)
 			logits = grow(logits, k)
 			for c := 0; c < k; c++ {
-				logits[c] = dot(w, nd.feats[c])
+				logits[c] = dot(w, cand(nd, c))
 				if logits[c] > maxL {
 					maxL = logits[c]
 				}
@@ -103,11 +106,11 @@ func TrainExact(space *indoor.Space, data []seq.LabeledSequence, cfg Config) (*M
 				logits[c] = math.Exp(logits[c] - maxL)
 				z += logits[c]
 			}
-			f += -dot(w, nd.feats[nd.trueIdx]) + maxL + math.Log(z)
-			ft := nd.feats[nd.trueIdx]
+			ft := cand(nd, nd.trueIdx)
+			f += -dot(w, ft) + maxL + math.Log(z)
 			for c := 0; c < k; c++ {
 				p := logits[c] / z
-				fc := nd.feats[c]
+				fc := cand(nd, c)
 				for d := range g {
 					g[d] += p * fc[d]
 				}

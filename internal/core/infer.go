@@ -11,10 +11,10 @@ import (
 // regionConditional fills probs with the local conditional
 // P(ri = cand | MB(ri), w) over ctx.Candidates[i], and feats[k] with
 // the Markov-blanket feature vector of each candidate. feats may be
-// nil when only probabilities are needed.
-func regionConditional(w []float64, ctx *features.SeqContext, R []indoor.RegionID, E []seq.Event, i int, probs []float64, feats [][]float64) {
+// nil when only probabilities are needed. buf is caller-provided
+// features.Dim scratch, keeping the conditionals allocation-free.
+func regionConditional(w []float64, ctx *features.SeqContext, R []indoor.RegionID, E []seq.Event, i int, probs []float64, feats [][]float64, buf []float64) {
 	cands := ctx.Candidates[i]
-	buf := make([]float64, features.Dim)
 	maxE := math.Inf(-1)
 	for k, r := range cands {
 		ctx.LocalRegionFeatures(R, E, i, r, buf)
@@ -31,8 +31,7 @@ func regionConditional(w []float64, ctx *features.SeqContext, R []indoor.RegionI
 
 // eventConditional is the event-node analogue over {Pass, Stay}
 // (indexed by the seq.Event value).
-func eventConditional(w []float64, ctx *features.SeqContext, R []indoor.RegionID, E []seq.Event, i int, probs []float64, feats [][]float64) {
-	buf := make([]float64, features.Dim)
+func eventConditional(w []float64, ctx *features.SeqContext, R []indoor.RegionID, E []seq.Event, i int, probs []float64, feats [][]float64, buf []float64) {
 	maxE := math.Inf(-1)
 	for e := 0; e < seq.NumEvents; e++ {
 		ctx.LocalEventFeatures(R, E, i, seq.Event(e), buf)

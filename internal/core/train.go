@@ -45,10 +45,19 @@ type trainSeq struct {
 	counts [][]int
 }
 
-// nodeCache holds one node's candidate features.
+// nodeCache holds one node's candidate features in a single flat
+// slice, candidate k occupying feats[k*Dim : (k+1)*Dim]. The flat
+// layout keeps the sampling pass's dot products on one contiguous
+// allocation instead of a pointer-chased slice-of-slices.
 type nodeCache struct {
-	feats   [][]float64 // candidate index → feature vector (Dim)
-	trueIdx int         // index of the empirical label; -1 when unknown
+	feats   []float64 // flat candidate features, features.Dim stride
+	ncand   int       // number of candidates
+	trueIdx int       // index of the empirical label; -1 when unknown
+}
+
+// cand returns candidate k's feature vector view.
+func (nc *nodeCache) cand(k int) []float64 {
+	return nc.feats[k*features.Dim : (k+1)*features.Dim]
 }
 
 // snapshot stores the Δf̄ information of the best-PL step (Eq. 8).
@@ -234,28 +243,26 @@ func (ts *trainSeq) buildNodeCache(b Var) {
 	for i := 0; i < n; i++ {
 		var nc nodeCache
 		if b == VarE {
-			nc.feats = make([][]float64, seq.NumEvents)
+			nc.ncand = seq.NumEvents
+			nc.feats = make([]float64, nc.ncand*features.Dim)
 			for e := 0; e < seq.NumEvents; e++ {
-				buf := make([]float64, features.Dim)
-				ts.ctx.LocalEventFeatures(ts.confR, ts.truth.Events, i, seq.Event(e), buf)
-				nc.feats[e] = buf
+				ts.ctx.LocalEventFeatures(ts.confR, ts.truth.Events, i, seq.Event(e), nc.cand(e))
 			}
 			nc.trueIdx = int(ts.truth.Events[i])
 		} else {
 			cands := ts.ctx.Candidates[i]
-			nc.feats = make([][]float64, len(cands))
+			nc.ncand = len(cands)
+			nc.feats = make([]float64, nc.ncand*features.Dim)
 			nc.trueIdx = -1
 			for k, r := range cands {
-				buf := make([]float64, features.Dim)
-				ts.ctx.LocalRegionFeatures(ts.truth.Regions, ts.confE, i, r, buf)
-				nc.feats[k] = buf
+				ts.ctx.LocalRegionFeatures(ts.truth.Regions, ts.confE, i, r, nc.cand(k))
 				if r == ts.truth.Regions[i] {
 					nc.trueIdx = k
 				}
 			}
 		}
 		ts.nodes[i] = nc
-		ts.counts[i] = make([]int, len(nc.feats))
+		ts.counts[i] = make([]int, nc.ncand)
 	}
 }
 
@@ -269,12 +276,12 @@ func (ts *trainSeq) samplePass(w []float64, m int, rng *rand.Rand, grad []float6
 		if nc.trueIdx < 0 {
 			continue // unlabeled node: no empirical features
 		}
-		k := len(nc.feats)
+		k := nc.ncand
 		ws.logits = grow(ws.logits, k)
 		p := ws.logits
 		maxL := math.Inf(-1)
 		for c := 0; c < k; c++ {
-			p[c] = dot(w, nc.feats[c])
+			p[c] = dot(w, nc.cand(c))
 			if p[c] > maxL {
 				maxL = p[c]
 			}
@@ -288,13 +295,13 @@ func (ts *trainSeq) samplePass(w []float64, m int, rng *rand.Rand, grad []float6
 			counts[sampleIndex(p, rng)]++
 		}
 		// Gradient: Σ_c (count_c/M)(f_c − f_true).
-		ft := nc.feats[nc.trueIdx]
+		ft := nc.cand(nc.trueIdx)
 		for c := 0; c < k; c++ {
 			if counts[c] == 0 {
 				continue
 			}
 			wc := float64(counts[c]) / float64(m)
-			fc := nc.feats[c]
+			fc := nc.cand(c)
 			for d := range grad {
 				grad[d] += wc * (fc[d] - ft[d])
 			}
@@ -311,11 +318,9 @@ func (ts *trainSeq) markTouched(touched *[features.Dim]bool) {
 		if nc.trueIdx < 0 {
 			continue
 		}
-		for _, f := range nc.feats {
-			for d, v := range f {
-				if v != 0 {
-					touched[d] = true
-				}
+		for d, v := range nc.feats {
+			if v != 0 {
+				touched[d%features.Dim] = true
 			}
 		}
 	}
@@ -358,12 +363,13 @@ func takeSnapshot(seqs []*trainSeq) snapshot {
 			if nc.trueIdx < 0 {
 				continue
 			}
-			ft := nc.feats[nc.trueIdx]
-			ds := make([][]float32, len(nc.feats))
-			for c := range nc.feats {
+			ft := nc.cand(nc.trueIdx)
+			ds := make([][]float32, nc.ncand)
+			for c := 0; c < nc.ncand; c++ {
+				fc := nc.cand(c)
 				d := make([]float32, features.Dim)
 				for x := 0; x < features.Dim; x++ {
-					d[x] = float32(nc.feats[c][x] - ft[x])
+					d[x] = float32(fc[x] - ft[x])
 				}
 				ds[c] = d
 			}

@@ -5,6 +5,13 @@ import (
 	"c2mn/internal/seq"
 )
 
+// DefaultWindow and DefaultOverlap are the chunking defaults applied
+// when WindowOptions leaves them zero.
+const (
+	DefaultWindow  = 256
+	DefaultOverlap = 32
+)
+
 // WindowOptions tunes AnnotateWindowed.
 type WindowOptions struct {
 	// Window is the number of records labeled per chunk. Default 256.
@@ -18,12 +25,12 @@ type WindowOptions struct {
 
 func (o WindowOptions) fill() WindowOptions {
 	if o.Window <= 0 {
-		o.Window = 256
+		o.Window = DefaultWindow
 	}
 	if o.Overlap < 0 {
 		o.Overlap = 0
 	} else if o.Overlap == 0 {
-		o.Overlap = 32
+		o.Overlap = DefaultOverlap
 	}
 	return o
 }

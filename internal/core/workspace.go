@@ -48,7 +48,21 @@ type Workspace struct {
 	delta  []float64
 	logits []float64
 	raw    []float64
+	scores []float64
 	tried  []indoor.RegionID
+
+	// Convergence worklists. dirtyR[i]/dirtyE[i] mark nodes whose
+	// Markov blanket may have changed since their last ICM evaluation;
+	// clean nodes re-evaluate to the same argmax, so sweeps skip them
+	// without changing the move sequence. dirtyB[i] is the analogous
+	// flag for block-ICM run pricing: a run all of whose nodes are
+	// clean re-prices to the same (non-improving) deltas and is
+	// skipped. Every accepted move re-marks a conservative superset of
+	// its influence range, so the invariant "clean ⟹ conditional
+	// unchanged since last evaluation" holds across phases.
+	dirtyR []bool
+	dirtyE []bool
+	dirtyB []bool
 }
 
 // NewWorkspace returns an empty workspace.
@@ -69,6 +83,11 @@ func (ws *Workspace) Reset(m *Model, ctx *features.SeqContext) {
 	ws.bestE = grow(ws.bestE, n)
 	ws.buf = grow(ws.buf, features.Dim)
 	ws.delta = grow(ws.delta, features.Dim)
+	ws.scores = grow(ws.scores, seq.NumEvents)
+	ws.dirtyR = grow(ws.dirtyR, n)
+	ws.dirtyE = grow(ws.dirtyE, n)
+	ws.dirtyB = grow(ws.dirtyB, n)
+	ws.markAllDirty()
 	InitRegionsInto(ctx, ws.R)
 	InitEventsInto(ctx, ws.E)
 	copy(ws.initR, ws.R)
@@ -143,6 +162,15 @@ func (ws *Workspace) annotate(m *Model, ctx *features.SeqContext, opts InferOpti
 // fixed point; every accepted move increases the running score by its
 // exact Markov-blanket delta (the local feature deltas equal the
 // global ones), so the loop terminates.
+//
+// Sweeps are convergence-aware: only dirty nodes are re-evaluated. A
+// clean node's conditional scores are unchanged since its last
+// evaluation, where it did not move (a moved node's own conditional
+// never depends on its own label, so the move itself keeps it clean),
+// so skipping it preserves the exact move sequence — and therefore the
+// exact labels — of the full sweep. MaxSweeps stays a ceiling with
+// identical counting: a sweep over an all-clean worklist makes zero
+// moves and terminates exactly where a full no-move sweep would.
 func (ws *Workspace) icm(maxSweeps int) {
 	ctx, w := ws.ctx, ws.m.Weights
 	R, E, buf := ws.R, ws.E, ws.buf
@@ -150,12 +178,22 @@ func (ws *Workspace) icm(maxSweeps int) {
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		changed := false
 		for i := 0; i < n; i++ {
+			if !ws.dirtyR[i] {
+				continue
+			}
+			ws.dirtyR[i] = false
+			cands := ctx.Candidates[i]
+			if len(cands) == 0 {
+				continue
+			}
+			ws.scores = grow(ws.scores, len(cands))
+			scores := ws.scores[:len(cands)]
+			ctx.RegionCandScores(w, R, E, i, scores)
 			cur := R[i]
 			best, bestV := cur, math.Inf(-1)
 			curV := math.Inf(-1)
-			for _, r := range ctx.Candidates[i] {
-				ctx.LocalRegionFeatures(R, E, i, r, buf)
-				v := dot(w, buf)
+			for k, r := range cands {
+				v := scores[k]
 				if r == cur {
 					curV = v
 				}
@@ -171,18 +209,23 @@ func (ws *Workspace) icm(maxSweeps int) {
 					ctx.LocalRegionFeatures(R, E, i, cur, buf)
 					curV = dot(w, buf)
 				}
-				R[i] = best
+				ws.applyRegionMove(i, best)
 				ws.score += bestV - curV
 				changed = true
 			}
 		}
 		for i := 0; i < n; i++ {
+			if !ws.dirtyE[i] {
+				continue
+			}
+			ws.dirtyE[i] = false
+			scores := ws.scores[:seq.NumEvents]
+			ctx.EventCandScores(w, R, E, i, scores)
 			cur := E[i]
 			best, bestV := cur, math.Inf(-1)
 			curV := 0.0
 			for e := 0; e < seq.NumEvents; e++ {
-				ctx.LocalEventFeatures(R, E, i, seq.Event(e), buf)
-				v := dot(w, buf)
+				v := scores[e]
 				if seq.Event(e) == cur {
 					curV = v
 				}
@@ -191,7 +234,7 @@ func (ws *Workspace) icm(maxSweeps int) {
 				}
 			}
 			if best != cur {
-				E[i] = best
+				ws.applyEventMove(i, best)
 				ws.score += bestV - curV
 				changed = true
 			}
@@ -200,6 +243,148 @@ func (ws *Workspace) icm(maxSweeps int) {
 			break
 		}
 	}
+}
+
+// markAllDirty re-arms every worklist, used after Reset and after the
+// annealed sweeps rewrote the configuration wholesale.
+func (ws *Workspace) markAllDirty() {
+	for i := range ws.dirtyR {
+		ws.dirtyR[i] = true
+	}
+	for i := range ws.dirtyE {
+		ws.dirtyE[i] = true
+	}
+	for i := range ws.dirtyB {
+		ws.dirtyB[i] = true
+	}
+}
+
+// markRange marks nodes in [lo, hi] (clamped) dirty on all worklists.
+func (ws *Workspace) markRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(ws.dirtyR) {
+		hi = len(ws.dirtyR) - 1
+	}
+	for x := lo; x <= hi; x++ {
+		ws.dirtyR[x] = true
+		ws.dirtyE[x] = true
+		ws.dirtyB[x] = true
+	}
+}
+
+// applyRegionMove assigns R[i] = r and marks the conservative
+// influence range of the move: the union of the old and new region-run
+// spans around i, each extended by the adjacent run and one node, plus
+// the event run around i (whose segmentation statistics read region
+// labels) extended by one node.
+func (ws *Workspace) applyRegionMove(i int, r indoor.RegionID) {
+	R, E := ws.R, ws.E
+	n := len(R)
+	aO, bO := runStartR(R, i), runEndR(R, i)
+	loO, hiO := aO, bO
+	if aO > 0 {
+		loO = runStartR(R, aO-1)
+	}
+	if bO+1 < n {
+		hiO = runEndR(R, bO+1)
+	}
+	R[i] = r
+	aN, bN := runStartR(R, i), runEndR(R, i)
+	loN, hiN := aN, bN
+	if aN > 0 {
+		loN = runStartR(R, aN-1)
+	}
+	if bN+1 < n {
+		hiN = runEndR(R, bN+1)
+	}
+	ea, eb := runStartE(E, i), runEndE(E, i)
+	ws.markRange(min(min(loO, loN), ea)-1, max(max(hiO, hiN), eb)+1)
+}
+
+// applyEventMove is the event-label analogue of applyRegionMove: the
+// influence range unions the old and new event-run spans (extended by
+// the adjacent run and one node) with the region run around i.
+func (ws *Workspace) applyEventMove(i int, e seq.Event) {
+	R, E := ws.R, ws.E
+	n := len(E)
+	aO, bO := runStartE(E, i), runEndE(E, i)
+	loO, hiO := aO, bO
+	if aO > 0 {
+		loO = runStartE(E, aO-1)
+	}
+	if bO+1 < n {
+		hiO = runEndE(E, bO+1)
+	}
+	E[i] = e
+	aN, bN := runStartE(E, i), runEndE(E, i)
+	loN, hiN := aN, bN
+	if aN > 0 {
+		loN = runStartE(E, aN-1)
+	}
+	if bN+1 < n {
+		hiN = runEndE(E, bN+1)
+	}
+	ra, rb := runStartR(R, i), runEndR(R, i)
+	ws.markRange(min(min(loO, loN), ra)-1, max(max(hiO, hiN), rb)+1)
+}
+
+// applyBlockMove relabels run [a, b] to r and marks its influence
+// range, mirroring applyRegionMove with the whole run as the changed
+// span.
+func (ws *Workspace) applyBlockMove(a, b int, r indoor.RegionID) {
+	R, E := ws.R, ws.E
+	n := len(R)
+	loO, hiO := a, b
+	if a > 0 {
+		loO = runStartR(R, a-1)
+	}
+	if b+1 < n {
+		hiO = runEndR(R, b+1)
+	}
+	for y := a; y <= b; y++ {
+		R[y] = r
+	}
+	aN, bN := runStartR(R, a), runEndR(R, b)
+	loN, hiN := aN, bN
+	if aN > 0 {
+		loN = runStartR(R, aN-1)
+	}
+	if bN+1 < n {
+		hiN = runEndR(R, bN+1)
+	}
+	ea, eb := runStartE(E, a), runEndE(E, b)
+	ws.markRange(min(min(loO, loN), ea)-1, max(max(hiO, hiN), eb)+1)
+}
+
+// Run-extent helpers over the label slices.
+func runStartR(R []indoor.RegionID, i int) int {
+	for i > 0 && R[i-1] == R[i] {
+		i--
+	}
+	return i
+}
+
+func runEndR(R []indoor.RegionID, i int) int {
+	for i+1 < len(R) && R[i+1] == R[i] {
+		i++
+	}
+	return i
+}
+
+func runStartE(E []seq.Event, i int) int {
+	for i > 0 && E[i-1] == E[i] {
+		i--
+	}
+	return i
+}
+
+func runEndE(E []seq.Event, i int) int {
+	for i+1 < len(E) && E[i+1] == E[i] {
+		i++
+	}
+	return i
 }
 
 // blockICM interleaves run-level region moves with node-level sweeps:
@@ -225,6 +410,21 @@ func (ws *Workspace) blockICM(maxSweeps int) {
 			for b+1 < n && R[b+1] == R[a] {
 				b++
 			}
+			// Skip runs whose Markov blanket is untouched since they were
+			// last priced: the same extent re-prices to the same
+			// non-improving deltas, so the full sweep would make no move
+			// here either.
+			dirty := false
+			for x := a; x <= b; x++ {
+				if ws.dirtyB[x] {
+					dirty = true
+				}
+				ws.dirtyB[x] = false
+			}
+			if !dirty {
+				a = b + 1
+				continue
+			}
 			orig := R[a]
 			// Candidate labels: union over the run's records.
 			tried := append(ws.tried[:0], orig)
@@ -243,9 +443,7 @@ func (ws *Workspace) blockICM(maxSweeps int) {
 			}
 			ws.tried = tried
 			if bestLabel != orig {
-				for y := a; y <= b; y++ {
-					R[y] = bestLabel
-				}
+				ws.applyBlockMove(a, b, bestLabel)
 				ws.score += bestDelta
 				improved = true
 			}
@@ -260,7 +458,13 @@ func (ws *Workspace) blockICM(maxSweeps int) {
 }
 
 // anneal runs tempered Gibbs sweeps over R and E in place, keeping the
-// running score in step with every sampled move.
+// running score in step with every sampled move. Every node is visited
+// every sweep — the sampler's RNG stream is part of the deterministic
+// contract, so no convergence skipping applies here — but each visit
+// prices its candidates through the fused fast-score path, which
+// produces bitwise-identical raw potentials and therefore an identical
+// sample stream. The wholesale rewrite invalidates the ICM worklists,
+// so anneal ends by re-arming them.
 func (ws *Workspace) anneal(opts InferOptions) {
 	ctx, w := ws.ctx, ws.m.Weights
 	R, E, buf := ws.R, ws.E, ws.buf
@@ -271,19 +475,20 @@ func (ws *Workspace) anneal(opts InferOptions) {
 		for i := 0; i < n; i++ {
 			cands := ctx.Candidates[i]
 			if len(cands) > 1 {
-				logits := ws.logits[:0]
-				raw := ws.raw[:0]
+				ws.raw = grow(ws.raw, len(cands))
+				ws.logits = grow(ws.logits, len(cands))
+				raw := ws.raw[:len(cands)]
+				logits := ws.logits[:len(cands)]
+				ctx.RegionCandScores(w, R, E, i, raw)
 				rawOld := math.Inf(-1)
 				maxL := math.Inf(-1)
-				for _, r := range cands {
-					ctx.LocalRegionFeatures(R, E, i, r, buf)
-					rv := dot(w, buf)
+				for k, r := range cands {
+					rv := raw[k]
 					if r == R[i] {
 						rawOld = rv
 					}
 					v := rv / temp
-					raw = append(raw, rv)
-					logits = append(logits, v)
+					logits[k] = v
 					if v > maxL {
 						maxL = v
 					}
@@ -298,21 +503,21 @@ func (ws *Workspace) anneal(opts InferOptions) {
 					R[i] = cands[k]
 					ws.score += raw[k] - rawOld
 				}
-				ws.logits, ws.raw = logits, raw
 			}
-			logits := ws.logits[:0]
-			raw := ws.raw[:0]
+			ws.raw = grow(ws.raw, seq.NumEvents)
+			ws.logits = grow(ws.logits, seq.NumEvents)
+			raw := ws.raw[:seq.NumEvents]
+			logits := ws.logits[:seq.NumEvents]
+			ctx.EventCandScores(w, R, E, i, raw)
 			rawOld := 0.0
 			maxL := math.Inf(-1)
 			for e := 0; e < seq.NumEvents; e++ {
-				ctx.LocalEventFeatures(R, E, i, seq.Event(e), buf)
-				rv := dot(w, buf)
+				rv := raw[e]
 				if seq.Event(e) == E[i] {
 					rawOld = rv
 				}
 				v := rv / temp
-				raw = append(raw, rv)
-				logits = append(logits, v)
+				logits[e] = v
 				if v > maxL {
 					maxL = v
 				}
@@ -323,9 +528,9 @@ func (ws *Workspace) anneal(opts InferOptions) {
 				E[i] = seq.Event(k)
 				ws.score += raw[k] - rawOld
 			}
-			ws.logits, ws.raw = logits, raw
 		}
 	}
+	ws.markAllDirty()
 }
 
 // AnnotateWindowed is Model.AnnotateWindowed on reusable buffers: ctx

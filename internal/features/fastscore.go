@@ -1,0 +1,407 @@
+package features
+
+import (
+	"math"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// This file is the fused extract-and-dot scoring path of the inference
+// hot loop. RegionCandScores and EventCandScores compute
+// w·LocalRegionFeatures / w·LocalEventFeatures for every candidate of
+// one node while sharing the candidate-independent work across the
+// whole evaluation:
+//
+//   - fsm is an overlap-arena index instead of a candidate scan,
+//   - fst reads the extractor's precomputed exp(−γst·E[dI]) matrix,
+//   - fec reads the per-edge three-value exp memo filled by Reset,
+//   - the fes window statistics are computed once per node; only the
+//     distinct-region count depends on the candidate, answered by a
+//     membership probe against the candidate-excluded distinct set,
+//   - the fss window decomposition depends only on whether the
+//     candidate merges with its run neighbours, so at most four value
+//     triples exist per node and each is computed lazily once.
+//
+// Exactness is the contract: every component is assembled from the
+// same inputs with the same expressions and accumulated in the same
+// order as the reference path, so the resulting scores — and therefore
+// every inference decision — are bitwise-identical. The property tests
+// in fastscore_test.go and the core reference tests pin this.
+
+// Dot returns w·f accumulated in index order. It mirrors the reference
+// dot product exactly so fused scores match assembling the feature
+// vector first.
+func Dot(w, f []float64) float64 {
+	s := 0.0
+	for i := range w {
+		s += w[i] * f[i]
+	}
+	return s
+}
+
+// scoreScratch returns the Dim-length assembly buffer, zeroed.
+func (c *SeqContext) scoreScratch() []float64 {
+	buf := c.scoreBuf
+	if cap(buf) < Dim {
+		buf = make([]float64, Dim)
+		c.scoreBuf = buf
+	} else {
+		buf = buf[:Dim]
+	}
+	for k := range buf {
+		buf[k] = 0
+	}
+	return buf
+}
+
+// fastST is ST(i, ra, rb) through the precomputed distance kernel.
+func (c *SeqContext) fastST(i int, ra, rb indoor.RegionID) float64 {
+	var v float64
+	switch {
+	case ra == rb:
+		v = 1.0
+	case ra < 0 || rb < 0:
+		return 0
+	default:
+		if st := c.Ex.stExp; st != nil {
+			v = st[int(ra)*c.Ex.nr+int(rb)]
+		} else {
+			d := c.Ex.Space.RegionDist(ra, rb)
+			if math.IsInf(d, 1) {
+				return 0
+			}
+			v = math.Exp(-c.Ex.Params.GammaST * d)
+		}
+		if v == 0 {
+			// Unreachable pair (or underflow, which the reference path
+			// also scores 0 after the decay multiply).
+			return 0
+		}
+	}
+	if len(c.stDecay) > 0 {
+		v *= c.stDecay[i]
+	}
+	return v
+}
+
+// fastSC is SC(i, ra, rb) with the decay multiplier memoized.
+func (c *SeqContext) fastSC(i int, ra, rb indoor.RegionID) float64 {
+	d := c.Ex.Space.RegionDist(ra, rb)
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	v := math.Exp(-math.Abs(d - c.dist[i]))
+	if len(c.scDecay) > 0 {
+		v *= c.scDecay[i]
+	}
+	return v
+}
+
+// RegionCandScores fills scores[k] with w·LocalRegionFeatures(R, E, i,
+// Candidates[i][k]) for every candidate of record i, bitwise-identical
+// to the reference path. scores must have len(Candidates[i]) entries.
+func (c *SeqContext) RegionCandScores(w []float64, R []indoor.RegionID, E []seq.Event, i int, scores []float64) {
+	cands := c.Candidates[i]
+	if len(cands) == 0 {
+		return
+	}
+	n := c.Len()
+	cl := c.Ex.Params.Cliques
+	buf := c.scoreScratch()
+	hasM := cl.Has(Matching)
+	hasT := cl.Has(Transition)
+	hasS := cl.Has(Synchronization)
+
+	// fes window: the same-event run around i. Only the distinct-region
+	// count depends on the candidate; the speed and turn components are
+	// shared verbatim.
+	esOn := cl.Has(SegmentationES)
+	var (
+		esSign, esRunLen, esV1, esV2 float64
+		esSeen                       []indoor.RegionID
+	)
+	if esOn {
+		a, b := runStartEvent(E, i), runEndEvent(E, i)
+		esSign = 2*passInd(E[i]) - 1
+		esRunLen = float64(b - a + 1)
+		esV1 = esSign * c.segSpeedNorm(a, b)
+		esV2 = -esSign * float64(c.segTurns(a, b)) / esRunLen
+		seen := c.seenScratch[:0]
+		for x := a; x <= b; x++ {
+			if x == i {
+				continue
+			}
+			r := R[x]
+			found := false
+			for _, s := range seen {
+				if s == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				seen = append(seen, r)
+			}
+		}
+		c.seenScratch = seen
+		esSeen = seen
+	}
+
+	// fss window [A,B]: spans the region runs of i−1 and i+1 and never
+	// consults R[i], so the sub-run decomposition of a candidate depends
+	// only on whether it merges left/right — at most four distinct value
+	// triples, computed lazily.
+	ssOn := cl.Has(SegmentationSS)
+	var (
+		ssA, ssB int
+		ssSet    [4]bool
+		ssVals   [4][3]float64
+	)
+	if ssOn {
+		ssA, ssB = i, i
+		if i > 0 {
+			ssA = runStartRegion(R, i-1)
+		}
+		if i+1 < n {
+			ssB = runEndRegion(R, i+1)
+		}
+	}
+
+	for k, r := range cands {
+		if hasM {
+			buf[IdxSM] = c.overlap[i][k] * c.prior(r)
+		}
+		if hasT {
+			st := 0.0
+			if i > 0 {
+				st += c.fastST(i-1, R[i-1], r)
+			}
+			if i+1 < n {
+				st += c.fastST(i, r, R[i+1])
+			}
+			buf[IdxST] = st
+		}
+		if hasS {
+			sc := 0.0
+			if i > 0 {
+				sc += c.fastSC(i-1, R[i-1], r)
+			}
+			if i+1 < n {
+				sc += c.fastSC(i, r, R[i+1])
+			}
+			buf[IdxSC] = sc
+		}
+		if esOn {
+			distinct := len(esSeen)
+			if !containsRegion(esSeen, r) {
+				distinct++
+			}
+			buf[IdxES] = esSign * float64(distinct) / esRunLen
+			buf[IdxES+1] = esV1
+			buf[IdxES+2] = esV2
+		}
+		if ssOn {
+			ck := 0
+			if i > ssA && R[i-1] == r {
+				ck |= 1
+			}
+			if i < ssB && R[i+1] == r {
+				ck |= 2
+			}
+			if !ssSet[ck] {
+				ssSet[ck] = true
+				c.ssWindowRegion(R, E, ssA, ssB, i, r, &ssVals[ck])
+			}
+			buf[IdxSS] = ssVals[ck][0]
+			buf[IdxSS+1] = ssVals[ck][1]
+			buf[IdxSS+2] = ssVals[ck][2]
+		}
+		scores[k] = Dot(w, buf)
+	}
+}
+
+// ssWindowRegion accumulates the fss triple over window [A,B] with r
+// substituted at i, iterating sub-runs left to right exactly like the
+// reference decomposition.
+func (c *SeqContext) ssWindowRegion(R []indoor.RegionID, E []seq.Event, A, B, i int, r indoor.RegionID, out *[3]float64) {
+	out[0], out[1], out[2] = 0, 0, 0
+	for x := A; x <= B; {
+		lx := R[x]
+		if x == i {
+			lx = r
+		}
+		y := x
+		for y+1 <= B {
+			ly := R[y+1]
+			if y+1 == i {
+				ly = r
+			}
+			if ly != lx {
+				break
+			}
+			y++
+		}
+		runs, changes := 1, 0
+		for z := x; z < y; z++ {
+			if E[z] != E[z+1] {
+				changes++
+				runs++
+			}
+		}
+		runLen := float64(y - x + 1)
+		out[0] += -float64(runs) / runLen
+		out[1] += -float64(changes) / runLen
+		out[2] += (passInd(E[x]) + passInd(E[y])) / 2
+		x = y + 1
+	}
+}
+
+// esDirect is ES(a, b, e, reg=R, out) without closure indirection.
+func (c *SeqContext) esDirect(a, b int, e seq.Event, R []indoor.RegionID, out *[3]float64) {
+	sign := 2*passInd(e) - 1
+	seen := c.seenScratch[:0]
+	for x := a; x <= b; x++ {
+		r := R[x]
+		found := false
+		for _, s := range seen {
+			if s == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			seen = append(seen, r)
+		}
+	}
+	c.seenScratch = seen
+	runLen := float64(b - a + 1)
+	out[0] = sign * float64(len(seen)) / runLen
+	out[1] = sign * c.segSpeedNorm(a, b)
+	out[2] = -sign * float64(c.segTurns(a, b)) / runLen
+}
+
+// passCountIdx maps an event pair to its fec memo slot:
+// passInd(ea)+passInd(eb) ∈ {0, 1, 2}.
+func passCountIdx(ea, eb seq.Event) int {
+	n := 0
+	if ea == seq.Pass {
+		n++
+	}
+	if eb == seq.Pass {
+		n++
+	}
+	return n
+}
+
+// EventCandScores fills scores[e] with w·LocalEventFeatures(R, E, i, e)
+// for e = 0..NumEvents−1, bitwise-identical to the reference path.
+// scores must have seq.NumEvents entries.
+func (c *SeqContext) EventCandScores(w []float64, R []indoor.RegionID, E []seq.Event, i int, scores []float64) {
+	n := c.Len()
+	cl := c.Ex.Params.Cliques
+	buf := c.scoreScratch()
+	hasM := cl.Has(Matching)
+	hasT := cl.Has(Transition)
+	hasS := cl.Has(Synchronization)
+	esOn := cl.Has(SegmentationES)
+	ssOn := cl.Has(SegmentationSS)
+
+	var esA, esB int
+	if esOn {
+		esA, esB = i, i
+		if i > 0 {
+			esA = runStartEvent(E, i-1)
+		}
+		if i+1 < n {
+			esB = runEndEvent(E, i+1)
+		}
+	}
+	var ssa, ssb int
+	if ssOn {
+		ssa, ssb = runStartRegion(R, i), runEndRegion(R, i)
+	}
+
+	for ei := 0; ei < seq.NumEvents; ei++ {
+		e := seq.Event(ei)
+		if hasM {
+			buf[IdxEM] = c.EM(i, e)
+		}
+		if hasT {
+			et := 0.0
+			if i > 0 {
+				et += c.ET(E[i-1], e)
+			}
+			if i+1 < n {
+				et += c.ET(e, E[i+1])
+			}
+			buf[IdxET] = et
+		}
+		if hasS {
+			ec := 0.0
+			if i > 0 {
+				ec += c.ecExp[3*(i-1)+passCountIdx(E[i-1], e)]
+			}
+			if i+1 < n {
+				ec += c.ecExp[3*i+passCountIdx(e, E[i+1])]
+			}
+			buf[IdxEC] = ec
+		}
+		if esOn {
+			var s0, s1, s2 float64
+			var v [3]float64
+			for x := esA; x <= esB; {
+				ex0 := E[x]
+				if x == i {
+					ex0 = e
+				}
+				y := x
+				for y+1 <= esB {
+					ey := E[y+1]
+					if y+1 == i {
+						ey = e
+					}
+					if ey != ex0 {
+						break
+					}
+					y++
+				}
+				c.esDirect(x, y, ex0, R, &v)
+				s0 += v[0]
+				s1 += v[1]
+				s2 += v[2]
+				x = y + 1
+			}
+			buf[IdxES], buf[IdxES+1], buf[IdxES+2] = s0, s1, s2
+		}
+		if ssOn {
+			runs, changes := 1, 0
+			for x := ssa; x < ssb; x++ {
+				ea := E[x]
+				if x == i {
+					ea = e
+				}
+				eb := E[x+1]
+				if x+1 == i {
+					eb = e
+				}
+				if ea != eb {
+					changes++
+					runs++
+				}
+			}
+			runLen := float64(ssb - ssa + 1)
+			evA, evB := E[ssa], E[ssb]
+			if ssa == i {
+				evA = e
+			}
+			if ssb == i {
+				evB = e
+			}
+			buf[IdxSS] = -float64(runs) / runLen
+			buf[IdxSS+1] = -float64(changes) / runLen
+			buf[IdxSS+2] = (passInd(evA) + passInd(evB)) / 2
+		}
+		scores[ei] = Dot(w, buf)
+	}
+}

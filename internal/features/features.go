@@ -141,15 +141,51 @@ func (p Params) Validate() error {
 type Extractor struct {
 	Space  *indoor.Space
 	Params Params
+
+	// cache is the venue geometry memoization for radius Params.V:
+	// grid-quantized candidate lookup plus precomputed centroids and
+	// adjacency. Built once per (Space, V) by NewExtractor; nil on
+	// hand-assembled Extractors, which fall back to the R-tree path.
+	cache *indoor.SpaceCache
+	// stExp[ra*nr+rb] is the precomputed fst kernel
+	// exp(−γst·E[dI(ra,rb)]): 1 on the diagonal (identical labels score
+	// 1 by definition), 0 for unreachable pairs. With it the space
+	// transition feature is a single array lookup per edge.
+	stExp []float64
+	nr    int
 }
 
-// NewExtractor builds an Extractor after validating params.
+// NewExtractor builds an Extractor after validating params, together
+// with the venue-level memoizations the inference hot path leans on:
+// the geometry cache for Params.V and the fst distance-kernel matrix.
 func NewExtractor(space *indoor.Space, params Params) (*Extractor, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Extractor{Space: space, Params: params}, nil
+	ex := &Extractor{Space: space, Params: params}
+	ex.cache = space.GeometryCache(params.V)
+	nr := space.NumRegions()
+	ex.nr = nr
+	ex.stExp = make([]float64, nr*nr)
+	for a := 0; a < nr; a++ {
+		for b := 0; b < nr; b++ {
+			if a == b {
+				ex.stExp[a*nr+b] = 1
+				continue
+			}
+			d := space.RegionDist(indoor.RegionID(a), indoor.RegionID(b))
+			if math.IsInf(d, 1) {
+				continue // unreachable pairs keep the zero value
+			}
+			ex.stExp[a*nr+b] = math.Exp(-params.GammaST * d)
+		}
+	}
+	return ex, nil
 }
+
+// Cache returns the extractor's venue geometry cache (nil on
+// hand-assembled extractors that skipped NewExtractor).
+func (ex *Extractor) Cache() *indoor.SpaceCache { return ex.cache }
 
 // SeqContext caches the label-independent computations for one
 // p-sequence: density tags, candidate regions, fsm overlaps, distance
@@ -196,6 +232,18 @@ type SeqContext struct {
 	seenScratch []indoor.RegionID
 	// idsScratch backs the R-tree lookups of the candidate search.
 	idsScratch []int
+
+	// Per-edge memos for the fused scoring path (fastscore.go).
+	// ecExp[3i+s] = exp(−|speedNorm[i] − s/2|), the three possible fec
+	// values of edge i (s = passInd(ea)+passInd(eb) ∈ {0,1,2}).
+	ecExp []float64
+	// stDecay/scDecay are the optional per-edge time-decay multipliers
+	// exp(−γ'·Δt) of fst/fsc; empty when the decay is disabled.
+	stDecay []float64
+	scDecay []float64
+	// scoreBuf is the Dim-vector the fused path assembles feature
+	// values into before the dot product.
+	scoreBuf []float64
 }
 
 // NewSeqContext precomputes the context of one p-sequence. When
@@ -238,11 +286,21 @@ func (c *SeqContext) Reset(p *seq.PSequence, truth []indoor.RegionID) {
 
 	// Candidate regions into the arena. The views are sliced out only
 	// after the arena stops growing: an append inside the loop may move
-	// the backing array.
+	// the backing array. The venue geometry cache answers the lookup
+	// with one grid-cell probe when it matches the configured radius;
+	// the R-tree path is the fallback and returns identical slices.
+	cache := ex.cache
+	if cache != nil && cache.V != ex.Params.V {
+		cache = nil
+	}
 	c.candArena = c.candArena[:0]
 	for i, rec := range p.Records {
 		c.candOff[i] = len(c.candArena)
-		c.candArena, c.idsScratch = ex.Space.CandidateRegionsScratch(rec.Loc, ex.Params.V, c.candArena, c.idsScratch)
+		if cache != nil {
+			c.candArena = cache.CandidateRegions(rec.Loc, c.candArena)
+		} else {
+			c.candArena, c.idsScratch = ex.Space.CandidateRegionsScratch(rec.Loc, ex.Params.V, c.candArena, c.idsScratch)
+		}
 		if truth != nil && truth[i] != indoor.NoRegion && !containsRegion(c.candArena[c.candOff[i]:], truth[i]) {
 			c.candArena = insertRegion(c.candArena, c.candOff[i], truth[i])
 		}
@@ -271,6 +329,33 @@ func (c *SeqContext) Reset(p *seq.PSequence, truth []indoor.RegionID) {
 			speed = c.dist[i] / c.dt[i]
 		}
 		c.speedNorm[i] = math.Min(1, ex.Params.GammaEC*speed)
+	}
+
+	// Per-edge memos for the fused scoring path: the three possible fec
+	// values per edge and the optional fst/fsc time-decay multipliers.
+	// Each stores exactly the value the reference feature function
+	// computes, so fused scores stay bitwise-identical.
+	c.ecExp = growSlice(c.ecExp, 3*max(0, n-1))
+	for i := 0; i+1 < n; i++ {
+		c.ecExp[3*i] = math.Exp(-math.Abs(c.speedNorm[i] - 0))
+		c.ecExp[3*i+1] = math.Exp(-math.Abs(c.speedNorm[i] - 0.5))
+		c.ecExp[3*i+2] = math.Exp(-math.Abs(c.speedNorm[i] - 1))
+	}
+	if g := ex.Params.TimeDecayST; g > 0 {
+		c.stDecay = growSlice(c.stDecay, max(0, n-1))
+		for i := 0; i+1 < n; i++ {
+			c.stDecay[i] = math.Exp(-g * c.dt[i])
+		}
+	} else {
+		c.stDecay = c.stDecay[:0]
+	}
+	if g := ex.Params.TimeDecaySC; g > 0 {
+		c.scDecay = growSlice(c.scDecay, max(0, n-1))
+		for i := 0; i+1 < n; i++ {
+			c.scDecay[i] = math.Exp(-g * c.dt[i])
+		}
+	} else {
+		c.scDecay = c.scDecay[:0]
 	}
 	if n > 0 {
 		c.distCum[0] = 0

@@ -1,0 +1,259 @@
+package indoor
+
+import (
+	"math"
+
+	"c2mn/internal/geom"
+)
+
+// maxGridCellsPerAxis bounds the candidate-lookup grid resolution so a
+// pathological venue (huge bounds, tiny uncertainty radius) cannot blow
+// up cache memory; beyond the cap, cells simply hold longer partition
+// lists.
+const maxGridCellsPerAxis = 256
+
+// SpaceCache is the per-venue geometry memoization built once per
+// (Space, uncertainty radius): a grid-quantized candidate-partition
+// index over the venue bounding box plus precomputed region centroids
+// and door-based region adjacency. It turns the per-record R-tree
+// descent of CandidateRegions into a single cell lookup followed by the
+// same exact circle–polygon tests, so cached lookups return slices
+// identical to Space.CandidateRegions.
+//
+// Memory cost is O(cells + Σ per-cell partition lists + regions²-free):
+// one int32 per (cell, nearby partition) pair, bounded by
+// maxGridCellsPerAxis² per floor. Accuracy is unaffected — the grid is
+// a superset prefilter and every exact test still runs.
+//
+// A SpaceCache is immutable after construction and safe for concurrent
+// use.
+type SpaceCache struct {
+	space *Space
+	// V is the uncertainty-disk radius the grid was built for; lookups
+	// with a different radius must fall back to the R-tree path.
+	V float64
+
+	grids map[int]*floorGrid // per floor
+
+	centroids []Location   // per region, == Space.RegionCentroid
+	adjacency [][]RegionID // regions sharing a door, sorted ascending
+}
+
+// floorGrid is the uniform cell index of one floor: cells[cy*nx+cx]
+// lists the partitions whose bounding box, expanded by the uncertainty
+// radius, intersects the cell — i.e. every partition whose polygon an
+// uncertainty disk centred anywhere in the cell could touch.
+type floorGrid struct {
+	minX, minY float64
+	cell       float64 // cell edge length, meters
+	nx, ny     int
+	cells      [][]int32 // partition indices per cell
+}
+
+// GeometryCache returns the memoized SpaceCache for radius v, building
+// it on first use. Caches are keyed by radius: the annotation path
+// always queries with its configured Params.V, so one entry per loaded
+// model is typical.
+func (s *Space) GeometryCache(v float64) *SpaceCache {
+	if v <= 0 {
+		return nil
+	}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if c, ok := s.caches[v]; ok {
+		return c
+	}
+	c := s.buildGeometryCache(v)
+	if s.caches == nil {
+		s.caches = map[float64]*SpaceCache{}
+	}
+	s.caches[v] = c
+	return c
+}
+
+func (s *Space) buildGeometryCache(v float64) *SpaceCache {
+	c := &SpaceCache{space: s, V: v, grids: make(map[int]*floorGrid, len(s.floors))}
+	for _, f := range s.floors {
+		c.grids[f] = s.buildFloorGrid(f, v)
+	}
+	c.centroids = make([]Location, len(s.regions))
+	for r := range s.regions {
+		c.centroids[r] = s.RegionCentroid(RegionID(r))
+	}
+	c.adjacency = s.regionAdjacency()
+	return c
+}
+
+func (s *Space) buildFloorGrid(floor int, v float64) *floorGrid {
+	var bounds geom.Rect
+	first := true
+	for i := range s.partitions {
+		if s.partitions[i].Floor != floor {
+			continue
+		}
+		b := s.partitions[i].Poly.Bounds()
+		if first {
+			bounds, first = b, false
+		} else {
+			bounds = bounds.Union(b)
+		}
+	}
+	if first {
+		return &floorGrid{nx: 0, ny: 0}
+	}
+	// Any disk centre within v of a partition can yield candidates, so
+	// the grid covers the bounds expanded by the radius.
+	bounds = bounds.Expand(v)
+	w := bounds.Max.X - bounds.Min.X
+	h := bounds.Max.Y - bounds.Min.Y
+	// One disk diameter per cell keeps per-cell lists short without
+	// exploding the cell count.
+	cell := 2 * v
+	if n := w / cell; n > maxGridCellsPerAxis {
+		cell = w / maxGridCellsPerAxis
+	}
+	if n := h / cell; n > maxGridCellsPerAxis {
+		cell = h / maxGridCellsPerAxis
+	}
+	g := &floorGrid{
+		minX: bounds.Min.X,
+		minY: bounds.Min.Y,
+		cell: cell,
+		nx:   int(math.Ceil(w/cell)) + 1,
+		ny:   int(math.Ceil(h/cell)) + 1,
+	}
+	g.cells = make([][]int32, g.nx*g.ny)
+	for i := range s.partitions {
+		if s.partitions[i].Floor != floor {
+			continue
+		}
+		// A disk centred in cell (cx, cy) reaches the partition only if
+		// the partition bbox expanded by v touches the cell rectangle.
+		b := s.partitions[i].Poly.Bounds().Expand(v)
+		cx0 := g.clampX(int(math.Floor((b.Min.X - g.minX) / g.cell)))
+		cx1 := g.clampX(int(math.Floor((b.Max.X - g.minX) / g.cell)))
+		cy0 := g.clampY(int(math.Floor((b.Min.Y - g.minY) / g.cell)))
+		cy1 := g.clampY(int(math.Floor((b.Max.Y - g.minY) / g.cell)))
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				idx := cy*g.nx + cx
+				g.cells[idx] = append(g.cells[idx], int32(i))
+			}
+		}
+	}
+	return g
+}
+
+func (g *floorGrid) clampX(cx int) int {
+	if cx < 0 {
+		return 0
+	}
+	if cx >= g.nx {
+		return g.nx - 1
+	}
+	return cx
+}
+
+func (g *floorGrid) clampY(cy int) int {
+	if cy < 0 {
+		return 0
+	}
+	if cy >= g.ny {
+		return g.ny - 1
+	}
+	return cy
+}
+
+// lookup returns the partitions reachable by an uncertainty disk
+// centred at p, or nil when p lies outside the gridded area (no
+// partition is reachable then, by construction of the expanded bounds).
+func (g *floorGrid) lookup(p geom.Point) []int32 {
+	if g.nx == 0 || g.ny == 0 {
+		return nil
+	}
+	cx := int(math.Floor((p.X - g.minX) / g.cell))
+	cy := int(math.Floor((p.Y - g.minY) / g.cell))
+	if cx < 0 || cx >= g.nx || cy < 0 || cy >= g.ny {
+		return nil
+	}
+	return g.cells[cy*g.nx+cx]
+}
+
+// CandidateRegions appends the candidate regions of the uncertainty
+// disk UR(l, cache.V) to dst, exactly as Space.CandidateRegions would:
+// the grid replaces the R-tree descent as a superset prefilter, the
+// exact circle–polygon intersection test decides membership, the result
+// is deduplicated and sorted ascending, and the nearest-region fallback
+// fires when nothing overlaps.
+func (c *SpaceCache) CandidateRegions(l Location, dst []RegionID) []RegionID {
+	s := c.space
+	g, ok := c.grids[l.Floor]
+	if !ok {
+		return dst
+	}
+	start := len(dst)
+	circle := geom.Circle{C: l.Point(), R: c.V}
+	for _, id := range g.lookup(circle.C) {
+		part := &s.partitions[id]
+		if part.Region == NoRegion || regionsContain(dst[start:], part.Region) {
+			continue
+		}
+		if circle.IntersectsPolygon(part.Poly) {
+			dst = append(dst, part.Region)
+		}
+	}
+	if len(dst) == start {
+		if r := s.NearestRegion(l); r != NoRegion {
+			dst = append(dst, r)
+		}
+		return dst
+	}
+	sub := dst[start:]
+	for i := 1; i < len(sub); i++ {
+		for j := i; j > 0 && sub[j] < sub[j-1]; j-- {
+			sub[j], sub[j-1] = sub[j-1], sub[j]
+		}
+	}
+	return dst
+}
+
+// RegionCentroid returns the precomputed area-weighted centroid of r,
+// identical to Space.RegionCentroid without the per-call partition
+// scan.
+func (c *SpaceCache) RegionCentroid(r RegionID) Location {
+	return c.centroids[r]
+}
+
+// RegionAdjacency returns, for each region, the sorted list of regions
+// reachable through a single door. The slices are shared and must not
+// be mutated.
+func (c *SpaceCache) RegionAdjacency() [][]RegionID { return c.adjacency }
+
+// regionAdjacency derives door-based region adjacency: two distinct
+// regions are adjacent when some door connects a partition of one to a
+// partition of the other.
+func (s *Space) regionAdjacency() [][]RegionID {
+	adj := make([][]RegionID, len(s.regions))
+	for i := range s.doors {
+		ra := s.partitions[s.doors[i].A].Region
+		rb := s.partitions[s.doors[i].B].Region
+		if ra == NoRegion || rb == NoRegion || ra == rb {
+			continue
+		}
+		if !regionsContain(adj[ra], rb) {
+			adj[ra] = append(adj[ra], rb)
+		}
+		if !regionsContain(adj[rb], ra) {
+			adj[rb] = append(adj[rb], ra)
+		}
+	}
+	for r := range adj {
+		sub := adj[r]
+		for i := 1; i < len(sub); i++ {
+			for j := i; j > 0 && sub[j] < sub[j-1]; j-- {
+				sub[j], sub[j-1] = sub[j-1], sub[j]
+			}
+		}
+	}
+	return adj
+}

@@ -1,0 +1,154 @@
+package indoor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"c2mn/internal/geom"
+)
+
+// randomGridSpace builds a randomized venue: a gx×gy grid of rooms per
+// floor, rooms randomly grouped into regions (some left semantics-free),
+// adjacent rooms randomly connected by doors plus one staircase per
+// extra floor.
+func randomGridSpace(t *testing.T, rng *rand.Rand, floors, gx, gy int, roomW float64) *Space {
+	t.Helper()
+	b := NewBuilder()
+	part := make([][]PartitionID, floors)
+	for f := 0; f < floors; f++ {
+		part[f] = make([]PartitionID, gx*gy)
+		for y := 0; y < gy; y++ {
+			for x := 0; x < gx; x++ {
+				x0, y0 := float64(x)*roomW, float64(y)*roomW
+				part[f][y*gx+x] = b.AddPartition(f, geom.RectPoly(
+					geom.Pt(x0, y0), geom.Pt(x0+roomW, y0+roomW)))
+			}
+		}
+		// Doors between horizontally and vertically adjacent rooms.
+		for y := 0; y < gy; y++ {
+			for x := 0; x < gx; x++ {
+				if x+1 < gx && rng.Float64() < 0.8 {
+					b.AddDoor(geom.Pt(float64(x+1)*roomW, (float64(y)+0.5)*roomW),
+						part[f][y*gx+x], part[f][y*gx+x+1])
+				}
+				if y+1 < gy && rng.Float64() < 0.8 {
+					b.AddDoor(geom.Pt((float64(x)+0.5)*roomW, float64(y+1)*roomW),
+						part[f][y*gx+x], part[f][(y+1)*gx+x])
+				}
+			}
+		}
+		if f > 0 {
+			b.AddDoor(geom.Pt(0.5*roomW, 0.5*roomW), part[f-1][0], part[f][0])
+		}
+	}
+	// Random regions: contiguous room pairs or singles; ~20% of rooms
+	// stay region-free (hallways).
+	for f := 0; f < floors; f++ {
+		for i := 0; i < gx*gy; i++ {
+			if rng.Float64() < 0.2 {
+				continue
+			}
+			b.AddRegion(fmt.Sprintf("r%d_%d", f, i), part[f][i])
+		}
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestGeometryCacheCandidatesExact pins the tentpole exactness claim at
+// the indoor layer: for random venues, radii and query points — inside
+// rooms, on walls, outside the building, on unknown floors — the
+// grid-cached candidate lookup returns a slice identical to the R-tree
+// path.
+func TestGeometryCacheCandidatesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		floors := 1 + trial%3
+		s := randomGridSpace(t, rng, floors, 3+rng.Intn(4), 3+rng.Intn(3), 4+6*rng.Float64())
+		v := 1 + 14*rng.Float64()
+		cache := s.GeometryCache(v)
+		if cache == nil || cache.V != v {
+			t.Fatalf("trial %d: no cache for v=%g", trial, v)
+		}
+		bounds := s.Bounds().Expand(2 * v)
+		for q := 0; q < 300; q++ {
+			l := Location{
+				X:     bounds.Min.X + rng.Float64()*(bounds.Max.X-bounds.Min.X),
+				Y:     bounds.Min.Y + rng.Float64()*(bounds.Max.Y-bounds.Min.Y),
+				Floor: rng.Intn(floors + 1), // sometimes an unknown floor
+			}
+			want := s.CandidateRegions(l, v, nil)
+			got := cache.CandidateRegions(l, nil)
+			if len(want) != len(got) {
+				t.Fatalf("trial %d query %d at %v: cache %v, tree %v", trial, q, l, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("trial %d query %d at %v: cache %v, tree %v", trial, q, l, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGeometryCacheMemoized checks the per-radius memoization and the
+// precomputed centroid table.
+func TestGeometryCacheMemoized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomGridSpace(t, rng, 2, 4, 3, 6)
+	c1 := s.GeometryCache(5)
+	c2 := s.GeometryCache(5)
+	if c1 != c2 {
+		t.Fatal("same radius should return the memoized cache")
+	}
+	if c3 := s.GeometryCache(7); c3 == c1 {
+		t.Fatal("different radius must build a different cache")
+	}
+	if s.GeometryCache(0) != nil || s.GeometryCache(-1) != nil {
+		t.Fatal("non-positive radius must not build a cache")
+	}
+	for r := 0; r < s.NumRegions(); r++ {
+		want := s.RegionCentroid(RegionID(r))
+		if got := c1.RegionCentroid(RegionID(r)); got != want {
+			t.Fatalf("region %d centroid: cache %v, space %v", r, got, want)
+		}
+	}
+}
+
+// TestRegionAdjacency checks the door-derived adjacency on a venue
+// where the expected neighbours are known by construction.
+func TestRegionAdjacency(t *testing.T) {
+	b := NewBuilder()
+	p0 := b.AddPartition(0, geom.RectPoly(geom.Pt(0, 0), geom.Pt(5, 5)))
+	p1 := b.AddPartition(0, geom.RectPoly(geom.Pt(5, 0), geom.Pt(10, 5)))
+	p2 := b.AddPartition(0, geom.RectPoly(geom.Pt(10, 0), geom.Pt(15, 5)))
+	b.AddDoor(geom.Pt(5, 2.5), p0, p1)
+	b.AddDoor(geom.Pt(10, 2.5), p1, p2)
+	r0 := b.AddRegion("a", p0)
+	r1 := b.AddRegion("b", p1)
+	r2 := b.AddRegion("c", p2)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := s.GeometryCache(3).RegionAdjacency()
+	check := func(r RegionID, want ...RegionID) {
+		t.Helper()
+		got := adj[r]
+		if len(got) != len(want) {
+			t.Fatalf("region %d adjacency %v, want %v", r, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("region %d adjacency %v, want %v", r, got, want)
+			}
+		}
+	}
+	check(r0, r1)
+	check(r1, r0, r2)
+	check(r2, r1)
+}

@@ -13,6 +13,7 @@ package indoor
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"c2mn/internal/geom"
 	"c2mn/internal/rtree"
@@ -118,6 +119,11 @@ type Space struct {
 	doorAdj    [][]doorEdge        // accessibility graph between doors
 	d2d        [][]float32         // door-to-door walking distance
 	regionDist [][]float64         // expected region-to-region MIWD
+
+	// Lazily built geometry caches, keyed by uncertainty radius. Pure
+	// memoization of derived geometry; the space itself stays immutable.
+	cacheMu sync.Mutex
+	caches  map[float64]*SpaceCache
 }
 
 type doorEdge struct {

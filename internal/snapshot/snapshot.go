@@ -89,6 +89,11 @@ type EngineSection struct {
 	Retention        float64 `json:"retention"`
 	FedRecords       int64   `json:"fed_records"`
 	EmittedSequences int64   `json:"emitted_sequences"`
+	// FeedBatches counts the streaming path's pooled-state
+	// acquisitions (coalesced micro-batches). omitempty keeps a
+	// zero-batch snapshot byte-identical to the pre-batching format,
+	// and pre-batching snapshots restore the counter as 0.
+	FeedBatches int64 `json:"feed_batches,omitempty"`
 }
 
 // StreamSection is one open stream: its key, the next fragment number
