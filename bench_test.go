@@ -538,6 +538,96 @@ func BenchmarkTopKPopularRegions(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryCached measures the engine's generation-keyed result
+// cache on its hot path: the same top-k query re-asked while the store
+// generation holds still. A warm-up query populates the per-venue LRU,
+// so every timed iteration must come back from the cache without
+// touching the index — the cacheless cost of the identical workload is
+// BenchmarkTopKPopularRegions at the same store size. `hit-ratio`
+// reports hits/(hits+misses) over the timed loop; CI gates it, so
+// losing the cache (ratio → 0, ns/op → the uncached cost) fails the
+// build.
+func BenchmarkQueryCached(b *testing.B) {
+	const (
+		regions     = 32
+		staysPerSeq = 3
+		windowSecs  = 900
+	)
+	space, data := benchAnnotationWorld(b)
+	ann, err := Train(space, data[:len(data)/2], TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queryRegions := make([]RegionID, regions)
+	for i := range queryRegions {
+		queryRegions[i] = RegionID(i)
+	}
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("stored=%d", n), func(b *testing.B) {
+			vr, err := NewVenueRegistry()
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := vr.Register("bench", ann)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			t := 0.0
+			for i := 0; i < n; i++ {
+				ms := MSSequence{ObjectID: fmt.Sprintf("o%d", i)}
+				for j := 0; j < staysPerSeq; j++ {
+					d := 30 + rng.Float64()*120
+					ms.Semantics = append(ms.Semantics, MSemantics{
+						Region: RegionID(rng.Intn(regions)),
+						Start:  t,
+						End:    t + d,
+						Event:  Stay,
+					})
+					t += d * 0.4
+				}
+				e.store.Add(ms)
+			}
+			q := Query{
+				Kind:    QueryPopularRegions,
+				Scope:   ScopeVenue,
+				Venues:  []string{"bench"},
+				Regions: queryRegions,
+				Window:  &Window{Start: t - windowSecs, End: t},
+				K:       5,
+			}
+			ctx := context.Background()
+			if _, err := vr.Query(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+			before := e.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := vr.Query(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Regions) == 0 {
+					b.Fatal("empty cached top-k over a populated window")
+				}
+			}
+			b.StopTimer()
+			st := e.Stats()
+			hits := st.QueryCacheHits - before.QueryCacheHits
+			misses := st.QueryCacheMisses - before.QueryCacheMisses
+			ratio := 0.0
+			if hits+misses > 0 {
+				ratio = float64(hits) / float64(hits+misses)
+			}
+			b.ReportMetric(ratio, "hit-ratio")
+			b.ReportMetric(float64(n), "stored-seqs")
+		})
+	}
+}
+
 // BenchmarkSnapshotRestore measures the warm-restart hot path — the
 // boot-time cost of bringing one venue's query index back from a
 // serialized snapshot: read + checksum the c2mn-snapshot bytes, decode

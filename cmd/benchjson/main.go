@@ -36,6 +36,12 @@
 // markdown table (baseline vs current, with deltas) for every
 // benchmark present in both runs — CI appends it to the job summary so
 // the PR shows the perf trajectory without downloading artifacts.
+//
+// With -trajectory FILE, benchjson appends this run to a JSON
+// run-history file: an array of {unix, commit, results} entries, one
+// per invocation, the commit stamped from $GITHUB_SHA when set. The
+// file accretes across CI runs (restored from cache or committed), so
+// perf over time is queryable without trawling artifacts.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // result is one parsed benchmark line.
@@ -99,6 +106,7 @@ func main() {
 	gate := flag.String("gate", "", "regexp of benchmark names gated against the baseline (requires -baseline)")
 	maxRatio := flag.Float64("max-ratio", 2, "maximum allowed regression ratio for gated benchmarks and metrics")
 	mdPath := flag.String("md", "", "write a markdown before/after table (baseline vs current) to this file (requires -baseline)")
+	trajectory := flag.String("trajectory", "", "append this run to a JSON run-history file")
 	var metricGates metricGateList
 	flag.Var(&metricGates, "metric-gate", "gate a custom metric: 'regexp=unit=higher|lower' (repeatable, requires -baseline)")
 	flag.Parse()
@@ -127,6 +135,12 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *trajectory != "" {
+		if err := appendTrajectory(*trajectory, out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *baseline == "" {
@@ -161,6 +175,36 @@ func main() {
 	if len(problems) > 0 {
 		os.Exit(1)
 	}
+}
+
+// trajectoryEntry is one recorded run in a -trajectory history file.
+type trajectoryEntry struct {
+	Unix    int64    `json:"unix"`
+	Commit  string   `json:"commit,omitempty"`
+	Results []result `json:"results"`
+}
+
+// appendTrajectory loads the run-history file (absent means empty),
+// appends this run, and rewrites it.
+func appendTrajectory(path string, out []result) error {
+	var history []trajectoryEntry
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &history); err != nil {
+			return fmt.Errorf("decoding trajectory %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("reading trajectory: %w", err)
+	}
+	history = append(history, trajectoryEntry{
+		Unix:    time.Now().Unix(),
+		Commit:  os.Getenv("GITHUB_SHA"),
+		Results: out,
+	})
+	buf, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // baseName strips the trailing GOMAXPROCS suffix ("-8") from a

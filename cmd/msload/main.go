@@ -1,0 +1,376 @@
+// Command msload replays simulated indoor mobility as live traffic
+// against a running msserve or msrouter and reports what the serving
+// tier actually delivered: p50/p99 latency and throughput per request
+// class, client-side 304 and 429 counts, and the server's query-cache
+// hit ratio measured as a /v1/stats delta across the run.
+//
+// The harness speaks the same wire protocol msgen-produced datasets
+// flow through: feed requests POST whole-object record batches to
+// /v1/venues/{venue}/feed, query requests GET the top-k sugars with a
+// bounded pool of distinct windows (so a steady-state mix re-asks
+// questions, like real dashboards do) and carry If-None-Match when a
+// previous response minted an ETag.
+//
+// Usage:
+//
+//	msload -base http://127.0.0.1:8080 -space mall.json -venues north,south \
+//	       -requests 2000 -query-ratio 0.8 -concurrency 8 -seed 1 -md load.md
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"c2mn"
+	"c2mn/internal/sim"
+)
+
+type wireRecord struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Floor int     `json:"floor"`
+	T     float64 `json:"t"`
+}
+
+type sequenceRequest struct {
+	ObjectID string       `json:"object_id"`
+	Records  []wireRecord `json:"records"`
+}
+
+// job is one pre-planned request. Feeds carry a complete object's
+// records in one POST, so workers never race on stream ordering.
+type job struct {
+	query bool
+	url   string // query target, or feed endpoint
+	body  []byte // feed payload, nil for queries
+}
+
+// classStats accumulates one request class's outcomes.
+type classStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	notMod    int // 304s (queries)
+	throttled int // 429s (feeds)
+	errors    int
+}
+
+func (c *classStats) record(d time.Duration, status int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latencies = append(c.latencies, d)
+	switch {
+	case status == http.StatusNotModified:
+		c.notMod++
+	case status == http.StatusTooManyRequests:
+		c.throttled++
+	case status < 200 || status > 299:
+		c.errors++
+	}
+}
+
+func (c *classStats) percentile(p float64) time.Duration {
+	if len(c.latencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(c.latencies))
+	copy(sorted, c.latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// cacheTotals is the slice of /v1/stats totals the harness diffs; the
+// shape matches both msserve and msrouter (EngineStats marshals its Go
+// field names).
+type cacheTotals struct {
+	QueryCacheHits          int64
+	QueryCacheMisses        int64
+	QueryCacheRevalidations int64
+}
+
+func fetchTotals(client *http.Client, base string) (cacheTotals, error) {
+	var resp struct {
+		Totals cacheTotals `json:"totals"`
+	}
+	r, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return cacheTotals{}, err
+	}
+	defer r.Body.Close()
+	buf, err := io.ReadAll(r.Body)
+	if err != nil {
+		return cacheTotals{}, err
+	}
+	if r.StatusCode != http.StatusOK {
+		return cacheTotals{}, fmt.Errorf("GET /v1/stats: %s: %s", r.Status, buf)
+	}
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		return cacheTotals{}, err
+	}
+	return resp.Totals, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msload: ")
+
+	base := flag.String("base", "", "base URL of the msserve or msrouter under load (required)")
+	spacePath := flag.String("space", "", "venue space JSON the mobility is generated over (required)")
+	venuesFlag := flag.String("venues", "", "comma-separated venue IDs to target (required)")
+	requests := flag.Int("requests", 1000, "total requests to issue")
+	queryRatio := flag.Float64("query-ratio", 0.8, "fraction of requests that are queries (the rest feed)")
+	concurrency := flag.Int("concurrency", 8, "concurrent workers")
+	objects := flag.Int("objects", 20, "simulated objects feeding the venues")
+	duration := flag.Float64("duration", 1800, "simulated object lifespan in seconds")
+	seed := flag.Int64("seed", 1, "random seed for mobility and the request mix")
+	windows := flag.Int("windows", 8, "distinct query windows in the rotation")
+	k := flag.Int("k", 10, "top-k size the queries ask for")
+	mdPath := flag.String("md", "", "write a markdown summary to this path")
+	minHitRatio := flag.Float64("min-hit-ratio", 0, "fail when the server-side hit ratio lands below this")
+	flag.Parse()
+
+	if *base == "" || *spacePath == "" || *venuesFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	venues := strings.Split(*venuesFlag, ",")
+	for i := range venues {
+		venues[i] = strings.TrimSpace(venues[i])
+	}
+	if *queryRatio < 0 || *queryRatio > 1 {
+		log.Fatalf("query-ratio %v outside [0, 1]", *queryRatio)
+	}
+
+	sf, err := os.Open(*spacePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space, err := c2mn.ReadSpace(sf)
+	sf.Close()
+	if err != nil {
+		log.Fatalf("reading space: %v", err)
+	}
+	ds, err := c2mn.GenerateMobility(space, sim.DefaultMobility(*objects, *duration), *seed)
+	if err != nil {
+		log.Fatalf("generating mobility: %v", err)
+	}
+	if len(ds.Sequences) == 0 {
+		log.Fatal("simulator produced no sequences")
+	}
+
+	jobs := planJobs(*base, venues, ds.Sequences, *requests, *queryRatio, *windows, *k, *seed)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	before, err := fetchTotals(client, *base)
+	if err != nil {
+		log.Fatalf("sampling pre-run stats: %v", err)
+	}
+
+	var queries, feeds classStats
+	// etags remembers the freshest validator per query URL so repeat
+	// queries revalidate instead of re-downloading.
+	var etagMu sync.Mutex
+	etags := map[string]string{}
+
+	start := time.Now()
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range ch {
+				runJob(client, jb, &queries, &feeds, &etagMu, etags)
+			}
+		}()
+	}
+	for _, jb := range jobs {
+		ch <- jb
+	}
+	close(ch)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := fetchTotals(client, *base)
+	if err != nil {
+		log.Fatalf("sampling post-run stats: %v", err)
+	}
+	hits := after.QueryCacheHits - before.QueryCacheHits
+	misses := after.QueryCacheMisses - before.QueryCacheMisses
+	revals := after.QueryCacheRevalidations - before.QueryCacheRevalidations
+	hitRatio := 0.0
+	if hits+misses > 0 {
+		hitRatio = float64(hits) / float64(hits+misses)
+	}
+
+	qps := float64(len(jobs)) / elapsed.Seconds()
+	fmt.Printf("%d requests in %v (%.1f req/s) against %s\n", len(jobs), elapsed.Round(time.Millisecond), qps, *base)
+	fmt.Printf("queries: %-6d p50 %-10v p99 %-10v 304s %-5d errors %d\n",
+		len(queries.latencies), queries.percentile(0.50), queries.percentile(0.99), queries.notMod, queries.errors)
+	fmt.Printf("feeds:   %-6d p50 %-10v p99 %-10v 429s %-5d errors %d\n",
+		len(feeds.latencies), feeds.percentile(0.50), feeds.percentile(0.99), feeds.throttled, feeds.errors)
+	fmt.Printf("server query cache: hits %d, misses %d, revalidations %d, hit ratio %.3f\n",
+		hits, misses, revals, hitRatio)
+
+	if *mdPath != "" {
+		md := markdownSummary(len(jobs), elapsed, qps, &queries, &feeds, hits, misses, revals, hitRatio)
+		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			log.Fatalf("writing markdown summary: %v", err)
+		}
+	}
+	if queries.errors+feeds.errors > 0 {
+		log.Fatalf("%d request(s) failed", queries.errors+feeds.errors)
+	}
+	if *minHitRatio > 0 && hitRatio < *minHitRatio {
+		log.Fatalf("server hit ratio %.3f below the %.3f floor", hitRatio, *minHitRatio)
+	}
+}
+
+// planJobs lays out the deterministic request mix: feeds hand each
+// venue complete objects round-robin, queries rotate venue/fleet
+// scopes, both kinds, and a bounded pool of windows so the mix
+// revisits warm keys.
+func planJobs(base string, venues []string, seqs []c2mn.LabeledSequence, requests int, queryRatio float64, windows, k int, seed int64) []job {
+	rng := rand.New(rand.NewSource(seed))
+	// Pre-chunk the dataset into feed payloads, one object per POST.
+	// Each replay round mints fresh object IDs: re-feeding a finished
+	// object's records would rewind its stream clock and be rejected.
+	type feedPayload struct {
+		venue   string
+		records []wireRecord
+	}
+	var payloads []feedPayload
+	for i, ls := range seqs {
+		venue := venues[i%len(venues)]
+		records := make([]wireRecord, len(ls.P.Records))
+		for j, r := range ls.P.Records {
+			records[j] = wireRecord{X: r.Loc.X, Y: r.Loc.Y, Floor: r.Loc.Floor, T: r.T}
+		}
+		payloads = append(payloads, feedPayload{venue: venue, records: records})
+	}
+
+	// The window pool: distinct half-open slices of the simulated time
+	// range. Small enough that a steady query stream re-asks them.
+	type span struct{ start, end float64 }
+	var maxT float64
+	for _, ls := range seqs {
+		if n := len(ls.P.Records); n > 0 && ls.P.Records[n-1].T > maxT {
+			maxT = ls.P.Records[n-1].T
+		}
+	}
+	spans := make([]span, windows)
+	for i := range spans {
+		lo := rng.Float64() * maxT / 2
+		spans[i] = span{start: lo, end: lo + maxT/2}
+	}
+
+	jobs := make([]job, 0, requests)
+	fed := 0
+	for i := 0; i < requests; i++ {
+		if rng.Float64() < queryRatio {
+			sp := spans[rng.Intn(len(spans))]
+			kind := "popular-regions"
+			if rng.Intn(2) == 1 {
+				kind = "frequent-pairs"
+			}
+			scope := fmt.Sprintf("/v1/venues/%s/query/%s", venues[rng.Intn(len(venues))], kind)
+			if rng.Intn(4) == 0 {
+				scope = fmt.Sprintf("/v1/query/%s?scope=fleet&", kind)
+			} else {
+				scope += "?"
+			}
+			url := fmt.Sprintf("%s%sk=%d&start=%g&end=%g", base, scope, k, sp.start, sp.end)
+			jobs = append(jobs, job{query: true, url: url})
+			continue
+		}
+		p := payloads[fed%len(payloads)]
+		body, err := json.Marshal(sequenceRequest{
+			ObjectID: fmt.Sprintf("load-%d", fed),
+			Records:  p.records,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fed++
+		jobs = append(jobs, job{url: base + "/v1/venues/" + p.venue + "/feed", body: body})
+	}
+	return jobs
+}
+
+// runJob issues one request, timing it and folding the outcome into
+// the class stats. Query responses feed the ETag table.
+func runJob(client *http.Client, jb job, queries, feeds *classStats, etagMu *sync.Mutex, etags map[string]string) {
+	var req *http.Request
+	var err error
+	if jb.query {
+		req, err = http.NewRequest(http.MethodGet, jb.url, nil)
+		if err == nil {
+			etagMu.Lock()
+			if etag := etags[jb.url]; etag != "" {
+				req.Header.Set("If-None-Match", etag)
+			}
+			etagMu.Unlock()
+		}
+	} else {
+		req, err = http.NewRequest(http.MethodPost, jb.url, bytes.NewReader(jb.body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		// A transport failure counts as an error with the elapsed time
+		// it burned; the run keeps going so one blip doesn't void it.
+		cs := feeds
+		if jb.query {
+			cs = queries
+		}
+		cs.record(elapsed, 0)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if jb.query {
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			etagMu.Lock()
+			etags[jb.url] = etag
+			etagMu.Unlock()
+		}
+		queries.record(elapsed, resp.StatusCode)
+		return
+	}
+	feeds.record(elapsed, resp.StatusCode)
+}
+
+// markdownSummary renders the run for a CI job summary.
+func markdownSummary(total int, elapsed time.Duration, qps float64, queries, feeds *classStats, hits, misses, revals int64, hitRatio float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### msload\n\n")
+	fmt.Fprintf(&b, "%d requests in %v (%.1f req/s)\n\n", total, elapsed.Round(time.Millisecond), qps)
+	fmt.Fprintf(&b, "| class | requests | p50 | p99 | 304s | 429s | errors |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+	fmt.Fprintf(&b, "| queries | %d | %v | %v | %d | %d | %d |\n",
+		len(queries.latencies), queries.percentile(0.50), queries.percentile(0.99), queries.notMod, queries.throttled, queries.errors)
+	fmt.Fprintf(&b, "| feeds | %d | %v | %v | %d | %d | %d |\n",
+		len(feeds.latencies), feeds.percentile(0.50), feeds.percentile(0.99), feeds.notMod, feeds.throttled, feeds.errors)
+	fmt.Fprintf(&b, "\n| server query cache | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| hits | %d |\n| misses | %d |\n| revalidations | %d |\n| hit ratio | %.3f |\n",
+		hits, misses, revals, hitRatio)
+	return b.String()
+}

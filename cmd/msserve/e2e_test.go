@@ -230,10 +230,14 @@ func TestSnapshotRoundtripE2E(t *testing.T) {
 	}
 
 	// Restart against the same snapshot directory: the server must
-	// answer every query byte-identically, warm.
+	// answer every query byte-identically, warm. Stats compare first:
+	// the snapshot carries the query-cache counters, and replaying the
+	// sugar queries against the restored (purged) cache would bump
+	// them before the comparison.
 	base2, stop2 := startMsserve(t, bin, args)
 	defer stop2()
-	for i, q := range queries {
+	for _, i := range []int{5, 6, 0, 1, 2, 3, 4} {
+		q := queries[i]
 		after := getBody(t, base2+q)
 		if after != before[i] {
 			t.Fatalf("post-restart answer for %s diverged:\n before %s\n after  %s", q, before[i], after)

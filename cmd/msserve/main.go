@@ -45,6 +45,15 @@
 //	GET    /v1/readyz                        readiness probe (also at /readyz): 503 while
 //	                                         the process is draining for shutdown
 //
+// Query responses carry an ETag freshness validator derived from the
+// scanned venues' store generations — `"<venue>:<generation>"` for a
+// single venue, a venue-sorted `"a:3;b:7"` composite for cross-venue
+// scopes. A conditional request repeating the same query with
+// If-None-Match gets 304 Not Modified while no scanned store has
+// moved; /v1/venues surfaces each venue's current generation as
+// store_generation. cmd/msrouter's scatter-gather revalidates its
+// cached per-venue partials through this contract.
+//
 // /v1 errors are typed: {"error": {"code": "unknown_venue", ...}}.
 // Requests carrying an X-Request-ID header get it echoed on the
 // response and embedded in /v1 error payloads, so a failure observed
@@ -344,7 +353,7 @@ func snapshotRound(registry *c2mn.VenueRegistry, dir string, snaps *snapshotTrac
 	var written []string
 	var errs []error
 	for _, id := range ids {
-		if rec, ok := snaps.get(id); ok && rec.stats == stats[id] {
+		if rec, ok := snaps.get(id); ok && pipelineFingerprint(rec.stats) == pipelineFingerprint(stats[id]) {
 			continue // unchanged since its last snapshot
 		}
 		if _, err := registry.SnapshotVenue(id, dir); err != nil {
@@ -360,6 +369,17 @@ func snapshotRound(registry *c2mn.VenueRegistry, dir string, snaps *snapshotTrac
 		written = append(written, id)
 	}
 	return written, errors.Join(errs...)
+}
+
+// pipelineFingerprint projects a stats sample onto the counters that
+// indicate durable-state movement, zeroing the query-cache counters:
+// read-only query traffic moves hit/miss/revalidation counts without
+// changing anything a snapshot needs to re-capture, so the idle-skip
+// in snapshotRound and the snapshot_stale column must not see it as
+// change.
+func pipelineFingerprint(st c2mn.EngineStats) c2mn.EngineStats {
+	st.QueryCacheHits, st.QueryCacheMisses, st.QueryCacheRevalidations = 0, 0, 0
+	return st
 }
 
 // snapshotTracker remembers, per venue, when the last snapshot was
@@ -1155,6 +1175,96 @@ func paginate(res *c2mn.QueryResult, offset, size int) int {
 	return -1
 }
 
+// venueGenerations samples every loaded venue's store generation.
+// Callers sample BEFORE executing a query: labeling the answer with a
+// generation read earlier can only understate its freshness (a client
+// revalidates once more than necessary), while a generation read after
+// execution could stamp stale bytes with a fresh validator.
+func (s *server) venueGenerations() map[string]uint64 {
+	gens := map[string]uint64{}
+	for _, id := range s.registry.Venues() {
+		if e, err := s.registry.Engine(id); err == nil {
+			gens[id] = e.StoreGeneration()
+		}
+	}
+	return gens
+}
+
+// storeETag renders the freshness validator of a query answer over the
+// scanned venues: `"<venue>:<generation>"` for one venue, a
+// venue-sorted `"a:3;b:7"` composite for cross-venue scopes. Venue IDs
+// are query-escaped so an ID containing the separators cannot make two
+// distinct fleet states render the same validator. The bool is false
+// when a scanned venue has no sampled generation (loaded mid-request);
+// such an answer goes out without a validator rather than with a
+// wrong one.
+func storeETag(scanned []string, gens map[string]uint64) (string, bool) {
+	if len(scanned) == 0 {
+		return "", false
+	}
+	ids := append([]string(nil), scanned...)
+	sort.Strings(ids)
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i, id := range ids {
+		g, ok := gens[id]
+		if !ok {
+			return "", false
+		}
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(url.QueryEscape(id))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatUint(g, 10))
+	}
+	sb.WriteByte('"')
+	return sb.String(), true
+}
+
+// etagMatches implements the If-None-Match comparison: a literal `*`
+// matches anything, otherwise any listed validator may match. Weak
+// validators (`W/"..."`) compare by their opaque part — the generation
+// validator is exact, so weak comparison is sound for it.
+func etagMatches(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	for _, cand := range strings.Split(ifNoneMatch, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeFreshness stamps the answer's validator and, when the request
+// carried a matching If-None-Match, short-circuits with 304 Not
+// Modified. It reports whether the response was finished here. The
+// query has already executed by then — at an unchanged generation that
+// execution was an LRU hit, so the 304 path stays cheap — and the
+// scanned venues' revalidation counters are bumped so both cache tiers
+// are observable.
+func (s *server) writeFreshness(w http.ResponseWriter, r *http.Request, scanned []string, gens map[string]uint64) bool {
+	etag, ok := storeETag(scanned, gens)
+	if !ok {
+		return false
+	}
+	w.Header().Set("ETag", etag)
+	if !etagMatches(r.Header.Get("If-None-Match"), etag) {
+		return false
+	}
+	for _, id := range scanned {
+		if e, err := s.registry.Engine(id); err == nil {
+			e.RecordQueryRevalidation()
+		}
+	}
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
 // handleQuery serves POST /v1/query: decode the Query (or resume a
 // cursor), execute it through the registry's single entry point, and
 // page the ranked list.
@@ -1192,9 +1302,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			pageSize = req.PageSize
 		}
 	}
+	gens := s.venueGenerations()
 	res, err := s.registry.Query(r.Context(), q)
 	if err != nil {
 		writeQueryError(w, r, err)
+		return
+	}
+	if s.writeFreshness(w, r, res.Scanned, gens) {
 		return
 	}
 	resp := queryResponse{QueryResult: res}
@@ -1288,12 +1402,16 @@ func (s *server) runTopKSugar(w http.ResponseWriter, r *http.Request, kind c2mn.
 		writeError(w, r, http.StatusBadRequest, err)
 		return c2mn.QueryResult{}, nil, false
 	}
+	gens := s.venueGenerations()
 	res, err := s.registry.Query(r.Context(), c2mn.Query{
 		Kind: kind, Scope: scope, Venues: venues,
 		Regions: regions, Window: win, K: k,
 	})
 	if err != nil {
 		writeQueryError(w, r, err)
+		return c2mn.QueryResult{}, nil, false
+	}
+	if s.writeFreshness(w, r, res.Scanned, gens) {
 		return c2mn.QueryResult{}, nil, false
 	}
 	var space *c2mn.Space
@@ -1348,6 +1466,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Totals.EmittedSequences += st.EmittedSequences
 		resp.Totals.StoredSequences += st.StoredSequences
 		resp.Totals.StoredSemantics += st.StoredSemantics
+		resp.Totals.QueryCacheHits += st.QueryCacheHits
+		resp.Totals.QueryCacheMisses += st.QueryCacheMisses
+		resp.Totals.QueryCacheRevalidations += st.QueryCacheRevalidations
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -1367,12 +1488,17 @@ func (s *server) handleVenueStats(w http.ResponseWriter, r *http.Request) {
 // snapshot_stale is true while the pipeline counters have moved since
 // — i.e. a crash right now would lose something.
 type venueInfo struct {
-	Venue            string           `json:"venue"`
-	Regions          int              `json:"regions"`
-	Stats            c2mn.EngineStats `json:"stats"`
-	LastSnapshotUnix int64            `json:"last_snapshot_unix,omitempty"`
-	SnapshotStale    bool             `json:"snapshot_stale"`
-	Draining         bool             `json:"draining,omitempty"`
+	Venue   string           `json:"venue"`
+	Regions int              `json:"regions"`
+	Stats   c2mn.EngineStats `json:"stats"`
+	// StoreGeneration is the venue's query-store content generation —
+	// the value behind the ETag validator on the query surface. A
+	// client holding a response tagged with this generation knows it is
+	// still current.
+	StoreGeneration  uint64 `json:"store_generation"`
+	LastSnapshotUnix int64  `json:"last_snapshot_unix,omitempty"`
+	SnapshotStale    bool   `json:"snapshot_stale"`
+	Draining         bool   `json:"draining,omitempty"`
 }
 
 func (s *server) handleListVenues(w http.ResponseWriter, r *http.Request) {
@@ -1385,14 +1511,15 @@ func (s *server) handleListVenues(w http.ResponseWriter, r *http.Request) {
 		}
 		stats := e.Stats()
 		info := venueInfo{
-			Venue:         id,
-			Regions:       len(e.Space().Regions()),
-			Stats:         stats,
-			SnapshotStale: true, // until a recorded snapshot proves otherwise
+			Venue:           id,
+			Regions:         len(e.Space().Regions()),
+			Stats:           stats,
+			StoreGeneration: e.StoreGeneration(),
+			SnapshotStale:   true, // until a recorded snapshot proves otherwise
 		}
 		if rec, ok := s.snaps.get(id); ok {
 			info.LastSnapshotUnix = rec.unix
-			info.SnapshotStale = rec.stats != stats
+			info.SnapshotStale = pipelineFingerprint(rec.stats) != pipelineFingerprint(stats)
 		}
 		_, info.Draining = s.drainState(id)
 		out = append(out, info)

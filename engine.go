@@ -5,10 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"c2mn/internal/lru"
 	"c2mn/internal/query"
 	"c2mn/internal/seq"
 	"c2mn/internal/snapshot"
@@ -53,7 +57,31 @@ type Engine struct {
 
 	emitted atomic.Int64
 	batches atomic.Int64 // leader drains, i.e. pooled-state acquisitions on the feed path
+
+	// Generation-keyed query result cache (see queryCounts): a bounded
+	// per-venue LRU of memoized top-k answers. Entries carry the store
+	// generation they were computed at; a moved generation never
+	// matches, so invalidation needs no bookkeeping on the write path.
+	qcacheMu    sync.Mutex
+	qcache      *lru.Cache[string, cachedAnswer]
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheRevals atomic.Int64 // HTTP 304s served off the generation validator
 }
+
+// cachedAnswer is one memoized query result plus the store generation
+// it was computed at (captured atomically with the counts).
+type cachedAnswer struct {
+	gen     uint64
+	regions []RegionCount
+	pairs   []PairCount
+}
+
+// queryCacheEntries bounds the per-venue result cache. Dashboards poll
+// a handful of distinct (kind, regions, window, k) shapes per venue;
+// 256 covers them with room for ad-hoc queries without letting a
+// querier with unbounded distinct windows grow the cache.
+const queryCacheEntries = 256
 
 // feedJob is one completed stream fragment waiting in the coalescing
 // queue; done receives its annotation result exactly once.
@@ -85,6 +113,7 @@ func NewEngine(a *Annotator, opts ...Option) (*Engine, error) {
 	}
 	e.streams = seq.NewStreamSet(e.eta, e.psi)
 	e.store = query.NewStore(e.retention)
+	e.qcache = lru.New[string, cachedAnswer](queryCacheEntries)
 	return e, nil
 }
 
@@ -353,13 +382,80 @@ func (e *Engine) process(p *PSequence) error {
 // fleet-scoped answers cannot diverge. It answers one kind over the
 // live store with counts truncated at k; pass query.AllCounts for the
 // untruncated lists a cross-venue merge needs.
+//
+// Results are memoized in a bounded LRU keyed by the canonical query
+// encoding, validated by the store generation captured atomically with
+// the counts: a repeat of the same query at an unchanged generation
+// returns the memoized slices without touching the index, and any
+// store mutation (add, eviction, restore) moves the generation so
+// stale entries can never match. Returned slices are shared between
+// the cache and every caller at the same generation; all downstream
+// consumers (merge, truncate, pagination, JSON encoding) only read or
+// re-slice them.
 func (e *Engine) queryCounts(kind QueryKind, regions []RegionID, w Window, k int) ([]RegionCount, []PairCount) {
+	key := queryCacheKey(kind, regions, w, k)
+	gen := e.store.Generation()
+	e.qcacheMu.Lock()
+	if ans, ok := e.qcache.Get(key); ok && ans.gen == gen {
+		e.qcacheMu.Unlock()
+		e.cacheHits.Add(1)
+		return ans.regions, ans.pairs
+	}
+	e.qcacheMu.Unlock()
+	e.cacheMisses.Add(1)
+	var ans cachedAnswer
 	switch kind {
 	case QueryFrequentPairs:
-		return nil, e.store.TopKFrequentPairs(regions, w, k)
+		ans.pairs, ans.gen = e.store.TopKFrequentPairsGen(regions, w, k)
 	default:
-		return e.store.TopKPopularRegions(regions, w, k), nil
+		ans.regions, ans.gen = e.store.TopKPopularRegionsGen(regions, w, k)
 	}
+	e.qcacheMu.Lock()
+	e.qcache.Put(key, ans)
+	e.qcacheMu.Unlock()
+	return ans.regions, ans.pairs
+}
+
+// queryCacheKey canonically encodes one query shape. The region set is
+// sorted and deduplicated first — the top-k queries treat regions as a
+// set, so permuted or repeated region lists must share a cache slot —
+// and the window bounds are encoded as raw float bits so distinct
+// windows can never collide.
+func queryCacheKey(kind QueryKind, regions []RegionID, w Window, k int) string {
+	rs := make([]RegionID, len(regions))
+	copy(rs, regions)
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	buf := make([]byte, 0, 48+8*len(rs))
+	buf = append(buf, kind...)
+	buf = append(buf, '|')
+	buf = strconv.AppendUint(buf, math.Float64bits(w.Start), 16)
+	buf = append(buf, '|')
+	buf = strconv.AppendUint(buf, math.Float64bits(w.End), 16)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(k), 10)
+	for i, r := range rs {
+		if i > 0 && r == rs[i-1] {
+			continue
+		}
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(r), 10)
+	}
+	return string(buf)
+}
+
+// StoreGeneration returns the live store's content generation — the
+// value behind the ETag validator on the HTTP query surface. It moves
+// strictly forward on every store mutation; equal generations imply
+// byte-identical answers to every query over this venue.
+func (e *Engine) StoreGeneration() uint64 {
+	return e.store.Generation()
+}
+
+// RecordQueryRevalidation counts one successful HTTP revalidation (a
+// conditional request answered 304 off the generation validator). The
+// serving layer calls it so cache observability covers both tiers.
+func (e *Engine) RecordQueryRevalidation() {
+	e.cacheRevals.Add(1)
 }
 
 // queryDefaults applies the unified query semantics to the TopK*
@@ -429,12 +525,15 @@ func (e *Engine) snapshotFile(nowUnix int64) *snapshot.File {
 			CreatedUnix: nowUnix,
 		},
 		Engine: snapshot.EngineSection{
-			Eta:              e.eta,
-			Psi:              e.psi,
-			Retention:        e.retention,
-			FedRecords:       fed,
-			EmittedSequences: emitted,
-			FeedBatches:      e.batches.Load(),
+			Eta:                     e.eta,
+			Psi:                     e.psi,
+			Retention:               e.retention,
+			FedRecords:              fed,
+			EmittedSequences:        emitted,
+			FeedBatches:             e.batches.Load(),
+			QueryCacheHits:          e.cacheHits.Load(),
+			QueryCacheMisses:        e.cacheMisses.Load(),
+			QueryCacheRevalidations: e.cacheRevals.Load(),
 		},
 		Streams: snapshot.EncodeStreams(streams),
 		Index:   snapshot.EncodeIndex(ixState),
@@ -518,9 +617,18 @@ func (e *Engine) restoreFile(f *snapshot.File) error {
 		return fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
 	e.streams = streams
+	// Memoized answers predate the restore; the restored store's jumped
+	// generation guarantees they could never match again, so dropping
+	// them only reclaims the memory.
+	e.qcacheMu.Lock()
+	e.qcache.Purge()
+	e.qcacheMu.Unlock()
 	e.fed = f.Engine.FedRecords
 	e.emitted.Store(f.Engine.EmittedSequences)
 	e.batches.Store(f.Engine.FeedBatches)
+	e.cacheHits.Store(f.Engine.QueryCacheHits)
+	e.cacheMisses.Store(f.Engine.QueryCacheMisses)
+	e.cacheRevals.Store(f.Engine.QueryCacheRevalidations)
 	return nil
 }
 
@@ -542,11 +650,24 @@ type EngineStats struct {
 	// retention eviction).
 	StoredSequences int
 	StoredSemantics int
+	// QueryCacheHits and QueryCacheMisses count generation-keyed result
+	// cache lookups; hits/(hits+misses) is the cache hit ratio.
+	QueryCacheHits   int64
+	QueryCacheMisses int64
+	// QueryCacheRevalidations counts conditional HTTP requests answered
+	// 304 off the generation validator (the serving tier's cache hits).
+	QueryCacheRevalidations int64
 }
 
 // Stats reports the streaming pipeline's counters.
 func (e *Engine) Stats() EngineStats {
-	st := EngineStats{EmittedSequences: e.emitted.Load(), FeedBatches: e.batches.Load()}
+	st := EngineStats{
+		EmittedSequences:        e.emitted.Load(),
+		FeedBatches:             e.batches.Load(),
+		QueryCacheHits:          e.cacheHits.Load(),
+		QueryCacheMisses:        e.cacheMisses.Load(),
+		QueryCacheRevalidations: e.cacheRevals.Load(),
+	}
 	e.mu.Lock()
 	st.FedRecords = e.fed
 	st.PendingObjects, st.PendingRecords = e.streams.Pending()

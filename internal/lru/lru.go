@@ -1,0 +1,119 @@
+// Package lru provides a small, allocation-light bounded LRU map used
+// by the query-result caches in both serving tiers (the per-venue
+// engine cache and the router's scatter partial cache).
+//
+// A Cache is NOT safe for concurrent use; callers guard it with their
+// own lock, which lets them batch a lookup, a counter update and an
+// insert under one critical section instead of paying three.
+package lru
+
+// entry is one cache slot, linked into the recency list.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V] // recency neighbours; head is most recent
+}
+
+// Cache is a bounded map with least-recently-used eviction. The zero
+// value is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	cap        int
+	items      map[K]*entry[K, V]
+	head, tail *entry[K, V]
+}
+
+// New returns an empty cache holding at most capacity entries.
+// capacity < 1 is treated as 1.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		cap:   capacity,
+		items: make(map[K]*entry[K, V], capacity),
+	}
+}
+
+// Get returns the value stored under key and marks it most recently
+// used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put stores val under key, replacing any previous value, and marks the
+// entry most recently used. When the insert would exceed the capacity
+// the least-recently-used entry is evicted.
+func (c *Cache[K, V]) Put(key K, val V) {
+	if e, ok := c.items[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	if len(c.items) >= c.cap {
+		c.evictOldest()
+	}
+	e := &entry[K, V]{key: key, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+}
+
+// Len returns the number of stored entries.
+func (c *Cache[K, V]) Len() int { return len(c.items) }
+
+// Purge drops every entry.
+func (c *Cache[K, V]) Purge() {
+	clear(c.items)
+	c.head, c.tail = nil, nil
+}
+
+// moveToFront relinks e at the head of the recency list.
+func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// pushFront links a detached entry at the head.
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// unlink detaches e from the recency list.
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evictOldest drops the least-recently-used entry.
+func (c *Cache[K, V]) evictOldest() {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	c.unlink(e)
+	delete(c.items, e.key)
+}

@@ -1,0 +1,104 @@
+package lru
+
+import "testing"
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestReplaceKeepsLen(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("replace lost: Get(a) = %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after replace = %d", c.Len())
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // refresh a: b is now oldest
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+}
+
+func TestPutRefreshesRecency(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 3) // replacing refreshes too
+	c.Put("c", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived: replacing a should have refreshed it")
+	}
+	if v, _ := c.Get("a"); v != 3 {
+		t.Fatalf("Get(a) = %d", v)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[string, int](4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit after Purge")
+	}
+	// The list is reusable after a purge.
+	c.Put("c", 3)
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("Get(c) after Purge = %d, %v", v, ok)
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if c.Len() != 1 {
+		t.Fatalf("capacity-0 cache holds %d entries, want 1", c.Len())
+	}
+	if _, ok := c.Get(2); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestChurnConsistency(t *testing.T) {
+	const capacity = 8
+	c := New[int, int](capacity)
+	for i := 0; i < 1000; i++ {
+		c.Put(i%13, i)
+		if c.Len() > capacity {
+			t.Fatalf("cache grew past capacity: %d", c.Len())
+		}
+		if v, ok := c.Get(i % 13); !ok || v != i {
+			t.Fatalf("just-put key %d: %d, %v", i%13, v, ok)
+		}
+	}
+}

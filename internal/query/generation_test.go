@@ -1,0 +1,107 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// TestStoreGenerationMonotonic drives a store through a random
+// interleaving of adds (some triggering retention evictions via time
+// jumps), no-op adds, state captures and restores of arbitrary earlier
+// states, and checks the generation contract at every step: mutations
+// strictly advance it, observations never move it. The restore-jump
+// plus the RestoreState clamp make this hold even when an old captured
+// generation is swapped back in.
+func TestStoreGenerationMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewStore(150)
+	var states []IndexState
+	last := s.Generation()
+	tcur := 0.0
+	for i := 0; i < 500; i++ {
+		switch op := rng.Intn(10); {
+		case op == 0:
+			states = append(states, s.SnapshotState())
+			if g := s.Generation(); g != last {
+				t.Fatalf("op %d: capturing state moved the generation %d → %d", i, last, g)
+			}
+		case op == 1 && len(states) > 0:
+			if err := s.RestoreState(states[rng.Intn(len(states))]); err != nil {
+				t.Fatal(err)
+			}
+			g := s.Generation()
+			if g <= last {
+				t.Fatalf("op %d: restore did not advance the generation: %d → %d", i, last, g)
+			}
+			last = g
+		case op == 2:
+			s.Add(seq.MSSequence{ObjectID: "empty"})
+			if g := s.Generation(); g != last {
+				t.Fatalf("op %d: ignored empty add moved the generation %d → %d", i, last, g)
+			}
+		default:
+			if rng.Intn(5) == 0 {
+				tcur += 400 // jump stream time: retention evicts
+			}
+			d := 5 + rng.Float64()*40
+			s.Add(storeMS(fmt.Sprintf("o%d", i),
+				stay(indoor.RegionID(rng.Intn(8)), tcur, tcur+d)))
+			tcur += d
+			g := s.Generation()
+			if g <= last {
+				t.Fatalf("op %d: add did not advance the generation: %d → %d", i, last, g)
+			}
+			last = g
+		}
+	}
+}
+
+// TestEqualGenerationsGiveIdenticalAnswers is the soundness property
+// the result caches rely on: an answer memoized at generation G can be
+// served for any later query that observes the store still at G. The
+// memo plays the cache, the fresh query the recompute; whenever their
+// generations agree the answers must be deep-equal.
+func TestEqualGenerationsGiveIdenticalAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewStore(0)
+	q := []indoor.RegionID{0, 1, 2, 3, 4, 5, 6, 7}
+	windows := []Window{{Start: 0, End: 1e9}, {Start: 50, End: 500}, {Start: 200, End: 10000}}
+	type memo struct {
+		gen     uint64
+		regions []RegionCount
+		pairs   []PairCount
+	}
+	memos := map[int]memo{}
+	tcur := 0.0
+	for i := 0; i < 300; i++ {
+		if rng.Intn(3) == 0 {
+			d := 5 + rng.Float64()*40
+			s.Add(storeMS(fmt.Sprintf("o%d", i),
+				stay(indoor.RegionID(rng.Intn(8)), tcur, tcur+d),
+				stay(indoor.RegionID(rng.Intn(8)), tcur+d, tcur+2*d)))
+			tcur += d
+		}
+		wi := rng.Intn(len(windows))
+		regions, rgen := s.TopKPopularRegionsGen(q, windows[wi], 4)
+		pairs, pgen := s.TopKFrequentPairsGen(q, windows[wi], 4)
+		if rgen != pgen {
+			t.Fatalf("iteration %d: generation moved between queries with no add: %d vs %d", i, rgen, pgen)
+		}
+		if m, ok := memos[wi]; ok && m.gen == rgen {
+			if !reflect.DeepEqual(m.regions, regions) {
+				t.Fatalf("window %d at generation %d: memoized regions %v, recomputed %v",
+					wi, rgen, m.regions, regions)
+			}
+			if !reflect.DeepEqual(m.pairs, pairs) {
+				t.Fatalf("window %d at generation %d: memoized pairs %v, recomputed %v",
+					wi, rgen, m.pairs, pairs)
+			}
+		}
+		memos[wi] = memo{gen: rgen, regions: regions, pairs: pairs}
+	}
+}

@@ -64,6 +64,13 @@ type Index struct {
 	aliveSem int // semantics triples across live sequences
 	maxEnd   float64
 	hasMax   bool
+
+	// gen counts content mutations: every Add and every eviction bumps
+	// it, so two reads of the index under the same generation are
+	// guaranteed to see identical content. Query results memoized under
+	// a generation never need explicit invalidation — a moved generation
+	// simply never matches again.
+	gen uint64
 }
 
 // idxSeq is one stored sequence plus its eviction bookkeeping.
@@ -150,6 +157,7 @@ func (ix *Index) Add(ms seq.MSSequence) {
 	if len(ms.Semantics) == 0 {
 		return
 	}
+	ix.gen++
 	end := ms.Semantics[len(ms.Semantics)-1].End
 	idx := int32(len(ix.seqs))
 	ix.seqs = append(ix.seqs, idxSeq{ms: ms, end: end})
@@ -340,6 +348,7 @@ func (ix *Index) evict() {
 // kill removes one sequence from the aggregates. Its entries in the
 // per-bucket event and candidate lists are left for lazy deletion.
 func (ix *Index) kill(idx int32) {
+	ix.gen++
 	s := &ix.seqs[idx]
 	s.dead = true
 	ix.alive--
@@ -364,6 +373,13 @@ func (ix *Index) Len() (sequences, semantics int) {
 	return ix.alive, ix.aliveSem
 }
 
+// Generation returns the content-mutation counter. It moves strictly
+// forward: equal generations imply identical query answers, so it is a
+// sound cache key and HTTP validator for every query over the index.
+func (ix *Index) Generation() uint64 {
+	return ix.gen
+}
+
 // Snapshot returns the live sequences in insertion order.
 func (ix *Index) Snapshot() []seq.MSSequence {
 	out := make([]seq.MSSequence, 0, ix.alive)
@@ -384,12 +400,13 @@ func (ix *Index) Snapshot() []seq.MSSequence {
 // query identically to the captured one without serialising redundant
 // (and lazily-deleted) internal state.
 type IndexState struct {
-	Retention float64
-	BaseWidth float64
-	Width     float64
-	MaxEnd    float64
-	HasMax    bool
-	Seqs      []seq.MSSequence
+	Retention  float64
+	BaseWidth  float64
+	Width      float64
+	MaxEnd     float64
+	HasMax     bool
+	Generation uint64
+	Seqs       []seq.MSSequence
 }
 
 // SnapshotState captures the index's state. The per-sequence semantics
@@ -397,12 +414,13 @@ type IndexState struct {
 // capture is cheap and safe against later Adds.
 func (ix *Index) SnapshotState() IndexState {
 	return IndexState{
-		Retention: ix.retention,
-		BaseWidth: ix.baseWidth,
-		Width:     ix.width,
-		MaxEnd:    ix.maxEnd,
-		HasMax:    ix.hasMax,
-		Seqs:      ix.Snapshot(),
+		Retention:  ix.retention,
+		BaseWidth:  ix.baseWidth,
+		Width:      ix.width,
+		MaxEnd:     ix.maxEnd,
+		HasMax:     ix.hasMax,
+		Generation: ix.gen,
+		Seqs:       ix.Snapshot(),
 	}
 }
 
@@ -437,8 +455,21 @@ func RestoreIndex(st IndexState) (*Index, error) {
 		ix.maxEnd, ix.hasMax = st.MaxEnd, st.HasMax
 		ix.evict()
 	}
+	// The restored generation jumps past everything the captured index
+	// could have published after the snapshot: the replay above left gen
+	// at the live sequence count, but the dead process may have advanced
+	// its counter well beyond the captured value before crashing, and any
+	// of those generations may survive in remote caches (router partials,
+	// client ETags). Jumping by a range no live process plausibly covers
+	// between snapshots keeps those stale validators from ever matching.
+	ix.gen = st.Generation + genRestoreJump
 	return ix, nil
 }
+
+// genRestoreJump is added to a restored index's captured generation so
+// generations published by the pre-crash process after its snapshot
+// cannot collide with generations the restored process will publish.
+const genRestoreJump = uint64(1) << 32
 
 // TopKPopularRegions answers a TkPRQ over the live sequences, with
 // results identical to TopKPopularRegions over Snapshot().

@@ -57,6 +57,16 @@ func (s *Store) Len() (sequences, semantics int) {
 	return s.ix.Len()
 }
 
+// Generation returns the store's content-mutation counter. It is
+// strictly monotonic across Add, eviction and RestoreState: equal
+// generations imply byte-identical answers to every query, so the value
+// is a sound cache key and HTTP freshness validator.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Generation()
+}
+
 // Snapshot returns a copy of the stored sequences, safe to use after
 // further Adds. The per-sequence semantics slices are shared (they are
 // append-only once stored).
@@ -83,6 +93,12 @@ func (s *Store) RestoreState(st IndexState) error {
 		return err
 	}
 	s.mu.Lock()
+	// Keep the generation strictly monotonic across the swap: a restore
+	// into a store that has already moved past the captured (jumped)
+	// generation must still look like new content to every cache.
+	if cur := s.ix.Generation(); ix.gen <= cur {
+		ix.gen = cur + 1
+	}
 	s.ix = ix
 	s.mu.Unlock()
 	return nil
@@ -100,4 +116,22 @@ func (s *Store) TopKFrequentPairs(q []indoor.RegionID, w Window, k int) []PairCo
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.ix.TopKFrequentPairs(q, w, k)
+}
+
+// TopKPopularRegionsGen answers a TkPRQ and returns the generation the
+// answer was computed at, atomically under one read lock — the pair is
+// safe to memoize: any later read at the same generation would get the
+// same bytes.
+func (s *Store) TopKPopularRegionsGen(q []indoor.RegionID, w Window, k int) ([]RegionCount, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.TopKPopularRegions(q, w, k), s.ix.Generation()
+}
+
+// TopKFrequentPairsGen answers a TkFRPQ and returns the generation the
+// answer was computed at, atomically under one read lock.
+func (s *Store) TopKFrequentPairsGen(q []indoor.RegionID, w Window, k int) ([]PairCount, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.TopKFrequentPairs(q, w, k), s.ix.Generation()
 }

@@ -192,6 +192,16 @@ func copyForwardHeaders(dst, src http.Header) {
 // attached, and non-2xx responses turned into errors carrying the
 // backend's own message.
 func (rt *Router) backendJSON(ctx context.Context, method, target string, body []byte, out any) error {
+	_, _, err := rt.backendJSONCond(ctx, method, target, body, "", out)
+	return err
+}
+
+// backendJSONCond is backendJSON with HTTP freshness: a non-empty
+// ifNoneMatch is sent as If-None-Match, and a 304 answer returns
+// notModified=true without touching out. The response's ETag (empty
+// when the backend minted none) is returned so callers can label what
+// they cache.
+func (rt *Router) backendJSONCond(ctx context.Context, method, target string, body []byte, ifNoneMatch string, out any) (etag string, notModified bool, err error) {
 	header := http.Header{}
 	if body != nil {
 		header.Set("Content-Type", "application/json")
@@ -199,25 +209,33 @@ func (rt *Router) backendJSON(ctx context.Context, method, target string, body [
 	if rt.cfg.BackendToken != "" {
 		header.Set("Authorization", "Bearer "+rt.cfg.BackendToken)
 	}
+	if ifNoneMatch != "" {
+		header.Set("If-None-Match", ifNoneMatch)
+	}
 	resp, err := rt.roundTrip(ctx, method, target, header, body)
 	if err != nil {
-		return err
+		return "", false, err
 	}
 	defer resp.Body.Close()
+	etag = resp.Header.Get("ETag")
+	if resp.StatusCode == http.StatusNotModified {
+		io.Copy(io.Discard, resp.Body)
+		return etag, true, nil
+	}
 	buf, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBody))
 	if err != nil {
-		return fmt.Errorf("%s %s: reading response: %w", method, target, err)
+		return "", false, fmt.Errorf("%s %s: reading response: %w", method, target, err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return backendError(method, target, resp.StatusCode, buf)
+		return "", false, backendError(method, target, resp.StatusCode, buf)
 	}
 	if out == nil {
-		return nil
+		return etag, false, nil
 	}
 	if err := json.Unmarshal(buf, out); err != nil {
-		return fmt.Errorf("%s %s: decoding response: %w", method, target, err)
+		return "", false, fmt.Errorf("%s %s: decoding response: %w", method, target, err)
 	}
-	return nil
+	return etag, false, nil
 }
 
 // backendError folds a backend's typed /v1 error payload into a Go

@@ -12,9 +12,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"c2mn"
+	"c2mn/internal/lru"
 )
 
 // Config tunes a Router. The zero value of every optional field picks
@@ -76,6 +78,19 @@ type Router struct {
 	backends  map[string]*backendState
 	pins      map[string]string // venue → backend URL, overriding HRW
 	migrating map[string]bool   // venues with an in-flight migration
+
+	// Scatter partial cache (see scatter.go): per-(backend, venue)
+	// single-venue partials keyed by the canonical sub-query body and
+	// validated against the owning backend's ETag with conditional
+	// requests, so a fleet query only re-fetches venues whose stores
+	// actually moved.
+	partialMu sync.Mutex
+	partials  *lru.Cache[string, scatterPartial]
+
+	// Partial-cache counters, reported on /admin/backends.
+	partialHits   atomic.Int64 // 304: cached partial reused as-is
+	partialMisses atomic.Int64 // full fetch: cold key or moved store
+	partialRevals atomic.Int64 // conditional requests sent
 }
 
 // backendState is the router's view of one msserve process.
@@ -128,6 +143,7 @@ func New(cfg Config) (*Router, error) {
 		backends:  map[string]*backendState{},
 		pins:      map[string]string{},
 		migrating: map[string]bool{},
+		partials:  lru.New[string, scatterPartial](scatterCacheEntries),
 	}
 	for _, u := range cfg.Backends {
 		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
@@ -447,7 +463,18 @@ func (rt *Router) handleListBackends(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
-	writeJSON(w, http.StatusOK, map[string]any{"backends": out})
+	rt.partialMu.Lock()
+	entries := rt.partials.Len()
+	rt.partialMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"backends": out,
+		"scatter_cache": map[string]any{
+			"entries":       entries,
+			"hits":          rt.partialHits.Load(),
+			"misses":        rt.partialMisses.Load(),
+			"revalidations": rt.partialRevals.Load(),
+		},
+	})
 }
 
 func (rt *Router) handleAddBackend(w http.ResponseWriter, r *http.Request) {

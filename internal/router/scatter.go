@@ -30,6 +30,19 @@ import (
 // msserve's registry uses, so a fleet answer through the router is
 // byte-identical to a single process holding every venue.
 
+// scatterPartial is one cached single-venue partial: the untruncated
+// counts a backend returned for (backend, venue, sub-query), labeled
+// with the ETag the backend minted for it. Revalidation sends the
+// ETag back as If-None-Match; a 304 means the venue's store
+// generation has not moved, so the cached counts are still exact.
+type scatterPartial struct {
+	etag string
+	res  c2mn.QueryResult
+}
+
+// scatterCacheEntries bounds the router's partial cache.
+const scatterCacheEntries = 1024
+
 // queryRequest mirrors msserve's POST /v1/query body: the library
 // Query plus cursor pagination.
 type queryRequest struct {
@@ -307,8 +320,22 @@ func (rt *Router) scatter(ctx context.Context, nq c2mn.Query) (c2mn.QueryResult,
 				p.err = err
 				return
 			}
+			// One cache entry per (backend, venue, sub-query): the
+			// canonical body pins venue/kind/regions/window, and the
+			// backend prefix keeps a migrated venue from validating
+			// against an ETag minted by its previous owner.
+			key := backend + "\x00" + string(body)
+			rt.partialMu.Lock()
+			cached, haveCached := rt.partials.Get(key)
+			rt.partialMu.Unlock()
+			inm := ""
+			if haveCached {
+				inm = cached.etag
+				rt.partialRevals.Add(1)
+			}
 			var resp queryResponse
-			if err := rt.backendJSON(ctx, http.MethodPost, backend+"/v1/query", body, &resp); err != nil {
+			etag, notModified, err := rt.backendJSONCond(ctx, http.MethodPost, backend+"/v1/query", body, inm, &resp)
+			if err != nil {
 				if fleet && errors.Is(err, c2mn.ErrUnknownVenue) {
 					p.skipped = true // unloaded between discovery and scan
 					return
@@ -316,7 +343,18 @@ func (rt *Router) scatter(ctx context.Context, nq c2mn.Query) (c2mn.QueryResult,
 				p.err = err
 				return
 			}
+			if notModified {
+				rt.partialHits.Add(1)
+				p.res = cached.res
+				return
+			}
+			rt.partialMisses.Add(1)
 			p.res = resp.QueryResult
+			if etag != "" {
+				rt.partialMu.Lock()
+				rt.partials.Put(key, scatterPartial{etag: etag, res: resp.QueryResult})
+				rt.partialMu.Unlock()
+			}
 		}(&parts[i], id)
 	}
 	wg.Wait()
@@ -533,6 +571,9 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Totals.EmittedSequences += res.stats.EmittedSequences
 		resp.Totals.StoredSequences += res.stats.StoredSequences
 		resp.Totals.StoredSemantics += res.stats.StoredSemantics
+		resp.Totals.QueryCacheHits += res.stats.QueryCacheHits
+		resp.Totals.QueryCacheMisses += res.stats.QueryCacheMisses
+		resp.Totals.QueryCacheRevalidations += res.stats.QueryCacheRevalidations
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

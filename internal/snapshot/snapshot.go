@@ -94,6 +94,13 @@ type EngineSection struct {
 	// zero-batch snapshot byte-identical to the pre-batching format,
 	// and pre-batching snapshots restore the counter as 0.
 	FeedBatches int64 `json:"feed_batches,omitempty"`
+	// Query-cache observability counters (hits/misses of the
+	// generation-keyed result cache, HTTP 304 revalidations), captured
+	// so a warm restart reports continuous stats. Same omitempty
+	// compatibility story as FeedBatches.
+	QueryCacheHits          int64 `json:"query_cache_hits,omitempty"`
+	QueryCacheMisses        int64 `json:"query_cache_misses,omitempty"`
+	QueryCacheRevalidations int64 `json:"query_cache_revalidations,omitempty"`
 }
 
 // StreamSection is one open stream: its key, the next fragment number
@@ -110,12 +117,18 @@ type StreamSection struct {
 // clock and the retained sequences in insertion order, each sequence's
 // semantics as [region, start, end, event] tuples.
 type IndexSection struct {
-	Retention float64         `json:"retention"`
-	BaseWidth float64         `json:"base_width"`
-	Width     float64         `json:"width"`
-	MaxEnd    float64         `json:"max_end"`
-	HasMax    bool            `json:"has_max"`
-	Sequences []IndexSequence `json:"sequences"`
+	Retention float64 `json:"retention"`
+	BaseWidth float64 `json:"base_width"`
+	Width     float64 `json:"width"`
+	MaxEnd    float64 `json:"max_end"`
+	HasMax    bool    `json:"has_max"`
+	// Generation is the store's content-mutation counter at capture
+	// time; RestoreIndex jumps past it so validators published by the
+	// captured process can never collide with the restored one's.
+	// omitempty keeps generation-zero snapshots byte-identical to the
+	// pre-generation format.
+	Generation uint64          `json:"generation,omitempty"`
+	Sequences  []IndexSequence `json:"sequences"`
 }
 
 // IndexSequence is one retained ms-sequence.
@@ -166,11 +179,12 @@ func DecodeStreams(sections []StreamSection) []seq.StreamState {
 // EncodeIndex converts a captured index state to its wire form.
 func EncodeIndex(st query.IndexState) IndexSection {
 	out := IndexSection{
-		Retention: st.Retention,
-		BaseWidth: st.BaseWidth,
-		Width:     st.Width,
-		MaxEnd:    st.MaxEnd,
-		HasMax:    st.HasMax,
+		Retention:  st.Retention,
+		BaseWidth:  st.BaseWidth,
+		Width:      st.Width,
+		MaxEnd:     st.MaxEnd,
+		HasMax:     st.HasMax,
+		Generation: st.Generation,
 	}
 	for _, ms := range st.Seqs {
 		is := IndexSequence{Object: ms.ObjectID}
@@ -185,11 +199,12 @@ func EncodeIndex(st query.IndexState) IndexSection {
 // DecodeIndex converts a wire index section back to an index state.
 func DecodeIndex(sec IndexSection) query.IndexState {
 	st := query.IndexState{
-		Retention: sec.Retention,
-		BaseWidth: sec.BaseWidth,
-		Width:     sec.Width,
-		MaxEnd:    sec.MaxEnd,
-		HasMax:    sec.HasMax,
+		Retention:  sec.Retention,
+		BaseWidth:  sec.BaseWidth,
+		Width:      sec.Width,
+		MaxEnd:     sec.MaxEnd,
+		HasMax:     sec.HasMax,
+		Generation: sec.Generation,
 	}
 	for _, is := range sec.Sequences {
 		ms := seq.MSSequence{ObjectID: is.Object}
