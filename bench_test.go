@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"c2mn/internal/experiments"
+	"c2mn/internal/notify"
 	"c2mn/internal/query"
 	"c2mn/internal/snapshot"
 )
@@ -450,6 +451,89 @@ func BenchmarkAnnotateThroughput(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
+}
+
+// BenchmarkAnnotateThroughputWatch is BenchmarkAnnotateThroughput with
+// the push plane live: the engine publishes every store generation
+// move into a notify hub carrying four standing subscribers, each
+// re-executing its top-k on every signal, while a background feeder
+// keeps the store moving for the whole measured window. Its seqs/s is
+// deliberately NOT gated — the gated baseline stays the
+// subscriber-free benchmark above — but both land in BENCH_infer.json,
+// so a push plane that taxes the annotate path shows up as a widening
+// gap between the two.
+func BenchmarkAnnotateThroughputWatch(b *testing.B) {
+	space, data := benchAnnotationWorld(b)
+	ann, err := Train(space, data[:len(data)/2], TrainOptions{
+		V: 6, Exact: true, TuneClustering: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	test := data[len(data)/2:]
+
+	hub := notify.NewHub()
+	eng, err := NewEngine(ann, WithVenueID("bench"), WithChangeNotifier(hub.Publish))
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		sub := hub.Subscribe(nil, 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sub.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-sub.Ready():
+					sub.Take()
+					eng.TopKPopularRegions(nil, Window{Start: 0, End: 1e18}, 10)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ls := test[i%len(test)]
+			if _, err := eng.FeedAll(fmt.Sprintf("watch-%d", i), ls.P.Records); err != nil {
+				return
+			}
+			if err := eng.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+
+	if _, _, err := eng.AnnotateCtx(context.Background(), &test[0].P); err != nil { // warm the pool
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := &test[int(next.Add(1))%len(test)].P
+			if _, _, err := eng.AnnotateCtx(context.Background(), p); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
 }
 
 // BenchmarkAnnotateAllParallel compares batch annotation throughput of

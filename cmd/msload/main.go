@@ -9,7 +9,9 @@
 // /v1/venues/{venue}/feed, query requests GET the top-k sugars with a
 // bounded pool of distinct windows (so a steady-state mix re-asks
 // questions, like real dashboards do) and carry If-None-Match when a
-// previous response minted an ETag.
+// previous response minted an ETag. -watch N holds N /v1/watch SSE
+// subscriptions open for the run and reports push-lag percentiles;
+// -max-runtime bounds the whole run's wall clock, fatally.
 //
 // Usage:
 //
@@ -19,6 +21,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"c2mn"
@@ -138,6 +142,8 @@ func main() {
 	k := flag.Int("k", 10, "top-k size the queries ask for")
 	mdPath := flag.String("md", "", "write a markdown summary to this path")
 	minHitRatio := flag.Float64("min-hit-ratio", 0, "fail when the server-side hit ratio lands below this")
+	watch := flag.Int("watch", 0, "concurrent /v1/watch SSE subscribers held open for the run (0 = off)")
+	maxRuntime := flag.Duration("max-runtime", 0, "hard wall-clock bound on the whole run; exceeding it is fatal (0 = unbounded)")
 	flag.Parse()
 
 	if *base == "" || *spacePath == "" || *venuesFlag == "" {
@@ -171,6 +177,21 @@ func main() {
 
 	jobs := planJobs(*base, venues, ds.Sequences, *requests, *queryRatio, *windows, *k, *seed)
 
+	// The wall-clock bound is a watchdog, not a cancellation: CI calls
+	// msload against freshly-started processes, and a hang anywhere —
+	// a wedged stream, a dead backend, a stuck drain — must turn into a
+	// loud failure instead of a six-hour job timeout.
+	ctx := context.Background()
+	if *maxRuntime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *maxRuntime)
+		defer cancel()
+		watchdog := time.AfterFunc(*maxRuntime, func() {
+			log.Fatalf("max runtime %v exceeded", *maxRuntime)
+		})
+		defer watchdog.Stop()
+	}
+
 	client := &http.Client{Timeout: 30 * time.Second}
 	before, err := fetchTotals(client, *base)
 	if err != nil {
@@ -183,6 +204,21 @@ func main() {
 	var etagMu sync.Mutex
 	etags := map[string]string{}
 
+	// lastFeedNano is the wall clock of the newest acknowledged feed
+	// write; watchers measure push lag against it.
+	var lastFeedNano atomic.Int64
+	var ws *watchStats
+	stopWatchers := func() {}
+	if *watch > 0 {
+		var maxT float64
+		for _, ls := range ds.Sequences {
+			if n := len(ls.P.Records); n > 0 && ls.P.Records[n-1].T > maxT {
+				maxT = ls.P.Records[n-1].T
+			}
+		}
+		ws, stopWatchers = startWatchers(ctx, *base, *watch, *k, maxT, &lastFeedNano)
+	}
+
 	start := time.Now()
 	ch := make(chan job)
 	var wg sync.WaitGroup
@@ -191,7 +227,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for jb := range ch {
-				runJob(client, jb, &queries, &feeds, &etagMu, etags)
+				runJob(ctx, client, jb, &queries, &feeds, &etagMu, etags, &lastFeedNano)
 			}
 		}()
 	}
@@ -200,6 +236,15 @@ func main() {
 	}
 	close(ch)
 	wg.Wait()
+	// Leave the streams open briefly so pushes from the final feed
+	// writes arrive and count, then tear them down.
+	if *watch > 0 {
+		select {
+		case <-time.After(500 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
+	stopWatchers()
 	elapsed := time.Since(start)
 
 	after, err := fetchTotals(client, *base)
@@ -222,9 +267,16 @@ func main() {
 		len(feeds.latencies), feeds.percentile(0.50), feeds.percentile(0.99), feeds.throttled, feeds.errors)
 	fmt.Printf("server query cache: hits %d, misses %d, revalidations %d, hit ratio %.3f\n",
 		hits, misses, revals, hitRatio)
+	if ws != nil {
+		fmt.Printf("watch:   %d subscriber(s), %d event(s), lag p50 %-10v p99 %-10v resyncs %d reconnects %d goodbyes %d\n",
+			*watch, ws.events, ws.percentile(0.50), ws.percentile(0.99), ws.resyncs, ws.reconnects, ws.goodbyes)
+	}
 
 	if *mdPath != "" {
 		md := markdownSummary(len(jobs), elapsed, qps, &queries, &feeds, hits, misses, revals, hitRatio)
+		if ws != nil {
+			md += watchMarkdown(*watch, ws)
+		}
 		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
 			log.Fatalf("writing markdown summary: %v", err)
 		}
@@ -309,12 +361,13 @@ func planJobs(base string, venues []string, seqs []c2mn.LabeledSequence, request
 }
 
 // runJob issues one request, timing it and folding the outcome into
-// the class stats. Query responses feed the ETag table.
-func runJob(client *http.Client, jb job, queries, feeds *classStats, etagMu *sync.Mutex, etags map[string]string) {
+// the class stats. Query responses feed the ETag table; acknowledged
+// feeds stamp the shared last-feed clock the watchers lag against.
+func runJob(ctx context.Context, client *http.Client, jb job, queries, feeds *classStats, etagMu *sync.Mutex, etags map[string]string, lastFeedNano *atomic.Int64) {
 	var req *http.Request
 	var err error
 	if jb.query {
-		req, err = http.NewRequest(http.MethodGet, jb.url, nil)
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, jb.url, nil)
 		if err == nil {
 			etagMu.Lock()
 			if etag := etags[jb.url]; etag != "" {
@@ -323,7 +376,7 @@ func runJob(client *http.Client, jb job, queries, feeds *classStats, etagMu *syn
 			etagMu.Unlock()
 		}
 	} else {
-		req, err = http.NewRequest(http.MethodPost, jb.url, bytes.NewReader(jb.body))
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, jb.url, bytes.NewReader(jb.body))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
@@ -355,7 +408,19 @@ func runJob(client *http.Client, jb job, queries, feeds *classStats, etagMu *syn
 		queries.record(elapsed, resp.StatusCode)
 		return
 	}
+	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+		lastFeedNano.Store(time.Now().UnixNano())
+	}
 	feeds.record(elapsed, resp.StatusCode)
+}
+
+// watchMarkdown renders the subscriber class for the CI job summary.
+func watchMarkdown(n int, ws *watchStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n| watch (%d subscribers) | value |\n|---|---|\n", n)
+	fmt.Fprintf(&b, "| events | %d |\n| lag p50 | %v |\n| lag p99 | %v |\n| resyncs | %d |\n| reconnects | %d |\n| goodbyes | %d |\n",
+		ws.events, ws.percentile(0.50), ws.percentile(0.99), ws.resyncs, ws.reconnects, ws.goodbyes)
+	return b.String()
 }
 
 // markdownSummary renders the run for a CI job summary.

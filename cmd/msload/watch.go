@@ -1,0 +1,135 @@
+package main
+
+// The -watch subscriber class: N concurrent SSE subscriptions to the
+// target's /v1/watch endpoint, held open for the whole run. Each
+// subscriber folds nothing — msload is a load generator, not a
+// correctness harness — but it measures what dashboards feel: the lag
+// between the newest acknowledged feed write and the next push event,
+// and how often the stream degraded (resync events, reconnects).
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"c2mn/internal/notify"
+)
+
+// watchStats accumulates the subscriber class's outcomes across all
+// concurrent watchers.
+type watchStats struct {
+	mu         sync.Mutex
+	lags       []time.Duration
+	events     int // data-bearing events (snapshot/delta/resync)
+	resyncs    int // degraded pushes: the hub dropped signal detail
+	reconnects int // stream re-establishments after the first connect
+	goodbyes   int // server-terminated streams
+}
+
+func (ws *watchStats) event(lag time.Duration, haveLag bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.events++
+	if haveLag {
+		ws.lags = append(ws.lags, lag)
+	}
+}
+
+func (ws *watchStats) percentile(p float64) time.Duration {
+	cs := classStats{latencies: ws.lags}
+	return cs.percentile(p)
+}
+
+// runWatcher holds one SSE subscription open until ctx cancels,
+// reconnecting with Last-Event-ID on any stream loss. lastFeedNano is
+// the shared wall-clock of the newest acknowledged feed write; the lag
+// sample for a push event is the time since that write, which bounds
+// how stale a dashboard fed by this stream can be.
+func runWatcher(ctx context.Context, client *http.Client, url string, lastFeedNano *atomic.Int64, ws *watchStats) {
+	lastID := ""
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			ws.mu.Lock()
+			ws.reconnects++
+			ws.mu.Unlock()
+			select {
+			case <-time.After(200 * time.Millisecond):
+			case <-ctx.Done():
+				return
+			}
+		}
+		first = false
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		er := notify.NewEventReader(resp.Body)
+		for {
+			ev, err := er.Next()
+			if err != nil {
+				break
+			}
+			if ev.IsComment() {
+				continue
+			}
+			if ev.ID != "" {
+				lastID = ev.ID
+			}
+			switch ev.Name {
+			case "goodbye":
+				ws.mu.Lock()
+				ws.goodbyes++
+				ws.mu.Unlock()
+			case "snapshot", "delta", "resync":
+				fed := lastFeedNano.Load()
+				ws.event(time.Since(time.Unix(0, fed)), fed != 0)
+				if ev.Name == "resync" {
+					ws.mu.Lock()
+					ws.resyncs++
+					ws.mu.Unlock()
+				}
+			}
+		}
+		resp.Body.Close()
+	}
+}
+
+// startWatchers launches n subscribers against a fleet-scoped watch
+// whose window covers the whole simulated time range, so every feed
+// write is in scope. Returns the stats sink and a stop function that
+// tears the streams down and waits them out.
+func startWatchers(ctx context.Context, base string, n, k int, maxT float64, lastFeedNano *atomic.Int64) (*watchStats, func()) {
+	ws := &watchStats{}
+	// SSE streams are idle between events by design: no client timeout.
+	client := &http.Client{}
+	url := fmt.Sprintf("%s/v1/watch?scope=fleet&k=%d&start=0&end=%g", base, k, maxT+1)
+	wctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWatcher(wctx, client, url, lastFeedNano, ws)
+		}()
+	}
+	return ws, func() {
+		cancel()
+		wg.Wait()
+	}
+}

@@ -18,6 +18,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,11 +28,13 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"c2mn"
+	"c2mn/internal/notify"
 	"c2mn/internal/sim"
 )
 
@@ -250,6 +253,96 @@ func trainFixture(t *testing.T, dir string) (spacePath, modelPath string, test [
 	return spacePath, modelPath, ds.Sequences[7:]
 }
 
+// e2eWatcher holds one /v1/watch SSE subscription open, folding the
+// event stream into a standing answer — with automatic reconnect via
+// Last-Event-ID, so migrations and drains on the serving side are
+// invisible to the folded state except as ordinary events.
+type e2eWatcher struct {
+	t      *testing.T
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	answer notify.Answer
+}
+
+func startE2EWatcher(t *testing.T, url string) *e2eWatcher {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &e2eWatcher{t: t, cancel: cancel}
+	go func() {
+		lastID := ""
+		for ctx.Err() == nil {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				return
+			}
+			req.Header.Set("Accept", "text/event-stream")
+			if lastID != "" {
+				req.Header.Set("Last-Event-ID", lastID)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				select {
+				case <-time.After(100 * time.Millisecond):
+				case <-ctx.Done():
+				}
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				select {
+				case <-time.After(100 * time.Millisecond):
+				case <-ctx.Done():
+				}
+				continue
+			}
+			er := notify.NewEventReader(resp.Body)
+			for {
+				ev, err := er.Next()
+				if err != nil {
+					break
+				}
+				if ev.IsComment() {
+					continue
+				}
+				if ev.ID != "" {
+					lastID = ev.ID
+				}
+				switch ev.Name {
+				case "snapshot", "resync":
+					var snap notify.SnapshotData
+					if json.Unmarshal(ev.Data, &snap) != nil {
+						continue
+					}
+					w.mu.Lock()
+					w.answer = notify.Answer{Kind: snap.Kind, Regions: snap.Regions, Pairs: snap.Pairs}
+					w.mu.Unlock()
+				case "delta":
+					var d notify.DeltaData
+					if json.Unmarshal(ev.Data, &d) != nil {
+						continue
+					}
+					w.mu.Lock()
+					w.answer = notify.Apply(w.answer, d)
+					w.mu.Unlock()
+				}
+			}
+			resp.Body.Close()
+		}
+	}()
+	t.Cleanup(cancel)
+	return w
+}
+
+func (w *e2eWatcher) regionsJSON() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	buf, err := json.Marshal(w.answer.Regions)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return string(buf)
+}
+
 func TestRouterMigrationE2E(t *testing.T) {
 	dir := t.TempDir()
 	spacePath, modelPath, test := trainFixture(t, dir)
@@ -366,11 +459,14 @@ func TestRouterMigrationE2E(t *testing.T) {
 		"/v1/venues/south/stats",
 		"/v1/stats",
 	}
-	// The query-cache counters are the one sanctioned stats divergence
+	// The query-cache counters are one sanctioned stats divergence
 	// between the topologies: the router's conditional revalidations
-	// land on the backends, while the reference never sees one. Zero
-	// them before comparing; every other byte must still match.
-	cacheCounters := regexp.MustCompile(`"(QueryCacheHits|QueryCacheMisses|QueryCacheRevalidations)":-?\d+`)
+	// land on the backends, while the reference never sees one.
+	// StoreNotifications is the other: the change-feed counter is
+	// process-local and not part of venue snapshots, so migration
+	// leaves the source's count behind. Zero both before comparing;
+	// every other byte must still match.
+	cacheCounters := regexp.MustCompile(`"(QueryCacheHits|QueryCacheMisses|QueryCacheRevalidations|StoreNotifications)":-?\d+`)
 	normalizeStats := func(q string, body []byte) []byte {
 		if !strings.HasSuffix(q, "/stats") {
 			return body
@@ -397,6 +493,46 @@ func TestRouterMigrationE2E(t *testing.T) {
 		}
 	}
 	compare("pre-migration")
+
+	// Standing watch streams on both tiers: a fleet-scoped subscriber
+	// against the reference msserve and one through the router, held
+	// open across the churn, the migrations, and the backend crash
+	// below. At every quiescent compare point the folded SSE state must
+	// be byte-identical to what polling the reference returns — the
+	// push plane is the query plane, just delivered incrementally.
+	watchQ := "/v1/watch?scope=fleet&k=10&start=0&end=1e18"
+	refWatch := startE2EWatcher(t, ref.base+watchQ)
+	rtrWatch := startE2EWatcher(t, rtr.base+watchQ)
+	watchConverge := func(stage string) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		var want, gotRef, gotRtr string
+		for {
+			body := map[string]any{"kind": "popular-regions", "scope": "fleet", "k": 10}
+			resp := mustOK(t, doJSON(t, http.MethodPost, ref.base+"/v1/query", "", body), "watch reference poll")
+			var qr struct {
+				Regions json.RawMessage `json:"regions"`
+			}
+			if err := json.Unmarshal(resp, &qr); err != nil {
+				t.Fatal(err)
+			}
+			want = string(qr.Regions)
+			if want == "" {
+				want = "null"
+			}
+			gotRef, gotRtr = refWatch.regionsJSON(), rtrWatch.regionsJSON()
+			if gotRef == want && gotRtr == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		t.Fatalf("%s: folded watch state diverged from the polling reference:\n poll      %s\n msserve   %s\n router    %s",
+			stage, want, gotRef, gotRtr)
+	}
+	watchConverge("pre-migration")
 
 	// Hot-store churn: repeat a fleet query with feeds interleaved, so
 	// every venue's store generation moves between queries. The
@@ -479,7 +615,7 @@ func TestRouterMigrationE2E(t *testing.T) {
 		}
 	}()
 
-	for _, v := range victims {
+	for i, v := range victims {
 		resp := doJSON(t, http.MethodPost, rtr.base+"/admin/migrate", routerToken,
 			map[string]string{"venue": v, "to": b2.base})
 		var report struct {
@@ -494,6 +630,13 @@ func TestRouterMigrationE2E(t *testing.T) {
 		if got := owner(v); got != b2.base {
 			t.Fatalf("after migrating %q its owner is %q, want %q", v, got, b2.base)
 		}
+		if i == 0 {
+			// When HRW put both venues on b1, "other" is also a victim:
+			// the feeder must finish before ITS migration drains it, or
+			// the drain 503s the feed. Live traffic during the first
+			// migration is the scenario; the rest migrate quiesced.
+			<-feederDone
+		}
 	}
 	<-feederDone
 	// Mirror the mid-migration traffic into the reference: same venue,
@@ -503,6 +646,10 @@ func TestRouterMigrationE2E(t *testing.T) {
 		feed(t, ref.base, other, "late-"+other, tail[i:i+1])
 	}
 	compare("post-migration")
+	// The router-side subscriber rode out the cutover: its relays saw
+	// the source copy retire, re-resolved the owner, and resumed on the
+	// destination — without the client stream ever closing.
+	watchConverge("post-migration")
 
 	// Crash the vacated backend. The router's health checks notice and
 	// every answer keeps coming, still byte-identical, from b2 alone.
@@ -534,6 +681,7 @@ func TestRouterMigrationE2E(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	compare("post-crash")
+	watchConverge("post-crash")
 
 	// The migrated state is still live, not a read-only copy: finish
 	// the open fragments on the survivor and flush them through.
@@ -544,4 +692,7 @@ func TestRouterMigrationE2E(t *testing.T) {
 	mustOK(t, doJSON(t, http.MethodPost, rtr.base+"/v1/flush", "", nil), "post-crash router flush")
 	mustOK(t, doJSON(t, http.MethodPost, ref.base+"/v1/flush", "", nil), "post-crash reference flush")
 	compare("post-crash-feed")
+	watchConverge("post-crash-feed")
+	refWatch.cancel()
+	rtrWatch.cancel()
 }

@@ -21,6 +21,12 @@
 // fetch untruncated per-venue partials, and merge them exactly: the
 // answer is byte-identical to a single msserve holding every venue.
 //
+// GET /v1/watch (and /v1/venues/{venue}/watch) serves the fleet
+// continuous-query plane: one client SSE stream multiplexed over
+// per-owner upstream /v1/watch subscriptions, folded through the same
+// exact merge path, resubscribing transparently through migration
+// cutover and backend death via Last-Event-ID resume.
+//
 // Router-specific endpoints:
 //
 //	GET    /admin/backends      backend table with health + hosted venues
@@ -80,6 +86,10 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "maximum buffered request body size in bytes")
 	settleDelay := flag.Duration("settle-delay", 100*time.Millisecond,
 		"delay between the stats polls that decide a draining venue has quiesced")
+	watchHeartbeat := flag.Duration("watch-heartbeat", 15*time.Second,
+		"comment-frame heartbeat period on /v1/watch client streams")
+	watchIdleTimeout := flag.Duration("watch-idle-timeout", 60*time.Second,
+		"abandon and resubscribe an upstream watch stream after this long without any frame (must exceed the backends' -watch-heartbeat)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this separate address (e.g. localhost:6061); never exposed on -addr (empty = off)")
@@ -95,14 +105,16 @@ func main() {
 		}
 	}
 	rt, err := router.New(router.Config{
-		Backends:       list,
-		AdminToken:     *adminToken,
-		BackendToken:   *backendToken,
-		HealthInterval: *healthInterval,
-		Retries:        *retries,
-		MaxBody:        *maxBody,
-		SettleDelay:    *settleDelay,
-		Logf:           log.Printf,
+		Backends:         list,
+		AdminToken:       *adminToken,
+		BackendToken:     *backendToken,
+		HealthInterval:   *healthInterval,
+		Retries:          *retries,
+		MaxBody:          *maxBody,
+		SettleDelay:      *settleDelay,
+		WatchHeartbeat:   *watchHeartbeat,
+		WatchIdleTimeout: *watchIdleTimeout,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -126,6 +138,9 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	// Standing watch streams never go idle; tell them to say goodbye
+	// before Shutdown starts counting, or the drain always times out.
+	rt.StopWatches()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -135,6 +135,7 @@ import (
 	"time"
 
 	"c2mn"
+	"c2mn/internal/notify"
 )
 
 func main() {
@@ -172,6 +173,8 @@ func main() {
 		"background snapshot period per venue; unchanged venues are skipped (0 = snapshot only on shutdown/trigger; requires -snapshot-dir)")
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this separate address (e.g. localhost:6060); never exposed on -addr (empty = off)")
+	watchHeartbeat := flag.Duration("watch-heartbeat", defaultWatchHeartbeat,
+		"comment-frame heartbeat period on /v1/watch streams (keeps idle streams alive through proxies)")
 	flag.Parse()
 
 	if *maxBody <= 0 {
@@ -202,6 +205,11 @@ func main() {
 	}
 
 	infer := c2mn.AnnotateOptions{MaxSweeps: *maxSweeps, AnnealSweeps: *annealSweeps, Seed: *seed}
+	// The change-feed hub spans the whole registry: every engine —
+	// including ones loaded or hot-reloaded later, which inherit the
+	// defaults — publishes its generation moves here, and /v1/watch
+	// streams subscribe (see watch.go).
+	watchHub := notify.NewHub()
 	registry, err := c2mn.NewVenueRegistry(
 		c2mn.WithVenueDefaults(
 			c2mn.WithPreprocess(*eta, *psi),
@@ -210,6 +218,7 @@ func main() {
 			c2mn.WithRetention(*retention),
 			c2mn.WithInferOptions(infer),
 			c2mn.WithFeedQueueTimeout(*feedTimeout),
+			c2mn.WithChangeNotifier(watchHub.Publish),
 		),
 		c2mn.WithVenueBudget(*budget),
 		c2mn.WithMaxVenues(*maxVenues),
@@ -258,10 +267,13 @@ func main() {
 	// when the drain starts, so a router's health checks stop routing
 	// new work here while in-flight requests finish.
 	var ready atomic.Bool
+	watchStop := make(chan struct{})
 	srv := &http.Server{
 		Handler: newServer(registry, *maxBody, *adminToken,
 			withFeedRetryAfter(*feedTimeout), withSnapshotDir(*snapshotDir),
-			withReadiness(&ready), withSnapshotTracker(snaps)),
+			withReadiness(&ready), withSnapshotTracker(snaps),
+			withWatchHub(watchHub), withWatchHeartbeat(*watchHeartbeat),
+			withWatchShutdown(watchStop)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -275,7 +287,10 @@ func main() {
 	}
 	ready.Store(true)
 	log.Printf("serving %d venue(s) on %s", registry.Len(), ln.Addr())
-	if err := serve(ctx, srv, ln, *drain, func() { ready.Store(false) }); err != nil {
+	// Drain order: readiness off first (health checks stop routing new
+	// work here), then the watch stop — open /v1/watch streams emit a
+	// terminal goodbye and return, so Shutdown's wait below covers them.
+	if err := serve(ctx, srv, ln, *drain, func() { ready.Store(false); close(watchStop) }); err != nil {
 		log.Fatal(err)
 	}
 	if *snapshotDir != "" {
@@ -525,6 +540,15 @@ type server struct {
 	ready          *atomic.Bool
 	snaps          *snapshotTracker
 
+	// Continuous-query push plane (see watch.go): the change-feed hub
+	// the registry's engines publish generation moves into, the
+	// heartbeat cadence of /v1/watch streams, and a channel closed when
+	// the shutdown drain starts so standing streams say goodbye instead
+	// of holding Shutdown open.
+	watchHub       *notify.Hub
+	watchHeartbeat time.Duration
+	watchShutdown  chan struct{}
+
 	// drainMu guards draining: venue → redirect base URL. A venue
 	// present with an empty value is draining without a cutover target
 	// yet (/feed answers 503 + Retry-After); a non-empty value is the
@@ -576,6 +600,31 @@ func withSnapshotTracker(t *snapshotTracker) serverOption {
 	return func(s *server) { s.snaps = t }
 }
 
+// withWatchHub installs the change-feed hub /v1/watch subscribes to.
+// The caller must also register the hub's Publish as the registry's
+// change notifier (c2mn.WithChangeNotifier) — the server only consumes
+// signals. Without the option the server makes its own hub, which then
+// never fires: watches degrade to snapshot + heartbeats.
+func withWatchHub(h *notify.Hub) serverOption {
+	return func(s *server) { s.watchHub = h }
+}
+
+// withWatchHeartbeat overrides the /v1/watch heartbeat cadence.
+func withWatchHeartbeat(d time.Duration) serverOption {
+	return func(s *server) {
+		if d > 0 {
+			s.watchHeartbeat = d
+		}
+	}
+}
+
+// withWatchShutdown wires the channel main closes when the shutdown
+// drain starts; open /v1/watch streams then emit a terminal goodbye
+// and return, so Shutdown's wait covers them without a timeout.
+func withWatchShutdown(ch chan struct{}) serverOption {
+	return func(s *server) { s.watchShutdown = ch }
+}
+
 // newServer builds the route table: the canonical versioned surface
 // under /v1/ plus the pre-versioning unversioned paths, kept as
 // deprecated aliases onto the same handlers. maxBody caps every
@@ -597,6 +646,12 @@ func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string, o
 	}
 	if s.snaps == nil {
 		s.snaps = newSnapshotTracker()
+	}
+	if s.watchHub == nil {
+		s.watchHub = notify.NewHub()
+	}
+	if s.watchHeartbeat <= 0 {
+		s.watchHeartbeat = defaultWatchHeartbeat
 	}
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -645,6 +700,10 @@ func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string, o
 	// as a legacy alias.
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// The continuous-query endpoint is v1-only like /v1/query: same
+	// composable scope surface, push instead of poll (see watch.go).
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	mux.HandleFunc("GET /v1/venues/{venue}/watch", s.handleWatch)
 	return echoRequestID(mux)
 }
 
@@ -851,6 +910,7 @@ func (s *server) handleUndrainVenue(w http.ResponseWriter, r *http.Request) {
 // warm boot completed). Liveness (/healthz) is deliberately separate
 // and never flips — a draining process is still alive.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	if s.ready.Load() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 		return
@@ -870,6 +930,7 @@ func deprecated(h http.HandlerFunc) http.HandlerFunc {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -1457,6 +1518,7 @@ type statsResponse struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	per := s.registry.Stats()
 	resp := statsResponse{Venues: per}
 	for _, st := range per {
@@ -1469,6 +1531,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Totals.QueryCacheHits += st.QueryCacheHits
 		resp.Totals.QueryCacheMisses += st.QueryCacheMisses
 		resp.Totals.QueryCacheRevalidations += st.QueryCacheRevalidations
+		resp.Totals.StoreNotifications += st.StoreNotifications
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -1478,7 +1541,16 @@ func (s *server) handleVenueStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	noStore(w)
 	writeJSON(w, http.StatusOK, e.Stats())
+}
+
+// noStore marks an introspection response uncacheable. Operational
+// state (stats, venue listings, health) must never be served stale by
+// an intermediary; only /v1/query is deliberately cache-validated,
+// through its generation ETag.
+func noStore(w http.ResponseWriter) {
+	w.Header().Set("Cache-Control", "no-store")
 }
 
 // venueInfo is one row of the /venues listing. The snapshot columns
@@ -1502,6 +1574,7 @@ type venueInfo struct {
 }
 
 func (s *server) handleListVenues(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	ids := s.registry.Venues()
 	out := make([]venueInfo, 0, len(ids))
 	for _, id := range ids {
@@ -1576,11 +1649,14 @@ func (s *server) handleLoadVenue(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// A (re)loaded venue starts with a fresh engine: any previous
-	// drain state or snapshot freshness no longer describes it.
+	// drain state or snapshot freshness no longer describes it, and
+	// standing watches cannot patch their answers across the swap —
+	// they resync.
 	s.drainMu.Lock()
 	delete(s.draining, req.Venue)
 	s.drainMu.Unlock()
 	s.snaps.forget(req.Venue)
+	s.watchHub.Invalidate(req.Venue)
 	writeJSON(w, http.StatusCreated, map[string]string{"venue": req.Venue, "status": "loaded"})
 }
 
@@ -1599,6 +1675,9 @@ func (s *server) handleUnloadVenue(w http.ResponseWriter, r *http.Request) {
 	delete(s.draining, id)
 	s.drainMu.Unlock()
 	s.snaps.forget(id)
+	// Standing watches on the venue re-execute, find it gone, and close
+	// with a goodbye — the client's signal to re-resolve ownership.
+	s.watchHub.Invalidate(id)
 	writeJSON(w, http.StatusOK, map[string]string{"venue": id, "status": "unloaded"})
 }
 

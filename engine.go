@@ -44,6 +44,8 @@ type Engine struct {
 	budget      chan struct{} // optional shared inference budget (see WithVenueBudget)
 	feedTimeout time.Duration // bound on streaming-path budget waits (see WithFeedQueueTimeout)
 	store       *query.Store
+	notifier    func(venue string, gen uint64) // change-feed signal (see WithChangeNotifier)
+	notified    atomic.Int64                   // generation-move signals delivered to the notifier
 
 	mu      sync.Mutex // guards streams and fed
 	streams *seq.StreamSet
@@ -113,6 +115,13 @@ func NewEngine(a *Annotator, opts ...Option) (*Engine, error) {
 	}
 	e.streams = seq.NewStreamSet(e.eta, e.psi)
 	e.store = query.NewStore(e.retention)
+	if e.notifier != nil {
+		fn := e.notifier
+		e.store.OnChange(func(gen uint64) {
+			e.notified.Add(1)
+			fn(e.venue, gen)
+		})
+	}
 	e.qcache = lru.New[string, cachedAnswer](queryCacheEntries)
 	return e, nil
 }
@@ -657,6 +666,12 @@ type EngineStats struct {
 	// QueryCacheRevalidations counts conditional HTTP requests answered
 	// 304 off the generation validator (the serving tier's cache hits).
 	QueryCacheRevalidations int64
+	// StoreNotifications counts generation-move signals delivered to the
+	// change notifier (see WithChangeNotifier) — the push plane's event
+	// source. Zero when no notifier is installed. Like the cache
+	// counters it is process-local operational state: snapshots neither
+	// persist nor restore it.
+	StoreNotifications int64
 }
 
 // Stats reports the streaming pipeline's counters.
@@ -667,6 +682,7 @@ func (e *Engine) Stats() EngineStats {
 		QueryCacheHits:          e.cacheHits.Load(),
 		QueryCacheMisses:        e.cacheMisses.Load(),
 		QueryCacheRevalidations: e.cacheRevals.Load(),
+		StoreNotifications:      e.notified.Load(),
 	}
 	e.mu.Lock()
 	st.FedRecords = e.fed

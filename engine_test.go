@@ -444,3 +444,52 @@ func TestEngineRetentionWindow(t *testing.T) {
 			st.StoredSequences, st.EmittedSequences)
 	}
 }
+
+func TestEngineChangeNotifier(t *testing.T) {
+	a, test := testAnnotator(t)
+	type signal struct {
+		venue string
+		gen   uint64
+	}
+	var mu sync.Mutex
+	var signals []signal
+	e, err := NewEngine(a,
+		WithVenueID("north"),
+		WithChangeNotifier(func(venue string, gen uint64) {
+			mu.Lock()
+			signals = append(signals, signal{venue, gen})
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range test[:2] {
+		for _, r := range ls.P.Records {
+			if err := e.Feed(ls.P.ObjectID, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := append([]signal(nil), signals...)
+	mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("feeding through a flush produced no change notifications")
+	}
+	for i, s := range got {
+		if s.venue != "north" {
+			t.Fatalf("signal %d carries venue %q, want north", i, s.venue)
+		}
+		if i > 0 && s.gen <= got[i-1].gen {
+			t.Fatalf("generations not increasing: %v", got)
+		}
+	}
+	st := e.Stats()
+	if st.StoreNotifications != int64(len(got)) {
+		t.Fatalf("StoreNotifications = %d, want %d delivered signals", st.StoreNotifications, len(got))
+	}
+}

@@ -1,0 +1,252 @@
+// Watchboard: a standard-library-only consumer of the continuous-query
+// push plane. It opens one GET /v1/watch SSE stream against a running
+// msserve or msrouter, folds snapshot/delta/resync events into a
+// standing top-k board, reprints the board whenever it changes, and
+// reconnects with Last-Event-ID when the connection drops — the full
+// client contract in one file. The SSE parsing is hand-rolled here on
+// purpose: an external consumer in any language needs nothing beyond
+// this.
+//
+// Run against a serving process (see the README quickstart to start
+// one):
+//
+//	go run ./examples/watchboard -base http://localhost:8080 -scope fleet -k 5
+//	go run ./examples/watchboard -base http://localhost:8080 -venue north
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+type row struct {
+	Region int `json:"region"`
+	Count  int `json:"count"`
+}
+
+type snapshotData struct {
+	Kind    string `json:"kind"`
+	K       int    `json:"k"`
+	Regions []row  `json:"regions"`
+}
+
+type deltaData struct {
+	Entered []row `json:"entered"`
+	Changed []row `json:"changed"`
+	Left    []row `json:"left"`
+}
+
+type goodbyeData struct {
+	Reason string `json:"reason"`
+}
+
+// board is the folded state of the standing query. Fold order matters
+// only within one stream: snapshot/resync replace, delta edits.
+type board struct {
+	rows map[int]int
+}
+
+func (b *board) replace(rows []row) {
+	b.rows = make(map[int]int, len(rows))
+	for _, r := range rows {
+		b.rows[r.Region] = r.Count
+	}
+}
+
+func (b *board) apply(d deltaData) {
+	if b.rows == nil {
+		b.rows = map[int]int{}
+	}
+	for _, r := range d.Entered {
+		b.rows[r.Region] = r.Count
+	}
+	for _, r := range d.Changed {
+		b.rows[r.Region] = r.Count
+	}
+	for _, r := range d.Left {
+		delete(b.rows, r.Region)
+	}
+}
+
+func (b *board) print(id string) {
+	rows := make([]row, 0, len(b.rows))
+	for rg, c := range b.rows {
+		rows = append(rows, row{Region: rg, Count: c})
+	}
+	// Canonical top-k order: count desc, region asc — the same order
+	// the server answers queries in.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Region < rows[j].Region
+	})
+	fmt.Printf("—— top-%d @ %s ——\n", len(rows), id)
+	for i, r := range rows {
+		fmt.Printf("%2d. region %3d  %5d visits\n", i+1, r.Region, r.Count)
+	}
+}
+
+// event is one parsed SSE frame: comment heartbeats have name "" and
+// the comment text in data.
+type event struct {
+	name    string
+	id      string
+	data    []byte
+	comment bool
+}
+
+// readEvents parses text/event-stream frames per the WHATWG spec
+// subset the server emits: "event:", "id:", "data:" and ":" comment
+// lines, frames separated by a blank line.
+func readEvents(r *bufio.Reader, emit func(event) bool) error {
+	var ev event
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if ev.name != "" || len(ev.data) > 0 || ev.comment {
+				if !emit(ev) {
+					return nil
+				}
+			}
+			ev = event{}
+		case strings.HasPrefix(line, ":"):
+			ev.comment = true
+			ev.data = []byte(strings.TrimPrefix(strings.TrimPrefix(line, ":"), " "))
+		case strings.HasPrefix(line, "event:"):
+			ev.name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "id:"):
+			ev.id = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
+		case strings.HasPrefix(line, "data:"):
+			if len(ev.data) > 0 {
+				ev.data = append(ev.data, '\n')
+			}
+			ev.data = append(ev.data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		}
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	base := flag.String("base", "http://localhost:8080", "msserve or msrouter base URL")
+	venue := flag.String("venue", "", "watch a single venue (empty = use -scope/-venues)")
+	venues := flag.String("venues", "", "comma-separated explicit venue set")
+	scope := flag.String("scope", "", "fleet to watch every loaded venue")
+	k := flag.Int("k", 5, "top-k size")
+	idle := flag.Duration("idle", time.Minute,
+		"reconnect when no frame (not even a heartbeat) arrives within this window; must exceed the server's heartbeat period")
+	flag.Parse()
+
+	// The board folds region rows; frequent-pairs streams work the same
+	// way over the *_pairs delta fields.
+	q := url.Values{}
+	q.Set("kind", "popular-regions")
+	q.Set("k", fmt.Sprint(*k))
+	if *venues != "" {
+		q.Set("venues", *venues)
+	}
+	if *scope != "" {
+		q.Set("scope", *scope)
+	}
+	watchURL := *base + "/v1/watch?" + q.Encode()
+	if *venue != "" {
+		watchURL = *base + "/v1/venues/" + url.PathEscape(*venue) + "/watch?" + q.Encode()
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var b board
+	lastID := "" // sent back as Last-Event-ID so reconnects resume, not replay
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, watchURL, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			log.Printf("connect: %v (retrying)", err)
+			time.Sleep(time.Second)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			log.Fatalf("watch: HTTP %s", resp.Status)
+		}
+		log.Printf("subscribed: %s", watchURL)
+		// Heartbeats are the liveness contract: a healthy server always
+		// produces a frame within its heartbeat period, so a window with
+		// nothing at all means the connection is dead even if TCP says
+		// otherwise (half-open after a server crash, stalled middlebox).
+		// Closing the body is what unblocks the read below.
+		stall := time.AfterFunc(*idle, func() { resp.Body.Close() })
+		err = readEvents(bufio.NewReader(resp.Body), func(ev event) bool {
+			stall.Reset(*idle)
+			if ev.comment {
+				return true // heartbeat: the stream is alive, nothing changed
+			}
+			if ev.id != "" {
+				lastID = ev.id
+			}
+			switch ev.name {
+			case "snapshot", "resync":
+				var snap snapshotData
+				if err := json.Unmarshal(ev.data, &snap); err != nil {
+					log.Printf("bad %s payload: %v", ev.name, err)
+					return true
+				}
+				b.replace(snap.Regions)
+				b.print(ev.id)
+			case "delta":
+				var d deltaData
+				if err := json.Unmarshal(ev.data, &d); err != nil {
+					log.Printf("bad delta payload: %v", err)
+					return true
+				}
+				b.apply(d)
+				b.print(ev.id)
+			case "goodbye":
+				var g goodbyeData
+				_ = json.Unmarshal(ev.data, &g)
+				log.Printf("server said goodbye (%s)", g.Reason)
+				return g.Reason == "draining" // reconnect elsewhere only makes sense for drains
+			}
+			return true
+		})
+		stall.Stop()
+		resp.Body.Close()
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			log.Printf("stream ended: %v (reconnecting with Last-Event-ID %q)", err, lastID)
+		} else {
+			return // terminal goodbye
+		}
+		time.Sleep(time.Second)
+	}
+}

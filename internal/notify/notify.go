@@ -1,0 +1,215 @@
+// Package notify is the continuous-query push plane's fan-out core: a
+// per-venue change-feed hub driven by the query store's generation
+// counter, plus the wire schema (snapshot / delta / resync / goodbye
+// events), the composite-generation event IDs that make Last-Event-ID
+// reconnects exact, and a minimal SSE writer/reader pair shared by
+// msserve, msrouter, msload and the examples.
+//
+// The hub deliberately transports *signals*, not data: a subscriber
+// learns "venue V moved past generation G", never the write itself.
+// Publishers (the store's OnChange callback, on the feed path) must
+// never block, so each subscription coalesces bursts into its pending
+// map and drops to a resync marker when the map outgrows its bound —
+// the subscriber then re-executes its standing query from scratch,
+// which is always sound because equal generations imply byte-identical
+// answers.
+package notify
+
+import "sync"
+
+// DefaultPending bounds a subscription's pending-venue map when the
+// subscriber passes no explicit bound. A venue-scoped watch pends at
+// most a handful of venues; only fleet watches over very wide
+// registries approach the bound, and overflowing to a resync is cheap
+// there (one fleet re-execution, which the watch loop was about to do
+// anyway).
+const DefaultPending = 64
+
+// Hub fans venue change signals out to subscriptions. One hub serves a
+// whole process (all venues of a registry); its lock is held only for
+// map bookkeeping, never while executing queries or writing to sockets.
+type Hub struct {
+	mu     sync.Mutex
+	venues map[string]map[*Sub]struct{}
+	all    map[*Sub]struct{}
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{
+		venues: make(map[string]map[*Sub]struct{}),
+		all:    make(map[*Sub]struct{}),
+	}
+}
+
+// Sub is one subscription. The owning goroutine waits on Ready and
+// drains with Take; the hub side only ever signals, so a slow or stuck
+// subscriber cannot hold up a publisher.
+type Sub struct {
+	hub    *Hub
+	venues []string // nil = wildcard (all venues, including ones loaded later)
+
+	mu      sync.Mutex
+	pending map[string]uint64 // venue -> highest generation seen since last Take
+	bound   int
+	resync  bool
+	closed  bool
+	ready   chan struct{} // 1-cap signal channel
+}
+
+// Subscribe registers a subscription for the given venues. An empty
+// venue list subscribes to every venue, including venues loaded after
+// the subscription was created — the shape a fleet-scoped watch needs.
+// bound caps the pending map (<= 0 uses DefaultPending); overflow sets
+// the resync flag instead of growing. Close releases the subscription.
+func (h *Hub) Subscribe(venues []string, bound int) *Sub {
+	if bound <= 0 {
+		bound = DefaultPending
+	}
+	s := &Sub{
+		hub:     h,
+		pending: make(map[string]uint64),
+		bound:   bound,
+		ready:   make(chan struct{}, 1),
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(venues) == 0 {
+		h.all[s] = struct{}{}
+		return s
+	}
+	s.venues = append(s.venues, venues...)
+	for _, v := range s.venues {
+		set := h.venues[v]
+		if set == nil {
+			set = make(map[*Sub]struct{})
+			h.venues[v] = set
+		}
+		set[s] = struct{}{}
+	}
+	return s
+}
+
+// Publish signals that a venue's store moved to generation gen. It
+// never blocks: each matching subscription either records the signal in
+// its pending map (keeping the highest generation — concurrent
+// publishers may arrive out of order) or, when the map is full, flips
+// to resync. Safe for concurrent use; called from the write path.
+func (h *Hub) Publish(venue string, gen uint64) {
+	h.mu.Lock()
+	subs := make([]*Sub, 0, len(h.venues[venue])+len(h.all))
+	for s := range h.venues[venue] {
+		subs = append(subs, s)
+	}
+	for s := range h.all {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.signal(venue, gen, false)
+	}
+}
+
+// Invalidate tells every subscription that covers the venue to resync:
+// its standing answer can no longer be patched forward (the venue was
+// unloaded, hot-reloaded, or restored from a snapshot whose history the
+// subscriber never saw). Subscribers re-execute and discover the new
+// state — including "venue gone" — on their own read path.
+func (h *Hub) Invalidate(venue string) {
+	h.mu.Lock()
+	subs := make([]*Sub, 0, len(h.venues[venue])+len(h.all))
+	for s := range h.venues[venue] {
+		subs = append(subs, s)
+	}
+	for s := range h.all {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.signal(venue, 0, true)
+	}
+}
+
+// Subscribers returns the number of live subscriptions (an
+// observability gauge, not a synchronization primitive).
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	set := make(map[*Sub]struct{}, len(h.all))
+	for s := range h.all {
+		set[s] = struct{}{}
+	}
+	for _, subs := range h.venues {
+		for s := range subs {
+			set[s] = struct{}{}
+		}
+	}
+	return len(set)
+}
+
+func (s *Sub) signal(venue string, gen uint64, resync bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if resync {
+		s.resync = true
+	} else if cur, ok := s.pending[venue]; ok {
+		if gen > cur {
+			s.pending[venue] = gen
+		}
+	} else if len(s.pending) >= s.bound {
+		s.resync = true
+	} else {
+		s.pending[venue] = gen
+	}
+	s.mu.Unlock()
+	select {
+	case s.ready <- struct{}{}:
+	default: // already signalled; the pending state carries the rest
+	}
+}
+
+// Ready returns the signal channel: it receives (at most one buffered
+// token) whenever the subscription has pending state to Take.
+func (s *Sub) Ready() <-chan struct{} { return s.ready }
+
+// Take drains and resets the subscription's pending state: the highest
+// generation seen per venue since the last Take, and whether the
+// subscription overflowed (or was invalidated) and must resync. The
+// returned map is owned by the caller.
+func (s *Sub) Take() (pending map[string]uint64, resync bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pending = s.pending
+	resync = s.resync
+	s.pending = make(map[string]uint64)
+	s.resync = false
+	return pending, resync
+}
+
+// Close unregisters the subscription from its hub. Idempotent; safe to
+// call while publishers are signalling.
+func (s *Sub) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	h := s.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.all, s)
+	for _, v := range s.venues {
+		if set := h.venues[v]; set != nil {
+			delete(set, s)
+			if len(set) == 0 {
+				delete(h.venues, v)
+			}
+		}
+	}
+}

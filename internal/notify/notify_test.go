@@ -1,0 +1,332 @@
+package notify
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/query"
+)
+
+func drain(t *testing.T, s *Sub) (map[string]uint64, bool) {
+	t.Helper()
+	select {
+	case <-s.Ready():
+	default:
+		t.Fatal("subscription has no ready signal")
+	}
+	return s.Take()
+}
+
+func TestHubVenueScopedDelivery(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe([]string{"a", "b"}, 0)
+	defer s.Close()
+
+	h.Publish("a", 3)
+	h.Publish("c", 9) // not subscribed: must not appear
+	h.Publish("b", 1)
+
+	pending, resync := drain(t, s)
+	if resync {
+		t.Fatal("unexpected resync")
+	}
+	if want := map[string]uint64{"a": 3, "b": 1}; !reflect.DeepEqual(pending, want) {
+		t.Fatalf("pending = %v, want %v", pending, want)
+	}
+	select {
+	case <-s.Ready():
+		t.Fatal("ready signal left over after Take")
+	default:
+	}
+}
+
+func TestHubCoalescesToHighestGeneration(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe([]string{"a"}, 0)
+	defer s.Close()
+
+	// Out-of-order arrival (concurrent publishers can interleave): the
+	// pending map must keep the maximum, not the latest.
+	h.Publish("a", 5)
+	h.Publish("a", 2)
+	h.Publish("a", 7)
+	h.Publish("a", 6)
+
+	pending, resync := drain(t, s)
+	if resync || pending["a"] != 7 {
+		t.Fatalf("pending = %v resync = %v, want a:7 and no resync", pending, resync)
+	}
+}
+
+func TestHubOverflowFlipsToResync(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(nil, 2) // wildcard, tiny bound
+	defer s.Close()
+
+	h.Publish("a", 1)
+	h.Publish("b", 1)
+	h.Publish("c", 1) // third distinct venue overflows the bound of 2
+
+	pending, resync := drain(t, s)
+	if !resync {
+		t.Fatalf("pending = %v, want resync after overflow", pending)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("pending kept %d venues, want the 2 that fit", len(pending))
+	}
+
+	// A signal for an already-pended venue coalesces and must NOT
+	// overflow even at the bound.
+	h.Publish("a", 1)
+	h.Publish("b", 2)
+	h.Publish("a", 3)
+	pending, resync = drain(t, s)
+	if resync {
+		t.Fatal("coalescing signal at the bound must not force a resync")
+	}
+	if pending["a"] != 3 || pending["b"] != 2 {
+		t.Fatalf("pending = %v", pending)
+	}
+}
+
+func TestHubInvalidate(t *testing.T) {
+	h := NewHub()
+	scoped := h.Subscribe([]string{"a"}, 0)
+	defer scoped.Close()
+	other := h.Subscribe([]string{"b"}, 0)
+	defer other.Close()
+	wild := h.Subscribe(nil, 0)
+	defer wild.Close()
+
+	h.Invalidate("a")
+	if _, resync := drain(t, scoped); !resync {
+		t.Fatal("scoped subscription covering the venue must resync")
+	}
+	if _, resync := drain(t, wild); !resync {
+		t.Fatal("wildcard subscription must resync")
+	}
+	select {
+	case <-other.Ready():
+		t.Fatal("subscription not covering the venue was signalled")
+	default:
+	}
+}
+
+func TestHubWildcardSeesVenuesLoadedLater(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(nil, 0)
+	defer s.Close()
+
+	// "later" is any venue the hub has never seen before this publish.
+	h.Publish("fresh", 1)
+	pending, _ := drain(t, s)
+	if pending["fresh"] != 1 {
+		t.Fatalf("pending = %v, want fresh:1", pending)
+	}
+}
+
+func TestHubCloseStopsDeliveryAndIsIdempotent(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe([]string{"a"}, 0)
+	if got := h.Subscribers(); got != 1 {
+		t.Fatalf("Subscribers() = %d, want 1", got)
+	}
+	s.Close()
+	s.Close()
+	if got := h.Subscribers(); got != 0 {
+		t.Fatalf("Subscribers() after Close = %d, want 0", got)
+	}
+	h.Publish("a", 1)
+	select {
+	case <-s.Ready():
+		t.Fatal("closed subscription was signalled")
+	default:
+	}
+}
+
+func TestHubPublishConcurrent(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(nil, 0)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 100; i++ {
+				h.Publish("v", uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	pending, resync := drain(t, s)
+	if resync || pending["v"] != 100 {
+		t.Fatalf("pending = %v resync = %v, want v:100", pending, resync)
+	}
+}
+
+func randomAnswer(rng *rand.Rand) Answer {
+	a := Answer{Kind: "popular-regions"}
+	seenR := map[indoor.RegionID]bool{}
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		id := indoor.RegionID(rng.Intn(10))
+		if seenR[id] {
+			continue
+		}
+		seenR[id] = true
+		a.Regions = append(a.Regions, query.RegionCount{Region: id, Count: 1 + rng.Intn(50)})
+	}
+	query.SortRegionCounts(a.Regions)
+	seenP := map[[2]indoor.RegionID]bool{}
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		k := [2]indoor.RegionID{indoor.RegionID(rng.Intn(6)), indoor.RegionID(rng.Intn(6))}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if seenP[k] {
+			continue
+		}
+		seenP[k] = true
+		a.Pairs = append(a.Pairs, query.PairCount{A: k[0], B: k[1], Count: 1 + rng.Intn(50)})
+	}
+	query.SortPairCounts(a.Pairs)
+	return a
+}
+
+func answersEqual(a, b Answer) bool {
+	if len(a.Regions) != len(b.Regions) || len(a.Pairs) != len(b.Pairs) {
+		return false
+	}
+	for i := range a.Regions {
+		if a.Regions[i] != b.Regions[i] {
+			return false
+		}
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiffApplyRoundTrip is the folding exactness property the whole
+// delta schema rests on: for any pair of answers,
+// Apply(prev, Diff(prev, next)) reproduces next row-for-row.
+func TestDiffApplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		prev, next := randomAnswer(rng), randomAnswer(rng)
+		d := Diff(prev, next)
+		if folded := Apply(prev, d); !answersEqual(folded, next) {
+			t.Fatalf("case %d:\nprev = %+v\nnext = %+v\ndelta = %+v\nfolded = %+v", i, prev, next, d, folded)
+		}
+		if got := Diff(prev, prev); !got.Empty() {
+			t.Fatalf("Diff(a, a) = %+v, want empty", got)
+		}
+	}
+}
+
+func TestDiffClassifiesRows(t *testing.T) {
+	prev := Answer{Regions: []query.RegionCount{{Region: 1, Count: 10}, {Region: 2, Count: 5}}}
+	next := Answer{Regions: []query.RegionCount{{Region: 1, Count: 12}, {Region: 3, Count: 4}}}
+	d := Diff(prev, next)
+	if len(d.Entered) != 1 || d.Entered[0].Region != 3 {
+		t.Fatalf("entered = %+v", d.Entered)
+	}
+	if len(d.Changed) != 1 || d.Changed[0] != (query.RegionCount{Region: 1, Count: 12}) {
+		t.Fatalf("changed = %+v", d.Changed)
+	}
+	// Left rows carry the last pushed count for display.
+	if len(d.Left) != 1 || d.Left[0] != (query.RegionCount{Region: 2, Count: 5}) {
+		t.Fatalf("left = %+v", d.Left)
+	}
+}
+
+func TestEventIDRoundTrip(t *testing.T) {
+	cases := []map[string]uint64{
+		{},
+		{"a": 0},
+		{"north": 7, "south": 12},
+		{"with:colon": 1, "with;semi": 2, "with%percent": 3, "plain": 4},
+	}
+	for _, gens := range cases {
+		id := EncodeEventID(gens)
+		got, ok := ParseEventID(id)
+		if !ok || !reflect.DeepEqual(got, gens) {
+			t.Fatalf("roundtrip %v -> %q -> %v ok=%v", gens, id, got, ok)
+		}
+	}
+	if id := EncodeEventID(map[string]uint64{"b": 2, "a": 1}); id != "a:1;b:2" {
+		t.Fatalf("composite not venue-sorted: %q", id)
+	}
+	if VenueEventID("north", 7) != EncodeEventID(map[string]uint64{"north": 7}) {
+		t.Fatal("VenueEventID disagrees with the single-venue composite")
+	}
+	for _, bad := range []string{"noclosestructure", "a:1;a:2", "a:notanumber", "%zz:1"} {
+		if _, ok := ParseEventID(bad); ok {
+			t.Fatalf("ParseEventID(%q) accepted a malformed id", bad)
+		}
+	}
+}
+
+func TestSSEWriterReaderRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw, err := NewSSEWriter(rec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q, want no-store", cc)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	if err := sw.Event("snapshot", "a:1", SnapshotData{Kind: "popular-regions", K: 3, Scanned: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Comment("hb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Event("delta", "a:2", DeltaData{Kind: "popular-regions",
+		Entered: []query.RegionCount{{Region: 4, Count: 9}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Event("goodbye", "", GoodbyeData{Reason: ReasonDraining}); err != nil {
+		t.Fatal(err)
+	}
+
+	er := NewEventReader(bytes.NewReader(rec.Body.Bytes()))
+	ev, err := er.Next()
+	if err != nil || ev.Name != "snapshot" || ev.ID != "a:1" {
+		t.Fatalf("first event = %+v err = %v", ev, err)
+	}
+	var snap SnapshotData
+	if err := json.Unmarshal(ev.Data, &snap); err != nil || snap.K != 3 {
+		t.Fatalf("snapshot payload %s: %v", ev.Data, err)
+	}
+	ev, err = er.Next()
+	if err != nil || !ev.IsComment() || string(ev.Data) != "hb" {
+		t.Fatalf("heartbeat = %+v err = %v", ev, err)
+	}
+	ev, err = er.Next()
+	if err != nil || ev.Name != "delta" || ev.ID != "a:2" {
+		t.Fatalf("delta event = %+v err = %v", ev, err)
+	}
+	// The goodbye has no id: the spec's sticky last-event-ID applies.
+	ev, err = er.Next()
+	if err != nil || ev.Name != "goodbye" || ev.ID != "a:2" {
+		t.Fatalf("goodbye event = %+v err = %v (want sticky id a:2)", ev, err)
+	}
+	if _, err := er.Next(); err != io.EOF {
+		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+}

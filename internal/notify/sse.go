@@ -1,0 +1,177 @@
+package notify
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// SSE framing. The writer emits exactly the subset of the EventSource
+// wire format the watch plane needs — named events with an id and one
+// JSON data line, plus comment heartbeats — and flushes after every
+// frame so events cross proxies immediately. The reader parses the
+// same subset (multi-line data is still joined per the spec, and ids
+// are sticky, so the reader is a well-behaved general client).
+
+// ErrNotFlushable is returned by NewSSEWriter when the ResponseWriter
+// cannot stream (no http.Flusher anywhere in its chain).
+var ErrNotFlushable = errors.New("notify: response writer cannot stream (no flusher)")
+
+// SSEWriter writes server-sent events to an HTTP response. Not safe for
+// concurrent use; the watch handlers are single-writer by construction.
+type SSEWriter struct {
+	w            http.ResponseWriter
+	rc           *http.ResponseController
+	writeTimeout time.Duration
+}
+
+// NewSSEWriter prepares a streaming response: sets the event-stream
+// headers (including Cache-Control: no-store — a change feed must never
+// be served stale by an intermediary), writes the 200, and flushes the
+// header frame. writeTimeout, when positive, bounds every subsequent
+// frame write so one wedged client cannot pin the handler goroutine
+// past its heartbeat cadence.
+func NewSSEWriter(w http.ResponseWriter, writeTimeout time.Duration) (*SSEWriter, error) {
+	rc := http.NewResponseController(w)
+	sw := &SSEWriter{w: w, rc: rc, writeTimeout: writeTimeout}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream; charset=utf-8")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // tell buffering reverse proxies to pass frames through
+	w.WriteHeader(http.StatusOK)
+	if err := sw.flush(); err != nil {
+		if errors.Is(err, http.ErrNotSupported) {
+			return nil, ErrNotFlushable
+		}
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *SSEWriter) flush() error {
+	return sw.rc.Flush()
+}
+
+func (sw *SSEWriter) armDeadline() {
+	if sw.writeTimeout <= 0 {
+		return
+	}
+	// Not every ResponseWriter supports per-write deadlines (recorders in
+	// tests don't); streaming without them is still correct, just less
+	// defensive, so the error is deliberately dropped.
+	_ = sw.rc.SetWriteDeadline(time.Now().Add(sw.writeTimeout))
+}
+
+// Event writes one named event. id may be empty (the field is omitted);
+// data is JSON-encoded onto a single data: line.
+func (sw *SSEWriter) Event(name, id string, data any) error {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	sw.armDeadline()
+	var b strings.Builder
+	b.WriteString("event: ")
+	b.WriteString(name)
+	b.WriteByte('\n')
+	if id != "" {
+		b.WriteString("id: ")
+		b.WriteString(id)
+		b.WriteByte('\n')
+	}
+	b.WriteString("data: ")
+	b.Write(payload)
+	b.WriteString("\n\n")
+	if _, err := io.WriteString(sw.w, b.String()); err != nil {
+		return err
+	}
+	return sw.flush()
+}
+
+// Comment writes a comment frame — the heartbeat. Comments are invisible
+// to EventSource consumers but keep idle connections alive through
+// proxies and let the server detect dead peers via write errors.
+func (sw *SSEWriter) Comment(text string) error {
+	sw.armDeadline()
+	if _, err := fmt.Fprintf(sw.w, ": %s\n", text); err != nil {
+		return err
+	}
+	return sw.flush()
+}
+
+// Event is one parsed server-sent event. Comment frames surface with
+// Name == "" and Data holding the comment text, so transports layered
+// on the reader (the router's upstream subscriptions, msload's lag
+// probes) can observe heartbeats; data-bearing events always carry an
+// explicit Name.
+type Event struct {
+	Name string
+	ID   string
+	Data []byte
+}
+
+// IsComment reports whether the event is a comment/heartbeat frame.
+func (e Event) IsComment() bool { return e.Name == "" && e.ID == "" }
+
+// EventReader incrementally parses an SSE byte stream.
+type EventReader struct {
+	br *bufio.Reader
+	// lastID implements the spec's sticky last-event-ID: an event without
+	// an id: field inherits the stream's previous one.
+	lastID string
+}
+
+// NewEventReader wraps a response body (or any stream) for parsing.
+func NewEventReader(r io.Reader) *EventReader {
+	return &EventReader{br: bufio.NewReader(r)}
+}
+
+// Next returns the next event, blocking until one is complete. Comment
+// frames are returned as Event{Data: text} (see Event.IsComment) the
+// moment they arrive, without waiting for a blank line, so heartbeat
+// observation has no extra latency. io.EOF surfaces when the stream
+// ends cleanly.
+func (er *EventReader) Next() (Event, error) {
+	var (
+		name    string
+		id      = er.lastID
+		data    []string
+		sawData bool
+	)
+	for {
+		line, err := er.br.ReadString('\n')
+		if err != nil {
+			// A partial final line cannot complete an event; treat any end
+			// of stream as EOF for the caller's reconnect logic.
+			if err == io.EOF && len(line) > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return Event{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if !sawData && name == "" {
+				continue // stray blank line between events
+			}
+			er.lastID = id
+			return Event{Name: name, ID: id, Data: []byte(strings.Join(data, "\n"))}, nil
+		case strings.HasPrefix(line, ":"):
+			return Event{Data: []byte(strings.TrimPrefix(strings.TrimPrefix(line, ":"), " "))}, nil
+		case strings.HasPrefix(line, "event:"):
+			name = strings.TrimPrefix(strings.TrimPrefix(line, "event:"), " ")
+		case strings.HasPrefix(line, "id:"):
+			id = strings.TrimPrefix(strings.TrimPrefix(line, "id:"), " ")
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+			sawData = true
+		default:
+			// Unknown field: ignored per the spec.
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package notify
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/query"
+)
+
+// Wire schema of the /v1/watch event stream. Four event types flow to
+// a subscriber:
+//
+//   - "snapshot": the full current top-k answer; always the first
+//     data-bearing event of a connection unless the client's
+//     Last-Event-ID already names the current composite generation.
+//   - "delta": the entered / count-changed / left rows versus the last
+//     event's answer. Folding a delta into the previous answer yields
+//     the exact answer at the event's id.
+//   - "resync": a full answer re-sent mid-stream (the subscriber's hub
+//     buffer overflowed, or the venue set changed under it). Folds like
+//     a snapshot: replace, don't patch.
+//   - "goodbye": terminal; the server is draining, the watched venue is
+//     gone, or the stream can no longer stay exact. Reconnect decisions
+//     belong to the client.
+//
+// Every data-bearing event's id: field is the composite generation of
+// the venues the answer was computed over — the same content as the
+// /v1/query ETag, unquoted — so a reconnect with Last-Event-ID resumes
+// exactly: matching composite means the client's folded answer is
+// byte-identical to the current one and the snapshot is skipped.
+
+// SnapshotData is the payload of "snapshot" and "resync" events.
+type SnapshotData struct {
+	Kind    string              `json:"kind"`
+	K       int                 `json:"k"`
+	Scanned []string            `json:"scanned"`
+	Regions []query.RegionCount `json:"regions,omitempty"`
+	Pairs   []query.PairCount   `json:"pairs,omitempty"`
+}
+
+// DeltaData is the payload of "delta" events. Left rows carry the row's
+// identity with its last pushed count, so a consumer can render "X left
+// the top-k" without bookkeeping; folding ignores the count.
+type DeltaData struct {
+	Kind         string              `json:"kind"`
+	Entered      []query.RegionCount `json:"entered,omitempty"`
+	Changed      []query.RegionCount `json:"changed,omitempty"`
+	Left         []query.RegionCount `json:"left,omitempty"`
+	EnteredPairs []query.PairCount   `json:"entered_pairs,omitempty"`
+	ChangedPairs []query.PairCount   `json:"changed_pairs,omitempty"`
+	LeftPairs    []query.PairCount   `json:"left_pairs,omitempty"`
+}
+
+// Empty reports whether the delta changes nothing.
+func (d DeltaData) Empty() bool {
+	return len(d.Entered) == 0 && len(d.Changed) == 0 && len(d.Left) == 0 &&
+		len(d.EnteredPairs) == 0 && len(d.ChangedPairs) == 0 && len(d.LeftPairs) == 0
+}
+
+// GoodbyeData is the payload of the terminal "goodbye" event.
+type GoodbyeData struct {
+	Reason string `json:"reason"`
+}
+
+// Goodbye reasons.
+const (
+	ReasonDraining     = "draining"      // process shutting down; reconnect elsewhere
+	ReasonUnknownVenue = "unknown_venue" // a watched venue is gone
+	ReasonError        = "error"         // re-execution failed; reconnect to retry
+)
+
+// Answer is a subscriber's folded view of its standing query: exactly
+// the Regions/Pairs of the QueryResult the server computed. Kind
+// follows c2mn.QueryKind values but stays a plain string here so the
+// package has no dependency on the root API surface.
+type Answer struct {
+	Kind    string
+	Regions []query.RegionCount
+	Pairs   []query.PairCount
+}
+
+// Diff computes the delta from prev to next: rows that entered next's
+// top-k, rows present in both whose count changed, and rows that left.
+// All three lists come out in canonical order. Folding the result into
+// prev (Apply) reproduces next exactly.
+func Diff(prev, next Answer) DeltaData {
+	d := DeltaData{Kind: next.Kind}
+	{
+		old := make(map[indoor.RegionID]int, len(prev.Regions))
+		for _, rc := range prev.Regions {
+			old[rc.Region] = rc.Count
+		}
+		cur := make(map[indoor.RegionID]bool, len(next.Regions))
+		for _, rc := range next.Regions {
+			cur[rc.Region] = true
+			c, present := old[rc.Region]
+			switch {
+			case present && c == rc.Count: // identical row: no change
+			case present:
+				d.Changed = append(d.Changed, rc)
+			default:
+				d.Entered = append(d.Entered, rc)
+			}
+		}
+		for _, rc := range prev.Regions {
+			if !cur[rc.Region] {
+				d.Left = append(d.Left, rc)
+			}
+		}
+		query.SortRegionCounts(d.Entered)
+		query.SortRegionCounts(d.Changed)
+		query.SortRegionCounts(d.Left)
+	}
+	{
+		old := make(map[[2]indoor.RegionID]int, len(prev.Pairs))
+		for _, pc := range prev.Pairs {
+			old[[2]indoor.RegionID{pc.A, pc.B}] = pc.Count
+		}
+		cur := make(map[[2]indoor.RegionID]bool, len(next.Pairs))
+		for _, pc := range next.Pairs {
+			k := [2]indoor.RegionID{pc.A, pc.B}
+			cur[k] = true
+			c, present := old[k]
+			switch {
+			case present && c == pc.Count:
+			case present:
+				d.ChangedPairs = append(d.ChangedPairs, pc)
+			default:
+				d.EnteredPairs = append(d.EnteredPairs, pc)
+			}
+		}
+		for _, pc := range prev.Pairs {
+			if !cur[[2]indoor.RegionID{pc.A, pc.B}] {
+				d.LeftPairs = append(d.LeftPairs, pc)
+			}
+		}
+		query.SortPairCounts(d.EnteredPairs)
+		query.SortPairCounts(d.ChangedPairs)
+		query.SortPairCounts(d.LeftPairs)
+	}
+	return d
+}
+
+// Apply folds a delta into the answer, returning the exact successor
+// answer in canonical order. Apply(prev, Diff(prev, next)) == next.
+func Apply(prev Answer, d DeltaData) Answer {
+	next := Answer{Kind: d.Kind}
+	if next.Kind == "" {
+		next.Kind = prev.Kind
+	}
+	{
+		gone := make(map[indoor.RegionID]bool, len(d.Left))
+		for _, rc := range d.Left {
+			gone[rc.Region] = true
+		}
+		repl := make(map[indoor.RegionID]int, len(d.Changed))
+		for _, rc := range d.Changed {
+			repl[rc.Region] = rc.Count
+		}
+		out := make([]query.RegionCount, 0, len(prev.Regions)+len(d.Entered))
+		for _, rc := range prev.Regions {
+			if gone[rc.Region] {
+				continue
+			}
+			if c, ok := repl[rc.Region]; ok {
+				rc.Count = c
+			}
+			out = append(out, rc)
+		}
+		out = append(out, d.Entered...)
+		query.SortRegionCounts(out)
+		next.Regions = out
+	}
+	{
+		gone := make(map[[2]indoor.RegionID]bool, len(d.LeftPairs))
+		for _, pc := range d.LeftPairs {
+			gone[[2]indoor.RegionID{pc.A, pc.B}] = true
+		}
+		repl := make(map[[2]indoor.RegionID]int, len(d.ChangedPairs))
+		for _, pc := range d.ChangedPairs {
+			repl[[2]indoor.RegionID{pc.A, pc.B}] = pc.Count
+		}
+		out := make([]query.PairCount, 0, len(prev.Pairs)+len(d.EnteredPairs))
+		for _, pc := range prev.Pairs {
+			k := [2]indoor.RegionID{pc.A, pc.B}
+			if gone[k] {
+				continue
+			}
+			if c, ok := repl[k]; ok {
+				pc.Count = c
+			}
+			out = append(out, pc)
+		}
+		out = append(out, d.EnteredPairs...)
+		query.SortPairCounts(out)
+		next.Pairs = out
+	}
+	return next
+}
+
+// EncodeEventID renders a composite generation as an SSE event id:
+// venue-sorted "venue:gen" entries joined by ';', venue names
+// URL-escaped so ';' and ':' in IDs cannot corrupt the format. This is
+// the /v1/query ETag's content without the quotes, so clients can
+// correlate push events with polled answers.
+func EncodeEventID(gens map[string]uint64) string {
+	venues := make([]string, 0, len(gens))
+	for v := range gens {
+		venues = append(venues, v)
+	}
+	sort.Strings(venues)
+	var b strings.Builder
+	for i, v := range venues {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(url.QueryEscape(v))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(gens[v], 10))
+	}
+	return b.String()
+}
+
+// ParseEventID inverts EncodeEventID. A malformed id returns ok=false;
+// callers treat that like no id at all (full snapshot). The empty
+// string parses to an empty map — the id of an answer over zero venues.
+func ParseEventID(id string) (gens map[string]uint64, ok bool) {
+	gens = make(map[string]uint64)
+	if id == "" {
+		return gens, true
+	}
+	for _, part := range strings.Split(id, ";") {
+		colon := strings.LastIndexByte(part, ':')
+		if colon < 0 {
+			return nil, false
+		}
+		venue, err := url.QueryUnescape(part[:colon])
+		if err != nil {
+			return nil, false
+		}
+		gen, err := strconv.ParseUint(part[colon+1:], 10, 64)
+		if err != nil {
+			return nil, false
+		}
+		if _, dup := gens[venue]; dup {
+			return nil, false
+		}
+		gens[venue] = gen
+	}
+	return gens, true
+}
+
+// VenueEventID is the single-venue composite — what a backend's
+// venue-scoped watch emits and the router's per-venue upstream
+// subscriptions track.
+func VenueEventID(venue string, gen uint64) string {
+	return url.QueryEscape(venue) + ":" + strconv.FormatUint(gen, 10)
+}
+
+// String implements a debug rendering for Answer.
+func (a Answer) String() string {
+	return fmt.Sprintf("Answer{kind=%s regions=%d pairs=%d}", a.Kind, len(a.Regions), len(a.Pairs))
+}

@@ -22,6 +22,15 @@ const AllCounts = math.MaxInt
 // and single-shard answers compare (and concatenate across pages)
 // deterministically.
 
+// SortRegionCounts orders a count list canonically: count descending,
+// ties broken by region ID ascending. The change-feed fold
+// (internal/notify) re-sorts answers it reassembles from deltas with
+// this, so folded and freshly-computed answers compare byte-for-byte.
+func SortRegionCounts(out []RegionCount) { sortRegionCounts(out) }
+
+// SortPairCounts orders a pair-count list canonically.
+func SortPairCounts(out []PairCount) { sortPairCounts(out) }
+
 // sortRegionCounts orders a count list canonically.
 func sortRegionCounts(out []RegionCount) {
 	sort.Slice(out, func(i, j int) bool {

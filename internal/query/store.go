@@ -32,8 +32,9 @@ import (
 // Each venue shard owns one Store, so this lock is per shard; stores
 // of different venues never contend.
 type Store struct {
-	mu sync.RWMutex
-	ix *Index
+	mu       sync.RWMutex
+	ix       *Index
+	onChange func(gen uint64)
 }
 
 // NewStore returns an empty store. retention <= 0 keeps everything.
@@ -41,13 +42,37 @@ func NewStore(retention float64) *Store {
 	return &Store{ix: NewIndex(retention)}
 }
 
+// OnChange registers a callback invoked after every mutation that moves
+// the generation counter (an effective Add, including any eviction it
+// triggers, or a RestoreState). The callback receives the generation the
+// store moved to and runs outside the store lock, after the mutation is
+// visible to queries — it may query the store but must not block for
+// long, since it runs on the writer's goroutine. One mutation produces
+// one callback carrying the final generation, even when it moved the
+// counter several times (an Add plus the evictions it triggered);
+// change-feed fan-out coalesces further downstream (see
+// internal/notify). At most one
+// callback can be registered; OnChange must be called before the store
+// is shared across goroutines.
+func (s *Store) OnChange(f func(gen uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onChange = f
+}
+
 // Add appends one ms-sequence and folds its stay events into the
 // aggregate index. Sequences with no semantics are ignored — they
 // carry nothing a query could count.
 func (s *Store) Add(ms seq.MSSequence) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	before := s.ix.Generation()
 	s.ix.Add(ms)
+	after := s.ix.Generation()
+	f := s.onChange
+	s.mu.Unlock()
+	if f != nil && after != before {
+		f(after)
+	}
 }
 
 // Len returns the number of stored sequences and semantics triples.
@@ -100,7 +125,14 @@ func (s *Store) RestoreState(st IndexState) error {
 		ix.gen = cur + 1
 	}
 	s.ix = ix
+	after := s.ix.Generation()
+	f := s.onChange
 	s.mu.Unlock()
+	// A restore always moves the generation (the jump or the clamp above
+	// guarantees it), so it is unconditionally a change event.
+	if f != nil {
+		f(after)
+	}
 	return nil
 }
 

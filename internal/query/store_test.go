@@ -102,3 +102,54 @@ func TestStoreConcurrentAddAndQuery(t *testing.T) {
 		t.Fatal("store empty after concurrent adds")
 	}
 }
+
+func TestStoreOnChange(t *testing.T) {
+	s := NewStore(0)
+	var gens []uint64
+	s.OnChange(func(gen uint64) { gens = append(gens, gen) })
+
+	s.Add(storeMS("a", stay(1, 0, 10)))
+	if len(gens) != 1 || gens[0] != s.Generation() {
+		t.Fatalf("after one Add: gens = %v, store gen = %d", gens, s.Generation())
+	}
+
+	// An empty-semantics sequence is not stored and must not notify.
+	s.Add(seq.MSSequence{ObjectID: "empty"})
+	if len(gens) != 1 {
+		t.Fatalf("empty Add notified: gens = %v", gens)
+	}
+
+	// One mutation, one callback — even when the mutation moves the
+	// counter more than once (an Add whose retention horizon also
+	// evicts bumps per eviction plus once for the insert).
+	s2 := NewStore(100)
+	var calls []uint64
+	s2.OnChange(func(gen uint64) { calls = append(calls, gen) })
+	s2.Add(storeMS("old", stay(1, 0, 10)))
+	s2.Add(storeMS("new", stay(2, 290, 300))) // evicts "old" and inserts
+	if len(calls) != 2 {
+		t.Fatalf("calls = %v, want exactly one per Add", calls)
+	}
+	if calls[1] != s2.Generation() {
+		t.Fatalf("callback gen %d != final gen %d", calls[1], s2.Generation())
+	}
+	if calls[1] < calls[0]+2 {
+		t.Fatalf("evicting Add moved gen by %d, want >= 2 (evict + insert)", calls[1]-calls[0])
+	}
+}
+
+func TestStoreRestoreNotifies(t *testing.T) {
+	src := NewStore(0)
+	src.Add(storeMS("a", stay(1, 0, 10)))
+	st := src.SnapshotState()
+
+	dst := NewStore(0)
+	var gens []uint64
+	dst.OnChange(func(gen uint64) { gens = append(gens, gen) })
+	if err := dst.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0] != dst.Generation() {
+		t.Fatalf("restore notified %v, store gen %d", gens, dst.Generation())
+	}
+}

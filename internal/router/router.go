@@ -58,6 +58,23 @@ type Config struct {
 	// quiesced (default 100ms; tests shrink it).
 	SettleDelay time.Duration
 
+	// WatchHeartbeat is the comment-frame heartbeat period on client
+	// /v1/watch streams (default 15s; tests shrink it). Upstream
+	// subscriptions inherit the backends' own cadence.
+	WatchHeartbeat time.Duration
+
+	// WatchIdleTimeout bounds how long a venue's upstream watch
+	// subscription may go without a single frame — event or heartbeat —
+	// before the relay abandons the connection and resubscribes through
+	// owner resolution (default 60s: four missed 15s upstream
+	// heartbeats). A stream can only trip it when its backend stops
+	// producing entirely: a wedged process, or a half-open connection
+	// left by a peer that died without closing. The same watchdog also
+	// rechecks ownership, unparking relays left on a backend that still
+	// hosts a venue it no longer owns (a health flap or re-pin while the
+	// stale stream keeps heartbeating).
+	WatchIdleTimeout time.Duration
+
 	// Client issues every backend request. The default disables
 	// automatic redirect following — the router re-forwards
 	// mid-migration 307s itself, exactly once.
@@ -91,6 +108,12 @@ type Router struct {
 	partialHits   atomic.Int64 // 304: cached partial reused as-is
 	partialMisses atomic.Int64 // full fetch: cold key or moved store
 	partialRevals atomic.Int64 // conditional requests sent
+
+	// watchStop is closed by StopWatches when the router drains; open
+	// /v1/watch client streams emit a terminal goodbye and return so
+	// the HTTP server's Shutdown wait covers them (see watch.go).
+	watchStop     chan struct{}
+	watchStopOnce sync.Once
 }
 
 // backendState is the router's view of one msserve process.
@@ -121,6 +144,12 @@ func New(cfg Config) (*Router, error) {
 	if cfg.SettleDelay <= 0 {
 		cfg.SettleDelay = 100 * time.Millisecond
 	}
+	if cfg.WatchHeartbeat <= 0 {
+		cfg.WatchHeartbeat = 15 * time.Second
+	}
+	if cfg.WatchIdleTimeout <= 0 {
+		cfg.WatchIdleTimeout = 60 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -144,6 +173,7 @@ func New(cfg Config) (*Router, error) {
 		pins:      map[string]string{},
 		migrating: map[string]bool{},
 		partials:  lru.New[string, scatterPartial](scatterCacheEntries),
+		watchStop: make(chan struct{}),
 	}
 	for _, u := range cfg.Backends {
 		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
@@ -214,7 +244,20 @@ func (rt *Router) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/annotate", rt.handleBareVenuePath)
 	mux.HandleFunc("POST /v1/feed", rt.handleBareVenuePath)
 	mux.HandleFunc("POST /v1/flush", rt.handleFlush)
+	// Continuous queries: the fleet push plane (see watch.go). The
+	// venue-scoped literal pattern outranks the {rest...} catch-alls
+	// above, so watch streams never hit the buffering proxy path.
+	mux.HandleFunc("GET /v1/watch", rt.handleWatch)
+	mux.HandleFunc("GET /v1/venues/{venue}/watch", rt.handleWatch)
 	return mux
+}
+
+// StopWatches tells every open client watch stream to say goodbye and
+// close. Call it when the drain starts, before http.Server.Shutdown —
+// standing streams never go idle on their own, so Shutdown would
+// otherwise wait out its whole timeout. Idempotent.
+func (rt *Router) StopWatches() {
+	rt.watchStopOnce.Do(func() { close(rt.watchStop) })
 }
 
 // Run drives the health loop until ctx is canceled: one immediate
@@ -412,10 +455,12 @@ func (rt *Router) readyBackends() []string {
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	if len(rt.readyBackends()) > 0 {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 		return
@@ -423,9 +468,13 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no ready backends"})
 }
 
-// admin wraps a handler with the router's bearer-token gate.
+// admin wraps a handler with the router's bearer-token gate. Admin
+// responses are uncacheable by construction: beyond being stale the
+// moment placement moves, a cache in front of a token-gated endpoint
+// could replay an authorized response to an unauthorized caller.
 func (rt *Router) admin(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		noStore(w)
 		if rt.cfg.AdminToken != "" {
 			token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
 			if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(rt.cfg.AdminToken)) != 1 {

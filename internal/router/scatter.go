@@ -574,7 +574,9 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Totals.QueryCacheHits += res.stats.QueryCacheHits
 		resp.Totals.QueryCacheMisses += res.stats.QueryCacheMisses
 		resp.Totals.QueryCacheRevalidations += res.stats.QueryCacheRevalidations
+		resp.Totals.StoreNotifications += res.stats.StoreNotifications
 	}
+	noStore(w)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -629,6 +631,7 @@ func (rt *Router) handleListVenues(w http.ResponseWriter, r *http.Request) {
 	for i, rw := range merged {
 		out[i] = rw.raw
 	}
+	noStore(w)
 	writeJSON(w, http.StatusOK, map[string]any{"venues": out})
 }
 

@@ -69,3 +69,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
+
+// noStore marks introspection responses uncacheable: stats, listings,
+// health, and admin answers describe this instant on this process, and
+// a shared cache replaying them would misreport the fleet.
+func noStore(w http.ResponseWriter) {
+	w.Header().Set("Cache-Control", "no-store")
+}

@@ -122,6 +122,23 @@ func WithOnSequence(fn func(MSSequence)) Option {
 	}
 }
 
+// WithChangeNotifier registers a callback invoked whenever the
+// engine's live store moves its generation counter: an effective
+// streamed sequence (including any retention eviction it triggers) or
+// a snapshot restore. The callback receives the engine's venue ID and
+// the generation the store moved to, runs on the writer's goroutine
+// after the change is visible to queries, and must not block — fan-out
+// to slow consumers belongs behind a coalescing hub (internal/notify),
+// whose Publish method is the intended callback. This is the change
+// signal the continuous-query push plane (/v1/watch) is driven by;
+// deliveries are counted in EngineStats.StoreNotifications.
+func WithChangeNotifier(fn func(venue string, gen uint64)) Option {
+	return func(e *Engine) error {
+		e.notifier = fn
+		return nil
+	}
+}
+
 // WithRetention keeps only m-semantics that ended within the trailing
 // `seconds` of stream time in the Engine's live store, turning the
 // top-k queries into sliding-window queries. seconds <= 0 (the
