@@ -90,6 +90,8 @@ func main() {
 		"comment-frame heartbeat period on /v1/watch client streams")
 	watchIdleTimeout := flag.Duration("watch-idle-timeout", 60*time.Second,
 		"abandon and resubscribe an upstream watch stream after this long without any frame (must exceed the backends' -watch-heartbeat)")
+	watchConnectTimeout := flag.Duration("watch-connect-timeout", 15*time.Second,
+		"end a /v1/watch client stream with a goodbye if any watched venue's first snapshot is still missing after this long")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this separate address (e.g. localhost:6061); never exposed on -addr (empty = off)")
@@ -105,16 +107,17 @@ func main() {
 		}
 	}
 	rt, err := router.New(router.Config{
-		Backends:         list,
-		AdminToken:       *adminToken,
-		BackendToken:     *backendToken,
-		HealthInterval:   *healthInterval,
-		Retries:          *retries,
-		MaxBody:          *maxBody,
-		SettleDelay:      *settleDelay,
-		WatchHeartbeat:   *watchHeartbeat,
-		WatchIdleTimeout: *watchIdleTimeout,
-		Logf:             log.Printf,
+		Backends:            list,
+		AdminToken:          *adminToken,
+		BackendToken:        *backendToken,
+		HealthInterval:      *healthInterval,
+		Retries:             *retries,
+		MaxBody:             *maxBody,
+		SettleDelay:         *settleDelay,
+		WatchHeartbeat:      *watchHeartbeat,
+		WatchIdleTimeout:    *watchIdleTimeout,
+		WatchConnectTimeout: *watchConnectTimeout,
+		Logf:                log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

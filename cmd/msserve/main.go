@@ -1236,21 +1236,6 @@ func paginate(res *c2mn.QueryResult, offset, size int) int {
 	return -1
 }
 
-// venueGenerations samples every loaded venue's store generation.
-// Callers sample BEFORE executing a query: labeling the answer with a
-// generation read earlier can only understate its freshness (a client
-// revalidates once more than necessary), while a generation read after
-// execution could stamp stale bytes with a fresh validator.
-func (s *server) venueGenerations() map[string]uint64 {
-	gens := map[string]uint64{}
-	for _, id := range s.registry.Venues() {
-		if e, err := s.registry.Engine(id); err == nil {
-			gens[id] = e.StoreGeneration()
-		}
-	}
-	return gens
-}
-
 // storeETag renders the freshness validator of a query answer over the
 // scanned venues: `"<venue>:<generation>"` for one venue, a
 // venue-sorted `"a:3;b:7"` composite for cross-venue scopes. Venue IDs
@@ -1307,7 +1292,10 @@ func etagMatches(ifNoneMatch, etag string) bool {
 // query has already executed by then — at an unchanged generation that
 // execution was an LRU hit, so the 304 path stays cheap — and the
 // scanned venues' revalidation counters are bumped so both cache tiers
-// are observable.
+// are observable. gens is the result's own Generations map, captured
+// atomically with the answer bytes, so the ETag labels exactly the
+// bytes it validates and matches the /v1/watch event id for the same
+// fleet state.
 func (s *server) writeFreshness(w http.ResponseWriter, r *http.Request, scanned []string, gens map[string]uint64) bool {
 	etag, ok := storeETag(scanned, gens)
 	if !ok {
@@ -1363,13 +1351,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			pageSize = req.PageSize
 		}
 	}
-	gens := s.venueGenerations()
 	res, err := s.registry.Query(r.Context(), q)
 	if err != nil {
 		writeQueryError(w, r, err)
 		return
 	}
-	if s.writeFreshness(w, r, res.Scanned, gens) {
+	if s.writeFreshness(w, r, res.Scanned, res.Generations) {
 		return
 	}
 	resp := queryResponse{QueryResult: res}
@@ -1463,7 +1450,6 @@ func (s *server) runTopKSugar(w http.ResponseWriter, r *http.Request, kind c2mn.
 		writeError(w, r, http.StatusBadRequest, err)
 		return c2mn.QueryResult{}, nil, false
 	}
-	gens := s.venueGenerations()
 	res, err := s.registry.Query(r.Context(), c2mn.Query{
 		Kind: kind, Scope: scope, Venues: venues,
 		Regions: regions, Window: win, K: k,
@@ -1472,7 +1458,7 @@ func (s *server) runTopKSugar(w http.ResponseWriter, r *http.Request, kind c2mn.
 		writeQueryError(w, r, err)
 		return c2mn.QueryResult{}, nil, false
 	}
-	if s.writeFreshness(w, r, res.Scanned, gens) {
+	if s.writeFreshness(w, r, res.Scanned, res.Generations) {
 		return c2mn.QueryResult{}, nil, false
 	}
 	var space *c2mn.Space

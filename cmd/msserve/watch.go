@@ -16,6 +16,15 @@ package main
 // snapshot; any other value gets a fresh snapshot, because a moved
 // generation means the client's folded answer may describe history the
 // store no longer remembers.
+//
+// The resume-skip is only sound because event ids are exact: the
+// generations stamped on an event are captured under each store's lock
+// together with that venue's partial answer (QueryResult.Generations),
+// so an event can never carry bytes newer than its id claims. With a
+// racy sample — generations read before execution — a write landing
+// mid-query would label gen-N+1 bytes as gen-N; a client reconnecting
+// at gen-N would then have its snapshot skipped while holding different
+// bytes than the server diffs against, silently diverging forever.
 
 import (
 	"errors"
@@ -31,11 +40,6 @@ import (
 // load balancers whose idle timeouts are commonly 30–60 s.
 const defaultWatchHeartbeat = 15 * time.Second
 
-// errWatchUnstable means the venue set changed under the standing query
-// repeatedly enough that a sound composite generation could not be
-// sampled; the client reconnects into the settled state.
-var errWatchUnstable = errors.New("venue set changing too fast to stamp a sound event id")
-
 // watchKind parses ?kind= (default popular-regions).
 func watchKind(r *http.Request) (c2mn.QueryKind, error) {
 	switch v := r.URL.Query().Get("kind"); v {
@@ -48,35 +52,18 @@ func watchKind(r *http.Request) (c2mn.QueryKind, error) {
 	}
 }
 
-// watchExecute runs the standing query with a sound freshness sample:
-// generations are read before execution (understating freshness is
-// safe; overstating would stamp stale bytes with a fresh id), and an
-// answer that scanned a venue missing from the sample — loaded
-// mid-request — is discarded and retried against a fresh sample.
+// watchExecute runs the standing query and returns the exact per-venue
+// generations the answer was computed at: each venue's generation is
+// captured under its store lock atomically with its partial answer, so
+// the resulting event id can neither understate nor overstate the
+// bytes it stamps — the property the Last-Event-ID resume-skip
+// depends on.
 func (s *server) watchExecute(r *http.Request, q c2mn.Query) (map[string]uint64, c2mn.QueryResult, error) {
-	for attempt := 0; ; attempt++ {
-		gens := s.venueGenerations()
-		res, err := s.registry.Query(r.Context(), q)
-		if err != nil {
-			return nil, c2mn.QueryResult{}, err
-		}
-		ids := make(map[string]uint64, len(res.Scanned))
-		sound := true
-		for _, v := range res.Scanned {
-			g, ok := gens[v]
-			if !ok {
-				sound = false
-				break
-			}
-			ids[v] = g
-		}
-		if sound {
-			return ids, res, nil
-		}
-		if attempt >= 3 {
-			return nil, c2mn.QueryResult{}, errWatchUnstable
-		}
+	res, err := s.registry.Query(r.Context(), q)
+	if err != nil {
+		return nil, c2mn.QueryResult{}, err
 	}
+	return res.Generations, res, nil
 }
 
 // watchSnapshot renders a QueryResult as a snapshot/resync payload.

@@ -401,14 +401,23 @@ func (e *Engine) process(p *PSequence) error {
 // the cache and every caller at the same generation; all downstream
 // consumers (merge, truncate, pagination, JSON encoding) only read or
 // re-slice them.
-func (e *Engine) queryCounts(kind QueryKind, regions []RegionID, w Window, k int) ([]RegionCount, []PairCount) {
+//
+// The returned generation is exact for the returned counts — captured
+// under the store lock with them (or validated equal on a cache hit),
+// never sampled before or after execution — so a freshness label built
+// from it can neither understate nor overstate the bytes it stamps.
+// The watch plane's Last-Event-ID resume-skip is only sound because of
+// this: a label sampled racily against concurrent writes could mark
+// newer bytes with an older generation and silently diverge a resumed
+// subscriber.
+func (e *Engine) queryCounts(kind QueryKind, regions []RegionID, w Window, k int) ([]RegionCount, []PairCount, uint64) {
 	key := queryCacheKey(kind, regions, w, k)
 	gen := e.store.Generation()
 	e.qcacheMu.Lock()
 	if ans, ok := e.qcache.Get(key); ok && ans.gen == gen {
 		e.qcacheMu.Unlock()
 		e.cacheHits.Add(1)
-		return ans.regions, ans.pairs
+		return ans.regions, ans.pairs, ans.gen
 	}
 	e.qcacheMu.Unlock()
 	e.cacheMisses.Add(1)
@@ -422,7 +431,7 @@ func (e *Engine) queryCounts(kind QueryKind, regions []RegionID, w Window, k int
 	e.qcacheMu.Lock()
 	e.qcache.Put(key, ans)
 	e.qcacheMu.Unlock()
-	return ans.regions, ans.pairs
+	return ans.regions, ans.pairs, ans.gen
 }
 
 // queryCacheKey canonically encodes one query shape. The region set is
@@ -491,7 +500,7 @@ func (e *Engine) queryDefaults(q []RegionID, k int) ([]RegionID, int) {
 // multi-venue deployments.
 func (e *Engine) TopKPopularRegions(q []RegionID, w Window, k int) []RegionCount {
 	q, k = e.queryDefaults(q, k)
-	rcs, _ := e.queryCounts(QueryPopularRegions, q, w, k)
+	rcs, _, _ := e.queryCounts(QueryPopularRegions, q, w, k)
 	return rcs
 }
 
@@ -501,7 +510,7 @@ func (e *Engine) TopKPopularRegions(q []RegionID, w Window, k int) []RegionCount
 // VenueRegistry.Query in multi-venue deployments.
 func (e *Engine) TopKFrequentPairs(q []RegionID, w Window, k int) []PairCount {
 	q, k = e.queryDefaults(q, k)
-	_, pcs := e.queryCounts(QueryFrequentPairs, q, w, k)
+	_, pcs, _ := e.queryCounts(QueryFrequentPairs, q, w, k)
 	return pcs
 }
 

@@ -3,10 +3,13 @@ package notify
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -328,5 +331,92 @@ func TestSSEWriterReaderRoundTrip(t *testing.T) {
 	}
 	if _, err := er.Next(); err != io.EOF {
 		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+}
+
+// The SSE spec allows comment lines anywhere, including inside an event
+// block. A heartbeat interleaved mid-event must dispatch immediately
+// without discarding the fields accumulated so far.
+func TestEventReaderCommentMidEvent(t *testing.T) {
+	const stream = "event: delta\n: hb\nid: a:3\ndata: {\"kind\":\"popular-regions\"}\n\n"
+	er := NewEventReader(strings.NewReader(stream))
+	ev, err := er.Next()
+	if err != nil || !ev.IsComment() || string(ev.Data) != "hb" {
+		t.Fatalf("first event = %+v err = %v, want the interleaved comment", ev, err)
+	}
+	ev, err = er.Next()
+	if err != nil || ev.Name != "delta" || ev.ID != "a:3" || string(ev.Data) != `{"kind":"popular-regions"}` {
+		t.Fatalf("after comment: event = %+v err = %v, want the intact delta", ev, err)
+	}
+	if _, err := er.Next(); err != io.EOF {
+		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+}
+
+// Multi-line data split around a comment must still join per the spec.
+func TestEventReaderCommentBetweenDataLines(t *testing.T) {
+	const stream = "data: first\n: keepalive\ndata: second\n\n"
+	er := NewEventReader(strings.NewReader(stream))
+	if ev, err := er.Next(); err != nil || !ev.IsComment() {
+		t.Fatalf("first event = %+v err = %v, want comment", ev, err)
+	}
+	ev, err := er.Next()
+	if err != nil || string(ev.Data) != "first\nsecond" {
+		t.Fatalf("event = %+v err = %v, want joined data lines", ev, err)
+	}
+}
+
+// noFlushWriter is a ResponseWriter that cannot stream: no Flush, no
+// Unwrap. It records whether the response was ever committed.
+type noFlushWriter struct {
+	header http.Header
+	wrote  bool
+}
+
+func (w *noFlushWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+func (w *noFlushWriter) Write([]byte) (int, error) { w.wrote = true; return 0, nil }
+func (w *noFlushWriter) WriteHeader(int)           { w.wrote = true }
+
+// A ResponseWriter that cannot flush must be rejected before anything
+// is written, so the handler can still send a clean error response
+// instead of appending it to a committed 200 text/event-stream.
+func TestNewSSEWriterNotFlushableLeavesResponseUntouched(t *testing.T) {
+	w := &noFlushWriter{}
+	if _, err := NewSSEWriter(w, 0); !errors.Is(err, ErrNotFlushable) {
+		t.Fatalf("NewSSEWriter = %v, want ErrNotFlushable", err)
+	}
+	if w.wrote {
+		t.Fatal("NewSSEWriter committed the response before discovering it cannot stream")
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "" {
+		t.Fatalf("NewSSEWriter set Content-Type %q on a rejected writer", ct)
+	}
+}
+
+// unwrapWriter hides the flusher one Unwrap level down, the shape of
+// middleware wrappers that implement the ResponseController protocol.
+type unwrapWriter struct{ inner http.ResponseWriter }
+
+func (w unwrapWriter) Header() http.Header         { return w.inner.Header() }
+func (w unwrapWriter) Write(p []byte) (int, error) { return w.inner.Write(p) }
+func (w unwrapWriter) WriteHeader(code int)        { w.inner.WriteHeader(code) }
+func (w unwrapWriter) Unwrap() http.ResponseWriter { return w.inner }
+
+func TestNewSSEWriterFlushesThroughUnwrapChain(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw, err := NewSSEWriter(unwrapWriter{inner: rec}, 0)
+	if err != nil {
+		t.Fatalf("NewSSEWriter through an Unwrap chain: %v", err)
+	}
+	if err := sw.Comment("hb"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Body.String() != ": hb\n" {
+		t.Fatalf("body = %q", rec.Body.String())
 	}
 }

@@ -36,7 +36,15 @@ type SSEWriter struct {
 // header frame. writeTimeout, when positive, bounds every subsequent
 // frame write so one wedged client cannot pin the handler goroutine
 // past its heartbeat cadence.
+//
+// Flush support is probed before anything is written: on
+// ErrNotFlushable the response is untouched, so the caller can still
+// send a clean error status instead of appending a JSON body to an
+// already-committed 200 text/event-stream response.
 func NewSSEWriter(w http.ResponseWriter, writeTimeout time.Duration) (*SSEWriter, error) {
+	if !canFlush(w) {
+		return nil, ErrNotFlushable
+	}
 	rc := http.NewResponseController(w)
 	sw := &SSEWriter{w: w, rc: rc, writeTimeout: writeTimeout}
 	h := w.Header()
@@ -51,6 +59,22 @@ func NewSSEWriter(w http.ResponseWriter, writeTimeout time.Duration) (*SSEWriter
 		return nil, err
 	}
 	return sw, nil
+}
+
+// canFlush reports whether w can stream, walking the same Unwrap chain
+// http.ResponseController.Flush would, without committing the response
+// the way an actual Flush does.
+func canFlush(w http.ResponseWriter) bool {
+	for {
+		switch t := w.(type) {
+		case http.Flusher:
+			return true
+		case interface{ Unwrap() http.ResponseWriter }:
+			w = t.Unwrap()
+		default:
+			return false
+		}
+	}
 }
 
 func (sw *SSEWriter) flush() error {
@@ -124,6 +148,16 @@ type EventReader struct {
 	// lastID implements the spec's sticky last-event-ID: an event without
 	// an id: field inherits the stream's previous one.
 	lastID string
+	// Partially accumulated event fields. They live on the reader, not
+	// the stack of Next, because the spec allows comment lines anywhere —
+	// including inside an event block — and Next dispatches comments
+	// immediately: the in-progress event must survive that early return
+	// and resume on the following call.
+	name    string
+	id      string
+	idSet   bool
+	data    []string
+	sawData bool
 }
 
 // NewEventReader wraps a response body (or any stream) for parsing.
@@ -134,15 +168,10 @@ func NewEventReader(r io.Reader) *EventReader {
 // Next returns the next event, blocking until one is complete. Comment
 // frames are returned as Event{Data: text} (see Event.IsComment) the
 // moment they arrive, without waiting for a blank line, so heartbeat
-// observation has no extra latency. io.EOF surfaces when the stream
-// ends cleanly.
+// observation has no extra latency; a comment interleaved mid-event
+// does not disturb the fields accumulated so far. io.EOF surfaces when
+// the stream ends cleanly.
 func (er *EventReader) Next() (Event, error) {
-	var (
-		name    string
-		id      = er.lastID
-		data    []string
-		sawData bool
-	)
 	for {
 		line, err := er.br.ReadString('\n')
 		if err != nil {
@@ -156,20 +185,27 @@ func (er *EventReader) Next() (Event, error) {
 		line = strings.TrimRight(line, "\r\n")
 		switch {
 		case line == "":
-			if !sawData && name == "" {
+			if !er.sawData && er.name == "" {
 				continue // stray blank line between events
 			}
+			id := er.lastID
+			if er.idSet {
+				id = er.id
+			}
 			er.lastID = id
-			return Event{Name: name, ID: id, Data: []byte(strings.Join(data, "\n"))}, nil
+			ev := Event{Name: er.name, ID: id, Data: []byte(strings.Join(er.data, "\n"))}
+			er.name, er.id, er.idSet, er.data, er.sawData = "", "", false, nil, false
+			return ev, nil
 		case strings.HasPrefix(line, ":"):
 			return Event{Data: []byte(strings.TrimPrefix(strings.TrimPrefix(line, ":"), " "))}, nil
 		case strings.HasPrefix(line, "event:"):
-			name = strings.TrimPrefix(strings.TrimPrefix(line, "event:"), " ")
+			er.name = strings.TrimPrefix(strings.TrimPrefix(line, "event:"), " ")
 		case strings.HasPrefix(line, "id:"):
-			id = strings.TrimPrefix(strings.TrimPrefix(line, "id:"), " ")
+			er.id = strings.TrimPrefix(strings.TrimPrefix(line, "id:"), " ")
+			er.idSet = true
 		case strings.HasPrefix(line, "data:"):
-			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
-			sawData = true
+			er.data = append(er.data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+			er.sawData = true
 		default:
 			// Unknown field: ignored per the spec.
 		}

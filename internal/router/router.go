@@ -75,6 +75,16 @@ type Config struct {
 	// stale stream keeps heartbeating).
 	WatchIdleTimeout time.Duration
 
+	// WatchConnectTimeout bounds the initial gather of a client
+	// /v1/watch stream: every watched venue must deliver its first
+	// upstream snapshot within it (default 15s). A venue whose owner
+	// never resolves — its backend down and staying down — would
+	// otherwise leave the stream heartbeating forever with no data,
+	// where the poll path returns an error; past the deadline the
+	// stream ends with a terminal goodbye and the client's reconnect
+	// retries against whatever has recovered.
+	WatchConnectTimeout time.Duration
+
 	// Client issues every backend request. The default disables
 	// automatic redirect following — the router re-forwards
 	// mid-migration 307s itself, exactly once.
@@ -149,6 +159,9 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.WatchIdleTimeout <= 0 {
 		cfg.WatchIdleTimeout = 60 * time.Second
+	}
+	if cfg.WatchConnectTimeout <= 0 {
+		cfg.WatchConnectTimeout = 15 * time.Second
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}

@@ -37,10 +37,15 @@ import (
 )
 
 // upstreamMsg is one parsed event relayed from a venue's upstream
-// subscription into the client stream's merge loop.
+// subscription into the client stream's merge loop. Data-bearing
+// messages always carry the generation parsed from the upstream event
+// id — the relay validates ids before relaying (an unparseable one is
+// a protocol error that forces a resubscribe), so the merge loop never
+// folds bytes whose generation is unknown and the client's composite
+// id always covers exactly the bytes it stamps.
 type upstreamMsg struct {
 	venue string
-	id    string               // upstream event id ("venue:gen"); "" on gone
+	gen   uint64               // generation of the relayed bytes
 	snap  *notify.SnapshotData // snapshot/resync: replace the venue's fold
 	delta *notify.DeltaData    // delta: patch the venue's fold
 	gone  bool                 // the venue is unloaded fleet-wide
@@ -138,6 +143,16 @@ func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
 	curID, started := "", false
 	clientLast := r.Header.Get("Last-Event-ID")
 
+	// The first client event waits for a snapshot from every watched
+	// venue; a venue whose owner never resolves (backend down and
+	// staying down) must not leave the stream heartbeating forever with
+	// no data — the poll path would have returned an error. The gather
+	// is bounded: past the deadline the stream ends with a goodbye, and
+	// the client's reconnect retries against whatever has recovered.
+	connect := time.NewTimer(rt.cfg.WatchConnectTimeout)
+	defer connect.Stop()
+	connectC := connect.C
+
 	ticker := time.NewTicker(hb)
 	defer ticker.Stop()
 	for {
@@ -146,6 +161,11 @@ func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-rt.watchStop:
 			sw.Event("goodbye", curID, notify.GoodbyeData{Reason: notify.ReasonDraining})
+			return
+		case <-connectC:
+			rt.cfg.Logf("watch: %d of %d venue(s) still unresolved after %v; ending stream",
+				len(waiting), len(watched), rt.cfg.WatchConnectTimeout)
+			sw.Event("goodbye", curID, notify.GoodbyeData{Reason: notify.ReasonError})
 			return
 		case <-ticker.C:
 			if err := sw.Comment("hb"); err != nil {
@@ -175,12 +195,14 @@ func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
 					}
 					folds[m.venue] = notify.Apply(prev, *m.delta)
 				}
-				if g, ok := parseVenueGen(m.venue, m.id); ok {
-					gens[m.venue] = g
-				}
+				gens[m.venue] = m.gen
 			}
 			if len(waiting) > 0 {
 				continue // the first client event needs every venue's partial
+			}
+			if connectC != nil {
+				connect.Stop()
+				connectC = nil // gather complete: the deadline is disarmed
 			}
 			merged := mergeFolds(string(nq.Kind), nq.K, folds)
 			newID := notify.EncodeEventID(gens)
@@ -356,6 +378,16 @@ func (rt *Router) watchUpstream(ctx context.Context, venue, params string, out c
 		lastFrame.Store(time.Now().UnixNano())
 		done := make(chan struct{})
 		go rt.watchStream(ctx, venue, backend, resp.Body, &lastFrame, done)
+		// A data-bearing event whose id does not parse to this venue's
+		// generation — or whose payload does not decode — is a protocol
+		// error, not something to skip: folding its bytes (or folding past
+		// it) would leave the venue's entry in the client's composite id
+		// misstating the bytes actually pushed, breaking the resume
+		// contract. The stream is dropped and resubscribed without a
+		// Last-Event-ID, so the fresh connection starts from a full
+		// snapshot whose id is validated again.
+		protoErr := false
+	read:
 		for {
 			ev, err := reader.Next()
 			if err != nil {
@@ -365,29 +397,32 @@ func (rt *Router) watchUpstream(ctx context.Context, venue, params string, out c
 			if ev.IsComment() {
 				continue // upstream heartbeat; the client loop beats its own
 			}
-			if ev.ID != "" {
-				lastID = ev.ID
-			}
 			switch ev.Name {
 			case "snapshot", "resync":
+				gen, ok := parseVenueGen(venue, ev.ID)
 				var snap notify.SnapshotData
-				if json.Unmarshal(ev.Data, &snap) != nil {
-					continue
+				if !ok || json.Unmarshal(ev.Data, &snap) != nil {
+					protoErr = true
+					break read
 				}
+				lastID = ev.ID
 				unknown = 0
 				backoff = 50 * time.Millisecond
-				if !send(upstreamMsg{venue: venue, id: ev.ID, snap: &snap}) {
+				if !send(upstreamMsg{venue: venue, gen: gen, snap: &snap}) {
 					close(done)
 					resp.Body.Close()
 					return
 				}
 			case "delta":
+				gen, ok := parseVenueGen(venue, ev.ID)
 				var delta notify.DeltaData
-				if json.Unmarshal(ev.Data, &delta) != nil {
-					continue
+				if !ok || json.Unmarshal(ev.Data, &delta) != nil {
+					protoErr = true
+					break read
 				}
+				lastID = ev.ID
 				unknown = 0
-				if !send(upstreamMsg{venue: venue, id: ev.ID, delta: &delta}) {
+				if !send(upstreamMsg{venue: venue, gen: gen, delta: &delta}) {
 					close(done)
 					resp.Body.Close()
 					return
@@ -409,6 +444,10 @@ func (rt *Router) watchUpstream(ctx context.Context, venue, params string, out c
 		}
 		close(done)
 		resp.Body.Close()
+		if protoErr {
+			rt.cfg.Logf("watch: venue %q upstream %s sent an event with an unusable id or payload; resubscribing for a fresh snapshot", venue, backend)
+			lastID = ""
+		}
 		if ctx.Err() == nil {
 			sleep()
 		}

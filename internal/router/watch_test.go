@@ -35,6 +35,10 @@ type sseFake struct {
 	// snapshot: no heartbeats, no deltas, the connection just stays
 	// open — the shape of a stopped process or half-open peer.
 	silentStreams int
+	// badIDStreams makes the next N watch streams emit their snapshot
+	// with an unparseable event id and then wedge — a protocol
+	// violation only a resubscribing relay can recover from.
+	badIDStreams int
 }
 
 type sseFakeVenue struct {
@@ -106,10 +110,21 @@ func (f *sseFake) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if silent {
 		f.silentStreams--
 	}
+	badID := f.badIDStreams > 0
+	if badID {
+		f.badIDStreams--
+	}
 	hb := f.heartbeat
 	f.mu.Unlock()
 	sw, err := notify.NewSSEWriter(w, 0)
 	if err != nil {
+		return
+	}
+	if badID {
+		sw.Event("snapshot", "not a composite id", notify.SnapshotData{
+			Kind: "popular-regions", K: len(regions), Scanned: []string{venue}, Regions: regions,
+		})
+		<-r.Context().Done()
 		return
 	}
 	answer := notify.Answer{Kind: "popular-regions", Regions: regions}
@@ -484,6 +499,72 @@ func TestRouterWatchRepinUnparksStream(t *testing.T) {
 		if regionsJSON(t, answer.Regions) == regionsJSON(t, want) && ev.ID != wantID {
 			t.Fatalf("converged with id %q, want %q", ev.ID, wantID)
 		}
+	}
+}
+
+// An upstream event whose id does not parse is a protocol error: the
+// relay must drop that stream and resubscribe for a fresh, validated
+// snapshot instead of folding bytes whose generation is unknown. The
+// client's first data event carries the good composite — nothing
+// stamped with (or folded past) the garbage id ever reaches it.
+func TestRouterWatchResubscribesOnUnparseableUpstreamID(t *testing.T) {
+	a := newSSEFake(t)
+	a.set("x", 1, []c2mn.RegionCount{{Region: 1, Count: 8}})
+	a.mu.Lock()
+	a.badIDStreams = 1
+	a.mu.Unlock()
+
+	rt, err := New(Config{Backends: []string{a.srv.URL}, WatchHeartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckNow(context.Background())
+	ts := routerServer(t, rt)
+
+	c := dialRouterWatch(t, ts.URL+"/v1/venues/x/watch?k=5", "")
+	ev, ok := c.nextData(t, 10*time.Second)
+	if !ok || ev.Name != "snapshot" {
+		t.Fatalf("first event = %+v ok=%v", ev, ok)
+	}
+	if want := notify.EncodeEventID(map[string]uint64{"x": 1}); ev.ID != want {
+		t.Fatalf("snapshot id = %q, want %q (the validated resubscription's)", ev.ID, want)
+	}
+	answer := foldRouterEvent(t, notify.Answer{}, ev)
+	want := []c2mn.RegionCount{{Region: 1, Count: 8}}
+	if regionsJSON(t, answer.Regions) != regionsJSON(t, want) {
+		t.Fatalf("snapshot = %s, want %s", regionsJSON(t, answer.Regions), regionsJSON(t, want))
+	}
+}
+
+// A watched venue whose backend is down and stays down must not leave
+// the client stream heartbeating forever with no data: the initial
+// gather is bounded, and past the deadline the stream ends with a
+// terminal goodbye so the client can retry — matching the poll path,
+// which would have returned an error.
+func TestRouterWatchBoundsInitialGather(t *testing.T) {
+	a := newSSEFake(t)
+	a.set("down", 1, []c2mn.RegionCount{{Region: 1, Count: 2}})
+
+	rt, err := New(Config{
+		Backends:            []string{a.srv.URL},
+		WatchHeartbeat:      50 * time.Millisecond,
+		WatchConnectTimeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckNow(context.Background())
+	a.srv.Close() // the owner is discovered, then dies before the subscribe
+
+	ts := routerServer(t, rt)
+	c := dialRouterWatch(t, ts.URL+"/v1/venues/down/watch?k=5", "")
+	ev, ok := c.nextData(t, 10*time.Second)
+	if !ok || ev.Name != "goodbye" {
+		t.Fatalf("event = %+v ok=%v, want a bounded-gather goodbye", ev, ok)
+	}
+	var g notify.GoodbyeData
+	if err := json.Unmarshal(ev.Data, &g); err != nil || g.Reason != notify.ReasonError {
+		t.Fatalf("goodbye payload %s", ev.Data)
 	}
 }
 

@@ -170,6 +170,15 @@ type QueryResult struct {
 	Regions  []RegionCount `json:"regions,omitempty"`
 	Pairs    []PairCount   `json:"pairs,omitempty"`
 	PerVenue []VenueCounts `json:"per_venue,omitempty"`
+	// Generations holds each scanned venue's store generation, captured
+	// atomically (under the store lock) with that venue's partial
+	// answer: the result's bytes are exactly the answer at these
+	// generations, never newer. The watch plane stamps event ids from
+	// this — a sample taken before or after execution could mislabel
+	// bytes written mid-query and break Last-Event-ID resume. Not part
+	// of the HTTP response body; the serving layer exposes freshness via
+	// the ETag validator instead.
+	Generations map[string]uint64 `json:"-"`
 }
 
 // Query is the single execution entry point of the query API: it
@@ -200,6 +209,7 @@ func (vr *VenueRegistry) Query(ctx context.Context, q Query) (QueryResult, error
 	type partial struct {
 		regions []RegionCount
 		pairs   []PairCount
+		gen     uint64
 		skipped bool
 		err     error
 	}
@@ -237,12 +247,16 @@ func (vr *VenueRegistry) Query(ctx context.Context, q Query) (QueryResult, error
 			if len(regions) == 0 {
 				regions = e.Space().Regions()
 			}
-			p.regions, p.pairs = e.queryCounts(nq.Kind, regions, nq.window(), query.AllCounts)
+			p.regions, p.pairs, p.gen = e.queryCounts(nq.Kind, regions, nq.window(), query.AllCounts)
 		}(&parts[i], id)
 	}
 	wg.Wait()
 
-	res := QueryResult{Kind: nq.Kind, Scope: nq.Scope, K: nq.K, Scanned: make([]string, 0, len(ids))}
+	res := QueryResult{
+		Kind: nq.Kind, Scope: nq.Scope, K: nq.K,
+		Scanned:     make([]string, 0, len(ids)),
+		Generations: make(map[string]uint64, len(ids)),
+	}
 	regionLists := make([][]RegionCount, 0, len(ids))
 	pairLists := make([][]PairCount, 0, len(ids))
 	for i := range parts {
@@ -254,6 +268,7 @@ func (vr *VenueRegistry) Query(ctx context.Context, q Query) (QueryResult, error
 			continue
 		}
 		res.Scanned = append(res.Scanned, ids[i])
+		res.Generations[ids[i]] = p.gen
 		if nq.PerVenue {
 			res.PerVenue = append(res.PerVenue, VenueCounts{
 				Venue:   ids[i],

@@ -52,7 +52,7 @@ func TestQueryValidation(t *testing.T) {
 // fleetRegistry loads three venues with the shared test model and
 // streams a different rotation of the test sequences into each, so
 // every venue store holds different m-semantics.
-func fleetRegistry(t *testing.T) (*VenueRegistry, *Annotator, []string) {
+func fleetRegistry(t *testing.T) (*VenueRegistry, *Annotator, []string, []LabeledSequence) {
 	t.Helper()
 	vr, a, test := testRegistry(t, WithVenueDefaults(WithPreprocess(120, 60)))
 	ids := []string{"east", "north", "west"}
@@ -81,11 +81,11 @@ func fleetRegistry(t *testing.T) (*VenueRegistry, *Annotator, []string) {
 	if err := vr.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	return vr, a, ids
+	return vr, a, ids, test
 }
 
 func TestRegistryFleetQueryMatchesBruteForce(t *testing.T) {
-	vr, a, ids := fleetRegistry(t)
+	vr, a, ids, _ := fleetRegistry(t)
 	ctx := context.Background()
 	regions := a.Space().Regions()
 	all := Window{Start: -math.MaxFloat64, End: math.MaxFloat64}
@@ -168,6 +168,61 @@ func TestRegistryFleetQueryMatchesBruteForce(t *testing.T) {
 	// set, which here is exactly `regions`.
 	if one.Scope != ScopeVenue || !reflect.DeepEqual(one.Regions, legacy) {
 		t.Fatalf("venue-scope Query %v diverges from TopKPopularRegions %v", one.Regions, legacy)
+	}
+}
+
+// TestQueryGenerationsExact: a QueryResult carries, for every scanned
+// venue, the store generation its partial answer was computed at —
+// captured atomically with the counts, so the watch plane can stamp
+// event ids that exactly label their bytes. On a quiescent store that
+// generation must equal the engine's current one, and a write to one
+// venue must move only that venue's entry.
+func TestQueryGenerationsExact(t *testing.T) {
+	vr, _, ids, test := fleetRegistry(t)
+	ctx := context.Background()
+
+	res, err := vr.Query(ctx, Query{Kind: QueryPopularRegions, Scope: ScopeFleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Generations) != len(res.Scanned) {
+		t.Fatalf("Generations covers %d venues, Scanned %d", len(res.Generations), len(res.Scanned))
+	}
+	for _, id := range res.Scanned {
+		e, err := vr.Engine(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, ok := res.Generations[id]; !ok || g != e.StoreGeneration() {
+			t.Fatalf("venue %q: Generations = %d (ok=%v), store at %d", id, g, ok, e.StoreGeneration())
+		}
+	}
+	before := res.Generations
+
+	// A write to one venue moves only that venue's generation. Venue 0
+	// holds every object's stream already, so re-feeding any object's
+	// records re-emits sequences and bumps the store.
+	for obj, recs := range gappedStreams(test, 120) {
+		if _, err := vr.FeedAll(ids[0], obj+"-again", recs); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if err := vr.Flush(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := vr.Query(ctx, Query{Kind: QueryPopularRegions, Scope: ScopeFleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Generations[ids[0]] <= before[ids[0]] {
+		t.Fatalf("venue %q generation did not move after a write: %d -> %d",
+			ids[0], before[ids[0]], res2.Generations[ids[0]])
+	}
+	for _, id := range ids[1:] {
+		if res2.Generations[id] != before[id] {
+			t.Fatalf("untouched venue %q generation moved: %d -> %d", id, before[id], res2.Generations[id])
+		}
 	}
 }
 
