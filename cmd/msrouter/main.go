@@ -27,17 +27,26 @@
 // exact merge path, resubscribing transparently through migration
 // cutover and backend death via Last-Event-ID resume.
 //
-// Router-specific endpoints:
+// Router-specific endpoints (the router's own admin plane lives under
+// /v1/admin/; the pre-consolidation /admin/* mounts stay as deprecated
+// aliases answering with Deprecation + successor-version Link headers):
 //
-//	GET    /admin/backends      backend table with health + hosted venues
-//	POST   /admin/backends      {"url"}: add a backend
-//	DELETE /admin/backends?url= remove a backend
-//	GET    /admin/assignments   venue → backend placement (pins marked)
-//	POST   /admin/pins          {"venue","backend"}: pin a venue
-//	DELETE /admin/pins?venue=   drop a pin (placement reverts to HRW)
-//	POST   /admin/migrate       {"venue","to"}: live-migrate a venue
-//	GET    /healthz             router liveness
-//	GET    /readyz              503 until at least one backend is ready
+//	GET    /v1/admin/backends      backend table with health + hosted venues
+//	POST   /v1/admin/backends      {"url"}: add a backend
+//	DELETE /v1/admin/backends?url= remove a backend
+//	GET    /v1/admin/assignments   venue → backend placement (pins marked)
+//	POST   /v1/admin/pins          {"venue","backend"}: pin a venue
+//	DELETE /v1/admin/pins?venue=   drop a pin (placement reverts to HRW)
+//	POST   /v1/admin/migrate       {"venue","to"}: live-migrate a venue
+//	GET    /healthz                router liveness
+//	GET    /readyz                 503 until at least one backend is ready
+//
+// The backends' consolidated /v1/admin/venues/{venue}/... tree proxies
+// through to the venue's owner, with one router-side guard: a retrain
+// trigger (POST .../retrain) against a venue mid-migration answers 409
+// migration_conflict before reaching the backend — a hot swap landing
+// under a migration would rotate the model the snapshot's identity
+// guards were checked against.
 //
 // A migration drains the venue on its current owner, waits for the
 // pipeline to settle, snapshots, transfers the snapshot to the target
@@ -46,7 +55,7 @@
 // mid-migration get retryable 503s before cutover and 307s to the new
 // owner after. Queries answer throughout.
 //
-// -admin-token gates the router's own /admin plane; -backend-token is
+// -admin-token gates the router's own admin plane; -backend-token is
 // presented to the backends' admin endpoints (their -admin-token)
 // during migrations and when proxying admin requests is not enough.
 //

@@ -1,0 +1,391 @@
+package main
+
+// Tests for the consolidated /v1/admin surface: the single token
+// chokepoint, the deprecated aliases' steering headers, the typed
+// 404/405 envelope, and the retraining endpoints end to end.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"c2mn"
+	"c2mn/internal/sim"
+)
+
+// doReq issues a method/url/body request with an optional bearer token.
+func doReq(t *testing.T, method, url, token string, body any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = strings.NewReader(string(buf))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func wireErrorOf(t *testing.T, resp *http.Response) wireError {
+	t.Helper()
+	var body struct {
+		Error wireError `json:"error"`
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding error envelope: %v", err)
+	}
+	return body.Error
+}
+
+// TestAdminSurfaceToken pins the single chokepoint: every mutating
+// route — canonical /v1/admin, deprecated /v1 and bare legacy mounts
+// alike — refuses without the bearer token and proceeds with it.
+func TestAdminSurfaceToken(t *testing.T) {
+	registry, _ := testRegistry(t, "default")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, "sesame"))
+	defer ts.Close()
+
+	paths := []struct{ method, path string }{
+		{"POST", "/v1/admin/venues"},
+		{"DELETE", "/v1/admin/venues/default"},
+		{"POST", "/v1/admin/venues/default/snapshot"},
+		{"GET", "/v1/admin/venues/default/snapshot/file"},
+		{"PUT", "/v1/admin/venues/default/snapshot/file"},
+		{"POST", "/v1/admin/venues/default/drain"},
+		{"DELETE", "/v1/admin/venues/default/drain"},
+		{"POST", "/v1/admin/venues/default/retrain"},
+		{"GET", "/v1/admin/venues/default/retrain"},
+		{"POST", "/v1/admin/venues/default/feedback"},
+		// Deprecated aliases share the same check.
+		{"POST", "/v1/venues"},
+		{"DELETE", "/v1/venues/default"},
+		{"POST", "/v1/venues/default/drain"},
+		{"POST", "/venues"},
+		{"DELETE", "/venues/default"},
+	}
+	for _, p := range paths {
+		resp := doReq(t, p.method, ts.URL+p.path, "", nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s %s without token: %d, want 401", p.method, p.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("WWW-Authenticate"); got != "Bearer" {
+			t.Errorf("%s %s WWW-Authenticate %q", p.method, p.path, got)
+		}
+	}
+
+	// With the token the request clears auth and reaches the handler
+	// (drain: 200 on a loaded venue).
+	resp := doReq(t, "POST", ts.URL+"/v1/admin/venues/default/drain", "sesame", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized drain via /v1/admin: %d, want 200", resp.StatusCode)
+	}
+	resp = doReq(t, "DELETE", ts.URL+"/v1/admin/venues/default/drain", "sesame", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized undrain via /v1/admin: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestAdminAliasHeaders: the pre-consolidation mounts steer to the
+// /v1/admin successor; the canonical tree carries no deprecation.
+func TestAdminAliasHeaders(t *testing.T) {
+	registry, _ := testRegistry(t, "default")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer ts.Close()
+
+	cases := []struct{ method, path, successor string }{
+		{"POST", "/v1/venues/default/drain", "/v1/admin/venues/default/drain"},
+		{"DELETE", "/v1/venues/default/drain", "/v1/admin/venues/default/drain"},
+		{"POST", "/venues", "/v1/admin/venues"},
+		{"POST", "/v1/venues", "/v1/admin/venues"},
+	}
+	for _, c := range cases {
+		resp := doReq(t, c.method, ts.URL+c.path, "", nil)
+		resp.Body.Close()
+		if got := resp.Header.Get("Deprecation"); got != "true" {
+			t.Errorf("%s %s Deprecation %q, want true", c.method, c.path, got)
+		}
+		want := fmt.Sprintf("<%s>; rel=%q", c.successor, "successor-version")
+		if got := resp.Header.Get("Link"); got != want {
+			t.Errorf("%s %s Link %q, want %q", c.method, c.path, got, want)
+		}
+	}
+
+	resp := doReq(t, "POST", ts.URL+"/v1/admin/venues/default/drain", "", nil)
+	resp.Body.Close()
+	if got := resp.Header.Get("Deprecation"); got != "" {
+		t.Errorf("canonical /v1/admin mount marked deprecated: %q", got)
+	}
+	resp = doReq(t, "DELETE", ts.URL+"/v1/admin/venues/default/drain", "", nil)
+	resp.Body.Close()
+}
+
+// TestV1ErrorEnvelope405And404: the mux's own plain-text errors under
+// /v1 carry the typed envelope, the 405's Allow header survives, and
+// non-/v1 paths keep the stock plain responses.
+func TestV1ErrorEnvelope405And404(t *testing.T) {
+	registry, _ := testRegistry(t, "default")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer ts.Close()
+
+	// Wrong method on a known /v1 route.
+	resp := doReq(t, "DELETE", ts.URL+"/v1/query", "", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /v1/query: %d, want 405", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("405 Content-Type %q, want JSON envelope", ct)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Fatalf("405 Allow %q lost the mux's method list", allow)
+	}
+	if we := wireErrorOf(t, resp); we.Code != "method_not_allowed" {
+		t.Fatalf("405 code %q, want method_not_allowed", we.Code)
+	}
+
+	// Unknown /v1 path.
+	resp = doReq(t, "GET", ts.URL+"/v1/nope", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/nope: %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("404 Content-Type %q, want JSON envelope", ct)
+	}
+	if we := wireErrorOf(t, resp); we.Code != "not_found" {
+		t.Fatalf("404 code %q, want not_found", we.Code)
+	}
+
+	// Legacy surface keeps the stock mux behaviour.
+	resp = doReq(t, "GET", ts.URL+"/nope", "", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope: %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("legacy 404 Content-Type %q, want text/plain passthrough", ct)
+	}
+}
+
+// TestVenueModelEndpoint: model identity over the API, with the
+// /v1/venues rows carrying the same fields.
+func TestVenueModelEndpoint(t *testing.T) {
+	registry, _ := testRegistry(t, "default")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/venues/default/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET model: %d", resp.StatusCode)
+	}
+	info := decodeBody[c2mn.ModelInfo](t, resp)
+	if info.Venue != "default" || len(info.ModelHash) != 64 || len(info.SpaceHash) != 64 {
+		t.Fatalf("model info %+v", info)
+	}
+	if info.ModelVersion <= 0 || info.SwapCount != 0 {
+		t.Fatalf("model info %+v", info)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/venues")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeBody[struct {
+		Venues []venueInfo `json:"venues"`
+	}](t, resp)
+	if len(list.Venues) != 1 || list.Venues[0].ModelHash != info.ModelHash ||
+		list.Venues[0].ModelVersion != info.ModelVersion {
+		t.Fatalf("venue listing rows missing model identity: %+v", list.Venues)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/venues/missing/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown venue model: %d", resp.StatusCode)
+	}
+	if we := wireErrorOf(t, resp); we.Code != "unknown_venue" {
+		t.Fatalf("unknown venue code %q", we.Code)
+	}
+}
+
+// toWireLabeled converts a labeled sequence to the feedback wire form.
+func toWireLabeled(ls c2mn.LabeledSequence) labeledSequenceWire {
+	wi := labeledSequenceWire{
+		ObjectID: ls.P.ObjectID,
+		Records:  toWire(ls.P.Records),
+		Regions:  make([]int, len(ls.Labels.Regions)),
+		Events:   make([]string, len(ls.Labels.Events)),
+	}
+	for i, r := range ls.Labels.Regions {
+		wi.Regions[i] = int(r)
+	}
+	for i, e := range ls.Labels.Events {
+		wi.Events[i] = e.String()
+	}
+	return wi
+}
+
+// TestRetrainEndpointsDisabled: without -retrain the endpoints answer
+// with the typed retrain_disabled conflict.
+func TestRetrainEndpointsDisabled(t *testing.T) {
+	registry, test := testRegistry(t, "default")
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, ""))
+	defer ts.Close()
+
+	resp := doReq(t, "POST", ts.URL+"/v1/admin/venues/default/retrain", "", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("retrain disabled: %d, want 409", resp.StatusCode)
+	}
+	if we := wireErrorOf(t, resp); we.Code != "retrain_disabled" {
+		t.Fatalf("code %q, want retrain_disabled", we.Code)
+	}
+	resp = doReq(t, "POST", ts.URL+"/v1/admin/venues/default/feedback", "",
+		retrainRequest{Data: []labeledSequenceWire{toWireLabeled(test[0])}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("feedback disabled: %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestRetrainEndpointsCycle drives the closed loop over HTTP: a weak
+// incumbent, ground truth through the feedback endpoint, a manual
+// retrain trigger — the better candidate swaps in, the audit and the
+// model identity reflect it, and a drained venue's cycle is vetoed.
+func TestRetrainEndpointsCycle(t *testing.T) {
+	ann, _ := testParts(t)
+	space := ann.Space()
+	// An incumbent deliberately trained into the ground: one exact
+	// step over two sequences.
+	data := retrainTestData(t, space)
+	weak, err := c2mn.Train(space, data[:2], c2mn.TrainOptions{V: 6, Exact: true, MaxIter: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry, err := c2mn.NewVenueRegistry(
+		c2mn.WithVenueDefaults(c2mn.WithPreprocess(testEta, testPsi)),
+		c2mn.WithRetrainPolicy(c2mn.RetrainPolicy{
+			Config: c2mn.RetrainConfig{MinSamples: 8, HoldoutFrac: 0.5, Seed: 3},
+			Train:  c2mn.TrainOptions{V: 6, Exact: true, TuneClustering: true, Seed: 2},
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := registry.Register("default", weak); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(registry, defaultMaxBody, "sesame"))
+	defer ts.Close()
+
+	// A draining venue refuses the cycle before anything trains.
+	resp := doReq(t, "POST", ts.URL+"/v1/admin/venues/default/drain", "sesame", nil)
+	resp.Body.Close()
+	resp = doReq(t, "POST", ts.URL+"/v1/admin/venues/default/retrain", "sesame", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("retrain while draining: %d, want 409", resp.StatusCode)
+	}
+	if we := wireErrorOf(t, resp); we.Code != "venue_draining" {
+		t.Fatalf("draining veto code %q", we.Code)
+	}
+	resp = doReq(t, "DELETE", ts.URL+"/v1/admin/venues/default/drain", "sesame", nil)
+	resp.Body.Close()
+
+	// Not enough samples yet: the skip is typed and audited.
+	resp = doReq(t, "POST", ts.URL+"/v1/admin/venues/default/retrain", "sesame", nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("retrain without samples: %d, want 422", resp.StatusCode)
+	}
+	if we := wireErrorOf(t, resp); we.Code != "retrain_samples" {
+		t.Fatalf("skip code %q, want retrain_samples", we.Code)
+	}
+
+	// Ground truth in, cycle, swap.
+	wireData := make([]labeledSequenceWire, len(data))
+	for i, ls := range data {
+		wireData[i] = toWireLabeled(ls)
+	}
+	resp = doReq(t, "POST", ts.URL+"/v1/admin/venues/default/feedback", "sesame",
+		retrainRequest{Data: wireData})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback: %d", resp.StatusCode)
+	}
+	fb := decodeBody[map[string]any](t, resp)
+	if n, _ := fb["sequences"].(float64); int(n) != len(data) {
+		t.Fatalf("feedback recorded %v of %d", fb["sequences"], len(data))
+	}
+
+	oldHash, err := registry.VenueModel("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = doReq(t, "POST", ts.URL+"/v1/admin/venues/default/retrain", "sesame", nil)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("retrain: %d (%s)", resp.StatusCode, body)
+	}
+	out := decodeBody[struct {
+		Decision c2mn.RetrainDecision `json:"decision"`
+	}](t, resp)
+	if out.Decision.Outcome != c2mn.RetrainSwapped {
+		t.Fatalf("outcome %q (inc CA %.3f vs cand CA %.3f), want swapped",
+			out.Decision.Outcome, out.Decision.IncumbentCA, out.Decision.CandidateCA)
+	}
+
+	// Identity and audit reflect the swap over the API.
+	resp, err = http.Get(ts.URL + "/v1/venues/default/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decodeBody[c2mn.ModelInfo](t, resp)
+	if info.SwapCount != 1 || info.ModelHash == oldHash.ModelHash || info.ModelHash != out.Decision.ModelHash {
+		t.Fatalf("model identity after swap: %+v (decision hash %s)", info, out.Decision.ModelHash)
+	}
+	resp = doReq(t, "GET", ts.URL+"/v1/admin/venues/default/retrain", "sesame", nil)
+	st := decodeBody[struct {
+		Retrain c2mn.RetrainState `json:"retrain"`
+	}](t, resp)
+	if st.Retrain.Swaps != 1 || st.Retrain.Counts[c2mn.RetrainSwapped] != 1 {
+		t.Fatalf("retrain status after swap: %+v", st.Retrain)
+	}
+}
+
+// retrainTestData regenerates the full labeled workload on the shared
+// test space (testParts keeps only the tail split; retraining wants
+// the whole set, and generation is deterministic per seed).
+func retrainTestData(t *testing.T, space *c2mn.Space) []c2mn.LabeledSequence {
+	t.Helper()
+	spec := sim.DefaultMobility(10, 1500)
+	spec.StayMax = 300
+	ds, err := c2mn.GenerateMobility(space, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Sequences
+}

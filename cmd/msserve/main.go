@@ -32,18 +32,35 @@
 //	GET    /v1/venues/{venue}/query/popular-regions
 //	GET    /v1/venues/{venue}/query/frequent-pairs
 //	GET    /v1/venues/{venue}/stats          one venue's pipeline counters
-//	GET    /v1/venues                        list loaded venues with stats
-//	POST   /v1/venues                        {"venue","space","model"}: (re)load from server-side paths
-//	DELETE /v1/venues/{venue}                unload a venue
-//	POST   /v1/venues/{venue}/snapshot       persist the venue's live state to -snapshot-dir now
-//	GET    /v1/venues/{venue}/snapshot/file  download the venue's on-disk snapshot bytes
-//	PUT    /v1/venues/{venue}/snapshot/file  upload + restore a snapshot into the (cold) venue
-//	POST   /v1/venues/{venue}/drain          stop accepting /feed for the venue (migration)
-//	DELETE /v1/venues/{venue}/drain          resume accepting /feed
+//	GET    /v1/venues                        list loaded venues with stats + model identity
+//	GET    /v1/venues/{venue}/model          the venue's serving-model identity (hashes,
+//	                                         format version, retraining swap count)
 //	GET    /v1/stats                         per-venue counters + totals
 //	GET    /v1/healthz                       liveness probe (also at /healthz)
 //	GET    /v1/readyz                        readiness probe (also at /readyz): 503 while
 //	                                         the process is draining for shutdown
+//
+// The mutating admin surface is consolidated under /v1/admin/ behind a
+// single bearer-token check:
+//
+//	POST   /v1/admin/venues                        {"venue","space","model"}: (re)load from server-side paths
+//	DELETE /v1/admin/venues/{venue}                unload a venue
+//	POST   /v1/admin/venues/{venue}/snapshot       persist the venue's live state to -snapshot-dir now
+//	GET    /v1/admin/venues/{venue}/snapshot/file  download the venue's on-disk snapshot bytes
+//	PUT    /v1/admin/venues/{venue}/snapshot/file  upload + restore a snapshot into the (cold) venue
+//	POST   /v1/admin/venues/{venue}/drain          stop accepting /feed for the venue (migration)
+//	DELETE /v1/admin/venues/{venue}/drain          resume accepting /feed
+//	POST   /v1/admin/venues/{venue}/feedback       {"data": [labeled sequences]}: operator ground truth
+//	POST   /v1/admin/venues/{venue}/retrain        run one retraining cycle now (optional truth body)
+//	GET    /v1/admin/venues/{venue}/retrain        the venue's retraining loop status + audit log
+//
+// The pre-consolidation admin mounts (POST /v1/venues, the snapshot,
+// drain and legacy bare paths) stay as deprecated aliases onto the
+// same handlers and the same token check, with Deprecation/Link
+// headers steering to the /v1/admin successor. The retraining
+// endpoints are new with the consolidation, so they exist only under
+// /v1/admin and answer 409 "retrain_disabled" unless msserve runs
+// with -retrain.
 //
 // Query responses carry an ETag freshness validator derived from the
 // scanned venues' store generations — `"<venue>:<generation>"` for a
@@ -73,12 +90,25 @@
 // flat {"error": "..."} payloads, plus Deprecation/Link headers
 // pointing at the /v1 successor.
 //
-// POST /venues and DELETE /venues/{venue} are destructive admin
-// operations (they replace or discard a venue's live state and read
-// server-side files); gate them with -admin-token (or the
+// Everything under /v1/admin/ is destructive (it replaces or discards
+// a venue's live state, reads server-side files, or rotates the
+// serving model); gate the tree with -admin-token (or the
 // MSSERVE_ADMIN_TOKEN environment variable), which requires
-// "Authorization: Bearer <token>" on those endpoints. Leave it empty
-// only behind an authenticating proxy.
+// "Authorization: Bearer <token>" on those endpoints and their
+// deprecated aliases. Leave it empty only behind an authenticating
+// proxy.
+//
+// With -retrain, each venue runs the closed-loop retraining plane:
+// every streamed inference feeds a PSI drift detector and bounded
+// labeled-sample reservoirs; a cycle (drift-triggered with
+// -retrain-auto, or POST .../retrain) trains a candidate model off
+// the serving path, shadow-scores it against the incumbent on a
+// held-out labeled slice and hot-swaps it in only on a strict
+// accuracy win. Ground truth posted to .../feedback is what opens the
+// gate — a venue fed only its own predictions can never swap. A swap
+// splices the venue's store generation forward, so cached ETags,
+// router partials and watch resume labels all see new content; it is
+// vetoed while the venue drains for migration.
 //
 // With -budget bounding fleet-wide inference and -feed-timeout set,
 // /feed sheds load instead of queueing without bound: a completed
@@ -175,6 +205,18 @@ func main() {
 		"serve net/http/pprof on this separate address (e.g. localhost:6060); never exposed on -addr (empty = off)")
 	watchHeartbeat := flag.Duration("watch-heartbeat", defaultWatchHeartbeat,
 		"comment-frame heartbeat period on /v1/watch streams (keeps idle streams alive through proxies)")
+	retrainOn := flag.Bool("retrain", false,
+		"enable the closed-loop retraining plane: drift tracking, labeled-sample reservoirs and the /v1/admin retrain endpoints")
+	retrainAuto := flag.Bool("retrain-auto", false,
+		"start a retraining cycle automatically when a venue's drift detector fires (requires -retrain)")
+	retrainDrift := flag.Float64("retrain-drift", 0, "PSI drift trigger threshold (0 = default 0.25)")
+	retrainWindow := flag.Int("retrain-window", 0, "drift sliding window in emitted sequences (0 = default 64)")
+	retrainMinSamples := flag.Int("retrain-min-samples", 0, "minimum labeled samples before a cycle trains (0 = default 32)")
+	retrainHoldout := flag.Float64("retrain-holdout", 0, "fraction of samples held out for shadow scoring (0 = default 0.25)")
+	retrainCooldown := flag.Duration("retrain-cooldown", 0, "minimum spacing between drift-triggered cycles (0 = default 10m)")
+	retrainV := flag.Float64("retrain-v", 0, "candidate trainer: fsm uncertainty radius V in meters (0 = trainer default)")
+	retrainSigma2 := flag.Float64("retrain-sigma2", 0, "candidate trainer: Gaussian prior variance override (0 = trainer default)")
+	retrainSeed := flag.Int64("retrain-seed", 0, "candidate trainer + sampling seed")
 	flag.Parse()
 
 	if *maxBody <= 0 {
@@ -210,7 +252,7 @@ func main() {
 	// defaults — publishes its generation moves here, and /v1/watch
 	// streams subscribe (see watch.go).
 	watchHub := notify.NewHub()
-	registry, err := c2mn.NewVenueRegistry(
+	regOpts := []c2mn.RegistryOption{
 		c2mn.WithVenueDefaults(
 			c2mn.WithPreprocess(*eta, *psi),
 			c2mn.WithWorkers(*workers),
@@ -222,7 +264,33 @@ func main() {
 		),
 		c2mn.WithVenueBudget(*budget),
 		c2mn.WithMaxVenues(*maxVenues),
-	)
+	}
+	if *retrainAuto && !*retrainOn {
+		log.Fatal("-retrain-auto requires -retrain")
+	}
+	if *retrainOn {
+		regOpts = append(regOpts, c2mn.WithRetrainPolicy(c2mn.RetrainPolicy{
+			Config: c2mn.RetrainConfig{
+				DriftThreshold: *retrainDrift,
+				DriftWindow:    *retrainWindow,
+				MinSamples:     *retrainMinSamples,
+				HoldoutFrac:    *retrainHoldout,
+				Cooldown:       *retrainCooldown,
+				Seed:           *retrainSeed,
+			},
+			Auto: *retrainAuto,
+			// Exact decomposed training: deterministic, so a cycle's
+			// outcome is reproducible from its audit record.
+			// Exact + TuneClustering: candidate training runs off the
+			// serving path, so the deterministic trainer and workload
+			// parameter tuning are affordable defaults.
+			Train: c2mn.TrainOptions{
+				V: *retrainV, Sigma2: *retrainSigma2, Exact: true,
+				TuneClustering: true, Seed: *retrainSeed,
+			},
+		}))
+	}
+	registry, err := c2mn.NewVenueRegistry(regOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -672,10 +740,8 @@ func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string, o
 		{"GET /venues/{venue}/query/popular-regions", s.handlePopularRegions},
 		{"GET /venues/{venue}/query/frequent-pairs", s.handleFrequentPairs},
 		{"GET /venues/{venue}/stats", s.handleVenueStats},
-		// Admin plane.
+		// Read-only listing and probes.
 		{"GET /venues", s.handleListVenues},
-		{"POST /venues", s.handleLoadVenue},
-		{"DELETE /venues/{venue}", s.handleUnloadVenue},
 		{"GET /stats", s.handleStats},
 		{"GET /healthz", s.handleHealthz},
 	}
@@ -684,17 +750,43 @@ func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string, o
 		mux.HandleFunc(method+" /v1"+path, rt.h)
 		mux.HandleFunc(rt.pattern, deprecated(rt.h))
 	}
+	// The mutating admin plane lives under /v1/admin/, every route
+	// behind the one token check in s.admin. The pre-consolidation
+	// mounts — the /v1 paths these operations first shipped on, and
+	// the bare legacy venue load/unload — stay as deprecated aliases
+	// onto the same wrapped handlers, steering to the /v1/admin
+	// successor.
+	adminRoutes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"POST /venues", s.handleLoadVenue},
+		{"DELETE /venues/{venue}", s.handleUnloadVenue},
+		{"POST /venues/{venue}/snapshot", s.handleSnapshotVenue},
+		{"GET /venues/{venue}/snapshot/file", s.handleGetSnapshotFile},
+		{"PUT /venues/{venue}/snapshot/file", s.handlePutSnapshotFile},
+		{"POST /venues/{venue}/drain", s.handleDrainVenue},
+		{"DELETE /venues/{venue}/drain", s.handleUndrainVenue},
+	}
+	for _, rt := range adminRoutes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		h := s.admin(rt.h)
+		mux.HandleFunc(method+" /v1/admin"+path, h)
+		mux.HandleFunc(method+" /v1"+path, deprecatedAdmin(h))
+	}
+	mux.HandleFunc("POST /venues", deprecatedAdmin(s.admin(s.handleLoadVenue)))
+	mux.HandleFunc("DELETE /venues/{venue}", deprecatedAdmin(s.admin(s.handleUnloadVenue)))
+	// The retraining plane is new with the /v1/admin consolidation:
+	// canonical paths only, no aliases.
+	mux.HandleFunc("POST /v1/admin/venues/{venue}/retrain", s.admin(s.handleRetrain))
+	mux.HandleFunc("GET /v1/admin/venues/{venue}/retrain", s.admin(s.handleRetrainStatus))
+	mux.HandleFunc("POST /v1/admin/venues/{venue}/feedback", s.admin(s.handleRetrainFeedback))
+	// Model identity is read-only data plane: which model is this
+	// venue serving with right now.
+	mux.HandleFunc("GET /v1/venues/{venue}/model", s.handleVenueModel)
 	// The unified query endpoint is v1-only: it is the API the
-	// versioning exists for. The snapshot trigger is v1-only too: it
-	// postdates the unversioned surface, so no legacy alias exists —
-	// and the same goes for the migration endpoints (drain, snapshot
-	// transfer) below.
+	// versioning exists for.
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/venues/{venue}/snapshot", s.handleSnapshotVenue)
-	mux.HandleFunc("GET /v1/venues/{venue}/snapshot/file", s.handleGetSnapshotFile)
-	mux.HandleFunc("PUT /v1/venues/{venue}/snapshot/file", s.handlePutSnapshotFile)
-	mux.HandleFunc("POST /v1/venues/{venue}/drain", s.handleDrainVenue)
-	mux.HandleFunc("DELETE /v1/venues/{venue}/drain", s.handleUndrainVenue)
 	// Readiness is new with the routing tier, so it has no deprecated
 	// unversioned twin; the bare path is mounted for plain probes, not
 	// as a legacy alias.
@@ -704,7 +796,53 @@ func newServer(registry *c2mn.VenueRegistry, maxBody int64, adminToken string, o
 	// composable scope surface, push instead of poll (see watch.go).
 	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	mux.HandleFunc("GET /v1/venues/{venue}/watch", s.handleWatch)
-	return echoRequestID(mux)
+
+	// Retraining hooks into the serving tier: cycles are vetoed while
+	// the venue drains for migration (the frozen state is about to
+	// move; a hot swap under it would void the migration's snapshot),
+	// and a landed swap converges the serving caches exactly like an
+	// operator reload — snapshot freshness is forgotten and standing
+	// watches resync against the spliced generation. Both calls are
+	// no-ops when the registry runs without a retrain policy.
+	registry.SetRetrainGate(func(venue string) error {
+		if _, draining := s.drainState(venue); draining {
+			return fmt.Errorf("%w: venue %q", errVenueDraining, venue)
+		}
+		return nil
+	})
+	registry.SetRetrainObserver(func(d c2mn.RetrainDecision) {
+		if d.Outcome != c2mn.RetrainSwapped {
+			return
+		}
+		s.snaps.forget(d.Venue)
+		s.watchHub.Invalidate(d.Venue)
+		log.Printf("venue %q hot-swapped retrained model %s (CA %.3f > %.3f)",
+			d.Venue, d.ModelHash, d.CandidateCA, d.IncumbentCA)
+	})
+	return echoRequestID(v1Envelope(mux))
+}
+
+// admin wraps a mutating admin handler behind the bearer-token check:
+// the single auth chokepoint for the /v1/admin tree and its deprecated
+// aliases.
+func (s *server) admin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.authorizeAdmin(w, r) {
+			return
+		}
+		h(w, r)
+	}
+}
+
+// deprecatedAdmin marks a pre-consolidation admin mount: same wrapped
+// handler as its /v1/admin twin, plus RFC 8594-style headers steering
+// to the consolidated successor (for both /v1 and bare legacy paths).
+func deprecatedAdmin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/admin`+strings.TrimPrefix(r.URL.Path, "/v1")+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // requestIDHeader correlates a request across the routing tier and
@@ -725,14 +863,92 @@ func echoRequestID(h http.Handler) http.Handler {
 	})
 }
 
+// v1Envelope upgrades the mux's own error responses under /v1 — the
+// text/plain 404s and auto-405s ServeMux writes for unmatched paths
+// and wrong methods — to the typed JSON envelope every other /v1
+// error carries. Handler-written responses pass through untouched:
+// our handlers always set a non-text Content-Type before writing, so
+// the text/plain sniff only ever matches the mux's (and http.Error's)
+// own output. The mux's Allow header on a 405 survives, since headers
+// are shared with the underlying writer.
+func v1Envelope(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !isV1(r) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		ew := &envelopeWriter{ResponseWriter: w, r: r}
+		h.ServeHTTP(ew, r)
+		ew.finish()
+	})
+}
+
+// envelopeWriter intercepts a plain-text 404/405 at WriteHeader time,
+// swallows its body, and lets finish rewrite it as the typed
+// envelope. Everything else streams straight through.
+type envelopeWriter struct {
+	http.ResponseWriter
+	r         *http.Request
+	intercept bool
+	status    int
+	wrote     bool
+}
+
+func (ew *envelopeWriter) WriteHeader(status int) {
+	if ew.wrote || ew.intercept {
+		return
+	}
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		strings.HasPrefix(ew.Header().Get("Content-Type"), "text/plain") {
+		ew.intercept = true
+		ew.status = status
+		return
+	}
+	ew.wrote = true
+	ew.ResponseWriter.WriteHeader(status)
+}
+
+func (ew *envelopeWriter) Write(b []byte) (int, error) {
+	if ew.intercept {
+		// Drop the plain-text body; finish writes the envelope.
+		return len(b), nil
+	}
+	ew.wrote = true
+	return ew.ResponseWriter.Write(b)
+}
+
+func (ew *envelopeWriter) finish() {
+	if !ew.intercept {
+		return
+	}
+	h := ew.Header()
+	h.Del("X-Content-Type-Options")
+	msg := "no route matches " + ew.r.Method + " " + ew.r.URL.Path
+	if ew.status == http.StatusMethodNotAllowed {
+		msg = ew.r.Method + " not allowed on " + ew.r.URL.Path
+		if allow := h.Get("Allow"); allow != "" {
+			msg += " (allowed: " + allow + ")"
+		}
+	}
+	writeError(ew.ResponseWriter, ew.r, ew.status, errors.New(msg))
+}
+
+// Flush and Unwrap keep the streaming surface (/v1/watch) working
+// through the wrapper: internal/notify's SSE writer resolves its
+// flusher via http.NewResponseController's Unwrap chain.
+func (ew *envelopeWriter) Flush() {
+	if f, ok := ew.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (ew *envelopeWriter) Unwrap() http.ResponseWriter { return ew.ResponseWriter }
+
 // handleSnapshotVenue serves the admin snapshot trigger: persist one
 // venue's live state to the -snapshot-dir now (on top of the periodic
 // and shutdown snapshots), e.g. ahead of a planned kill or a venue
 // migration. Token-gated like the other mutating admin endpoints.
 func (s *server) handleSnapshotVenue(w http.ResponseWriter, r *http.Request) {
-	if !s.authorizeAdmin(w, r) {
-		return
-	}
 	if s.snapshotDir == "" {
 		writeError(w, r, http.StatusConflict,
 			errors.New("snapshot persistence disabled: start msserve with -snapshot-dir"))
@@ -764,9 +980,6 @@ func (s *server) handleSnapshotVenue(w http.ResponseWriter, r *http.Request) {
 // the snapshot trigger first. Token-gated: the snapshot is the
 // venue's full serving state.
 func (s *server) handleGetSnapshotFile(w http.ResponseWriter, r *http.Request) {
-	if !s.authorizeAdmin(w, r) {
-		return
-	}
 	if s.snapshotDir == "" {
 		writeError(w, r, http.StatusConflict,
 			errors.New("snapshot persistence disabled: start msserve with -snapshot-dir"))
@@ -803,9 +1016,6 @@ func (s *server) handleGetSnapshotFile(w http.ResponseWriter, r *http.Request) {
 // also persisted to the snapshot directory (when one is configured),
 // so a crash right after the restore still reboots warm.
 func (s *server) handlePutSnapshotFile(w http.ResponseWriter, r *http.Request) {
-	if !s.authorizeAdmin(w, r) {
-		return
-	}
 	id := r.PathValue("venue")
 	e, err := s.registry.Engine(id)
 	if err != nil {
@@ -863,9 +1073,6 @@ var errVenueDraining = errors.New("venue is draining")
 // snapshot, once more after the restore to point stragglers at the
 // new owner.
 func (s *server) handleDrainVenue(w http.ResponseWriter, r *http.Request) {
-	if !s.authorizeAdmin(w, r) {
-		return
-	}
 	id := r.PathValue("venue")
 	if _, err := s.registry.Engine(id); err != nil {
 		writeError(w, r, http.StatusNotFound, err)
@@ -890,9 +1097,6 @@ func (s *server) handleDrainVenue(w http.ResponseWriter, r *http.Request) {
 // handleUndrainVenue cancels a drain (aborted migration): the venue
 // accepts /feed traffic again.
 func (s *server) handleUndrainVenue(w http.ResponseWriter, r *http.Request) {
-	if !s.authorizeAdmin(w, r) {
-		return
-	}
 	id := r.PathValue("venue")
 	s.drainMu.Lock()
 	_, was := s.draining[id]
@@ -1557,6 +1761,14 @@ type venueInfo struct {
 	LastSnapshotUnix int64  `json:"last_snapshot_unix,omitempty"`
 	SnapshotStale    bool   `json:"snapshot_stale"`
 	Draining         bool   `json:"draining,omitempty"`
+	// Model identity: which model the venue serves with right now.
+	// The hash changes when an operator reload or a retraining hot
+	// swap rotates the model; swap_count/retrained_at_unix attribute
+	// rotations to the retraining loop specifically.
+	ModelHash       string `json:"model_hash"`
+	ModelVersion    int    `json:"model_version"`
+	SwapCount       int64  `json:"swap_count"`
+	RetrainedAtUnix int64  `json:"retrained_at_unix,omitempty"`
 }
 
 func (s *server) handleListVenues(w http.ResponseWriter, r *http.Request) {
@@ -1579,6 +1791,12 @@ func (s *server) handleListVenues(w http.ResponseWriter, r *http.Request) {
 		if rec, ok := s.snaps.get(id); ok {
 			info.LastSnapshotUnix = rec.unix
 			info.SnapshotStale = pipelineFingerprint(rec.stats) != pipelineFingerprint(stats)
+		}
+		if mi, err := s.registry.VenueModel(id); err == nil {
+			info.ModelHash = mi.ModelHash
+			info.ModelVersion = mi.ModelVersion
+			info.SwapCount = mi.SwapCount
+			info.RetrainedAtUnix = mi.RetrainedAtUnix
 		}
 		_, info.Draining = s.drainState(id)
 		out = append(out, info)
@@ -1613,9 +1831,6 @@ func (s *server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
 }
 
 func (s *server) handleLoadVenue(w http.ResponseWriter, r *http.Request) {
-	if !s.authorizeAdmin(w, r) {
-		return
-	}
 	var req loadVenueRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err := dec.Decode(&req); err != nil {
@@ -1647,9 +1862,6 @@ func (s *server) handleLoadVenue(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleUnloadVenue(w http.ResponseWriter, r *http.Request) {
-	if !s.authorizeAdmin(w, r) {
-		return
-	}
 	id := r.PathValue("venue")
 	if err := s.registry.Unload(id); err != nil {
 		writeError(w, r, http.StatusNotFound, err)
@@ -1821,6 +2033,14 @@ func errorCode(status int, err error) string {
 		return "snapshot_corrupt"
 	case errors.Is(err, errVenueDraining):
 		return "venue_draining"
+	case errors.Is(err, c2mn.ErrRetrainDisabled):
+		return "retrain_disabled"
+	case errors.Is(err, c2mn.ErrRetrainBusy):
+		return "retrain_busy"
+	case errors.Is(err, c2mn.ErrRetrainConflict):
+		return "retrain_conflict"
+	case errors.Is(err, c2mn.ErrRetrainSamples):
+		return "retrain_samples"
 	}
 	switch status {
 	case http.StatusBadRequest:
@@ -1829,6 +2049,8 @@ func errorCode(status int, err error) string {
 		return "unauthorized"
 	case http.StatusNotFound:
 		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
 	case http.StatusConflict:
 		return "conflict"
 	case http.StatusRequestEntityTooLarge:

@@ -1,0 +1,209 @@
+//go:build e2e
+
+package main
+
+// End-to-end retraining gate: build the real msserve binary and drive
+// the closed loop over the wire twice, with an uninvolved healthy
+// venue serving alongside. Phase 1 pits a deliberately crippled
+// candidate trainer (-retrain-v 0.05 -retrain-sigma2 1e-9: a 5 cm fsm
+// radius and a pinned-weights prior) against a healthy incumbent —
+// the shadow gate must REJECT it and leave the incumbent serving.
+// Phase 2 pits a sane trainer against a deliberately weak incumbent —
+// the gate must SWAP and the model identity must rotate. The
+// uninvolved venue's answers must stay byte-identical through both
+// cycles. This is the CI proof that shadow gating, not operator hope,
+// decides what serves.
+//
+// Run with: go test -tags e2e -run TestRetrainClosedLoopE2E ./cmd/msserve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"c2mn"
+)
+
+func TestRetrainClosedLoopE2E(t *testing.T) {
+	ann, test := testParts(t)
+	space := ann.Space()
+	data := retrainTestData(t, space)
+	weak, err := c2mn.Train(space, data[:2], c2mn.TrainOptions{V: 6, Exact: true, MaxIter: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	spacePath := filepath.Join(dir, "space.json")
+	weakPath := filepath.Join(dir, "weak.json")
+	modelPath := filepath.Join(dir, "model.json")
+	writeJSONFile := func(path string, write func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJSONFile(spacePath, space.WriteJSON)
+	writeJSONFile(weakPath, weak.Save)
+	writeJSONFile(modelPath, ann.Save)
+
+	bin := buildMsserve(t, dir)
+	common := []string{
+		"-addr", "127.0.0.1:0",
+		"-venue", "steady=" + spacePath + "," + modelPath,
+		"-eta", fmt.Sprint(testEta), "-psi", fmt.Sprint(testPsi),
+		"-admin-token", "sesame",
+		"-retrain",
+		"-retrain-min-samples", "8",
+		"-retrain-holdout", "0.5",
+		"-retrain-seed", "3",
+	}
+	withArgs := func(extra ...string) []string {
+		return append(append([]string{}, common...), extra...)
+	}
+
+	// The uninvolved venue's answers, captured before any cycle and
+	// required byte-identical after every one.
+	steadyQueries := []string{
+		"/v1/venues/steady/query/popular-regions?k=10&start=0&end=1e18",
+		"/v1/venues/steady/query/frequent-pairs?k=10&start=0&end=1e18",
+	}
+	feedTruth := func(base string) {
+		t.Helper()
+		wire := make([]labeledSequenceWire, len(data))
+		for i, ls := range data {
+			wire[i] = toWireLabeled(ls)
+		}
+		resp := doReq(t, "POST", base+"/v1/admin/venues/prime/feedback", "sesame",
+			retrainRequest{Data: wire})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("feedback: %s", resp.Status)
+		}
+		resp.Body.Close()
+	}
+	runCycle := func(base string) c2mn.RetrainDecision {
+		t.Helper()
+		resp := doReq(t, "POST", base+"/v1/admin/venues/prime/retrain", "sesame", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("retrain: %s", resp.Status)
+		}
+		out := decodeBody[struct {
+			Decision c2mn.RetrainDecision `json:"decision"`
+		}](t, resp)
+		return out.Decision
+	}
+	modelInfo := func(base string) c2mn.ModelInfo {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/venues/prime/model")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET model: %s", resp.Status)
+		}
+		return decodeBody[c2mn.ModelInfo](t, resp)
+	}
+	seedSteady := func(base string) []string {
+		t.Helper()
+		for i := 0; i < len(test); i += 2 {
+			resp := postJSON(t, base+"/v1/venues/steady/feed", sequenceRequest{
+				ObjectID: fmt.Sprintf("steady%d", i),
+				Records:  toWire(test[i].P.Records),
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("steady feed: %s", resp.Status)
+			}
+			resp.Body.Close()
+		}
+		resp := postJSON(t, base+"/v1/flush", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("flush: %s", resp.Status)
+		}
+		resp.Body.Close()
+		answers := make([]string, len(steadyQueries))
+		for i, q := range steadyQueries {
+			answers[i] = getBody(t, base+q)
+		}
+		return answers
+	}
+	requireSteadyUnchanged := func(base string, before []string, phase string) {
+		t.Helper()
+		for i, q := range steadyQueries {
+			if after := getBody(t, base+q); after != before[i] {
+				t.Fatalf("%s: steady venue answer for %s diverged:\n before %s\n after  %s",
+					phase, q, before[i], after)
+			}
+		}
+	}
+
+	// Phase 1: a crippled challenger against the healthy incumbent. A
+	// 5 cm fsm uncertainty radius and a degenerate prior survive the
+	// trainer's fill — only non-positive values are replaced — so the
+	// candidate genuinely trains, just badly: its accuracy lands well
+	// under the incumbent's and the gate must hold the line.
+	base, stop := startMsserve(t, bin, withArgs(
+		"-venue", "prime="+spacePath+","+modelPath,
+		"-retrain-v", "0.05", "-retrain-sigma2", "1e-9"))
+	steadyBefore := seedSteady(base)
+	initial := modelInfo(base)
+	feedTruth(base)
+	d := runCycle(base)
+	if d.Outcome != c2mn.RetrainRejected {
+		t.Fatalf("crippled candidate outcome %q (inc CA %.3f vs cand CA %.3f), want rejected",
+			d.Outcome, d.IncumbentCA, d.CandidateCA)
+	}
+	after := modelInfo(base)
+	if after.ModelHash != initial.ModelHash || after.SwapCount != 0 {
+		t.Fatalf("rejected cycle rotated the model: %+v, was %+v", after, initial)
+	}
+	requireSteadyUnchanged(base, steadyBefore, "rejected cycle")
+	stop()
+
+	// Phase 2: a sane challenger against a deliberately weak incumbent
+	// (one exact step over two sequences): now the gate must swap.
+	base, stop = startMsserve(t, bin, withArgs(
+		"-venue", "prime="+spacePath+","+weakPath,
+		"-retrain-v", "6"))
+	defer stop()
+	steadyBefore = seedSteady(base)
+	initial = modelInfo(base)
+	feedTruth(base)
+	d = runCycle(base)
+	if d.Outcome != c2mn.RetrainSwapped {
+		t.Fatalf("genuine candidate outcome %q (inc CA %.3f vs cand CA %.3f), want swapped",
+			d.Outcome, d.IncumbentCA, d.CandidateCA)
+	}
+	after = modelInfo(base)
+	if after.SwapCount != 1 || after.ModelHash == initial.ModelHash || after.ModelHash != d.ModelHash {
+		t.Fatalf("swap did not rotate the identity: %+v (decision hash %s, initial %s)",
+			after, d.ModelHash, initial.ModelHash)
+	}
+	requireSteadyUnchanged(base, steadyBefore, "swapped cycle")
+
+	// The swapped-in model serves: ingest on prime completes and the
+	// venue answers queries.
+	resp := postJSON(t, base+"/v1/venues/prime/feed", sequenceRequest{
+		ObjectID: "post-swap", Records: toWire(test[1].P.Records),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap feed: %s", resp.Status)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, base+"/v1/flush", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap flush: %s", resp.Status)
+	}
+	resp.Body.Close()
+	if body := getBody(t, base+"/v1/venues/prime/query/popular-regions?k=5&start=0&end=1e18"); body == "" {
+		t.Fatal("post-swap query returned nothing")
+	}
+}

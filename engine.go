@@ -40,6 +40,7 @@ type Engine struct {
 	overlap     int
 	infer       AnnotateOptions
 	onSeq       func(MSSequence)
+	labeledSink func(LabeledSequence) // retrain-loop tap (see withLabeledSink)
 	retention   float64
 	budget      chan struct{} // optional shared inference budget (see WithVenueBudget)
 	feedTimeout time.Duration // bound on streaming-path budget waits (see WithFeedQueueTimeout)
@@ -93,8 +94,9 @@ type feedJob struct {
 }
 
 type feedResult struct {
-	ms  MSSequence
-	err error
+	labels Labels
+	ms     MSSequence
+	err    error
 }
 
 // NewEngine wraps a trained annotator in an Engine. It returns
@@ -188,7 +190,7 @@ func (e *Engine) inferSeq(p *PSequence) (Labels, MSSequence, error) {
 // the fleet budget fails fast with ErrBacklog instead of wedging its
 // Feed callers — a failed wait fails the fragments queued at that
 // moment, and the next burst retries with a fresh wait.
-func (e *Engine) annotateCoalesced(p *PSequence) (MSSequence, error) {
+func (e *Engine) annotateCoalesced(p *PSequence) (Labels, MSSequence, error) {
 	job := &feedJob{p: p, done: make(chan feedResult, 1)}
 	e.feedMu.Lock()
 	e.feedQ = append(e.feedQ, job)
@@ -197,7 +199,7 @@ func (e *Engine) annotateCoalesced(p *PSequence) (MSSequence, error) {
 		// releases its acquisition.
 		e.feedMu.Unlock()
 		r := <-job.done
-		return r.ms, r.err
+		return r.labels, r.ms, r.err
 	}
 	e.feedLeader = true
 	e.feedMu.Unlock()
@@ -229,7 +231,7 @@ func (e *Engine) annotateCoalesced(p *PSequence) (MSSequence, error) {
 		if acquireErr != nil {
 			r.err = fmt.Errorf("%w: no inference slot within %v", ErrBacklog, e.feedTimeout)
 		} else {
-			_, r.ms, r.err = e.ann.annotateWith(st, j.p, e.window, e.overlap, e.infer)
+			r.labels, r.ms, r.err = e.ann.annotateWith(st, j.p, e.window, e.overlap, e.infer)
 		}
 		j.done <- r
 	}
@@ -240,7 +242,7 @@ func (e *Engine) annotateCoalesced(p *PSequence) (MSSequence, error) {
 		e.release()
 	}
 	r := <-job.done
-	return r.ms, r.err
+	return r.labels, r.ms, r.err
 }
 
 // annotateCtx is the request-path inference: waiting for a budget
@@ -371,7 +373,7 @@ func (e *Engine) streamName(objectID string) string {
 // process annotates one completed fragment — through the coalescing
 // micro-batcher — and emits its m-semantics.
 func (e *Engine) process(p *PSequence) error {
-	ms, err := e.annotateCoalesced(p)
+	labels, ms, err := e.annotateCoalesced(p)
 	if err != nil {
 		return fmt.Errorf("c2mn: stream %s: %w", e.streamName(p.ObjectID), err)
 	}
@@ -379,6 +381,12 @@ func (e *Engine) process(p *PSequence) error {
 	e.emitted.Add(1)
 	if e.onSeq != nil {
 		e.onSeq(ms)
+	}
+	if e.labeledSink != nil {
+		// The sink gets the raw inference output — the (sequence,
+		// labels) pair the retrain loop's drift detector and stream
+		// reservoir feed on. Same goroutine/contract as onSeq.
+		e.labeledSink(LabeledSequence{P: *p, Labels: labels})
 	}
 	return nil
 }
@@ -459,6 +467,22 @@ func queryCacheKey(kind QueryKind, regions []RegionID, w Window, k int) string {
 		buf = strconv.AppendInt(buf, int64(r), 10)
 	}
 	return string(buf)
+}
+
+// ModelHash returns the content hash of the model this engine serves
+// with — the identity the snapshot guard checks and the retrain plane
+// reports over the admin API. It is stable for the engine's lifetime;
+// a hot swap installs a new engine rather than mutating this one.
+func (e *Engine) ModelHash() string {
+	_, modelH := e.ann.hashes()
+	return modelH
+}
+
+// SpaceHash returns the content hash of the venue geometry the engine
+// serves with.
+func (e *Engine) SpaceHash() string {
+	spaceH, _ := e.ann.hashes()
+	return spaceH
 }
 
 // StoreGeneration returns the live store's content generation — the

@@ -105,3 +105,31 @@ func TestEqualGenerationsGiveIdenticalAnswers(t *testing.T) {
 		memos[wi] = memo{gen: rgen, regions: regions, pairs: pairs}
 	}
 }
+
+// TestSeedGeneration covers the hot-swap splice: a fresh store seeded
+// past its predecessor's generation keeps the monotonic contract, stays
+// silent (no change callback), and still advances normally afterwards.
+func TestSeedGeneration(t *testing.T) {
+	s := NewStore(0)
+	fired := 0
+	s.OnChange(func(uint64) { fired++ })
+	s.SeedGeneration(5000)
+	if g := s.Generation(); g != 5000 {
+		t.Fatalf("seeded generation %d, want 5000", g)
+	}
+	if fired != 0 {
+		t.Fatalf("seeding fired %d change callbacks, want 0", fired)
+	}
+	// Seeding below the current counter is a no-op.
+	s.SeedGeneration(10)
+	if g := s.Generation(); g != 5000 {
+		t.Fatalf("backward seed moved the generation to %d", g)
+	}
+	s.Add(storeMS("o1", stay(1, 0, 10)))
+	if g := s.Generation(); g <= 5000 {
+		t.Fatalf("add after seeding did not advance: %d", g)
+	}
+	if fired != 1 {
+		t.Fatalf("add fired %d callbacks, want 1", fired)
+	}
+}

@@ -466,10 +466,19 @@ func RestoreIndex(st IndexState) (*Index, error) {
 	return ix, nil
 }
 
+// GenerationJump is the headroom added whenever a store's generation
+// line is spliced onto another's — a snapshot restore, or a hot model
+// swap seeding the replacement engine's store past its predecessor
+// (Store.SeedGeneration). Generations the old line published after the
+// splice point cannot collide with generations the new line will
+// publish, so stale validators (router partials, client ETags) never
+// match fresh content.
+const GenerationJump = uint64(1) << 32
+
 // genRestoreJump is added to a restored index's captured generation so
 // generations published by the pre-crash process after its snapshot
 // cannot collide with generations the restored process will publish.
-const genRestoreJump = uint64(1) << 32
+const genRestoreJump = GenerationJump
 
 // TopKPopularRegions answers a TkPRQ over the live sequences, with
 // results identical to TopKPopularRegions over Snapshot().

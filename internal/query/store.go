@@ -92,6 +92,22 @@ func (s *Store) Generation() uint64 {
 	return s.ix.Generation()
 }
 
+// SeedGeneration raises the store's generation counter to at least
+// floor without changing contents and without firing the change
+// callback (nothing a subscriber could observe changed — the counter
+// only skipped ahead). A store already at or past floor is untouched.
+// Used when a fresh store replaces one whose generations are already
+// cached downstream: seeding past the predecessor (plus GenerationJump
+// headroom) keeps the monotonic-generation contract — equal gens imply
+// byte-identical answers — across the swap.
+func (s *Store) SeedGeneration(floor uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ix := s.ix; ix.gen < floor {
+		ix.gen = floor
+	}
+}
+
 // Snapshot returns a copy of the stored sequences, safe to use after
 // further Adds. The per-sequence semantics slices are shared (they are
 // append-only once stored).

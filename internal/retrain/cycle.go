@@ -1,0 +1,146 @@
+package retrain
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"c2mn/internal/eval"
+	"c2mn/internal/seq"
+)
+
+// Typed failures of Run; the serving tier maps them onto HTTP codes.
+var (
+	// ErrBusy: a cycle for this venue is already in flight. At most
+	// one trains at a time, so a drift trigger landing mid-cycle is
+	// dropped rather than queued.
+	ErrBusy = errors.New("retrain: cycle already in flight")
+	// ErrSamples: fewer labeled samples than Config.MinSamples were
+	// available (or the holdout split came out empty).
+	ErrSamples = errors.New("retrain: not enough labeled samples")
+)
+
+// AnnotateFunc labels one positioning sequence — the incumbent's or a
+// candidate's inference, closed over whatever engine configuration
+// the venue serves with, so both sides of the shadow comparison run
+// identical inference settings.
+type AnnotateFunc func(p *seq.PSequence) (seq.Labels, error)
+
+// Candidate is a freshly trained challenger: Annotate scores it on
+// the holdout, Install hot-swaps it in (called only on a strict win),
+// and Hash identifies the model in the audit record.
+type Candidate struct {
+	Annotate AnnotateFunc
+	Install  func() error
+	Hash     string
+}
+
+// TrainFunc trains a candidate on the given labeled slice. It runs
+// off the serving path, on the cycle's goroutine.
+type TrainFunc func(train []seq.LabeledSequence) (Candidate, error)
+
+// Score runs annotate over every holdout sequence and accumulates the
+// paper's labeling metrics against the recorded labels.
+func Score(data []seq.LabeledSequence, lambda float64, annotate AnnotateFunc) (eval.Accuracy, error) {
+	var c eval.Counter
+	for i := range data {
+		p := data[i].P
+		labels, err := annotate(&p)
+		if err != nil {
+			return eval.Accuracy{}, fmt.Errorf("retrain: scoring %q: %w", p.ObjectID, err)
+		}
+		if err := c.Add(data[i].Labels, labels); err != nil {
+			return eval.Accuracy{}, err
+		}
+	}
+	return c.Result(lambda), nil
+}
+
+// Run executes one retraining cycle: snapshot the labeled samples
+// (truth reservoir first, then the self-labeled stream reservoir),
+// split off a holdout, train a candidate, shadow-score both models on
+// the holdout, and install the candidate only when it beats the
+// incumbent's CA by more than Config.MinWin. Exactly one cycle runs
+// per State at a time (ErrBusy otherwise); every completed cycle —
+// swapped, rejected, skipped or failed — is recorded in the audit log
+// and counted in Status. The returned Decision describes this cycle
+// even when err != nil (except for ErrBusy, which records nothing).
+func (st *State) Run(venue string, trigger Trigger, incumbent AnnotateFunc, train TrainFunc) (Decision, error) {
+	st.mu.Lock()
+	if st.busy {
+		st.mu.Unlock()
+		return Decision{}, ErrBusy
+	}
+	st.busy = true
+	st.lastCycle = time.Now()
+	samples := append(st.truth.Snapshot(), st.stream.Snapshot()...)
+	psi := st.det.PSI()
+	cfg := st.cfg
+	st.mu.Unlock()
+
+	d := Decision{
+		Venue: venue, Trigger: trigger, PSI: psi,
+		StartedUnix: time.Now().Unix(),
+	}
+	finish := func(outcome Outcome, err error) (Decision, error) {
+		d.Outcome = outcome
+		if err != nil {
+			d.Error = err.Error()
+		}
+		d.FinishedUnix = time.Now().Unix()
+		st.mu.Lock()
+		st.busy = false
+		st.mu.Unlock()
+		st.record(d)
+		return d, err
+	}
+
+	if len(samples) < cfg.MinSamples {
+		return finish(OutcomeSkipped, fmt.Errorf("%w: have %d, need %d", ErrSamples, len(samples), cfg.MinSamples))
+	}
+	data := make([]seq.LabeledSequence, len(samples))
+	for i := range samples {
+		data[i] = samples[i].LS
+	}
+	trainSet, holdout := eval.Split(data, 1-cfg.HoldoutFrac, cfg.Seed)
+	if len(trainSet) == 0 || len(holdout) == 0 {
+		return finish(OutcomeSkipped, fmt.Errorf("%w: degenerate split (%d train, %d holdout)", ErrSamples, len(trainSet), len(holdout)))
+	}
+	d.Samples, d.Holdout = len(trainSet), len(holdout)
+
+	incAcc, err := Score(holdout, cfg.Lambda, incumbent)
+	if err != nil {
+		return finish(OutcomeFailed, fmt.Errorf("incumbent: %w", err))
+	}
+	d.IncumbentCA = incAcc.CA
+
+	cand, err := train(trainSet)
+	if err != nil {
+		return finish(OutcomeFailed, fmt.Errorf("training candidate: %w", err))
+	}
+	d.ModelHash = cand.Hash
+
+	candAcc, err := Score(holdout, cfg.Lambda, cand.Annotate)
+	if err != nil {
+		return finish(OutcomeFailed, fmt.Errorf("candidate: %w", err))
+	}
+	d.CandidateCA = candAcc.CA
+
+	if !(candAcc.CA > incAcc.CA+cfg.MinWin) {
+		return finish(OutcomeRejected, nil)
+	}
+	if err := cand.Install(); err != nil {
+		return finish(OutcomeFailed, fmt.Errorf("installing candidate: %w", err))
+	}
+	st.mu.Lock()
+	st.swaps++
+	st.lastSwap = time.Now().Unix()
+	// The swapped-in model defines the new normal: rebuild the drift
+	// reference from its own labeling, and drop the old model's
+	// self-labeled samples — they are no longer what the live model
+	// would say.
+	st.det.Reset()
+	st.stream.Clear()
+	st.mu.Unlock()
+	return finish(OutcomeSwapped, nil)
+}

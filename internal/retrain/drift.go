@@ -1,0 +1,163 @@
+package retrain
+
+import (
+	"math"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// Detector tracks region-label distribution shift on one venue's
+// annotated stream with a population stability index (PSI) against a
+// frozen reference histogram.
+//
+// The first `window` observed sequences build the reference — the
+// labeling distribution the serving model was implicitly validated
+// against — which then freezes. After that, a sliding window of the
+// most recent `window` sequences is compared against the reference:
+//
+//	PSI = Σ_b (q_b − p_b) · ln(q_b / p_b)
+//
+// over the per-record region-label histogram buckets b (NoRegion is a
+// bucket too: a model increasingly unable to explain traffic shows up
+// as NoRegion mass, which is exactly the annotation-confidence signal
+// an energy-based MAP labeler exposes). Both distributions are
+// Laplace-smoothed over the union of observed buckets, so a region
+// appearing on only one side cannot produce an infinite index.
+//
+// The detector is not safe for concurrent use; State serializes
+// access to it.
+type Detector struct {
+	window    int
+	threshold float64
+
+	// Frozen reference: per-region record counts over the first
+	// `window` sequences.
+	ref     map[indoor.RegionID]int
+	refSeqs int
+	refN    int
+	frozen  bool
+
+	// Sliding window: a ring of per-sequence histograms plus their
+	// running aggregate, so evicting the oldest is O(its regions).
+	ring []map[indoor.RegionID]int
+	next int
+	full bool
+	cur  map[indoor.RegionID]int
+	curN int
+
+	psi float64
+}
+
+// NewDetector builds a detector with the given sliding-window length
+// (in sequences) and PSI trigger threshold.
+func NewDetector(window int, threshold float64) *Detector {
+	return &Detector{
+		window:    window,
+		threshold: threshold,
+		ref:       map[indoor.RegionID]int{},
+		ring:      make([]map[indoor.RegionID]int, window),
+		cur:       map[indoor.RegionID]int{},
+	}
+}
+
+// Observe folds one sequence's labels in and returns the current PSI
+// plus whether it crossed the threshold. Sequences with no labels are
+// ignored. Until the reference froze and the sliding window filled,
+// PSI is 0 and the detector never fires.
+func (d *Detector) Observe(labels seq.Labels) (psi float64, drifted bool) {
+	if len(labels.Regions) == 0 {
+		return d.psi, false
+	}
+	if !d.frozen {
+		for _, r := range labels.Regions {
+			d.ref[r]++
+		}
+		d.refN += len(labels.Regions)
+		d.refSeqs++
+		if d.refSeqs >= d.window {
+			d.frozen = true
+		}
+		return 0, false
+	}
+	h := make(map[indoor.RegionID]int, 8)
+	for _, r := range labels.Regions {
+		h[r]++
+	}
+	if old := d.ring[d.next]; old != nil {
+		for r, n := range old {
+			d.cur[r] -= n
+			d.curN -= n
+			if d.cur[r] == 0 {
+				delete(d.cur, r)
+			}
+		}
+	}
+	d.ring[d.next] = h
+	for r, n := range h {
+		d.cur[r] += n
+		d.curN += n
+	}
+	d.next++
+	if d.next == d.window {
+		d.next, d.full = 0, true
+	}
+	if !d.full {
+		return 0, false
+	}
+	d.psi = psiIndex(d.ref, d.refN, d.cur, d.curN)
+	return d.psi, d.psi >= d.threshold
+}
+
+// PSI returns the last computed index (0 until the window fills).
+func (d *Detector) PSI() float64 { return d.psi }
+
+// Ready reports whether the reference froze and the sliding window
+// filled, i.e. PSI is being computed.
+func (d *Detector) Ready() bool { return d.frozen && d.full }
+
+// Reset clears everything: the next `window` sequences build a fresh
+// reference. Called after a model swap — the new model's labeling
+// distribution is the new normal, and comparing it against the old
+// model's reference would re-trigger immediately.
+func (d *Detector) Reset() {
+	d.ref = map[indoor.RegionID]int{}
+	d.refSeqs, d.refN, d.frozen = 0, 0, false
+	d.ring = make([]map[indoor.RegionID]int, d.window)
+	d.next, d.full = 0, false
+	d.cur = map[indoor.RegionID]int{}
+	d.curN = 0
+	d.psi = 0
+}
+
+// psiSmoothing is the Laplace count added to every bucket on both
+// sides, so buckets present on only one side stay finite.
+const psiSmoothing = 0.5
+
+// psiIndex computes the smoothed PSI between the reference histogram
+// (expected) and the current window histogram (actual).
+func psiIndex(ref map[indoor.RegionID]int, refN int, cur map[indoor.RegionID]int, curN int) float64 {
+	if refN == 0 || curN == 0 {
+		return 0
+	}
+	keys := make(map[indoor.RegionID]struct{}, len(ref)+len(cur))
+	for r := range ref {
+		keys[r] = struct{}{}
+	}
+	for r := range cur {
+		keys[r] = struct{}{}
+	}
+	k := float64(len(keys))
+	if k == 0 {
+		return 0
+	}
+	refTotal := float64(refN) + psiSmoothing*k
+	curTotal := float64(curN) + psiSmoothing*k
+	psi := 0.0
+	for r := range keys {
+		p := (float64(ref[r]) + psiSmoothing) / refTotal
+		q := (float64(cur[r]) + psiSmoothing) / curTotal
+		psi += (q - p) * math.Log(q/p)
+	}
+	return psi
+}

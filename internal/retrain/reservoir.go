@@ -1,0 +1,63 @@
+package retrain
+
+import (
+	"math/rand"
+
+	"c2mn/internal/seq"
+)
+
+// Sample is one labeled sequence held for retraining. Truth marks
+// operator-supplied ground truth as opposed to a sample the incumbent
+// model labeled itself.
+type Sample struct {
+	LS    seq.LabeledSequence
+	Truth bool
+}
+
+// Reservoir keeps a bounded uniform sample of the sequences offered
+// to it (Vitter's algorithm R): the first cap samples are kept
+// verbatim, after which each new sample replaces a uniformly chosen
+// slot with probability cap/seen. Memory stays bounded no matter how
+// long the venue streams, while the kept slice remains an unbiased
+// sample of everything offered. Deterministic per seed. Not safe for
+// concurrent use; State serializes access.
+type Reservoir struct {
+	cap  int
+	rng  *rand.Rand
+	seen int64
+	buf  []Sample
+}
+
+// NewReservoir builds a reservoir keeping at most cap samples.
+func NewReservoir(cap int, seed int64) *Reservoir {
+	return &Reservoir{cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one sample.
+func (r *Reservoir) Add(s Sample) {
+	r.seen++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, s)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.buf[j] = s
+	}
+}
+
+// Len returns how many samples are held.
+func (r *Reservoir) Len() int { return len(r.buf) }
+
+// Seen returns how many samples were ever offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Snapshot copies the held samples.
+func (r *Reservoir) Snapshot() []Sample {
+	return append([]Sample(nil), r.buf...)
+}
+
+// Clear drops every held sample (the offered count keeps ticking so
+// later Adds stay uniformly weighted against a fresh window).
+func (r *Reservoir) Clear() {
+	r.buf, r.seen = nil, 0
+}

@@ -1,0 +1,295 @@
+// Package retrain implements the per-venue closed-loop retraining
+// control plane: drift detection over the annotated stream, bounded
+// sampling of labeled sequences into a training slice, shadow scoring
+// of a candidate model against the incumbent on a held-out slice
+// (internal/eval), and a strict-win gate deciding whether the
+// candidate may be hot-swapped in. Every cycle leaves a typed audit
+// Decision.
+//
+// The package is deliberately model-agnostic: training and inference
+// enter through callbacks (TrainFunc, AnnotateFunc), so the state
+// machine — triggering, sampling, splitting, gating, auditing — is
+// testable without touching the Markov-network layer, and the public
+// c2mn registry supplies the real trainer and the registry hot-swap
+// as closures.
+//
+// Safety properties the gate maintains:
+//
+//   - A candidate that does not score strictly better (by more than
+//     Config.MinWin) on the held-out slice is never installed.
+//   - Holdout truth is the recorded labels. For samples the incumbent
+//     labeled itself this makes the incumbent unbeatable (CA = 1), so
+//     a venue fed no ground truth can never swap — self-labeled data
+//     alone must not rotate models. Operator-supplied feedback (truth
+//     samples) is what opens the gate.
+//   - At most one cycle runs per venue at a time (ErrBusy), and a
+//     swap resets the drift reference: the new model's labeling
+//     distribution becomes the new normal.
+package retrain
+
+import (
+	"sync"
+	"time"
+
+	"c2mn/internal/seq"
+)
+
+// Defaults applied by Config.WithDefaults.
+const (
+	// DefaultDriftThreshold is the PSI above which the label
+	// distribution is considered drifted. 0.25 is the conventional
+	// "significant shift, act" boundary of the population stability
+	// index.
+	DefaultDriftThreshold = 0.25
+	// DefaultDriftWindow is the sliding comparison window (and the
+	// frozen reference size), in emitted sequences.
+	DefaultDriftWindow = 64
+	// DefaultMinSamples is the smallest labeled-sample count a cycle
+	// will train on.
+	DefaultMinSamples = 32
+	// DefaultMaxSamples bounds each labeled-sample reservoir.
+	DefaultMaxSamples = 1024
+	// DefaultHoldoutFrac is the fraction of samples held out for
+	// shadow scoring.
+	DefaultHoldoutFrac = 0.25
+	// DefaultCooldown spaces drift-triggered cycles.
+	DefaultCooldown = 10 * time.Minute
+	// DefaultLambda is the CA trade-off used for gating, matching
+	// internal/eval's paper default (λ = 0.7).
+	DefaultLambda = 0.7
+	// auditLogSize bounds the per-venue ring of recent decisions.
+	auditLogSize = 32
+)
+
+// Config tunes one venue's retraining loop. The zero value of any
+// field falls back to the package default (MinWin's zero means the
+// strict "candidate CA > incumbent CA" gate with no extra margin).
+type Config struct {
+	// DriftThreshold is the PSI trigger level.
+	DriftThreshold float64
+	// DriftWindow is the sliding window length in sequences; it also
+	// sizes the frozen reference histogram.
+	DriftWindow int
+	// MinSamples is the minimum labeled-sample count to attempt a
+	// cycle; below it the cycle is skipped.
+	MinSamples int
+	// MaxSamples caps each sampling reservoir (stream and truth).
+	MaxSamples int
+	// HoldoutFrac is the held-out fraction used for shadow scoring.
+	HoldoutFrac float64
+	// MinWin is the extra CA margin a candidate must clear on top of
+	// the incumbent's score to be installed.
+	MinWin float64
+	// Cooldown is the minimum spacing between drift-triggered cycles.
+	Cooldown time.Duration
+	// Lambda is the CA trade-off λ used to score both models.
+	Lambda float64
+	// Seed drives the reservoir sampling and the train/holdout split.
+	Seed int64
+}
+
+// WithDefaults fills unset fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = DefaultDriftThreshold
+	}
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = DefaultDriftWindow
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = DefaultMaxSamples
+	}
+	if c.HoldoutFrac <= 0 || c.HoldoutFrac >= 1 {
+		c.HoldoutFrac = DefaultHoldoutFrac
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	if c.Lambda <= 0 || c.Lambda > 1 {
+		c.Lambda = DefaultLambda
+	}
+	return c
+}
+
+// Trigger names what started a cycle.
+type Trigger string
+
+const (
+	// TriggerDrift marks a cycle started by the drift detector.
+	TriggerDrift Trigger = "drift"
+	// TriggerManual marks an operator-requested cycle.
+	TriggerManual Trigger = "manual"
+)
+
+// Outcome is the audited result of a cycle.
+type Outcome string
+
+const (
+	// OutcomeSwapped: the candidate won the shadow comparison and was
+	// installed.
+	OutcomeSwapped Outcome = "swapped"
+	// OutcomeRejected: the candidate trained and scored, but did not
+	// beat the incumbent by more than MinWin; nothing changed.
+	OutcomeRejected Outcome = "rejected"
+	// OutcomeSkipped: the cycle stopped before training (not enough
+	// labeled samples, or a degenerate split).
+	OutcomeSkipped Outcome = "skipped"
+	// OutcomeFailed: training, scoring or installation errored.
+	OutcomeFailed Outcome = "failed"
+)
+
+// Decision is the typed audit record of one retraining cycle.
+type Decision struct {
+	Venue   string  `json:"venue"`
+	Trigger Trigger `json:"trigger"`
+	Outcome Outcome `json:"outcome"`
+	// PSI is the drift index at cycle start (0 when the detector was
+	// not ready or the cycle was manual before any window filled).
+	PSI float64 `json:"psi,omitempty"`
+	// Samples and Holdout size the training and shadow slices.
+	Samples int `json:"samples"`
+	Holdout int `json:"holdout"`
+	// IncumbentCA and CandidateCA are the shadow scores the gate
+	// compared (zero when the cycle stopped before scoring).
+	IncumbentCA float64 `json:"incumbent_ca"`
+	CandidateCA float64 `json:"candidate_ca"`
+	// ModelHash identifies the candidate model (set once trained).
+	ModelHash string `json:"model_hash,omitempty"`
+	// Error carries the failure or skip reason.
+	Error        string `json:"error,omitempty"`
+	StartedUnix  int64  `json:"started_unix"`
+	FinishedUnix int64  `json:"finished_unix"`
+}
+
+// Status is a point-in-time view of one venue's loop, surfaced by the
+// serving tier's stats and admin endpoints.
+type Status struct {
+	// PSI is the current drift index (0 until the window fills).
+	PSI float64 `json:"psi"`
+	// DriftReady reports whether the reference froze and the sliding
+	// window filled — i.e. PSI is meaningful.
+	DriftReady bool `json:"drift_ready"`
+	// StreamSamples and TruthSamples size the two reservoirs.
+	StreamSamples int `json:"stream_samples"`
+	TruthSamples  int `json:"truth_samples"`
+	// Busy reports a cycle in flight.
+	Busy bool `json:"busy"`
+	// Swaps counts installed candidates; LastSwapUnix is when the
+	// latest landed.
+	Swaps        int64 `json:"swaps"`
+	LastSwapUnix int64 `json:"last_swap_unix,omitempty"`
+	// Counts aggregates cycle outcomes over the process lifetime.
+	Counts map[Outcome]int64 `json:"counts"`
+	// Last holds the most recent audit decisions, oldest first.
+	Last []Decision `json:"last,omitempty"`
+}
+
+// State is one venue's control-loop state: the drift detector, the
+// two labeled-sample reservoirs (self-labeled stream, operator truth),
+// the audit log and the busy/cooldown bookkeeping. All methods are
+// safe for concurrent use.
+type State struct {
+	cfg Config
+
+	mu        sync.Mutex
+	det       *Detector
+	stream    *Reservoir // samples labeled by the incumbent model
+	truth     *Reservoir // operator-supplied ground truth
+	busy      bool
+	lastCycle time.Time
+	swaps     int64
+	lastSwap  int64
+	counts    map[Outcome]int64
+	log       []Decision
+}
+
+// NewState builds a venue's loop state from cfg (defaults applied).
+func NewState(cfg Config) *State {
+	cfg = cfg.WithDefaults()
+	return &State{
+		cfg:    cfg,
+		det:    NewDetector(cfg.DriftWindow, cfg.DriftThreshold),
+		stream: NewReservoir(cfg.MaxSamples, cfg.Seed),
+		truth:  NewReservoir(cfg.MaxSamples, cfg.Seed+1),
+		counts: map[Outcome]int64{},
+	}
+}
+
+// Config returns the state's effective (default-filled) config.
+func (st *State) Config() Config { return st.cfg }
+
+// Observe folds one annotated sequence into the loop: the labels move
+// the drift detector, and the (sequence, labels) pair joins the
+// stream reservoir as a self-labeled sample. It returns the current
+// PSI and whether a drift-triggered cycle should start now — true
+// only when the detector fired, no cycle is in flight and the
+// cooldown since the last cycle has passed. The caller owns starting
+// the cycle; Observe never blocks.
+func (st *State) Observe(labels seq.Labels, ls seq.LabeledSequence) (psi float64, trigger bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	psi, drifted := st.det.Observe(labels)
+	st.stream.Add(Sample{LS: ls})
+	if !drifted || st.busy {
+		return psi, false
+	}
+	if !st.lastCycle.IsZero() && time.Since(st.lastCycle) < st.cfg.Cooldown {
+		return psi, false
+	}
+	return psi, true
+}
+
+// AddTruth adds operator-supplied ground-truth sequences to the truth
+// reservoir and returns how many were accepted (all of them; the
+// reservoir keeps a uniform sample once full).
+func (st *State) AddTruth(data []seq.LabeledSequence) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := range data {
+		st.truth.Add(Sample{LS: data[i], Truth: true})
+	}
+	return len(data)
+}
+
+// Status snapshots the loop for observability.
+func (st *State) Status() Status {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Status{
+		PSI:           st.det.PSI(),
+		DriftReady:    st.det.Ready(),
+		StreamSamples: st.stream.Len(),
+		TruthSamples:  st.truth.Len(),
+		Busy:          st.busy,
+		Swaps:         st.swaps,
+		LastSwapUnix:  st.lastSwap,
+		Counts:        make(map[Outcome]int64, len(st.counts)),
+		Last:          append([]Decision(nil), st.log...),
+	}
+	for k, v := range st.counts {
+		s.Counts[k] = v
+	}
+	return s
+}
+
+// Swaps returns how many candidates this loop installed and when the
+// last one landed (unix seconds, 0 if never).
+func (st *State) Swaps() (count int64, lastUnix int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.swaps, st.lastSwap
+}
+
+// record appends a finished decision to the audit ring and counters.
+func (st *State) record(d Decision) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.counts[d.Outcome]++
+	st.log = append(st.log, d)
+	if len(st.log) > auditLogSize {
+		st.log = st.log[len(st.log)-auditLogSize:]
+	}
+}

@@ -1,0 +1,373 @@
+package retrain
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"c2mn/internal/indoor"
+	"c2mn/internal/seq"
+)
+
+// labelsFrom builds an n-record label vector whose regions are drawn
+// from dist (region → weight) by rng, events alternating Stay/Pass.
+func labelsFrom(rng *rand.Rand, n int, dist map[indoor.RegionID]float64) seq.Labels {
+	total := 0.0
+	for _, w := range dist {
+		total += w
+	}
+	regions := make([]indoor.RegionID, 0, len(dist))
+	for r := range dist {
+		regions = append(regions, r)
+	}
+	// Deterministic iteration order for reproducibility.
+	for i := 1; i < len(regions); i++ {
+		for j := i; j > 0 && regions[j] < regions[j-1]; j-- {
+			regions[j], regions[j-1] = regions[j-1], regions[j]
+		}
+	}
+	l := seq.NewLabels(n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * total
+		for _, r := range regions {
+			x -= dist[r]
+			if x <= 0 {
+				l.Regions[i] = r
+				break
+			}
+		}
+		if i%2 == 0 {
+			l.Events[i] = seq.Stay
+		} else {
+			l.Events[i] = seq.Pass
+		}
+	}
+	return l
+}
+
+// TestDetectorStationaryNoTrigger replays a stationary label
+// distribution through many full windows: the detector must never
+// fire at the default threshold.
+func TestDetectorStationaryNoTrigger(t *testing.T) {
+	dist := map[indoor.RegionID]float64{1: 5, 2: 3, 3: 2, indoor.NoRegion: 1}
+	for _, trial := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(trial))
+		d := NewDetector(64, DefaultDriftThreshold)
+		for i := 0; i < 64*20; i++ {
+			psi, drifted := d.Observe(labelsFrom(rng, 20, dist))
+			if drifted {
+				t.Fatalf("trial %d: detector fired on stationary replay at sequence %d (PSI %.4f)", trial, i, psi)
+			}
+		}
+		if !d.Ready() {
+			t.Fatalf("trial %d: detector never became ready", trial)
+		}
+	}
+}
+
+// TestDetectorShiftTriggers injects a hard label-distribution shift
+// after the reference froze: the detector must fire within one
+// sliding window of the shift, for every seed tried.
+func TestDetectorShiftTriggers(t *testing.T) {
+	before := map[indoor.RegionID]float64{1: 5, 2: 3, 3: 2}
+	after := map[indoor.RegionID]float64{4: 6, 5: 3, 1: 1}
+	for _, trial := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(trial))
+		d := NewDetector(32, DefaultDriftThreshold)
+		// Freeze the reference and fill the window on the old regime.
+		for i := 0; i < 64; i++ {
+			if _, drifted := d.Observe(labelsFrom(rng, 20, before)); drifted {
+				t.Fatalf("trial %d: fired before the shift", trial)
+			}
+		}
+		fired := false
+		for i := 0; i < 32; i++ {
+			if _, drifted := d.Observe(labelsFrom(rng, 20, after)); drifted {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			t.Fatalf("trial %d: detector missed an injected shift within a full window (PSI %.4f)", trial, d.PSI())
+		}
+	}
+}
+
+// TestDetectorReset verifies a reset rebuilds the reference: the
+// shifted regime becomes the new normal and stops triggering.
+func TestDetectorReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDetector(16, DefaultDriftThreshold)
+	for i := 0; i < 32; i++ {
+		d.Observe(labelsFrom(rng, 20, map[indoor.RegionID]float64{1: 1}))
+	}
+	if _, drifted := d.Observe(labelsFrom(rng, 20, map[indoor.RegionID]float64{9: 1})); drifted {
+		// May need a few sequences of the new regime to fire; ensure it
+		// does fire eventually before the reset.
+	}
+	fired := false
+	for i := 0; i < 16; i++ {
+		if _, dr := d.Observe(labelsFrom(rng, 20, map[indoor.RegionID]float64{9: 1})); dr {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("detector did not fire on a total shift")
+	}
+	d.Reset()
+	if d.Ready() || d.PSI() != 0 {
+		t.Fatal("reset did not clear the detector")
+	}
+	for i := 0; i < 48; i++ {
+		if _, dr := d.Observe(labelsFrom(rng, 20, map[indoor.RegionID]float64{9: 1})); dr {
+			t.Fatal("detector fired on the re-referenced regime")
+		}
+	}
+}
+
+func TestReservoirBoundedAndUniformish(t *testing.T) {
+	r := NewReservoir(10, 1)
+	for i := 0; i < 1000; i++ {
+		r.Add(Sample{LS: seq.LabeledSequence{P: seq.PSequence{ObjectID: fmt.Sprint(i)}}})
+	}
+	if r.Len() != 10 {
+		t.Fatalf("reservoir holds %d, want 10", r.Len())
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("seen %d, want 1000", r.Seen())
+	}
+	// Uniformity smoke test: over many trials, early and late items
+	// should be retained at comparable rates.
+	early, late := 0, 0
+	for trial := int64(0); trial < 200; trial++ {
+		r := NewReservoir(10, trial)
+		for i := 0; i < 200; i++ {
+			r.Add(Sample{LS: seq.LabeledSequence{P: seq.PSequence{ObjectID: fmt.Sprint(i)}}})
+		}
+		for _, s := range r.Snapshot() {
+			var id int
+			fmt.Sscanf(s.LS.P.ObjectID, "%d", &id)
+			if id < 100 {
+				early++
+			} else {
+				late++
+			}
+		}
+	}
+	if early == 0 || late == 0 {
+		t.Fatalf("reservoir retention degenerate: early %d, late %d", early, late)
+	}
+	ratio := float64(early) / float64(late)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("reservoir retention skewed: early %d, late %d", early, late)
+	}
+}
+
+// sampleSeqs builds n labeled sequences, all-region `region`, 4
+// records each.
+func sampleSeqs(n int, region indoor.RegionID) []seq.LabeledSequence {
+	out := make([]seq.LabeledSequence, n)
+	for i := range out {
+		p := seq.PSequence{ObjectID: fmt.Sprintf("o%d", i)}
+		for j := 0; j < 4; j++ {
+			p.Records = append(p.Records, seq.Record{T: float64(j)})
+		}
+		l := seq.NewLabels(4)
+		for j := range l.Regions {
+			l.Regions[j] = region
+			l.Events[j] = seq.Stay
+		}
+		out[i] = seq.LabeledSequence{P: p, Labels: l}
+	}
+	return out
+}
+
+// constAnnotate returns an AnnotateFunc labeling every record with
+// region r — but flipping the first `wrong` records to region 99.
+func constAnnotate(r indoor.RegionID, wrong int) AnnotateFunc {
+	return func(p *seq.PSequence) (seq.Labels, error) {
+		l := seq.NewLabels(p.Len())
+		for i := range l.Regions {
+			l.Regions[i] = r
+			if i < wrong {
+				l.Regions[i] = 99
+			}
+			l.Events[i] = seq.Stay
+		}
+		return l, nil
+	}
+}
+
+func newTestState() *State {
+	return NewState(Config{MinSamples: 8, DriftWindow: 4, Cooldown: 1, Seed: 42})
+}
+
+// TestRunWorseCandidateRejected proves the gate: a candidate scoring
+// below the incumbent on the holdout is never installed.
+func TestRunWorseCandidateRejected(t *testing.T) {
+	st := newTestState()
+	st.AddTruth(sampleSeqs(16, 1))
+	installed := false
+	d, err := st.Run("v", TriggerManual,
+		constAnnotate(1, 1), // incumbent: 3/4 records right
+		func(train []seq.LabeledSequence) (Candidate, error) {
+			return Candidate{
+				Annotate: constAnnotate(1, 2), // candidate: 2/4 right — worse
+				Install:  func() error { installed = true; return nil },
+				Hash:     "cand",
+			}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Outcome != OutcomeRejected {
+		t.Fatalf("outcome %q, want rejected (decision %+v)", d.Outcome, d)
+	}
+	if installed {
+		t.Fatal("worse candidate was installed")
+	}
+	if !(d.CandidateCA < d.IncumbentCA) {
+		t.Fatalf("scores inverted: cand %.3f vs inc %.3f", d.CandidateCA, d.IncumbentCA)
+	}
+	if st.Status().Counts[OutcomeRejected] != 1 {
+		t.Fatal("rejection not audited")
+	}
+}
+
+// TestRunBetterCandidateSwaps proves the other side: a strictly
+// better candidate is installed, and the swap is audited.
+func TestRunBetterCandidateSwaps(t *testing.T) {
+	st := newTestState()
+	st.AddTruth(sampleSeqs(16, 1))
+	installed := false
+	d, err := st.Run("v", TriggerDrift,
+		constAnnotate(1, 1), // incumbent: 3/4 right
+		func(train []seq.LabeledSequence) (Candidate, error) {
+			if len(train) == 0 {
+				t.Fatal("empty training slice")
+			}
+			return Candidate{
+				Annotate: constAnnotate(1, 0), // candidate: perfect
+				Install:  func() error { installed = true; return nil },
+				Hash:     "cand",
+			}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Outcome != OutcomeSwapped || !installed {
+		t.Fatalf("outcome %q installed=%v, want swapped", d.Outcome, installed)
+	}
+	if d.ModelHash != "cand" {
+		t.Fatalf("audit hash %q", d.ModelHash)
+	}
+	swaps, last := st.Swaps()
+	if swaps != 1 || last == 0 {
+		t.Fatalf("swap bookkeeping: %d at %d", swaps, last)
+	}
+	if st.Status().StreamSamples != 0 {
+		t.Fatal("stream reservoir not cleared after swap")
+	}
+}
+
+// TestRunSelfLabelsNeverSwap: with only self-labeled stream samples,
+// the incumbent scores CA = 1 on its own labels, so no candidate can
+// strictly beat it — a venue without ground truth must never rotate.
+func TestRunSelfLabelsNeverSwap(t *testing.T) {
+	st := newTestState()
+	incumbent := constAnnotate(1, 0)
+	for _, ls := range sampleSeqs(16, 1) {
+		st.Observe(ls.Labels, ls) // self-labeled: labels == incumbent output
+	}
+	d, err := st.Run("v", TriggerManual, incumbent,
+		func(train []seq.LabeledSequence) (Candidate, error) {
+			return Candidate{Annotate: constAnnotate(1, 0), Install: func() error {
+				t.Fatal("swap installed on self-labeled data")
+				return nil
+			}, Hash: "cand"}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Outcome != OutcomeRejected {
+		t.Fatalf("outcome %q, want rejected", d.Outcome)
+	}
+	if d.IncumbentCA != 1 {
+		t.Fatalf("incumbent CA %.3f on its own labels, want 1", d.IncumbentCA)
+	}
+}
+
+func TestRunInsufficientSamplesSkips(t *testing.T) {
+	st := newTestState()
+	st.AddTruth(sampleSeqs(3, 1))
+	d, err := st.Run("v", TriggerManual, constAnnotate(1, 0), func([]seq.LabeledSequence) (Candidate, error) {
+		t.Fatal("trained despite too few samples")
+		return Candidate{}, nil
+	})
+	if !errors.Is(err, ErrSamples) {
+		t.Fatalf("err %v, want ErrSamples", err)
+	}
+	if d.Outcome != OutcomeSkipped {
+		t.Fatalf("outcome %q, want skipped", d.Outcome)
+	}
+}
+
+func TestRunBusy(t *testing.T) {
+	st := newTestState()
+	st.AddTruth(sampleSeqs(16, 1))
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go st.Run("v", TriggerManual, constAnnotate(1, 1), func([]seq.LabeledSequence) (Candidate, error) {
+		close(started)
+		<-release
+		return Candidate{Annotate: constAnnotate(1, 0), Install: func() error { return nil }}, nil
+	})
+	<-started
+	if _, err := st.Run("v", TriggerManual, constAnnotate(1, 0), nil); !errors.Is(err, ErrBusy) {
+		t.Fatalf("concurrent cycle: err %v, want ErrBusy", err)
+	}
+	close(release)
+}
+
+// TestRunFailedTraining audits a trainer error without installing.
+func TestRunFailedTraining(t *testing.T) {
+	st := newTestState()
+	st.AddTruth(sampleSeqs(16, 1))
+	boom := errors.New("boom")
+	d, err := st.Run("v", TriggerManual, constAnnotate(1, 0), func([]seq.LabeledSequence) (Candidate, error) {
+		return Candidate{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if d.Outcome != OutcomeFailed {
+		t.Fatalf("outcome %q, want failed", d.Outcome)
+	}
+	// The loop must be reusable after a failure.
+	if st.Status().Busy {
+		t.Fatal("state stuck busy after failure")
+	}
+}
+
+// TestObserveTrigger exercises the cooldown and readiness gating of
+// the auto trigger.
+func TestObserveTrigger(t *testing.T) {
+	st := NewState(Config{DriftWindow: 4, Cooldown: 1})
+	old := labelsFrom(rand.New(rand.NewSource(1)), 20, map[indoor.RegionID]float64{1: 1})
+	for i := 0; i < 8; i++ {
+		if _, trigger := st.Observe(old, seq.LabeledSequence{}); trigger {
+			t.Fatal("triggered during warmup")
+		}
+	}
+	shifted := labelsFrom(rand.New(rand.NewSource(2)), 20, map[indoor.RegionID]float64{5: 1})
+	fired := false
+	for i := 0; i < 4; i++ {
+		if _, trigger := st.Observe(shifted, seq.LabeledSequence{}); trigger {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("no trigger on a total shift")
+	}
+}

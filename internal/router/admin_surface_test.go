@@ -1,0 +1,162 @@
+package router
+
+// Tests for the consolidated /v1/admin mirror: the deprecated /admin/*
+// aliases' steering headers, the proxied backend admin tree with the
+// retrain/migration guard, and the typed 404/405 envelope.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func adminReq(t *testing.T, method, url, token string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func envelopeCode(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var body struct {
+		Error wireError `json:"error"`
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding envelope: %v", err)
+	}
+	return body.Error.Code
+}
+
+// TestRouterAdminMirror: the router's own admin plane answers under
+// /v1/admin/, the /admin/* mounts alias it with deprecation steering,
+// and both share the token gate.
+func TestRouterAdminMirror(t *testing.T) {
+	a := newFakeBackend(t)
+	a.venues["north"] = &fakeVenue{}
+	rt := testRouter(t, Config{AdminToken: "sesame"}, a)
+	srv := routerServer(t, rt)
+
+	for _, path := range []string{"/v1/admin/backends", "/admin/backends"} {
+		resp := adminReq(t, "GET", srv.URL+path, "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("GET %s without token: %d, want 401", path, resp.StatusCode)
+		}
+	}
+
+	resp := adminReq(t, "GET", srv.URL+"/v1/admin/backends", "sesame")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/admin/backends: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Deprecation"); got != "" {
+		t.Errorf("canonical mount marked deprecated: %q", got)
+	}
+
+	resp = adminReq(t, "GET", srv.URL+"/admin/backends", "sesame")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /admin/backends: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Deprecation"); got != "true" {
+		t.Errorf("alias Deprecation %q, want true", got)
+	}
+	if got, want := resp.Header.Get("Link"), `</v1/admin/backends>; rel="successor-version"`; got != want {
+		t.Errorf("alias Link %q, want %q", got, want)
+	}
+}
+
+// TestRouterProxiesAdminVenueTree: the backends' consolidated admin
+// tree forwards to the venue's owner, and a retrain trigger against a
+// migrating venue is refused router-side with the typed conflict.
+func TestRouterProxiesAdminVenueTree(t *testing.T) {
+	a := newFakeBackend(t)
+	a.venues["north"] = &fakeVenue{}
+	rt := testRouter(t, Config{}, a)
+	srv := routerServer(t, rt)
+
+	resp := adminReq(t, "POST", srv.URL+"/v1/admin/venues/north/retrain", "")
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("proxied retrain: %d (%s)", resp.StatusCode, body)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	log := a.callLog()
+	if len(log) == 0 || log[len(log)-1] != "retrain north" {
+		t.Fatalf("backend call log %v, want a retrain forward", log)
+	}
+
+	// Mid-migration the guard answers before the backend sees anything.
+	rt.mu.Lock()
+	rt.migrating["north"] = true
+	rt.mu.Unlock()
+	before := len(a.callLog())
+	resp = adminReq(t, "POST", srv.URL+"/v1/admin/venues/north/retrain", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("retrain while migrating: %d, want 409", resp.StatusCode)
+	}
+	if code := envelopeCode(t, resp); code != "migration_conflict" {
+		t.Fatalf("guard code %q, want migration_conflict", code)
+	}
+	if got := len(a.callLog()); got != before {
+		t.Fatalf("guarded retrain still reached the backend (%d calls, was %d)", got, before)
+	}
+
+	// Other admin subpaths pass through the guard untouched, migrating
+	// or not (the drain below is the migration's own tool).
+	resp = adminReq(t, "POST", srv.URL+"/v1/admin/venues/north/drain", "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied drain while migrating: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRouterV1Envelope405And404: the router's mux errors under /v1
+// carry the typed envelope with Allow preserved.
+func TestRouterV1Envelope405And404(t *testing.T) {
+	a := newFakeBackend(t)
+	a.venues["north"] = &fakeVenue{}
+	rt := testRouter(t, Config{}, a)
+	srv := routerServer(t, rt)
+
+	resp := adminReq(t, "DELETE", srv.URL+"/v1/query", "")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /v1/query: %d, want 405", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("405 Content-Type %q, want JSON envelope", ct)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Fatalf("405 Allow %q lost the method list", allow)
+	}
+	if code := envelopeCode(t, resp); code != "method_not_allowed" {
+		t.Fatalf("405 code %q", code)
+	}
+
+	resp = adminReq(t, "GET", srv.URL+"/v1/nope", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/nope: %d, want 404", resp.StatusCode)
+	}
+	if code := envelopeCode(t, resp); code != "not_found" {
+		t.Fatalf("404 code %q", code)
+	}
+}

@@ -23,6 +23,28 @@ func (rt *Router) handleVenueScoped(w http.ResponseWriter, r *http.Request) {
 	rt.forwardToOwner(w, r, r.PathValue("venue"))
 }
 
+// handleAdminVenueScoped proxies the backends' consolidated admin
+// tree (/v1/admin/venues/{venue}/...) to the venue's owner, with one
+// router-side guard: a retrain trigger against a venue mid-migration
+// is refused before it reaches the backend. The migration is moving a
+// settled snapshot of exactly the serving state; a hot swap landing
+// under it would rotate the model the snapshot's identity guards were
+// checked against and void the cutover.
+func (rt *Router) handleAdminVenueScoped(w http.ResponseWriter, r *http.Request) {
+	venue := r.PathValue("venue")
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/retrain") {
+		rt.mu.RLock()
+		migrating := rt.migrating[venue]
+		rt.mu.RUnlock()
+		if migrating {
+			rt.writeError(w, r, http.StatusConflict,
+				fmt.Errorf("%w: venue %q is migrating; retry after the cutover", c2mn.ErrMigrationConflict, venue))
+			return
+		}
+	}
+	rt.forwardToOwner(w, r, venue)
+}
+
 // handleBareVenuePath forwards the bare data-plane paths (/v1/annotate,
 // /v1/feed) that name their venue by ?venue= — or, matching msserve's
 // sole-venue convenience, implicitly when the fleet serves exactly one.

@@ -210,6 +210,14 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		r.Header.Set(requestIDHeader, newRequestID())
 	}
 	w.Header().Set(requestIDHeader, r.Header.Get(requestIDHeader))
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		// Mux-generated 404/405s under /v1 get the typed envelope like
+		// every router- or backend-originated error (see wire.go).
+		ew := &envelopeWriter{ResponseWriter: w, r: r}
+		rt.mux.ServeHTTP(ew, r)
+		ew.finish(rt)
+		return
+	}
 	rt.mux.ServeHTTP(w, r)
 }
 
@@ -237,14 +245,36 @@ func (rt *Router) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	mux.HandleFunc("GET /v1/readyz", rt.handleReadyz)
-	// Admin plane: backend table, placement, migration.
-	mux.HandleFunc("GET /admin/backends", rt.admin(rt.handleListBackends))
-	mux.HandleFunc("POST /admin/backends", rt.admin(rt.handleAddBackend))
-	mux.HandleFunc("DELETE /admin/backends", rt.admin(rt.handleRemoveBackend))
-	mux.HandleFunc("GET /admin/assignments", rt.admin(rt.handleAssignments))
-	mux.HandleFunc("POST /admin/pins", rt.admin(rt.handleSetPin))
-	mux.HandleFunc("DELETE /admin/pins", rt.admin(rt.handleDeletePin))
-	mux.HandleFunc("POST /admin/migrate", rt.admin(rt.handleMigrate))
+	// Admin plane: backend table, placement, migration. Canonical
+	// under /v1/admin/ — mirroring the backends' consolidation — with
+	// the pre-consolidation /admin/* mounts kept as deprecated aliases
+	// steering to the successor.
+	adminRoutes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /backends", rt.handleListBackends},
+		{"POST /backends", rt.handleAddBackend},
+		{"DELETE /backends", rt.handleRemoveBackend},
+		{"GET /assignments", rt.handleAssignments},
+		{"POST /pins", rt.handleSetPin},
+		{"DELETE /pins", rt.handleDeletePin},
+		{"POST /migrate", rt.handleMigrate},
+	}
+	for _, a := range adminRoutes {
+		method, path, _ := strings.Cut(a.pattern, " ")
+		h := rt.admin(a.h)
+		mux.HandleFunc(method+" /v1/admin"+path, h)
+		mux.HandleFunc(method+" /admin"+path, deprecatedAdmin(h))
+	}
+	// The backends' consolidated admin tree (/v1/admin/venues/...)
+	// proxies to the venue's owner verbatim — the backend enforces its
+	// own token, and the client's Authorization header is forwarded.
+	// POST /v1/admin/venues places a new venue like POST /v1/venues;
+	// the venue-scoped rest goes through the retrain/migration guard.
+	mux.HandleFunc("POST /v1/admin/venues", rt.handleLoadVenue)
+	mux.HandleFunc("/v1/admin/venues/{venue}", rt.handleVenueScoped)
+	mux.HandleFunc("/v1/admin/venues/{venue}/{rest...}", rt.handleAdminVenueScoped)
 	// Proxied data plane.
 	mux.HandleFunc("POST /v1/query", rt.handleQuery)
 	mux.HandleFunc("GET /v1/query/popular-regions", rt.handleTopKSugar)
@@ -496,6 +526,17 @@ func (rt *Router) admin(h http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 		}
+		h(w, r)
+	}
+}
+
+// deprecatedAdmin marks a pre-consolidation /admin/* mount: same
+// wrapped handler as its /v1/admin twin, plus RFC 8594-style headers
+// steering clients to the consolidated successor.
+func deprecatedAdmin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1`+r.URL.Path+`>; rel="successor-version"`)
 		h(w, r)
 	}
 }

@@ -84,7 +84,7 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"venue": r.PathValue("venue"), "fed": 1})
 	})
-	mux.HandleFunc("POST /v1/venues/{venue}/drain", func(w http.ResponseWriter, r *http.Request) {
+	drain := func(w http.ResponseWriter, r *http.Request) {
 		if !f.authorized(w, r) {
 			return
 		}
@@ -97,7 +97,12 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 		f.mu.Unlock()
 		f.record(fmt.Sprintf("drain %s redirect=%q", r.PathValue("venue"), body.RedirectTo))
 		writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
-	})
+	}
+	// Mounted on both the pre-consolidation path (the migration
+	// coordinator's client uses it) and the /v1/admin twin, like the
+	// real msserve.
+	mux.HandleFunc("POST /v1/venues/{venue}/drain", drain)
+	mux.HandleFunc("POST /v1/admin/venues/{venue}/drain", drain)
 	mux.HandleFunc("DELETE /v1/venues/{venue}/drain", func(w http.ResponseWriter, r *http.Request) {
 		if !f.authorized(w, r) {
 			return
@@ -155,6 +160,20 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 		f.mu.Unlock()
 		f.record("unload " + id)
 		writeJSON(w, http.StatusOK, map[string]string{"venue": id, "status": "unloaded"})
+	})
+	mux.HandleFunc("POST /v1/admin/venues/{venue}/retrain", func(w http.ResponseWriter, r *http.Request) {
+		if !f.authorized(w, r) {
+			return
+		}
+		id := r.PathValue("venue")
+		if _, ok := f.venue(id); !ok {
+			f.writeUnknownVenue(w, id)
+			return
+		}
+		f.record("retrain " + id)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"venue": id, "decision": map[string]any{"outcome": "swapped"},
+		})
 	})
 	f.srv = httptest.NewServer(mux)
 	t.Cleanup(f.srv.Close)

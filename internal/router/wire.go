@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 
 	"c2mn"
 )
@@ -39,6 +40,8 @@ func errorCode(status int, err error) string {
 		return "unauthorized"
 	case http.StatusNotFound:
 		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
 	case http.StatusConflict:
 		return "conflict"
 	case http.StatusRequestEntityTooLarge:
@@ -76,3 +79,67 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func noStore(w http.ResponseWriter) {
 	w.Header().Set("Cache-Control", "no-store")
 }
+
+// envelopeWriter upgrades the mux's own plain-text 404/405 responses
+// under /v1 to the typed JSON envelope, mirroring msserve: the sniff
+// on Content-Type text/plain only ever matches ServeMux's (and
+// http.Error's) own output, since router handlers and proxied backend
+// responses always carry an explicit non-text type. The mux's Allow
+// header on a 405 survives — headers are shared with the underlying
+// writer. Flush and Unwrap keep /v1/watch streaming through the
+// wrapper (internal/notify resolves its flusher via
+// http.NewResponseController's Unwrap chain).
+type envelopeWriter struct {
+	http.ResponseWriter
+	r         *http.Request
+	intercept bool
+	status    int
+	wrote     bool
+}
+
+func (ew *envelopeWriter) WriteHeader(status int) {
+	if ew.wrote || ew.intercept {
+		return
+	}
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		strings.HasPrefix(ew.Header().Get("Content-Type"), "text/plain") {
+		ew.intercept = true
+		ew.status = status
+		return
+	}
+	ew.wrote = true
+	ew.ResponseWriter.WriteHeader(status)
+}
+
+func (ew *envelopeWriter) Write(b []byte) (int, error) {
+	if ew.intercept {
+		// Drop the plain-text body; finish writes the envelope.
+		return len(b), nil
+	}
+	ew.wrote = true
+	return ew.ResponseWriter.Write(b)
+}
+
+func (ew *envelopeWriter) finish(rt *Router) {
+	if !ew.intercept {
+		return
+	}
+	h := ew.Header()
+	h.Del("X-Content-Type-Options")
+	msg := "no route matches " + ew.r.Method + " " + ew.r.URL.Path
+	if ew.status == http.StatusMethodNotAllowed {
+		msg = ew.r.Method + " not allowed on " + ew.r.URL.Path
+		if allow := h.Get("Allow"); allow != "" {
+			msg += " (allowed: " + allow + ")"
+		}
+	}
+	rt.writeError(ew.ResponseWriter, ew.r, ew.status, errors.New(msg))
+}
+
+func (ew *envelopeWriter) Flush() {
+	if f, ok := ew.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (ew *envelopeWriter) Unwrap() http.ResponseWriter { return ew.ResponseWriter }

@@ -139,6 +139,19 @@ func WithChangeNotifier(fn func(venue string, gen uint64)) Option {
 	}
 }
 
+// withLabeledSink registers the retrain loop's tap: a callback invoked
+// with every (p-sequence, labels) pair the streaming pipeline infers,
+// after the emitted ms-sequence is in the live store. It runs on the
+// completing goroutine, like WithOnSequence, and must not block or call
+// back into ingestion. Internal: the registry's retrain manager is the
+// only intended consumer (WithRetrainPolicy installs it).
+func withLabeledSink(fn func(LabeledSequence)) Option {
+	return func(e *Engine) error {
+		e.labeledSink = fn
+		return nil
+	}
+}
+
 // WithRetention keeps only m-semantics that ended within the trailing
 // `seconds` of stream time in the Engine's live store, turning the
 // top-k queries into sliding-window queries. seconds <= 0 (the

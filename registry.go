@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"c2mn/internal/query"
 	"c2mn/internal/snapshot"
 )
 
@@ -35,9 +36,11 @@ import (
 type VenueRegistry struct {
 	mu        sync.RWMutex
 	venues    map[string]*Engine
+	venueOpts map[string][]Option // per-venue options from Register, replayed on retrain swaps
 	defaults  []Option
 	budget    chan struct{}
 	maxVenues int
+	retrain   *retrainManager // nil unless WithRetrainPolicy
 }
 
 // NewVenueRegistry returns an empty registry.
@@ -61,21 +64,65 @@ func (vr *VenueRegistry) Register(venueID string, a *Annotator, opts ...Option) 
 	if venueID == "" {
 		return nil, errors.New("c2mn: venue ID must not be empty")
 	}
-	all := make([]Option, 0, len(vr.defaults)+len(opts)+2)
+	e, err := vr.buildEngine(venueID, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	old, reload := vr.venues[venueID]
+	if !reload && vr.maxVenues > 0 && len(vr.venues) >= vr.maxVenues {
+		return nil, fmt.Errorf("%w: limit %d reached loading %q", ErrTooManyVenues, vr.maxVenues, venueID)
+	}
+	if reload {
+		vr.spliceGeneration(old, e)
+	}
+	vr.venues[venueID] = e
+	if vr.venueOpts == nil {
+		vr.venueOpts = map[string][]Option{}
+	}
+	vr.venueOpts[venueID] = opts
+	if vr.retrain != nil && reload {
+		// An operator reload replaces the model out of band: the drift
+		// reference and self-labeled samples describe the old one.
+		vr.retrain.reset(venueID)
+	}
+	return e, nil
+}
+
+// buildEngine assembles a venue engine under the registry's layered
+// options: registry defaults first, then the per-venue opts, then the
+// always-set venue identity, shared budget and — when retraining is
+// enabled — the retrain loop's labeled-sequence tap. Register and the
+// retrain swap path both build through here, so a retrained
+// replacement serves under exactly the configuration its venue was
+// registered with.
+func (vr *VenueRegistry) buildEngine(venueID string, a *Annotator, opts []Option) (*Engine, error) {
+	all := make([]Option, 0, len(vr.defaults)+len(opts)+3)
 	all = append(all, vr.defaults...)
 	all = append(all, opts...)
 	all = append(all, WithVenueID(venueID), withBudget(vr.budget))
+	if vr.retrain != nil {
+		all = append(all, withLabeledSink(vr.retrain.sink(venueID)))
+	}
 	e, err := NewEngine(a, all...)
 	if err != nil {
 		return nil, fmt.Errorf("c2mn: venue %q: %w", venueID, err)
 	}
-	vr.mu.Lock()
-	defer vr.mu.Unlock()
-	if _, reload := vr.venues[venueID]; !reload && vr.maxVenues > 0 && len(vr.venues) >= vr.maxVenues {
-		return nil, fmt.Errorf("%w: limit %d reached loading %q", ErrTooManyVenues, vr.maxVenues, venueID)
-	}
-	vr.venues[venueID] = e
 	return e, nil
+}
+
+// spliceGeneration seeds a replacement engine's store generation past
+// everything the engine it replaces ever published (current generation
+// plus query.GenerationJump headroom). Generations are venue-scoped
+// cache validators on the HTTP tiers — ETags, router partials, watch
+// resume labels — and a fresh engine restarts its counter at zero, so
+// without the splice a client holding an ETag from the old engine
+// could revalidate against the new one, collide on a small generation
+// number, and be told its stale answer is current. Called with vr.mu
+// held, before the replacement becomes visible.
+func (vr *VenueRegistry) spliceGeneration(old, next *Engine) {
+	next.store.SeedGeneration(old.StoreGeneration() + query.GenerationJump)
 }
 
 // Load restores an annotator from a model saved with Annotator.Save
@@ -98,6 +145,10 @@ func (vr *VenueRegistry) Unload(venueID string) error {
 		return unknownVenue(venueID)
 	}
 	delete(vr.venues, venueID)
+	delete(vr.venueOpts, venueID)
+	if vr.retrain != nil {
+		vr.retrain.reset(venueID)
+	}
 	return nil
 }
 

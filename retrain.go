@@ -1,0 +1,357 @@
+package c2mn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"c2mn/internal/core"
+	"c2mn/internal/retrain"
+	"c2mn/internal/seq"
+)
+
+// Re-exported retraining types: the internal/retrain control loop's
+// vocabulary, surfaced so callers configure and observe the loop
+// without importing internal packages. All are aliases — values flow
+// freely between the public API and the internal package.
+type (
+	// RetrainConfig tunes one venue's drift detection, sampling and
+	// shadow-gating; zero fields fall back to the package defaults.
+	RetrainConfig = retrain.Config
+	// RetrainDecision is the typed audit record of one retraining
+	// cycle.
+	RetrainDecision = retrain.Decision
+	// RetrainState is a point-in-time view of a venue's loop.
+	RetrainState = retrain.Status
+	// RetrainTrigger names what started a cycle.
+	RetrainTrigger = retrain.Trigger
+	// RetrainOutcome is the audited result of a cycle.
+	RetrainOutcome = retrain.Outcome
+)
+
+// Re-exported trigger and outcome values of the retraining audit
+// vocabulary.
+const (
+	RetrainTriggerDrift  = retrain.TriggerDrift
+	RetrainTriggerManual = retrain.TriggerManual
+
+	RetrainSwapped  = retrain.OutcomeSwapped
+	RetrainRejected = retrain.OutcomeRejected
+	RetrainSkipped  = retrain.OutcomeSkipped
+	RetrainFailed   = retrain.OutcomeFailed
+)
+
+// Typed sentinel errors of the retraining API.
+var (
+	// ErrRetrainDisabled is returned by the retraining entry points
+	// when the registry was built without WithRetrainPolicy.
+	ErrRetrainDisabled = errors.New("c2mn: retraining not enabled (use WithRetrainPolicy)")
+
+	// ErrRetrainBusy is returned when a retraining cycle cannot start
+	// because another one holds the training slot — either this
+	// venue's loop (retrain.ErrBusy wraps into it) or another venue
+	// occupying the registry's single fleet-wide slot.
+	ErrRetrainBusy = retrain.ErrBusy
+
+	// ErrRetrainSamples marks a cycle skipped for lack of labeled
+	// samples (fewer than RetrainConfig.MinSamples, or a degenerate
+	// train/holdout split).
+	ErrRetrainSamples = retrain.ErrSamples
+
+	// ErrRetrainConflict is returned when a shadow-winning candidate
+	// cannot be installed because the venue's engine changed while it
+	// trained (an operator reload, unload or migration landed first).
+	// The incumbent that was scored is gone, so the comparison is
+	// void; nothing is swapped.
+	ErrRetrainConflict = errors.New("c2mn: venue engine changed during retraining")
+)
+
+// RetrainPolicy enables closed-loop retraining on a VenueRegistry:
+// every venue gets a drift detector and bounded labeled-sample
+// reservoirs fed by its streaming pipeline, and retraining cycles —
+// drift-triggered when Auto is set, operator-triggered via Retrain —
+// train a candidate model off the serving path, shadow-score it
+// against the incumbent on held-out labeled data, and hot-swap it in
+// only on a strict accuracy win. See internal/retrain for the gate's
+// safety properties; in particular a venue fed no ground truth
+// (RetrainFeedback / Retrain with truth data) can never swap.
+type RetrainPolicy struct {
+	// Config tunes drift detection, sampling and gating; zero fields
+	// use the retrain package defaults.
+	Config RetrainConfig
+	// Auto starts a retraining cycle automatically when a venue's
+	// drift detector fires (subject to the cycle cooldown and the
+	// training slot). Manual Retrain calls work either way.
+	Auto bool
+	// Train configures candidate training (same knobs as Train); the
+	// candidate always trains on the venue's own geometry.
+	Train TrainOptions
+}
+
+// WithRetrainPolicy enables closed-loop retraining with the given
+// policy on every venue the registry hosts.
+func WithRetrainPolicy(p RetrainPolicy) RegistryOption {
+	return func(vr *VenueRegistry) error {
+		vr.retrain = &retrainManager{
+			vr:     vr,
+			policy: p,
+			states: map[string]*retrain.State{},
+			slot:   make(chan struct{}, 1),
+		}
+		return nil
+	}
+}
+
+// ModelInfo identifies the model a venue currently serves with, as
+// surfaced on the admin API.
+type ModelInfo struct {
+	Venue string `json:"venue"`
+	// ModelHash and SpaceHash are the hex SHA-256 identities snapshot
+	// compatibility is guarded by.
+	ModelHash string `json:"model_hash"`
+	SpaceHash string `json:"space_hash"`
+	// ModelVersion is the model serialisation format version this
+	// build writes.
+	ModelVersion int `json:"model_version"`
+	// SwapCount counts retraining hot swaps this venue's loop has
+	// installed this process; RetrainedAtUnix is when the last one
+	// landed (0 when the venue still serves its originally loaded
+	// model, or retraining is disabled).
+	SwapCount       int64 `json:"swap_count"`
+	RetrainedAtUnix int64 `json:"retrained_at_unix,omitempty"`
+}
+
+// VenueModel reports the identity of the model venueID serves with.
+func (vr *VenueRegistry) VenueModel(venueID string) (ModelInfo, error) {
+	e, err := vr.Engine(venueID)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	info := ModelInfo{
+		Venue:        venueID,
+		ModelHash:    e.ModelHash(),
+		SpaceHash:    e.SpaceHash(),
+		ModelVersion: core.ModelFormatVersion,
+	}
+	if vr.retrain != nil {
+		info.SwapCount, info.RetrainedAtUnix = vr.retrain.state(venueID).Swaps()
+	}
+	return info, nil
+}
+
+// Retrain runs one retraining cycle for venueID synchronously: any
+// truth sequences are added to the venue's ground-truth reservoir
+// first (they persist for later cycles too), then a candidate is
+// trained, shadow-scored and — only on a strict win — hot-swapped in.
+// The returned decision describes the cycle even when err != nil;
+// errors.Is-matchable failures: ErrRetrainDisabled, ErrUnknownVenue,
+// ErrRetrainBusy (a cycle already in flight), ErrRetrainConflict (the
+// engine changed mid-cycle), plus whatever gate the serving tier
+// installed (SetRetrainGate).
+func (vr *VenueRegistry) Retrain(venueID string, truth []LabeledSequence) (RetrainDecision, error) {
+	if vr.retrain == nil {
+		return RetrainDecision{}, ErrRetrainDisabled
+	}
+	if _, err := vr.Engine(venueID); err != nil {
+		return RetrainDecision{}, err
+	}
+	if len(truth) > 0 {
+		vr.retrain.state(venueID).AddTruth(truth)
+	}
+	return vr.retrain.run(venueID, retrain.TriggerManual)
+}
+
+// RetrainFeedback adds operator-labeled ground-truth sequences to
+// venueID's truth reservoir without starting a cycle. Feedback is what
+// opens the shadow gate: holdout scoring uses recorded labels, so
+// without ground truth the incumbent is unbeatable on its own output.
+func (vr *VenueRegistry) RetrainFeedback(venueID string, truth []LabeledSequence) (int, error) {
+	if vr.retrain == nil {
+		return 0, ErrRetrainDisabled
+	}
+	if _, err := vr.Engine(venueID); err != nil {
+		return 0, err
+	}
+	return vr.retrain.state(venueID).AddTruth(truth), nil
+}
+
+// RetrainStatus reports venueID's retraining loop state: drift index,
+// reservoir sizes, cycle counters and the recent audit decisions.
+func (vr *VenueRegistry) RetrainStatus(venueID string) (RetrainState, error) {
+	if vr.retrain == nil {
+		return RetrainState{}, ErrRetrainDisabled
+	}
+	if _, err := vr.Engine(venueID); err != nil {
+		return RetrainState{}, err
+	}
+	return vr.retrain.state(venueID).Status(), nil
+}
+
+// SetRetrainGate installs a check consulted before any retraining
+// cycle starts (manual or drift-triggered): a non-nil return vetoes
+// the cycle and is returned to the caller. The serving tier uses it to
+// fence retraining off from drains and venue migrations. A nil fn
+// clears the gate. No-op when retraining is disabled.
+func (vr *VenueRegistry) SetRetrainGate(fn func(venueID string) error) {
+	if vr.retrain == nil {
+		return
+	}
+	vr.retrain.mu.Lock()
+	vr.retrain.gate = fn
+	vr.retrain.mu.Unlock()
+}
+
+// SetRetrainObserver installs a callback invoked with every completed
+// cycle's audit decision (swapped, rejected, skipped or failed — not
+// for cycles refused with ErrRetrainBusy, which record nothing). It
+// runs on the cycle's goroutine after the decision is recorded; the
+// serving tier uses it to invalidate watch subscribers and snapshot
+// staleness tracking after a swap. A nil fn clears the observer.
+// No-op when retraining is disabled.
+func (vr *VenueRegistry) SetRetrainObserver(fn func(RetrainDecision)) {
+	if vr.retrain == nil {
+		return
+	}
+	vr.retrain.mu.Lock()
+	vr.retrain.observer = fn
+	vr.retrain.mu.Unlock()
+}
+
+// retrainManager owns the registry's retraining plane: per-venue loop
+// states, the serving-tier gate and observer hooks, and the single
+// fleet-wide training slot (training is CPU-bound; one venue at a time
+// keeps it off the serving path's budget).
+type retrainManager struct {
+	vr     *VenueRegistry
+	policy RetrainPolicy
+
+	mu       sync.Mutex
+	states   map[string]*retrain.State
+	gate     func(venueID string) error
+	observer func(RetrainDecision)
+
+	slot chan struct{} // capacity 1: the fleet-wide training slot
+}
+
+// state returns (creating on first use) the venue's loop state.
+func (m *retrainManager) state(venue string) *retrain.State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.states[venue]
+	if !ok {
+		st = retrain.NewState(m.policy.Config)
+		m.states[venue] = st
+	}
+	return st
+}
+
+// reset drops a venue's loop state. Called when an operator reloads or
+// unloads the venue: the drift reference and self-labeled samples
+// belong to the replaced model.
+func (m *retrainManager) reset(venue string) {
+	m.mu.Lock()
+	delete(m.states, venue)
+	m.mu.Unlock()
+}
+
+// sink returns the labeled-sequence tap installed on venue's engines:
+// every streamed inference feeds the drift detector and the stream
+// reservoir, and — under an Auto policy — a drift trigger starts a
+// detached cycle.
+func (m *retrainManager) sink(venue string) func(LabeledSequence) {
+	return func(ls LabeledSequence) {
+		_, trigger := m.state(venue).Observe(ls.Labels, ls)
+		if trigger && m.policy.Auto {
+			// Detached: the Feed caller must not wait out a training
+			// run. Busy/gate refusals are fine — the detector stays
+			// drifted and a later sequence re-triggers after cooldown.
+			go m.run(venue, retrain.TriggerDrift)
+		}
+	}
+}
+
+// annotateFunc adapts an engine to the retrain package's inference
+// callback. Scoring runs through the engine's own entry point, so both
+// sides of the shadow comparison use the venue's exact serving
+// configuration (windowing, inference options, shared budget).
+func annotateFunc(e *Engine) retrain.AnnotateFunc {
+	return func(p *seq.PSequence) (seq.Labels, error) {
+		labels, _, err := e.AnnotateCtx(context.Background(), p)
+		return labels, err
+	}
+}
+
+// run executes one cycle for venue under the fleet-wide slot; see
+// VenueRegistry.Retrain for the observable contract.
+func (m *retrainManager) run(venue string, trigger retrain.Trigger) (RetrainDecision, error) {
+	m.mu.Lock()
+	gate := m.gate
+	m.mu.Unlock()
+	if gate != nil {
+		if err := gate(venue); err != nil {
+			return RetrainDecision{}, err
+		}
+	}
+	incumbent, err := m.vr.Engine(venue)
+	if err != nil {
+		return RetrainDecision{}, err
+	}
+	select {
+	case m.slot <- struct{}{}:
+	default:
+		return RetrainDecision{}, fmt.Errorf("%w: another venue holds the training slot", ErrRetrainBusy)
+	}
+	defer func() { <-m.slot }()
+
+	train := func(trainSet []seq.LabeledSequence) (retrain.Candidate, error) {
+		a, err := Train(incumbent.Space(), trainSet, m.policy.Train)
+		if err != nil {
+			return retrain.Candidate{}, err
+		}
+		m.vr.mu.RLock()
+		opts := append([]Option(nil), m.vr.venueOpts[venue]...)
+		m.vr.mu.RUnlock()
+		next, err := m.vr.buildEngine(venue, a, opts)
+		if err != nil {
+			return retrain.Candidate{}, err
+		}
+		return retrain.Candidate{
+			Annotate: annotateFunc(next),
+			// Install is fenced: the swap lands only if the venue still
+			// serves the incumbent that was shadow-scored.
+			Install: func() error { return m.vr.swapEngine(venue, incumbent, next) },
+			Hash:    next.ModelHash(),
+		}, nil
+	}
+
+	d, err := m.state(venue).Run(venue, trigger, annotateFunc(incumbent), train)
+	if !errors.Is(err, retrain.ErrBusy) {
+		m.mu.Lock()
+		obs := m.observer
+		m.mu.Unlock()
+		if obs != nil {
+			obs(d)
+		}
+	}
+	return d, err
+}
+
+// swapEngine installs a retrained engine in place of the exact
+// incumbent it was shadow-scored against. The fence (cur == old)
+// refuses the swap when anything replaced the engine mid-cycle — an
+// operator reload, an unload, a migration — because the scored
+// comparison no longer describes what is serving. On success the
+// replacement's store generation is spliced past the incumbent's, so
+// every downstream validator (ETags, router partials, watch resume
+// labels) sees the swap as new content.
+func (vr *VenueRegistry) swapEngine(venueID string, old, next *Engine) error {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	if cur, ok := vr.venues[venueID]; !ok || cur != old {
+		return fmt.Errorf("%w: venue %q", ErrRetrainConflict, venueID)
+	}
+	vr.spliceGeneration(old, next)
+	vr.venues[venueID] = next
+	return nil
+}

@@ -1,0 +1,224 @@
+package c2mn
+
+import (
+	"errors"
+	"testing"
+
+	"c2mn/internal/query"
+	"c2mn/internal/sim"
+)
+
+// retrainWorld builds a venue plus labeled workload and two models: a
+// deliberately weak incumbent (one exact step over two sequences) and
+// the full labeled set to retrain from.
+func retrainWorld(t testing.TB) (*Space, []LabeledSequence, *Annotator) {
+	t.Helper()
+	space, err := GenerateBuilding(sim.SmallBuilding(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sim.DefaultMobility(10, 1500)
+	spec.StayMax = 300
+	ds, err := GenerateMobility(space, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := Train(space, ds.Sequences[:2], TrainOptions{
+		V: 6, Exact: true, MaxIter: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space, ds.Sequences, weak
+}
+
+func retrainRegistry(t testing.TB, train TrainOptions) *VenueRegistry {
+	t.Helper()
+	vr, err := NewVenueRegistry(WithRetrainPolicy(RetrainPolicy{
+		Config: RetrainConfig{MinSamples: 8, HoldoutFrac: 0.5, Seed: 3},
+		Train:  train,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vr
+}
+
+func TestRetrainDisabled(t *testing.T) {
+	vr, err := NewVenueRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vr.Retrain("v", nil); !errors.Is(err, ErrRetrainDisabled) {
+		t.Fatalf("err %v, want ErrRetrainDisabled", err)
+	}
+	if _, err := vr.RetrainStatus("v"); !errors.Is(err, ErrRetrainDisabled) {
+		t.Fatalf("status err %v, want ErrRetrainDisabled", err)
+	}
+}
+
+func TestRetrainUnknownVenue(t *testing.T) {
+	vr := retrainRegistry(t, TrainOptions{Exact: true})
+	if _, err := vr.Retrain("missing", nil); !errors.Is(err, ErrUnknownVenue) {
+		t.Fatalf("err %v, want ErrUnknownVenue", err)
+	}
+}
+
+// TestRetrainSwapsOnWin drives the whole public loop: a weak incumbent
+// venue, operator ground truth through RetrainFeedback, a manual
+// Retrain — and asserts the genuinely better candidate goes live with
+// model identity, audit trail and a spliced store generation.
+func TestRetrainSwapsOnWin(t *testing.T) {
+	_, data, weak := retrainWorld(t)
+	vr := retrainRegistry(t, TrainOptions{V: 6, Exact: true, TuneClustering: true, Seed: 2})
+	old, err := vr.Register("v", weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldHash := old.ModelHash()
+
+	if n, err := vr.RetrainFeedback("v", data); err != nil || n != len(data) {
+		t.Fatalf("feedback: %d, %v", n, err)
+	}
+	d, err := vr.Retrain("v", nil)
+	if err != nil {
+		t.Fatalf("retrain: %v (decision %+v)", err, d)
+	}
+	if d.Outcome != RetrainSwapped {
+		t.Fatalf("outcome %q (inc CA %.3f vs cand CA %.3f), want swapped",
+			d.Outcome, d.IncumbentCA, d.CandidateCA)
+	}
+	if d.CandidateCA <= d.IncumbentCA {
+		t.Fatalf("swap without a strict win: %.3f vs %.3f", d.CandidateCA, d.IncumbentCA)
+	}
+
+	e, err := vr.Engine("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == old || e.ModelHash() == oldHash {
+		t.Fatal("venue still serves the incumbent after a swap")
+	}
+	if e.ModelHash() != d.ModelHash {
+		t.Fatalf("serving model %q, audit says %q", e.ModelHash(), d.ModelHash)
+	}
+	// The replacement's generation line must start past everything the
+	// incumbent could have published, so stale ETags never revalidate.
+	if g := e.StoreGeneration(); g < query.GenerationJump {
+		t.Fatalf("swapped store generation %d not spliced past the incumbent", g)
+	}
+	info, err := vr.VenueModel("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SwapCount != 1 || info.RetrainedAtUnix == 0 || info.ModelHash != e.ModelHash() {
+		t.Fatalf("model info after swap: %+v", info)
+	}
+	st, err := vr.RetrainStatus("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Counts[RetrainSwapped] != 1 || len(st.Last) != 1 {
+		t.Fatalf("audit status after swap: %+v", st)
+	}
+}
+
+// TestRetrainRejectsCrippledCandidate pins the gate shut: a candidate
+// trained with a near-zero prior variance (legal but crippling — the
+// weights are shrunk to nothing) must lose the shadow comparison and
+// never be installed.
+func TestRetrainRejectsCrippledCandidate(t *testing.T) {
+	space, data, _ := retrainWorld(t)
+	good, err := Train(space, data[:7], TrainOptions{V: 6, Exact: true, TuneClustering: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := retrainRegistry(t, TrainOptions{V: 6, Exact: true, Sigma2: 1e-9, Seed: 2})
+	old, err := vr.Register("v", good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := vr.Retrain("v", data)
+	if err != nil {
+		t.Fatalf("retrain: %v (decision %+v)", err, d)
+	}
+	if d.Outcome != RetrainRejected {
+		t.Fatalf("outcome %q (inc CA %.3f vs cand CA %.3f), want rejected",
+			d.Outcome, d.IncumbentCA, d.CandidateCA)
+	}
+	if e, _ := vr.Engine("v"); e != old {
+		t.Fatal("crippled candidate was installed")
+	}
+	if info, _ := vr.VenueModel("v"); info.SwapCount != 0 {
+		t.Fatalf("swap count %d after a rejection", info.SwapCount)
+	}
+}
+
+// TestRetrainGateVeto: a serving-tier gate (drain, migration) refuses
+// the cycle before anything trains.
+func TestRetrainGateVeto(t *testing.T) {
+	_, data, weak := retrainWorld(t)
+	vr := retrainRegistry(t, TrainOptions{Exact: true})
+	if _, err := vr.Register("v", weak); err != nil {
+		t.Fatal(err)
+	}
+	veto := errors.New("venue draining")
+	vr.SetRetrainGate(func(venueID string) error {
+		if venueID == "v" {
+			return veto
+		}
+		return nil
+	})
+	if _, err := vr.Retrain("v", data); !errors.Is(err, veto) {
+		t.Fatalf("err %v, want the gate's veto", err)
+	}
+	vr.SetRetrainGate(nil)
+	if _, err := vr.Retrain("v", nil); errors.Is(err, veto) {
+		t.Fatal("cleared gate still vetoing")
+	}
+}
+
+// TestRetrainConflictFence: a swap attempt against an engine that is
+// no longer the venue's serving engine must refuse with
+// ErrRetrainConflict and leave the current engine in place.
+func TestRetrainConflictFence(t *testing.T) {
+	_, _, weak := retrainWorld(t)
+	vr := retrainRegistry(t, TrainOptions{Exact: true})
+	old, err := vr.Register("v", weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An operator reload lands mid-cycle.
+	cur, err := vr.Register("v", weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := vr.buildEngine("v", weak, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vr.swapEngine("v", old, next); !errors.Is(err, ErrRetrainConflict) {
+		t.Fatalf("err %v, want ErrRetrainConflict", err)
+	}
+	if e, _ := vr.Engine("v"); e != cur {
+		t.Fatal("fenced swap still replaced the engine")
+	}
+}
+
+// TestRetrainObserver sees every completed decision.
+func TestRetrainObserver(t *testing.T) {
+	_, _, weak := retrainWorld(t)
+	vr := retrainRegistry(t, TrainOptions{Exact: true})
+	if _, err := vr.Register("v", weak); err != nil {
+		t.Fatal(err)
+	}
+	var seen []RetrainDecision
+	vr.SetRetrainObserver(func(d RetrainDecision) { seen = append(seen, d) })
+	// No samples: the cycle skips, and the skip is still observed.
+	if _, err := vr.Retrain("v", nil); err == nil {
+		t.Fatal("expected a skipped-cycle error with no samples")
+	}
+	if len(seen) != 1 || seen[0].Outcome != RetrainSkipped {
+		t.Fatalf("observer saw %+v, want one skipped decision", seen)
+	}
+}
